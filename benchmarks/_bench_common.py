@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite (kept out of conftest so bench
+modules can import them without module-name collisions with the test
+suite's conftest)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro import StudyConfig
+
+#: Default benchmark population (fast on a laptop, stable statistics).
+DEFAULT_BENCH_SUBJECTS = 48
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_config(**overrides) -> StudyConfig:
+    """The benchmark configuration, honouring the REPRO_* environment."""
+    params = dict(
+        n_subjects=DEFAULT_BENCH_SUBJECTS,
+        n_workers=min(4, os.cpu_count() or 1),
+        cache_dir=str(Path(__file__).parent / ".bench_cache"),
+    )
+    params.update(overrides)
+    return StudyConfig.from_environment(**params)

@@ -1,0 +1,50 @@
+"""Ablation 3 — impostor subsampling budget.
+
+The paper limits impostor scores "to a random subset which is still
+sufficient for statistical confidence".  This ablation verifies the
+FNMR-at-fixed-FMR operating point is stable as the impostor budget
+shrinks — *provided the budget can resolve the target FMR*: a threshold
+at FMR 10^-2 needs tens of impostor scores above it, so quarter budgets
+agree with the full budget; pushing the same exercise to 10^-3 at a
+small study scale shows visible drift, which is exactly why the paper
+kept six-figure impostor sets.
+"""
+
+import numpy as np
+
+from repro.stats import fnmr_at_fmr
+
+TARGET_FMR = 1e-2
+
+
+def test_ablation_impostor_budget_stability(benchmark, study, record_artifact):
+    sets = study.score_sets()
+    genuine = sets["DDMG"].scores
+    impostor = sets["DDMI"].scores
+
+    def fnmr_at_fraction(fraction: float) -> float:
+        # Self-seeded per fraction: re-invocations (the benchmark timer
+        # runs this many times) must not perturb later evaluations.
+        rng = np.random.default_rng(99 + int(fraction * 1000))
+        size = max(50, int(len(impostor) * fraction))
+        sample = impostor[rng.choice(len(impostor), size=size, replace=False)]
+        return fnmr_at_fmr(genuine, sample, TARGET_FMR)
+
+    full = benchmark(fnmr_at_fraction, 1.0)
+
+    lines = [
+        "Ablation: impostor subsampling budget "
+        f"(FNMR @ FMR {TARGET_FMR:.0e}, DDMG vs DDMI)",
+        f"  {'budget':<10}{'FNMR':>10}",
+    ]
+    results = {}
+    for fraction in (1.0, 0.5, 0.25, 0.1):
+        value = fnmr_at_fraction(fraction)
+        results[fraction] = value
+        lines.append(f"  {fraction:<10.2f}{value:>10.4f}")
+    text = "\n".join(lines)
+    record_artifact(text)
+    print("\n" + text)
+
+    # The operating point is budget-stable down to a quarter.
+    assert abs(results[0.25] - results[1.0]) < 0.05

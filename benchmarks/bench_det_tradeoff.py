@@ -1,0 +1,43 @@
+"""DET tradeoff — the operating-point view behind Tables 5/6.
+
+Renders the detection-error-tradeoff series for the same-device and
+cross-device scenarios side by side: at every fixed FMR, the
+cross-device FNMR sits above the same-device FNMR — the whole study in
+one curve pair.
+"""
+
+import numpy as np
+
+from repro.stats import det_points
+from repro.stats.comparison import render_det
+
+FMR_TARGETS = (1e-1, 3e-2, 1e-2, 3e-3, 1e-3)
+
+
+def test_det_same_vs_cross_device(benchmark, study, record_artifact):
+    sets = study.score_sets()
+
+    def compute():
+        same = det_points(
+            sets["DMG"].scores, sets["DMI"].scores, FMR_TARGETS
+        )
+        cross = det_points(
+            sets["DDMG"].scores, sets["DDMI"].scores, FMR_TARGETS
+        )
+        return same, cross
+
+    (same_fmr, same_fnmr), (cross_fmr, cross_fnmr) = benchmark(compute)
+
+    text = (
+        render_det(same_fmr, same_fnmr, title="DET, same-device (DMG vs DMI)")
+        + "\n\n"
+        + render_det(cross_fmr, cross_fnmr, title="DET, cross-device (DDMG vs DDMI)")
+    )
+    record_artifact(text)
+    print("\n" + text)
+
+    # At every operating point the cross-device scenario is no better.
+    for same_value, cross_value in zip(same_fnmr, cross_fnmr):
+        assert cross_value >= same_value - 1e-9
+    # And strictly worse somewhere.
+    assert np.any(cross_fnmr > same_fnmr)

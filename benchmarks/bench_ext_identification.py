@@ -1,0 +1,88 @@
+"""X8 — identification across devices (the US-VISIT framing).
+
+The paper's gallery/probe vocabulary is identification vocabulary; this
+benchmark measures what interoperability does to *rank-1 identification*
+rather than verification FNMR: gallery enrolled on the Guardian R2,
+probes from each device, CMC per probe source.
+"""
+
+import numpy as np
+
+from repro.core.identification import cross_device_cmc
+from repro.sensors import DEVICE_ORDER
+
+GALLERY_DEVICE = "D0"
+MAX_SUBJECTS = 30  # 1:N is O(N^2) matcher calls per probe device
+
+
+def _identification_margins(study, probe_device: str, n: int):
+    """Per-probe margin: true-identity score minus best non-match score.
+
+    Rank-1 rates saturate at moderate gallery sizes (identification is
+    genuinely easy when genuine and impostor scores barely overlap); the
+    margin is the continuous robustness measure that does not.
+    """
+    from repro.core.identification import rank_candidates
+
+    collection = study.collection()
+    matcher = study.matcher()
+    gallery = {
+        f"subject-{sid}": collection.get(sid, study.finger, GALLERY_DEVICE, 0).template
+        for sid in range(n)
+    }
+    margins = []
+    for sid in range(n):
+        probe = collection.get(sid, study.finger, probe_device, 1).template
+        candidates = rank_candidates(matcher, probe, gallery)
+        true_score = next(
+            c.score for c in candidates if c.identity == f"subject-{sid}"
+        )
+        best_other = max(
+            (c.score for c in candidates if c.identity != f"subject-{sid}"),
+            default=0.0,
+        )
+        margins.append(true_score - best_other)
+    return np.array(margins)
+
+
+def test_ext_cross_device_identification(benchmark, study, record_artifact):
+    n = min(MAX_SUBJECTS, study.config.n_subjects)
+
+    def identify_all():
+        curves = {
+            probe_device: cross_device_cmc(
+                study, GALLERY_DEVICE, probe_device, max_rank=5, n_subjects=n
+            )
+            for probe_device in DEVICE_ORDER
+        }
+        margins = {
+            probe_device: _identification_margins(study, probe_device, n)
+            for probe_device in DEVICE_ORDER
+        }
+        return curves, margins
+
+    curves, margins = benchmark.pedantic(identify_all, rounds=1, iterations=1)
+
+    lines = [
+        f"X8: 1:N identification, gallery={GALLERY_DEVICE} ({n} identities)",
+        f"  {'probe device':<14}{'rank-1':>8}{'rank-5':>8}{'margin':>9}",
+    ]
+    for probe_device in DEVICE_ORDER:
+        curve = curves[probe_device]
+        lines.append(
+            f"  {probe_device:<14}{curve.rank1:>8.3f}{curve.rate_at(5):>8.3f}"
+            f"{margins[probe_device].mean():>9.2f}"
+        )
+    text = "\n".join(lines)
+    record_artifact(text)
+    print("\n" + text)
+
+    # Native probes identify essentially perfectly...
+    assert curves[GALLERY_DEVICE].rank1 >= 0.9
+    # ...and the identification margin shrinks across devices, most for ink.
+    mean_margin = {d: float(margins[d].mean()) for d in DEVICE_ORDER}
+    assert min(mean_margin, key=mean_margin.get) == "D4"
+    assert mean_margin[GALLERY_DEVICE] == max(mean_margin.values())
+    # Rank-5 recovers part of what rank-1 loses.
+    for device in DEVICE_ORDER:
+        assert curves[device].rate_at(5) >= curves[device].rank1

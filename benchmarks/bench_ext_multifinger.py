@@ -1,0 +1,77 @@
+"""X5 — §V further work: "using more than one fingerprint image from a
+given participant to improve the FMR and FNMR rates".
+
+Re-runs the cross-device D0→D1 genuine/impostor comparisons with the
+second finger (right middle), fuses per-subject scores across fingers,
+and compares separability and FNMR at a fixed threshold.
+"""
+
+import numpy as np
+
+from repro.calibration import d_prime, sum_fusion
+from repro.core.scores import GALLERY_SET, PROBE_SET
+
+CELL = ("D0", "D1")
+N_IMPOSTORS = 300
+THRESHOLD = 7.5
+
+
+def _cell_jobs(study):
+    gallery_dev, probe_dev = CELL
+    n = study.config.n_subjects
+    genuine = [
+        (s, gallery_dev, GALLERY_SET, s, probe_dev, PROBE_SET) for s in range(n)
+    ]
+    rng = np.random.default_rng(417)  # same pairs as the X1 benchmark
+    impostor = []
+    while len(impostor) < N_IMPOSTORS:
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            continue
+        job = (int(i), gallery_dev, GALLERY_SET, int(j), probe_dev, PROBE_SET)
+        if job not in impostor:
+            impostor.append(job)
+    return genuine, impostor
+
+
+def test_ext_multifinger_fusion(benchmark, study, record_artifact):
+    genuine_jobs, impostor_jobs = _cell_jobs(study)
+
+    index_gen = study.custom_scores("DDMG-x1gen", genuine_jobs).scores
+    index_imp = study.custom_scores("DDMI-x1imp", impostor_jobs).scores
+    middle_gen = study.custom_scores(
+        "DDMG-x5gen", genuine_jobs, finger="right_middle"
+    ).scores
+    middle_imp = study.custom_scores(
+        "DDMI-x5imp", impostor_jobs, finger="right_middle"
+    ).scores
+
+    def fuse():
+        return (
+            sum_fusion([index_gen, middle_gen]),
+            sum_fusion([index_imp, middle_imp]),
+        )
+
+    fused_gen, fused_imp = benchmark(fuse)
+
+    rows = [
+        ("right index only", index_gen, index_imp),
+        ("right middle only", middle_gen, middle_imp),
+        ("two-finger sum fusion", fused_gen, fused_imp),
+    ]
+    lines = [f"X5: multi-finger fusion on the cross-device cell {CELL[0]} -> {CELL[1]}"]
+    for label, gen, imp in rows:
+        lines.append(
+            f"  {label:<22} d' = {d_prime(gen, imp):6.2f}   "
+            f"FNMR@{THRESHOLD} = {np.mean(gen < THRESHOLD):.3f}"
+        )
+    text = "\n".join(lines)
+    record_artifact(text)
+    print("\n" + text)
+
+    d_index = d_prime(index_gen, index_imp)
+    d_middle = d_prime(middle_gen, middle_imp)
+    d_fused = d_prime(fused_gen, fused_imp)
+    assert d_fused > min(d_index, d_middle)
+    # Fusion lowers (or keeps) the FNMR relative to the single finger.
+    assert np.mean(fused_gen < THRESHOLD) <= np.mean(index_gen < THRESHOLD) + 0.02

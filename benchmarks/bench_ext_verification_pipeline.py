@@ -1,0 +1,98 @@
+"""X6 — §V architecture: baseline vs interoperability-aware verification.
+
+Enrolls the population on D0, replays genuine verification attempts from
+every device through both verification engines, and compares the false
+non-match rates.  The aware engine's per-pair z-normalization should
+hold one global threshold across device pairs that the raw-score
+baseline cannot.
+"""
+
+import numpy as np
+
+from repro.pipeline import EnrolledRecord, TemplateDatabase, Verifier
+from repro.pipeline.verifier import train_interop_verifier_from_study
+from repro.sensors import DEVICE_ORDER
+
+ENROLL_DEVICE = "D0"
+
+
+def test_ext_verification_architectures(benchmark, study, record_artifact):
+    collection = study.collection()
+    n = study.config.n_subjects
+
+    database = TemplateDatabase()
+    for sid in range(n):
+        imp = collection.get(sid, "right_index", ENROLL_DEVICE, 0)
+        database.enroll(
+            EnrolledRecord(
+                identity=f"subject-{sid}",
+                template=imp.template,
+                device_id=ENROLL_DEVICE,
+                nfiq=imp.nfiq,
+            )
+        )
+    baseline = Verifier(database, threshold=7.5, matcher=study.matcher())
+    aware = train_interop_verifier_from_study(
+        study, database, threshold=3.0,
+        calibrate_pairs=[(ENROLL_DEVICE, "D4")],
+    )
+
+    probes = [
+        (sid, device, collection.get(sid, "right_index", device, 1).template)
+        for device in DEVICE_ORDER
+        for sid in range(n)
+    ]
+
+    def run_aware():
+        return [
+            aware.verify(f"subject-{sid}", template, device).accepted
+            for sid, device, template in probes
+        ]
+
+    aware_accepted = benchmark.pedantic(run_aware, rounds=1, iterations=1)
+    baseline_accepted = [
+        baseline.verify(f"subject-{sid}", template, device).accepted
+        for sid, device, template in probes
+    ]
+
+    fnmr_baseline = 1.0 - float(np.mean(baseline_accepted))
+    fnmr_aware = 1.0 - float(np.mean(aware_accepted))
+    text = "\n".join(
+        [
+            "X6: verification architectures, genuine attempts from all devices",
+            f"  baseline (raw score, fixed threshold) FNMR: {fnmr_baseline:.3f}",
+            f"  interop-aware (z-norm + TPS + p(d|q))  FNMR: {fnmr_aware:.3f}",
+        ]
+    )
+    record_artifact(text)
+    print("\n" + text)
+
+    assert fnmr_aware <= fnmr_baseline
+
+
+def test_ext_fnm_prediction(benchmark, study, record_artifact):
+    """The §V probabilistic question, benchmarked."""
+    from repro.core.prediction import FnmrPredictor
+
+    predictor = FnmrPredictor().fit_from_study(study, target_fmr=1e-3)
+
+    def answer():
+        return predictor.predict("D0", "D4")
+
+    prediction = benchmark(answer)
+    text = "\n".join(
+        [
+            "X7: P(false non-match | enroll D0, verify D4) = "
+            f"{prediction.probability:.4f}",
+            f"  95% credible interval [{prediction.low:.4f}, {prediction.high:.4f}]",
+            f"  evidence: {prediction.failures}/{prediction.trials} failures",
+            "",
+            predictor.render(),
+        ]
+    )
+    record_artifact(text)
+    print("\n" + text)
+
+    native = predictor.predict("D0", "D0")
+    # Cross-device FNM risk exceeds (or at least matches) native risk.
+    assert prediction.probability >= native.probability - 1e-6

@@ -1,0 +1,30 @@
+"""F1 — Figure 1: age and ethnicity groups of the participants.
+
+Paper anchors: 53% of participants aged 20-29, 57.2% Caucasian.
+The benchmark times demographic synthesis for the whole population and
+records the rendered histogram.
+"""
+
+from _bench_common import bench_config
+from repro.core.report import render_figure1
+from repro.synthesis import Population
+
+
+def test_fig1_demographics(benchmark, record_artifact):
+    config = bench_config()
+
+    def build_demographics():
+        return Population(config).demographics_table()
+
+    table = benchmark(build_demographics)
+    text = render_figure1(table)
+    record_artifact(text)
+    print("\n" + text)
+
+    total = sum(table["age"].values())
+    assert total == config.n_subjects
+    # The Figure 1 anchors, within sampling tolerance for the run size.
+    age_rate = table["age"]["20-29"] / total
+    eth_rate = table["ethnicity"]["Caucasian"] / total
+    assert 0.3 < age_rate < 0.75
+    assert 0.35 < eth_rate < 0.8

@@ -1,0 +1,37 @@
+"""F2 — Figure 2: DMG vs DMI distribution, Cross Match Guardian R2.
+
+Expected shape (paper): most DMG scores high, most DMI scores low; no
+DMI score above ~7 while some DMG scores fall below 7 — the threshold
+placement dilemma the paper discusses.
+"""
+
+import numpy as np
+
+from repro.core.report import render_score_histograms
+from repro.stats import score_histogram
+
+
+def test_fig2_guardian_dmg_vs_dmi(benchmark, study, record_artifact):
+    sets = study.score_sets()
+    genuine = sets["DMG"].for_pair("D0", "D0")
+    impostor = sets["DMI"].for_pair("D0", "D0")
+
+    def build_histograms():
+        hi = float(np.ceil(max(genuine.scores.max(), impostor.scores.max()))) + 1
+        return (
+            score_histogram(genuine.scores, score_range=(0.0, hi)),
+            score_histogram(impostor.scores, score_range=(0.0, hi)),
+        )
+
+    hist_g, hist_i = benchmark(build_histograms)
+    text = render_score_histograms(
+        genuine, impostor, "Figure 2: DMG vs DMI, Cross Match Guardian R2 (D0)"
+    )
+    record_artifact(text)
+    print("\n" + text)
+
+    # Paper shape assertions.
+    assert impostor.scores.max() < 8.5          # "no DMI scores higher than 7"
+    assert genuine.scores.mean() > impostor.scores.mean() + 10
+    low_bin = hist_i.count_in(0.0, 1.0)
+    assert low_bin > 0.4 * hist_i.total          # impostor mass sits in 0-1

@@ -1,0 +1,33 @@
+"""F4 — Figure 4: genuine scores per probe device against the Cross
+Match Seek II gallery.
+
+Expected shape (paper): "match scores are the highest when measuring the
+similarity between images acquired by the same sensor ... the lowest
+match scores representing the similarity with the ink-based ten-print
+scans as probes".
+"""
+
+import numpy as np
+
+from repro.core.report import render_figure4
+from repro.sensors import DEVICE_ORDER
+
+GALLERY = "D3"  # Cross Match Seek II
+
+
+def test_fig4_probe_ranking_vs_seek2(benchmark, study, record_artifact):
+    def collect():
+        return {
+            probe: study.genuine_scores(GALLERY, probe).scores
+            for probe in DEVICE_ORDER
+        }
+
+    per_probe = benchmark(collect)
+    text = render_figure4(per_probe, gallery_device=GALLERY)
+    record_artifact(text)
+    print("\n" + text)
+
+    means = {probe: float(np.mean(scores)) for probe, scores in per_probe.items()}
+    # Same-device probes score highest; ten-print probes lowest.
+    assert max(means, key=means.get) == GALLERY
+    assert min(means, key=means.get) == "D4"

@@ -1,0 +1,48 @@
+"""Matcher throughput — the cost model behind the 616k-comparison study.
+
+Times a single genuine and a single impostor comparison for both
+engines; at paper scale Table 3 implies ~616,000 comparisons, so the
+per-match latency sets the wall-clock of a full reproduction.
+"""
+
+from repro.matcher import BioEngineMatcher, RidgeGeometryMatcher
+
+
+def _templates(study):
+    collection = study.collection()
+    a = collection.get(0, "right_index", "D0", 0).template
+    b = collection.get(0, "right_index", "D1", 1).template
+    c = collection.get(1, "right_index", "D0", 1).template
+    return a, b, c
+
+
+def test_bioengine_genuine_throughput(benchmark, study):
+    gallery, probe, __ = _templates(study)
+    matcher = BioEngineMatcher()
+    score = benchmark(matcher.match, probe, gallery)
+    assert score > 5.0
+
+
+def test_bioengine_impostor_throughput(benchmark, study):
+    gallery, __, impostor = _templates(study)
+    matcher = BioEngineMatcher()
+    score = benchmark(matcher.match, impostor, gallery)
+    assert score < 8.5
+
+
+def test_ridgecount_throughput(benchmark, study):
+    gallery, probe, __ = _templates(study)
+    matcher = RidgeGeometryMatcher()
+    benchmark(matcher.match, probe, gallery)
+
+
+def test_incits378_codec_throughput(benchmark, study):
+    from repro.io import decode, encode
+
+    gallery, __, ___ = _templates(study)
+
+    def roundtrip():
+        return decode(encode(gallery))
+
+    template, __ = benchmark(roundtrip)
+    assert len(template) == len(gallery)

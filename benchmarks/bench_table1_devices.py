@@ -1,0 +1,26 @@
+"""T1 — Table 1: characteristics of the Live-scan devices.
+
+The registry carries the published values verbatim; the benchmark times
+sensor construction (device signature fields included) and records the
+rendered table.
+"""
+
+from repro.core.report import render_table1
+from repro.sensors import DEVICE_ORDER, build_sensor
+from repro.sensors.registry import DEVICE_PROFILES
+
+
+def test_table1_device_registry(benchmark, record_artifact):
+    def build_all_sensors():
+        return {device: build_sensor(device) for device in DEVICE_ORDER}
+
+    sensors = benchmark(build_all_sensors)
+    text = render_table1()
+    record_artifact(text)
+    print("\n" + text)
+
+    assert len(sensors) == 5
+    # Published values spot-check.
+    assert DEVICE_PROFILES["D1"].image_width_px == 752
+    assert DEVICE_PROFILES["D3"].capture_width_mm == 40.6
+    assert all(p.resolution_dpi == 500 for p in DEVICE_PROFILES.values())

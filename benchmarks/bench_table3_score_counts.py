@@ -1,0 +1,42 @@
+"""T3 — Table 3: match scores for different match scenarios.
+
+At paper scale the counting rules give exactly 1,976 / 9,880 / 120,855 /
+483,420 scores; the benchmark validates the rules at paper scale (cheap,
+enumeration only) and times the job enumeration, then records the
+Table 3 rendering of the shared benchmark run.
+"""
+
+from repro.core.report import render_table3
+from repro.core.scores import (
+    enumerate_ddmg_jobs,
+    enumerate_dmg_jobs,
+    expected_counts,
+)
+from repro.runtime import StudyConfig
+
+
+def test_table3_counting_rules(benchmark, study, record_artifact):
+    def enumerate_paper_scale():
+        return (
+            len(enumerate_dmg_jobs(494)),
+            len(enumerate_ddmg_jobs(494)),
+        )
+
+    dmg, ddmg = benchmark(enumerate_paper_scale)
+    assert dmg == 1976      # Table 3, DMG row
+    assert ddmg == 9880     # Table 3, DDMG row
+    paper = expected_counts(StudyConfig.paper_scale())
+    assert paper["DMI"] == 120_855
+    assert paper["DDMI"] == 483_420
+
+    sets = study.score_sets()
+    text = render_table3(sets, study.config.n_subjects)
+    text += (
+        "\n\npaper scale: DMG=1,976  DDMG=9,880  DMI=120,855  DDMI=483,420"
+    )
+    record_artifact(text)
+    print("\n" + text)
+
+    scaled = expected_counts(study.config)
+    for scenario, expected in scaled.items():
+        assert len(sets[scenario]) == expected

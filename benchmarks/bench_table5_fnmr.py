@@ -1,0 +1,39 @@
+"""T5 — Table 5: interoperability FNMR matrix at fixed FMR of 0.01%.
+
+Expected shape (paper): diagonal (intra-device) FNMR lower than
+off-diagonal (inter-device) on average, with the D4 row/column worst
+among probes and the D4xD4 diagonal excellent; the paper itself reports
+{D1,D1} and {D3,D3} as exceptions to diagonal dominance.
+"""
+
+import numpy as np
+
+from repro.core.error_rates import (
+    TABLE5_FMR,
+    diagonal_dominance_violations,
+    fnmr_interoperability_matrix,
+    mean_interoperability_penalty,
+)
+from repro.core.report import render_fnmr_matrix
+
+
+def test_table5_fnmr_matrix(benchmark, study, record_artifact):
+    study.score_sets()
+
+    matrix = benchmark(fnmr_interoperability_matrix, study, TABLE5_FMR)
+    text = render_fnmr_matrix(matrix, "Table 5: FNMR at fixed FMR of 0.01%")
+    penalty = mean_interoperability_penalty(matrix)
+    violations = diagonal_dominance_violations(matrix)
+    text += f"\n\nmean interoperability penalty: {penalty:+.4f}"
+    text += f"\ndiagonal-dominance exceptions: {violations or 'none'}"
+    text += "\npaper's exceptions: ['D1', 'D3']"
+    record_artifact(text)
+    print("\n" + text)
+
+    assert matrix.shape == (5, 5)
+    assert penalty > 0  # interoperability costs FNMR on average
+    # The D4 column is the worst probe for live-scan galleries.
+    live = matrix[:4, :]
+    d4_col = np.nanmean(live[:, 4])
+    others = [live[i, j] for i in range(4) for j in range(4) if i != j]
+    assert d4_col >= np.nanmean(others)

@@ -1,0 +1,57 @@
+"""Benchmark harness fixtures.
+
+Every benchmark regenerates one table or figure of the paper.  The
+underlying study is session-scoped and disk-cached (``.bench_cache``),
+so the expensive score generation happens once per configuration; the
+``benchmark`` fixture then times the *analysis* step that produces the
+artifact, and the artifact text is written to ``benchmarks/output/``.
+
+Scale control:
+
+* ``REPRO_SUBJECTS``  population size (default 48; paper scale is 494)
+* ``REPRO_WORKERS``   process-pool width for score generation
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _bench_common import OUTPUT_DIR, bench_config
+from repro import InteroperabilityStudy
+
+
+@pytest.fixture(scope="session")
+def study() -> InteroperabilityStudy:
+    """The shared study instance with all score sets materialized."""
+    instance = InteroperabilityStudy(bench_config())
+    instance.score_sets()
+    return instance
+
+
+@pytest.fixture(scope="session")
+def ridge_study() -> InteroperabilityStudy:
+    """A study using the diverse second matcher (same population)."""
+    return InteroperabilityStudy(bench_config(matcher_name="ridgecount"))
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def record_artifact(artifact_dir, request):
+    """Write a rendered table/figure to benchmarks/output/<test>.txt."""
+
+    def _record(text: str, name: str = None) -> str:
+        filename = (
+            name or request.node.name.replace("[", "_").replace("]", "")
+        ) + ".txt"
+        path = artifact_dir / filename
+        path.write_text(text + "\n")
+        return text
+
+    return _record

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Which sensor captured this fingerprint?  (Poh et al.'s p(d|q).)
+
+Section II of the paper describes Poh, Kittler & Bourlai's mitigation
+for unknown-device matching: infer the capture device from the image's
+quality measures via per-device Gaussian mixture models, then condition
+the matching decision on the inferred device.
+
+This example trains the model on set-0 impressions (device labels
+known at enrollment) and evaluates identification accuracy on set-1
+impressions, printing the confusion matrix.
+
+Run:
+    python examples/device_forensics.py
+"""
+
+import numpy as np
+
+from repro import InteroperabilityStudy, StudyConfig
+from repro.calibration import DeviceInferenceModel
+from repro.sensors import DEVICE_ORDER, DEVICE_PROFILES
+
+
+def main() -> None:
+    config = StudyConfig.from_environment(n_subjects=40, n_workers=4)
+    study = InteroperabilityStudy(config)
+    collection = study.collection()
+    n = config.n_subjects
+
+    features_by_device = {
+        device: [
+            collection.get(sid, "right_index", device, 0).features
+            for sid in range(n)
+        ]
+        for device in DEVICE_ORDER
+    }
+    model = DeviceInferenceModel(n_components=2).fit(
+        features_by_device, np.random.default_rng(7)
+    )
+
+    confusion = {d: {p: 0 for p in DEVICE_ORDER} for d in DEVICE_ORDER}
+    hits = total = 0
+    for device in DEVICE_ORDER:
+        for sid in range(n):
+            features = collection.get(sid, "right_index", device, 1).features
+            predicted = model.predict(features)
+            confusion[device][predicted] += 1
+            hits += predicted == device
+            total += 1
+
+    print("Device inference from quality measures, p(d|q)")
+    print(f"Top-1 accuracy: {hits / total:.2%} (chance = {1 / len(DEVICE_ORDER):.0%})")
+    print()
+    header = " " * 10 + "".join(f"{d:>6}" for d in DEVICE_ORDER)
+    print("true \\ predicted")
+    print(header)
+    for device in DEVICE_ORDER:
+        row = "".join(f"{confusion[device][p]:>6}" for p in DEVICE_ORDER)
+        print(f"{device:>10}" + row)
+    print()
+
+    print("Posterior example — an ink-card impression:")
+    example = collection.get(0, "right_index", "D4", 1).features
+    posterior = model.posterior(example)
+    for device, prob in sorted(posterior.items(), key=lambda kv: -kv[1]):
+        print(f"  p(d={device} | q) = {prob:.3f}   ({DEVICE_PROFILES[device].model})")
+    print()
+    print(
+        "Ink cards are easy to spot from quality evidence alone; the four"
+        " optical live-scans are harder to tell apart — consistent with"
+        " Poh et al.'s observation that quality measures carry device"
+        " identity information."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+This is the paper-reproduction driver.  At the default scale it finishes
+in about a minute; for the full 494-participant experiment run
+
+    REPRO_SUBJECTS=494 REPRO_WORKERS=8 python examples/full_study.py
+
+(expect tens of minutes: the paper's Table 3 implies ~616,000 matcher
+invocations).  Score sets are cached under ``.repro_cache``; re-running
+the same configuration only recomputes the analyses.
+"""
+
+from repro import InteroperabilityStudy, StudyConfig
+from repro.core import (
+    render_figure1,
+    render_figure4,
+    render_figure5,
+    render_fnmr_matrix,
+    render_score_histograms,
+    render_table1,
+    render_table3,
+    render_table4,
+)
+from repro.core.error_rates import TABLE5_FMR
+from repro.core.kendall_analysis import kendall_matrix
+from repro.core.quality_analysis import (
+    low_score_quality_surface,
+    quality_filtered_fnmr_matrix,
+)
+from repro.sensors import DEVICE_ORDER
+
+
+def main() -> None:
+    config = StudyConfig.from_environment(
+        n_subjects=48, n_workers=4, cache_dir=".repro_cache"
+    )
+    print(config.describe())
+    study = InteroperabilityStudy(config)
+    sets = study.score_sets()
+    rule = "=" * 72
+
+    print(rule)
+    print(render_figure1(study.demographics()))
+
+    print(rule)
+    print(render_table1())
+
+    print(rule)
+    from repro.datasets import render_collection_summary, summarize_collection
+
+    print(render_collection_summary(summarize_collection(study.collection())))
+
+    print(rule)
+    print(render_table3(sets, config.n_subjects))
+
+    print(rule)
+    print(
+        render_score_histograms(
+            sets["DMG"].for_pair("D0", "D0"),
+            sets["DMI"].for_pair("D0", "D0"),
+            "Figure 2: DMG vs DMI, Cross Match Guardian R2",
+        )
+    )
+
+    print(rule)
+    print(
+        render_score_histograms(
+            sets["DDMG"].for_pair("D0", "D1"),
+            sets["DDMI"].for_pair("D0", "D1"),
+            "Figure 3: DDMG vs DDMI, Guardian R2 gallery vs digID Mini probe",
+        )
+    )
+
+    print(rule)
+    per_probe = {
+        probe: study.genuine_scores("D3", probe).scores for probe in DEVICE_ORDER
+    }
+    print(render_figure4(per_probe, gallery_device="D3"))
+
+    print(rule)
+    print(render_table4(kendall_matrix(study)))
+
+    print(rule)
+    print(
+        render_fnmr_matrix(
+            study.fnmr_matrix(TABLE5_FMR),
+            "Table 5: FNMR at fixed FMR of 0.01%",
+        )
+    )
+
+    print(rule)
+    print(
+        render_fnmr_matrix(
+            quality_filtered_fnmr_matrix(study),
+            "Table 6: FNMR at fixed FMR of 0.1% for images with NFIQ < 3",
+        )
+    )
+
+    print(rule)
+    print(
+        render_figure5(
+            low_score_quality_surface(study, cross_device=False),
+            low_score_quality_surface(study, cross_device=True),
+        )
+    )
+
+    print(rule)
+    from repro.core.habituation import render_habituation
+
+    print(render_habituation(study.collection()))
+
+
+if __name__ == "__main__":
+    main()

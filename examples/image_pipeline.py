@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The image-domain loop: render → extract → match.
+
+The original study's matcher consumed fingerprint *images*; the
+quantitative pipeline in this reproduction shortcuts to templates.
+This example demonstrates the full image-domain substrate:
+
+1. render a synthetic finger as a ridge image in which every master
+   minutia is planted as a phase spiral (Larkin & Fletcher's
+   fingerprint-as-hologram model);
+2. run the classical extractor (binarize → Zhang–Suen skeleton →
+   crossing number → artifact filtering) to recover a template;
+3. report extractor precision/recall against the planted ground truth;
+4. match image-extracted templates: genuine vs impostor.
+
+Run:
+    python examples/image_pipeline.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.imaging import (
+    RenderSettings,
+    extract_template,
+    recovery_metrics,
+    render_finger,
+    to_uint8,
+)
+from repro.matcher import BioEngineMatcher
+from repro.synthesis import ascii_preview, synthesize_master_finger, write_pgm
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("image_pipeline_out")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(2013)
+    finger_a = synthesize_master_finger(rng)
+    finger_b = synthesize_master_finger(rng)
+    matcher = BioEngineMatcher()
+
+    print(f"Finger A: {finger_a.pattern.value}, {finger_a.n_minutiae} master minutiae")
+    rendered = render_finger(finger_a, RenderSettings(pixels_per_mm=8.0))
+    write_pgm(to_uint8(rendered.image), out_dir / "finger_a.pgm")
+    print(ascii_preview(to_uint8(rendered.image), max_width=66))
+    print()
+
+    template = extract_template(rendered.image, rendered.pixels_per_mm, rendered.mask)
+    precision, recall = recovery_metrics(
+        template, rendered.minutiae_px, rendered.pixels_per_mm
+    )
+    print(
+        f"Extractor: {len(template)} minutiae detected "
+        f"(precision {precision:.2f}, recall {recall:.2f} vs planted truth)"
+    )
+    print()
+
+    def impression(finger, seed, moisture):
+        r = render_finger(
+            finger,
+            RenderSettings(
+                pixels_per_mm=8.0, moisture=moisture, noise_std=0.04, seed=seed
+            ),
+        )
+        return extract_template(r.image, r.pixels_per_mm, r.mask)
+
+    a1 = impression(finger_a, seed=1, moisture=0.5)
+    a2 = impression(finger_a, seed=2, moisture=0.58)  # drier second visit
+    b1 = impression(finger_b, seed=3, moisture=0.5)
+    genuine = matcher.match(a2, a1)
+    impostor = matcher.match(b1, a1)
+    print("Matching image-extracted templates (no ground truth involved):")
+    print(f"  genuine  (finger A visit 1 vs visit 2): {genuine:5.1f}")
+    print(f"  impostor (finger B vs finger A):        {impostor:5.1f}")
+    print()
+    print(f"Rendered images written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The paper's §V architecture question, answered in code.
+
+"What advice can we prescribe for an overall architecture of fingerprint
+recognition that employs diverse sensors, and/or improves
+interoperability?"
+
+This example deploys two verification systems over the same enrollment
+gallery (everyone enrolled on the Guardian R2) and runs the same stream
+of genuine and impostor verification attempts from *all five* devices
+through both:
+
+* a baseline verifier — raw matcher score, fixed threshold, blind to
+  devices (what the paper's measurements characterize);
+* an interoperability-aware verifier — per-device-pair score
+  normalization, TPS inter-sensor compensation for ink cards, and GMM
+  device inference for probes that don't declare their capture device.
+
+Run:
+    python examples/interop_aware_verification.py
+"""
+
+import numpy as np
+
+from repro import InteroperabilityStudy, StudyConfig
+from repro.pipeline import EnrolledRecord, TemplateDatabase, Verifier
+from repro.pipeline.verifier import train_interop_verifier_from_study
+from repro.sensors import DEVICE_ORDER
+
+ENROLL_DEVICE = "D0"
+
+
+def main() -> None:
+    config = StudyConfig.from_environment(n_subjects=30, n_workers=4)
+    study = InteroperabilityStudy(config)
+    study.score_sets()
+    collection = study.collection()
+    n = config.n_subjects
+
+    database = TemplateDatabase()
+    for sid in range(n):
+        imp = collection.get(sid, "right_index", ENROLL_DEVICE, 0)
+        database.enroll(
+            EnrolledRecord(
+                identity=f"subject-{sid}",
+                template=imp.template,
+                device_id=ENROLL_DEVICE,
+                nfiq=imp.nfiq,
+            )
+        )
+
+    baseline = Verifier(database, threshold=7.5)
+    aware = train_interop_verifier_from_study(
+        study,
+        database,
+        threshold=3.0,
+        calibrate_pairs=[(ENROLL_DEVICE, "D4"), (ENROLL_DEVICE, "D1")],
+    )
+
+    rng = np.random.default_rng(5)
+    genuine_results = {"baseline": [], "aware": []}
+    impostor_results = {"baseline": [], "aware": []}
+    genuine_decisions = []  # aware-system genuine attempts, for the matrix
+    for device in DEVICE_ORDER:
+        for sid in range(n):
+            imp = collection.get(sid, "right_index", device, 1)
+            # Genuine attempt.
+            genuine_results["baseline"].append(
+                baseline.verify(f"subject-{sid}", imp.template, device).accepted
+            )
+            aware_decision = aware.verify(f"subject-{sid}", imp.template, device)
+            genuine_results["aware"].append(aware_decision.accepted)
+            genuine_decisions.append(aware_decision)
+            # Impostor attempt against a random other identity.
+            other = int(rng.integers(0, n))
+            if other == sid:
+                other = (other + 1) % n
+            impostor_results["baseline"].append(
+                baseline.verify(f"subject-{other}", imp.template, device).accepted
+            )
+            impostor_results["aware"].append(
+                aware.verify(f"subject-{other}", imp.template, device).accepted
+            )
+
+    print("Same gallery (enrolled on the Guardian R2), probes from all devices")
+    print(f"{'system':<12}{'FNMR (genuine rejected)':>26}{'FMR (impostor accepted)':>26}")
+    for system in ("baseline", "aware"):
+        fnmr = 1.0 - float(np.mean(genuine_results[system]))
+        fmr = float(np.mean(impostor_results[system]))
+        print(f"{system:<12}{fnmr:>26.3f}{fmr:>26.3f}")
+    print()
+
+    print("Per-device-pair rejection rates (genuine attempts), aware system:")
+    by_pair = {}
+    for decision in genuine_decisions:
+        key = (decision.gallery_device, decision.probe_device)
+        by_pair.setdefault(key, []).append(decision.accepted)
+    for (gallery_device, probe_device), accepted in sorted(by_pair.items()):
+        rate = 1.0 - float(np.mean(accepted))
+        print(f"  {gallery_device} <- {probe_device}: {rate:.3f}")
+    print()
+    print(aware.audit.render(limit=5))
+    print()
+    print(
+        "The device-aware architecture holds one global threshold across"
+        " all five probe sources — the prescription the paper's §V asks"
+        " for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""NFIQ quality control: does the NIST reacquisition rule pay off?
+
+The paper's collection deliberately did *not* control image quality
+("fingerprints were collected without controlling the quality"), and
+Section IV.D shows the consequence: low-quality images drive the low
+genuine scores, especially across devices.  NIST SP 800-76 recommends
+re-capturing up to three times when NFIQ > 3.
+
+This example runs the same population through both policies and compares
+NFIQ distributions and cross-device genuine scores.
+
+Run:
+    python examples/quality_gating.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import InteroperabilityStudy, StudyConfig
+from repro.core.quality_analysis import low_score_quality_surface
+from repro.sensors import ProtocolSettings
+
+
+def nfiq_distribution(study: InteroperabilityStudy) -> Counter:
+    counts: Counter = Counter()
+    for impression in study.collection():
+        counts[impression.nfiq] += 1
+    return counts
+
+
+def main() -> None:
+    config = StudyConfig.from_environment(n_subjects=30, n_workers=4)
+
+    plain = InteroperabilityStudy(config, protocol=ProtocolSettings())
+    gated = InteroperabilityStudy(
+        config, protocol=ProtocolSettings(quality_gating=True)
+    )
+
+    print("NFIQ level distribution (1 = best, 5 = worst)")
+    dist_plain = nfiq_distribution(plain)
+    dist_gated = nfiq_distribution(gated)
+    print(f"{'level':<8}{'no gating':>12}{'SP 800-76 gating':>18}")
+    for level in (1, 2, 3, 4, 5):
+        print(f"{level:<8}{dist_plain.get(level, 0):>12}{dist_gated.get(level, 0):>18}")
+    print()
+
+    plain_sets = plain.score_sets()
+    gated_sets = gated.score_sets()
+    for label, sets in (("no gating", plain_sets), ("gating", gated_sets)):
+        ddmg = sets["DDMG"].scores
+        print(
+            f"DDMG ({label:<10}): mean {ddmg.mean():5.2f}   "
+            f"P(score < 7) = {np.mean(ddmg < 7):.3f}   "
+            f"P(score < 10) = {np.mean(ddmg < 10):.3f}"
+        )
+    print()
+
+    print("Figure 5(b) analogue under each policy — low cross-device")
+    print("genuine scores by (gallery, probe) NFIQ pair:")
+    for label, study in (("no gating", plain), ("gating", gated)):
+        surface = low_score_quality_surface(study, cross_device=True)
+        print(f"\n--- {label} (total low scores: {surface.total}) ---")
+        print(surface.render(row_title="gallery NFIQ", col_title="probe NFIQ"))
+
+    print()
+    print(
+        "Gating shifts the NFIQ distribution toward 1-2 and thins the"
+        " low-score tail — the operational recommendation the paper's"
+        " Figure 5 supports."
+    )
+
+
+if __name__ == "__main__":
+    main()

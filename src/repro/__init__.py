@@ -1,0 +1,71 @@
+"""repro — reproduction of "Interoperability in Fingerprint Recognition:
+A Large-Scale Empirical Study" (Lugini, Marasco, Cukic & Gashi, DSN 2013).
+
+The paper measures how fingerprint match scores and error rates degrade
+when enrollment and verification use *different* capture devices.  This
+library rebuilds the entire measurement apparatus — synthetic
+fingerprints, parameterized sensor models for the study's five capture
+sources, an NFIQ-style quality assessor, a minutiae matcher — and the
+study engine that regenerates every table and figure of the paper.
+
+Quick start::
+
+    from repro import InteroperabilityStudy, StudyConfig
+
+    study = InteroperabilityStudy(StudyConfig(n_subjects=60))
+    score_sets = study.score_sets()         # DMG / DMI / DDMG / DDMI
+    table5 = study.fnmr_matrix(1e-4)        # FNMR @ FMR 0.01%
+    table4 = study.kendall_matrix()         # rank-correlation p-values
+"""
+
+from .core import FnmrPredictor, InteroperabilityStudy, ScoreSet
+from .matcher import BioEngineMatcher, Minutia, RidgeGeometryMatcher, Template
+from .pipeline import (
+    EnrolledRecord,
+    InteropAwareVerifier,
+    TemplateDatabase,
+    Verifier,
+)
+from .quality import QualityFeatures, nfiq_level
+from .runtime import ReproError, ScoreCache, SeedTree, StudyConfig
+from .sensors import (
+    DEVICE_ORDER,
+    DEVICE_PROFILES,
+    LIVESCAN_DEVICES,
+    Impression,
+    InkCardSensor,
+    OpticalSensor,
+    build_sensor,
+)
+from .synthesis import Population
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InteroperabilityStudy",
+    "ScoreSet",
+    "FnmrPredictor",
+    "TemplateDatabase",
+    "EnrolledRecord",
+    "Verifier",
+    "InteropAwareVerifier",
+    "StudyConfig",
+    "SeedTree",
+    "ScoreCache",
+    "ReproError",
+    "Population",
+    "BioEngineMatcher",
+    "RidgeGeometryMatcher",
+    "Template",
+    "Minutia",
+    "QualityFeatures",
+    "nfiq_level",
+    "Impression",
+    "OpticalSensor",
+    "InkCardSensor",
+    "build_sensor",
+    "DEVICE_ORDER",
+    "DEVICE_PROFILES",
+    "LIVESCAN_DEVICES",
+    "__version__",
+]

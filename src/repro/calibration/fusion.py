@@ -1,0 +1,125 @@
+"""Score-level fusion: multiple fingers, multiple matchers.
+
+Two of the paper's further-work items are fusion experiments:
+
+* "Using more than one fingerprint image from a given participant to
+  improve the FMR and FNMR rates and overall Decision Making" —
+  multi-finger fusion;
+* "more detailed analysis on the effects of diverse matchers on
+  interoperability ... examples where diverse matchers improve the
+  detection rates" — multi-matcher fusion.
+
+Both reduce to combining parallel score arrays; the classical
+combination rules (Kittler et al.) are implemented plus a weighted sum
+whose weights can come from per-source d-prime separability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..runtime.errors import CalibrationError
+
+
+def _stack(score_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    if not score_arrays:
+        raise CalibrationError("fusion needs at least one score source")
+    arrays = [np.asarray(a, dtype=np.float64).ravel() for a in score_arrays]
+    n = arrays[0].size
+    for a in arrays:
+        if a.size != n:
+            raise CalibrationError(
+                f"fusion sources must align: lengths {[x.size for x in arrays]}"
+            )
+    return np.vstack(arrays)
+
+
+def sum_fusion(score_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Mean of the sources (the sum rule, scale-preserving variant)."""
+    return _stack(score_arrays).mean(axis=0)
+
+
+def max_fusion(score_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise maximum — accept if *any* source is confident."""
+    return _stack(score_arrays).max(axis=0)
+
+
+def min_fusion(score_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise minimum — accept only if *all* sources agree."""
+    return _stack(score_arrays).min(axis=0)
+
+
+def product_fusion(score_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Geometric mean (the product rule on a similarity scale)."""
+    stacked = _stack(score_arrays)
+    if np.any(stacked < 0):
+        raise CalibrationError("product fusion requires non-negative scores")
+    return np.exp(np.mean(np.log(stacked + 1e-9), axis=0))
+
+
+def weighted_sum_fusion(
+    score_arrays: Sequence[np.ndarray], weights: Sequence[float]
+) -> np.ndarray:
+    """Convex combination with explicit weights."""
+    stacked = _stack(score_arrays)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size != stacked.shape[0]:
+        raise CalibrationError(
+            f"{stacked.shape[0]} sources but {w.size} weights"
+        )
+    if np.any(w < 0) or w.sum() <= 0:
+        raise CalibrationError("weights must be non-negative and sum > 0")
+    w = w / w.sum()
+    return (w[:, None] * stacked).sum(axis=0)
+
+
+def d_prime(genuine: np.ndarray, impostor: np.ndarray) -> float:
+    """Separability index (mu_g - mu_i) / sqrt((var_g + var_i) / 2)."""
+    g = np.asarray(genuine, dtype=np.float64)
+    i = np.asarray(impostor, dtype=np.float64)
+    if g.size < 2 or i.size < 2:
+        raise CalibrationError("d_prime needs >= 2 scores on each side")
+    pooled = np.sqrt((g.var(ddof=1) + i.var(ddof=1)) / 2.0)
+    if pooled == 0:
+        return float("inf") if g.mean() != i.mean() else 0.0
+    return float((g.mean() - i.mean()) / pooled)
+
+
+def separability_weights(
+    genuine_sources: Sequence[np.ndarray], impostor_sources: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Fusion weights proportional to each source's d-prime (floored at 0)."""
+    if len(genuine_sources) != len(impostor_sources):
+        raise CalibrationError("need genuine and impostor arrays per source")
+    weights = np.array(
+        [
+            max(0.0, d_prime(g, i))
+            for g, i in zip(genuine_sources, impostor_sources)
+        ]
+    )
+    if weights.sum() == 0:
+        weights = np.ones_like(weights)
+    return weights / weights.sum()
+
+
+#: Registry of rule names to callables (used by benchmarks/examples).
+FUSION_RULES: Dict[str, Callable[[Sequence[np.ndarray]], np.ndarray]] = {
+    "sum": sum_fusion,
+    "max": max_fusion,
+    "min": min_fusion,
+    "product": product_fusion,
+}
+
+
+__all__ = [
+    "sum_fusion",
+    "max_fusion",
+    "min_fusion",
+    "product_fusion",
+    "weighted_sum_fusion",
+    "d_prime",
+    "separability_weights",
+    "FUSION_RULES",
+]

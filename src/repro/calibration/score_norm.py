@@ -1,0 +1,202 @@
+"""Score normalization across device pairs.
+
+When gallery and probe come from different devices the raw score scale
+shifts (the study's core observation).  Score normalization re-anchors
+each (gallery device, probe device) cell so one global threshold works
+across cells — the standard operational mitigation, and the mechanism
+behind Poh et al.'s "likelihood ratio-based quality dependent score
+normalization" cited in the paper's related work.
+
+Implemented normalizers:
+
+* :class:`ZNormalizer` — classic z-norm: standardize by the cell's
+  impostor mean/std;
+* :class:`LLRNormalizer` — model genuine and impostor score densities
+  per cell as Gaussians and output the log-likelihood ratio, optionally
+  conditioned on a quality band (good = both images NFIQ 1-2, bad =
+  otherwise), which is the quality-dependent variant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.errors import CalibrationError
+
+#: A device-pair key.
+PairKey = Tuple[str, str]
+
+#: Quality band labels for the quality-dependent variant.
+GOOD_QUALITY = "good"
+POOR_QUALITY = "poor"
+
+
+def quality_band(nfiq_gallery: int, nfiq_probe: int, max_good: int = 2) -> str:
+    """Band a comparison by its worst-side NFIQ level."""
+    return GOOD_QUALITY if max(nfiq_gallery, nfiq_probe) <= max_good else POOR_QUALITY
+
+
+@dataclass(frozen=True)
+class _CellStats:
+    mean: float
+    std: float
+
+
+class ZNormalizer:
+    """Per-device-pair impostor z-normalization.
+
+    ``normalized = (score - mean_impostor) / std_impostor`` — scores
+    become "standard deviations above the impostor population", a scale
+    that is comparable across device pairs by construction.
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[PairKey, _CellStats] = {}
+
+    def fit_cell(
+        self, gallery_device: str, probe_device: str, impostor_scores: np.ndarray
+    ) -> None:
+        """Record impostor statistics for one device pair."""
+        scores = np.asarray(impostor_scores, dtype=np.float64)
+        if scores.size < 2:
+            raise CalibrationError(
+                f"z-norm needs >= 2 impostor scores for "
+                f"({gallery_device}, {probe_device})"
+            )
+        std = float(scores.std(ddof=1))
+        self._stats[(gallery_device, probe_device)] = _CellStats(
+            mean=float(scores.mean()), std=max(std, 1e-6)
+        )
+
+    def normalize(
+        self, gallery_device: str, probe_device: str, score: float
+    ) -> float:
+        """Apply the cell's z-transform to one score."""
+        key = (gallery_device, probe_device)
+        if key not in self._stats:
+            raise CalibrationError(f"z-norm has no statistics for cell {key}")
+        stats = self._stats[key]
+        return (score - stats.mean) / stats.std
+
+    def normalize_array(
+        self, gallery_device: str, probe_device: str, scores: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`normalize`."""
+        key = (gallery_device, probe_device)
+        if key not in self._stats:
+            raise CalibrationError(f"z-norm has no statistics for cell {key}")
+        stats = self._stats[key]
+        return (np.asarray(scores, dtype=np.float64) - stats.mean) / stats.std
+
+
+@dataclass(frozen=True)
+class _Gaussian:
+    mean: float
+    std: float
+
+    def log_pdf(self, x: float) -> float:
+        z = (x - self.mean) / self.std
+        return -0.5 * z * z - math.log(self.std) - 0.5 * math.log(2.0 * math.pi)
+
+
+class LLRNormalizer:
+    """Gaussian log-likelihood-ratio score normalization, per cell.
+
+    The optional quality conditioning fits separate genuine/impostor
+    models per (cell, quality band); at test time the comparison's band
+    selects the model — Poh et al.'s quality-dependent normalization in
+    its simplest faithful form.
+    """
+
+    def __init__(self, quality_dependent: bool = False) -> None:
+        self.quality_dependent = quality_dependent
+        self._models: Dict[Tuple[PairKey, str], Tuple[_Gaussian, _Gaussian]] = {}
+
+    def _band(self, nfiq_gallery: Optional[int], nfiq_probe: Optional[int]) -> str:
+        if not self.quality_dependent:
+            return GOOD_QUALITY  # single shared band
+        if nfiq_gallery is None or nfiq_probe is None:
+            raise CalibrationError(
+                "quality-dependent LLR requires NFIQ levels for both sides"
+            )
+        return quality_band(nfiq_gallery, nfiq_probe)
+
+    def fit_cell(
+        self,
+        gallery_device: str,
+        probe_device: str,
+        genuine_scores: np.ndarray,
+        impostor_scores: np.ndarray,
+        nfiq_genuine: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        nfiq_impostor: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        """Fit the cell's genuine/impostor Gaussians (per band if enabled)."""
+        key = (gallery_device, probe_device)
+        if self.quality_dependent:
+            if nfiq_genuine is None or nfiq_impostor is None:
+                raise CalibrationError(
+                    "quality-dependent fit requires NFIQ arrays for both sets"
+                )
+            bands_g = np.array(
+                [quality_band(int(a), int(b)) for a, b in zip(*nfiq_genuine)]
+            )
+            bands_i = np.array(
+                [quality_band(int(a), int(b)) for a, b in zip(*nfiq_impostor)]
+            )
+            for band in (GOOD_QUALITY, POOR_QUALITY):
+                gen = np.asarray(genuine_scores)[bands_g == band]
+                imp = np.asarray(impostor_scores)[bands_i == band]
+                if gen.size >= 2 and imp.size >= 2:
+                    self._models[(key, band)] = (
+                        _fit_gaussian(gen), _fit_gaussian(imp)
+                    )
+            # Always provide a pooled fallback for bands without data.
+            self._models[(key, "__pooled__")] = (
+                _fit_gaussian(np.asarray(genuine_scores)),
+                _fit_gaussian(np.asarray(impostor_scores)),
+            )
+        else:
+            self._models[(key, GOOD_QUALITY)] = (
+                _fit_gaussian(np.asarray(genuine_scores)),
+                _fit_gaussian(np.asarray(impostor_scores)),
+            )
+
+    def normalize(
+        self,
+        gallery_device: str,
+        probe_device: str,
+        score: float,
+        nfiq_gallery: Optional[int] = None,
+        nfiq_probe: Optional[int] = None,
+    ) -> float:
+        """Log-likelihood ratio log p(s|genuine) - log p(s|impostor)."""
+        key = (gallery_device, probe_device)
+        band = self._band(nfiq_gallery, nfiq_probe)
+        model = self._models.get((key, band)) or self._models.get(
+            (key, "__pooled__")
+        )
+        if model is None:
+            raise CalibrationError(f"LLR model missing for cell {key}")
+        genuine, impostor = model
+        return genuine.log_pdf(score) - impostor.log_pdf(score)
+
+
+def _fit_gaussian(scores: np.ndarray) -> _Gaussian:
+    if scores.size < 2:
+        raise CalibrationError("Gaussian fit needs >= 2 scores")
+    return _Gaussian(
+        mean=float(scores.mean()), std=max(float(scores.std(ddof=1)), 1e-3)
+    )
+
+
+__all__ = [
+    "ZNormalizer",
+    "LLRNormalizer",
+    "quality_band",
+    "GOOD_QUALITY",
+    "POOR_QUALITY",
+]

@@ -1,0 +1,423 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro`` console script) exposes
+the library's main workflows without writing Python:
+
+=============  ==========================================================
+command        what it does
+=============  ==========================================================
+``info``       show the device registry (Table 1) and the configuration
+``run``        regenerate study artifacts (tables/figures) at any scale
+``acquire``    synthesize a subject's impression → INCITS 378 file
+``inspect``    decode an INCITS 378 file and summarize its minutiae
+``match``      match two INCITS 378 files and print the score
+``predict``    answer the paper's FNM-probability question for a pair
+=============  ==========================================================
+
+Every command honours ``REPRO_SUBJECTS`` / ``REPRO_WORKERS`` plus the
+explicit ``--subjects`` / ``--workers`` flags (flags win).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+from pathlib import Path
+from typing import List, Optional
+
+from . import __version__
+from .runtime.config import StudyConfig
+
+#: Artifact names accepted by ``run --only``.
+ARTIFACTS = (
+    "fig1", "table1", "table3", "fig2", "fig3", "fig4",
+    "table4", "table5", "table6", "fig5",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Interoperability in Fingerprint Recognition: "
+            "A Large-Scale Empirical Study' (DSN 2013)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show devices (Table 1) and configuration")
+
+    run = sub.add_parser("run", help="regenerate study tables and figures")
+    run.add_argument("--subjects", type=int, default=None,
+                     help="population size (default 48; paper scale 494)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool width for score generation")
+    run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.add_argument("--cache-dir", default=".repro_cache",
+                     help="score cache directory ('' disables caching)")
+    run.add_argument("--only", choices=ARTIFACTS, action="append",
+                     help="limit output to specific artifacts (repeatable)")
+    run.add_argument("--out", default=None,
+                     help="also write each artifact to <OUT>/<name>.txt")
+
+    acquire = sub.add_parser(
+        "acquire", help="synthesize an impression and write an INCITS 378 file"
+    )
+    acquire.add_argument("--subject", type=int, default=0, help="subject id")
+    acquire.add_argument("--device", default="D0", help="capture device (D0..D4)")
+    acquire.add_argument("--set", dest="set_index", type=int, default=0,
+                         choices=(0, 1), help="impression set")
+    acquire.add_argument("--finger", default="right_index",
+                         choices=("right_index", "right_middle"))
+    acquire.add_argument("--seed", type=int, default=None, help="master seed")
+    acquire.add_argument("--out", required=True, help="output .fmr path")
+
+    inspect = sub.add_parser("inspect", help="decode and summarize an INCITS file")
+    inspect.add_argument("path", help="the .fmr file")
+
+    match = sub.add_parser("match", help="match two INCITS 378 template files")
+    match.add_argument("probe", help="probe .fmr file")
+    match.add_argument("gallery", help="gallery .fmr file")
+    match.add_argument("--matcher", default="bioengine",
+                       choices=("bioengine", "ridgecount"))
+
+    render = sub.add_parser(
+        "render", help="render a subject's finger as a PGM ridge image"
+    )
+    render.add_argument("--subject", type=int, default=0)
+    render.add_argument("--finger", default="right_index",
+                        choices=("right_index", "right_middle"))
+    render.add_argument("--seed", type=int, default=None,
+                        help="master seed (selects the subject's identity)")
+    render.add_argument("--render-seed", type=int, default=0,
+                        help="impression seed (speckle/noise); vary this to "
+                             "get a second impression of the same finger")
+    render.add_argument("--moisture", type=float, default=0.5,
+                        help="0=soaked, 0.5=ideal, 1=bone dry")
+    render.add_argument("--pixels-per-mm", type=float, default=8.0)
+    render.add_argument("--out", required=True, help="output .pgm path")
+
+    extract = sub.add_parser(
+        "extract", help="extract a minutiae template from a PGM ridge image"
+    )
+    extract.add_argument("image", help="input .pgm ridge image")
+    extract.add_argument("--pixels-per-mm", type=float, default=8.0)
+    extract.add_argument("--out", required=True, help="output .fmr path")
+
+    dataset = sub.add_parser(
+        "dataset", help="acquire a collection and print its summary statistics"
+    )
+    dataset.add_argument("--subjects", type=int, default=None)
+    dataset.add_argument("--workers", type=int, default=None)
+    dataset.add_argument("--seed", type=int, default=None)
+
+    predict = sub.add_parser(
+        "predict",
+        help="P(false non-match) for a (gallery device, probe device) pair",
+    )
+    predict.add_argument("gallery_device", help="enrollment device (D0..D4)")
+    predict.add_argument("probe_device", help="verification device (D0..D4)")
+    predict.add_argument("--subjects", type=int, default=None)
+    predict.add_argument("--workers", type=int, default=None)
+    predict.add_argument("--fmr", type=float, default=1e-3,
+                         help="fixed FMR of the operating point")
+    predict.add_argument("--cache-dir", default=".repro_cache")
+    return parser
+
+
+def _config_from_args(args, default_subjects: int = 48) -> StudyConfig:
+    defaults = dict(n_subjects=default_subjects, n_workers=4)
+    config = StudyConfig.from_environment(**defaults)
+    overrides = {}
+    if getattr(args, "subjects", None) is not None:
+        overrides["n_subjects"] = args.subjects
+    if getattr(args, "workers", None) is not None:
+        overrides["n_workers"] = args.workers
+    if getattr(args, "seed", None) is not None:
+        overrides["master_seed"] = args.seed
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        overrides["cache_dir"] = cache_dir or None
+    return config.replace(**overrides) if overrides else config
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_info(args, out) -> int:
+    """`repro info`: device registry and default configuration."""
+    from .core.report import render_table1
+    from .sensors.registry import DEVICE_PROFILES
+
+    print(f"repro {__version__}", file=out)
+    print(render_table1(), file=out)
+    ink = DEVICE_PROFILES["D4"]
+    print(f"D4     {ink.model:<42}{ink.resolution_dpi:>5}", file=out)
+    config = StudyConfig.from_environment()
+    print(f"\ndefault config: {config.describe()}", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    """`repro run`: regenerate study tables/figures at the chosen scale."""
+    from .core.kendall_analysis import kendall_matrix
+    from .core.quality_analysis import (
+        low_score_quality_surface,
+        quality_filtered_fnmr_matrix,
+    )
+    from .core.report import (
+        render_figure1,
+        render_figure4,
+        render_figure5,
+        render_fnmr_matrix,
+        render_score_histograms,
+        render_table1,
+        render_table3,
+        render_table4,
+    )
+    from .core.study import InteroperabilityStudy
+    from .sensors.registry import DEVICE_ORDER
+
+    config = _config_from_args(args)
+    wanted = set(args.only) if args.only else set(ARTIFACTS)
+    print(config.describe(), file=out)
+    study = InteroperabilityStudy(config)
+    sets = study.score_sets()
+    rule = "=" * 72
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        if name in wanted:
+            print(rule, file=out)
+            print(text, file=out)
+            if out_dir is not None:
+                (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    emit("fig1", render_figure1(study.demographics()))
+    emit("table1", render_table1())
+    emit("table3", render_table3(sets, config.n_subjects))
+    if "fig2" in wanted:
+        emit("fig2", render_score_histograms(
+            sets["DMG"].for_pair("D0", "D0"),
+            sets["DMI"].for_pair("D0", "D0"),
+            "Figure 2: DMG vs DMI, Cross Match Guardian R2",
+        ))
+    if "fig3" in wanted:
+        emit("fig3", render_score_histograms(
+            sets["DDMG"].for_pair("D0", "D1"),
+            sets["DDMI"].for_pair("D0", "D1"),
+            "Figure 3: DDMG vs DDMI, Guardian R2 vs digID Mini",
+        ))
+    if "fig4" in wanted:
+        per_probe = {
+            probe: study.genuine_scores("D3", probe).scores
+            for probe in DEVICE_ORDER
+        }
+        emit("fig4", render_figure4(per_probe, gallery_device="D3"))
+    if "table4" in wanted:
+        emit("table4", render_table4(kendall_matrix(study)))
+    if "table5" in wanted:
+        emit("table5", render_fnmr_matrix(
+            study.fnmr_matrix(1e-4), "Table 5: FNMR at fixed FMR of 0.01%"
+        ))
+    if "table6" in wanted:
+        emit("table6", render_fnmr_matrix(
+            quality_filtered_fnmr_matrix(study),
+            "Table 6: FNMR at fixed FMR of 0.1%, NFIQ < 3",
+        ))
+    if "fig5" in wanted:
+        emit("fig5", render_figure5(
+            low_score_quality_surface(study, cross_device=False),
+            low_score_quality_surface(study, cross_device=True),
+        ))
+    return 0
+
+
+def cmd_acquire(args, out) -> int:
+    """`repro acquire`: synthesize an impression into an INCITS 378 file."""
+    from .io.incits378 import RecordMetadata, encode
+    from .sensors.protocol import build_sensor
+    from .synthesis.population import FINGER_POSITION_CODES, Population
+
+    config = _config_from_args(args, default_subjects=max(args.subject + 1, 2))
+    if args.subject >= config.n_subjects:
+        config = config.replace(n_subjects=args.subject + 1)
+    population = Population(config)
+    subject = population.subject(args.subject)
+    sensor = build_sensor(args.device)
+    from .runtime.rng import SeedTree
+
+    rng = SeedTree(config.master_seed).child("session", args.subject).generator(
+        "impression", args.device, args.finger, args.set_index, "attempt", 0
+    )
+    impression = sensor.acquire(
+        subject, args.finger, rng, set_index=args.set_index
+    )
+    metadata = RecordMetadata(
+        capture_device_id=int(args.device[1]),
+        finger_position=FINGER_POSITION_CODES[args.finger],
+        finger_quality=max(1, 110 - impression.nfiq * 20),
+    )
+    Path(args.out).write_bytes(encode(impression.template, metadata))
+    print(
+        f"wrote {args.out}: subject {args.subject}, {args.device}, "
+        f"{args.finger}, set {args.set_index} — "
+        f"{len(impression.template)} minutiae, NFIQ {impression.nfiq}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_inspect(args, out) -> int:
+    """`repro inspect`: decode an INCITS 378 record and summarize it."""
+    from .io.incits378 import decode
+
+    buffer = Path(args.path).read_bytes()
+    template, metadata = decode(buffer)
+    print(f"{args.path}: INCITS 378 record, {len(buffer)} bytes", file=out)
+    print(
+        f"  image {template.width_px} x {template.height_px} px @ "
+        f"{template.resolution_dpi} dpi", file=out,
+    )
+    print(
+        f"  finger position {metadata.finger_position}, "
+        f"device id {metadata.capture_device_id}, "
+        f"quality {metadata.finger_quality}", file=out,
+    )
+    print(f"  {len(template)} minutiae "
+          f"({int((template.kinds() == 1).sum())} endings, "
+          f"{int((template.kinds() == 2).sum())} bifurcations)", file=out)
+    if len(template):
+        qualities = template.qualities()
+        print(f"  minutia quality: min {qualities.min()} "
+              f"mean {qualities.mean():.0f} max {qualities.max()}", file=out)
+    return 0
+
+
+def cmd_match(args, out) -> int:
+    """`repro match`: score two INCITS 378 template files."""
+    from .io.incits378 import decode
+    from .matcher import build_matcher
+
+    probe, __ = decode(Path(args.probe).read_bytes())
+    gallery, __ = decode(Path(args.gallery).read_bytes())
+    matcher = build_matcher(args.matcher)
+    score = matcher.match(probe, gallery)
+    print(f"similarity score: {score:.3f}", file=out)
+    verdict = "likely same finger" if score >= 7.5 else "likely different fingers"
+    print(f"verdict at the study's operating threshold (7.5): {verdict}", file=out)
+    return 0
+
+
+def cmd_predict(args, out) -> int:
+    """`repro predict`: the paper's FNM-probability question for a pair."""
+    from .core.prediction import FnmrPredictor
+    from .core.study import InteroperabilityStudy
+
+    config = _config_from_args(args)
+    study = InteroperabilityStudy(config)
+    predictor = FnmrPredictor().fit_from_study(study, target_fmr=args.fmr)
+    prediction = predictor.predict(args.gallery_device, args.probe_device)
+    print(
+        f"P(false non-match | enroll {args.gallery_device}, "
+        f"verify {args.probe_device}) = {prediction.probability:.4f}",
+        file=out,
+    )
+    print(
+        f"95% credible interval [{prediction.low:.4f}, {prediction.high:.4f}] "
+        f"from {prediction.failures}/{prediction.trials} observed failures "
+        f"at FMR {args.fmr:g}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_render(args, out) -> int:
+    """`repro render`: synthesize a finger and write its ridge image."""
+    from .imaging import RenderSettings, render_finger, to_uint8
+    from .synthesis.population import Population
+    from .synthesis.ridges import write_pgm
+
+    config = _config_from_args(args, default_subjects=max(args.subject + 1, 2))
+    if args.subject >= config.n_subjects:
+        config = config.replace(n_subjects=args.subject + 1)
+    finger = Population(config).subject(args.subject).finger(args.finger)
+    rendered = render_finger(
+        finger,
+        RenderSettings(
+            pixels_per_mm=args.pixels_per_mm,
+            moisture=args.moisture,
+            noise_std=0.03,
+            seed=args.render_seed,
+        ),
+    )
+    write_pgm(to_uint8(rendered.image), Path(args.out))
+    print(
+        f"wrote {args.out}: subject {args.subject} {args.finger} "
+        f"({finger.pattern.value}, {finger.n_minutiae} minutiae planted, "
+        f"{rendered.image.shape[1]}x{rendered.image.shape[0]} px)",
+        file=out,
+    )
+    return 0
+
+
+def cmd_extract(args, out) -> int:
+    """`repro extract`: image-domain minutiae extraction to INCITS 378."""
+    from .imaging import extract_template
+    from .io.incits378 import encode
+    from .synthesis.ridges import read_pgm
+
+    image = read_pgm(Path(args.image)).astype(np.float64) / 255.0
+    template = extract_template(image, pixels_per_mm=args.pixels_per_mm)
+    Path(args.out).write_bytes(encode(template))
+    print(
+        f"wrote {args.out}: {len(template)} minutiae extracted from {args.image}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_dataset(args, out) -> int:
+    """`repro dataset`: collection summary + habituation analysis."""
+    from .core.habituation import render_habituation
+    from .datasets import build_collection, render_collection_summary, summarize_collection
+
+    config = _config_from_args(args, default_subjects=24)
+    print(config.describe(), file=out)
+    collection = build_collection(config)
+    print(render_collection_summary(summarize_collection(collection)), file=out)
+    print("", file=out)
+    print(render_habituation(collection), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "run": cmd_run,
+    "acquire": cmd_acquire,
+    "inspect": cmd_inspect,
+    "match": cmd_match,
+    "render": cmd_render,
+    "extract": cmd_extract,
+    "dataset": cmd_dataset,
+    "predict": cmd_predict,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Interoperability error-rate matrices (Tables 5 and 6 machinery).
+
+Rows are the enrollment (gallery) device, columns the verification
+(probe) device, following the paper's Table 5 layout.  Helpers quantify
+the paper's qualitative statements: diagonal dominance ("FNMR in
+intra-device match scenarios were found to be lower than those in
+inter-device matching") and its exceptions ("the exceptions are data
+sets {D1,D1} and {D3,D3}").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sensors.registry import DEVICE_ORDER
+from ..stats.roc import fnmr_at_fmr
+
+#: The operating point of Table 5.
+TABLE5_FMR = 1e-4  # "fixed FMR of 0.01%"
+
+#: The operating point of Table 6.
+TABLE6_FMR = 1e-3  # "fixed FMR of 0.1%"
+
+#: Table 6 keeps images "with NFIQ quality < 3", i.e. levels 1-2.
+TABLE6_MAX_NFIQ = 2
+
+
+def fnmr_interoperability_matrix(
+    study,
+    target_fmr: float = TABLE5_FMR,
+    max_nfiq: Optional[int] = None,
+) -> np.ndarray:
+    """FNMR at fixed FMR for every (gallery, probe) device cell.
+
+    Parameters
+    ----------
+    study:
+        An :class:`~repro.core.study.InteroperabilityStudy` (duck-typed:
+        needs ``genuine_scores`` and ``impostor_scores``).
+    target_fmr:
+        The fixed false-match rate of the operating point.
+    max_nfiq:
+        If given, keep only comparisons where both images have NFIQ at
+        or below this level (Table 6's filter).
+    """
+    n = len(DEVICE_ORDER)
+    matrix = np.full((n, n), np.nan)
+    for i, dev_g in enumerate(DEVICE_ORDER):
+        for j, dev_p in enumerate(DEVICE_ORDER):
+            genuine = study.genuine_scores(dev_g, dev_p)
+            impostor = study.impostor_scores(dev_g, dev_p)
+            if max_nfiq is not None:
+                genuine = genuine.with_max_nfiq(max_nfiq)
+                impostor = impostor.with_max_nfiq(max_nfiq)
+            if len(genuine) == 0 or len(impostor) == 0:
+                continue
+            matrix[i, j] = fnmr_at_fmr(genuine.scores, impostor.scores, target_fmr)
+    return matrix
+
+
+def diagonal_dominance_violations(matrix: np.ndarray) -> List[str]:
+    """Devices whose *diagonal* FNMR is not the best of their row.
+
+    The paper found {D1, D1} and {D3, D3} violate diagonal dominance;
+    this helper lets tests and benchmarks check which devices violate it
+    in a reproduction run.  D4's column is excluded from the comparison
+    because every device's worst partner is expected to be ink.
+    """
+    violations: List[str] = []
+    for i, device in enumerate(DEVICE_ORDER):
+        row = matrix[i, :]
+        diagonal = row[i]
+        if np.isnan(diagonal):
+            continue
+        off = [
+            row[j]
+            for j in range(len(DEVICE_ORDER))
+            if j != i and DEVICE_ORDER[j] != "D4" and not np.isnan(row[j])
+        ]
+        if off and diagonal > min(off):
+            violations.append(device)
+    return violations
+
+
+def mean_interoperability_penalty(matrix: np.ndarray) -> float:
+    """Average FNMR increase of off-diagonal cells over their row diagonal.
+
+    A single scalar summarizing "how much interoperability costs"; the
+    ablation benchmark drives it toward zero by removing device
+    signatures.
+    """
+    penalties = []
+    for i in range(matrix.shape[0]):
+        diagonal = matrix[i, i]
+        if np.isnan(diagonal):
+            continue
+        for j in range(matrix.shape[1]):
+            if i != j and not np.isnan(matrix[i, j]):
+                penalties.append(matrix[i, j] - diagonal)
+    return float(np.mean(penalties)) if penalties else float("nan")
+
+
+def matrix_as_dict(matrix: np.ndarray) -> Dict[Tuple[str, str], float]:
+    """Matrix cells keyed by (gallery device, probe device)."""
+    return {
+        (DEVICE_ORDER[i], DEVICE_ORDER[j]): float(matrix[i, j])
+        for i in range(matrix.shape[0])
+        for j in range(matrix.shape[1])
+    }
+
+
+__all__ = [
+    "fnmr_interoperability_matrix",
+    "diagonal_dominance_violations",
+    "mean_interoperability_penalty",
+    "matrix_as_dict",
+    "TABLE5_FMR",
+    "TABLE6_FMR",
+    "TABLE6_MAX_NFIQ",
+]

@@ -1,0 +1,192 @@
+"""Habituation analysis — §V: "the effect of user habituation on the
+quality of the fingerprint samples obtained".
+
+The collection protocol tracks each subject's cumulative presentation
+counter, so the paper's question — "do the quality of the images
+obtained improve when we compare, say, the first sample obtained from a
+participant with the last one?" — is directly answerable:
+
+* :func:`quality_by_presentation` — mean quality utility per
+  presentation index across the population;
+* :func:`first_vs_last` — the paper's exact comparison, per subject,
+  with a sign-test p-value (how many subjects improved?);
+* :func:`habituation_slope` — least-squares trend of quality over the
+  session, restricted to the live-scan presentations so the ink-card
+  finale does not masquerade as fatigue.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..quality.nfiq import quality_utility
+from ..sensors.protocol import Collection
+from ..stats.kendall import erfc_two_sided
+
+
+def quality_by_presentation(
+    collection: Collection, livescan_only: bool = False
+) -> Dict[int, float]:
+    """Mean quality utility per presentation index.
+
+    ``livescan_only`` drops ink-card impressions, which always come last
+    in the protocol and are worse for reasons unrelated to habituation.
+    """
+    buckets: Dict[int, List[float]] = {}
+    for impression in collection:
+        if livescan_only and impression.device_id == "D4":
+            continue
+        buckets.setdefault(impression.presentation_index, []).append(
+            quality_utility(impression.features)
+        )
+    return {index: float(np.mean(values)) for index, values in sorted(buckets.items())}
+
+
+@dataclass(frozen=True)
+class FirstVsLastResult:
+    """Outcome of the paper's first-sample-vs-last-sample comparison.
+
+    Attributes
+    ----------
+    improved, worsened, unchanged:
+        Subject counts by the sign of (last - first) quality utility.
+    mean_delta:
+        Mean per-subject utility change.
+    p_value:
+        Two-sided sign-test p-value (normal approximation) under the
+        null of no habituation.
+    """
+
+    improved: int
+    worsened: int
+    unchanged: int
+    mean_delta: float
+    p_value: float
+
+    @property
+    def n_subjects(self) -> int:
+        """Subjects entering the comparison."""
+        return self.improved + self.worsened + self.unchanged
+
+
+def first_vs_last(collection: Collection, livescan_only: bool = True) -> FirstVsLastResult:
+    """Compare each subject's first vs second visit, *device-controlled*.
+
+    The raw presentation index confounds habituation with the fixed
+    device order (presentations 4-7 are always the noisier digID Mini),
+    so the paper's question must be asked within a device: for each
+    (subject, finger, device), compare the set-0 impression against the
+    set-1 impression — same hardware, later presentation.  The per-
+    subject delta averages those within-device revisit changes.
+    """
+    per_key: Dict[Tuple[int, str, str], Dict[int, float]] = {}
+    for impression in collection:
+        if livescan_only and impression.device_id == "D4":
+            continue
+        key = (impression.subject_id, impression.finger_label, impression.device_id)
+        per_key.setdefault(key, {})[impression.set_index] = quality_utility(
+            impression.features
+        )
+    per_subject: Dict[int, List[float]] = {}
+    for (subject_id, __, ___), sets in per_key.items():
+        if 0 in sets and 1 in sets:
+            per_subject.setdefault(subject_id, []).append(sets[1] - sets[0])
+    improved = worsened = unchanged = 0
+    deltas: List[float] = []
+    for subject_deltas in per_subject.values():
+        delta = float(np.mean(subject_deltas))
+        deltas.append(delta)
+        if delta > 1e-12:
+            improved += 1
+        elif delta < -1e-12:
+            worsened += 1
+        else:
+            unchanged += 1
+    n_effective = improved + worsened
+    if n_effective == 0:
+        p_value = 1.0
+    else:
+        z = (improved - worsened) / math.sqrt(n_effective)
+        p_value = erfc_two_sided(z)
+    return FirstVsLastResult(
+        improved=improved,
+        worsened=worsened,
+        unchanged=unchanged,
+        mean_delta=float(np.mean(deltas)) if deltas else 0.0,
+        p_value=p_value,
+    )
+
+
+def control_by_presentation(collection: Collection) -> Dict[int, float]:
+    """Mean pressure-control error per presentation index.
+
+    The *mechanism* of habituation is presentation control: with
+    practice, subjects press closer to the ideal pressure (~0.75).  This
+    measures the mean absolute deviation from that ideal directly from
+    the recorded presentation conditions — a far higher-signal view than
+    image quality, which folds in skin state and device effects.
+    """
+    buckets: Dict[int, List[float]] = {}
+    for impression in collection:
+        buckets.setdefault(impression.presentation_index, []).append(
+            abs(impression.conditions.pressure - 0.75)
+        )
+    return {index: float(np.mean(values)) for index, values in sorted(buckets.items())}
+
+
+def habituation_slope(collection: Collection) -> float:
+    """Least-squares slope of quality utility vs presentation index.
+
+    Computed over live-scan presentations only; a positive slope means
+    presentation quality improves as the subject habituates.
+    """
+    by_index = quality_by_presentation(collection, livescan_only=True)
+    if len(by_index) < 2:
+        return 0.0
+    xs = np.array(sorted(by_index))
+    ys = np.array([by_index[i] for i in xs])
+    xs_c = xs - xs.mean()
+    denom = float(np.sum(xs_c**2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum(xs_c * (ys - ys.mean())) / denom)
+
+
+def render_habituation(collection: Collection) -> str:
+    """Text rendering of the habituation analysis."""
+    by_index = quality_by_presentation(collection)
+    result = first_vs_last(collection)
+    lines = ["Habituation: mean quality utility by presentation index"]
+    for index, value in by_index.items():
+        bar = "#" * int(round(value * 50))
+        lines.append(f"  presentation {index:>2}: {value:.3f} |{bar}")
+    lines.append(
+        f"first vs last (live-scan): {result.improved} improved, "
+        f"{result.worsened} worsened, {result.unchanged} unchanged "
+        f"(mean delta {result.mean_delta:+.3f}, sign-test p {result.p_value:.3g})"
+    )
+    lines.append(f"live-scan habituation slope: {habituation_slope(collection):+.4f}/presentation")
+    control = control_by_presentation(collection)
+    indices = sorted(control)
+    if len(indices) >= 8:
+        early = float(np.mean([control[i] for i in indices[:4]]))
+        late = float(np.mean([control[i] for i in indices[-4:]]))
+        lines.append(
+            f"pressure-control error: first presentations {early:.3f} -> "
+            f"last presentations {late:.3f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "quality_by_presentation",
+    "control_by_presentation",
+    "FirstVsLastResult",
+    "first_vs_last",
+    "habituation_slope",
+    "render_habituation",
+]

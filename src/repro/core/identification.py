@@ -1,0 +1,198 @@
+"""Closed- and open-set identification (1:N search).
+
+The paper frames its data in identification vocabulary — the gallery is
+"the database of fingerprint images in which we search" — and its
+US-VISIT motivation is an identification system.  This module provides
+the 1:N machinery over any gallery of templates:
+
+* :func:`rank_candidates` — score a probe against the whole gallery;
+* :class:`CmcCurve` — cumulative match characteristic: P(true identity
+  within rank k), the standard closed-set identification measure;
+* :func:`open_set_rates` — FPIR/FNIR at a score threshold for open-set
+  identification (probes may be unenrolled).
+
+The cross-device identification experiment (gallery enrolled on one
+device, probes from another) shows interoperability costs *rank-1
+accuracy*, not just verification FNMR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..matcher.types import Template
+from ..runtime.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One gallery candidate in a ranked identification result."""
+
+    identity: str
+    score: float
+
+
+def rank_candidates(
+    matcher,
+    probe: Template,
+    gallery: Dict[str, Template],
+    max_candidates: Optional[int] = None,
+) -> List[Candidate]:
+    """Score ``probe`` against every gallery template, best first."""
+    if not gallery:
+        raise ConfigurationError("identification needs a non-empty gallery")
+    scored = [
+        Candidate(identity=identity, score=matcher.match(probe, template))
+        for identity, template in gallery.items()
+    ]
+    scored.sort(key=lambda c: (-c.score, c.identity))
+    return scored[:max_candidates] if max_candidates else scored
+
+
+def identification_rank(candidates: Sequence[Candidate], true_identity: str) -> int:
+    """1-based rank of the true identity (0 if absent from the list)."""
+    for rank, candidate in enumerate(candidates, start=1):
+        if candidate.identity == true_identity:
+            return rank
+    return 0
+
+
+@dataclass(frozen=True)
+class CmcCurve:
+    """Cumulative match characteristic.
+
+    Attributes
+    ----------
+    hit_rates:
+        ``hit_rates[k-1]`` = fraction of probes whose true identity
+        appeared within rank k.
+    n_probes:
+        Number of identification attempts behind the curve.
+    """
+
+    hit_rates: np.ndarray
+    n_probes: int
+
+    @property
+    def rank1(self) -> float:
+        """Rank-1 identification rate (the headline number)."""
+        return float(self.hit_rates[0]) if len(self.hit_rates) else 0.0
+
+    def rate_at(self, rank: int) -> float:
+        """Hit rate at the given 1-based rank (saturates at the tail)."""
+        if rank < 1:
+            raise ConfigurationError("rank must be >= 1")
+        index = min(rank, len(self.hit_rates)) - 1
+        return float(self.hit_rates[index])
+
+    def render(self, max_rank: int = 10, width: int = 40) -> str:
+        """ASCII CMC curve."""
+        lines = [f"CMC over {self.n_probes} probes"]
+        for rank in range(1, min(max_rank, len(self.hit_rates)) + 1):
+            rate = self.rate_at(rank)
+            bar = "#" * int(round(rate * width))
+            lines.append(f"  rank {rank:>3}: {rate:6.3f} |{bar}")
+        return "\n".join(lines)
+
+
+def cmc_curve(ranks: Sequence[int], max_rank: int) -> CmcCurve:
+    """Build a CMC from per-probe true-identity ranks (0 = missed)."""
+    if max_rank < 1:
+        raise ConfigurationError("max_rank must be >= 1")
+    rank_array = np.asarray(ranks, dtype=np.int64)
+    if rank_array.size == 0:
+        raise ConfigurationError("cmc_curve needs at least one probe")
+    hits = np.zeros(max_rank, dtype=np.float64)
+    for k in range(1, max_rank + 1):
+        hits[k - 1] = np.mean((rank_array >= 1) & (rank_array <= k))
+    return CmcCurve(hit_rates=hits, n_probes=int(rank_array.size))
+
+
+def run_identification(
+    matcher,
+    probes: Sequence[Tuple[str, Template]],
+    gallery: Dict[str, Template],
+    max_rank: int = 10,
+) -> CmcCurve:
+    """Identify every (true_identity, template) probe against the gallery."""
+    ranks = []
+    for true_identity, probe in probes:
+        candidates = rank_candidates(matcher, probe, gallery)
+        ranks.append(identification_rank(candidates, true_identity))
+    return cmc_curve(ranks, max_rank=max_rank)
+
+
+def open_set_rates(
+    matcher,
+    enrolled_probes: Sequence[Tuple[str, Template]],
+    unenrolled_probes: Sequence[Template],
+    gallery: Dict[str, Template],
+    threshold: float,
+) -> Tuple[float, float]:
+    """Open-set identification error rates at ``threshold``.
+
+    Returns
+    -------
+    (fnir, fpir):
+        * FNIR — false-negative identification rate: enrolled probes
+          whose true identity was not returned at rank 1 above the
+          threshold;
+        * FPIR — false-positive identification rate: unenrolled probes
+          whose best candidate cleared the threshold.
+    """
+    if not enrolled_probes and not unenrolled_probes:
+        raise ConfigurationError("open_set_rates needs at least one probe")
+    misses = 0
+    for true_identity, probe in enrolled_probes:
+        best = rank_candidates(matcher, probe, gallery, max_candidates=1)[0]
+        if best.identity != true_identity or best.score < threshold:
+            misses += 1
+    false_alarms = 0
+    for probe in unenrolled_probes:
+        best = rank_candidates(matcher, probe, gallery, max_candidates=1)[0]
+        if best.score >= threshold:
+            false_alarms += 1
+    fnir = misses / len(enrolled_probes) if enrolled_probes else 0.0
+    fpir = false_alarms / len(unenrolled_probes) if unenrolled_probes else 0.0
+    return fnir, fpir
+
+
+def cross_device_cmc(
+    study,
+    gallery_device: str,
+    probe_device: str,
+    max_rank: int = 10,
+    n_subjects: Optional[int] = None,
+) -> CmcCurve:
+    """CMC for identification across a device pair, on a study population.
+
+    Gallery: every subject's set-0 impression on ``gallery_device``;
+    probes: set-1 impressions on ``probe_device``.
+    """
+    collection = study.collection()
+    matcher = study.matcher()
+    n = n_subjects if n_subjects is not None else study.config.n_subjects
+    gallery = {
+        f"subject-{sid}": collection.get(sid, study.finger, gallery_device, 0).template
+        for sid in range(n)
+    }
+    probes = [
+        (f"subject-{sid}", collection.get(sid, study.finger, probe_device, 1).template)
+        for sid in range(n)
+    ]
+    return run_identification(matcher, probes, gallery, max_rank=max_rank)
+
+
+__all__ = [
+    "Candidate",
+    "rank_candidates",
+    "identification_rank",
+    "CmcCurve",
+    "cmc_curve",
+    "run_identification",
+    "open_set_rates",
+    "cross_device_cmc",
+]

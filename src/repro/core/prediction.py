@@ -1,0 +1,226 @@
+"""Probabilistic false-non-match prediction.
+
+The paper's §V asks for "statistical and probabilistic modeling ...
+being able to answer questions such as 'what is the probability that I
+will have a False Non-Match pertaining to a user enrolled using the
+Device X and verified using the Device Y?'".
+
+:class:`FnmrPredictor` answers exactly that with a Beta-Binomial model
+per (gallery device, probe device) cell:
+
+* each cell's genuine comparisons at the operating threshold are
+  Bernoulli trials (non-match / match);
+* a Beta(a0, b0) prior — default Jeffreys (0.5, 0.5) — is updated with
+  the observed failures, giving a full posterior over the cell's FNMR;
+* queries return the posterior mean and an equal-tailed credible
+  interval, so rarely-observed cells honestly report wide uncertainty
+  instead of a point zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.errors import ConfigurationError
+from ..sensors.registry import DEVICE_ORDER
+from ..stats.roc import threshold_at_fmr
+
+
+@dataclass(frozen=True)
+class FnmPrediction:
+    """Posterior summary for one device pair.
+
+    Attributes
+    ----------
+    probability:
+        Posterior mean FNM probability.
+    low, high:
+        Equal-tailed credible interval at the requested level.
+    failures, trials:
+        The observed evidence behind the posterior.
+    """
+
+    probability: float
+    low: float
+    high: float
+    failures: int
+    trials: int
+
+
+def _beta_interval(a: float, b: float, level: float) -> Tuple[float, float]:
+    """Equal-tailed Beta(a, b) interval via bisection on the CDF.
+
+    Uses the regularized incomplete beta function computed by the
+    continued-fraction method (Numerical Recipes) — no scipy required.
+    """
+    lo_q = (1.0 - level) / 2.0
+    hi_q = 1.0 - lo_q
+    return _beta_ppf(a, b, lo_q), _beta_ppf(a, b, hi_q)
+
+
+def _beta_ppf(a: float, b: float, q: float) -> float:
+    lo, hi = 0.0, 1.0
+    for __ in range(80):
+        mid = (lo + hi) / 2.0
+        if _beta_cdf(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def _beta_cdf(a: float, b: float, x: float) -> float:
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_beta = math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+    front = math.exp(a * math.log(x) + b * math.log(1.0 - x) - ln_beta)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cont_frac(a, b, x) / a
+    return 1.0 - math.exp(
+        b * math.log(1.0 - x) + a * math.log(x) - ln_beta
+    ) * _beta_cont_frac(b, a, 1.0 - x) / b
+
+
+def _beta_cont_frac(a: float, b: float, x: float, max_iter: int = 200) -> float:
+    tiny = 1e-30
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+class FnmrPredictor:
+    """Beta-Binomial FNMR posterior per device pair.
+
+    Parameters
+    ----------
+    prior_a, prior_b:
+        Beta prior pseudo-counts; the default Jeffreys prior (0.5, 0.5)
+        is weakly informative and well-calibrated for rare events.
+    """
+
+    def __init__(self, prior_a: float = 0.5, prior_b: float = 0.5) -> None:
+        if prior_a <= 0 or prior_b <= 0:
+            raise ConfigurationError("Beta prior pseudo-counts must be positive")
+        self.prior_a = prior_a
+        self.prior_b = prior_b
+        self._evidence: Dict[Tuple[str, str], Tuple[int, int]] = {}
+        self.threshold: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit_from_study(self, study, target_fmr: float = 1e-3) -> "FnmrPredictor":
+        """Observe every cell of a study at a fixed-FMR threshold.
+
+        The threshold is derived per cell from that cell's impostors —
+        the same operating-point construction as Table 5.
+        """
+        for gallery_device in DEVICE_ORDER:
+            for probe_device in DEVICE_ORDER:
+                genuine = study.genuine_scores(gallery_device, probe_device)
+                impostor = study.impostor_scores(gallery_device, probe_device)
+                if len(genuine) == 0 or len(impostor) == 0:
+                    continue
+                threshold = threshold_at_fmr(impostor.scores, target_fmr)
+                failures = int(np.count_nonzero(genuine.scores < threshold))
+                self.observe(gallery_device, probe_device, failures, len(genuine))
+        return self
+
+    def observe(
+        self, gallery_device: str, probe_device: str, failures: int, trials: int
+    ) -> None:
+        """Add evidence for one cell (accumulates across calls)."""
+        if failures < 0 or trials < 0 or failures > trials:
+            raise ConfigurationError(
+                f"invalid evidence: {failures} failures of {trials} trials"
+            )
+        old_f, old_t = self._evidence.get((gallery_device, probe_device), (0, 0))
+        self._evidence[(gallery_device, probe_device)] = (
+            old_f + failures,
+            old_t + trials,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predict(
+        self, gallery_device: str, probe_device: str, level: float = 0.95
+    ) -> FnmPrediction:
+        """The paper's question, answered with calibrated uncertainty."""
+        if not 0.0 < level < 1.0:
+            raise ConfigurationError(f"credible level must be in (0,1), got {level}")
+        failures, trials = self._evidence.get((gallery_device, probe_device), (0, 0))
+        a = self.prior_a + failures
+        b = self.prior_b + (trials - failures)
+        mean = a / (a + b)
+        low, high = _beta_interval(a, b, level)
+        return FnmPrediction(
+            probability=mean, low=low, high=high, failures=failures, trials=trials
+        )
+
+    def prediction_matrix(self, level: float = 0.95) -> np.ndarray:
+        """(5, 5) posterior-mean FNMR matrix in DEVICE_ORDER."""
+        n = len(DEVICE_ORDER)
+        matrix = np.full((n, n), np.nan)
+        for i, gallery_device in enumerate(DEVICE_ORDER):
+            for j, probe_device in enumerate(DEVICE_ORDER):
+                if (gallery_device, probe_device) in self._evidence:
+                    matrix[i, j] = self.predict(
+                        gallery_device, probe_device, level
+                    ).probability
+        return matrix
+
+    def render(self, level: float = 0.95) -> str:
+        """Text table of predictions with credible intervals."""
+        lines = [
+            f"FNM probability posterior (Beta-Binomial, {level:.0%} credible)",
+            f"{'gallery':<9}{'probe':<8}{'P(FNM)':>10}{'interval':>24}{'evidence':>16}",
+        ]
+        for gallery_device in DEVICE_ORDER:
+            for probe_device in DEVICE_ORDER:
+                if (gallery_device, probe_device) not in self._evidence:
+                    continue
+                p = self.predict(gallery_device, probe_device, level)
+                lines.append(
+                    f"{gallery_device:<9}{probe_device:<8}{p.probability:>10.4f}"
+                    f"{'[' + format(p.low, '.4f') + ', ' + format(p.high, '.4f') + ']':>24}"
+                    f"{str(p.failures) + '/' + str(p.trials):>16}"
+                )
+        return "\n".join(lines)
+
+
+__all__ = ["FnmrPredictor", "FnmPrediction"]

@@ -1,0 +1,98 @@
+"""Image-quality analyses: Table 6 and Figure 5 machinery.
+
+Section IV.D of the paper studies how NFIQ image quality interacts with
+interoperability:
+
+* **Table 6** — the FNMR interoperability matrix recomputed at FMR 0.1 %
+  keeping only comparisons where the images have "NFIQ quality < 3"
+  (levels 1–2); quality control collapses the error rates and scrambles
+  the intra/inter ordering;
+* **Figure 5** — the frequency of *low* genuine scores (< 10) for every
+  (gallery quality, probe quality) pair, separately for same-device
+  (DMG) and cross-device (DDMG) matching.  The cross-device panel needs
+  *both* images at quality 1–2 to stay clean, the paper's operational
+  recommendation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..stats.histogram import FrequencySurface
+from .error_rates import (
+    TABLE6_FMR,
+    TABLE6_MAX_NFIQ,
+    fnmr_interoperability_matrix,
+)
+
+#: Score threshold of Figure 5 ("matching scores lower than 10").
+LOW_SCORE_THRESHOLD = 10.0
+
+
+def quality_filtered_fnmr_matrix(study) -> np.ndarray:
+    """Table 6: the FNMR matrix at 0.1 % FMR for NFIQ-1/2 images."""
+    return fnmr_interoperability_matrix(
+        study, target_fmr=TABLE6_FMR, max_nfiq=TABLE6_MAX_NFIQ
+    )
+
+
+def low_score_quality_surface(
+    study, cross_device: bool, score_below: float = LOW_SCORE_THRESHOLD
+) -> FrequencySurface:
+    """Figure 5 panel: low-genuine-score counts by quality pair.
+
+    Parameters
+    ----------
+    study:
+        The interoperability study.
+    cross_device:
+        ``False`` → panel (a), same-device (DMG); ``True`` → panel (b),
+        cross-device (DDMG).
+    score_below:
+        The "low score" cutoff.
+    """
+    source = study.score_sets()["DDMG" if cross_device else "DMG"]
+    low = source.select(source.scores < score_below)
+    counts = np.zeros((5, 5), dtype=np.int64)
+    for g, p in zip(low.nfiq_gallery, low.nfiq_probe):
+        counts[int(g) - 1, int(p) - 1] += 1
+    return FrequencySurface(
+        row_labels=(1, 2, 3, 4, 5), col_labels=(1, 2, 3, 4, 5), counts=counts
+    )
+
+
+def good_quality_low_score_fraction(
+    surface: FrequencySurface, max_level: int = 2
+) -> float:
+    """Fraction of low scores whose images were *both* good quality.
+
+    The paper's reading of Figure 5: for same-device matching, low
+    scores are negligible "as long as one of the images has a quality
+    score between 1 and 3"; cross-device matching needs both in 1–2.
+    This helper quantifies the claim for tests.
+    """
+    total = surface.total
+    if total == 0:
+        return 0.0
+    good = int(surface.counts[:max_level, :max_level].sum())
+    return good / total
+
+
+def surface_mass_by_worst_quality(surface: FrequencySurface) -> Dict[int, int]:
+    """Low-score counts keyed by max(gallery NFIQ, probe NFIQ)."""
+    mass: Dict[int, int] = {level: 0 for level in (1, 2, 3, 4, 5)}
+    for i in range(5):
+        for j in range(5):
+            mass[max(i + 1, j + 1)] += int(surface.counts[i, j])
+    return mass
+
+
+__all__ = [
+    "quality_filtered_fnmr_matrix",
+    "low_score_quality_surface",
+    "good_quality_low_score_fraction",
+    "surface_mass_by_worst_quality",
+    "LOW_SCORE_THRESHOLD",
+]

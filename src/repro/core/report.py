@@ -1,0 +1,149 @@
+"""Text renderers for every table and figure in the paper.
+
+Every artifact renders to plain text so the full evaluation regenerates
+in a headless terminal and can be diffed in CI.  The benchmark harness
+prints these; EXPERIMENTS.md embeds them next to the published values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..sensors.registry import DEVICE_ORDER, table1_rows
+from ..stats.descriptive import summarize
+from ..stats.histogram import (
+    FrequencySurface,
+    render_overlaid,
+    score_histogram,
+)
+from ..stats.kendall import KendallResult
+from .kendall_analysis import TABLE4_COLS, TABLE4_ROWS
+from .scores import ScoreSet
+
+
+def render_table1() -> str:
+    """Table 1: characteristics of the live-scan devices."""
+    lines = [
+        "Table 1: Live-scan devices",
+        f"{'Device':<7}{'Model':<42}{'dpi':>5}  {'Image (px)':<12}{'Area (mm)':<12}",
+    ]
+    for row in table1_rows():
+        lines.append(
+            f"{row['device']:<7}{row['model']:<42}{row['resolution_dpi']:>5}  "
+            f"{row['image_size_px']:<12}{row['capture_area_mm']:<12}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(score_sets: Dict[str, ScoreSet], n_subjects: int) -> str:
+    """Table 3: score counts per matching scenario."""
+    devices = {"DMG": 4, "DDMG": 5, "DMI": 5, "DDMI": 5}
+    lines = [
+        "Table 3: Match scores per scenario",
+        f"{'Matching':<8}{'Subjects':>9}{'Devices':>9}{'Scores':>12}",
+    ]
+    for scenario in ("DMG", "DDMG", "DMI", "DDMI"):
+        n = len(score_sets[scenario])
+        lines.append(
+            f"{scenario:<8}{n_subjects:>9}{devices[scenario]:>9}{n:>12,}"
+        )
+    return "\n".join(lines)
+
+
+def render_table4(results: Dict[Tuple[str, str], KendallResult]) -> str:
+    """Table 4: p-values from Kendall's rank correlation test."""
+    header = " " * 6 + "".join(f"{'DX-' + c:>12}" for c in TABLE4_COLS)
+    lines = ["Table 4: Kendall rank-correlation p-values", header]
+    for row in TABLE4_ROWS:
+        cells = "".join(f"{results[(row, col)].p_value:>12.2e}" for col in TABLE4_COLS)
+        lines.append(f"{row:<6}" + cells)
+    return "\n".join(lines)
+
+
+def render_fnmr_matrix(matrix: np.ndarray, title: str) -> str:
+    """Tables 5/6: an FNMR matrix, gallery rows x probe columns."""
+    header = " " * 6 + "".join(f"{c:>12}" for c in DEVICE_ORDER)
+    lines = [title, header]
+    for i, row_dev in enumerate(DEVICE_ORDER):
+        cells = []
+        for j in range(len(DEVICE_ORDER)):
+            value = matrix[i, j]
+            cells.append(f"{'--':>12}" if np.isnan(value) else f"{value:>12.2e}")
+        lines.append(f"{row_dev:<6}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure1(demographics: Dict[str, Dict[str, int]]) -> str:
+    """Figure 1: age and ethnicity groups of the participants."""
+    lines = ["Figure 1: Participant demographics"]
+    total = sum(demographics["age"].values())
+    for section in ("age", "ethnicity"):
+        lines.append(f"  {section}:")
+        for label, count in demographics[section].items():
+            pct = 100.0 * count / total if total else 0.0
+            bar = "#" * int(round(pct / 2))
+            lines.append(f"    {label:<18}{count:>6} ({pct:5.1f}%) |{bar}")
+    return "\n".join(lines)
+
+
+def render_score_histograms(
+    genuine: ScoreSet, impostor: ScoreSet, title: str, bin_width: float = 1.0
+) -> str:
+    """Figures 2/3: overlaid genuine/impostor score histograms."""
+    hi = float(np.ceil(max(genuine.scores.max(), impostor.scores.max()))) + 1.0
+    hist_g = score_histogram(
+        genuine.scores, bin_width=bin_width, score_range=(0.0, hi),
+        label=genuine.scenario,
+    )
+    hist_i = score_histogram(
+        impostor.scores, bin_width=bin_width, score_range=(0.0, hi),
+        label=impostor.scenario,
+    )
+    return title + "\n" + render_overlaid(hist_g, hist_i)
+
+
+def render_figure4(
+    per_probe_genuine: Dict[str, np.ndarray], gallery_device: str
+) -> str:
+    """Figure 4: genuine score distributions per probe device vs one gallery.
+
+    The paper plots the ordered DDMG scores per sensor pair; in text we
+    report the distribution summaries, ordered by mean — "matching scores
+    of any Live-scan devices are higher than those obtained from
+    ten-prints".
+    """
+    lines = [f"Figure 4: genuine scores by probe device (gallery = {gallery_device})"]
+    ordered = sorted(
+        per_probe_genuine.items(), key=lambda kv: -float(np.mean(kv[1]))
+    )
+    for probe_device, scores in ordered:
+        summary = summarize(scores)
+        marker = " (same device)" if probe_device == gallery_device else ""
+        lines.append(
+            f"  probe {probe_device}{marker}: {summary.render()}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure5(surface_same: FrequencySurface, surface_cross: FrequencySurface) -> str:
+    """Figure 5: low-genuine-score frequency by (gallery, probe) quality."""
+    return (
+        "Figure 5(a): DMG scores < 10 by quality pair\n"
+        + surface_same.render(row_title="gallery NFIQ", col_title="probe NFIQ")
+        + "\n\nFigure 5(b): DDMG scores < 10 by quality pair\n"
+        + surface_cross.render(row_title="gallery NFIQ", col_title="probe NFIQ")
+    )
+
+
+__all__ = [
+    "render_table1",
+    "render_table3",
+    "render_table4",
+    "render_fnmr_matrix",
+    "render_figure1",
+    "render_score_histograms",
+    "render_figure4",
+    "render_figure5",
+]

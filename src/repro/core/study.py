@@ -1,0 +1,317 @@
+"""The interoperability study orchestrator.
+
+:class:`InteroperabilityStudy` is the library's main entry point: it
+owns the population, the collection campaign, the matcher and the score
+sets, and exposes one method per analysis the paper reports.  Everything
+is lazy and memoized; with a configured cache directory, score sets
+survive across processes so a benchmark run never recomputes what an
+earlier run already measured.
+
+Typical use::
+
+    from repro import InteroperabilityStudy, StudyConfig
+
+    study = InteroperabilityStudy(StudyConfig(n_subjects=80))
+    sets = study.score_sets()          # DMG / DMI / DDMG / DDMI
+    fnmr = study.fnmr_matrix(1e-4)     # Table 5
+    pvals = study.kendall_matrix()     # Table 4
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..matcher import build_matcher
+from ..runtime.cache import ScoreCache
+from ..runtime.config import StudyConfig, resolve_worker_count
+from ..runtime.rng import SeedTree
+from ..sensors.protocol import Collection, ProtocolSettings
+from ..datasets.wvu2012 import build_collection
+from ..stats.kendall import KendallResult
+from .scores import (
+    GALLERY_SET,
+    MatchJob,
+    ScoreSet,
+    enumerate_ddmg_jobs,
+    enumerate_dmg_jobs,
+    probe_set_for,
+    run_jobs,
+    sample_ddmi_jobs,
+    sample_dmi_jobs,
+)
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing (module level for picklability)
+# ----------------------------------------------------------------------
+_WORKER_STATE: dict = {}
+
+
+def _init_score_worker(collection: Collection, matcher_name: str) -> None:
+    _WORKER_STATE["collection"] = collection
+    _WORKER_STATE["matcher"] = build_matcher(matcher_name)
+
+
+def _run_job_chunk(args: Tuple[Sequence[MatchJob], str, str]) -> ScoreSet:
+    jobs, finger, scenario = args
+    return run_jobs(
+        jobs, _WORKER_STATE["collection"], _WORKER_STATE["matcher"], finger, scenario
+    )
+
+
+class InteroperabilityStudy:
+    """One full run of the paper's experiment.
+
+    Parameters
+    ----------
+    config:
+        Scale, seed, matcher and parallelism settings.
+    cache:
+        Optional on-disk score cache; defaults to the directory named in
+        ``config.cache_dir`` (or no caching when that is ``None``).
+    protocol:
+        Collection-protocol switches (quality gating, device order).
+    """
+
+    def __init__(
+        self,
+        config: StudyConfig,
+        cache: Optional[ScoreCache] = None,
+        protocol: ProtocolSettings = ProtocolSettings(),
+    ) -> None:
+        self.config = config
+        self._cache = cache if cache is not None else ScoreCache(config.cache_dir)
+        self._protocol = protocol
+        self._tree = SeedTree(config.master_seed)
+        self._collection: Optional[Collection] = None
+        self._matcher = None
+        self._score_sets: Dict[str, ScoreSet] = {}
+        self._d4_diagonal: Optional[ScoreSet] = None
+
+    # ------------------------------------------------------------------
+    # Lazy components
+    # ------------------------------------------------------------------
+    @property
+    def finger(self) -> str:
+        """The finger the headline score sets use (right index)."""
+        return "right_index"
+
+    def collection(self) -> Collection:
+        """The acquired dataset, built on first use."""
+        if self._collection is None:
+            self._collection = build_collection(self.config, self._protocol)
+        return self._collection
+
+    def matcher(self):
+        """The matcher engine named by the configuration."""
+        if self._matcher is None:
+            self._matcher = build_matcher(self.config.matcher_name)
+        return self._matcher
+
+    # ------------------------------------------------------------------
+    # Score generation
+    # ------------------------------------------------------------------
+    def score_sets(self) -> Dict[str, ScoreSet]:
+        """The four Table 2 score sets (generated or loaded from cache)."""
+        if not self._score_sets:
+            n = self.config.n_subjects
+            jobs = {
+                "DMG": enumerate_dmg_jobs(n),
+                "DDMG": enumerate_ddmg_jobs(n),
+                "DMI": sample_dmi_jobs(n, self.config.scaled_dmi_budget(), self._tree),
+                "DDMI": sample_ddmi_jobs(
+                    n, self.config.scaled_ddmi_budget(), self._tree
+                ),
+            }
+            for scenario, scenario_jobs in jobs.items():
+                self._score_sets[scenario] = self._scores_for(scenario, scenario_jobs)
+        return self._score_sets
+
+    def d4_diagonal_genuine(self) -> ScoreSet:
+        """Rolled-vs-slap genuine scores within the ten-print card.
+
+        Not part of Table 3's DMG count (the paper counts D4 as a single
+        set), but required by the D4xD4 cells of Tables 5 and 6.
+        """
+        if self._d4_diagonal is None:
+            jobs = [
+                (s, "D4", GALLERY_SET, s, "D4", probe_set_for("D4"))
+                for s in range(self.config.n_subjects)
+            ]
+            self._d4_diagonal = self._scores_for("DMG-D4", jobs)
+        return self._d4_diagonal
+
+    def _scores_for(self, scenario: str, jobs: Sequence[MatchJob]) -> ScoreSet:
+        base_scenario = scenario.split("-")[0]
+        cache_key = (
+            f"{self.config.fingerprint()}-{self._protocol.fingerprint()}-{scenario}"
+        )
+        cached = self._load_cached(base_scenario, cache_key)
+        if cached is not None:
+            return cached
+        score_set = self._execute(jobs, base_scenario)
+        self._store_cached(score_set, cache_key)
+        return score_set
+
+    def custom_scores(
+        self,
+        label: str,
+        jobs: Sequence[MatchJob],
+        finger: Optional[str] = None,
+    ) -> ScoreSet:
+        """Run an arbitrary job list (cached under ``label``).
+
+        Used by the extension experiments: e.g. the multi-finger fusion
+        benchmark re-runs the DMG jobs with ``finger="right_middle"``.
+        ``label`` must be unique per distinct job list; the first dash-
+        separated segment is used as the ScoreSet scenario.
+        """
+        effective_finger = finger if finger is not None else self.finger
+        cache_key = (
+            f"{self.config.fingerprint()}-{self._protocol.fingerprint()}"
+            f"-{label}-{effective_finger}"
+        )
+        base_scenario = label.split("-")[0]
+        cached = self._load_cached(base_scenario, cache_key)
+        if cached is not None:
+            return cached
+        score_set = self._execute(jobs, base_scenario, finger=effective_finger)
+        self._store_cached(score_set, cache_key)
+        return score_set
+
+    def _execute(
+        self,
+        jobs: Sequence[MatchJob],
+        scenario: str,
+        finger: Optional[str] = None,
+    ) -> ScoreSet:
+        collection = self.collection()
+        effective_finger = finger if finger is not None else self.finger
+        workers = resolve_worker_count(self.config.n_workers)
+        if workers > 1 and len(jobs) >= 256:
+            chunk = max(64, len(jobs) // (workers * 4))
+            chunks = [
+                (list(jobs[i : i + chunk]), effective_finger, scenario)
+                for i in range(0, len(jobs), chunk)
+            ]
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_score_worker,
+                initargs=(collection, self.config.matcher_name),
+            ) as pool:
+                parts = list(pool.map(_run_job_chunk, chunks))
+            return ScoreSet.concatenate(parts)
+        return run_jobs(jobs, collection, self.matcher(), effective_finger, scenario)
+
+    def _load_cached(self, scenario: str, key: str) -> Optional[ScoreSet]:
+        arrays = self._cache.load(key)
+        if arrays is None:
+            return None
+        return ScoreSet(
+            scenario=scenario,
+            matcher_name=self.config.matcher_name,
+            scores=arrays["scores"],
+            subject_gallery=arrays["subject_gallery"],
+            subject_probe=arrays["subject_probe"],
+            device_gallery=arrays["device_gallery"].astype("<U2"),
+            device_probe=arrays["device_probe"].astype("<U2"),
+            nfiq_gallery=arrays["nfiq_gallery"],
+            nfiq_probe=arrays["nfiq_probe"],
+        )
+
+    def _store_cached(self, score_set: ScoreSet, key: str) -> None:
+        self._cache.store(
+            key,
+            {
+                "scores": score_set.scores,
+                "subject_gallery": score_set.subject_gallery,
+                "subject_probe": score_set.subject_probe,
+                "device_gallery": score_set.device_gallery.astype("<U2"),
+                "device_probe": score_set.device_probe.astype("<U2"),
+                "nfiq_gallery": score_set.nfiq_gallery,
+                "nfiq_probe": score_set.nfiq_probe,
+            },
+            meta={"config": self.config.describe()},
+        )
+
+    # ------------------------------------------------------------------
+    # Scenario slicing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_devices(*device_ids: str) -> None:
+        from ..sensors.registry import DEVICE_ORDER
+
+        for device_id in device_ids:
+            if device_id not in DEVICE_ORDER:
+                from ..runtime.errors import ConfigurationError
+
+                raise ConfigurationError(
+                    f"unknown device {device_id!r}; expected one of {DEVICE_ORDER}"
+                )
+
+    def genuine_scores(self, gallery_device: str, probe_device: str) -> ScoreSet:
+        """Genuine scores for one (gallery, probe) device cell."""
+        self._check_devices(gallery_device, probe_device)
+        if gallery_device == probe_device:
+            if gallery_device == "D4":
+                return self.d4_diagonal_genuine()
+            return self.score_sets()["DMG"].for_pair(gallery_device, probe_device)
+        return self.score_sets()["DDMG"].for_pair(gallery_device, probe_device)
+
+    def impostor_scores(self, gallery_device: str, probe_device: str) -> ScoreSet:
+        """Impostor scores for one (gallery, probe) device cell."""
+        self._check_devices(gallery_device, probe_device)
+        if gallery_device == probe_device:
+            return self.score_sets()["DMI"].for_pair(gallery_device, probe_device)
+        return self.score_sets()["DDMI"].for_pair(gallery_device, probe_device)
+
+    def genuine_vector(self, gallery_device: str, probe_device: str) -> np.ndarray:
+        """Per-subject genuine score vector, subject-ordered.
+
+        The unit of Table 4's Kendall tests: element *s* is subject *s*'s
+        genuine score in the (gallery, probe) scenario.
+        """
+        cell = self.genuine_scores(gallery_device, probe_device)
+        order = np.argsort(cell.subject_gallery)
+        subjects = cell.subject_gallery[order]
+        if not np.array_equal(subjects, np.arange(self.config.n_subjects)):
+            raise RuntimeError(
+                f"genuine cell ({gallery_device}, {probe_device}) does not "
+                "contain exactly one score per subject"
+            )
+        return cell.scores[order]
+
+    # ------------------------------------------------------------------
+    # Analyses (one per paper artifact; implementations live in the
+    # dedicated analysis modules)
+    # ------------------------------------------------------------------
+    def kendall_matrix(self) -> Dict[Tuple[str, str], KendallResult]:
+        """Table 4: Kendall tests of (DX, DX) vs (DX, DY) genuine vectors."""
+        from .kendall_analysis import kendall_matrix
+
+        return kendall_matrix(self)
+
+    def fnmr_matrix(
+        self, target_fmr: float = 1e-4, max_nfiq: Optional[int] = None
+    ) -> np.ndarray:
+        """Tables 5/6: FNMR at fixed FMR for every (gallery, probe) cell."""
+        from .error_rates import fnmr_interoperability_matrix
+
+        return fnmr_interoperability_matrix(self, target_fmr, max_nfiq)
+
+    def low_score_quality_surface(self, cross_device: bool, score_below: float = 10.0):
+        """Figure 5 panel: low-genuine-score frequency by quality pair."""
+        from .quality_analysis import low_score_quality_surface
+
+        return low_score_quality_surface(self, cross_device, score_below)
+
+    def demographics(self) -> Dict[str, Dict[str, int]]:
+        """Figure 1: age and ethnicity histograms of the population."""
+        from ..synthesis.population import Population
+
+        return Population(self.config).demographics_table()
+
+
+__all__ = ["InteroperabilityStudy"]

@@ -1,0 +1,17 @@
+"""Dataset assembly: the synthetic WVU 2012 collection."""
+
+from .summary import (
+    DeviceSummary,
+    render_collection_summary,
+    summarize_collection,
+)
+from .wvu2012 import build_collection, default_device_order, subject_session
+
+__all__ = [
+    "build_collection",
+    "subject_session",
+    "default_device_order",
+    "DeviceSummary",
+    "summarize_collection",
+    "render_collection_summary",
+]

@@ -1,0 +1,109 @@
+"""End-to-end reconstruction of the paper's WVU 2012 dataset.
+
+``build_collection`` runs the full collection campaign for a
+configuration: synthesize the population, march every subject through
+the fixed-order protocol, and return the complete
+:class:`~repro.sensors.protocol.Collection`.
+
+The collection is a *pure function of the configuration* — the same
+``StudyConfig`` always reproduces the identical dataset, which is what
+makes process-parallel score generation possible without shipping
+impressions between workers (each worker rebuilds its shard).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from ..runtime.config import StudyConfig, resolve_worker_count
+from ..runtime.progress import NullProgress, ProgressReporter
+from ..runtime.rng import SeedTree
+from ..sensors.base import Impression
+from ..sensors.protocol import (
+    Collection,
+    ProtocolSettings,
+    acquire_subject_session,
+    build_sensor,
+)
+from ..sensors.registry import DEVICE_ORDER
+from ..synthesis.population import Population
+
+#: Per-process sensor instances (signature fields are pure device state).
+_SENSOR_CACHE: dict = {}
+
+
+def _sensors_for(device_order: Sequence[str]) -> dict:
+    key = tuple(device_order)
+    if key not in _SENSOR_CACHE:
+        _SENSOR_CACHE[key] = {d: build_sensor(d) for d in device_order}
+    return _SENSOR_CACHE[key]
+
+
+def subject_session(
+    config: StudyConfig,
+    subject_id: int,
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[Impression]:
+    """All impressions of one subject's collection session.
+
+    Module-level and driven purely by ``(config, subject_id, settings)``
+    so it can run in a worker process.
+    """
+    population = Population(config)
+    subject = population.subject(subject_id)
+    tree = SeedTree(config.master_seed).child("session", subject_id)
+    sensors = _sensors_for(settings.device_order)
+    return acquire_subject_session(
+        subject,
+        sensors,
+        tree,
+        finger_labels=population.finger_labels,
+        settings=settings,
+    )
+
+
+def _subject_session_task(args) -> List[Impression]:
+    config, subject_id, settings = args
+    return subject_session(config, subject_id, settings)
+
+
+def build_collection(
+    config: StudyConfig,
+    settings: ProtocolSettings = ProtocolSettings(),
+    progress: Optional[ProgressReporter] = None,
+) -> Collection:
+    """Acquire the whole campaign for ``config``.
+
+    Parallelizes over subjects when ``config.n_workers > 0``; results are
+    identical either way because every impression's randomness comes from
+    the subject's own seed-tree node.
+    """
+    if progress is None:
+        progress = NullProgress(total=config.n_subjects, label="collection")
+    collection = Collection()
+    workers = resolve_worker_count(config.n_workers)
+    if workers > 1 and config.n_subjects >= 8:
+        tasks = [(config, sid, settings) for sid in range(config.n_subjects)]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for impressions in pool.map(
+                _subject_session_task, tasks, chunksize=max(1, len(tasks) // (workers * 4))
+            ):
+                for impression in impressions:
+                    collection.add(impression)
+                progress.update()
+    else:
+        for sid in range(config.n_subjects):
+            for impression in subject_session(config, sid, settings):
+                collection.add(impression)
+            progress.update()
+    progress.finish()
+    return collection
+
+
+def default_device_order() -> Sequence[str]:
+    """The fixed capture order of the paper's protocol."""
+    return DEVICE_ORDER
+
+
+__all__ = ["build_collection", "subject_session", "default_device_order"]

@@ -1,0 +1,36 @@
+"""Image-domain substrate: rendering and minutiae extraction.
+
+Closes the loop the template pipeline shortcut: render a finger as a
+real ridge image (minutiae planted as phase spirals), then recover a
+template from the image with a classical extractor (binarize →
+Zhang–Suen skeleton → crossing number → artifact filtering).
+"""
+
+from .extraction import (
+    ExtractionSettings,
+    binarize,
+    extract_template,
+    recovery_metrics,
+)
+from .render import (
+    RenderedImpression,
+    RenderSettings,
+    render_finger,
+    render_sensed_impression,
+    to_uint8,
+)
+from .thinning import crossing_number, skeletonize
+
+__all__ = [
+    "RenderSettings",
+    "RenderedImpression",
+    "render_finger",
+    "render_sensed_impression",
+    "to_uint8",
+    "skeletonize",
+    "crossing_number",
+    "ExtractionSettings",
+    "binarize",
+    "extract_template",
+    "recovery_metrics",
+]

@@ -1,0 +1,112 @@
+"""Binary image skeletonization (Zhang–Suen).
+
+Minutiae live on the one-pixel-wide ridge skeleton; the classical
+Zhang–Suen (1984) parallel thinning algorithm produces it.  The
+implementation is fully vectorized with numpy rolls — each sub-iteration
+evaluates the deletion conditions for every pixel simultaneously — so a
+typical rendered impression (~300x350 px) thins in a few tens of
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _neighbours(z: np.ndarray) -> Tuple[np.ndarray, ...]:
+    """The 8-neighbourhood planes P2..P9 in Zhang–Suen's ordering.
+
+    P2 is the pixel above, then clockwise: P3 upper-right, P4 right,
+    P5 lower-right, P6 below, P7 lower-left, P8 left, P9 upper-left.
+    (Row 0 is the top of the image.)
+    """
+    p2 = np.roll(z, 1, axis=0)
+    p3 = np.roll(np.roll(z, 1, axis=0), -1, axis=1)
+    p4 = np.roll(z, -1, axis=1)
+    p5 = np.roll(np.roll(z, -1, axis=0), -1, axis=1)
+    p6 = np.roll(z, -1, axis=0)
+    p7 = np.roll(np.roll(z, -1, axis=0), 1, axis=1)
+    p8 = np.roll(z, 1, axis=1)
+    p9 = np.roll(np.roll(z, 1, axis=0), 1, axis=1)
+    return p2, p3, p4, p5, p6, p7, p8, p9
+
+
+def _sub_iteration(z: np.ndarray, first: bool) -> Tuple[np.ndarray, int]:
+    p2, p3, p4, p5, p6, p7, p8, p9 = _neighbours(z)
+    neighbours_sum = (
+        p2.astype(np.int8) + p3 + p4 + p5 + p6 + p7 + p8 + p9
+    )
+    sequence = (p2, p3, p4, p5, p6, p7, p8, p9, p2)
+    transitions = sum(
+        ((sequence[k] == 0) & (sequence[k + 1] == 1)).astype(np.int8)
+        for k in range(8)
+    )
+    if first:
+        cond = (
+            (z == 1)
+            & (neighbours_sum >= 2)
+            & (neighbours_sum <= 6)
+            & (transitions == 1)
+            & ((p2 & p4 & p6) == 0)
+            & ((p4 & p6 & p8) == 0)
+        )
+    else:
+        cond = (
+            (z == 1)
+            & (neighbours_sum >= 2)
+            & (neighbours_sum <= 6)
+            & (transitions == 1)
+            & ((p2 & p4 & p8) == 0)
+            & ((p2 & p6 & p8) == 0)
+        )
+    out = z.copy()
+    out[cond] = 0
+    return out, int(np.count_nonzero(cond))
+
+
+def skeletonize(binary: np.ndarray, max_iterations: int = 200) -> np.ndarray:
+    """Thin a binary ridge image to a one-pixel-wide skeleton.
+
+    Parameters
+    ----------
+    binary:
+        2-D boolean (or 0/1) array; True = ridge.
+    max_iterations:
+        Safety cap; real ridge images converge in ~ridge-width/2 rounds.
+
+    Returns
+    -------
+    numpy.ndarray
+        uint8 skeleton (1 = skeleton pixel).
+    """
+    if binary.ndim != 2:
+        raise ValueError("skeletonize expects a 2-D array")
+    z = (np.asarray(binary) > 0).astype(np.uint8)
+    # Clear the border: roll-based neighbourhoods wrap around, and a
+    # cleared 1-px frame makes the wraparound harmless.
+    z[0, :] = z[-1, :] = 0
+    z[:, 0] = z[:, -1] = 0
+    for __ in range(max_iterations):
+        z, removed_a = _sub_iteration(z, first=True)
+        z, removed_b = _sub_iteration(z, first=False)
+        if removed_a + removed_b == 0:
+            break
+    return z
+
+
+def crossing_number(skeleton: np.ndarray) -> np.ndarray:
+    """Rutovitz crossing number at every skeleton pixel.
+
+    CN = 1 marks ridge endings, CN >= 3 marks bifurcations, CN = 2 is a
+    ridge continuation.  Non-skeleton pixels get 0.
+    """
+    z = (np.asarray(skeleton) > 0).astype(np.int8)
+    p2, p3, p4, p5, p6, p7, p8, p9 = _neighbours(z)
+    sequence = (p2, p3, p4, p5, p6, p7, p8, p9, p2)
+    cn = sum(np.abs(sequence[k] - sequence[k + 1]) for k in range(8)) // 2
+    return np.where(z == 1, cn, 0)
+
+
+__all__ = ["skeletonize", "crossing_number"]

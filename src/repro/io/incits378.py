@@ -1,0 +1,227 @@
+"""ANSI/INCITS 378-2004 finger minutiae record codec.
+
+The study's context is exactly this format: the paper cites MINEX
+(NISTIR 7296), the evaluation of "performance and interoperability of
+the INCITS 378 fingerprint template".  Implementing the binary record
+keeps this reproduction's templates exchangeable in the same sense.
+
+Implemented subset (single finger view, no extended data):
+
+========================  ========  =====================================
+field                     bytes     value
+========================  ========  =====================================
+format identifier         4         ``"FMR\\0"``
+version                   4         ``" 20\\0"``
+record length             4         big-endian u32
+CBEFF product id          4         owner/type (we use 0x0000)
+capture equipment         2         compliance(4 bits) + device id
+image size x, y           2 + 2     pixels
+resolution x, y           2 + 2     pixels per cm
+finger view count         1         always 1 here
+reserved                  1         0
+-- per view -------------------------------------------------------------
+finger position           1         ISO finger code
+view number / impression  1         packed 4+4 bits
+finger quality            1         0-100
+minutia count             1
+-- per minutia ----------------------------------------------------------
+type + x                  2         2-bit type, 14-bit x
+reserved + y              2         2-bit reserved, 14-bit y
+angle                     1         units of 1.40625 degrees (360/256)
+quality                   1         0-100
+-- footer ---------------------------------------------------------------
+extended data length      2         0
+========================  ========  =====================================
+
+The codec is strict on decode: truncated or inconsistent buffers raise
+:class:`~repro.runtime.errors.TemplateFormatError` with a description of
+what went wrong, never a silent partial template.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..matcher.types import KIND_BIFURCATION, KIND_ENDING, Minutia, Template
+from ..runtime.errors import TemplateFormatError
+
+_MAGIC = b"FMR\x00"
+_VERSION = b" 20\x00"
+_HEADER_FMT = ">4s4sIIHHHHHBB"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_VIEW_HEADER_FMT = ">BBBB"
+_VIEW_HEADER_SIZE = struct.calcsize(_VIEW_HEADER_FMT)
+_MINUTIA_SIZE = 6
+_FOOTER_SIZE = 2
+
+#: INCITS 378 minutia type codes.
+_TYPE_TO_CODE = {KIND_ENDING: 0b01, KIND_BIFURCATION: 0b10}
+_CODE_TO_TYPE = {0b01: KIND_ENDING, 0b10: KIND_BIFURCATION, 0b00: KIND_ENDING}
+
+#: Angle quantum: 360 degrees / 256.
+_ANGLE_UNIT_RAD = 2.0 * np.pi / 256.0
+
+
+@dataclass(frozen=True)
+class RecordMetadata:
+    """Non-template metadata carried in an INCITS 378 record."""
+
+    capture_device_id: int = 0
+    finger_position: int = 2  # right index
+    finger_quality: int = 60
+    impression_type: int = 0  # live-scan plain
+
+
+def _dpi_to_ppcm(dpi: int) -> int:
+    return int(round(dpi / 2.54))
+
+
+def _ppcm_to_dpi(ppcm: int) -> int:
+    return int(round(ppcm * 2.54))
+
+
+def encode(template: Template, metadata: RecordMetadata = RecordMetadata()) -> bytes:
+    """Serialize ``template`` into an INCITS 378 binary record."""
+    n = len(template)
+    if n > 255:
+        raise TemplateFormatError(f"INCITS 378 allows at most 255 minutiae, got {n}")
+    record_length = _HEADER_SIZE + _VIEW_HEADER_SIZE + n * _MINUTIA_SIZE + _FOOTER_SIZE
+
+    header = struct.pack(
+        _HEADER_FMT,
+        _MAGIC,
+        _VERSION,
+        record_length,
+        0,  # CBEFF product id
+        metadata.capture_device_id & 0x0FFF,
+        template.width_px,
+        template.height_px,
+        _dpi_to_ppcm(template.resolution_dpi),
+        _dpi_to_ppcm(template.resolution_dpi),
+        1,  # one finger view
+        0,  # reserved
+    )
+    view = struct.pack(
+        _VIEW_HEADER_FMT,
+        metadata.finger_position & 0xFF,
+        ((0 & 0x0F) << 4) | (metadata.impression_type & 0x0F),
+        max(0, min(100, metadata.finger_quality)),
+        n,
+    )
+
+    body = bytearray()
+    for m in template.minutiae:
+        x = int(round(m.x))
+        y = int(round(m.y))
+        if not 0 <= x < 2**14 or not 0 <= y < 2**14:
+            raise TemplateFormatError(
+                f"minutia position ({x}, {y}) outside the 14-bit INCITS range"
+            )
+        type_code = _TYPE_TO_CODE[m.kind]
+        angle_units = int(round(np.mod(m.angle, 2 * np.pi) / _ANGLE_UNIT_RAD)) % 256
+        body += struct.pack(
+            ">HHBB",
+            (type_code << 14) | x,
+            y & 0x3FFF,
+            angle_units,
+            max(0, min(100, m.quality)),
+        )
+    footer = struct.pack(">H", 0)
+    return header + view + bytes(body) + footer
+
+
+def decode(buffer: bytes) -> Tuple[Template, RecordMetadata]:
+    """Parse an INCITS 378 record back into a template plus metadata.
+
+    Raises
+    ------
+    TemplateFormatError
+        On any structural inconsistency (bad magic, truncated body,
+        wrong declared length).
+    """
+    if len(buffer) < _HEADER_SIZE + _VIEW_HEADER_SIZE + _FOOTER_SIZE:
+        raise TemplateFormatError(
+            f"buffer of {len(buffer)} bytes is shorter than a minimal record"
+        )
+    (
+        magic,
+        version,
+        record_length,
+        __cbeff,
+        device_field,
+        width_px,
+        height_px,
+        res_x_ppcm,
+        res_y_ppcm,
+        view_count,
+        __reserved,
+    ) = struct.unpack_from(_HEADER_FMT, buffer, 0)
+
+    if magic != _MAGIC:
+        raise TemplateFormatError(f"bad format identifier {magic!r}")
+    if version != _VERSION:
+        raise TemplateFormatError(f"unsupported version {version!r}")
+    if record_length != len(buffer):
+        raise TemplateFormatError(
+            f"declared length {record_length} != buffer length {len(buffer)}"
+        )
+    if view_count != 1:
+        raise TemplateFormatError(
+            f"this codec handles single-view records, got {view_count} views"
+        )
+    if res_x_ppcm != res_y_ppcm:
+        raise TemplateFormatError(
+            f"anisotropic resolution {res_x_ppcm}x{res_y_ppcm} not supported"
+        )
+
+    offset = _HEADER_SIZE
+    position, view_impression, finger_quality, n_minutiae = struct.unpack_from(
+        _VIEW_HEADER_FMT, buffer, offset
+    )
+    offset += _VIEW_HEADER_SIZE
+
+    expected = offset + n_minutiae * _MINUTIA_SIZE + _FOOTER_SIZE
+    if expected != len(buffer):
+        raise TemplateFormatError(
+            f"{n_minutiae} minutiae imply {expected} bytes, buffer has {len(buffer)}"
+        )
+
+    minutiae = []
+    for __ in range(n_minutiae):
+        word_x, word_y, angle_units, quality = struct.unpack_from(
+            ">HHBB", buffer, offset
+        )
+        offset += _MINUTIA_SIZE
+        type_code = (word_x >> 14) & 0b11
+        if type_code not in _CODE_TO_TYPE:
+            raise TemplateFormatError(f"unknown minutia type code {type_code}")
+        minutiae.append(
+            Minutia(
+                x=float(word_x & 0x3FFF),
+                y=float(word_y & 0x3FFF),
+                angle=float(angle_units * _ANGLE_UNIT_RAD),
+                kind=_CODE_TO_TYPE[type_code],
+                quality=int(quality),
+            )
+        )
+
+    template = Template(
+        minutiae=tuple(minutiae),
+        width_px=width_px,
+        height_px=height_px,
+        resolution_dpi=_ppcm_to_dpi(res_x_ppcm),
+    )
+    metadata = RecordMetadata(
+        capture_device_id=device_field & 0x0FFF,
+        finger_position=position,
+        finger_quality=finger_quality,
+        impression_type=view_impression & 0x0F,
+    )
+    return template, metadata
+
+
+__all__ = ["encode", "decode", "RecordMetadata"]

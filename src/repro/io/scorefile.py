@@ -1,0 +1,69 @@
+"""Score-set serialization.
+
+Large studies hand score sets between tools (and the paper's authors
+worked from exported score files).  The on-disk format here is a plain
+``.npz`` bundle with a JSON sidecar-style metadata array — readable with
+nothing but numpy, stable across library versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..runtime.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..core.scores import ScoreSet
+
+
+def save_score_set(score_set: "ScoreSet", path: Path) -> None:
+    """Persist a score set as a ``.npz`` bundle."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "scenario": score_set.scenario,
+        "matcher_name": score_set.matcher_name,
+    }
+    np.savez_compressed(
+        path,
+        scores=score_set.scores,
+        subject_gallery=score_set.subject_gallery,
+        subject_probe=score_set.subject_probe,
+        device_gallery=score_set.device_gallery,
+        device_probe=score_set.device_probe,
+        nfiq_gallery=score_set.nfiq_gallery,
+        nfiq_probe=score_set.nfiq_probe,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_score_set(path: Path) -> "ScoreSet":
+    """Load a score set previously written by :func:`save_score_set`."""
+    from ..core.scores import ScoreSet  # local import avoids a cycle
+
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"score file {path} does not exist")
+    with np.load(path) as bundle:
+        try:
+            meta = json.loads(bytes(bundle["meta"].tobytes()).decode("utf-8"))
+            return ScoreSet(
+                scenario=meta["scenario"],
+                matcher_name=meta["matcher_name"],
+                scores=bundle["scores"],
+                subject_gallery=bundle["subject_gallery"],
+                subject_probe=bundle["subject_probe"],
+                device_gallery=bundle["device_gallery"],
+                device_probe=bundle["device_probe"],
+                nfiq_gallery=bundle["nfiq_gallery"],
+                nfiq_probe=bundle["nfiq_probe"],
+            )
+        except KeyError as exc:
+            raise ReproError(f"score file {path} is missing field {exc}") from exc
+
+
+__all__ = ["save_score_set", "load_score_set"]

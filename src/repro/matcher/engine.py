@@ -1,0 +1,120 @@
+"""Matcher facade — the reproduction's "SDK".
+
+:class:`BioEngineMatcher` chains the pipeline stages (descriptors →
+consensus alignment → tolerance-box pairing → calibrated score) behind
+the two-method interface a commercial SDK exposes: ``match`` for a bare
+score and ``match_detailed`` for diagnostics.
+
+Descriptor sets are memoized per template (keyed by identity), because
+the study matches every gallery template against hundreds of probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..runtime.errors import MatcherError
+from .alignment import RigidTransform, candidate_pairs, estimate_alignments
+from .descriptors import DescriptorSet, build_descriptors, similarity_matrix
+from .pairing import PairingResult, pair_minutiae
+from .scoring import (
+    MIN_TEMPLATE_MINUTIAE,
+    ScoreBreakdown,
+    compute_score,
+)
+from .types import Template
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Full diagnostics of one comparison."""
+
+    score: float
+    breakdown: ScoreBreakdown
+    transform: Optional[RigidTransform]
+    pairing: Optional[PairingResult]
+
+
+class BioEngineMatcher:
+    """Minutiae matcher calibrated to the paper's score landmarks.
+
+    Thread-compatibility note: the descriptor memo is a plain dict; use
+    one matcher instance per process (the parallel harness does).
+    """
+
+    #: Name used by :class:`~repro.runtime.config.StudyConfig`.
+    name = "bioengine"
+
+    def __init__(self, max_cache_entries: int = 4096) -> None:
+        self._descriptor_cache: Dict[int, DescriptorSet] = {}
+        self._max_cache_entries = max_cache_entries
+
+    def _descriptors(self, template: Template) -> DescriptorSet:
+        key = id(template)
+        cached = self._descriptor_cache.get(key)
+        if cached is not None and cached.n == len(template):
+            return cached
+        descriptors = build_descriptors(template)
+        if len(self._descriptor_cache) >= self._max_cache_entries:
+            self._descriptor_cache.clear()
+        self._descriptor_cache[key] = descriptors
+        return descriptors
+
+    def match(self, probe: Template, gallery: Template) -> float:
+        """Similarity score; higher means more likely the same finger."""
+        return self.match_detailed(probe, gallery).score
+
+    def match_detailed(self, probe: Template, gallery: Template) -> MatchResult:
+        """Score plus alignment/pairing diagnostics."""
+        if probe is None or gallery is None:
+            raise MatcherError("match requires two templates")
+        if len(probe) < MIN_TEMPLATE_MINUTIAE or len(gallery) < MIN_TEMPLATE_MINUTIAE:
+            # Degenerate capture: a real SDK reports failure-to-match with
+            # a floor score rather than raising.
+            empty = ScoreBreakdown(
+                score=0.0, match_ratio=0.0, consistency=0.0, quality_weight=0.0,
+                n_matched=0, n_overlap_a=0, n_overlap_b=0,
+            )
+            return MatchResult(score=0.0, breakdown=empty, transform=None, pairing=None)
+
+        desc_p = self._descriptors(probe)
+        desc_g = self._descriptors(gallery)
+        similarity = similarity_matrix(desc_p, desc_g)
+        candidates = candidate_pairs(similarity)
+
+        positions_p = probe.positions_mm()
+        positions_g = gallery.positions_mm()
+        angles_p = probe.angles()
+        angles_g = gallery.angles()
+
+        transforms = estimate_alignments(
+            positions_p, angles_p, positions_g, angles_g, candidates
+        )
+        if not transforms:
+            empty = ScoreBreakdown(
+                score=0.0, match_ratio=0.0, consistency=0.0, quality_weight=0.0,
+                n_matched=0, n_overlap_a=0, n_overlap_b=0,
+            )
+            return MatchResult(score=0.0, breakdown=empty, transform=None, pairing=None)
+
+        qualities_p = probe.qualities()
+        qualities_g = gallery.qualities()
+        best: Optional[MatchResult] = None
+        for transform in transforms:
+            pairing = pair_minutiae(
+                positions_p, angles_p, positions_g, angles_g, transform
+            )
+            breakdown = compute_score(pairing, qualities_p, qualities_g)
+            result = MatchResult(
+                score=breakdown.score,
+                breakdown=breakdown,
+                transform=transform,
+                pairing=pairing,
+            )
+            if best is None or result.score > best.score:
+                best = result
+        return best
+
+
+__all__ = ["BioEngineMatcher", "MatchResult"]

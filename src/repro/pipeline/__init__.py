@@ -1,0 +1,26 @@
+"""Operational verification pipeline — the paper's §V architecture.
+
+Couples the enrollment database, the matcher, and the calibration
+toolbox into deployable verification engines: a device-blind baseline
+(:class:`Verifier`) and the mitigated :class:`InteropAwareVerifier`
+(device inference + TPS compensation + per-pair score normalization).
+"""
+
+from .database import EnrolledRecord, EnrollmentError, TemplateDatabase
+from .decision import AuditLog, VerificationDecision
+from .verifier import (
+    InteropAwareVerifier,
+    Verifier,
+    train_interop_verifier_from_study,
+)
+
+__all__ = [
+    "TemplateDatabase",
+    "EnrolledRecord",
+    "EnrollmentError",
+    "AuditLog",
+    "VerificationDecision",
+    "Verifier",
+    "InteropAwareVerifier",
+    "train_interop_verifier_from_study",
+]

@@ -1,0 +1,148 @@
+"""Enrollment database.
+
+An operational verification system keeps a gallery: one enrolled record
+per (subject, finger), carrying the template *and* its provenance — the
+capture device and the NFIQ level — because every interoperability
+mitigation needs to know what hardware produced the gallery image.
+
+Records serialize to INCITS 378 (the template) plus a JSON sidecar (the
+provenance), so a database directory is interoperable with any tool that
+reads the standard format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List
+
+from ..io.incits378 import RecordMetadata, decode, encode
+from ..matcher.types import Template
+from ..runtime.errors import ReproError
+
+
+class EnrollmentError(ReproError):
+    """A database operation failed (duplicate identity, missing record)."""
+
+
+@dataclass(frozen=True)
+class EnrolledRecord:
+    """One gallery entry.
+
+    Attributes
+    ----------
+    identity:
+        The claimed-identity key (e.g. ``"subject-17"``).
+    template:
+        The enrolled minutiae template.
+    device_id:
+        The capture device (``"D0"`` … ``"D4"``), or ``""`` if unknown.
+    nfiq:
+        NFIQ level of the enrollment image (1–5), or 0 if unknown.
+    """
+
+    identity: str
+    template: Template
+    device_id: str = ""
+    nfiq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.identity:
+            raise EnrollmentError("identity must be a non-empty string")
+        if self.nfiq not in (0, 1, 2, 3, 4, 5):
+            raise EnrollmentError(f"nfiq must be 0 (unknown) or 1..5, got {self.nfiq}")
+
+
+class TemplateDatabase:
+    """In-memory gallery with optional on-disk persistence."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, EnrolledRecord] = {}
+
+    def enroll(self, record: EnrolledRecord, replace: bool = False) -> None:
+        """Add a record; re-enrollment requires ``replace=True``."""
+        if record.identity in self._records and not replace:
+            raise EnrollmentError(
+                f"identity {record.identity!r} is already enrolled; "
+                "pass replace=True to re-enroll"
+            )
+        self._records[record.identity] = record
+
+    def get(self, identity: str) -> EnrolledRecord:
+        """Fetch a record; raises :class:`EnrollmentError` if absent."""
+        try:
+            return self._records[identity]
+        except KeyError:
+            raise EnrollmentError(f"identity {identity!r} is not enrolled") from None
+
+    def has(self, identity: str) -> bool:
+        """Whether ``identity`` is enrolled."""
+        return identity in self._records
+
+    def remove(self, identity: str) -> None:
+        """Delete a record; raises if absent."""
+        if identity not in self._records:
+            raise EnrollmentError(f"identity {identity!r} is not enrolled")
+        del self._records[identity]
+
+    def identities(self) -> List[str]:
+        """Sorted enrolled identities."""
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EnrolledRecord]:
+        for identity in self.identities():
+            yield self._records[identity]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Path) -> int:
+        """Write every record as ``<identity>.fmr`` + ``<identity>.json``.
+
+        Returns the number of records written.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for record in self:
+            stem = directory / record.identity
+            stem.with_suffix(".fmr").write_bytes(
+                encode(record.template, RecordMetadata(finger_quality=60))
+            )
+            sidecar = {
+                "identity": record.identity,
+                "device_id": record.device_id,
+                "nfiq": record.nfiq,
+            }
+            stem.with_suffix(".json").write_text(json.dumps(sidecar, indent=2))
+        return len(self)
+
+    @classmethod
+    def load(cls, directory: Path) -> "TemplateDatabase":
+        """Rebuild a database from a :meth:`save` directory."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise EnrollmentError(f"{directory} is not a database directory")
+        db = cls()
+        for fmr_path in sorted(directory.glob("*.fmr")):
+            template, __ = decode(fmr_path.read_bytes())
+            sidecar_path = fmr_path.with_suffix(".json")
+            if sidecar_path.exists():
+                sidecar = json.loads(sidecar_path.read_text())
+            else:
+                sidecar = {"identity": fmr_path.stem, "device_id": "", "nfiq": 0}
+            db.enroll(
+                EnrolledRecord(
+                    identity=sidecar["identity"],
+                    template=template,
+                    device_id=sidecar.get("device_id", ""),
+                    nfiq=int(sidecar.get("nfiq", 0)),
+                )
+            )
+        return db
+
+
+__all__ = ["TemplateDatabase", "EnrolledRecord", "EnrollmentError"]

@@ -1,0 +1,114 @@
+"""Verification decisions and audit trail.
+
+Every verification attempt produces a :class:`VerificationDecision` — a
+complete, self-describing record of what the system saw and why it
+decided: raw and normalized score, the devices involved (known or
+inferred), which mitigations were applied, and the operating threshold.
+The :class:`AuditLog` accumulates decisions so operators can compute
+per-device-pair error rates exactly the way the paper's Tables 5/6 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VerificationDecision:
+    """Outcome of one verification attempt.
+
+    Attributes
+    ----------
+    identity:
+        The claimed identity.
+    accepted:
+        The system's decision.
+    raw_score:
+        Matcher output before normalization.
+    normalized_score:
+        Score on the decision scale (equals ``raw_score`` when no
+        normalization is configured).
+    threshold:
+        The operating threshold the decision used.
+    gallery_device, probe_device:
+        Devices involved; ``probe_device`` may have been inferred.
+    probe_device_inferred:
+        Whether the probe device came from p(d|q) inference rather than
+        being declared by the capture station.
+    calibration_applied:
+        Whether inter-sensor TPS compensation was applied to the probe.
+    """
+
+    identity: str
+    accepted: bool
+    raw_score: float
+    normalized_score: float
+    threshold: float
+    gallery_device: str = ""
+    probe_device: str = ""
+    probe_device_inferred: bool = False
+    calibration_applied: bool = False
+
+
+class AuditLog:
+    """Append-only log of verification decisions."""
+
+    def __init__(self) -> None:
+        self._decisions: List[VerificationDecision] = []
+
+    def append(self, decision: VerificationDecision) -> None:
+        """Record one decision."""
+        self._decisions.append(decision)
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[VerificationDecision]:
+        return iter(self._decisions)
+
+    def acceptance_rate(self) -> float:
+        """Fraction of logged attempts that were accepted."""
+        if not self._decisions:
+            return 0.0
+        return sum(d.accepted for d in self._decisions) / len(self._decisions)
+
+    def by_device_pair(self) -> Dict[Tuple[str, str], List[VerificationDecision]]:
+        """Decisions grouped by (gallery device, probe device)."""
+        groups: Dict[Tuple[str, str], List[VerificationDecision]] = {}
+        for decision in self._decisions:
+            key = (decision.gallery_device, decision.probe_device)
+            groups.setdefault(key, []).append(decision)
+        return groups
+
+    def rejection_rate_matrix(self) -> Dict[Tuple[str, str], float]:
+        """Per-device-pair rejection rates (the operator's Table 5 view)."""
+        return {
+            pair: 1.0 - float(np.mean([d.accepted for d in decisions]))
+            for pair, decisions in self.by_device_pair().items()
+        }
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable tail of the log."""
+        lines = [f"AuditLog: {len(self)} decisions, "
+                 f"acceptance rate {self.acceptance_rate():.3f}"]
+        for decision in self._decisions[-limit:]:
+            verdict = "ACCEPT" if decision.accepted else "REJECT"
+            flags = []
+            if decision.probe_device_inferred:
+                flags.append("inferred-device")
+            if decision.calibration_applied:
+                flags.append("tps")
+            lines.append(
+                f"  {verdict}  {decision.identity:<14} "
+                f"raw={decision.raw_score:6.2f} norm={decision.normalized_score:6.2f} "
+                f"thr={decision.threshold:5.2f} "
+                f"{decision.gallery_device or '?'}<-{decision.probe_device or '?'}"
+                f"{'  [' + ','.join(flags) + ']' if flags else ''}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = ["VerificationDecision", "AuditLog"]

@@ -1,0 +1,22 @@
+"""NFIQ-style image quality assessment (substitute for NIST NFIQ)."""
+
+from .features import FEATURE_DIM, QualityFeatures
+from .nfiq import (
+    MAX_REACQUISITIONS,
+    QualityAssessment,
+    assess,
+    nfiq_level,
+    quality_utility,
+    recommend_reacquisition,
+)
+
+__all__ = [
+    "QualityFeatures",
+    "FEATURE_DIM",
+    "QualityAssessment",
+    "assess",
+    "nfiq_level",
+    "quality_utility",
+    "recommend_reacquisition",
+    "MAX_REACQUISITIONS",
+]

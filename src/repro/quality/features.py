@@ -1,0 +1,72 @@
+"""Image-quality feature vector.
+
+NIST's NFIQ predicts matcher performance from features computed on the
+fingerprint image (minutiae count and quality, ridge clarity, usable
+area, ...).  Our acquisition pipeline never rasterizes full images for
+the quantitative experiments, but it knows the *ground truth* of every
+factor those image features estimate, so the quality features here are
+the ideal versions of NFIQ's inputs:
+
+========================  ====================================================
+feature                   image-domain analogue
+========================  ====================================================
+minutiae_count            number of detected minutiae
+contact_area_fraction     usable foreground area / pad area
+mean_coherence            orientation-field coherence (ridge clarity)
+dryness_artifact          broken-ridge speckle from dry skin
+noise_level               sensor noise + spurious detail
+mean_minutia_quality      average per-minutia quality (0-1)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QualityFeatures:
+    """Quality evidence for one impression (all factors in [0, 1] except count)."""
+
+    minutiae_count: int
+    contact_area_fraction: float
+    mean_coherence: float
+    dryness_artifact: float
+    noise_level: float
+    mean_minutia_quality: float
+
+    def __post_init__(self) -> None:
+        if self.minutiae_count < 0:
+            raise ValueError("minutiae_count cannot be negative")
+        for name in ("contact_area_fraction", "mean_coherence",
+                     "dryness_artifact", "noise_level", "mean_minutia_quality"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    def as_vector(self) -> np.ndarray:
+        """Feature vector for classifiers (device inference, Poh et al.).
+
+        The count is squashed to [0, 1] via a soft saturation at 60
+        minutiae so all entries share a scale.
+        """
+        return np.array(
+            [
+                np.tanh(self.minutiae_count / 60.0),
+                self.contact_area_fraction,
+                self.mean_coherence,
+                self.dryness_artifact,
+                self.noise_level,
+                self.mean_minutia_quality,
+            ],
+            dtype=np.float64,
+        )
+
+
+#: Length of :meth:`QualityFeatures.as_vector`.
+FEATURE_DIM = 6
+
+
+__all__ = ["QualityFeatures", "FEATURE_DIM"]

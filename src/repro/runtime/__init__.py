@@ -1,0 +1,53 @@
+"""Experiment-infrastructure substrate: seeding, parallelism, caching.
+
+This package contains no biometrics; it is the plumbing that makes a
+616,000-comparison empirical study deterministic, resumable and fast.
+"""
+
+from .cache import ScoreCache
+from .config import (
+    DEFAULT_SUBJECT_COUNT,
+    PAPER_DDMI_BUDGET,
+    PAPER_DMI_BUDGET,
+    PAPER_SUBJECT_COUNT,
+    StudyConfig,
+    resolve_worker_count,
+)
+from .errors import (
+    AcquisitionError,
+    CacheError,
+    CalibrationError,
+    ConfigurationError,
+    MatcherError,
+    ReproError,
+    SynthesisError,
+    TemplateFormatError,
+)
+from .parallel import chunk_indices, parallel_map, sequential_map
+from .progress import NullProgress, ProgressReporter
+from .rng import SeedTree, derive_seed
+
+__all__ = [
+    "ScoreCache",
+    "StudyConfig",
+    "resolve_worker_count",
+    "DEFAULT_SUBJECT_COUNT",
+    "PAPER_SUBJECT_COUNT",
+    "PAPER_DMI_BUDGET",
+    "PAPER_DDMI_BUDGET",
+    "ReproError",
+    "ConfigurationError",
+    "SynthesisError",
+    "AcquisitionError",
+    "MatcherError",
+    "TemplateFormatError",
+    "CalibrationError",
+    "CacheError",
+    "parallel_map",
+    "sequential_map",
+    "chunk_indices",
+    "ProgressReporter",
+    "NullProgress",
+    "SeedTree",
+    "derive_seed",
+]

@@ -1,0 +1,147 @@
+"""On-disk memoization of expensive study artifacts.
+
+Paper-scale score generation takes minutes; the benchmark harness and the
+analysis notebooks re-run the same configurations repeatedly.
+:class:`ScoreCache` stores numpy arrays (and small JSON metadata) keyed by
+the study-config fingerprint plus an artifact name, so a score set is
+computed at most once per configuration.
+
+The cache format is deliberately simple — one ``.npz`` file per artifact —
+so a corrupt entry can be deleted by hand and nothing else is affected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from .errors import CacheError
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class ScoreCache:
+    """A directory of named numpy-array bundles.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first write.  ``None`` produces a disabled
+        cache whose :meth:`load` always misses — callers never need to
+        branch on whether caching is configured.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self._root: Optional[Path] = Path(directory) if directory is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this cache persists anything."""
+        return self._root is not None
+
+    def _path_for(self, key: str) -> Path:
+        if self._root is None:
+            raise CacheError("cache is disabled; no path exists")
+        if not _KEY_RE.match(key):
+            raise CacheError(
+                f"cache key {key!r} contains characters outside [A-Za-z0-9._-]"
+            )
+        return self._root / f"{key}.npz"
+
+    def store(self, key: str, arrays: Dict[str, np.ndarray], meta: Optional[dict] = None) -> None:
+        """Persist ``arrays`` (and optional JSON-able ``meta``) under ``key``.
+
+        Writes are atomic (write to a temp file, then rename), so a
+        crashed run never leaves a truncated entry behind.
+        """
+        if self._root is None:
+            return
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(arrays)
+        if meta is not None:
+            payload["__meta__"] = np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+            )
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **payload)
+            os.replace(tmp_name, path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise CacheError(f"could not write cache entry {key!r}: {exc}") from exc
+
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Return the arrays stored under ``key``, or ``None`` on a miss.
+
+        A corrupt entry is treated as a miss (and removed) rather than an
+        error: the cache is an optimization, never a source of truth.
+        """
+        if self._root is None:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as bundle:
+                arrays = {name: bundle[name] for name in bundle.files}
+        except (OSError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        arrays.pop("__meta__", None)
+        return arrays
+
+    def load_meta(self, key: str) -> Optional[dict]:
+        """Return the JSON metadata stored alongside ``key``, if any."""
+        if self._root is None:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as bundle:
+                if "__meta__" not in bundle.files:
+                    return None
+                raw = bytes(bundle["__meta__"].tobytes())
+        except (OSError, ValueError):
+            return None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
+    def invalidate(self, key: str) -> bool:
+        """Remove ``key`` from the cache; returns whether it existed."""
+        if self._root is None:
+            return False
+        path = self._path_for(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed."""
+        if self._root is None or not self._root.exists():
+            return 0
+        removed = 0
+        for path in self._root.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+__all__ = ["ScoreCache"]

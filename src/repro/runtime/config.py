@@ -1,0 +1,241 @@
+"""Study configuration.
+
+:class:`StudyConfig` is the single knob panel for the whole reproduction:
+population size, impostor score budgets, master seed, matcher choice and
+parallelism.  The paper's exact experiment is ``StudyConfig.paper_scale()``;
+the default constructor is a scaled-down configuration suitable for tests
+and continuous benchmarking on a laptop.
+
+The environment variable ``REPRO_SUBJECTS`` overrides the population size
+of :meth:`StudyConfig.from_environment`, so benchmark invocations can be
+scaled to paper size (``REPRO_SUBJECTS=494``) without code changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import ConfigurationError
+
+#: Number of participants in the paper's WVU 2012 collection.
+PAPER_SUBJECT_COUNT = 494
+
+#: Number of DMI impostor scores the paper randomly retained (Table 3).
+PAPER_DMI_BUDGET = 120_855
+
+#: Number of DDMI impostor scores the paper randomly retained (Table 3).
+PAPER_DDMI_BUDGET = 483_420
+
+#: Default scaled-down subject count for tests and local benchmarks.
+DEFAULT_SUBJECT_COUNT = 80
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Immutable configuration of one interoperability study run.
+
+    Attributes
+    ----------
+    n_subjects:
+        Number of synthetic participants.
+    master_seed:
+        Root of the deterministic seed tree; identical configs replay
+        bit-identically.
+    dmi_budget, ddmi_budget:
+        Maximum number of same-device / cross-device impostor scores to
+        generate.  ``None`` scales the paper's budgets proportionally to
+        ``n_subjects``; the paper limited these "to a random subset which
+        is still sufficient for statistical confidence".
+    fingers_per_subject:
+        Distinct fingers captured per subject (the paper analyzes the two
+        right "point" — index — fingers).
+    sets_per_device:
+        Impression sets per live-scan device ("users provided two sets of
+        fingerprints").  Ink cards (D4) always contribute one set.
+    matcher_name:
+        Which matcher engine to use: ``"bioengine"`` (default, the
+        Identix substitute) or ``"ridgecount"`` (the diverse matcher).
+    n_workers:
+        Process-pool width for score generation; ``0`` means sequential.
+    cache_dir:
+        Directory for the on-disk score cache; ``None`` disables caching.
+    """
+
+    n_subjects: int = DEFAULT_SUBJECT_COUNT
+    master_seed: int = 20130624  # DSN 2013 started June 24, 2013
+    dmi_budget: Optional[int] = None
+    ddmi_budget: Optional[int] = None
+    fingers_per_subject: int = 2
+    sets_per_device: int = 2
+    matcher_name: str = "bioengine"
+    n_workers: int = 0
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_subjects < 2:
+            raise ConfigurationError(
+                f"n_subjects must be >= 2 (impostor scores need two people), "
+                f"got {self.n_subjects}"
+            )
+        if self.fingers_per_subject < 1:
+            raise ConfigurationError("fingers_per_subject must be >= 1")
+        if self.sets_per_device < 2:
+            raise ConfigurationError(
+                "sets_per_device must be >= 2: genuine same-device scores "
+                "need a gallery and a probe impression"
+            )
+        if self.matcher_name not in ("bioengine", "ridgecount"):
+            raise ConfigurationError(
+                f"unknown matcher {self.matcher_name!r}; "
+                "expected 'bioengine' or 'ridgecount'"
+            )
+        if self.n_workers < 0:
+            raise ConfigurationError("n_workers must be >= 0")
+        for name in ("dmi_budget", "ddmi_budget"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1 or None")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, **overrides: object) -> "StudyConfig":
+        """The configuration matching the paper's Table 3 exactly."""
+        params = dict(
+            n_subjects=PAPER_SUBJECT_COUNT,
+            dmi_budget=PAPER_DMI_BUDGET,
+            ddmi_budget=PAPER_DDMI_BUDGET,
+        )
+        params.update(overrides)  # type: ignore[arg-type]
+        return cls(**params)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_file(cls, path: "os.PathLike", **overrides: object) -> "StudyConfig":
+        """Load a configuration from a JSON file.
+
+        The file holds a flat object whose keys are StudyConfig field
+        names; unknown keys are rejected with the offending name so a
+        typo never silently falls back to a default.  Keyword overrides
+        win over file values.
+        """
+        import json
+        from pathlib import Path
+
+        raw = Path(path).read_text()
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path}: invalid JSON ({exc})") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError(f"{path}: expected a JSON object at top level")
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ConfigurationError(
+                f"{path}: unknown config keys {unknown}; valid keys: {sorted(valid)}"
+            )
+        data.update(overrides)
+        return cls(**data)
+
+    @classmethod
+    def from_environment(cls, **defaults: object) -> "StudyConfig":
+        """Config honouring ``REPRO_SUBJECTS`` / ``REPRO_WORKERS``.
+
+        Keyword arguments are *defaults*: the environment variables win,
+        so a user can rescale any example or benchmark without touching
+        code (``REPRO_SUBJECTS=494 python examples/full_study.py``).
+        """
+        params: dict = dict(defaults)
+        subjects = os.environ.get("REPRO_SUBJECTS")
+        if subjects is not None:
+            try:
+                params["n_subjects"] = int(subjects)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"REPRO_SUBJECTS must be an integer, got {subjects!r}"
+                ) from exc
+        workers = os.environ.get("REPRO_WORKERS")
+        if workers is not None:
+            try:
+                params["n_workers"] = int(workers)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"REPRO_WORKERS must be an integer, got {workers!r}"
+                ) from exc
+        return cls(**params)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def is_paper_scale(self) -> bool:
+        """Whether this run uses the paper's 494-participant population."""
+        return self.n_subjects == PAPER_SUBJECT_COUNT
+
+    def scaled_dmi_budget(self) -> int:
+        """DMI budget, scaling the paper's 120,855 with population size.
+
+        The paper's impostor counts grow quadratically with the number of
+        participants, so the proportional budget scales with
+        ``n_subjects * (n_subjects - 1)``.
+        """
+        if self.dmi_budget is not None:
+            return self.dmi_budget
+        return max(1, round(PAPER_DMI_BUDGET * self._impostor_scale()))
+
+    def scaled_ddmi_budget(self) -> int:
+        """DDMI budget, scaling the paper's 483,420 with population size."""
+        if self.ddmi_budget is not None:
+            return self.ddmi_budget
+        return max(1, round(PAPER_DDMI_BUDGET * self._impostor_scale()))
+
+    def _impostor_scale(self) -> float:
+        pairs = self.n_subjects * (self.n_subjects - 1)
+        paper_pairs = PAPER_SUBJECT_COUNT * (PAPER_SUBJECT_COUNT - 1)
+        return pairs / paper_pairs
+
+    def replace(self, **changes: object) -> "StudyConfig":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def fingerprint(self) -> str:
+        """Stable hash of the configuration, used as the cache key prefix."""
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=12).hexdigest()
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        scale = "paper-scale" if self.is_paper_scale else "scaled-down"
+        return (
+            f"StudyConfig[{scale}]: {self.n_subjects} subjects, "
+            f"{self.fingers_per_subject} fingers, seed={self.master_seed}, "
+            f"matcher={self.matcher_name}, workers={self.n_workers}"
+        )
+
+
+def resolve_worker_count(requested: int) -> int:
+    """Translate a requested worker count into an effective pool size.
+
+    ``0`` means "run in-process".  Any positive request is capped to the
+    machine's CPU count to avoid oversubscription on small runners.
+    """
+    if requested <= 0:
+        return 0
+    available = os.cpu_count() or 1
+    return min(requested, available)
+
+
+__all__ = [
+    "StudyConfig",
+    "resolve_worker_count",
+    "PAPER_SUBJECT_COUNT",
+    "PAPER_DMI_BUDGET",
+    "PAPER_DDMI_BUDGET",
+    "DEFAULT_SUBJECT_COUNT",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from data-level problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A study or component was configured with invalid parameters."""
+
+
+class SynthesisError(ReproError):
+    """Synthetic fingerprint generation failed (e.g. degenerate pattern)."""
+
+
+class AcquisitionError(ReproError):
+    """A sensor model could not produce an impression."""
+
+
+class MatcherError(ReproError):
+    """The matcher was given templates it cannot compare."""
+
+
+class TemplateFormatError(ReproError):
+    """An INCITS 378 buffer (or other codec input) is malformed."""
+
+
+class CalibrationError(ReproError):
+    """A calibration model could not be fit or applied."""
+
+
+class CacheError(ReproError):
+    """The on-disk score cache is corrupt or unwritable."""

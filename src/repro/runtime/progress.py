@@ -1,0 +1,107 @@
+"""Lightweight progress reporting for long score-generation runs.
+
+The harness processes hundreds of thousands of match attempts; a user
+running ``examples/full_study.py`` should see that something is
+happening without the library depending on an external progress-bar
+package.  :class:`ProgressReporter` throttles writes so tight loops pay
+almost nothing for instrumentation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+class ProgressReporter:
+    """Throttled textual progress reporter.
+
+    Parameters
+    ----------
+    total:
+        Expected number of work units, or ``None`` when unknown.
+    label:
+        Short description printed with every update.
+    stream:
+        Output stream; defaults to ``sys.stderr``.  Pass ``None`` to
+        silence the reporter entirely (the mode used by the test suite).
+    min_interval:
+        Minimum seconds between writes.
+    clock:
+        Injectable time source, for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        label: str = "progress",
+        stream: Optional[TextIO] = ...,  # type: ignore[assignment]
+        min_interval: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self._stream: Optional[TextIO] = sys.stderr if stream is ... else stream
+        self._min_interval = min_interval
+        self._clock = clock
+        self._count = 0
+        self._last_emit = -float("inf")
+        self._started = clock()
+        self._emissions = 0
+
+    @property
+    def count(self) -> int:
+        """Work units reported so far."""
+        return self._count
+
+    @property
+    def emissions(self) -> int:
+        """Number of lines actually written (throttling makes this small)."""
+        return self._emissions
+
+    def update(self, n: int = 1) -> None:
+        """Record ``n`` completed units, emitting output if due."""
+        if n < 0:
+            raise ValueError("progress cannot go backwards")
+        self._count += n
+        now = self._clock()
+        if now - self._last_emit >= self._min_interval:
+            self._emit(now)
+
+    def finish(self) -> None:
+        """Force a final emission with the complete count."""
+        self._emit(self._clock(), final=True)
+
+    def _emit(self, now: float, final: bool = False) -> None:
+        self._last_emit = now
+        self._emissions += 1
+        if self._stream is None:
+            return
+        elapsed = max(now - self._started, 1e-9)
+        rate = self._count / elapsed
+        if self.total:
+            pct = 100.0 * self._count / self.total
+            msg = (
+                f"[{self.label}] {self._count}/{self.total} "
+                f"({pct:5.1f}%) {rate:,.0f}/s"
+            )
+        else:
+            msg = f"[{self.label}] {self._count} done, {rate:,.0f}/s"
+        end = "\n" if final else "\r"
+        try:
+            self._stream.write(msg + end)
+            self._stream.flush()
+        except (OSError, ValueError):
+            # A closed or broken stream must never kill the experiment.
+            self._stream = None
+
+
+class NullProgress(ProgressReporter):
+    """A reporter that counts but never writes — default inside the library."""
+
+    def __init__(self, total: Optional[int] = None, label: str = "progress") -> None:
+        super().__init__(total=total, label=label, stream=None, min_interval=0.0)
+
+
+__all__ = ["ProgressReporter", "NullProgress"]

@@ -1,0 +1,69 @@
+"""Acquisition simulation: devices D0–D4 of the paper's Table 1.
+
+Replaces the physical capture hardware with parameterized sensor models.
+The package's central idea is the *device signature warp*: a fixed
+smooth geometric distortion unique to each device that cancels within a
+device and persists across devices — the study's interoperability
+mechanism, made explicit and ablatable.
+"""
+
+from .base import Impression, Sensor
+from .distortion import (
+    RigidPlacement,
+    SmoothWarpField,
+    device_signature_field,
+    relative_warp_rms,
+    sample_placement,
+)
+from .inkcard import InkCardSensor
+from .noise import (
+    PresentationConditions,
+    contact_radii_mm,
+    detection_probability,
+    quality_conditions_factor,
+    sample_conditions,
+)
+from .optical import OpticalSensor
+from .protocol import (
+    Collection,
+    ImpressionKey,
+    ProtocolSettings,
+    acquire_subject_session,
+    build_sensor,
+)
+from .registry import (
+    DEVICE_ORDER,
+    DEVICE_PROFILES,
+    LIVESCAN_DEVICES,
+    DeviceProfile,
+    get_profile,
+    table1_rows,
+)
+
+__all__ = [
+    "Sensor",
+    "Impression",
+    "OpticalSensor",
+    "InkCardSensor",
+    "RigidPlacement",
+    "SmoothWarpField",
+    "device_signature_field",
+    "relative_warp_rms",
+    "sample_placement",
+    "PresentationConditions",
+    "sample_conditions",
+    "contact_radii_mm",
+    "detection_probability",
+    "quality_conditions_factor",
+    "Collection",
+    "ImpressionKey",
+    "ProtocolSettings",
+    "acquire_subject_session",
+    "build_sensor",
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "DEVICE_ORDER",
+    "LIVESCAN_DEVICES",
+    "get_profile",
+    "table1_rows",
+]

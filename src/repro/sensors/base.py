@@ -1,0 +1,353 @@
+"""The acquisition pipeline: master finger → sensed template.
+
+This is the reproduction's replacement for physically pressing a finger
+on a scanner.  One :class:`Sensor` wraps a
+:class:`~repro.sensors.registry.DeviceProfile` and turns a subject's
+master finger into an :class:`Impression` through the stages a real
+capture goes through:
+
+1. presentation conditions (pressure, moisture, habituation);
+2. contact — only the part of the pad touching the platen is imaged;
+3. rigid placement on the platen (removed later by matcher alignment);
+4. the device's fixed *signature warp* — the systematic distortion of
+   its sensing-element arrangement (the study's causal mechanism);
+5. a per-impression stochastic *elastic warp* (skin under pressure);
+6. crop to the device's capture window;
+7. minutia detection dropout, spurious detections, measurement jitter;
+8. conversion to pixel coordinates and quality assessment.
+
+Every stochastic step draws from an injected generator, so an impression
+is a pure function of ``(subject, finger, device, presentation, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..matcher.types import KIND_BIFURCATION, KIND_ENDING, Template, template_from_arrays
+from ..quality.features import QualityFeatures
+from ..quality.nfiq import nfiq_level
+from ..synthesis.master import TYPE_ENDING, MasterFinger
+from ..synthesis.population import Subject
+from .distortion import (
+    SmoothWarpField,
+    device_signature_field,
+    sample_placement,
+)
+from .noise import (
+    PresentationConditions,
+    contact_radii_mm,
+    detection_probability,
+    minutia_quality_values,
+    quality_conditions_factor,
+    sample_conditions,
+    spurious_count,
+)
+from .registry import DeviceProfile
+
+
+@dataclass(frozen=True)
+class Impression:
+    """One sensed fingerprint sample.
+
+    Attributes
+    ----------
+    subject_id, finger_label:
+        Whose finger this is.
+    device_id:
+        Capturing device (``"D0"`` … ``"D4"``).
+    set_index:
+        Which impression set of the collection protocol (0 or 1).
+    presentation_index:
+        The subject's cumulative presentation counter across all devices
+        (habituation input).
+    template:
+        The extracted minutiae template.
+    features:
+        NFIQ-style quality evidence.
+    nfiq:
+        NFIQ level 1 (best) … 5 (worst).
+    conditions:
+        The sampled presentation conditions (exposed for analyses).
+    """
+
+    subject_id: int
+    finger_label: str
+    device_id: str
+    set_index: int
+    presentation_index: int
+    template: Template
+    features: QualityFeatures
+    nfiq: int
+    conditions: PresentationConditions
+
+
+class Sensor:
+    """A parameterized capture device.
+
+    Subclasses adjust family-specific behaviour via the protected hooks
+    (:meth:`_contact_scale`, :meth:`_extra_angle_noise_rad`).
+    """
+
+    def __init__(self, profile: DeviceProfile) -> None:
+        self._profile = profile
+        self._signature = device_signature_field(
+            profile.device_id, profile.signature_magnitude_mm
+        )
+
+    @property
+    def profile(self) -> DeviceProfile:
+        """The device's physical and behavioural parameters."""
+        return self._profile
+
+    @property
+    def device_id(self) -> str:
+        """Registry identifier (``"D0"`` … ``"D4"``)."""
+        return self._profile.device_id
+
+    @property
+    def signature_field(self) -> SmoothWarpField:
+        """The fixed systematic warp of this device (for calibration work)."""
+        return self._signature
+
+    # ------------------------------------------------------------------
+    # Family hooks
+    # ------------------------------------------------------------------
+    def _contact_scale(self, set_index: int) -> float:
+        """Multiplier on the contact ellipse (rolled ink covers more pad)."""
+        return 1.0
+
+    def _elastic_scale(self, set_index: int) -> float:
+        """Multiplier on the stochastic elastic warp (rolling adds more)."""
+        return 1.0
+
+    def _extra_angle_noise_rad(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Additional per-minutia direction noise beyond the profile jitter."""
+        return np.zeros(n, dtype=np.float64)
+
+    def _noise_floor(self) -> float:
+        """Family noise floor added to the image noise feature.
+
+        Ink transfer plus flat-bed scanning leaves texture no optical
+        path produces; quality assessors see it regardless of skin state.
+        """
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        subject: Subject,
+        finger_label: str,
+        rng: np.random.Generator,
+        set_index: int = 0,
+        presentation_index: int = 0,
+        signature_override: Optional[SmoothWarpField] = None,
+    ) -> Impression:
+        """Capture one impression of ``subject``'s ``finger_label``.
+
+        Parameters
+        ----------
+        subject:
+            The participant.
+        finger_label:
+            Which finger (must exist on the subject).
+        rng:
+            Impression-specific generator from the study's seed tree.
+        set_index, presentation_index:
+            Protocol bookkeeping; ``presentation_index`` drives
+            habituation.
+        signature_override:
+            Replace the device signature field — used by the ablation
+            that removes systematic device differences.
+        """
+        profile = self._profile
+        master = subject.finger(finger_label)
+        signature = signature_override if signature_override is not None else self._signature
+
+        conditions = sample_conditions(subject.traits, rng, presentation_index)
+        clarity = quality_conditions_factor(
+            conditions.moisture, conditions.pressure
+        ) * profile.contrast
+
+        # --- contact: which master minutiae touch the platen ------------
+        radius_x, radius_y = contact_radii_mm(
+            master.pad_half_width, master.pad_half_height, conditions.pressure
+        )
+        scale = self._contact_scale(set_index)
+        radius_x *= scale
+        radius_y *= scale
+        positions = master.positions()
+        in_contact = (
+            (positions[:, 0] / radius_x) ** 2 + (positions[:, 1] / radius_y) ** 2
+        ) <= 1.0
+
+        # --- placement ---------------------------------------------------
+        placement = sample_placement(
+            rng,
+            translation_sigma_mm=profile.placement_sigma_mm
+            * (0.55 + 0.9 * conditions.sloppiness),
+            rotation_sigma_rad=np.deg2rad(profile.rotation_sigma_deg)
+            * (0.55 + 0.9 * conditions.sloppiness),
+        )
+        platen = placement.apply(positions)
+        angles = placement.apply_angles(np.array([m.angle for m in master.minutiae]))
+
+        # --- nonrigid warps ----------------------------------------------
+        elastic = SmoothWarpField(
+            seed=int(rng.integers(0, 2**63 - 1)),
+            magnitude_mm=profile.elastic_magnitude_mm
+            * self._elastic_scale(set_index)
+            * (0.7 + 0.6 * (1.1 - conditions.pressure)),
+            scale_mm=5.0,
+        )
+        warped = elastic.apply(signature.apply(platen))
+        local_rot = signature.local_rotation(platen) + elastic.local_rotation(platen)
+        angles = np.mod(angles + local_rot, 2.0 * np.pi)
+
+        # --- crop to the capture window ------------------------------------
+        window_w, window_h = profile.window_mm
+        in_window = (
+            (np.abs(warped[:, 0]) <= window_w / 2.0)
+            & (np.abs(warped[:, 1]) <= window_h / 2.0)
+        )
+
+        # --- detection dropout ---------------------------------------------
+        robustness = np.array([m.robustness for m in master.minutiae])
+        p_detect = detection_probability(
+            robustness, clarity, profile.detection_reliability
+        )
+        detected = rng.random(len(master.minutiae)) < p_detect
+        keep = in_contact & in_window & detected
+
+        kept_positions = warped[keep]
+        kept_angles = angles[keep]
+        kept_robustness = robustness[keep]
+        kept_kinds = np.array(
+            [
+                KIND_ENDING if m.kind == TYPE_ENDING else KIND_BIFURCATION
+                for m, k in zip(master.minutiae, keep)
+                if k
+            ],
+            dtype=np.int64,
+        )
+
+        # --- spurious minutiae ----------------------------------------------
+        n_spurious = spurious_count(rng, clarity, profile.spurious_rate)
+        if n_spurious > 0:
+            sx = rng.uniform(-window_w / 2.0, window_w / 2.0, size=n_spurious)
+            sy = rng.uniform(-window_h / 2.0, window_h / 2.0, size=n_spurious)
+            s_ang = rng.uniform(0.0, 2.0 * np.pi, size=n_spurious)
+            s_kind = rng.choice([KIND_ENDING, KIND_BIFURCATION], size=n_spurious)
+            kept_positions = np.vstack([kept_positions, np.column_stack([sx, sy])])
+            kept_angles = np.concatenate([kept_angles, s_ang])
+            kept_kinds = np.concatenate([kept_kinds, s_kind])
+            kept_robustness = np.concatenate(
+                [kept_robustness, np.full(n_spurious, 0.25)]
+            )
+
+        # --- measurement jitter ------------------------------------------------
+        n_kept = len(kept_positions)
+        if n_kept > 0:
+            kept_positions = kept_positions + rng.normal(
+                0.0, profile.position_jitter_mm, size=kept_positions.shape
+            )
+            angle_noise = rng.normal(
+                0.0, np.deg2rad(profile.angle_jitter_deg), size=n_kept
+            ) + self._extra_angle_noise_rad(rng, n_kept)
+            kept_angles = np.mod(kept_angles + angle_noise, 2.0 * np.pi)
+
+        qualities = minutia_quality_values(rng, kept_robustness, clarity)
+
+        # --- pixel conversion ----------------------------------------------------
+        px_per_mm = profile.resolution_dpi / 25.4
+        offset = np.array([window_w / 2.0, window_h / 2.0])
+        pixel_positions = (kept_positions + offset) * px_per_mm if n_kept else np.zeros((0, 2))
+        template = template_from_arrays(
+            positions_px=pixel_positions,
+            angles=kept_angles,
+            kinds=kept_kinds,
+            qualities=qualities,
+            width_px=profile.image_width_px,
+            height_px=profile.image_height_px,
+            resolution_dpi=profile.resolution_dpi,
+        )
+
+        features = self._quality_features(
+            master, conditions, clarity, kept_positions, qualities,
+            radius_x, radius_y, window_w, window_h, n_spurious,
+        )
+        return Impression(
+            subject_id=subject.subject_id,
+            finger_label=finger_label,
+            device_id=profile.device_id,
+            set_index=set_index,
+            presentation_index=presentation_index,
+            template=template,
+            features=features,
+            nfiq=nfiq_level(features),
+            conditions=conditions,
+        )
+
+    def _quality_features(
+        self,
+        master: MasterFinger,
+        conditions: PresentationConditions,
+        clarity: float,
+        kept_positions: np.ndarray,
+        qualities: np.ndarray,
+        radius_x: float,
+        radius_y: float,
+        window_w: float,
+        window_h: float,
+        n_spurious: int,
+    ) -> QualityFeatures:
+        """Assemble the NFIQ evidence for this impression."""
+        # Contact area relative to the full pad, clipped by the window.
+        effective_rx = min(radius_x, window_w / 2.0)
+        effective_ry = min(radius_y, window_h / 2.0)
+        pad_area = np.pi * master.pad_half_width * master.pad_half_height
+        contact_area = np.pi * effective_rx * effective_ry
+        area_fraction = float(np.clip(contact_area / pad_area, 0.0, 1.0))
+
+        if len(kept_positions) > 0:
+            coherence = float(
+                np.mean(
+                    master.fld.coherence(kept_positions[:, 0], kept_positions[:, 1])
+                )
+            )
+        else:
+            coherence = 0.0
+        coherence = float(np.clip(coherence * (0.6 + 0.4 * clarity), 0.0, 1.0))
+
+        dry = max(0.0, (conditions.moisture - 0.55) / 0.45)
+        wet = max(0.0, (0.35 - conditions.moisture) / 0.35)
+        artifact = float(np.clip(max(dry, wet), 0.0, 1.0))
+
+        total = max(1, len(kept_positions))
+        noise = float(
+            np.clip(
+                self._noise_floor()
+                + (1.0 - clarity) * 0.7
+                + (n_spurious / total) * 0.6,
+                0.0,
+                1.0,
+            )
+        )
+
+        mean_quality = float(qualities.mean() / 100.0) if len(qualities) else 0.0
+        return QualityFeatures(
+            minutiae_count=int(len(kept_positions)),
+            contact_area_fraction=area_fraction,
+            mean_coherence=coherence,
+            dryness_artifact=artifact,
+            noise_level=noise,
+            mean_minutia_quality=mean_quality,
+        )
+
+
+__all__ = ["Sensor", "Impression"]

@@ -1,0 +1,73 @@
+"""Ink-based ten-print card model (device D4).
+
+The paper's fifth source is classical ink: rolled impressions on a
+ten-print card, later scanned at 500 dpi on a flat-bed scanner.  Ink
+impressions differ from optical live-scan in three ways the model
+captures:
+
+* **rolling covers more of the pad** (nail-to-nail) — the contact
+  ellipse is enlarged;
+* **rolling smears geometry** — the finger is rotated under pressure
+  while inked, so the signature and elastic magnitudes in the D4 profile
+  are the largest in the registry, and ridge directions pick up extra
+  noise from ink bleed;
+* **two generations of degradation** — ink transfer and then scanning;
+  the profile's low detection reliability and contrast reflect it.
+
+A real ten-print card carries *two* impressions of each finger: the
+rolled print in its individual box and the finger's appearance in the
+slap (plain) row.  The paper counts only "one set" for D4 — so D4 is
+excluded from the DMG score set (Table 3's 1,976 = 494 x 4 live-scans) —
+yet Table 5 still reports a D4xD4 FNMR cell, which can only come from
+rolled-vs-slap comparisons within the card.  This model therefore emits
+set 0 as the rolled impression and set 1 as the slap impression; the
+score engine uses set 1 only where the paper's D4xD4 cells require it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Sensor
+from .registry import DeviceProfile, get_profile
+
+
+class InkCardSensor(Sensor):
+    """Rolled-ink ten-print card acquisition, flat-bed scanned."""
+
+    #: Rolled impressions reach beyond the flat contact patch.
+    ROLL_CONTACT_GAIN = 1.18
+
+    #: Extra direction noise from ink bleed (radians std).
+    INK_BLEED_ANGLE_STD = np.deg2rad(3.5)
+
+    def __init__(self, profile: DeviceProfile) -> None:
+        if profile.family != "ink":
+            raise ValueError(
+                f"InkCardSensor requires an ink profile, got {profile.family!r}"
+            )
+        super().__init__(profile)
+
+    @classmethod
+    def from_id(cls, device_id: str = "D4") -> "InkCardSensor":
+        """Construct the ink sensor registered as ``device_id``."""
+        return cls(get_profile(device_id))
+
+    def _contact_scale(self, set_index: int) -> float:
+        # Set 0 is the rolled impression (nail-to-nail), set 1 the slap.
+        return self.ROLL_CONTACT_GAIN if set_index == 0 else 0.97
+
+    def _elastic_scale(self, set_index: int) -> float:
+        # Rolling the finger under pressure adds elastic distortion that a
+        # plain slap does not suffer.
+        return 1.0 if set_index == 0 else 0.55
+
+    def _extra_angle_noise_rad(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.normal(0.0, self.INK_BLEED_ANGLE_STD, size=n)
+
+    def _noise_floor(self) -> float:
+        # Ink blobbing/fading texture survives even perfect skin state.
+        return 0.16
+
+
+__all__ = ["InkCardSensor"]

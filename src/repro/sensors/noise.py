@@ -1,0 +1,149 @@
+"""Stochastic acquisition effects: pressure, contact, detection, spurious.
+
+These processes turn a master finger plus a subject's traits into the
+imperfect evidence a real feature extractor would produce:
+
+* pressure controls the *contact ellipse* — low pressure captures less
+  of the pad (fewer minutiae, smaller usable area);
+* dryness/wetness and sensor noise control *detection dropout* of true
+  minutiae and the rate of *spurious* minutiae;
+* habituation improves pressure and placement control across a
+  subject's successive presentations (a §V further-work item the
+  protocol module measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..synthesis.subject import SubjectTraits
+
+
+@dataclass(frozen=True)
+class PresentationConditions:
+    """Sampled conditions of one finger presentation.
+
+    Attributes
+    ----------
+    pressure:
+        Normalized contact pressure in [0.25, 1.1].
+    moisture:
+        Effective skin moisture after per-presentation variation:
+        0 = soaked (smudging), 0.5 = ideal, 1 = bone dry.
+    sloppiness:
+        Placement sloppiness after habituation discount.
+    """
+
+    pressure: float
+    moisture: float
+    sloppiness: float
+
+
+def sample_conditions(
+    traits: SubjectTraits,
+    rng: np.random.Generator,
+    presentation_index: int = 0,
+) -> PresentationConditions:
+    """Draw the conditions of the ``presentation_index``-th presentation.
+
+    Habituation: control improves geometrically with experience, at the
+    subject's own rate — first presentations are the sloppiest, and with
+    practice the typical pressure drifts toward the 0.75 ideal.
+    """
+    experience = 1.0 - (1.0 - traits.habituation_rate * 0.6) ** presentation_index \
+        if presentation_index > 0 else 0.0
+    control = min(0.75, 0.75 * experience)
+
+    effective_mean = traits.pressure_mean + control * (0.75 - traits.pressure_mean)
+    pressure = float(np.clip(
+        rng.normal(effective_mean, traits.pressure_spread * (1.0 - control)),
+        0.25, 1.1,
+    ))
+    # Moisture: dryness trait shifts the mean above the 0.5 ideal;
+    # presentation-level variation (washing hands, sweat) adds spread.
+    moisture = float(np.clip(
+        0.48 + 0.34 * traits.skin_dryness + rng.normal(0.0, 0.08), 0.0, 1.0,
+    ))
+    sloppiness = float(np.clip(
+        traits.placement_sloppiness * (1.0 - control), 0.02, 1.0,
+    ))
+    return PresentationConditions(
+        pressure=pressure, moisture=moisture, sloppiness=sloppiness
+    )
+
+
+def contact_radii_mm(
+    pad_half_width: float,
+    pad_half_height: float,
+    pressure: float,
+) -> tuple:
+    """Semi-axes of the contact ellipse for a flat (plain) impression.
+
+    Full pressure touches ~95 % of the pad; light pressure shrinks the
+    contact patch sub-linearly (Hertzian contact for soft tissue grows
+    quickly with initial load, then saturates).
+    """
+    factor = 0.95 * float(np.clip(pressure, 0.0, 1.1) ** 0.35)
+    return pad_half_width * factor, pad_half_height * factor
+
+
+def quality_conditions_factor(moisture: float, pressure: float) -> float:
+    """Ridge-clarity multiplier in (0, 1] from skin state and pressure.
+
+    Clarity peaks at ideal moisture (0.5) and moderate-to-full pressure;
+    dry skin breaks ridges, soaked skin smudges valleys, and featherweight
+    touches leave faint traces.
+    """
+    moisture_term = float(np.exp(-((moisture - 0.5) / 0.40) ** 2))
+    pressure_term = float(np.clip(pressure / 0.45, 0.0, 1.0))
+    return max(0.05, min(1.0, 0.30 + 0.70 * moisture_term * pressure_term))
+
+
+def detection_probability(
+    robustness: np.ndarray,
+    clarity: float,
+    device_reliability: float,
+) -> np.ndarray:
+    """Per-minutia detection probability.
+
+    ``robustness`` is the master minutia's intrinsic detectability;
+    ``clarity`` comes from :func:`quality_conditions_factor`;
+    ``device_reliability`` is the sensor's extractor performance.
+    """
+    base = np.asarray(robustness, dtype=np.float64)
+    p = base * (0.62 + 0.38 * clarity) * device_reliability
+    return np.clip(p, 0.0, 1.0)
+
+
+def spurious_count(
+    rng: np.random.Generator,
+    clarity: float,
+    device_spurious_rate: float,
+) -> int:
+    """Number of spurious minutiae: Poisson, rate growing as clarity falls."""
+    lam = device_spurious_rate * (1.0 - clarity) * 2.0
+    return int(rng.poisson(max(lam, 0.0)))
+
+
+def minutia_quality_values(
+    rng: np.random.Generator,
+    robustness: np.ndarray,
+    clarity: float,
+) -> np.ndarray:
+    """Per-minutia quality (0–100) as reported by the extractor."""
+    base = np.asarray(robustness, dtype=np.float64) * clarity
+    noisy = base + rng.normal(0.0, 0.07, size=base.shape)
+    return np.clip(np.round(noisy * 100.0), 1, 100).astype(np.int64)
+
+
+__all__ = [
+    "PresentationConditions",
+    "sample_conditions",
+    "contact_radii_mm",
+    "quality_conditions_factor",
+    "detection_probability",
+    "spurious_count",
+    "minutia_quality_values",
+]

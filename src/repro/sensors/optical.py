@@ -1,0 +1,41 @@
+"""Optical live-scan sensor model (devices D0–D3).
+
+All four live-scan devices in the study are optical: a glass platen, a
+laser light source and a CCD/CMOS camera (Section III.A).  The generic
+pipeline in :class:`~repro.sensors.base.Sensor` already covers the
+optical family; this subclass exists to make the family explicit in the
+type system and to model one optical-specific effect: a faint barrel
+distortion from the prism/lens assembly, folded into the device
+signature magnitude (optical devices differ mostly through geometry, not
+through contact physics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Sensor
+from .registry import DeviceProfile, get_profile
+
+
+class OpticalSensor(Sensor):
+    """A glass-platen optical live-scan device."""
+
+    def __init__(self, profile: DeviceProfile) -> None:
+        if profile.family != "optical":
+            raise ValueError(
+                f"OpticalSensor requires an optical profile, got {profile.family!r}"
+            )
+        super().__init__(profile)
+
+    @classmethod
+    def from_id(cls, device_id: str) -> "OpticalSensor":
+        """Construct the optical sensor registered as ``device_id``."""
+        return cls(get_profile(device_id))
+
+    def _extra_angle_noise_rad(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Optical devices add no family-specific direction noise."""
+        return np.zeros(n, dtype=np.float64)
+
+
+__all__ = ["OpticalSensor"]

@@ -1,0 +1,229 @@
+"""The WVU-2012 data-collection protocol.
+
+Section III.A of the paper fixes the protocol this module reproduces:
+
+* the order of fingerprint scanners is the same for all participants;
+* each live-scan device collects **two sets** of fingerprints;
+* ink-based prints are acquired **at the end**, "to not affect the
+  quality of Live-scan fingerprints", and only **one** set exists;
+* fingerprints are collected **without controlling the quality** —
+  quality gating (the NIST reacquisition rule) is therefore *off* by
+  default and available as an opt-in policy for the ablation benchmark.
+
+A subject's ``presentation_index`` counts every presentation they make
+across the whole session, so habituation accumulates through the fixed
+device order exactly as it would for a real volunteer's one-hour visit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..runtime.errors import AcquisitionError
+from ..runtime.rng import SeedTree
+from ..quality.nfiq import recommend_reacquisition
+from ..synthesis.population import Subject
+from .base import Impression, Sensor
+from .inkcard import InkCardSensor
+from .optical import OpticalSensor
+from .registry import DEVICE_ORDER, get_profile
+
+#: Key addressing one impression in a collection.
+ImpressionKey = Tuple[int, str, str, int]  # (subject_id, finger, device, set)
+
+
+def build_sensor(device_id: str) -> Sensor:
+    """Instantiate the right sensor class for a registry device."""
+    profile = get_profile(device_id)
+    if profile.family == "ink":
+        return InkCardSensor(profile)
+    return OpticalSensor(profile)
+
+
+@dataclass(frozen=True)
+class ProtocolSettings:
+    """Behavioural switches of the collection session.
+
+    Attributes
+    ----------
+    device_order:
+        Devices in capture order; the paper used the same order for all
+        participants, ink last.
+    sets_per_livescan:
+        Impression sets per live-scan device (paper: 2).
+    quality_gating:
+        Apply the NIST SP 800-76 reacquisition rule (paper: off).
+    disable_device_signatures:
+        Ablation switch: acquire every impression with a zero systematic
+        warp, removing the between-device geometric differences while
+        keeping all stochastic effects.  Under this ablation the
+        cross-device genuine-score penalty should largely collapse —
+        the causal claim of the study, made testable.
+    """
+
+    device_order: Tuple[str, ...] = DEVICE_ORDER
+    sets_per_livescan: int = 2
+    quality_gating: bool = False
+    disable_device_signatures: bool = False
+
+    def fingerprint(self) -> str:
+        """Short stable token for cache keys."""
+        parts = [
+            "".join(d[1] for d in self.device_order),
+            str(self.sets_per_livescan),
+            "qg" if self.quality_gating else "nq",
+            "nosig" if self.disable_device_signatures else "sig",
+        ]
+        return "-".join(parts)
+
+    def sets_for(self, device_id: str) -> int:
+        """How many impression sets this device yields.
+
+        Ink cards are a single collection event, but the one physical
+        card carries both a rolled print (set 0) and the slap-row print
+        (set 1) of each finger — see :mod:`repro.sensors.inkcard`.
+        """
+        if get_profile(device_id).family == "ink":
+            return 2
+        return self.sets_per_livescan
+
+
+class Collection:
+    """All impressions of one study run, addressable by key."""
+
+    def __init__(self) -> None:
+        self._impressions: Dict[ImpressionKey, Impression] = {}
+
+    def add(self, impression: Impression) -> None:
+        """Register an impression; duplicate keys are a protocol bug."""
+        key = (
+            impression.subject_id,
+            impression.finger_label,
+            impression.device_id,
+            impression.set_index,
+        )
+        if key in self._impressions:
+            raise AcquisitionError(f"duplicate impression for key {key}")
+        self._impressions[key] = impression
+
+    def get(
+        self, subject_id: int, finger: str, device_id: str, set_index: int
+    ) -> Impression:
+        """Fetch one impression; raises with the key when absent."""
+        key = (subject_id, finger, device_id, set_index)
+        try:
+            return self._impressions[key]
+        except KeyError:
+            raise AcquisitionError(f"no impression for key {key}") from None
+
+    def has(self, subject_id: int, finger: str, device_id: str, set_index: int) -> bool:
+        """Whether an impression exists for this key."""
+        return (subject_id, finger, device_id, set_index) in self._impressions
+
+    def __len__(self) -> int:
+        return len(self._impressions)
+
+    def __iter__(self) -> Iterator[Impression]:
+        return iter(self._impressions.values())
+
+    def subjects(self) -> List[int]:
+        """Sorted subject ids present in the collection."""
+        return sorted({key[0] for key in self._impressions})
+
+    def merge(self, other: "Collection") -> None:
+        """Absorb ``other`` (used when assembling parallel shards)."""
+        for impression in other:
+            self.add(impression)
+
+
+def acquire_subject_session(
+    subject: Subject,
+    sensors: Dict[str, Sensor],
+    session_tree: SeedTree,
+    finger_labels: Sequence[str],
+    settings: ProtocolSettings = ProtocolSettings(),
+) -> List[Impression]:
+    """Run one participant through the full collection session.
+
+    Parameters
+    ----------
+    subject:
+        The participant.
+    sensors:
+        Device id → sensor; must cover ``settings.device_order``.
+    session_tree:
+        The subject's seed-tree node; every impression derives its own
+        generator from it.
+    finger_labels:
+        Fingers captured in each set.
+    settings:
+        Protocol switches.
+    """
+    impressions: List[Impression] = []
+    presentation_counter = 0
+    for device_id in settings.device_order:
+        if device_id not in sensors:
+            raise AcquisitionError(f"no sensor instance for device {device_id!r}")
+        sensor = sensors[device_id]
+        for set_index in range(settings.sets_for(device_id)):
+            for finger in finger_labels:
+                impression = _acquire_with_policy(
+                    sensor,
+                    subject,
+                    finger,
+                    session_tree,
+                    set_index,
+                    presentation_counter,
+                    settings,
+                )
+                impressions.append(impression)
+                presentation_counter += 1
+    return impressions
+
+
+def _acquire_with_policy(
+    sensor: Sensor,
+    subject: Subject,
+    finger: str,
+    session_tree: SeedTree,
+    set_index: int,
+    presentation_counter: int,
+    settings: ProtocolSettings,
+) -> Impression:
+    """Acquire one impression, optionally applying the NIST retry rule."""
+    from .distortion import SmoothWarpField  # local import avoids a cycle at load
+
+    signature_override = None
+    if settings.disable_device_signatures:
+        signature_override = SmoothWarpField(seed=0, magnitude_mm=0.0)
+    attempts = 0
+    best: Optional[Impression] = None
+    while True:
+        rng = session_tree.generator(
+            "impression", sensor.device_id, finger, set_index, "attempt", attempts
+        )
+        impression = sensor.acquire(
+            subject,
+            finger,
+            rng,
+            set_index=set_index,
+            presentation_index=presentation_counter + attempts,
+            signature_override=signature_override,
+        )
+        if best is None or impression.nfiq < best.nfiq:
+            best = impression
+        if not settings.quality_gating:
+            return impression
+        if not recommend_reacquisition(impression.nfiq, attempts):
+            return best
+        attempts += 1
+
+
+__all__ = [
+    "ProtocolSettings",
+    "Collection",
+    "ImpressionKey",
+    "acquire_subject_session",
+    "build_sensor",
+]

@@ -1,0 +1,204 @@
+"""Device registry — Table 1 of the paper plus behavioural parameters.
+
+The paper's Table 1 gives the physical characteristics of the four
+live-scan devices; D4 is the ink-based ten-print card scanned on a
+flat-bed at 500 dpi.  Beyond the published numbers, each profile carries
+the behavioural parameters of the acquisition model; the comments note
+which published observation motivates each choice.
+
+========  ==============================  ===========================================
+device    model                           behavioural rationale
+========  ==============================  ===========================================
+D0        Cross Match Guardian R2         benchmark-grade desktop scanner; the
+                                          study's best intra-device FNMR (Table 5)
+D1        i3 digID Mini                   compact device; its *diagonal* FNMR is the
+                                          worst of the live-scans (Table 5 anomaly) —
+                                          modeled as higher per-impression noise
+D2        L1 TouchPrint 5300              top-tier booking station; "presents a larger
+                                          image size with respect to D1"
+D3        Cross Match Seek II             handheld mobile unit with a small platen
+                                          (40.6 x 38.1 mm capture area); placement
+                                          variability is the paper's stated anomaly
+D4        ink ten-print card              rolled ink impressions, scanned; strongest
+                                          distortion, lowest cross-device scores
+                                          (Figure 4), single impression per subject
+========  ==============================  ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..runtime.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Physical (Table 1) and behavioural parameters of one device.
+
+    Physical attributes are verbatim from the paper; behavioural
+    attributes parameterize :mod:`repro.sensors` acquisition models.
+
+    Attributes
+    ----------
+    device_id:
+        ``"D0"`` … ``"D4"``.
+    model:
+        Commercial model name (Table 1).
+    resolution_dpi, image_width_px, image_height_px:
+        Capture resolution and image size (Table 1).
+    capture_width_mm, capture_height_mm:
+        Sensing area (Table 1).
+    family:
+        ``"optical"`` or ``"ink"``.
+    impression_sets:
+        Number of impression sets collected (2 for live-scan, 1 for ink).
+    signature_magnitude_mm:
+        RMS of the fixed device-signature warp field — the systematic
+        geometric fingerprint of the sensing-element arrangement.
+    elastic_magnitude_mm:
+        RMS of the per-impression stochastic elastic warp.
+    placement_sigma_mm, rotation_sigma_deg:
+        Finger placement variability on this device.
+    detection_reliability:
+        Multiplier on minutia detection probability (extractor quality).
+    spurious_rate:
+        Scale of the spurious-minutiae Poisson rate at poor clarity.
+    position_jitter_mm, angle_jitter_deg:
+        Measurement noise on reported minutia position/direction.
+    contrast:
+        Baseline imaging contrast in (0, 1]; feeds quality features.
+    """
+
+    device_id: str
+    model: str
+    resolution_dpi: int
+    image_width_px: int
+    image_height_px: int
+    capture_width_mm: float
+    capture_height_mm: float
+    family: str
+    impression_sets: int
+    signature_magnitude_mm: float
+    elastic_magnitude_mm: float
+    placement_sigma_mm: float
+    rotation_sigma_deg: float
+    detection_reliability: float
+    spurious_rate: float
+    position_jitter_mm: float
+    angle_jitter_deg: float
+    contrast: float
+
+    def __post_init__(self) -> None:
+        if self.family not in ("optical", "ink"):
+            raise ConfigurationError(f"unknown device family {self.family!r}")
+        if self.impression_sets < 1:
+            raise ConfigurationError("impression_sets must be >= 1")
+
+    @property
+    def window_mm(self) -> Tuple[float, float]:
+        """Effective capture window: sensing area clipped to image extent."""
+        image_w = self.image_width_px / self.resolution_dpi * 25.4
+        image_h = self.image_height_px / self.resolution_dpi * 25.4
+        return (min(self.capture_width_mm, image_w),
+                min(self.capture_height_mm, image_h))
+
+
+#: The study's devices, Table 1 values verbatim.
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    "D0": DeviceProfile(
+        device_id="D0", model="Cross Match Guardian R2",
+        resolution_dpi=500, image_width_px=800, image_height_px=750,
+        capture_width_mm=81.0, capture_height_mm=76.0,
+        family="optical", impression_sets=2,
+        signature_magnitude_mm=0.46, elastic_magnitude_mm=0.20,
+        placement_sigma_mm=1.3, rotation_sigma_deg=6.0,
+        detection_reliability=0.97, spurious_rate=1.2,
+        position_jitter_mm=0.055, angle_jitter_deg=4.5, contrast=0.95,
+    ),
+    "D1": DeviceProfile(
+        device_id="D1", model="i3 digID Mini",
+        resolution_dpi=500, image_width_px=752, image_height_px=750,
+        capture_width_mm=81.0, capture_height_mm=76.0,
+        family="optical", impression_sets=2,
+        signature_magnitude_mm=0.50, elastic_magnitude_mm=0.27,
+        placement_sigma_mm=1.6, rotation_sigma_deg=7.0,
+        detection_reliability=0.92, spurious_rate=2.6,
+        position_jitter_mm=0.075, angle_jitter_deg=6.0, contrast=0.84,
+    ),
+    "D2": DeviceProfile(
+        device_id="D2", model="L1 Identity Solutions TouchPrint 5300",
+        resolution_dpi=500, image_width_px=800, image_height_px=750,
+        capture_width_mm=81.0, capture_height_mm=76.0,
+        family="optical", impression_sets=2,
+        signature_magnitude_mm=0.52, elastic_magnitude_mm=0.22,
+        placement_sigma_mm=1.3, rotation_sigma_deg=6.0,
+        detection_reliability=0.96, spurious_rate=1.4,
+        position_jitter_mm=0.060, angle_jitter_deg=5.0, contrast=0.93,
+    ),
+    "D3": DeviceProfile(
+        device_id="D3", model="Cross Match Seek II",
+        resolution_dpi=500, image_width_px=800, image_height_px=750,
+        capture_width_mm=40.6, capture_height_mm=38.1,
+        family="optical", impression_sets=2,
+        signature_magnitude_mm=0.48, elastic_magnitude_mm=0.24,
+        placement_sigma_mm=2.4, rotation_sigma_deg=9.0,
+        detection_reliability=0.95, spurious_rate=1.6,
+        position_jitter_mm=0.065, angle_jitter_deg=5.5, contrast=0.90,
+    ),
+    "D4": DeviceProfile(
+        device_id="D4", model="Ink ten-print card (flat-bed scanned)",
+        resolution_dpi=500, image_width_px=800, image_height_px=750,
+        capture_width_mm=40.6, capture_height_mm=38.1,
+        family="ink", impression_sets=1,
+        signature_magnitude_mm=0.74, elastic_magnitude_mm=0.45,
+        placement_sigma_mm=1.8, rotation_sigma_deg=8.0,
+        detection_reliability=0.93, spurious_rate=2.2,
+        position_jitter_mm=0.100, angle_jitter_deg=7.0, contrast=0.82,
+    ),
+}
+
+#: Capture order used for every participant (fixed, per Section III.A).
+DEVICE_ORDER: Tuple[str, ...] = ("D0", "D1", "D2", "D3", "D4")
+
+#: The four live-scan devices (D4 is the ink ten-print card).
+LIVESCAN_DEVICES: Tuple[str, ...] = ("D0", "D1", "D2", "D3")
+
+
+def get_profile(device_id: str) -> DeviceProfile:
+    """Look up a device profile by id, with a helpful error."""
+    try:
+        return DEVICE_PROFILES[device_id]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PROFILES))
+        raise ConfigurationError(
+            f"unknown device {device_id!r}; known devices: {known}"
+        ) from None
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """The published Table 1, row by row, for the report renderer."""
+    rows = []
+    for device_id in LIVESCAN_DEVICES:
+        p = DEVICE_PROFILES[device_id]
+        rows.append(
+            {
+                "device": device_id,
+                "model": p.model,
+                "resolution_dpi": p.resolution_dpi,
+                "image_size_px": f"{p.image_width_px} x {p.image_height_px}",
+                "capture_area_mm": f"{p.capture_width_mm} x {p.capture_height_mm}",
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "DeviceProfile",
+    "DEVICE_PROFILES",
+    "DEVICE_ORDER",
+    "LIVESCAN_DEVICES",
+    "get_profile",
+    "table1_rows",
+]

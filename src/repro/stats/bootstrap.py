@@ -1,0 +1,138 @@
+"""Bootstrap confidence intervals for error-rate estimates.
+
+Table 5's FNMR cells are proportions of a few thousand genuine scores; a
+reproduction should state how tight those estimates are.  This module
+provides a generic percentile bootstrap and a convenience wrapper for
+FNMR-at-fixed-FMR (resampling genuine and impostor sets independently,
+as the two populations are independent samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .roc import fnmr_at_fmr
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A percentile bootstrap confidence interval.
+
+    Attributes
+    ----------
+    estimate:
+        Point estimate on the full sample.
+    low, high:
+        Interval endpoints at the requested confidence level.
+    confidence:
+        The confidence level, e.g. ``0.95``.
+    n_resamples:
+        Number of bootstrap replicates drawn.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def width(self) -> float:
+        """Interval width ``high - low``."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    data: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap CI of ``statistic`` over ``data``.
+
+    Parameters
+    ----------
+    data:
+        The sample to resample with replacement.
+    statistic:
+        Callable mapping a 1-D array to a scalar.
+    n_resamples:
+        Bootstrap replicates; 1000 is plenty for 95 % intervals.
+    confidence:
+        Two-sided confidence level in (0, 1).
+    rng:
+        Generator for reproducibility; a default generator is created if
+        omitted (then results vary run to run).
+    """
+    arr = np.asarray(data, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    estimate = float(statistic(arr))
+    replicates = np.empty(n_resamples, dtype=np.float64)
+    for i in range(n_resamples):
+        sample = arr[rng.integers(0, arr.size, size=arr.size)]
+        replicates[i] = statistic(sample)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(replicates, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_fnmr_at_fmr(
+    genuine_scores: Sequence[float],
+    impostor_scores: Sequence[float],
+    target_fmr: float,
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapInterval:
+    """Bootstrap CI for FNMR at a fixed FMR operating point.
+
+    Genuine and impostor sets are resampled independently per replicate,
+    and the threshold is re-derived from each impostor resample so the
+    interval reflects threshold-estimation noise too.
+    """
+    gen = np.asarray(genuine_scores, dtype=np.float64).ravel()
+    imp = np.asarray(impostor_scores, dtype=np.float64).ravel()
+    if gen.size == 0 or imp.size == 0:
+        raise ValueError("both score sets must be non-empty")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    estimate = fnmr_at_fmr(gen, imp, target_fmr)
+    replicates = np.empty(n_resamples, dtype=np.float64)
+    for i in range(n_resamples):
+        g = gen[rng.integers(0, gen.size, size=gen.size)]
+        m = imp[rng.integers(0, imp.size, size=imp.size)]
+        replicates[i] = fnmr_at_fmr(g, m, target_fmr)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(replicates, [alpha, 1.0 - alpha])
+    return BootstrapInterval(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+__all__ = ["BootstrapInterval", "bootstrap_ci", "bootstrap_fnmr_at_fmr"]

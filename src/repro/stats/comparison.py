@@ -1,0 +1,158 @@
+"""Proportion intervals and paired matcher comparison.
+
+Supporting statistics for the extension experiments:
+
+* :func:`wilson_interval` — the Wilson score interval for a binomial
+  proportion; the right interval for small error counts (FNMR cells hold
+  a handful of failures), where the normal approximation collapses;
+* :func:`mcnemar_test` — paired comparison of two matchers (or two
+  system configurations) on the *same* comparisons: did engine B fix
+  more failures than it introduced?  This is the statistically sound way
+  to claim "diverse matchers improve detection" (paper §V).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .kendall import erfc_two_sided
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Parameters
+    ----------
+    successes, trials:
+        The observed counts.
+    confidence:
+        Two-sided confidence level in (0, 1).
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"invalid counts: {successes}/{trials}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    if trials == 0:
+        return 0.0, 1.0
+    z = _normal_quantile(1.0 - (1.0 - confidence) / 2.0)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = max(0.0, centre - half)
+    high = min(1.0, centre + half)
+    # Boundary exactness: with 0 successes the analytic lower bound is 0
+    # and floating error must not push it above the point estimate
+    # (symmetrically for all successes).
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return low, high
+
+
+def _normal_quantile(q: float) -> float:
+    """Standard normal quantile via bisection on erfc (no scipy)."""
+    if not 0.0 < q < 1.0:
+        raise ValueError("quantile argument must be in (0, 1)")
+    lo, hi = -10.0, 10.0
+    for __ in range(80):
+        mid = (lo + hi) / 2.0
+        cdf = 1.0 - 0.5 * math.erfc(mid / math.sqrt(2.0))
+        if cdf < q:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class McNemarResult:
+    """Outcome of a paired McNemar test.
+
+    Attributes
+    ----------
+    b:
+        Comparisons system A got right and system B got wrong.
+    c:
+        Comparisons system B got right and system A got wrong.
+    statistic:
+        The continuity-corrected chi-square statistic.
+    p_value:
+        Two-sided p-value (chi-square with 1 dof ≡ |Z| normal tail).
+    """
+
+    b: int
+    c: int
+    statistic: float
+    p_value: float
+
+    @property
+    def favors_b(self) -> bool:
+        """Whether system B fixed more cases than it broke."""
+        return self.c > self.b
+
+
+def mcnemar_test(
+    correct_a: Sequence[bool], correct_b: Sequence[bool]
+) -> McNemarResult:
+    """Paired McNemar test over per-comparison correctness indicators.
+
+    Parameters
+    ----------
+    correct_a, correct_b:
+        Equal-length boolean sequences: whether each system decided the
+        k-th comparison correctly.
+    """
+    a = np.asarray(correct_a, dtype=bool)
+    b_arr = np.asarray(correct_b, dtype=bool)
+    if a.shape != b_arr.shape or a.ndim != 1:
+        raise ValueError("mcnemar_test needs two equal-length 1-D sequences")
+    if a.size == 0:
+        raise ValueError("mcnemar_test needs at least one comparison")
+    b = int(np.count_nonzero(a & ~b_arr))
+    c = int(np.count_nonzero(~a & b_arr))
+    if b + c == 0:
+        return McNemarResult(b=b, c=c, statistic=0.0, p_value=1.0)
+    statistic = (abs(b - c) - 1.0) ** 2 / (b + c)
+    # chi2(1 dof) tail == two-sided normal tail of sqrt(statistic).
+    p_value = erfc_two_sided(math.sqrt(statistic))
+    return McNemarResult(b=b, c=c, statistic=statistic, p_value=p_value)
+
+
+def render_det(
+    fmr_values: Sequence[float],
+    fnmr_values: Sequence[float],
+    title: str = "DET",
+    width: int = 56,
+) -> str:
+    """Text rendering of a detection-error-tradeoff series.
+
+    Rows are requested FMR operating points; bars show FNMR on a log
+    scale so the decades the paper cares about (10^-2 … 10^-4) read
+    directly.
+    """
+    fmr = np.asarray(fmr_values, dtype=np.float64)
+    fnmr = np.asarray(fnmr_values, dtype=np.float64)
+    if fmr.shape != fnmr.shape:
+        raise ValueError("fmr and fnmr series must align")
+    lines = [title, f"  {'FMR':>10}{'FNMR':>10}"]
+    floor = 1e-5
+    for x, y in zip(fmr, fnmr):
+        log_span = math.log10(1.0 / floor)
+        filled = int(round(width * (math.log10(max(y, floor) / floor)) / log_span))
+        lines.append(f"  {x:>10.1e}{y:>10.4f} |{'#' * filled}")
+    return "\n".join(lines)
+
+
+__all__ = ["wilson_interval", "McNemarResult", "mcnemar_test", "render_det"]

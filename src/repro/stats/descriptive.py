@@ -1,0 +1,96 @@
+"""Descriptive statistics helpers used across the analysis modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a score population."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def render(self, label: str = "") -> str:
+        """One-line textual rendering."""
+        prefix = f"{label}: " if label else ""
+        return (
+            f"{prefix}n={self.n} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} q25={self.q25:.3f} med={self.median:.3f} "
+            f"q75={self.q75:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty or contains non-finite entries.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if np.any(~np.isfinite(arr)):
+        raise ValueError("summarize requires finite values")
+    q25, median, q75 = np.quantile(arr, [0.25, 0.5, 0.75])
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        q25=float(q25),
+        median=float(median),
+        q75=float(q75),
+        maximum=float(arr.max()),
+    )
+
+
+def proportion(condition_count: int, total: int) -> float:
+    """Safe proportion: ``condition_count / total`` with zero-total guard."""
+    if total < 0 or condition_count < 0:
+        raise ValueError("counts must be non-negative")
+    if condition_count > total:
+        raise ValueError("condition_count cannot exceed total")
+    if total == 0:
+        return 0.0
+    return condition_count / total
+
+
+def overlap_coefficient(
+    sample_a: Sequence[float], sample_b: Sequence[float], n_bins: int = 64
+) -> float:
+    """Histogram-overlap coefficient in [0, 1] between two samples.
+
+    Used to quantify the paper's qualitative claim that "the overlap of
+    genuine and impostor score distributions is greater when they were
+    acquired from diverse sensors".
+    """
+    a = np.asarray(sample_a, dtype=np.float64).ravel()
+    b = np.asarray(sample_b, dtype=np.float64).ravel()
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    lo = min(a.min(), b.min())
+    hi = max(a.max(), b.max())
+    if hi <= lo:
+        return 1.0
+    edges = np.linspace(lo, hi, n_bins + 1)
+    pa, __ = np.histogram(a, bins=edges)
+    pb, __ = np.histogram(b, bins=edges)
+    da = pa / pa.sum()
+    db = pb / pb.sum()
+    return float(np.minimum(da, db).sum())
+
+
+__all__ = ["Summary", "summarize", "proportion", "overlap_coefficient"]

@@ -1,0 +1,203 @@
+"""Binned distributions and terminal rendering for the paper's figures.
+
+Figures 2–4 are score histograms; Figure 5 is a 5×5 frequency surface
+over (gallery quality, probe quality).  The library renders both as
+plain text so every figure can be regenerated in a headless environment
+and diffed in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A one-dimensional binned distribution.
+
+    Attributes
+    ----------
+    edges:
+        Bin edges, length ``len(counts) + 1``, ascending.
+    counts:
+        Observations per bin.
+    label:
+        Optional series name (e.g. ``"DMG"``).
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.counts) + 1:
+            raise ValueError("edges must be one longer than counts")
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return int(self.counts.sum())
+
+    def density(self) -> np.ndarray:
+        """Counts normalized to sum to 1 (empty histogram → zeros)."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    def bin_range(self, index: int) -> Tuple[float, float]:
+        """The ``[low, high)`` range of bin ``index``."""
+        return float(self.edges[index]), float(self.edges[index + 1])
+
+    def count_in(self, low: float, high: float) -> int:
+        """Sum counts of all bins fully inside ``[low, high)``."""
+        mask = (self.edges[:-1] >= low) & (self.edges[1:] <= high)
+        return int(self.counts[mask].sum())
+
+
+def score_histogram(
+    scores: Sequence[float],
+    bin_width: float = 1.0,
+    score_range: Optional[Tuple[float, float]] = None,
+    label: str = "",
+) -> Histogram:
+    """Histogram of similarity scores on fixed-width bins.
+
+    The paper reads its figures on unit-width score bins ("the frequency
+    of the DMI scores for the range 0-1 is 18,721 ..."), so unit bins are
+    the default.
+    """
+    arr = np.asarray(scores, dtype=np.float64).ravel()
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if score_range is None:
+        if arr.size == 0:
+            score_range = (0.0, 1.0)
+        else:
+            score_range = (float(np.floor(arr.min())), float(np.ceil(arr.max())))
+    lo, hi = score_range
+    if hi <= lo:
+        hi = lo + bin_width
+    n_bins = max(1, int(np.ceil((hi - lo) / bin_width)))
+    edges = lo + bin_width * np.arange(n_bins + 1)
+    counts, __ = np.histogram(arr, bins=edges)
+    return Histogram(edges=edges, counts=counts, label=label)
+
+
+def render_histogram(
+    hist: Histogram,
+    width: int = 50,
+    log_scale: bool = False,
+) -> str:
+    """Render a histogram as an ASCII bar chart (one line per bin)."""
+    lines: List[str] = []
+    if hist.label:
+        lines.append(f"{hist.label} (n={hist.total})")
+    counts = hist.counts.astype(np.float64)
+    if log_scale:
+        counts = np.log10(counts + 1.0)
+    peak = counts.max() if counts.size else 0.0
+    for i, count in enumerate(hist.counts):
+        lo, hi = hist.bin_range(i)
+        bar_len = 0 if peak == 0 else int(round(width * counts[i] / peak))
+        bar = "#" * bar_len
+        lines.append(f"  [{lo:7.2f},{hi:7.2f}) {count:>8d} |{bar}")
+    return "\n".join(lines)
+
+
+def render_overlaid(
+    hist_a: Histogram,
+    hist_b: Histogram,
+    width: int = 40,
+    log_scale: bool = True,
+) -> str:
+    """Render two same-binning histograms side by side (Figures 2/3 style)."""
+    if not np.array_equal(hist_a.edges, hist_b.edges):
+        raise ValueError("histograms must share bin edges to be overlaid")
+    a = hist_a.counts.astype(np.float64)
+    b = hist_b.counts.astype(np.float64)
+    if log_scale:
+        a = np.log10(a + 1.0)
+        b = np.log10(b + 1.0)
+    peak = max(a.max() if a.size else 0.0, b.max() if b.size else 0.0)
+    label_a = hist_a.label or "A"
+    label_b = hist_b.label or "B"
+    lines = [f"{label_a} (n={hist_a.total})  vs  {label_b} (n={hist_b.total})"]
+    for i in range(len(hist_a.counts)):
+        lo, hi = hist_a.bin_range(i)
+        la = 0 if peak == 0 else int(round(width * a[i] / peak))
+        lb = 0 if peak == 0 else int(round(width * b[i] / peak))
+        lines.append(
+            f"  [{lo:6.1f},{hi:6.1f}) "
+            f"{hist_a.counts[i]:>8d} |{'#' * la:<{width}}| "
+            f"{hist_b.counts[i]:>8d} |{'*' * lb}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FrequencySurface:
+    """A 2-D frequency table over integer category pairs (Figure 5).
+
+    Attributes
+    ----------
+    row_labels, col_labels:
+        Category values for the rows and columns (e.g. NFIQ levels 1–5).
+    counts:
+        ``counts[i, j]`` is the frequency at (row i, column j).
+    """
+
+    row_labels: Sequence[int]
+    col_labels: Sequence[int]
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.counts.shape != (len(self.row_labels), len(self.col_labels)):
+            raise ValueError("counts shape must match labels")
+
+    @property
+    def total(self) -> int:
+        """Total frequency over all cells."""
+        return int(self.counts.sum())
+
+    def render(self, row_title: str = "rows", col_title: str = "cols") -> str:
+        """Render the surface as an aligned text matrix."""
+        header = " " * 10 + "".join(f"{c:>8}" for c in self.col_labels)
+        lines = [f"{row_title} \\ {col_title}", header]
+        for i, r in enumerate(self.row_labels):
+            row = "".join(f"{int(self.counts[i, j]):>8d}"
+                          for j in range(len(self.col_labels)))
+            lines.append(f"{r:>10}" + row)
+        return "\n".join(lines)
+
+
+def frequency_surface(
+    row_values: Sequence[int],
+    col_values: Sequence[int],
+    levels: Sequence[int] = (1, 2, 3, 4, 5),
+) -> FrequencySurface:
+    """Count co-occurrences of (row, col) pairs over fixed category levels."""
+    rows = np.asarray(row_values, dtype=np.int64).ravel()
+    cols = np.asarray(col_values, dtype=np.int64).ravel()
+    if rows.size != cols.size:
+        raise ValueError("row_values and col_values must pair up")
+    levels = list(levels)
+    index = {level: i for i, level in enumerate(levels)}
+    counts = np.zeros((len(levels), len(levels)), dtype=np.int64)
+    for r, c in zip(rows, cols):
+        if int(r) in index and int(c) in index:
+            counts[index[int(r)], index[int(c)]] += 1
+    return FrequencySurface(row_labels=levels, col_labels=levels, counts=counts)
+
+
+__all__ = [
+    "Histogram",
+    "score_histogram",
+    "render_histogram",
+    "render_overlaid",
+    "FrequencySurface",
+    "frequency_surface",
+]

@@ -1,0 +1,189 @@
+"""Biometric error-rate computation: FMR, FNMR, ROC/DET curves, EER.
+
+Terminology follows the paper (and ISO/IEC 19795):
+
+* **FMR** (false match rate) — fraction of *impostor* comparisons whose
+  score reaches the decision threshold.
+* **FNMR** (false non-match rate) — fraction of *genuine* comparisons
+  whose score falls below the threshold.
+* **FNMR @ FMR** — the operating points of Tables 5 and 6: pick the
+  threshold where the impostor distribution yields the target FMR, then
+  read off the genuine miss rate.
+
+All functions treat "score >= threshold" as a match decision, matching
+similarity-score conventions (higher = more similar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _as_scores(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError(f"{name} score set is empty")
+    if np.any(~np.isfinite(arr)):
+        raise ValueError(f"{name} scores must be finite")
+    return arr
+
+
+def fmr_at_threshold(impostor_scores: Sequence[float], threshold: float) -> float:
+    """Fraction of impostor scores at or above ``threshold``."""
+    scores = _as_scores(impostor_scores, "impostor")
+    return float(np.count_nonzero(scores >= threshold)) / scores.size
+
+
+def fnmr_at_threshold(genuine_scores: Sequence[float], threshold: float) -> float:
+    """Fraction of genuine scores strictly below ``threshold``."""
+    scores = _as_scores(genuine_scores, "genuine")
+    return float(np.count_nonzero(scores < threshold)) / scores.size
+
+
+def threshold_at_fmr(impostor_scores: Sequence[float], target_fmr: float) -> float:
+    """Smallest threshold whose FMR does not exceed ``target_fmr``.
+
+    With ``m`` impostor scores, achievable FMR values are ``k/m``; this
+    returns the threshold realizing the largest achievable FMR that is
+    ``<= target_fmr`` (the conservative operating point used when a paper
+    states "at fixed FMR of 0.01%").
+    """
+    if not 0.0 <= target_fmr <= 1.0:
+        raise ValueError(f"target_fmr must be in [0, 1], got {target_fmr}")
+    scores = np.sort(_as_scores(impostor_scores, "impostor"))[::-1]
+    m = scores.size
+    # Largest k with k/m <= target_fmr.
+    k = int(np.floor(target_fmr * m + 1e-12))
+    if k <= 0:
+        # No impostor may match: threshold just above the impostor maximum.
+        return float(np.nextafter(scores[0], np.inf))
+    # Threshold = the k-th highest impostor score admits exactly the top k
+    # (ties may admit more; step down until the realized FMR fits).
+    threshold = float(scores[k - 1])
+    while fmr_at_threshold(scores, threshold) > target_fmr:
+        threshold = float(np.nextafter(threshold, np.inf))
+        above = scores[scores >= threshold]
+        if above.size == 0:
+            break
+    return threshold
+
+
+def fnmr_at_fmr(
+    genuine_scores: Sequence[float],
+    impostor_scores: Sequence[float],
+    target_fmr: float,
+) -> float:
+    """FNMR at the threshold fixed by ``target_fmr`` — Tables 5/6 cells."""
+    threshold = threshold_at_fmr(impostor_scores, target_fmr)
+    return fnmr_at_threshold(genuine_scores, threshold)
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A receiver-operating-characteristic sweep.
+
+    Attributes
+    ----------
+    thresholds:
+        Candidate thresholds, ascending.
+    fmr:
+        False-match rate at each threshold.
+    fnmr:
+        False-non-match rate at each threshold.
+    """
+
+    thresholds: np.ndarray
+    fmr: np.ndarray
+    fnmr: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.thresholds) == len(self.fmr) == len(self.fnmr)):
+            raise ValueError("ROC arrays must have equal length")
+
+    def equal_error_rate(self) -> float:
+        """EER: the rate where FMR and FNMR cross, linearly interpolated."""
+        diff = self.fmr - self.fnmr
+        # diff starts >= 0 (low threshold: everything matches) and ends <= 0.
+        sign_change = np.where(np.diff(np.sign(diff)) != 0)[0]
+        if sign_change.size == 0:
+            # No crossing inside the sweep; report the closest point.
+            idx = int(np.argmin(np.abs(diff)))
+            return float((self.fmr[idx] + self.fnmr[idx]) / 2.0)
+        i = int(sign_change[0])
+        d0, d1 = diff[i], diff[i + 1]
+        if d0 == d1:
+            frac = 0.0
+        else:
+            frac = d0 / (d0 - d1)
+        fmr_i = self.fmr[i] + frac * (self.fmr[i + 1] - self.fmr[i])
+        fnmr_i = self.fnmr[i] + frac * (self.fnmr[i + 1] - self.fnmr[i])
+        return float((fmr_i + fnmr_i) / 2.0)
+
+
+def roc_curve(
+    genuine_scores: Sequence[float],
+    impostor_scores: Sequence[float],
+    n_points: int = 0,
+) -> RocCurve:
+    """Sweep thresholds over the observed score range.
+
+    Parameters
+    ----------
+    genuine_scores, impostor_scores:
+        The two score populations.
+    n_points:
+        If positive, evaluate on an evenly spaced grid of this size;
+        otherwise evaluate at every distinct observed score (exact ROC).
+    """
+    gen = _as_scores(genuine_scores, "genuine")
+    imp = _as_scores(impostor_scores, "impostor")
+    if n_points > 0:
+        lo = min(gen.min(), imp.min())
+        hi = max(gen.max(), imp.max())
+        thresholds = np.linspace(lo, hi + 1e-9, n_points)
+    else:
+        thresholds = np.unique(np.concatenate([gen, imp]))
+        thresholds = np.append(thresholds, thresholds[-1] + 1e-9)
+
+    gen_sorted = np.sort(gen)
+    imp_sorted = np.sort(imp)
+    # FNMR(t) = #genuine < t / n ; searchsorted('left') counts strictly less.
+    fnmr = np.searchsorted(gen_sorted, thresholds, side="left") / gen.size
+    # FMR(t) = #impostor >= t / m.
+    fmr = (imp.size - np.searchsorted(imp_sorted, thresholds, side="left")) / imp.size
+    return RocCurve(thresholds=thresholds, fmr=fmr, fnmr=fnmr)
+
+
+def equal_error_rate(
+    genuine_scores: Sequence[float], impostor_scores: Sequence[float]
+) -> float:
+    """Convenience wrapper: exact-sweep EER of two score populations."""
+    return roc_curve(genuine_scores, impostor_scores).equal_error_rate()
+
+
+def det_points(
+    genuine_scores: Sequence[float],
+    impostor_scores: Sequence[float],
+    fmr_targets: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Detection-error-tradeoff samples: FNMR at each requested FMR."""
+    targets = np.asarray(fmr_targets, dtype=np.float64)
+    fnmrs = np.array(
+        [fnmr_at_fmr(genuine_scores, impostor_scores, t) for t in targets]
+    )
+    return targets, fnmrs
+
+
+__all__ = [
+    "fmr_at_threshold",
+    "fnmr_at_threshold",
+    "threshold_at_fmr",
+    "fnmr_at_fmr",
+    "RocCurve",
+    "roc_curve",
+    "equal_error_rate",
+    "det_points",
+]

@@ -1,0 +1,208 @@
+"""Master fingerprint synthesis.
+
+A *master finger* is the ground-truth identity object: an orientation
+field plus a set of master minutiae in finger-space millimetres.  Every
+impression of the finger (on any sensor) is derived from the master by
+the acquisition pipeline in :mod:`repro.sensors`.
+
+Minutiae are laid down with a Poisson-disk-style dart-throwing process
+inside an elliptical finger pad, with density matched to real fingers
+(~0.2 minutiae/mm^2; a typical 500-dpi flat capture contains 30–60
+minutiae).  Each master minutia carries:
+
+* position (mm) and ridge-flow-consistent direction,
+* a type (ridge ending / bifurcation, ~55/45 in real fingers),
+* a *robustness* in (0, 1] — how reliably a feature extractor detects
+  this minutia; it falls near singularities (high ridge curvature) and
+  toward the pad boundary, which is what real extractors do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..runtime.errors import SynthesisError
+from .orientation import OrientationField
+from .pattern import PatternClass, build_orientation_field, sample_pattern_class
+
+#: Mean ridge period of adult fingers, millimetres.
+RIDGE_PERIOD_MM = 0.46
+
+#: Minutia type constants (match INCITS 378 encoding).
+TYPE_ENDING = "ending"
+TYPE_BIFURCATION = "bifurcation"
+
+
+@dataclass(frozen=True)
+class MasterMinutia:
+    """A ground-truth minutia in finger space.
+
+    Attributes
+    ----------
+    x, y:
+        Position, millimetres, finger-pad-centred coordinates.
+    angle:
+        Ridge-flow direction, radians in [0, 2*pi).
+    kind:
+        ``"ending"`` or ``"bifurcation"``.
+    robustness:
+        Probability-like reliability of detection in a *good-quality*
+        impression; degraded further by acquisition conditions.
+    """
+
+    x: float
+    y: float
+    angle: float
+    kind: str
+    robustness: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in (TYPE_ENDING, TYPE_BIFURCATION):
+            raise ValueError(f"bad minutia kind {self.kind!r}")
+        if not 0.0 < self.robustness <= 1.0:
+            raise ValueError(f"robustness must be in (0, 1], got {self.robustness}")
+
+
+@dataclass(frozen=True)
+class MasterFinger:
+    """The ground-truth description of one finger.
+
+    Attributes
+    ----------
+    pattern:
+        Galton–Henry pattern class.
+    fld:
+        The finger's orientation field.
+    minutiae:
+        Master minutiae, finger space.
+    pad_half_width, pad_half_height:
+        Semi-axes (mm) of the elliptical finger pad.
+    """
+
+    pattern: PatternClass
+    fld: OrientationField
+    minutiae: Tuple[MasterMinutia, ...]
+    pad_half_width: float
+    pad_half_height: float
+
+    @property
+    def n_minutiae(self) -> int:
+        """Number of master minutiae."""
+        return len(self.minutiae)
+
+    def positions(self) -> np.ndarray:
+        """(n, 2) array of minutia positions in mm."""
+        return np.array([[m.x, m.y] for m in self.minutiae], dtype=np.float64)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether a finger-space point lies on the pad ellipse."""
+        return (x / self.pad_half_width) ** 2 + (y / self.pad_half_height) ** 2 <= 1.0
+
+
+def _sample_positions(
+    rng: np.random.Generator,
+    n_target: int,
+    half_width: float,
+    half_height: float,
+    min_separation: float,
+) -> List[Tuple[float, float]]:
+    """Dart-throwing with a minimum-separation constraint.
+
+    Real minutiae never sit closer than roughly one ridge period; without
+    this constraint the matcher's tolerance boxes would merge neighbours
+    and inflate impostor scores.
+    """
+    positions: List[Tuple[float, float]] = []
+    max_attempts = n_target * 60
+    attempts = 0
+    min_sep_sq = min_separation * min_separation
+    while len(positions) < n_target and attempts < max_attempts:
+        attempts += 1
+        # Rejection-sample inside the ellipse, mildly centre-weighted
+        # (minutia density is a little higher near the core region).
+        x = rng.normal(0.0, half_width * 0.55)
+        y = rng.normal(0.0, half_height * 0.55)
+        if (x / half_width) ** 2 + (y / half_height) ** 2 > 1.0:
+            continue
+        if any((x - px) ** 2 + (y - py) ** 2 < min_sep_sq for px, py in positions):
+            continue
+        positions.append((x, y))
+    if len(positions) < max(8, n_target // 3):
+        raise SynthesisError(
+            f"dart throwing placed only {len(positions)} of {n_target} minutiae; "
+            "pad or separation parameters are degenerate"
+        )
+    return positions
+
+
+def synthesize_master_finger(
+    rng: np.random.Generator,
+    pattern: PatternClass = None,
+    mean_minutiae: float = 50.0,
+    minutiae_spread: float = 7.0,
+) -> MasterFinger:
+    """Generate a complete master finger.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness; derive it from the subject's seed-tree node
+        so fingers are reproducible in isolation.
+    pattern:
+        Force a pattern class; sampled from natural frequencies if None.
+    mean_minutiae, minutiae_spread:
+        Normal law for the total master minutiae count (clipped to a
+        physiological 22–75 range).
+    """
+    if pattern is None:
+        pattern = sample_pattern_class(rng)
+    fld = build_orientation_field(pattern, rng)
+
+    # Finger-pad geometry: adults span roughly 16-21 mm wide pads.
+    half_width = float(rng.uniform(8.0, 10.5))
+    half_height = float(rng.uniform(10.5, 13.5))
+
+    n_minutiae = int(np.clip(round(rng.normal(mean_minutiae, minutiae_spread)), 22, 75))
+    positions = _sample_positions(
+        rng,
+        n_minutiae,
+        half_width,
+        half_height,
+        min_separation=2.1 * RIDGE_PERIOD_MM,
+    )
+
+    minutiae: List[MasterMinutia] = []
+    for x, y in positions:
+        angle = fld.ridge_direction_at(x, y, rng)
+        kind = TYPE_ENDING if rng.random() < 0.55 else TYPE_BIFURCATION
+        # Robustness: degrade near singular points and near the pad edge.
+        d_sing = fld.distance_to_nearest_singularity(x, y)
+        sing_penalty = 0.25 * float(np.exp(-((d_sing / 2.0) ** 2)))
+        radial = (x / half_width) ** 2 + (y / half_height) ** 2
+        edge_penalty = 0.30 * max(0.0, radial - 0.55) / 0.45
+        base = rng.uniform(0.82, 1.0)
+        robustness = float(np.clip(base - sing_penalty - edge_penalty, 0.15, 1.0))
+        minutiae.append(
+            MasterMinutia(x=x, y=y, angle=angle, kind=kind, robustness=robustness)
+        )
+
+    return MasterFinger(
+        pattern=pattern,
+        fld=fld,
+        minutiae=tuple(minutiae),
+        pad_half_width=half_width,
+        pad_half_height=half_height,
+    )
+
+
+__all__ = [
+    "MasterMinutia",
+    "MasterFinger",
+    "synthesize_master_finger",
+    "RIDGE_PERIOD_MM",
+    "TYPE_ENDING",
+    "TYPE_BIFURCATION",
+]

@@ -1,0 +1,109 @@
+"""Fingerprint pattern classes and singularity layout sampling.
+
+Real fingerprints fall into a handful of Galton–Henry pattern classes
+with well-known population frequencies (loops ~60–65 %, whorls ~30 %,
+arches ~5 %).  The pattern class determines the number and rough
+placement of cores and deltas, which in turn shapes the orientation
+field of :mod:`repro.synthesis.orientation`.
+
+Placement values are jittered per finger so no two synthetic fingers
+share an orientation field.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+import numpy as np
+
+from .orientation import OrientationField, Singularity
+
+
+class PatternClass(enum.Enum):
+    """Galton–Henry fingerprint pattern classes."""
+
+    PLAIN_ARCH = "plain_arch"
+    TENTED_ARCH = "tented_arch"
+    LEFT_LOOP = "left_loop"
+    RIGHT_LOOP = "right_loop"
+    WHORL = "whorl"
+
+
+#: Approximate natural frequencies of the pattern classes
+#: (Maltoni et al., Handbook of Fingerprint Recognition, ch. 1).
+PATTERN_FREQUENCIES: Dict[PatternClass, float] = {
+    PatternClass.PLAIN_ARCH: 0.037,
+    PatternClass.TENTED_ARCH: 0.029,
+    PatternClass.LEFT_LOOP: 0.338,
+    PatternClass.RIGHT_LOOP: 0.317,
+    PatternClass.WHORL: 0.279,
+}
+
+
+def sample_pattern_class(rng: np.random.Generator) -> PatternClass:
+    """Draw a pattern class from the natural population frequencies."""
+    classes = list(PATTERN_FREQUENCIES)
+    probs = np.array([PATTERN_FREQUENCIES[c] for c in classes])
+    probs = probs / probs.sum()
+    index = int(rng.choice(len(classes), p=probs))
+    return classes[index]
+
+
+def _jitter(rng: np.random.Generator, scale: float) -> float:
+    return float(rng.normal(0.0, scale))
+
+
+def build_orientation_field(
+    pattern: PatternClass, rng: np.random.Generator
+) -> OrientationField:
+    """Construct a jittered orientation field for ``pattern``.
+
+    Layouts (finger-space mm; y grows toward the fingertip):
+
+    * plain arch — no singularities, smooth arch bend;
+    * tented arch — core and delta nearly vertically aligned, close;
+    * left/right loop — one core above one delta, delta offset to the
+      loop's open side;
+    * whorl — two cores flanked by two deltas.
+    """
+    singularities: List[Singularity] = []
+    base = _jitter(rng, 0.06)
+    bend = 0.0
+
+    if pattern is PatternClass.PLAIN_ARCH:
+        bend = 0.55 + _jitter(rng, 0.08)
+    elif pattern is PatternClass.TENTED_ARCH:
+        cx = _jitter(rng, 0.8)
+        cy = 0.5 + _jitter(rng, 0.8)
+        singularities.append(Singularity(cx, cy, "core"))
+        singularities.append(Singularity(cx + _jitter(rng, 0.5), cy - 4.5 + _jitter(rng, 0.8), "delta"))
+    elif pattern in (PatternClass.LEFT_LOOP, PatternClass.RIGHT_LOOP):
+        side = -1.0 if pattern is PatternClass.LEFT_LOOP else 1.0
+        core_x = side * (0.8 + abs(_jitter(rng, 0.6)))
+        core_y = 1.5 + _jitter(rng, 1.0)
+        delta_x = -side * (4.0 + abs(_jitter(rng, 1.0)))
+        delta_y = core_y - 6.0 + _jitter(rng, 1.0)
+        singularities.append(Singularity(core_x, core_y, "core"))
+        singularities.append(Singularity(delta_x, delta_y, "delta"))
+    elif pattern is PatternClass.WHORL:
+        spread = 1.6 + abs(_jitter(rng, 0.5))
+        cy = 1.0 + _jitter(rng, 0.8)
+        singularities.append(Singularity(-spread + _jitter(rng, 0.3), cy + _jitter(rng, 0.5), "core"))
+        singularities.append(Singularity(spread + _jitter(rng, 0.3), cy + _jitter(rng, 0.5), "core"))
+        singularities.append(Singularity(-5.2 + _jitter(rng, 0.7), cy - 6.5 + _jitter(rng, 0.8), "delta"))
+        singularities.append(Singularity(5.2 + _jitter(rng, 0.7), cy - 6.5 + _jitter(rng, 0.8), "delta"))
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unhandled pattern class {pattern!r}")
+
+    return OrientationField(
+        singularities=tuple(singularities), base_angle=base, arch_bend=bend
+    )
+
+
+__all__ = [
+    "PatternClass",
+    "PATTERN_FREQUENCIES",
+    "sample_pattern_class",
+    "build_orientation_field",
+]

@@ -1,0 +1,142 @@
+"""Ridge-image rendering (visualization substrate).
+
+The quantitative pipeline in this reproduction is template-based: sensors
+observe minutiae directly, because that is what the matcher consumes and
+what the study measures.  For the examples and documentation it is still
+useful to *see* a synthetic finger, so this module renders an
+approximate ridge image from the orientation field:
+
+* a phase field is grown outward from the pad centre by integrating the
+  ridge normal direction (a cheap variant of SFinGe's iterative Gabor
+  expansion),
+* intensity is ``cos(phase)`` masked to the pad ellipse, with dryness
+  noise sprinkled on top,
+* output is an 8-bit grayscale array plus a PGM writer, so no imaging
+  dependency is required.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from .master import MasterFinger, RIDGE_PERIOD_MM
+
+
+def render_ridge_image(
+    finger: MasterFinger,
+    pixels_per_mm: float = 10.0,
+    dryness: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Render ``finger`` as an 8-bit grayscale ridge image.
+
+    Parameters
+    ----------
+    finger:
+        The master finger to draw.
+    pixels_per_mm:
+        Output resolution (10 px/mm ~ 254 dpi, plenty for inspection).
+    dryness:
+        0–1; dry skin breaks ridges into speckle.
+    rng:
+        Noise source when ``dryness > 0``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(H, W)`` uint8 image, ridges dark on light background.
+    """
+    hw, hh = finger.pad_half_width, finger.pad_half_height
+    width = int(np.ceil(2 * hw * pixels_per_mm))
+    height = int(np.ceil(2 * hh * pixels_per_mm))
+    xs = (np.arange(width) - width / 2.0) / pixels_per_mm
+    ys = (np.arange(height) - height / 2.0) / pixels_per_mm
+    gx, gy = np.meshgrid(xs, ys)
+
+    # March rings outward from the centre, accumulating phase along the
+    # local ridge-normal direction.  Sampling the orientation at a coarse
+    # ring granularity keeps this O(pixels).
+    theta = finger.fld.angle_at(gx, gy)
+    normal_x = np.cos(theta + np.pi / 2.0)
+    normal_y = np.sin(theta + np.pi / 2.0)
+    # Project the position vector on the ridge normal: a first-order
+    # phase approximation that is exact for parallel ridges and a good
+    # visual approximation elsewhere.
+    phase = (2.0 * np.pi / RIDGE_PERIOD_MM) * (gx * normal_x + gy * normal_y)
+    image = 0.5 + 0.5 * np.cos(phase)
+
+    if dryness > 0.0:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        speckle = rng.random(image.shape) < (0.35 * dryness)
+        image = np.where(speckle, 1.0, image)
+
+    mask = (gx / hw) ** 2 + (gy / hh) ** 2 <= 1.0
+    image = np.where(mask, image, 1.0)
+    return (np.clip(image, 0.0, 1.0) * 255).astype(np.uint8)
+
+
+def write_pgm(image: np.ndarray, path: Path) -> None:
+    """Write a grayscale uint8 image as a binary PGM (P5) file."""
+    if image.ndim != 2 or image.dtype != np.uint8:
+        raise ValueError("write_pgm expects a 2-D uint8 array")
+    height, width = image.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + image.tobytes())
+
+
+def read_pgm(path: Path) -> np.ndarray:
+    """Read a binary PGM (P5) file written by :func:`write_pgm`.
+
+    Supports the strict subset this library writes (maxval 255, a single
+    comment-free header); anything else raises ``ValueError`` with the
+    offending detail.
+    """
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P5"):
+        raise ValueError(f"{path}: not a binary PGM (P5) file")
+    # Header: magic, width, height, maxval — whitespace separated, then
+    # exactly one whitespace byte before the raster.
+    fields = []
+    index = 2
+    while len(fields) < 3:
+        while index < len(data) and data[index : index + 1].isspace():
+            index += 1
+        start = index
+        while index < len(data) and not data[index : index + 1].isspace():
+            index += 1
+        if start == index:
+            raise ValueError(f"{path}: truncated PGM header")
+        fields.append(data[start:index])
+    index += 1  # single whitespace separating header from raster
+    try:
+        width, height, maxval = (int(f) for f in fields)
+    except ValueError as exc:
+        raise ValueError(f"{path}: malformed PGM header fields {fields}") from exc
+    if maxval != 255:
+        raise ValueError(f"{path}: unsupported PGM maxval {maxval}")
+    raster = data[index : index + width * height]
+    if len(raster) != width * height:
+        raise ValueError(
+            f"{path}: raster holds {len(raster)} bytes, expected {width * height}"
+        )
+    return np.frombuffer(raster, dtype=np.uint8).reshape(height, width)
+
+
+def ascii_preview(image: np.ndarray, max_width: int = 70) -> str:
+    """Downsample an image to an ASCII sketch for terminal inspection."""
+    if image.ndim != 2:
+        raise ValueError("ascii_preview expects a 2-D array")
+    height, width = image.shape
+    stride = max(1, int(np.ceil(width / max_width)))
+    # Character cells are ~2x taller than wide; sample rows twice as coarsely.
+    sampled = image[:: 2 * stride, ::stride]
+    ramp = " .:-=+*#%@"
+    indices = ((255 - sampled.astype(np.int32)) * (len(ramp) - 1)) // 255
+    return "\n".join("".join(ramp[i] for i in row) for row in indices)
+
+
+__all__ = ["render_ridge_image", "write_pgm", "read_pgm", "ascii_preview"]

@@ -1,0 +1,113 @@
+"""GMM device inference p(d|q)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.device_inference import DeviceInferenceModel, GaussianMixture
+from repro.quality.features import QualityFeatures
+from repro.runtime.errors import CalibrationError
+
+
+class TestGaussianMixture:
+    def test_fits_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        data = np.vstack(
+            [rng.normal(0, 0.3, (100, 2)), rng.normal(5, 0.3, (100, 2))]
+        )
+        gmm = GaussianMixture(n_components=2).fit(data, rng)
+        means = np.sort(gmm.means[:, 0])
+        assert means[0] == pytest.approx(0.0, abs=0.4)
+        assert means[1] == pytest.approx(5.0, abs=0.4)
+
+    def test_likelihood_higher_on_own_data(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(0, 1, (200, 3))
+        gmm = GaussianMixture(n_components=2).fit(data, rng)
+        inside = gmm.log_likelihood(np.zeros((1, 3)))[0]
+        outside = gmm.log_likelihood(np.full((1, 3), 30.0))[0]
+        assert inside > outside
+
+    def test_weights_normalized(self):
+        rng = np.random.default_rng(2)
+        gmm = GaussianMixture(n_components=3).fit(rng.normal(size=(90, 2)), rng)
+        assert gmm.weights.sum() == pytest.approx(1.0)
+
+    def test_too_few_samples(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(CalibrationError):
+            GaussianMixture(n_components=5).fit(np.zeros((3, 2)), rng)
+
+    def test_unfitted_likelihood_raises(self):
+        with pytest.raises(CalibrationError):
+            GaussianMixture().log_likelihood(np.zeros((1, 2)))
+
+
+def _collect_features(collection, device, n=10, finger="right_index", sets=(0,)):
+    return [
+        collection.get(sid, finger, device, set_index).features
+        for sid in range(n)
+        for set_index in sets
+    ]
+
+
+class TestDeviceInference:
+    def test_posterior_sums_to_one(self, tiny_collection, rng):
+        model = DeviceInferenceModel(n_components=1).fit(
+            {
+                "D0": _collect_features(tiny_collection, "D0"),
+                "D4": _collect_features(tiny_collection, "D4"),
+            },
+            rng,
+        )
+        posterior = model.posterior(
+            tiny_collection.get(0, "right_index", "D0", 1).features
+        )
+        assert sum(posterior.values()) == pytest.approx(1.0)
+        assert set(posterior) == {"D0", "D4"}
+
+    def test_separable_devices_identified(self, tiny_collection, rng):
+        # D0 (clean optical) vs D4 (ink): very different quality
+        # signatures.  Train on the index finger (both sets), test on the
+        # disjoint middle-finger impressions.
+        model = DeviceInferenceModel(n_components=1).fit(
+            {
+                "D0": _collect_features(tiny_collection, "D0", sets=(0, 1)),
+                "D4": _collect_features(tiny_collection, "D4", sets=(0, 1)),
+            },
+            rng,
+        )
+        labeled = [
+            ("D0", f)
+            for f in _collect_features(
+                tiny_collection, "D0", finger="right_middle", sets=(0, 1)
+            )
+        ] + [
+            ("D4", f)
+            for f in _collect_features(
+                tiny_collection, "D4", finger="right_middle", sets=(0, 1)
+            )
+        ]
+        # Twenty training samples per device: comfortably above chance.
+        assert model.accuracy(labeled) >= 0.65
+
+    def test_needs_two_devices(self, tiny_collection, rng):
+        with pytest.raises(CalibrationError):
+            DeviceInferenceModel().fit(
+                {"D0": _collect_features(tiny_collection, "D0")}, rng
+            )
+
+    def test_unfitted_raises(self, tiny_collection):
+        model = DeviceInferenceModel()
+        with pytest.raises(CalibrationError):
+            model.posterior(tiny_collection.get(0, "right_index", "D0", 0).features)
+
+    def test_accuracy_empty_rejected(self, tiny_collection, rng):
+        model = DeviceInferenceModel(n_components=1).fit(
+            {
+                "D0": _collect_features(tiny_collection, "D0"),
+                "D4": _collect_features(tiny_collection, "D4"),
+            },
+            rng,
+        )
+        with pytest.raises(CalibrationError):
+            model.accuracy([])

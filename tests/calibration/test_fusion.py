@@ -1,0 +1,101 @@
+"""Score fusion rules."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.fusion import (
+    FUSION_RULES,
+    d_prime,
+    max_fusion,
+    min_fusion,
+    product_fusion,
+    separability_weights,
+    sum_fusion,
+    weighted_sum_fusion,
+)
+from repro.runtime.errors import CalibrationError
+
+
+class TestRules:
+    def test_sum_is_mean(self):
+        np.testing.assert_allclose(
+            sum_fusion([[2.0, 4.0], [4.0, 8.0]]), [3.0, 6.0]
+        )
+
+    def test_max(self):
+        np.testing.assert_allclose(max_fusion([[1.0, 5.0], [3.0, 2.0]]), [3.0, 5.0])
+
+    def test_min(self):
+        np.testing.assert_allclose(min_fusion([[1.0, 5.0], [3.0, 2.0]]), [1.0, 2.0])
+
+    def test_product_is_geometric_mean(self):
+        fused = product_fusion([[4.0], [9.0]])
+        assert fused[0] == pytest.approx(6.0, rel=1e-3)
+
+    def test_product_rejects_negative(self):
+        with pytest.raises(CalibrationError):
+            product_fusion([[-1.0], [1.0]])
+
+    def test_weighted_sum(self):
+        fused = weighted_sum_fusion([[10.0], [0.0]], weights=[3.0, 1.0])
+        assert fused[0] == pytest.approx(7.5)
+
+    def test_weighted_sum_validation(self):
+        with pytest.raises(CalibrationError):
+            weighted_sum_fusion([[1.0], [2.0]], weights=[1.0])
+        with pytest.raises(CalibrationError):
+            weighted_sum_fusion([[1.0], [2.0]], weights=[0.0, 0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(CalibrationError):
+            sum_fusion([[1.0, 2.0], [1.0]])
+
+    def test_empty_sources(self):
+        with pytest.raises(CalibrationError):
+            sum_fusion([])
+
+    def test_registry_complete(self):
+        assert set(FUSION_RULES) == {"sum", "max", "min", "product"}
+
+
+class TestDPrime:
+    def test_separated_populations(self):
+        rng = np.random.default_rng(0)
+        genuine = rng.normal(10, 1, 500)
+        impostor = rng.normal(0, 1, 500)
+        assert d_prime(genuine, impostor) == pytest.approx(10.0, abs=0.5)
+
+    def test_identical_populations_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(5, 1, 500)
+        y = rng.normal(5, 1, 500)
+        assert abs(d_prime(x, y)) < 0.2
+
+    def test_too_small(self):
+        with pytest.raises(CalibrationError):
+            d_prime([1.0], [1.0, 2.0])
+
+
+class TestSeparabilityWeights:
+    def test_better_source_weighs_more(self):
+        rng = np.random.default_rng(2)
+        strong = (rng.normal(10, 1, 300), rng.normal(0, 1, 300))
+        weak = (rng.normal(3, 2, 300), rng.normal(0, 2, 300))
+        weights = separability_weights(
+            [strong[0], weak[0]], [strong[1], weak[1]]
+        )
+        assert weights[0] > weights[1]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_fusion_improves_separability(self):
+        """Fusing two partially-independent sources beats the weaker one."""
+        rng = np.random.default_rng(3)
+        shared_g = rng.normal(8, 2, 400)
+        shared_i = rng.normal(1, 1.5, 400)
+        a_g = shared_g + rng.normal(0, 2, 400)
+        a_i = shared_i + rng.normal(0, 2, 400)
+        b_g = shared_g + rng.normal(0, 2, 400)
+        b_i = shared_i + rng.normal(0, 2, 400)
+        fused_g = sum_fusion([a_g, b_g])
+        fused_i = sum_fusion([a_i, b_i])
+        assert d_prime(fused_g, fused_i) > max(d_prime(a_g, a_i), d_prime(b_g, b_i))

@@ -1,0 +1,93 @@
+"""Score normalization."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.score_norm import (
+    GOOD_QUALITY,
+    POOR_QUALITY,
+    LLRNormalizer,
+    ZNormalizer,
+    quality_band,
+)
+from repro.runtime.errors import CalibrationError
+
+
+class TestQualityBand:
+    def test_good(self):
+        assert quality_band(1, 2) == GOOD_QUALITY
+
+    def test_poor_if_either_side_bad(self):
+        assert quality_band(1, 4) == POOR_QUALITY
+        assert quality_band(5, 1) == POOR_QUALITY
+
+
+class TestZNorm:
+    def test_standardizes_impostors(self):
+        rng = np.random.default_rng(0)
+        impostors = rng.normal(2.0, 0.8, 2000)
+        norm = ZNormalizer()
+        norm.fit_cell("D0", "D1", impostors)
+        z = norm.normalize_array("D0", "D1", impostors)
+        assert z.mean() == pytest.approx(0.0, abs=0.05)
+        assert z.std(ddof=1) == pytest.approx(1.0, abs=0.05)
+
+    def test_aligns_cells_with_different_scales(self):
+        rng = np.random.default_rng(1)
+        norm = ZNormalizer()
+        norm.fit_cell("D0", "D0", rng.normal(1.0, 0.5, 500))
+        norm.fit_cell("D0", "D4", rng.normal(2.5, 1.0, 500))
+        # A score 3 sigma above each cell's impostors maps to ~3 in both.
+        assert norm.normalize("D0", "D0", 1.0 + 3 * 0.5) == pytest.approx(3.0, abs=0.4)
+        assert norm.normalize("D0", "D4", 2.5 + 3 * 1.0) == pytest.approx(3.0, abs=0.4)
+
+    def test_unfitted_cell_raises(self):
+        with pytest.raises(CalibrationError):
+            ZNormalizer().normalize("D0", "D1", 5.0)
+
+    def test_too_few_scores(self):
+        with pytest.raises(CalibrationError):
+            ZNormalizer().fit_cell("D0", "D1", np.array([1.0]))
+
+
+class TestLLRNorm:
+    def test_genuine_scores_map_positive(self):
+        rng = np.random.default_rng(2)
+        genuine = rng.normal(14, 3, 500)
+        impostor = rng.normal(1.5, 1.0, 500)
+        norm = LLRNormalizer()
+        norm.fit_cell("D0", "D1", genuine, impostor)
+        assert norm.normalize("D0", "D1", 14.0) > 0
+        assert norm.normalize("D0", "D1", 1.5) < 0
+
+    def test_monotone_between_means(self):
+        rng = np.random.default_rng(3)
+        norm = LLRNormalizer()
+        norm.fit_cell(
+            "D0", "D1", rng.normal(14, 3, 500), rng.normal(1.5, 1.0, 500)
+        )
+        values = [norm.normalize("D0", "D1", s) for s in (2.0, 6.0, 10.0, 14.0)]
+        assert values == sorted(values)
+
+    def test_quality_dependent_requires_nfiq(self):
+        rng = np.random.default_rng(4)
+        norm = LLRNormalizer(quality_dependent=True)
+        genuine = rng.normal(14, 3, 200)
+        impostor = rng.normal(1.5, 1.0, 200)
+        nfiq_gen = (rng.integers(1, 6, 200), rng.integers(1, 6, 200))
+        nfiq_imp = (rng.integers(1, 6, 200), rng.integers(1, 6, 200))
+        norm.fit_cell("D0", "D1", genuine, impostor, nfiq_gen, nfiq_imp)
+        good = norm.normalize("D0", "D1", 10.0, nfiq_gallery=1, nfiq_probe=1)
+        poor = norm.normalize("D0", "D1", 10.0, nfiq_gallery=5, nfiq_probe=5)
+        assert np.isfinite(good) and np.isfinite(poor)
+        with pytest.raises(CalibrationError):
+            norm.normalize("D0", "D1", 10.0)  # missing NFIQ
+
+    def test_quality_dependent_fit_requires_nfiq(self):
+        norm = LLRNormalizer(quality_dependent=True)
+        with pytest.raises(CalibrationError):
+            norm.fit_cell("D0", "D1", np.zeros(10), np.zeros(10))
+
+    def test_missing_cell(self):
+        with pytest.raises(CalibrationError):
+            LLRNormalizer().normalize("D9", "D9", 1.0)

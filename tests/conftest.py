@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+Expensive artifacts (acquired collections, full studies) are
+session-scoped: the suite builds each size exactly once.  Sizes are kept
+deliberately small — the integration "shape" tests use the medium study;
+everything else should use the tiny one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InteroperabilityStudy, StudyConfig
+from repro.datasets import build_collection
+from repro.matcher import BioEngineMatcher
+from repro.runtime import SeedTree
+from repro.synthesis import Population
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> StudyConfig:
+    """A 10-subject configuration for unit-level pipeline tests."""
+    return StudyConfig(n_subjects=10, master_seed=1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_population(tiny_config) -> Population:
+    return Population(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_collection(tiny_config):
+    return build_collection(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_study(tiny_config) -> InteroperabilityStudy:
+    """A tiny study with all score sets generated once per session."""
+    study = InteroperabilityStudy(tiny_config)
+    study.score_sets()
+    return study
+
+
+@pytest.fixture(scope="session")
+def medium_study() -> InteroperabilityStudy:
+    """A 36-subject study for statistical shape assertions."""
+    study = InteroperabilityStudy(StudyConfig(n_subjects=36, master_seed=99))
+    study.score_sets()
+    return study
+
+
+@pytest.fixture(scope="session")
+def matcher() -> BioEngineMatcher:
+    return BioEngineMatcher()
+
+
+@pytest.fixture(scope="session")
+def seed_tree() -> SeedTree:
+    return SeedTree(20130624)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def genuine_template_pair(tiny_collection):
+    """Two same-finger, same-device impressions (subject 0, D0)."""
+    a = tiny_collection.get(0, "right_index", "D0", 0)
+    b = tiny_collection.get(0, "right_index", "D0", 1)
+    return a.template, b.template
+
+
+@pytest.fixture(scope="session")
+def impostor_template_pair(tiny_collection):
+    """Two different-subject impressions on the same device."""
+    a = tiny_collection.get(0, "right_index", "D0", 0)
+    b = tiny_collection.get(1, "right_index", "D0", 0)
+    return a.template, b.template

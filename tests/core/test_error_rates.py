@@ -1,0 +1,78 @@
+"""Error-rate matrix helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_rates import (
+    TABLE5_FMR,
+    TABLE6_FMR,
+    TABLE6_MAX_NFIQ,
+    diagonal_dominance_violations,
+    fnmr_interoperability_matrix,
+    matrix_as_dict,
+    mean_interoperability_penalty,
+)
+
+
+class TestOperatingPoints:
+    def test_constants_match_paper(self):
+        assert TABLE5_FMR == 1e-4  # "fixed FMR of 0.01%"
+        assert TABLE6_FMR == 1e-3  # "fixed FMR of 0.1%"
+        assert TABLE6_MAX_NFIQ == 2  # "NFIQ quality < 3"
+
+
+class TestMatrixHelpers:
+    def test_diagonal_dominance_violations(self):
+        matrix = np.array(
+            [
+                [0.1, 0.2, 0.2, 0.2, 0.9],
+                [0.2, 0.3, 0.25, 0.28, 0.9],  # D1 diag worst (paper anomaly)
+                [0.2, 0.25, 0.1, 0.2, 0.9],
+                [0.2, 0.2, 0.2, 0.1, 0.9],
+                [0.9, 0.9, 0.9, 0.9, 0.05],
+            ]
+        )
+        assert diagonal_dominance_violations(matrix) == ["D1"]
+
+    def test_d4_column_excluded_from_dominance(self):
+        matrix = np.full((5, 5), 0.2)
+        matrix[0, 0] = 0.1
+        matrix[0, 4] = 0.05  # excellent D4 cell must not flag D0
+        assert "D0" not in diagonal_dominance_violations(matrix)
+
+    def test_nan_diagonal_skipped(self):
+        matrix = np.full((5, 5), 0.2)
+        matrix[2, 2] = np.nan
+        assert "D2" not in diagonal_dominance_violations(matrix)
+
+    def test_mean_penalty_positive_when_offdiag_worse(self):
+        matrix = np.full((5, 5), 0.3)
+        np.fill_diagonal(matrix, 0.1)
+        assert mean_interoperability_penalty(matrix) == pytest.approx(0.2)
+
+    def test_mean_penalty_zero_when_flat(self):
+        matrix = np.full((5, 5), 0.2)
+        assert mean_interoperability_penalty(matrix) == pytest.approx(0.0)
+
+    def test_matrix_as_dict_keys(self):
+        matrix = np.arange(25, dtype=float).reshape(5, 5)
+        cells = matrix_as_dict(matrix)
+        assert cells[("D0", "D0")] == 0.0
+        assert cells[("D4", "D4")] == 24.0
+        assert len(cells) == 25
+
+
+class TestOnStudy:
+    def test_matrix_from_study(self, tiny_study):
+        matrix = fnmr_interoperability_matrix(tiny_study, target_fmr=1e-2)
+        assert matrix.shape == (5, 5)
+        assert not np.all(np.isnan(matrix))
+
+    def test_quality_filter_reduces_or_keeps(self, tiny_study):
+        full = fnmr_interoperability_matrix(tiny_study, target_fmr=1e-2)
+        filtered = fnmr_interoperability_matrix(
+            tiny_study, target_fmr=1e-2, max_nfiq=3
+        )
+        both = ~np.isnan(full) & ~np.isnan(filtered)
+        # Quality gating should not systematically *raise* FNMR.
+        assert filtered[both].mean() <= full[both].mean() + 0.05

@@ -1,0 +1,71 @@
+"""Table 4 analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.core.kendall_analysis import (
+    TABLE4_COLS,
+    TABLE4_ROWS,
+    asymmetry_count,
+    insignificant_pairs,
+    kendall_matrix,
+    pvalue_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def results(tiny_study):
+    return kendall_matrix(tiny_study)
+
+
+class TestStructure:
+    def test_rows_are_livescan_only(self):
+        assert TABLE4_ROWS == ("D0", "D1", "D2", "D3")
+        assert TABLE4_COLS == ("D0", "D1", "D2", "D3", "D4")
+
+    def test_all_cells_present(self, results):
+        assert len(results) == 20
+
+    def test_diagonal_is_self_correlation(self, results):
+        for device in TABLE4_ROWS:
+            assert results[(device, device)].tau == pytest.approx(1.0)
+
+    def test_diagonal_p_extremely_small(self, results):
+        for device in TABLE4_ROWS:
+            assert results[(device, device)].p_value < 1e-4
+
+    def test_pvalue_matrix_shape_and_content(self, results):
+        matrix = pvalue_matrix(results)
+        assert matrix.shape == (4, 5)
+        assert matrix[0, 0] == results[("D0", "D0")].p_value
+
+
+class TestClassification:
+    def test_insignificant_excludes_diagonal(self, results):
+        pairs = insignificant_pairs(results, alpha=0.01)
+        assert all(row != col for row, col in pairs)
+
+    def test_alpha_one_marks_nothing(self, results):
+        # p-values never exceed 1, so alpha=1 leaves no insignificant cells.
+        assert insignificant_pairs(results, alpha=1.0) == ()
+
+    def test_asymmetry_count_range(self, results):
+        count = asymmetry_count(results)
+        assert 0 <= count <= 6  # C(4,2) unordered live-scan pairs
+
+    def test_asymmetry_on_synthetic_results(self):
+        from repro.stats.kendall import KendallResult
+
+        def cell(p):
+            return KendallResult(tau=0.5, p_value=p, n=10,
+                                 concordant_minus_discordant=1.0)
+
+        results = {}
+        for row in TABLE4_ROWS:
+            for col in TABLE4_COLS:
+                results[(row, col)] = cell(1e-10)
+        # Make exactly one asymmetric pair: (D0,D1) significant,
+        # (D1,D0) not.
+        results[("D1", "D0")] = cell(0.9)
+        assert asymmetry_count(results) == 1
+        assert ("D1", "D0") in insignificant_pairs(results)

@@ -1,0 +1,96 @@
+"""Beta-Binomial FNM prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import FnmrPredictor, _beta_cdf, _beta_interval
+from repro.runtime.errors import ConfigurationError
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestBetaMath:
+    @pytest.mark.parametrize("a,b", [(0.5, 0.5), (2.0, 8.0), (0.5, 400.5), (30, 3)])
+    def test_cdf_matches_scipy(self, a, b):
+        for x in (0.01, 0.1, 0.5, 0.9, 0.99):
+            assert _beta_cdf(a, b, x) == pytest.approx(
+                scipy_stats.beta.cdf(x, a, b), abs=1e-9
+            )
+
+    @pytest.mark.parametrize("a,b", [(0.5, 100.5), (3.5, 500.5), (10, 90)])
+    def test_interval_matches_scipy(self, a, b):
+        low, high = _beta_interval(a, b, 0.95)
+        assert low == pytest.approx(scipy_stats.beta.ppf(0.025, a, b), abs=1e-5)
+        assert high == pytest.approx(scipy_stats.beta.ppf(0.975, a, b), abs=1e-5)
+
+
+class TestPredictor:
+    def test_no_evidence_gives_prior(self):
+        predictor = FnmrPredictor()
+        p = predictor.predict("D0", "D1")
+        assert p.trials == 0
+        assert p.probability == pytest.approx(0.5)  # Jeffreys prior mean
+        assert p.high - p.low > 0.8  # honest: nearly no information
+
+    def test_evidence_tightens_posterior(self):
+        predictor = FnmrPredictor()
+        predictor.observe("D0", "D1", failures=2, trials=1000)
+        p = predictor.predict("D0", "D1")
+        assert p.probability == pytest.approx(2.5 / 1001, rel=0.01)
+        assert p.high < 0.01
+
+    def test_evidence_accumulates(self):
+        predictor = FnmrPredictor()
+        predictor.observe("D0", "D1", 1, 100)
+        predictor.observe("D0", "D1", 1, 100)
+        p = predictor.predict("D0", "D1")
+        assert p.failures == 2 and p.trials == 200
+
+    def test_zero_failures_nonzero_probability(self):
+        # The point of the Bayesian treatment: an observed zero is not a
+        # promised zero.
+        predictor = FnmrPredictor()
+        predictor.observe("D2", "D2", 0, 500)
+        p = predictor.predict("D2", "D2")
+        assert 0 < p.probability < 0.01
+        assert p.low == pytest.approx(0.0, abs=1e-4)
+
+    def test_invalid_evidence(self):
+        predictor = FnmrPredictor()
+        with pytest.raises(ConfigurationError):
+            predictor.observe("D0", "D0", 5, 2)
+        with pytest.raises(ConfigurationError):
+            predictor.observe("D0", "D0", -1, 2)
+
+    def test_invalid_prior(self):
+        with pytest.raises(ConfigurationError):
+            FnmrPredictor(prior_a=0.0)
+
+    def test_invalid_level(self):
+        predictor = FnmrPredictor()
+        with pytest.raises(ConfigurationError):
+            predictor.predict("D0", "D0", level=1.5)
+
+
+class TestOnStudy:
+    def test_fit_from_study(self, tiny_study):
+        predictor = FnmrPredictor().fit_from_study(tiny_study, target_fmr=1e-2)
+        matrix = predictor.prediction_matrix()
+        assert matrix.shape == (5, 5)
+        assert np.count_nonzero(~np.isnan(matrix)) == 25
+        assert np.all((matrix[~np.isnan(matrix)] >= 0))
+
+    def test_render_contains_all_cells(self, tiny_study):
+        predictor = FnmrPredictor().fit_from_study(tiny_study, target_fmr=1e-2)
+        text = predictor.render()
+        assert text.count("D4") >= 9  # D4 row + column entries
+        assert "credible" in text
+
+    def test_answers_the_papers_question(self, tiny_study):
+        """'What is the probability that I will have a False Non-Match
+        pertaining to a user enrolled using the Device X and verified
+        using the Device Y?'"""
+        predictor = FnmrPredictor().fit_from_study(tiny_study, target_fmr=1e-2)
+        prediction = predictor.predict("D0", "D4")
+        assert 0.0 <= prediction.low <= prediction.probability <= prediction.high <= 1.0
+        assert prediction.trials == tiny_study.config.n_subjects

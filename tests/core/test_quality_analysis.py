@@ -1,0 +1,83 @@
+"""Table 6 / Figure 5 analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality_analysis import (
+    LOW_SCORE_THRESHOLD,
+    good_quality_low_score_fraction,
+    low_score_quality_surface,
+    quality_filtered_fnmr_matrix,
+    surface_mass_by_worst_quality,
+)
+from repro.stats.histogram import FrequencySurface
+
+
+class TestSurface:
+    def test_shape(self, tiny_study):
+        surface = low_score_quality_surface(tiny_study, cross_device=False)
+        assert surface.counts.shape == (5, 5)
+
+    def test_total_matches_low_score_count(self, tiny_study):
+        surface = low_score_quality_surface(tiny_study, cross_device=True)
+        ddmg = tiny_study.score_sets()["DDMG"]
+        assert surface.total == int(np.sum(ddmg.scores < LOW_SCORE_THRESHOLD))
+
+    def test_cross_device_has_more_low_scores(self, tiny_study):
+        same = low_score_quality_surface(tiny_study, cross_device=False)
+        cross = low_score_quality_surface(tiny_study, cross_device=True)
+        # DDMG has 5x the scores of DMG; normalize per comparison.
+        sets = tiny_study.score_sets()
+        same_rate = same.total / len(sets["DMG"])
+        cross_rate = cross.total / len(sets["DDMG"])
+        assert cross_rate >= same_rate
+
+    def test_threshold_parameter(self, tiny_study):
+        strict = low_score_quality_surface(tiny_study, True, score_below=5.0)
+        loose = low_score_quality_surface(tiny_study, True, score_below=15.0)
+        assert strict.total <= loose.total
+
+
+class TestHelpers:
+    def _surface(self, counts):
+        return FrequencySurface(
+            row_labels=(1, 2, 3, 4, 5), col_labels=(1, 2, 3, 4, 5),
+            counts=np.array(counts),
+        )
+
+    def test_good_quality_fraction(self):
+        counts = np.zeros((5, 5), dtype=int)
+        counts[0, 0] = 2  # both NFIQ 1
+        counts[4, 4] = 8  # both NFIQ 5
+        surface = self._surface(counts)
+        assert good_quality_low_score_fraction(surface, max_level=2) == 0.2
+
+    def test_good_quality_fraction_empty(self):
+        surface = self._surface(np.zeros((5, 5), dtype=int))
+        assert good_quality_low_score_fraction(surface) == 0.0
+
+    def test_mass_by_worst_quality(self):
+        counts = np.zeros((5, 5), dtype=int)
+        counts[0, 2] = 3  # worst = 3
+        counts[2, 0] = 4  # worst = 3
+        counts[4, 0] = 1  # worst = 5
+        mass = surface_mass_by_worst_quality(self._surface(counts))
+        assert mass[3] == 7
+        assert mass[5] == 1
+        assert mass[1] == 0
+
+    def test_paper_reading_low_score_rate_rises_with_poor_quality(self, tiny_study):
+        ddmg = tiny_study.score_sets()["DDMG"]
+        worst = np.maximum(ddmg.nfiq_gallery, ddmg.nfiq_probe)
+        good = ddmg.scores[worst <= 2]
+        poor = ddmg.scores[worst >= 3]
+        if len(good) >= 10 and len(poor) >= 10:
+            assert np.mean(poor < LOW_SCORE_THRESHOLD) >= np.mean(
+                good < LOW_SCORE_THRESHOLD
+            )
+
+
+class TestTable6:
+    def test_matrix_shape(self, tiny_study):
+        matrix = quality_filtered_fnmr_matrix(tiny_study)
+        assert matrix.shape == (5, 5)

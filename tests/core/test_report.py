@@ -1,0 +1,89 @@
+"""Report renderers produce complete, well-formed text artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import (
+    render_figure1,
+    render_figure4,
+    render_figure5,
+    render_fnmr_matrix,
+    render_score_histograms,
+    render_table1,
+    render_table3,
+    render_table4,
+)
+from repro.core.kendall_analysis import kendall_matrix
+from repro.core.quality_analysis import low_score_quality_surface
+
+
+class TestTable1:
+    def test_contains_all_models(self):
+        text = render_table1()
+        for model in ("Guardian R2", "digID Mini", "TouchPrint", "Seek II"):
+            assert model in text
+
+    def test_contains_published_numbers(self):
+        text = render_table1()
+        assert "500" in text
+        assert "800 x 750" in text
+        assert "40.6 x 38.1" in text
+
+
+class TestTable3:
+    def test_all_scenarios_listed(self, tiny_study, tiny_config):
+        text = render_table3(tiny_study.score_sets(), tiny_config.n_subjects)
+        for scenario in ("DMG", "DMI", "DDMG", "DDMI"):
+            assert scenario in text
+
+
+class TestTable4:
+    def test_matrix_rendered(self, tiny_study):
+        text = render_table4(kendall_matrix(tiny_study))
+        assert "DX-D4" in text
+        assert text.count("e") > 10  # scientific notation cells
+
+
+class TestFnmrMatrix:
+    def test_renders_all_devices(self):
+        matrix = np.full((5, 5), 0.001)
+        text = render_fnmr_matrix(matrix, "Table 5")
+        for device in ("D0", "D1", "D2", "D3", "D4"):
+            assert device in text
+        assert "1.00e-03" in text
+
+    def test_nan_rendered_as_dash(self):
+        matrix = np.full((5, 5), np.nan)
+        text = render_fnmr_matrix(matrix, "t")
+        assert "--" in text
+
+
+class TestFigures:
+    def test_figure1(self, tiny_study):
+        text = render_figure1(tiny_study.demographics())
+        assert "20-29" in text and "Caucasian" in text
+
+    def test_figure2_style_histograms(self, tiny_study):
+        sets = tiny_study.score_sets()
+        text = render_score_histograms(
+            sets["DMG"].for_pair("D0", "D0"),
+            sets["DMI"].for_pair("D0", "D0"),
+            "Figure 2",
+        )
+        assert "DMG" in text and "DMI" in text
+
+    def test_figure4(self, tiny_study):
+        per_probe = {
+            device: tiny_study.genuine_scores("D3", device).scores
+            for device in ("D0", "D1", "D2", "D3", "D4")
+        }
+        text = render_figure4(per_probe, gallery_device="D3")
+        assert "same device" in text
+        assert "probe D4" in text
+
+    def test_figure5(self, tiny_study):
+        text = render_figure5(
+            low_score_quality_surface(tiny_study, False),
+            low_score_quality_surface(tiny_study, True),
+        )
+        assert "Figure 5(a)" in text and "Figure 5(b)" in text

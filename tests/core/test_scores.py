@@ -1,0 +1,164 @@
+"""Score-set machinery: Table 2/3 counting rules and ScoreSet algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.scores import (
+    ScoreSet,
+    enumerate_ddmg_jobs,
+    enumerate_dmg_jobs,
+    expected_counts,
+    sample_ddmi_jobs,
+    sample_dmi_jobs,
+)
+from repro.runtime import SeedTree, StudyConfig
+from repro.runtime.errors import ConfigurationError
+
+
+class TestTable3Counts:
+    """The exact published counts at paper scale."""
+
+    def test_dmg_1976(self):
+        assert len(enumerate_dmg_jobs(494)) == 1976
+
+    def test_ddmg_9880(self):
+        assert len(enumerate_ddmg_jobs(494)) == 9880
+
+    def test_expected_counts_paper_scale(self):
+        counts = expected_counts(StudyConfig.paper_scale())
+        assert counts == {
+            "DMG": 1976,
+            "DDMG": 9880,
+            "DMI": 120_855,
+            "DDMI": 483_420,
+        }
+
+    def test_dmg_excludes_d4(self):
+        jobs = enumerate_dmg_jobs(5)
+        devices = {job[1] for job in jobs}
+        assert devices == {"D0", "D1", "D2", "D3"}
+
+    def test_ddmg_covers_all_ordered_pairs(self):
+        jobs = enumerate_ddmg_jobs(1)
+        pairs = {(job[1], job[4]) for job in jobs}
+        assert len(pairs) == 20
+        assert all(g != p for g, p in pairs)
+
+    def test_dmg_one_per_subject_per_device(self):
+        jobs = enumerate_dmg_jobs(7)
+        assert len(jobs) == len(set(jobs))
+        assert len(jobs) == 7 * 4
+
+
+class TestImpostorSampling:
+    def test_exact_budget(self):
+        jobs = sample_dmi_jobs(20, 333, SeedTree(1))
+        assert len(jobs) == 333
+
+    def test_unique_jobs(self):
+        jobs = sample_dmi_jobs(20, 500, SeedTree(1))
+        assert len(set(jobs)) == len(jobs)
+
+    def test_no_self_comparisons(self):
+        jobs = sample_dmi_jobs(10, 200, SeedTree(2))
+        assert all(job[0] != job[3] for job in jobs)
+
+    def test_dmi_same_device(self):
+        jobs = sample_dmi_jobs(10, 200, SeedTree(3))
+        assert all(job[1] == job[4] for job in jobs)
+
+    def test_ddmi_different_devices(self):
+        jobs = sample_ddmi_jobs(10, 200, SeedTree(3))
+        assert all(job[1] != job[4] for job in jobs)
+
+    def test_deterministic(self):
+        a = sample_dmi_jobs(15, 100, SeedTree(7))
+        b = sample_dmi_jobs(15, 100, SeedTree(7))
+        assert a == b
+
+    def test_seed_sensitivity(self):
+        a = sample_dmi_jobs(15, 100, SeedTree(7))
+        b = sample_dmi_jobs(15, 100, SeedTree(8))
+        assert a != b
+
+    def test_covers_all_devices(self):
+        jobs = sample_dmi_jobs(20, 1000, SeedTree(9))
+        assert {job[1] for job in jobs} == {"D0", "D1", "D2", "D3", "D4"}
+
+    def test_too_few_subjects(self):
+        with pytest.raises(ConfigurationError):
+            sample_dmi_jobs(1, 10, SeedTree(1))
+
+
+def _score_set(n=6):
+    return ScoreSet(
+        scenario="DMG",
+        matcher_name="bioengine",
+        scores=np.arange(n, dtype=np.float64),
+        subject_gallery=np.arange(n),
+        subject_probe=np.arange(n),
+        device_gallery=np.array(["D0", "D0", "D1", "D1", "D2", "D2"][:n]),
+        device_probe=np.array(["D0", "D0", "D1", "D1", "D2", "D2"][:n]),
+        nfiq_gallery=np.array([1, 2, 3, 4, 5, 1][:n]),
+        nfiq_probe=np.array([1, 1, 1, 5, 5, 2][:n]),
+    )
+
+
+class TestScoreSet:
+    def test_length(self):
+        assert len(_score_set()) == 6
+
+    def test_parallel_array_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScoreSet(
+                scenario="DMG",
+                matcher_name="m",
+                scores=np.zeros(3),
+                subject_gallery=np.zeros(2),
+                subject_probe=np.zeros(3),
+                device_gallery=np.zeros(3, dtype="<U2"),
+                device_probe=np.zeros(3, dtype="<U2"),
+                nfiq_gallery=np.zeros(3),
+                nfiq_probe=np.zeros(3),
+            )
+
+    def test_for_pair(self):
+        cell = _score_set().for_pair("D1", "D1")
+        assert len(cell) == 2
+        np.testing.assert_array_equal(cell.scores, [2.0, 3.0])
+
+    def test_with_max_nfiq_requires_both_sides(self):
+        filtered = _score_set().with_max_nfiq(2)
+        # rows where both gallery and probe <= 2: rows 0, 1, 5.
+        assert len(filtered) == 3
+
+    def test_select_preserves_provenance(self):
+        selected = _score_set().select(np.array([True, False] * 3))
+        assert len(selected) == 3
+        assert selected.device_gallery[1] == "D1"
+
+    def test_is_genuine(self):
+        assert _score_set().is_genuine
+
+    def test_concatenate(self):
+        merged = ScoreSet.concatenate([_score_set(), _score_set()])
+        assert len(merged) == 12
+
+    def test_concatenate_rejects_mixed_scenarios(self):
+        other = ScoreSet(
+            scenario="DMI",
+            matcher_name="bioengine",
+            scores=np.zeros(1),
+            subject_gallery=np.zeros(1),
+            subject_probe=np.zeros(1),
+            device_gallery=np.array(["D0"]),
+            device_probe=np.array(["D0"]),
+            nfiq_gallery=np.zeros(1),
+            nfiq_probe=np.zeros(1),
+        )
+        with pytest.raises(ConfigurationError):
+            ScoreSet.concatenate([_score_set(), other])
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScoreSet.concatenate([])

@@ -1,0 +1,54 @@
+"""Collection summary statistics."""
+
+import pytest
+
+from repro.datasets.summary import (
+    render_collection_summary,
+    summarize_collection,
+)
+
+
+@pytest.fixture(scope="module")
+def summaries(tiny_collection):
+    return summarize_collection(tiny_collection)
+
+
+class TestSummaries:
+    def test_covers_all_devices(self, summaries):
+        assert set(summaries) == {"D0", "D1", "D2", "D3", "D4"}
+
+    def test_impression_counts(self, summaries, tiny_config):
+        # 2 fingers x 2 sets per subject for every device (ink included:
+        # rolled + slap).
+        expected = tiny_config.n_subjects * 2 * 2
+        for device in ("D0", "D1", "D2", "D3", "D4"):
+            assert summaries[device].n_impressions == expected
+
+    def test_minutiae_stats_consistent(self, summaries):
+        for summary in summaries.values():
+            assert summary.min_minutiae <= summary.mean_minutiae <= summary.max_minutiae
+
+    def test_nfiq_distribution_sums(self, summaries):
+        for summary in summaries.values():
+            assert sum(summary.nfiq_distribution) == summary.n_impressions
+
+    def test_mean_nfiq_in_range(self, summaries):
+        for summary in summaries.values():
+            assert 1.0 <= summary.mean_nfiq <= 5.0
+
+    def test_ink_quality_worse_than_guardian(self, summaries):
+        assert summaries["D4"].mean_nfiq >= summaries["D0"].mean_nfiq
+
+    def test_degenerate_captures_rare(self, summaries):
+        for summary in summaries.values():
+            assert summary.degenerate_count <= 0.05 * summary.n_impressions
+
+
+class TestRendering:
+    def test_render_contains_devices_and_counts(self, summaries):
+        text = render_collection_summary(summaries)
+        assert "D0" in text and "D4" in text
+        assert "Collection summary" in text
+
+    def test_render_empty(self):
+        assert "Collection summary" in render_collection_summary({})

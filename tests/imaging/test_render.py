@@ -1,0 +1,76 @@
+"""Holographic ridge rendering."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.render import RenderSettings, render_finger, to_uint8
+from repro.synthesis import synthesize_master_finger
+
+
+@pytest.fixture(scope="module")
+def finger():
+    return synthesize_master_finger(np.random.default_rng(7))
+
+
+class TestSettings:
+    def test_nyquist_guard(self):
+        with pytest.raises(ValueError, match="ridge period"):
+            RenderSettings(pixels_per_mm=3.0)
+
+    def test_contrast_validated(self):
+        with pytest.raises(ValueError):
+            RenderSettings(contrast=0.0)
+
+
+class TestRenderFinger:
+    def test_image_range_and_shape(self, finger):
+        rendered = render_finger(finger)
+        assert rendered.image.min() >= 0.0 and rendered.image.max() <= 1.0
+        assert rendered.image.shape == rendered.mask.shape
+
+    def test_all_minutiae_planted(self, finger):
+        rendered = render_finger(finger)
+        assert len(rendered.minutiae_px) == finger.n_minutiae
+
+    def test_max_minutiae_limits_planting(self, finger):
+        rendered = render_finger(finger, max_minutiae=10)
+        assert len(rendered.minutiae_px) == 10
+
+    def test_planted_positions_inside_image(self, finger):
+        rendered = render_finger(finger)
+        height, width = rendered.image.shape
+        xs, ys = rendered.minutiae_px[:, 0], rendered.minutiae_px[:, 1]
+        assert np.all((xs >= 0) & (xs < width))
+        assert np.all((ys >= 0) & (ys < height))
+
+    def test_ridge_periodicity(self, finger):
+        # A horizontal slice through the pad crosses multiple ridges:
+        # the intensity must oscillate through dark and light.
+        rendered = render_finger(finger)
+        row = rendered.image[rendered.image.shape[0] // 2]
+        assert row.min() < 0.2 and row.max() > 0.8
+
+    def test_deterministic(self, finger):
+        a = render_finger(finger, RenderSettings(seed=5, moisture=0.8))
+        b = render_finger(finger, RenderSettings(seed=5, moisture=0.8))
+        np.testing.assert_array_equal(a.image, b.image)
+
+    def test_dry_skin_brightens(self, finger):
+        clean = render_finger(finger, RenderSettings(moisture=0.5))
+        dry = render_finger(finger, RenderSettings(moisture=0.95))
+        assert dry.image[dry.mask].mean() > clean.image[clean.mask].mean()
+
+    def test_wet_skin_darkens(self, finger):
+        clean = render_finger(finger, RenderSettings(moisture=0.5))
+        wet = render_finger(finger, RenderSettings(moisture=0.05))
+        assert wet.image[wet.mask].mean() < clean.image[clean.mask].mean()
+
+    def test_background_white(self, finger):
+        rendered = render_finger(finger)
+        assert rendered.image[0, 0] == 1.0
+
+    def test_to_uint8(self, finger):
+        rendered = render_finger(finger)
+        img8 = to_uint8(rendered.image)
+        assert img8.dtype == np.uint8
+        assert img8.max() == 255

@@ -1,0 +1,78 @@
+"""Skeletonization and crossing-number analysis."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.thinning import crossing_number, skeletonize
+
+
+def _thick_line(height=30, width=60, row=15, thickness=5):
+    img = np.zeros((height, width), dtype=bool)
+    img[row - thickness // 2 : row + thickness // 2 + 1, 5:-5] = True
+    return img
+
+
+class TestSkeletonize:
+    def test_line_thins_to_one_pixel(self):
+        skeleton = skeletonize(_thick_line())
+        columns = skeleton[:, 10:-10]
+        # Every interior column keeps exactly one skeleton pixel.
+        assert np.all(columns.sum(axis=0) == 1)
+
+    def test_skeleton_is_subset_of_input(self):
+        original = _thick_line()
+        skeleton = skeletonize(original)
+        assert np.all(original[skeleton == 1])
+
+    def test_empty_image(self):
+        skeleton = skeletonize(np.zeros((20, 20), dtype=bool))
+        assert skeleton.sum() == 0
+
+    def test_idempotent(self):
+        skeleton = skeletonize(_thick_line())
+        again = skeletonize(skeleton)
+        np.testing.assert_array_equal(skeleton, again)
+
+    def test_preserves_connectivity(self):
+        skeleton = skeletonize(_thick_line())
+        # The line must not break into pieces: count endpoints (CN == 1).
+        cn = crossing_number(skeleton)
+        assert np.count_nonzero(cn == 1) == 2  # exactly the two tips
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            skeletonize(np.zeros(10))
+
+    def test_border_cleared(self):
+        img = np.ones((12, 12), dtype=bool)
+        skeleton = skeletonize(img)
+        assert skeleton[0, :].sum() == 0 and skeleton[:, 0].sum() == 0
+
+
+class TestCrossingNumber:
+    def test_line_tips_are_endings(self):
+        skeleton = np.zeros((9, 9), dtype=np.uint8)
+        skeleton[4, 2:7] = 1
+        cn = crossing_number(skeleton)
+        assert cn[4, 2] == 1 and cn[4, 6] == 1      # tips
+        assert np.all(cn[4, 3:6] == 2)              # interior
+
+    def test_y_junction_is_bifurcation(self):
+        skeleton = np.zeros((11, 11), dtype=np.uint8)
+        skeleton[5, 1:6] = 1            # stem
+        for k in range(1, 5):
+            skeleton[5 - k, 5 + k] = 1  # upper branch
+            skeleton[5 + k, 5 + k] = 1  # lower branch
+        cn = crossing_number(skeleton)
+        assert cn[5, 5] >= 3
+
+    def test_isolated_pixel(self):
+        skeleton = np.zeros((5, 5), dtype=np.uint8)
+        skeleton[2, 2] = 1
+        assert crossing_number(skeleton)[2, 2] == 0
+
+    def test_background_is_zero(self):
+        skeleton = np.zeros((5, 5), dtype=np.uint8)
+        skeleton[2, 1:4] = 1
+        cn = crossing_number(skeleton)
+        assert np.all(cn[skeleton == 0] == 0)

@@ -1,0 +1,170 @@
+"""The paper's qualitative findings, asserted end-to-end.
+
+These are the headline claims of the study; each test names the claim it
+checks.  They run on the 36-subject medium study — large enough for the
+statistical shape to be stable, small enough for CI.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.error_rates import mean_interoperability_penalty
+from repro.sensors.registry import DEVICE_ORDER, LIVESCAN_DEVICES
+
+
+class TestGenuineScoreFindings:
+    def test_same_device_genuine_higher_than_cross(self, medium_study):
+        """'Genuine match rates are always higher if the gallery and the
+        probe image are acquired by the same sensor.'"""
+        sets = medium_study.score_sets()
+        for device in LIVESCAN_DEVICES:
+            same = sets["DMG"].for_pair(device, device).scores.mean()
+            cross = [
+                sets["DDMG"].for_pair(device, other).scores.mean()
+                for other in DEVICE_ORDER
+                if other != device
+            ]
+            assert same > np.mean(cross)
+
+    def test_tenprint_probes_score_lowest(self, medium_study):
+        """Figure 4: 'the lowest match scores representing the similarity
+        with the ink-based ten-print scans as probes'."""
+        sets = medium_study.score_sets()
+        for gallery in LIVESCAN_DEVICES:
+            means = {
+                probe: sets["DDMG"].for_pair(gallery, probe).scores.mean()
+                for probe in DEVICE_ORDER
+                if probe != gallery
+            }
+            assert min(means, key=means.get) == "D4"
+
+    def test_livescan_beats_tenprint_everywhere(self, medium_study):
+        """'Matching scores of any Live-scan devices are higher than those
+        obtained from ten-prints.'"""
+        sets = medium_study.score_sets()
+        for gallery in LIVESCAN_DEVICES:
+            d4_mean = sets["DDMG"].for_pair(gallery, "D4").scores.mean()
+            for probe in LIVESCAN_DEVICES:
+                if probe == gallery:
+                    continue
+                assert sets["DDMG"].for_pair(gallery, probe).scores.mean() > d4_mean
+
+
+class TestImpostorFindings:
+    def test_impostor_ceiling_near_seven(self, medium_study):
+        """'The impostor scores never go higher than 7' (both scenarios)."""
+        sets = medium_study.score_sets()
+        assert sets["DMI"].scores.max() < 8.5
+        assert sets["DDMI"].scores.max() < 8.5
+
+    def test_impostors_unaffected_by_device_diversity(self, medium_study):
+        """'The false-match-rates do not seem to be affected by
+        interoperability.'"""
+        sets = medium_study.score_sets()
+        assert sets["DMI"].scores.mean() == pytest.approx(
+            sets["DDMI"].scores.mean(), abs=0.5
+        )
+
+    def test_impostor_mass_concentrated_at_zero(self, medium_study):
+        """Figure 3's bin counts: the 0-1 bin dominates impostors."""
+        sets = medium_study.score_sets()
+        for scenario in ("DMI", "DDMI"):
+            scores = sets[scenario].scores
+            assert np.mean(scores < 1.0) > 0.4
+            assert np.mean(scores < 3.0) > 0.85
+
+
+class TestOverlapFinding:
+    def test_distribution_overlap_greater_for_diverse_sensors(self, medium_study):
+        """'The overlap of genuine and impostor score distributions is
+        greater when they were acquired from diverse sensors.'
+
+        Operationalized as separability: the d-prime between genuine and
+        impostor scores must be lower (more overlap) in the diverse-
+        device scenario than in the same-device scenario.
+        """
+        from repro.calibration.fusion import d_prime
+
+        sets = medium_study.score_sets()
+        same = d_prime(sets["DMG"].scores, sets["DMI"].scores)
+        cross = d_prime(sets["DDMG"].scores, sets["DDMI"].scores)
+        assert cross < same
+
+    def test_more_genuine_below_seven_for_diverse(self, medium_study):
+        """'The number of genuine scores with values of less than 7 is
+        higher in diverse vs. non-diverse sensor choices.'"""
+        sets = medium_study.score_sets()
+        same_rate = np.mean(sets["DMG"].scores < 7.0)
+        cross_rate = np.mean(sets["DDMG"].scores < 7.0)
+        assert cross_rate > same_rate
+
+
+class TestFnmrFindings:
+    def test_interoperability_penalty_positive(self, medium_study):
+        """Table 5: 'FNMR in intra-device match scenarios were found to be
+        lower than those in inter-device matching' (on average; the paper
+        itself reports exceptions)."""
+        matrix = medium_study.fnmr_matrix(1e-3)
+        assert mean_interoperability_penalty(matrix) > 0
+
+    def test_d4_column_worst(self, medium_study):
+        """Ten-print probes give the worst FNMR for live-scan galleries."""
+        matrix = medium_study.fnmr_matrix(1e-3)
+        livescan_rows = matrix[:4, :]
+        d4_column_mean = np.nanmean(livescan_rows[:, 4])
+        other_off_diag = [
+            livescan_rows[i, j]
+            for i in range(4)
+            for j in range(4)
+            if i != j and not np.isnan(livescan_rows[i, j])
+        ]
+        assert d4_column_mean >= np.mean(other_off_diag)
+
+
+class TestKendallFindings:
+    def test_diagonal_p_values_vanish(self, medium_study):
+        """Table 4's diagonal: self-correlation p ~ 0."""
+        results = medium_study.kendall_matrix()
+        for device in LIVESCAN_DEVICES:
+            assert results[(device, device)].p_value < 1e-15
+
+    def test_matrix_is_asymmetric(self, medium_study):
+        """'The results of Kendall's rank test are not symmetric.'"""
+        results = medium_study.kendall_matrix()
+        asymmetries = [
+            abs(np.log10(results[(a, b)].p_value + 1e-300)
+                - np.log10(results[(b, a)].p_value + 1e-300))
+            for a, b in itertools.combinations(LIVESCAN_DEVICES, 2)
+        ]
+        assert max(asymmetries) > 0.5
+
+    def test_cross_device_correlations_weaker_than_diagonal(self, medium_study):
+        results = medium_study.kendall_matrix()
+        for row in LIVESCAN_DEVICES:
+            for col in DEVICE_ORDER:
+                if row != col:
+                    assert results[(row, col)].tau < 1.0
+
+
+class TestQualityFindings:
+    def test_quality_filtering_lowers_fnmr(self, medium_study):
+        """Table 6 vs Table 5: good-quality comparisons have (weakly)
+        better FNMR at a common operating point."""
+        full = medium_study.fnmr_matrix(1e-3)
+        filtered = medium_study.fnmr_matrix(1e-3, max_nfiq=2)
+        both = ~np.isnan(full) & ~np.isnan(filtered)
+        assert np.nanmean(filtered[both]) <= np.nanmean(full[both]) + 1e-9
+
+    def test_low_scores_need_poor_quality_somewhere(self, medium_study):
+        """Figure 5: the *rate* of low genuine cross-device scores rises
+        as the worse of the two image qualities degrades — the paper's
+        operational recommendation that cross-device matching needs both
+        images at quality 1-2."""
+        ddmg = medium_study.score_sets()["DDMG"]
+        worst = np.maximum(ddmg.nfiq_gallery, ddmg.nfiq_probe)
+        good = ddmg.scores[worst <= 2]
+        poor = ddmg.scores[worst >= 3]
+        assert len(good) > 20 and len(poor) > 20
+        assert np.mean(poor < 10.0) > np.mean(good < 10.0)

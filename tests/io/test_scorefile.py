@@ -1,0 +1,47 @@
+"""Score-set serialization."""
+
+import numpy as np
+import pytest
+
+from repro.io.scorefile import load_score_set, save_score_set
+from repro.runtime.errors import ReproError
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, tiny_study, tmp_path):
+        original = tiny_study.score_sets()["DMG"]
+        path = tmp_path / "dmg.npz"
+        save_score_set(original, path)
+        restored = load_score_set(path)
+        assert restored.scenario == original.scenario
+        assert restored.matcher_name == original.matcher_name
+        np.testing.assert_array_equal(restored.scores, original.scores)
+        np.testing.assert_array_equal(
+            restored.device_gallery, original.device_gallery
+        )
+        np.testing.assert_array_equal(restored.nfiq_probe, original.nfiq_probe)
+
+    def test_restored_set_is_usable(self, tiny_study, tmp_path):
+        original = tiny_study.score_sets()["DDMG"]
+        path = tmp_path / "ddmg.npz"
+        save_score_set(original, path)
+        restored = load_score_set(path)
+        cell = restored.for_pair("D0", "D1")
+        assert len(cell) == len(original.for_pair("D0", "D1"))
+
+    def test_creates_parent_dirs(self, tiny_study, tmp_path):
+        path = tmp_path / "deep" / "nested" / "scores.npz"
+        save_score_set(tiny_study.score_sets()["DMG"], path)
+        assert path.exists()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            load_score_set(tmp_path / "absent.npz")
+
+    def test_incomplete_bundle(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, scores=np.zeros(3))
+        with pytest.raises(ReproError):
+            load_score_set(path)

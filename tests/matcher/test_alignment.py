@@ -1,0 +1,115 @@
+"""Consensus alignment recovery."""
+
+import numpy as np
+import pytest
+
+from repro.matcher.alignment import (
+    RigidTransform,
+    candidate_pairs,
+    estimate_alignment,
+    estimate_alignments,
+)
+
+
+def _apply(theta, tx, ty, points):
+    c, s = np.cos(theta), np.sin(theta)
+    rot = np.array([[c, -s], [s, c]])
+    return points @ rot.T + np.array([tx, ty])
+
+
+@pytest.fixture()
+def scene():
+    rng = np.random.default_rng(0)
+    points = rng.uniform(-10, 10, size=(25, 2))
+    angles = rng.uniform(0, 2 * np.pi, size=25)
+    return points, angles
+
+
+class TestRigidTransform:
+    def test_identity(self):
+        t = RigidTransform.identity()
+        pts = np.array([[1.0, 2.0]])
+        np.testing.assert_allclose(t.apply(pts), pts)
+
+    def test_apply_matches_reference(self):
+        t = RigidTransform(theta=0.3, tx=1.0, ty=-2.0)
+        pts = np.random.default_rng(1).normal(size=(5, 2))
+        np.testing.assert_allclose(t.apply(pts), _apply(0.3, 1.0, -2.0, pts))
+
+    def test_angles_wrap(self):
+        t = RigidTransform(theta=np.pi, tx=0, ty=0)
+        out = t.apply_angles(np.array([1.5 * np.pi]))
+        assert 0 <= out[0] < 2 * np.pi
+
+
+class TestCandidatePairs:
+    def test_orders_by_similarity(self):
+        sim = np.array([[0.9, 0.1], [0.2, 0.8]])
+        pairs = candidate_pairs(sim, min_similarity=0.0)
+        assert pairs[0, 2] >= pairs[-1, 2]
+
+    def test_weak_matrix_still_yields_candidates(self):
+        sim = np.full((5, 5), 0.05)
+        pairs = candidate_pairs(sim, min_similarity=0.45)
+        assert pairs.shape[0] > 0
+
+    def test_empty_matrix(self):
+        assert candidate_pairs(np.zeros((0, 3))).shape[0] == 0
+
+
+class TestEstimateAlignment:
+    @pytest.mark.parametrize("theta,tx,ty", [
+        (0.0, 0.0, 0.0),
+        (0.4, 3.0, -2.0),
+        (-0.6, -5.0, 1.0),
+    ])
+    def test_recovers_known_transform(self, scene, theta, tx, ty):
+        points, angles = scene
+        moved = _apply(theta, tx, ty, points)
+        moved_angles = np.mod(angles + theta, 2 * np.pi)
+        # Perfect candidates: identity correspondence.
+        candidates = np.column_stack(
+            [np.arange(len(points)), np.arange(len(points)), np.ones(len(points))]
+        ).astype(np.float64)
+        transform = estimate_alignment(points, angles, moved, moved_angles, candidates)
+        registered = transform.apply(points)
+        residual = np.sqrt(np.mean(np.sum((registered - moved) ** 2, axis=1)))
+        assert residual < 0.05
+
+    def test_robust_to_outlier_candidates(self, scene):
+        points, angles = scene
+        theta, tx, ty = 0.3, 2.0, 1.0
+        moved = _apply(theta, tx, ty, points)
+        moved_angles = np.mod(angles + theta, 2 * np.pi)
+        good = np.column_stack(
+            [np.arange(20), np.arange(20), np.full(20, 0.9)]
+        )
+        # Five wrong correspondences with decent similarity.
+        bad = np.column_stack(
+            [np.arange(5), np.arange(5)[::-1] + 20, np.full(5, 0.8)]
+        )
+        candidates = np.vstack([good, bad]).astype(np.float64)
+        transform = estimate_alignment(points, angles, moved, moved_angles, candidates)
+        registered = transform.apply(points[:20])
+        residual = np.sqrt(np.mean(np.sum((registered - moved[:20]) ** 2, axis=1)))
+        assert residual < 0.2
+
+    def test_no_candidates_returns_none(self, scene):
+        points, angles = scene
+        assert (
+            estimate_alignment(points, angles, points, angles, np.zeros((0, 3)))
+            is None
+        )
+
+    def test_multiple_hypotheses(self, scene):
+        points, angles = scene
+        moved = _apply(0.2, 1.0, 0.0, points)
+        moved_angles = np.mod(angles + 0.2, 2 * np.pi)
+        candidates = np.column_stack(
+            [np.arange(len(points)), np.arange(len(points)), np.ones(len(points))]
+        ).astype(np.float64)
+        transforms = estimate_alignments(
+            points, angles, moved, moved_angles, candidates, max_hypotheses=2
+        )
+        assert 1 <= len(transforms) <= 2
+        assert isinstance(transforms[0], RigidTransform)

@@ -1,0 +1,69 @@
+"""Cross-resolution matching.
+
+All five study devices scan at 500 dpi, but the matcher must not depend
+on that: INCITS templates carry their resolution, and the matcher works
+in millimetres.  A template resampled to a different dpi is the same
+finger and must score (nearly) the same.
+"""
+
+import numpy as np
+import pytest
+
+from repro.matcher import BioEngineMatcher
+from repro.matcher.types import Minutia, Template
+
+
+def _resample(template: Template, new_dpi: int) -> Template:
+    """Re-express a template at a different resolution (same geometry)."""
+    factor = new_dpi / template.resolution_dpi
+    minutiae = tuple(
+        Minutia(
+            x=m.x * factor,
+            y=m.y * factor,
+            angle=m.angle,
+            kind=m.kind,
+            quality=m.quality,
+        )
+        for m in template.minutiae
+    )
+    return Template(
+        minutiae=minutiae,
+        width_px=int(np.ceil(template.width_px * factor)),
+        height_px=int(np.ceil(template.height_px * factor)),
+        resolution_dpi=new_dpi,
+    )
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return BioEngineMatcher()
+
+
+class TestCrossResolution:
+    @pytest.mark.parametrize("dpi", [250, 1000])
+    def test_resampled_probe_scores_identically(
+        self, engine, genuine_template_pair, dpi
+    ):
+        probe, gallery = genuine_template_pair
+        base = engine.match(probe, gallery)
+        resampled = engine.match(_resample(probe, dpi), gallery)
+        assert resampled == pytest.approx(base, abs=0.5)
+
+    def test_both_sides_resampled(self, engine, genuine_template_pair):
+        probe, gallery = genuine_template_pair
+        base = engine.match(probe, gallery)
+        both = engine.match(_resample(probe, 250), _resample(gallery, 1000))
+        assert both == pytest.approx(base, abs=0.5)
+
+    def test_mm_positions_invariant_under_resampling(self, genuine_template_pair):
+        template = genuine_template_pair[0]
+        resampled = _resample(template, 250)
+        np.testing.assert_allclose(
+            template.positions_mm(), resampled.positions_mm(), atol=1e-9
+        )
+
+    def test_impostor_stays_impostor_across_dpi(
+        self, engine, impostor_template_pair
+    ):
+        probe, gallery = impostor_template_pair
+        assert engine.match(_resample(probe, 1000), gallery) < 8.5

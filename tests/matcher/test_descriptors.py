@@ -1,0 +1,101 @@
+"""Local descriptor invariance and similarity."""
+
+import numpy as np
+import pytest
+
+from repro.matcher.descriptors import (
+    DescriptorSet,
+    build_descriptors,
+    similarity_matrix,
+    wrap_angle,
+)
+from repro.matcher.types import KIND_ENDING, Minutia, Template
+
+
+def _template_from(points, angles):
+    px_per_mm = 500 / 25.4
+    minutiae = tuple(
+        Minutia(
+            x=float(p[0]) * px_per_mm,
+            y=float(p[1]) * px_per_mm,
+            angle=float(a) % (2 * np.pi),
+            kind=KIND_ENDING,
+            quality=60,
+        )
+        for p, a in zip(points, angles)
+    )
+    return Template(minutiae=minutiae, width_px=800, height_px=750)
+
+
+@pytest.fixture()
+def cloud():
+    rng = np.random.default_rng(0)
+    points = rng.uniform(2, 30, size=(20, 2))
+    angles = rng.uniform(0, 2 * np.pi, size=20)
+    return points, angles
+
+
+class TestWrapAngle:
+    def test_range(self):
+        values = wrap_angle(np.array([-7.0, -np.pi, 0.0, np.pi, 7.0]))
+        assert np.all(values > -np.pi - 1e-12) and np.all(values <= np.pi + 1e-12)
+
+    def test_identity_in_range(self):
+        assert wrap_angle(np.array([0.5]))[0] == pytest.approx(0.5)
+
+
+class TestBuildDescriptors:
+    def test_shape(self, cloud):
+        desc = build_descriptors(_template_from(*cloud))
+        assert desc.entries.shape == (20, 4, 3)
+        assert desc.n == 20
+
+    def test_empty_template(self):
+        desc = build_descriptors(Template(minutiae=(), width_px=10, height_px=10))
+        assert desc.n == 0
+
+    def test_small_template_pads_with_inf(self):
+        t = _template_from([[0, 0], [1, 0]], [0.0, 0.0])
+        desc = build_descriptors(t)
+        assert np.isinf(desc.entries[0, 1, 0])  # only one neighbour exists
+
+    def test_distances_sorted_nearest_first(self, cloud):
+        desc = build_descriptors(_template_from(*cloud))
+        dists = desc.entries[:, :, 0]
+        finite = np.isfinite(dists)
+        for row, mask in zip(dists, finite):
+            vals = row[mask]
+            assert np.all(np.diff(vals) >= -1e-12)
+
+
+class TestInvariance:
+    def test_self_similarity_is_one(self, cloud):
+        desc = build_descriptors(_template_from(*cloud))
+        sim = similarity_matrix(desc, desc)
+        np.testing.assert_allclose(np.diag(sim), 1.0)
+
+    def test_rigid_motion_invariance(self, cloud):
+        points, angles = cloud
+        theta = 0.7
+        c, s = np.cos(theta), np.sin(theta)
+        rot = np.array([[c, -s], [s, c]])
+        moved = points @ rot.T + np.array([4.0, -3.0])
+        desc_a = build_descriptors(_template_from(points, angles))
+        desc_b = build_descriptors(_template_from(moved, angles + theta))
+        sim = similarity_matrix(desc_a, desc_b)
+        # Each minutia's best match must be itself, with similarity 1.
+        np.testing.assert_allclose(np.diag(sim), 1.0, atol=1e-9)
+
+    def test_unrelated_clouds_low_similarity(self):
+        rng = np.random.default_rng(1)
+        a = _template_from(rng.uniform(0, 30, (20, 2)), rng.uniform(0, 6.28, 20))
+        b = _template_from(rng.uniform(0, 30, (20, 2)), rng.uniform(0, 6.28, 20))
+        sim = similarity_matrix(build_descriptors(a), build_descriptors(b))
+        assert sim.mean() < 0.5
+
+    def test_empty_similarity(self):
+        empty = build_descriptors(Template(minutiae=(), width_px=10, height_px=10))
+        full = build_descriptors(
+            _template_from([[0, 0], [1, 1], [2, 0]], [0, 1, 2])
+        )
+        assert similarity_matrix(empty, full).shape == (0, 3)

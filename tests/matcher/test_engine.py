@@ -1,0 +1,124 @@
+"""End-to-end matcher behaviour on synthetic impressions."""
+
+import numpy as np
+import pytest
+
+from repro.matcher.engine import BioEngineMatcher
+from repro.matcher.types import KIND_ENDING, Minutia, Template
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return BioEngineMatcher()
+
+
+def _rotate_template(template, theta, tx_mm, ty_mm):
+    """Rigidly move a template (the matcher should undo this exactly)."""
+    px_per_mm = template.pixels_per_mm
+    c, s = np.cos(theta), np.sin(theta)
+    minutiae = []
+    for m in template.minutiae:
+        x_mm, y_mm = m.x / px_per_mm, m.y / px_per_mm
+        nx = c * x_mm - s * y_mm + tx_mm
+        ny = s * x_mm + c * y_mm + ty_mm
+        minutiae.append(
+            Minutia(
+                x=nx * px_per_mm,
+                y=ny * px_per_mm,
+                angle=float(np.mod(m.angle + theta, 2 * np.pi)),
+                kind=m.kind,
+                quality=m.quality,
+            )
+        )
+    return Template(
+        minutiae=tuple(minutiae),
+        width_px=template.width_px,
+        height_px=template.height_px,
+        resolution_dpi=template.resolution_dpi,
+    )
+
+
+class TestGenuineVsImpostor:
+    def test_genuine_beats_impostor(
+        self, engine, genuine_template_pair, impostor_template_pair
+    ):
+        genuine = engine.match(*genuine_template_pair)
+        impostor = engine.match(*impostor_template_pair)
+        assert genuine > impostor + 5
+
+    def test_impostors_stay_in_low_band(self, engine, tiny_collection):
+        scores = []
+        for i in range(8):
+            for j in range(8):
+                if i == j:
+                    continue
+                a = tiny_collection.get(i, "right_index", "D0", 0).template
+                b = tiny_collection.get(j, "right_index", "D0", 1).template
+                scores.append(engine.match(b, a))
+        # The paper's landmark: impostor scores essentially never cross 7.
+        assert np.mean(scores) < 3.0
+        assert np.max(scores) < 8.5
+
+    def test_self_match_is_maximal(self, engine, genuine_template_pair):
+        template, other = genuine_template_pair
+        self_score = engine.match(template, template)
+        assert self_score >= engine.match(other, template)
+        assert self_score > 15
+
+
+class TestInvariance:
+    def test_rigid_motion_barely_changes_score(self, engine, genuine_template_pair):
+        probe, gallery = genuine_template_pair
+        base = engine.match(probe, gallery)
+        moved = _rotate_template(probe, theta=0.3, tx_mm=2.0, ty_mm=-1.5)
+        rotated_score = engine.match(moved, gallery)
+        assert rotated_score == pytest.approx(base, abs=2.5)
+
+    def test_symmetric_enough(self, engine, genuine_template_pair):
+        probe, gallery = genuine_template_pair
+        forward = engine.match(probe, gallery)
+        backward = engine.match(gallery, probe)
+        assert forward == pytest.approx(backward, abs=3.0)
+
+
+class TestDegenerateInputs:
+    def test_empty_template_scores_zero(self, engine, genuine_template_pair):
+        empty = Template(minutiae=(), width_px=800, height_px=750)
+        assert engine.match(empty, genuine_template_pair[0]) == 0.0
+
+    def test_tiny_template_scores_zero(self, engine, genuine_template_pair):
+        tiny = Template(
+            minutiae=(
+                Minutia(100, 100, 0.5, KIND_ENDING, 50),
+                Minutia(200, 150, 1.5, KIND_ENDING, 50),
+            ),
+            width_px=800,
+            height_px=750,
+        )
+        assert engine.match(tiny, genuine_template_pair[0]) == 0.0
+
+    def test_none_rejected(self, engine, genuine_template_pair):
+        from repro.runtime.errors import MatcherError
+
+        with pytest.raises(MatcherError):
+            engine.match(None, genuine_template_pair[0])
+
+
+class TestDiagnostics:
+    def test_detailed_result_fields(self, engine, genuine_template_pair):
+        result = engine.match_detailed(*genuine_template_pair)
+        assert result.score == result.breakdown.score
+        assert result.transform is not None
+        assert result.pairing is not None
+        assert result.breakdown.n_matched == result.pairing.n_matched
+
+    def test_deterministic(self, engine, genuine_template_pair):
+        a = engine.match(*genuine_template_pair)
+        b = engine.match(*genuine_template_pair)
+        assert a == b
+
+    def test_descriptor_cache_does_not_change_result(self, genuine_template_pair):
+        fresh = BioEngineMatcher()
+        a = fresh.match(*genuine_template_pair)
+        b = fresh.match(*genuine_template_pair)  # cached descriptors now
+        assert a == b

@@ -1,0 +1,125 @@
+"""Tolerance-box pairing."""
+
+import numpy as np
+import pytest
+
+from repro.matcher.alignment import RigidTransform
+from repro.matcher.pairing import (
+    ANGLE_TOL_RAD,
+    POSITION_TOL_MM,
+    pair_minutiae,
+)
+
+
+@pytest.fixture()
+def cloud():
+    rng = np.random.default_rng(0)
+    points = rng.uniform(-10, 10, size=(18, 2))
+    angles = rng.uniform(0, 2 * np.pi, size=18)
+    return points, angles
+
+
+class TestPairing:
+    def test_identical_clouds_pair_fully(self, cloud):
+        points, angles = cloud
+        result = pair_minutiae(
+            points, angles, points, angles, RigidTransform.identity()
+        )
+        assert result.n_matched == len(points)
+        assert np.all(result.residuals_mm < 1e-9)
+
+    def test_jittered_clouds_pair_within_tolerance(self, cloud):
+        points, angles = cloud
+        rng = np.random.default_rng(1)
+        jittered = points + rng.normal(0, 0.15, points.shape)
+        result = pair_minutiae(
+            points, angles, jittered, angles, RigidTransform.identity()
+        )
+        assert result.n_matched >= len(points) - 2
+
+    def test_angle_tolerance_enforced(self, cloud):
+        points, angles = cloud
+        flipped = np.mod(angles + np.pi, 2 * np.pi)  # opposite directions
+        result = pair_minutiae(
+            points, angles, points, flipped, RigidTransform.identity()
+        )
+        assert result.n_matched == 0
+
+    def test_position_tolerance_enforced(self, cloud):
+        points, angles = cloud
+        shifted = points + np.array([POSITION_TOL_MM * 3, 0.0])
+        result = pair_minutiae(
+            points, angles, shifted, angles, RigidTransform.identity()
+        )
+        assert result.n_matched == 0
+
+    def test_transform_applied_before_pairing(self, cloud):
+        points, angles = cloud
+        theta = 0.5
+        c, s = np.cos(theta), np.sin(theta)
+        moved = points @ np.array([[c, -s], [s, c]]).T + np.array([2.0, 3.0])
+        moved_angles = np.mod(angles + theta, 2 * np.pi)
+        result = pair_minutiae(
+            points, angles, moved, moved_angles,
+            RigidTransform(theta=theta, tx=2.0, ty=3.0),
+        )
+        assert result.n_matched == len(points)
+
+    def test_one_to_one(self):
+        # Two A-minutiae near a single B-minutia: only one may pair.
+        a_points = np.array([[0.0, 0.0], [0.3, 0.0]])
+        a_angles = np.array([0.0, 0.0])
+        b_points = np.array([[0.1, 0.0]])
+        b_angles = np.array([0.0])
+        result = pair_minutiae(
+            a_points, a_angles, b_points, b_angles, RigidTransform.identity()
+        )
+        assert result.n_matched == 1
+
+    def test_greedy_picks_closest(self):
+        a_points = np.array([[0.0, 0.0], [0.5, 0.0]])
+        a_angles = np.array([0.0, 0.0])
+        b_points = np.array([[0.45, 0.0]])
+        b_angles = np.array([0.0])
+        result = pair_minutiae(
+            a_points, a_angles, b_points, b_angles, RigidTransform.identity()
+        )
+        assert result.pairs[0, 0] == 1  # the nearer A minutia wins
+
+    def test_empty_inputs(self):
+        result = pair_minutiae(
+            np.zeros((0, 2)), np.zeros(0), np.zeros((0, 2)), np.zeros(0),
+            RigidTransform.identity(),
+        )
+        assert result.n_matched == 0
+        assert result.n_overlap_a == 0
+
+
+class TestOverlap:
+    def test_full_overlap(self, cloud):
+        points, angles = cloud
+        result = pair_minutiae(
+            points, angles, points, angles, RigidTransform.identity()
+        )
+        assert result.n_overlap_a == len(points)
+        assert result.n_overlap_b == len(points)
+
+    def test_partial_overlap_counts(self):
+        # A spans x in [0, 10], B spans x in [5, 15]: overlap is [5, 10].
+        a_points = np.column_stack([np.linspace(0, 10, 11), np.zeros(11)])
+        b_points = np.column_stack([np.linspace(5, 15, 11), np.zeros(11)])
+        angles = np.zeros(11)
+        result = pair_minutiae(
+            a_points, angles, b_points, angles, RigidTransform.identity()
+        )
+        assert 5 <= result.n_overlap_a <= 8
+        assert 5 <= result.n_overlap_b <= 8
+
+    def test_disjoint_regions(self):
+        a_points = np.column_stack([np.linspace(0, 5, 6), np.zeros(6)])
+        b_points = np.column_stack([np.linspace(20, 25, 6), np.zeros(6)])
+        angles = np.zeros(6)
+        result = pair_minutiae(
+            a_points, angles, b_points, angles, RigidTransform.identity()
+        )
+        assert result.n_overlap_a == 0 and result.n_overlap_b == 0

@@ -1,0 +1,55 @@
+"""The diverse second matcher."""
+
+import numpy as np
+import pytest
+
+from repro.matcher.ridgecount import RidgeGeometryMatcher
+from repro.matcher.types import Template
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return RidgeGeometryMatcher()
+
+
+class TestBehaviour:
+    def test_genuine_beats_impostor(
+        self, engine, genuine_template_pair, impostor_template_pair
+    ):
+        genuine = engine.match(*genuine_template_pair)
+        impostor = engine.match(*impostor_template_pair)
+        assert genuine > impostor
+
+    def test_scale_shared_with_bioengine(self, engine, genuine_template_pair):
+        score = engine.match(*genuine_template_pair)
+        assert 0.0 <= score <= 30.0
+
+    def test_self_match_high(self, engine, genuine_template_pair):
+        template = genuine_template_pair[0]
+        assert engine.match(template, template) > 10
+
+    def test_empty_template(self, engine, genuine_template_pair):
+        empty = Template(minutiae=(), width_px=800, height_px=750)
+        assert engine.match(empty, genuine_template_pair[0]) == 0.0
+
+    def test_deterministic(self, engine, genuine_template_pair):
+        assert engine.match(*genuine_template_pair) == engine.match(
+            *genuine_template_pair
+        )
+
+    def test_fails_differently_from_bioengine(self, tiny_collection):
+        # Diversity requirement: score vectors of the two engines over the
+        # same comparisons must not be perfectly rank-correlated.
+        from repro.matcher.engine import BioEngineMatcher
+        from repro.stats.kendall import kendall_tau
+
+        bio = BioEngineMatcher()
+        ridge = RidgeGeometryMatcher()
+        bio_scores, ridge_scores = [], []
+        for sid in range(10):
+            a = tiny_collection.get(sid, "right_index", "D0", 0).template
+            b = tiny_collection.get(sid, "right_index", "D1", 1).template
+            bio_scores.append(bio.match(b, a))
+            ridge_scores.append(ridge.match(b, a))
+        tau = kendall_tau(bio_scores, ridge_scores).tau
+        assert tau < 0.999  # correlated is fine, identical is not

@@ -1,0 +1,97 @@
+"""Score calibration properties."""
+
+import numpy as np
+import pytest
+
+from repro.matcher.pairing import PairingResult
+from repro.matcher.scoring import (
+    CHANCE_PAIR_FLOOR,
+    MIN_PAIRS_FOR_IDENTITY,
+    SCORE_SCALE,
+    compute_score,
+)
+
+
+def _pairing(n_matched, overlap_a, overlap_b, residual=0.2, angle_res=0.1):
+    pairs = np.column_stack([np.arange(n_matched), np.arange(n_matched)])
+    return PairingResult(
+        pairs=pairs.astype(np.int64),
+        residuals_mm=np.full(n_matched, residual),
+        angle_residuals_rad=np.full(n_matched, angle_res),
+        n_overlap_a=overlap_a,
+        n_overlap_b=overlap_b,
+    )
+
+
+def _qualities(n, value=70):
+    return np.full(n, value, dtype=np.int64)
+
+
+class TestScoreShape:
+    def test_strong_genuine_scores_high(self):
+        result = compute_score(_pairing(24, 28, 28), _qualities(30), _qualities(30))
+        assert result.score > 12
+
+    def test_chance_agreement_scores_low(self):
+        result = compute_score(_pairing(4, 20, 20), _qualities(25), _qualities(25))
+        assert result.score < 4
+
+    def test_below_identity_floor(self):
+        result = compute_score(
+            _pairing(MIN_PAIRS_FOR_IDENTITY - 1, 20, 20),
+            _qualities(25), _qualities(25),
+        )
+        assert result.score < 2.5
+        assert result.match_ratio == 0.0
+
+    def test_monotone_in_matched_count(self):
+        scores = [
+            compute_score(_pairing(n, 30, 30), _qualities(35), _qualities(35)).score
+            for n in (6, 12, 18, 24)
+        ]
+        assert scores == sorted(scores)
+
+    def test_never_exceeds_scale(self):
+        result = compute_score(
+            _pairing(40, 40, 40, residual=0.0, angle_res=0.0),
+            _qualities(45, 100), _qualities(45, 100),
+        )
+        assert result.score <= SCORE_SCALE
+
+    def test_tight_residuals_beat_loose(self):
+        tight = compute_score(
+            _pairing(15, 25, 25, residual=0.1), _qualities(30), _qualities(30)
+        )
+        loose = compute_score(
+            _pairing(15, 25, 25, residual=0.7), _qualities(30), _qualities(30)
+        )
+        assert tight.score > loose.score
+
+    def test_quality_weighting(self):
+        good = compute_score(
+            _pairing(15, 25, 25), _qualities(30, 95), _qualities(30, 95)
+        )
+        bad = compute_score(
+            _pairing(15, 25, 25), _qualities(30, 15), _qualities(30, 15)
+        )
+        assert good.score > bad.score
+
+    def test_overlap_floor_deflates_small_overlap_flukes(self):
+        # 6 matches in a tiny accidental overlap must not look like 6
+        # matches in a well-covered one.
+        fluke = compute_score(_pairing(6, 7, 7), _qualities(10), _qualities(10))
+        solid = compute_score(_pairing(20, 24, 24), _qualities(30), _qualities(30))
+        assert fluke.score < solid.score / 2
+
+    def test_chance_floor_subtracted(self):
+        result = compute_score(_pairing(10, 20, 20), _qualities(25), _qualities(25))
+        expected_ratio = ((10 - CHANCE_PAIR_FLOOR) ** 2) / (20 * 20)
+        assert result.match_ratio == pytest.approx(expected_ratio)
+
+    def test_breakdown_fields(self):
+        result = compute_score(_pairing(12, 20, 22), _qualities(25), _qualities(25))
+        assert result.n_matched == 12
+        assert result.n_overlap_a == 20
+        assert result.n_overlap_b == 22
+        assert 0 < result.consistency <= 1
+        assert 0 < result.quality_weight <= 1

@@ -1,0 +1,115 @@
+"""Enrollment database."""
+
+import pytest
+
+from repro.pipeline.database import EnrolledRecord, EnrollmentError, TemplateDatabase
+
+
+@pytest.fixture()
+def record(genuine_template_pair):
+    return EnrolledRecord(
+        identity="subject-0",
+        template=genuine_template_pair[0],
+        device_id="D0",
+        nfiq=2,
+    )
+
+
+class TestRecord:
+    def test_valid(self, record):
+        assert record.identity == "subject-0"
+
+    def test_empty_identity(self, genuine_template_pair):
+        with pytest.raises(EnrollmentError):
+            EnrolledRecord(identity="", template=genuine_template_pair[0])
+
+    def test_bad_nfiq(self, genuine_template_pair):
+        with pytest.raises(EnrollmentError):
+            EnrolledRecord(
+                identity="x", template=genuine_template_pair[0], nfiq=9
+            )
+
+    def test_unknown_provenance_allowed(self, genuine_template_pair):
+        record = EnrolledRecord(identity="x", template=genuine_template_pair[0])
+        assert record.device_id == "" and record.nfiq == 0
+
+
+class TestDatabase:
+    def test_enroll_and_get(self, record):
+        db = TemplateDatabase()
+        db.enroll(record)
+        assert db.get("subject-0") is record
+        assert db.has("subject-0")
+        assert len(db) == 1
+
+    def test_duplicate_rejected(self, record):
+        db = TemplateDatabase()
+        db.enroll(record)
+        with pytest.raises(EnrollmentError, match="already enrolled"):
+            db.enroll(record)
+
+    def test_replace(self, record, genuine_template_pair):
+        db = TemplateDatabase()
+        db.enroll(record)
+        updated = EnrolledRecord(
+            identity="subject-0", template=genuine_template_pair[1], device_id="D1"
+        )
+        db.enroll(updated, replace=True)
+        assert db.get("subject-0").device_id == "D1"
+
+    def test_missing_identity(self):
+        with pytest.raises(EnrollmentError, match="not enrolled"):
+            TemplateDatabase().get("ghost")
+
+    def test_remove(self, record):
+        db = TemplateDatabase()
+        db.enroll(record)
+        db.remove("subject-0")
+        assert not db.has("subject-0")
+        with pytest.raises(EnrollmentError):
+            db.remove("subject-0")
+
+    def test_iteration_sorted(self, genuine_template_pair):
+        db = TemplateDatabase()
+        for name in ("carol", "alice", "bob"):
+            db.enroll(EnrolledRecord(identity=name, template=genuine_template_pair[0]))
+        assert [r.identity for r in db] == ["alice", "bob", "carol"]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tiny_collection, tmp_path):
+        db = TemplateDatabase()
+        for sid in range(4):
+            imp = tiny_collection.get(sid, "right_index", "D0", 0)
+            db.enroll(
+                EnrolledRecord(
+                    identity=f"subject-{sid}",
+                    template=imp.template,
+                    device_id=imp.device_id,
+                    nfiq=imp.nfiq,
+                )
+            )
+        assert db.save(tmp_path / "gallery") == 4
+
+        restored = TemplateDatabase.load(tmp_path / "gallery")
+        assert len(restored) == 4
+        original = db.get("subject-2")
+        loaded = restored.get("subject-2")
+        assert loaded.device_id == original.device_id
+        assert loaded.nfiq == original.nfiq
+        assert len(loaded.template) == len(original.template)
+
+    def test_load_missing_dir(self, tmp_path):
+        with pytest.raises(EnrollmentError):
+            TemplateDatabase.load(tmp_path / "absent")
+
+    def test_loaded_templates_still_match(self, tiny_collection, matcher, tmp_path):
+        imp = tiny_collection.get(0, "right_index", "D0", 0)
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        db = TemplateDatabase()
+        db.enroll(EnrolledRecord(identity="s0", template=imp.template, device_id="D0"))
+        db.save(tmp_path / "g")
+        restored = TemplateDatabase.load(tmp_path / "g")
+        score = matcher.match(probe, restored.get("s0").template)
+        # INCITS quantization costs at most a fraction of a point.
+        assert score > 8

@@ -1,0 +1,153 @@
+"""Verification engines."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    EnrolledRecord,
+    InteropAwareVerifier,
+    TemplateDatabase,
+    Verifier,
+)
+from repro.pipeline.verifier import train_interop_verifier_from_study
+from repro.runtime.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def database(tiny_collection, tiny_config):
+    db = TemplateDatabase()
+    for sid in range(tiny_config.n_subjects):
+        imp = tiny_collection.get(sid, "right_index", "D0", 0)
+        db.enroll(
+            EnrolledRecord(
+                identity=f"subject-{sid}",
+                template=imp.template,
+                device_id="D0",
+                nfiq=imp.nfiq,
+            )
+        )
+    return db
+
+
+class TestBaselineVerifier:
+    def test_accepts_genuine(self, database, tiny_collection):
+        verifier = Verifier(database, threshold=7.5)
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        decision = verifier.verify("subject-0", probe, probe_device="D0")
+        assert decision.accepted
+        assert decision.raw_score >= 7.5
+        assert decision.normalized_score == decision.raw_score
+
+    def test_rejects_impostor(self, database, tiny_collection):
+        verifier = Verifier(database, threshold=7.5)
+        probe = tiny_collection.get(1, "right_index", "D0", 1).template
+        decision = verifier.verify("subject-0", probe, probe_device="D0")
+        assert not decision.accepted
+
+    def test_audit_log_populated(self, database, tiny_collection):
+        verifier = Verifier(database)
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        verifier.verify("subject-0", probe, probe_device="D0")
+        verifier.verify("subject-1", probe, probe_device="D0")
+        assert len(verifier.audit) == 2
+        assert "subject-0" in verifier.audit.render()
+
+    def test_unknown_identity(self, database, tiny_collection):
+        from repro.pipeline.database import EnrollmentError
+
+        verifier = Verifier(database)
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        with pytest.raises(EnrollmentError):
+            verifier.verify("nobody", probe)
+
+    def test_threshold_validation(self, database):
+        with pytest.raises(ConfigurationError):
+            Verifier(database, threshold=0.0)
+
+    def test_multi_sample_fusion(self, database, tiny_collection):
+        verifier = Verifier(database, threshold=7.5)
+        probes = [
+            tiny_collection.get(0, "right_index", "D1", 1).template,
+            tiny_collection.get(0, "right_index", "D2", 1).template,
+        ]
+        decision = verifier.verify_multi_sample("subject-0", probes, "D1")
+        assert decision.accepted
+        # The fused score is the mean of the individual raw scores.
+        singles = [
+            verifier.verify("subject-0", p, "D1").raw_score for p in probes
+        ]
+        assert decision.raw_score == pytest.approx(np.mean(singles))
+
+    def test_multi_sample_requires_probes(self, database):
+        verifier = Verifier(database)
+        with pytest.raises(ConfigurationError):
+            verifier.verify_multi_sample("subject-0", [])
+
+
+class TestInteropAwareVerifier:
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_study, database):
+        return train_interop_verifier_from_study(
+            tiny_study,
+            database,
+            threshold=3.0,
+            calibrate_pairs=[("D0", "D4")],
+            n_train_subjects=6,
+        )
+
+    def test_normalizes_scores(self, trained, tiny_collection):
+        probe = tiny_collection.get(0, "right_index", "D1", 1).template
+        decision = trained.verify("subject-0", probe, probe_device="D1")
+        # z-normed scale: genuine scores land many sigmas above impostors.
+        assert decision.normalized_score != decision.raw_score
+        assert decision.accepted
+
+    def test_rejects_impostor_after_normalization(self, trained, tiny_collection):
+        probe = tiny_collection.get(2, "right_index", "D1", 1).template
+        decision = trained.verify("subject-0", probe, probe_device="D1")
+        assert not decision.accepted
+
+    def test_device_inference_used_when_undeclared(self, trained, tiny_collection):
+        imp = tiny_collection.get(0, "right_index", "D4", 1)
+        decision = trained.verify(
+            "subject-0", imp.template, probe_features=imp.features
+        )
+        assert decision.probe_device_inferred
+        assert decision.probe_device in ("D0", "D1", "D2", "D3", "D4")
+
+    def test_inference_requires_features(self, trained, tiny_collection):
+        probe = tiny_collection.get(0, "right_index", "D4", 1).template
+        with pytest.raises(ConfigurationError, match="probe_features"):
+            trained.verify("subject-0", probe)
+
+    def test_calibration_applied_to_fitted_pair(self, trained, tiny_collection):
+        probe = tiny_collection.get(7, "right_index", "D4", 1).template
+        decision = trained.verify("subject-7", probe, probe_device="D4")
+        assert decision.calibration_applied
+
+    def test_no_calibration_for_native_pair(self, trained, tiny_collection):
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        decision = trained.verify("subject-0", probe, probe_device="D0")
+        assert not decision.calibration_applied
+
+    def test_audit_matrix_view(self, trained):
+        matrix = trained.audit.rejection_rate_matrix()
+        assert all(0.0 <= rate <= 1.0 for rate in matrix.values())
+
+    def test_threshold_is_device_pair_portable(self, tiny_study, database, tiny_collection):
+        """The architecture claim: one z-norm threshold works across
+        device pairs better than one raw threshold."""
+        verifier = train_interop_verifier_from_study(
+            tiny_study, database, threshold=3.0
+        )
+        genuine_ok = 0
+        total = 0
+        for device in ("D0", "D1", "D2", "D3", "D4"):
+            for sid in range(6):
+                probe = tiny_collection.get(sid, "right_index", device, 1).template
+                decision = verifier.verify(
+                    f"subject-{sid}", probe, probe_device=device
+                )
+                genuine_ok += decision.accepted
+                total += 1
+        assert genuine_ok / total > 0.8

@@ -1,0 +1,57 @@
+"""Property tests for identification curves and report renderers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identification import cmc_curve
+from repro.stats.histogram import render_histogram, score_histogram
+
+
+class TestCmcProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=100),
+        st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hit_rates_monotone_and_bounded(self, ranks, max_rank):
+        curve = cmc_curve(ranks, max_rank=max_rank)
+        assert np.all(curve.hit_rates >= 0.0)
+        assert np.all(curve.hit_rates <= 1.0)
+        assert np.all(np.diff(curve.hit_rates) >= -1e-12)
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_full_coverage_saturates_at_one(self, ranks):
+        # Every probe hits within rank 5, so the tail rate must be 1.
+        curve = cmc_curve(ranks, max_rank=5)
+        assert curve.rate_at(5) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=0), min_size=1, max_size=50))
+    @settings(max_examples=10, deadline=None)
+    def test_all_misses_stay_zero(self, ranks):
+        curve = cmc_curve(ranks, max_rank=3)
+        assert curve.rank1 == 0.0
+        assert curve.rate_at(3) == 0.0
+
+
+class TestHistogramRendering:
+    def test_log_scale_renders(self):
+        hist = score_histogram(
+            np.concatenate([np.zeros(10000), np.full(3, 5.0)]),
+            score_range=(0, 6),
+            label="log demo",
+        )
+        linear = render_histogram(hist, log_scale=False)
+        logged = render_histogram(hist, log_scale=True)
+        # On a log axis the tiny bin becomes visible (longer bar than on
+        # the linear axis, where it rounds to nothing).
+        linear_bar = linear.splitlines()[6].count("#")
+        logged_bar = logged.splitlines()[6].count("#")
+        assert logged_bar > linear_bar
+
+    def test_empty_histogram_renders(self):
+        hist = score_histogram([], label="empty")
+        text = render_histogram(hist)
+        assert "empty" in text

@@ -1,0 +1,148 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+Each class pins an invariant that holds for *any* input in its domain —
+the kind of guarantee unit examples cannot give.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.rng import SeedTree, derive_seed
+from repro.sensors.distortion import RigidPlacement, SmoothWarpField
+from repro.stats.comparison import wilson_interval
+from repro.stats.roc import fmr_at_threshold, fnmr_at_threshold
+
+
+class TestSeedTreeProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_path_determinism(self, master, path):
+        assert derive_seed(master, *path) == derive_seed(master, *path)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=3),
+        st.lists(st.integers(min_value=51, max_value=100), min_size=1, max_size=3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_paths_distinct_seeds(self, master, path_a, path_b):
+        # Paths drawn from disjoint label ranges can never be equal.
+        assert derive_seed(master, *path_a) != derive_seed(master, *path_b)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_child_composition(self, master):
+        tree = SeedTree(master)
+        assert tree.child("a").child(2).seed() == tree.seed("a", 2)
+
+
+class TestRigidPlacementProperties:
+    @given(
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-np.pi, max_value=np.pi),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_isometry(self, dx, dy, rotation):
+        placement = RigidPlacement(dx, dy, rotation)
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [-2.0, 7.0]])
+        moved = placement.apply(pts)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                original = np.linalg.norm(pts[i] - pts[j])
+                transformed = np.linalg.norm(moved[i] - moved[j])
+                assert transformed == pytest.approx(original, abs=1e-9)
+
+
+class TestWarpFieldProperties:
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.floats(min_value=0.05, max_value=1.5))
+    @settings(max_examples=20, deadline=None)
+    def test_magnitude_scaling_is_linear(self, seed, magnitude):
+        base = SmoothWarpField(seed=seed, magnitude_mm=1.0)
+        scaled = SmoothWarpField(seed=seed, magnitude_mm=magnitude)
+        pts = np.array([[2.0, -3.0], [-5.0, 5.0]])
+        np.testing.assert_allclose(
+            scaled.displacement(pts), magnitude * base.displacement(pts),
+            rtol=1e-9, atol=1e-12,
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_apply_is_identity_plus_displacement(self, seed):
+        field = SmoothWarpField(seed=seed, magnitude_mm=0.5)
+        pts = np.array([[1.0, 1.0], [-4.0, 2.0]])
+        np.testing.assert_allclose(
+            field.apply(pts), pts + field.displacement(pts)
+        )
+
+
+class TestErrorRateProperties:
+    @given(
+        st.lists(st.floats(min_value=0, max_value=30), min_size=2, max_size=60),
+        st.floats(min_value=-1, max_value=31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fmr_fnmr_partition(self, scores, threshold):
+        # On the same score set, matches + non-matches cover everything.
+        fmr = fmr_at_threshold(scores, threshold)
+        fnmr = fnmr_at_threshold(scores, threshold)
+        assert fmr + fnmr == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=30), min_size=2, max_size=60),
+        st.floats(min_value=0, max_value=15),
+        st.floats(min_value=15.001, max_value=31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fmr_monotone_in_threshold(self, scores, low, high):
+        assert fmr_at_threshold(scores, low) >= fmr_at_threshold(scores, high)
+
+
+class TestWilsonProperties:
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=80, deadline=None)
+    def test_interval_brackets_point_estimate(self, successes, trials):
+        successes = min(successes, trials)
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_confidence_wider(self, trials):
+        successes = trials // 2
+        low95, high95 = wilson_interval(successes, trials, confidence=0.95)
+        low99, high99 = wilson_interval(successes, trials, confidence=0.99)
+        assert (high99 - low99) >= (high95 - low95) - 1e-12
+
+
+class TestScoreSetProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_select_partitions(self, mask_bits):
+        from repro.core.scores import ScoreSet
+
+        n = len(mask_bits)
+        score_set = ScoreSet(
+            scenario="DMG",
+            matcher_name="m",
+            scores=np.arange(n, dtype=np.float64),
+            subject_gallery=np.arange(n),
+            subject_probe=np.arange(n),
+            device_gallery=np.full(n, "D0"),
+            device_probe=np.full(n, "D0"),
+            nfiq_gallery=np.ones(n, dtype=np.int64),
+            nfiq_probe=np.ones(n, dtype=np.int64),
+        )
+        mask = np.array(mask_bits)
+        selected = score_set.select(mask)
+        complement = score_set.select(~mask)
+        assert len(selected) + len(complement) == n
+        merged = np.sort(np.concatenate([selected.scores, complement.scores]))
+        np.testing.assert_array_equal(merged, score_set.scores)

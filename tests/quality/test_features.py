@@ -1,0 +1,59 @@
+"""Quality feature vector."""
+
+import numpy as np
+import pytest
+
+from repro.quality.features import FEATURE_DIM, QualityFeatures
+
+
+def _features(**overrides):
+    params = dict(
+        minutiae_count=35,
+        contact_area_fraction=0.7,
+        mean_coherence=0.8,
+        dryness_artifact=0.1,
+        noise_level=0.2,
+        mean_minutia_quality=0.75,
+    )
+    params.update(overrides)
+    return QualityFeatures(**params)
+
+
+class TestValidation:
+    def test_valid(self):
+        assert _features().minutiae_count == 35
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            _features(minutiae_count=-1)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "contact_area_fraction",
+            "mean_coherence",
+            "dryness_artifact",
+            "noise_level",
+            "mean_minutia_quality",
+        ],
+    )
+    def test_unit_interval_enforced(self, field):
+        with pytest.raises(ValueError):
+            _features(**{field: 1.5})
+        with pytest.raises(ValueError):
+            _features(**{field: -0.1})
+
+
+class TestVector:
+    def test_dimension(self):
+        assert _features().as_vector().shape == (FEATURE_DIM,)
+
+    def test_all_unit_scale(self):
+        vector = _features(minutiae_count=500).as_vector()
+        assert np.all((vector >= 0) & (vector <= 1))
+
+    def test_count_saturates(self):
+        low = _features(minutiae_count=10).as_vector()[0]
+        high = _features(minutiae_count=60).as_vector()[0]
+        huge = _features(minutiae_count=600).as_vector()[0]
+        assert low < high < huge <= 1.0

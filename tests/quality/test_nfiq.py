@@ -1,0 +1,113 @@
+"""NFIQ-style assessment."""
+
+import numpy as np
+import pytest
+
+from repro.quality.features import QualityFeatures
+from repro.quality.nfiq import (
+    MAX_REACQUISITIONS,
+    assess,
+    nfiq_level,
+    quality_utility,
+    recommend_reacquisition,
+)
+
+
+def _features(count=35, area=0.7, coherence=0.8, dryness=0.1, noise=0.2, quality=0.75):
+    return QualityFeatures(
+        minutiae_count=count,
+        contact_area_fraction=area,
+        mean_coherence=coherence,
+        dryness_artifact=dryness,
+        noise_level=noise,
+        mean_minutia_quality=quality,
+    )
+
+
+class TestUtility:
+    def test_bounded(self):
+        assert 0.0 <= quality_utility(_features()) <= 1.0
+
+    def test_pristine_is_high(self):
+        pristine = _features(count=50, area=0.9, coherence=0.95, dryness=0.0,
+                             noise=0.05, quality=0.95)
+        assert quality_utility(pristine) > 0.85
+
+    def test_terrible_is_low(self):
+        terrible = _features(count=5, area=0.15, coherence=0.2, dryness=0.9,
+                             noise=0.9, quality=0.15)
+        assert quality_utility(terrible) < 0.3
+
+    @pytest.mark.parametrize(
+        "degraded",
+        [
+            dict(count=8),
+            dict(area=0.15),
+            dict(coherence=0.2),
+            dict(dryness=0.95),
+            dict(noise=0.95),
+            dict(quality=0.1),
+        ],
+    )
+    def test_each_factor_lowers_utility(self, degraded):
+        assert quality_utility(_features(**degraded)) < quality_utility(_features())
+
+
+class TestLevels:
+    def test_levels_cover_1_to_5(self):
+        pristine = _features(count=55, area=0.95, coherence=0.97, dryness=0.0,
+                             noise=0.02, quality=0.97)
+        terrible = _features(count=3, area=0.1, coherence=0.1, dryness=1.0,
+                             noise=1.0, quality=0.05)
+        assert nfiq_level(pristine) == 1
+        assert nfiq_level(terrible) == 5
+
+    def test_levels_monotone_in_utility(self):
+        # Build a degradation ramp and check levels never improve.
+        levels = []
+        for t in np.linspace(0, 1, 21):
+            f = _features(
+                count=int(50 - 45 * t),
+                area=0.9 - 0.75 * t,
+                coherence=0.95 - 0.8 * t,
+                dryness=t,
+                noise=t,
+                quality=0.95 - 0.85 * t,
+            )
+            levels.append(nfiq_level(f))
+        assert levels == sorted(levels)
+
+    def test_assess_bundles_both(self):
+        verdict = assess(_features())
+        assert 1 <= verdict.level <= 5
+        assert 0 <= verdict.utility <= 1
+
+
+class TestReacquisition:
+    def test_rule_matches_sp80076(self):
+        # "reacquired ... up to three times, if the NFIQ quality ... is
+        # greater than three".
+        assert recommend_reacquisition(4, 0)
+        assert recommend_reacquisition(5, 2)
+        assert not recommend_reacquisition(3, 0)
+        assert not recommend_reacquisition(1, 0)
+        assert not recommend_reacquisition(5, MAX_REACQUISITIONS)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            recommend_reacquisition(0, 0)
+        with pytest.raises(ValueError):
+            recommend_reacquisition(3, -1)
+
+
+class TestPredictsMatcherPerformance:
+    """The NFIQ contract: the level predicts genuine match scores."""
+
+    def test_levels_correlate_with_genuine_scores(self, tiny_study):
+        sets = tiny_study.score_sets()
+        genuine = sets["DDMG"]
+        worst = np.maximum(genuine.nfiq_gallery, genuine.nfiq_probe)
+        good = genuine.scores[worst <= 2]
+        bad = genuine.scores[worst >= 4]
+        if len(good) >= 3 and len(bad) >= 3:
+            assert good.mean() > bad.mean()

@@ -1,0 +1,76 @@
+"""On-disk score cache behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import ScoreCache
+from repro.runtime.errors import CacheError
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ScoreCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_store_and_load(self, cache):
+        arrays = {"scores": np.arange(5.0), "ids": np.array([1, 2, 3, 4, 5])}
+        cache.store("run1", arrays)
+        loaded = cache.load("run1")
+        assert set(loaded) == {"scores", "ids"}
+        np.testing.assert_array_equal(loaded["scores"], arrays["scores"])
+
+    def test_meta_roundtrip(self, cache):
+        cache.store("k", {"a": np.zeros(2)}, meta={"n": 10, "label": "x"})
+        assert cache.load_meta("k") == {"n": 10, "label": "x"}
+
+    def test_meta_not_in_arrays(self, cache):
+        cache.store("k", {"a": np.zeros(2)}, meta={"n": 10})
+        assert "__meta__" not in cache.load("k")
+
+    def test_miss_returns_none(self, cache):
+        assert cache.load("absent") is None
+        assert cache.load_meta("absent") is None
+
+
+class TestDisabled:
+    def test_none_directory_disables(self):
+        cache = ScoreCache(None)
+        assert not cache.enabled
+        cache.store("k", {"a": np.zeros(1)})  # silently a no-op
+        assert cache.load("k") is None
+        assert cache.invalidate("k") is False
+        assert cache.clear() == 0
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, cache, tmp_path):
+        cache.store("bad", {"a": np.zeros(3)})
+        path = tmp_path / "cache" / "bad.npz"
+        path.write_bytes(b"not a zipfile at all")
+        assert cache.load("bad") is None
+        # And the corrupt file was removed so the next store is clean.
+        assert not path.exists()
+
+    def test_bad_key_rejected(self, cache):
+        with pytest.raises(CacheError):
+            cache.store("../escape", {"a": np.zeros(1)})
+        with pytest.raises(CacheError):
+            cache.load("a/b")
+
+    def test_invalidate(self, cache):
+        cache.store("k", {"a": np.zeros(1)})
+        assert cache.invalidate("k") is True
+        assert cache.load("k") is None
+        assert cache.invalidate("k") is False
+
+    def test_clear(self, cache):
+        cache.store("k1", {"a": np.zeros(1)})
+        cache.store("k2", {"a": np.zeros(1)})
+        assert cache.clear() == 2
+        assert cache.load("k1") is None
+
+    def test_overwrite(self, cache):
+        cache.store("k", {"a": np.zeros(2)})
+        cache.store("k", {"a": np.ones(3)})
+        np.testing.assert_array_equal(cache.load("k")["a"], np.ones(3))

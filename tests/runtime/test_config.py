@@ -1,0 +1,125 @@
+"""StudyConfig validation and scaling rules."""
+
+import pytest
+
+from repro.runtime.config import (
+    DEFAULT_SUBJECT_COUNT,
+    PAPER_DDMI_BUDGET,
+    PAPER_DMI_BUDGET,
+    PAPER_SUBJECT_COUNT,
+    StudyConfig,
+    resolve_worker_count,
+)
+from repro.runtime.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = StudyConfig()
+        assert config.n_subjects == DEFAULT_SUBJECT_COUNT
+
+    def test_too_few_subjects(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(n_subjects=1)
+
+    def test_zero_fingers(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(fingers_per_subject=0)
+
+    def test_one_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(sets_per_device=1)
+
+    def test_unknown_matcher(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(matcher_name="neuralnet")
+
+    def test_negative_workers(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(n_workers=-1)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(dmi_budget=0)
+        with pytest.raises(ConfigurationError):
+            StudyConfig(ddmi_budget=0)
+
+
+class TestPaperScale:
+    def test_matches_table3(self):
+        config = StudyConfig.paper_scale()
+        assert config.n_subjects == PAPER_SUBJECT_COUNT == 494
+        assert config.scaled_dmi_budget() == PAPER_DMI_BUDGET == 120_855
+        assert config.scaled_ddmi_budget() == PAPER_DDMI_BUDGET == 483_420
+        assert config.is_paper_scale
+
+    def test_override(self):
+        config = StudyConfig.paper_scale(master_seed=7)
+        assert config.master_seed == 7
+        assert config.n_subjects == PAPER_SUBJECT_COUNT
+
+
+class TestScaling:
+    def test_budget_scales_quadratically(self):
+        half = StudyConfig(n_subjects=247)
+        ratio = half.scaled_dmi_budget() / PAPER_DMI_BUDGET
+        expected = (247 * 246) / (494 * 493)
+        assert abs(ratio - expected) < 0.01
+
+    def test_explicit_budget_wins(self):
+        config = StudyConfig(dmi_budget=500, ddmi_budget=700)
+        assert config.scaled_dmi_budget() == 500
+        assert config.scaled_ddmi_budget() == 700
+
+    def test_budget_never_zero(self):
+        tiny = StudyConfig(n_subjects=2)
+        assert tiny.scaled_dmi_budget() >= 1
+        assert tiny.scaled_ddmi_budget() >= 1
+
+
+class TestEnvironment:
+    def test_env_subjects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUBJECTS", "33")
+        assert StudyConfig.from_environment().n_subjects == 33
+
+    def test_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert StudyConfig.from_environment().n_workers == 3
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SUBJECTS", "many")
+        with pytest.raises(ConfigurationError):
+            StudyConfig.from_environment()
+
+    def test_env_beats_code_defaults(self, monkeypatch):
+        # Keyword arguments are defaults; the environment is the user's
+        # explicit request and must win.
+        monkeypatch.setenv("REPRO_SUBJECTS", "33")
+        assert StudyConfig.from_environment(n_subjects=20).n_subjects == 33
+
+    def test_defaults_used_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUBJECTS", raising=False)
+        assert StudyConfig.from_environment(n_subjects=20).n_subjects == 20
+
+
+class TestMisc:
+    def test_replace(self):
+        config = StudyConfig().replace(master_seed=42)
+        assert config.master_seed == 42
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = StudyConfig(n_subjects=10)
+        b = StudyConfig(n_subjects=10)
+        c = StudyConfig(n_subjects=11)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_describe_mentions_scale(self):
+        assert "scaled-down" in StudyConfig(n_subjects=10).describe()
+        assert "paper-scale" in StudyConfig.paper_scale().describe()
+
+    def test_resolve_worker_count(self):
+        assert resolve_worker_count(0) == 0
+        assert resolve_worker_count(-5) == 0
+        assert resolve_worker_count(1) == 1
+        assert resolve_worker_count(10**6) >= 1  # capped to CPUs

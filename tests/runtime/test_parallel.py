@@ -1,0 +1,60 @@
+"""Parallel map semantics."""
+
+import pytest
+
+from repro.runtime.parallel import chunk_indices, parallel_map, sequential_map
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_seven(x):
+    if x == 7:
+        raise ValueError("seven")
+    return x
+
+
+class TestChunkIndices:
+    def test_covers_everything_once(self):
+        chunks = chunk_indices(10, 3)
+        flat = [i for c in chunks for i in c]
+        assert flat == list(range(10))
+
+    def test_exact_division(self):
+        assert [len(c) for c in chunk_indices(9, 3)] == [3, 3, 3]
+
+    def test_empty(self):
+        assert chunk_indices(0, 4) == []
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+
+
+class TestParallelMap:
+    def test_sequential_path(self):
+        assert parallel_map(_square, [1, 2, 3], n_workers=0) == [1, 4, 9]
+
+    def test_small_workload_stays_sequential(self):
+        # Fewer than the pool threshold: must not spawn processes.
+        assert parallel_map(_square, list(range(10)), n_workers=8) == [
+            x * x for x in range(10)
+        ]
+
+    def test_pool_preserves_order(self):
+        items = list(range(300))
+        result = parallel_map(_square, items, n_workers=2, chunk_size=17)
+        assert result == [x * x for x in items]
+
+    def test_exception_propagates(self):
+        with pytest.raises(ValueError, match="seven"):
+            parallel_map(_fail_on_seven, list(range(300)), n_workers=2)
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], n_workers=4) == []
+
+
+class TestSequentialMap:
+    def test_basic(self):
+        assert sequential_map(_square, range(4)) == [0, 1, 4, 9]

@@ -1,0 +1,76 @@
+"""Progress reporter throttling and robustness."""
+
+import io
+
+import pytest
+
+from repro.runtime.progress import NullProgress, ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestProgressReporter:
+    def test_counts(self):
+        reporter = ProgressReporter(total=10, stream=None)
+        reporter.update(3)
+        reporter.update(2)
+        assert reporter.count == 5
+
+    def test_negative_update_rejected(self):
+        reporter = ProgressReporter(stream=None)
+        with pytest.raises(ValueError):
+            reporter.update(-1)
+
+    def test_throttling(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=100, stream=stream, min_interval=1.0, clock=clock
+        )
+        for __ in range(50):
+            reporter.update()  # same instant: only the first emits
+        assert reporter.emissions == 1
+        clock.t = 2.0
+        reporter.update()
+        assert reporter.emissions == 2
+
+    def test_finish_forces_emission(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=4, stream=stream, clock=clock)
+        reporter.update(4)
+        reporter.finish()
+        assert "4/4" in stream.getvalue()
+
+    def test_unknown_total(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, clock=clock)
+        reporter.update(7)
+        reporter.finish()
+        assert "7 done" in stream.getvalue()
+
+    def test_broken_stream_does_not_raise(self):
+        class Broken(io.StringIO):
+            def write(self, *_):
+                raise OSError("gone")
+
+        reporter = ProgressReporter(stream=Broken(), min_interval=0.0)
+        reporter.update()  # must not raise
+        reporter.finish()
+
+
+class TestNullProgress:
+    def test_counts_but_never_writes(self, capsys):
+        reporter = NullProgress(total=3)
+        reporter.update(3)
+        reporter.finish()
+        assert reporter.count == 3
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""

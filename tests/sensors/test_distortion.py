@@ -1,0 +1,119 @@
+"""Geometric distortion models."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.distortion import (
+    RigidPlacement,
+    SmoothWarpField,
+    device_signature_field,
+    relative_warp_rms,
+    sample_placement,
+)
+
+
+class TestRigidPlacement:
+    def test_identity(self):
+        placement = RigidPlacement(0, 0, 0)
+        pts = np.array([[1.0, 2.0], [3.0, -4.0]])
+        np.testing.assert_allclose(placement.apply(pts), pts)
+
+    def test_pure_translation(self):
+        placement = RigidPlacement(2.0, -1.0, 0.0)
+        np.testing.assert_allclose(
+            placement.apply(np.array([[0.0, 0.0]])), [[2.0, -1.0]]
+        )
+
+    def test_quarter_rotation(self):
+        placement = RigidPlacement(0, 0, np.pi / 2)
+        np.testing.assert_allclose(
+            placement.apply(np.array([[1.0, 0.0]])), [[0.0, 1.0]], atol=1e-12
+        )
+
+    def test_angles_rotate(self):
+        placement = RigidPlacement(0, 0, np.pi / 2)
+        assert placement.apply_angles(np.array([0.0]))[0] == pytest.approx(np.pi / 2)
+
+    def test_angles_wrap(self):
+        placement = RigidPlacement(0, 0, np.pi)
+        wrapped = placement.apply_angles(np.array([1.5 * np.pi]))[0]
+        assert 0 <= wrapped < 2 * np.pi
+
+    def test_preserves_distances(self):
+        placement = sample_placement(np.random.default_rng(0), 2.0, 0.3)
+        pts = np.random.default_rng(1).normal(size=(10, 2))
+        moved = placement.apply(pts)
+        orig_d = np.linalg.norm(pts[0] - pts[5])
+        new_d = np.linalg.norm(moved[0] - moved[5])
+        assert new_d == pytest.approx(orig_d)
+
+
+class TestSmoothWarpField:
+    def test_rms_matches_magnitude(self):
+        field = SmoothWarpField(seed=1, magnitude_mm=0.5)
+        probe = np.random.default_rng(0).uniform(-14, 14, size=(400, 2))
+        rms = float(np.sqrt(np.mean(np.sum(field.displacement(probe) ** 2, axis=1))))
+        assert rms == pytest.approx(0.5, rel=0.35)
+
+    def test_zero_magnitude_is_identity(self):
+        field = SmoothWarpField(seed=1, magnitude_mm=0.0)
+        pts = np.array([[1.0, 2.0], [-3.0, 4.0]])
+        np.testing.assert_allclose(field.apply(pts), pts)
+
+    def test_deterministic_by_seed(self):
+        a = SmoothWarpField(seed=7, magnitude_mm=0.4)
+        b = SmoothWarpField(seed=7, magnitude_mm=0.4)
+        pts = np.array([[1.0, 1.0]])
+        np.testing.assert_allclose(a.displacement(pts), b.displacement(pts))
+
+    def test_different_seeds_differ(self):
+        a = SmoothWarpField(seed=7, magnitude_mm=0.4)
+        b = SmoothWarpField(seed=8, magnitude_mm=0.4)
+        pts = np.array([[1.0, 1.0]])
+        assert not np.allclose(a.displacement(pts), b.displacement(pts))
+
+    def test_smoothness(self):
+        # Displacement must vary slowly: nearby points move nearly alike.
+        field = SmoothWarpField(seed=3, magnitude_mm=0.6)
+        base = field.displacement(np.array([[2.0, 2.0]]))[0]
+        near = field.displacement(np.array([[2.3, 2.0]]))[0]
+        assert np.linalg.norm(base - near) < 0.12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmoothWarpField(seed=1, magnitude_mm=-0.1)
+        with pytest.raises(ValueError):
+            SmoothWarpField(seed=1, magnitude_mm=0.1, scale_mm=0)
+
+    def test_local_rotation_finite_and_small(self):
+        field = SmoothWarpField(seed=5, magnitude_mm=0.5)
+        pts = np.random.default_rng(2).uniform(-10, 10, size=(50, 2))
+        rotation = field.local_rotation(pts)
+        assert np.all(np.isfinite(rotation))
+        assert np.max(np.abs(rotation)) < 0.6  # radians; warps are gentle
+
+
+class TestDeviceSignatures:
+    def test_fixed_per_device(self):
+        a = device_signature_field("D0", 0.5)
+        b = device_signature_field("D0", 0.5)
+        pts = np.array([[3.0, -2.0]])
+        np.testing.assert_allclose(a.displacement(pts), b.displacement(pts))
+
+    def test_devices_have_distinct_signatures(self):
+        a = device_signature_field("D0", 0.5)
+        b = device_signature_field("D1", 0.5)
+        assert relative_warp_rms(a, b) > 0.2
+
+    def test_relative_warp_zero_for_same_field(self):
+        a = device_signature_field("D2", 0.5)
+        assert relative_warp_rms(a, a) == 0.0
+
+    def test_relative_warp_scales_with_magnitude(self):
+        small = relative_warp_rms(
+            device_signature_field("D0", 0.2), device_signature_field("D1", 0.2)
+        )
+        large = relative_warp_rms(
+            device_signature_field("D0", 0.8), device_signature_field("D1", 0.8)
+        )
+        assert large > small * 2

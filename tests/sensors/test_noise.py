@@ -1,0 +1,124 @@
+"""Presentation conditions, contact, detection and spurious processes."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.noise import (
+    contact_radii_mm,
+    detection_probability,
+    minutia_quality_values,
+    quality_conditions_factor,
+    sample_conditions,
+    spurious_count,
+)
+from repro.synthesis.subject import SubjectTraits
+
+
+@pytest.fixture()
+def traits():
+    return SubjectTraits(
+        skin_dryness=0.4,
+        pressure_mean=0.7,
+        pressure_spread=0.08,
+        placement_sloppiness=0.5,
+        habituation_rate=0.4,
+    )
+
+
+class TestConditions:
+    def test_ranges(self, traits, rng):
+        for __ in range(100):
+            c = sample_conditions(traits, rng)
+            assert 0.25 <= c.pressure <= 1.1
+            assert 0.0 <= c.moisture <= 1.0
+            assert 0.02 <= c.sloppiness <= 1.0
+
+    def test_habituation_reduces_sloppiness(self, traits):
+        rng_first = np.random.default_rng(0)
+        rng_late = np.random.default_rng(0)
+        first = [
+            sample_conditions(traits, rng_first, presentation_index=0).sloppiness
+            for __ in range(200)
+        ]
+        late = [
+            sample_conditions(traits, rng_late, presentation_index=15).sloppiness
+            for __ in range(200)
+        ]
+        assert np.mean(late) < np.mean(first)
+
+    def test_dry_trait_raises_moisture_value(self, rng):
+        dry = SubjectTraits(0.95, 0.7, 0.08, 0.5, 0.4)
+        wet = SubjectTraits(0.05, 0.7, 0.08, 0.5, 0.4)
+        dry_m = np.mean([sample_conditions(dry, rng).moisture for __ in range(200)])
+        wet_m = np.mean([sample_conditions(wet, rng).moisture for __ in range(200)])
+        assert dry_m > wet_m
+
+
+class TestContact:
+    def test_monotone_in_pressure(self):
+        low = contact_radii_mm(9.0, 12.0, 0.3)
+        high = contact_radii_mm(9.0, 12.0, 1.0)
+        assert low[0] < high[0] and low[1] < high[1]
+
+    def test_never_exceeds_pad(self):
+        rx, ry = contact_radii_mm(9.0, 12.0, 1.1)
+        assert rx <= 9.0 and ry <= 12.0
+
+
+class TestClarity:
+    def test_peaks_at_ideal_moisture(self):
+        ideal = quality_conditions_factor(0.5, 0.8)
+        dry = quality_conditions_factor(0.95, 0.8)
+        wet = quality_conditions_factor(0.05, 0.8)
+        assert ideal > dry and ideal > wet
+
+    def test_light_pressure_hurts(self):
+        assert quality_conditions_factor(0.5, 0.25) < quality_conditions_factor(0.5, 0.9)
+
+    def test_bounded(self):
+        for moisture in np.linspace(0, 1, 11):
+            for pressure in np.linspace(0.25, 1.1, 10):
+                value = quality_conditions_factor(moisture, pressure)
+                assert 0.05 <= value <= 1.0
+
+
+class TestDetection:
+    def test_probability_bounds(self):
+        p = detection_probability(np.array([0.2, 0.9, 1.0]), 0.8, 0.95)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_monotone_in_all_factors(self):
+        rob = np.array([0.8])
+        assert detection_probability(rob, 0.9, 0.95) > detection_probability(rob, 0.3, 0.95)
+        assert detection_probability(rob, 0.8, 0.99) > detection_probability(rob, 0.8, 0.80)
+        assert (
+            detection_probability(np.array([0.9]), 0.8, 0.9)
+            > detection_probability(np.array([0.4]), 0.8, 0.9)
+        )
+
+
+class TestSpurious:
+    def test_zero_rate_gives_zero(self, rng):
+        assert spurious_count(rng, clarity=0.5, device_spurious_rate=0.0) == 0
+
+    def test_poor_clarity_generates_more(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        clean = np.mean([spurious_count(rng_a, 0.95, 2.0) for __ in range(300)])
+        dirty = np.mean([spurious_count(rng_b, 0.2, 2.0) for __ in range(300)])
+        assert dirty > clean
+
+
+class TestMinutiaQuality:
+    def test_range_and_dtype(self, rng):
+        q = minutia_quality_values(rng, np.array([0.5, 0.9, 0.2]), 0.8)
+        assert q.dtype == np.int64
+        assert np.all((q >= 1) & (q <= 100))
+
+    def test_scales_with_clarity(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        rob = np.full(200, 0.8)
+        sharp = minutia_quality_values(rng_a, rob, 0.95).mean()
+        blurry = minutia_quality_values(rng_b, rob, 0.35).mean()
+        assert sharp > blurry

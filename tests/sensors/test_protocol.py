@@ -1,0 +1,151 @@
+"""Collection protocol: session structure, D4 rules, quality gating."""
+
+import pytest
+
+from repro.runtime import SeedTree
+from repro.runtime.errors import AcquisitionError
+from repro.sensors.inkcard import InkCardSensor
+from repro.sensors.optical import OpticalSensor
+from repro.sensors.protocol import (
+    Collection,
+    ProtocolSettings,
+    acquire_subject_session,
+    build_sensor,
+)
+from repro.sensors.registry import DEVICE_ORDER
+
+
+@pytest.fixture(scope="module")
+def sensors():
+    return {d: build_sensor(d) for d in DEVICE_ORDER}
+
+
+class TestBuildSensor:
+    def test_families(self):
+        assert isinstance(build_sensor("D0"), OpticalSensor)
+        assert isinstance(build_sensor("D4"), InkCardSensor)
+
+
+class TestSettings:
+    def test_livescan_sets(self):
+        settings = ProtocolSettings()
+        for device in ("D0", "D1", "D2", "D3"):
+            assert settings.sets_for(device) == 2
+
+    def test_ink_card_two_impressions_one_collection(self):
+        # One physical card: rolled (set 0) + slap (set 1).
+        assert ProtocolSettings().sets_for("D4") == 2
+
+
+class TestSession:
+    def test_impression_count(self, tiny_population, sensors):
+        subject = tiny_population.subject(0)
+        impressions = acquire_subject_session(
+            subject, sensors, SeedTree(1).child("s", 0), ["right_index"]
+        )
+        # 4 live-scans x 2 sets + ink x 2 impressions = 10 per finger.
+        assert len(impressions) == 10
+
+    def test_two_fingers_doubles(self, tiny_population, sensors):
+        subject = tiny_population.subject(1)
+        impressions = acquire_subject_session(
+            subject, sensors, SeedTree(1).child("s", 1),
+            ["right_index", "right_middle"],
+        )
+        assert len(impressions) == 20
+
+    def test_presentation_counter_monotone(self, tiny_population, sensors):
+        subject = tiny_population.subject(2)
+        impressions = acquire_subject_session(
+            subject, sensors, SeedTree(1).child("s", 2), ["right_index"]
+        )
+        indices = [imp.presentation_index for imp in impressions]
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+
+    def test_device_order_is_fixed_ink_last(self, tiny_population, sensors):
+        subject = tiny_population.subject(3)
+        impressions = acquire_subject_session(
+            subject, sensors, SeedTree(1).child("s", 3), ["right_index"]
+        )
+        devices = [imp.device_id for imp in impressions]
+        assert devices[-2:] == ["D4", "D4"]
+        assert devices[0] == "D0"
+
+    def test_missing_sensor_raises(self, tiny_population):
+        subject = tiny_population.subject(0)
+        with pytest.raises(AcquisitionError, match="D1"):
+            acquire_subject_session(
+                subject, {"D0": build_sensor("D0")}, SeedTree(1), ["right_index"]
+            )
+
+    def test_deterministic(self, tiny_population, sensors):
+        subject = tiny_population.subject(4)
+        a = acquire_subject_session(
+            subject, sensors, SeedTree(9).child("s", 4), ["right_index"]
+        )
+        b = acquire_subject_session(
+            subject, sensors, SeedTree(9).child("s", 4), ["right_index"]
+        )
+        assert [x.template.minutiae for x in a] == [x.template.minutiae for x in b]
+
+
+class TestQualityGating:
+    def test_gating_never_worsens_quality(self, tiny_population, sensors):
+        settings_off = ProtocolSettings(quality_gating=False)
+        settings_on = ProtocolSettings(quality_gating=True)
+        worst_off, worst_on = [], []
+        for sid in range(8):
+            subject = tiny_population.subject(sid)
+            tree = SeedTree(33).child("s", sid)
+            off = acquire_subject_session(
+                subject, sensors, tree, ["right_index"], settings_off
+            )
+            on = acquire_subject_session(
+                subject, sensors, tree, ["right_index"], settings_on
+            )
+            worst_off.append(max(i.nfiq for i in off))
+            worst_on.append(max(i.nfiq for i in on))
+        assert sum(worst_on) <= sum(worst_off)
+
+
+class TestCollection:
+    def test_add_get_roundtrip(self, tiny_population, sensors):
+        subject = tiny_population.subject(5)
+        collection = Collection()
+        for imp in acquire_subject_session(
+            subject, sensors, SeedTree(1).child("s", 5), ["right_index"]
+        ):
+            collection.add(imp)
+        fetched = collection.get(5, "right_index", "D2", 1)
+        assert fetched.device_id == "D2"
+        assert fetched.set_index == 1
+        assert collection.has(5, "right_index", "D0", 0)
+        assert not collection.has(5, "right_index", "D0", 7)
+        assert collection.subjects() == [5]
+
+    def test_duplicate_rejected(self, tiny_collection):
+        imp = next(iter(tiny_collection))
+        with pytest.raises(AcquisitionError, match="duplicate"):
+            tiny_collection.add(imp)
+
+    def test_missing_key_raises_with_key(self):
+        with pytest.raises(AcquisitionError, match="999"):
+            Collection().get(999, "right_index", "D0", 0)
+
+    def test_merge(self, tiny_population, sensors):
+        a, b = Collection(), Collection()
+        imps = acquire_subject_session(
+            tiny_population.subject(6), sensors, SeedTree(1).child("s", 6),
+            ["right_index"],
+        )
+        for imp in imps[:5]:
+            a.add(imp)
+        for imp in imps[5:]:
+            b.add(imp)
+        a.merge(b)
+        assert len(a) == len(imps)
+
+    def test_tiny_collection_complete(self, tiny_collection, tiny_config):
+        # 10 subjects x 2 fingers x 10 impressions.
+        assert len(tiny_collection) == tiny_config.n_subjects * 2 * 10

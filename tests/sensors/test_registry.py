@@ -1,0 +1,103 @@
+"""Device registry: Table 1 fidelity."""
+
+import pytest
+
+from repro.runtime.errors import ConfigurationError
+from repro.sensors.registry import (
+    DEVICE_ORDER,
+    DEVICE_PROFILES,
+    LIVESCAN_DEVICES,
+    get_profile,
+    table1_rows,
+)
+
+
+class TestTable1Fidelity:
+    """The published physical characteristics, verbatim."""
+
+    def test_five_devices(self):
+        assert set(DEVICE_PROFILES) == {"D0", "D1", "D2", "D3", "D4"}
+
+    def test_all_500_dpi(self):
+        for profile in DEVICE_PROFILES.values():
+            assert profile.resolution_dpi == 500
+
+    @pytest.mark.parametrize(
+        "device,model",
+        [
+            ("D0", "Cross Match Guardian R2"),
+            ("D1", "i3 digID Mini"),
+            ("D2", "L1 Identity Solutions TouchPrint 5300"),
+            ("D3", "Cross Match Seek II"),
+        ],
+    )
+    def test_models(self, device, model):
+        assert DEVICE_PROFILES[device].model == model
+
+    @pytest.mark.parametrize(
+        "device,width", [("D0", 800), ("D1", 752), ("D2", 800), ("D3", 800)]
+    )
+    def test_image_widths(self, device, width):
+        assert DEVICE_PROFILES[device].image_width_px == width
+
+    def test_all_750_high(self):
+        for device in LIVESCAN_DEVICES:
+            assert DEVICE_PROFILES[device].image_height_px == 750
+
+    def test_seek2_small_capture_area(self):
+        d3 = DEVICE_PROFILES["D3"]
+        assert (d3.capture_width_mm, d3.capture_height_mm) == (40.6, 38.1)
+
+    def test_desktop_capture_areas(self):
+        for device in ("D0", "D1", "D2"):
+            profile = DEVICE_PROFILES[device]
+            assert (profile.capture_width_mm, profile.capture_height_mm) == (81.0, 76.0)
+
+
+class TestStructure:
+    def test_order_ink_last(self):
+        assert DEVICE_ORDER[-1] == "D4"
+        assert DEVICE_PROFILES["D4"].family == "ink"
+
+    def test_livescan_excludes_ink(self):
+        assert "D4" not in LIVESCAN_DEVICES
+        assert len(LIVESCAN_DEVICES) == 4
+
+    def test_window_clipped_by_image(self):
+        # An 800x750 image at 500 dpi spans only 40.6 x 38.1 mm, so the
+        # effective window is smaller than the platen's quoted 81x76.
+        w, h = DEVICE_PROFILES["D0"].window_mm
+        assert w == pytest.approx(40.64, abs=0.01)
+        assert h == pytest.approx(38.1, abs=0.01)
+
+    def test_get_profile_errors_helpfully(self):
+        with pytest.raises(ConfigurationError, match="D9"):
+            get_profile("D9")
+
+    def test_ink_distortion_dominates(self):
+        # The causal ordering behind Figure 4: ink's systematic warp
+        # exceeds every optical device's.
+        ink = DEVICE_PROFILES["D4"].signature_magnitude_mm
+        for device in LIVESCAN_DEVICES:
+            assert ink > DEVICE_PROFILES[device].signature_magnitude_mm
+
+    def test_d1_noisiest_livescan(self):
+        # The model explanation for the paper's {D1,D1} FNMR anomaly.
+        d1 = DEVICE_PROFILES["D1"]
+        for device in ("D0", "D2", "D3"):
+            assert d1.elastic_magnitude_mm >= DEVICE_PROFILES[device].elastic_magnitude_mm
+            assert d1.detection_reliability <= DEVICE_PROFILES[device].detection_reliability
+
+    def test_d3_handheld_placement(self):
+        # The model explanation for the paper's {D3,D3} anomaly.
+        d3 = DEVICE_PROFILES["D3"]
+        for device in ("D0", "D1", "D2"):
+            assert d3.placement_sigma_mm > DEVICE_PROFILES[device].placement_sigma_mm
+
+
+class TestTable1Rows:
+    def test_four_livescan_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 4
+        assert rows[0]["device"] == "D0"
+        assert "800 x 750" in rows[0]["image_size_px"]

@@ -1,0 +1,67 @@
+"""Bootstrap interval behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import (
+    BootstrapInterval,
+    bootstrap_ci,
+    bootstrap_fnmr_at_fmr,
+)
+
+
+class TestBootstrapCi:
+    def test_interval_brackets_estimate(self, rng):
+        data = rng.normal(5, 1, 300)
+        interval = bootstrap_ci(data, np.mean, n_resamples=300, rng=rng)
+        assert interval.low <= interval.estimate <= interval.high
+
+    def test_interval_contains_true_mean_usually(self, rng):
+        data = rng.normal(5, 1, 500)
+        interval = bootstrap_ci(data, np.mean, n_resamples=400, rng=rng)
+        assert interval.contains(5.0)
+
+    def test_deterministic_with_seeded_rng(self):
+        data = np.arange(50.0)
+        a = bootstrap_ci(data, np.mean, rng=np.random.default_rng(7))
+        b = bootstrap_ci(data, np.mean, rng=np.random.default_rng(7))
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = bootstrap_ci(rng.normal(0, 1, 30), np.mean, rng=rng)
+        large = bootstrap_ci(rng.normal(0, 1, 3000), np.mean, rng=rng)
+        assert large.width() < small.width()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], np.mean)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1, 2, 3], np.mean, confidence=1.5)
+
+    def test_bad_resamples(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1, 2, 3], np.mean, n_resamples=0)
+
+
+class TestBootstrapFnmr:
+    def test_interval_is_sane(self, rng):
+        genuine = rng.normal(12, 3, 400)
+        impostor = rng.normal(2, 1.5, 2000)
+        interval = bootstrap_fnmr_at_fmr(
+            genuine, impostor, 1e-3, n_resamples=100, rng=rng
+        )
+        assert 0.0 <= interval.low <= interval.estimate <= interval.high <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_fnmr_at_fmr([], [1.0], 0.01)
+
+
+class TestIntervalObject:
+    def test_contains(self):
+        interval = BootstrapInterval(0.5, 0.4, 0.6, 0.95, 100)
+        assert interval.contains(0.45)
+        assert not interval.contains(0.7)
+        assert interval.width() == pytest.approx(0.2)

@@ -1,0 +1,108 @@
+"""Wilson intervals, McNemar test, DET rendering."""
+
+import numpy as np
+import pytest
+
+from repro.stats.comparison import (
+    McNemarResult,
+    mcnemar_test,
+    render_det,
+    wilson_interval,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestWilson:
+    def test_contains_true_proportion(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_zero_successes_lower_bound_zero(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0.0 < high < 0.15
+
+    def test_all_successes(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert low > 0.85
+
+    def test_zero_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrower_with_more_trials(self):
+        small = wilson_interval(5, 50)
+        large = wilson_interval(500, 5000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_against_known_value(self):
+        # Canonical example: 10/100 at 95% gives (0.0552, 0.1744).
+        low, high = wilson_interval(10, 100)
+        assert low == pytest.approx(0.0552, abs=1e-3)
+        assert high == pytest.approx(0.1744, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 2)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=2.0)
+
+
+class TestMcNemar:
+    def test_identical_systems(self):
+        correct = [True, False, True, True]
+        result = mcnemar_test(correct, correct)
+        assert result.b == result.c == 0
+        assert result.p_value == 1.0
+
+    def test_b_and_c_counted(self):
+        a = [True, True, False, False, True]
+        b = [True, False, True, True, True]
+        result = mcnemar_test(a, b)
+        assert result.b == 1  # A right, B wrong
+        assert result.c == 2  # B right, A wrong
+        assert result.favors_b
+
+    def test_strong_asymmetry_significant(self):
+        a = [False] * 40 + [True] * 60
+        b = [True] * 40 + [True] * 60
+        result = mcnemar_test(a, b)
+        assert result.c == 40 and result.b == 0
+        assert result.p_value < 1e-8
+
+    def test_matches_scipy_contingency(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(300) < 0.8
+        b = rng.random(300) < 0.8
+        ours = mcnemar_test(a, b)
+        table = [
+            [int(np.sum(a & b)), int(np.sum(a & ~b))],
+            [int(np.sum(~a & b)), int(np.sum(~a & ~b))],
+        ]
+        try:
+            from statsmodels.stats.contingency_tables import mcnemar  # noqa
+            has_ref = True
+        except ImportError:
+            has_ref = False
+        if not has_ref:
+            # Cross-check the chi-square tail against scipy instead.
+            ref_p = float(scipy_stats.chi2.sf(ours.statistic, df=1))
+            assert ours.p_value == pytest.approx(ref_p, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mcnemar_test([True], [True, False])
+        with pytest.raises(ValueError):
+            mcnemar_test([], [])
+
+
+class TestRenderDet:
+    def test_renders_rows(self):
+        text = render_det([1e-2, 1e-3], [0.01, 0.05], title="my DET")
+        assert "my DET" in text
+        assert text.count("|") == 2
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            render_det([1e-2], [0.1, 0.2])

@@ -1,0 +1,72 @@
+"""Descriptive statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import overlap_coefficient, proportion, summarize
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.n == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.q25 == summary.q75 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+
+    def test_render(self):
+        assert "n=3" in summarize([1, 2, 3]).render("scores")
+
+
+class TestProportion:
+    def test_basic(self):
+        assert proportion(1, 4) == 0.25
+
+    def test_zero_total(self):
+        assert proportion(0, 0) == 0.0
+
+    def test_count_exceeds_total(self):
+        with pytest.raises(ValueError):
+            proportion(5, 4)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            proportion(-1, 4)
+
+
+class TestOverlapCoefficient:
+    def test_identical_samples_full_overlap(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=2000)
+        assert overlap_coefficient(x, x) > 0.95
+
+    def test_disjoint_samples_no_overlap(self):
+        assert overlap_coefficient([0, 1], [100, 101]) == pytest.approx(0.0)
+
+    def test_paper_claim_direction(self):
+        # Greater separation -> smaller overlap, the metric behind the
+        # paper's "overlap of genuine and impostor distributions is
+        # greater when acquired from diverse sensors".
+        rng = np.random.default_rng(1)
+        imp = rng.normal(1, 1, 3000)
+        gen_close = rng.normal(3, 1, 3000)
+        gen_far = rng.normal(8, 1, 3000)
+        assert overlap_coefficient(gen_close, imp) > overlap_coefficient(gen_far, imp)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_coefficient([], [1.0])

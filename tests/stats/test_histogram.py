@@ -1,0 +1,91 @@
+"""Histogram and frequency-surface utilities."""
+
+import numpy as np
+import pytest
+
+from repro.stats.histogram import (
+    FrequencySurface,
+    Histogram,
+    frequency_surface,
+    render_histogram,
+    render_overlaid,
+    score_histogram,
+)
+
+
+class TestScoreHistogram:
+    def test_unit_bins_by_default(self):
+        hist = score_histogram([0.5, 1.5, 1.7, 2.2], score_range=(0, 3))
+        np.testing.assert_array_equal(hist.counts, [1, 2, 1])
+
+    def test_total(self):
+        hist = score_histogram([1, 2, 3], score_range=(0, 5))
+        assert hist.total == 3
+
+    def test_density_sums_to_one(self):
+        hist = score_histogram(np.random.default_rng(0).random(100) * 5)
+        assert hist.density().sum() == pytest.approx(1.0)
+
+    def test_empty_histogram(self):
+        hist = score_histogram([])
+        assert hist.total == 0
+        assert hist.density().sum() == 0.0
+
+    def test_count_in_range(self):
+        hist = score_histogram([0.5, 1.5, 2.5, 6.5], score_range=(0, 10))
+        assert hist.count_in(0, 3) == 3  # the paper's "scores below 7" reads
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError):
+            score_histogram([1.0], bin_width=0)
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=np.array([0, 1]), counts=np.array([1, 2]))
+
+
+class TestRendering:
+    def test_render_contains_counts(self):
+        hist = score_histogram([1, 1, 2], score_range=(0, 3), label="DMG")
+        text = render_histogram(hist)
+        assert "DMG" in text and "2" in text
+
+    def test_overlaid_requires_same_edges(self):
+        a = score_histogram([1], score_range=(0, 3))
+        b = score_histogram([1], score_range=(0, 4))
+        with pytest.raises(ValueError):
+            render_overlaid(a, b)
+
+    def test_overlaid_renders_both(self):
+        a = score_histogram([1, 2], score_range=(0, 3), label="genuine")
+        b = score_histogram([0.2], score_range=(0, 3), label="impostor")
+        text = render_overlaid(a, b)
+        assert "genuine" in text and "impostor" in text
+
+
+class TestFrequencySurface:
+    def test_counts_pairs(self):
+        surface = frequency_surface([1, 1, 2], [1, 3, 2])
+        assert surface.counts[0, 0] == 1  # (1,1)
+        assert surface.counts[0, 2] == 1  # (1,3)
+        assert surface.counts[1, 1] == 1  # (2,2)
+        assert surface.total == 3
+
+    def test_out_of_level_values_dropped(self):
+        surface = frequency_surface([1, 9], [1, 9])
+        assert surface.total == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            frequency_surface([1, 2], [1])
+
+    def test_render(self):
+        surface = frequency_surface([1, 2], [2, 2])
+        text = surface.render(row_title="gallery", col_title="probe")
+        assert "gallery" in text and "probe" in text
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            FrequencySurface(
+                row_labels=[1, 2], col_labels=[1, 2], counts=np.zeros((3, 2))
+            )

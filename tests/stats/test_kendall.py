@@ -1,0 +1,124 @@
+"""Kendall tau-b correctness, including cross-validation against scipy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.kendall import KendallResult, erfc_two_sided, kendall_tau
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestBasics:
+    def test_perfect_agreement(self):
+        result = kendall_tau([1, 2, 3, 4, 5], [10, 20, 30, 40, 50])
+        assert result.tau == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        result = kendall_tau([1, 2, 3, 4, 5], [5, 4, 3, 2, 1])
+        assert result.tau == pytest.approx(-1.0)
+
+    def test_known_small_case(self):
+        # Classic example: tau = 1/3 for this permutation.
+        result = kendall_tau([1, 2, 3, 4], [2, 1, 4, 3])
+        assert result.tau == pytest.approx(1.0 / 3.0)
+
+    def test_constant_input_gives_nan(self):
+        result = kendall_tau([1.0, 1.0, 1.0], [1, 2, 3])
+        assert math.isnan(result.tau)
+        assert result.p_value == 1.0
+
+    def test_p_value_of_self_correlation_shrinks_with_n(self):
+        p_small = kendall_tau(range(20), range(20)).p_value
+        p_large = kendall_tau(range(200), range(200)).p_value
+        assert p_large < p_small < 1e-8
+
+    def test_paper_diagonal_magnitude(self):
+        # At n=494, tau=1 should give p on the order of the paper's
+        # diagonal (~5e-242).
+        p = kendall_tau(range(494), range(494)).p_value
+        assert 1e-250 < p < 1e-230
+
+    def test_independent_large_sample_insignificant(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        y = rng.normal(size=500)
+        assert kendall_tau(x, y).p_value > 0.01
+
+
+class TestErrors:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [2])
+
+    def test_non_finite(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, np.nan, 3], [1, 2, 3])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestAgainstScipy:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=20), min_size=5, max_size=60
+        ).flatmap(
+            lambda xs: st.tuples(
+                st.just(xs),
+                st.lists(
+                    st.integers(min_value=0, max_value=20),
+                    min_size=len(xs),
+                    max_size=len(xs),
+                ),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tau_matches_scipy(self, pair):
+        x, y = pair
+        if len(set(x)) < 2 or len(set(y)) < 2:
+            return  # undefined correlation; covered elsewhere
+        ours = kendall_tau(x, y)
+        theirs = scipy_stats.kendalltau(x, y)
+        assert ours.tau == pytest.approx(theirs.statistic, abs=1e-9)
+
+    def test_pvalue_close_to_scipy_asymptotic(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=300)
+        y = 0.3 * x + rng.normal(size=300)
+        ours = kendall_tau(x, y)
+        theirs = scipy_stats.kendalltau(x, y, method="asymptotic")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-3)
+
+    def test_pvalue_with_heavy_ties(self):
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 4, size=400)
+        y = x + rng.integers(0, 3, size=400)
+        ours = kendall_tau(x, y)
+        theirs = scipy_stats.kendalltau(x, y, method="asymptotic")
+        assert ours.tau == pytest.approx(theirs.statistic, abs=1e-9)
+        # Extreme tail: compare on the log scale.
+        assert math.log(ours.p_value + 1e-300) == pytest.approx(
+            math.log(theirs.pvalue + 1e-300), rel=0.02
+        )
+
+
+class TestErfc:
+    def test_two_sided_at_zero(self):
+        assert erfc_two_sided(0.0) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert erfc_two_sided(2.5) == erfc_two_sided(-2.5)
+
+    def test_known_value(self):
+        # P(|Z| >= 1.96) ~ 0.05.
+        assert erfc_two_sided(1.959964) == pytest.approx(0.05, abs=1e-4)

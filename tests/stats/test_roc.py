@@ -1,0 +1,133 @@
+"""FMR/FNMR operating-point math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.roc import (
+    RocCurve,
+    det_points,
+    equal_error_rate,
+    fmr_at_threshold,
+    fnmr_at_fmr,
+    fnmr_at_threshold,
+    roc_curve,
+    threshold_at_fmr,
+)
+
+
+class TestPointRates:
+    def test_fmr_counts_at_or_above(self):
+        assert fmr_at_threshold([1, 2, 3, 4], 3) == 0.5
+
+    def test_fnmr_counts_strictly_below(self):
+        assert fnmr_at_threshold([1, 2, 3, 4], 3) == 0.5
+
+    def test_fmr_zero_when_threshold_above_max(self):
+        assert fmr_at_threshold([1, 2, 3], 10) == 0.0
+
+    def test_fnmr_zero_when_threshold_below_min(self):
+        assert fnmr_at_threshold([5, 6], 1) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fmr_at_threshold([], 1)
+        with pytest.raises(ValueError):
+            fnmr_at_threshold([], 1)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            fmr_at_threshold([1, np.inf], 1)
+
+
+class TestThresholdAtFmr:
+    def test_realized_fmr_never_exceeds_target(self):
+        imp = np.array([0.1, 0.5, 1.0, 2.0, 3.0, 5.0, 6.0, 6.5, 6.9, 7.0])
+        for target in (0.0, 0.1, 0.25, 0.5, 1.0):
+            threshold = threshold_at_fmr(imp, target)
+            assert fmr_at_threshold(imp, threshold) <= target + 1e-12
+
+    def test_zero_target_excludes_all_impostors(self):
+        imp = [1.0, 2.0, 3.0]
+        threshold = threshold_at_fmr(imp, 0.0)
+        assert fmr_at_threshold(imp, threshold) == 0.0
+
+    def test_target_one_admits_everything(self):
+        imp = [1.0, 2.0, 3.0]
+        threshold = threshold_at_fmr(imp, 1.0)
+        assert fmr_at_threshold(imp, threshold) == 1.0
+
+    def test_handles_ties(self):
+        imp = [5.0] * 10
+        threshold = threshold_at_fmr(imp, 0.5)
+        # All tied: either all or none can pass; never more than target.
+        assert fmr_at_threshold(imp, threshold) <= 0.5
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            threshold_at_fmr([1.0], 1.5)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10), min_size=3, max_size=80),
+        st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_fmr_bounded(self, impostors, target):
+        threshold = threshold_at_fmr(impostors, target)
+        assert fmr_at_threshold(impostors, threshold) <= target + 1e-9
+
+
+class TestFnmrAtFmr:
+    def test_separated_populations(self):
+        genuine = [10, 11, 12, 13]
+        impostor = [1, 2, 3, 4]
+        assert fnmr_at_fmr(genuine, impostor, 0.0) == 0.0
+
+    def test_overlapping_populations(self):
+        genuine = [2, 8, 9, 10]
+        impostor = [1, 2, 3, 4]
+        # FMR 0 forces threshold above 4, losing the genuine score of 2.
+        assert fnmr_at_fmr(genuine, impostor, 0.0) == 0.25
+
+
+class TestRocCurve:
+    def test_monotonic_rates(self):
+        rng = np.random.default_rng(1)
+        genuine = rng.normal(10, 2, 200)
+        impostor = rng.normal(2, 2, 200)
+        curve = roc_curve(genuine, impostor)
+        assert np.all(np.diff(curve.fmr) <= 1e-12)
+        assert np.all(np.diff(curve.fnmr) >= -1e-12)
+
+    def test_eer_for_symmetric_overlap(self):
+        rng = np.random.default_rng(2)
+        genuine = rng.normal(6, 1, 4000)
+        impostor = rng.normal(4, 1, 4000)
+        eer = equal_error_rate(genuine, impostor)
+        # Analytic EER for two unit-variance Gaussians 2 apart: Phi(-1).
+        assert eer == pytest.approx(0.1587, abs=0.02)
+
+    def test_eer_zero_for_disjoint(self):
+        assert equal_error_rate([10, 11, 12], [1, 2, 3]) == pytest.approx(
+            0.0, abs=0.01
+        )
+
+    def test_grid_mode(self):
+        curve = roc_curve([5, 6, 7], [1, 2, 3], n_points=50)
+        assert len(curve.thresholds) == 50
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            RocCurve(np.zeros(3), np.zeros(2), np.zeros(3))
+
+
+class TestDetPoints:
+    def test_shapes_and_monotonicity(self):
+        rng = np.random.default_rng(3)
+        genuine = rng.normal(8, 2, 500)
+        impostor = rng.normal(2, 2, 500)
+        targets, fnmrs = det_points(genuine, impostor, [0.001, 0.01, 0.1])
+        assert len(targets) == len(fnmrs) == 3
+        # Looser FMR targets can only lower (or keep) the FNMR.
+        assert fnmrs[0] >= fnmrs[1] >= fnmrs[2]

@@ -1,0 +1,97 @@
+"""Master finger synthesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synthesis.master import (
+    RIDGE_PERIOD_MM,
+    TYPE_BIFURCATION,
+    TYPE_ENDING,
+    MasterFinger,
+    MasterMinutia,
+    synthesize_master_finger,
+)
+
+
+@pytest.fixture(scope="module")
+def finger():
+    return synthesize_master_finger(np.random.default_rng(11))
+
+
+class TestMasterMinutia:
+    def test_valid(self):
+        m = MasterMinutia(0, 0, 1.0, TYPE_ENDING, 0.9)
+        assert m.kind == TYPE_ENDING
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            MasterMinutia(0, 0, 1.0, "island", 0.9)
+
+    def test_bad_robustness(self):
+        with pytest.raises(ValueError):
+            MasterMinutia(0, 0, 1.0, TYPE_ENDING, 0.0)
+        with pytest.raises(ValueError):
+            MasterMinutia(0, 0, 1.0, TYPE_ENDING, 1.5)
+
+
+class TestSynthesis:
+    def test_minutiae_count_physiological(self, finger):
+        assert 22 <= finger.n_minutiae <= 75
+
+    def test_minimum_separation_property(self, finger):
+        positions = finger.positions()
+        diff = positions[:, None, :] - positions[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=2))
+        np.fill_diagonal(dist, np.inf)
+        assert dist.min() >= 2.1 * RIDGE_PERIOD_MM - 1e-9
+
+    def test_minutiae_inside_pad(self, finger):
+        for m in finger.minutiae:
+            assert finger.contains(m.x, m.y)
+
+    def test_angles_follow_ridge_flow(self, finger):
+        for m in finger.minutiae:
+            orientation = float(
+                finger.fld.angle_at(np.float64(m.x), np.float64(m.y))
+            )
+            diff = (m.angle - orientation) % np.pi
+            assert min(diff, np.pi - diff) < 1e-6
+
+    def test_both_types_present(self, finger):
+        kinds = {m.kind for m in finger.minutiae}
+        assert kinds == {TYPE_ENDING, TYPE_BIFURCATION}
+
+    def test_robustness_in_range(self, finger):
+        for m in finger.minutiae:
+            assert 0.15 <= m.robustness <= 1.0
+
+    def test_deterministic(self):
+        a = synthesize_master_finger(np.random.default_rng(5))
+        b = synthesize_master_finger(np.random.default_rng(5))
+        assert a.minutiae == b.minutiae
+        assert a.pattern == b.pattern
+
+    def test_different_seeds_differ(self):
+        a = synthesize_master_finger(np.random.default_rng(5))
+        b = synthesize_master_finger(np.random.default_rng(6))
+        assert a.minutiae != b.minutiae
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_never_degenerate(self, seed):
+        finger = synthesize_master_finger(np.random.default_rng(seed))
+        assert finger.n_minutiae >= 8
+        assert finger.pad_half_width > 0 and finger.pad_half_height > 0
+
+    def test_edge_minutiae_less_robust_on_average(self):
+        # Pool across fingers: edge penalty should be visible statistically.
+        rng = np.random.default_rng(12)
+        central, edge = [], []
+        for __ in range(12):
+            f = synthesize_master_finger(rng)
+            for m in f.minutiae:
+                radial = (m.x / f.pad_half_width) ** 2 + (m.y / f.pad_half_height) ** 2
+                (central if radial < 0.4 else edge).append(m.robustness)
+        assert np.mean(central) > np.mean(edge)

@@ -1,0 +1,107 @@
+"""Orientation-field model properties."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.orientation import (
+    OrientationField,
+    Singularity,
+    sample_field_grid,
+)
+
+
+@pytest.fixture()
+def loop_field():
+    return OrientationField(
+        singularities=(
+            Singularity(1.0, 1.5, "core"),
+            Singularity(-4.0, -4.5, "delta"),
+        )
+    )
+
+
+class TestSingularity:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError):
+            Singularity(0, 0, "vortex")
+
+    def test_position_vector(self):
+        s = Singularity(1.0, 2.0, "core")
+        np.testing.assert_array_equal(s.position, [1.0, 2.0])
+
+
+class TestAngleField:
+    def test_range_is_mod_pi(self, loop_field):
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(-10, 10, 500)
+        ys = rng.uniform(-12, 12, 500)
+        angles = loop_field.angle_at(xs, ys)
+        assert np.all(angles >= 0.0) and np.all(angles < np.pi)
+
+    def test_broadcasting(self, loop_field):
+        grid = loop_field.angle_at(np.zeros((3, 4)), np.ones((3, 4)))
+        assert grid.shape == (3, 4)
+
+    def test_constant_field_without_singularities(self):
+        fld = OrientationField(base_angle=0.3)
+        angles = fld.angle_at(np.array([0.0, 5.0]), np.array([0.0, -5.0]))
+        np.testing.assert_allclose(angles, 0.3)
+
+    def test_arch_bend_varies_field(self):
+        fld = OrientationField(arch_bend=0.5)
+        left = float(fld.angle_at(np.float64(-5.0), np.float64(0.0)))
+        right = float(fld.angle_at(np.float64(5.0), np.float64(0.0)))
+        assert left != pytest.approx(right)
+
+    def test_core_produces_half_winding(self):
+        # Walking a full circle around a single core, orientation advances
+        # by pi (half winding), returning to the same line direction.
+        fld = OrientationField(singularities=(Singularity(0, 0, "core"),))
+        thetas = np.linspace(0, 2 * np.pi, 9, endpoint=False)
+        angles = fld.angle_at(2.0 * np.cos(thetas), 2.0 * np.sin(thetas))
+        doubled = np.exp(2j * angles)
+        # Doubled-angle phasor must wind exactly once around the circle.
+        total_turn = np.angle(doubled / np.roll(doubled, 1)).sum()
+        assert abs(abs(total_turn) - 2 * np.pi) < 1e-6
+
+
+class TestCoherence:
+    def test_low_near_singularity_high_far(self, loop_field):
+        near = float(loop_field.coherence(np.array([1.0]), np.array([1.5]))[0])
+        far = float(loop_field.coherence(np.array([8.0]), np.array([9.0]))[0])
+        assert near < far
+        assert 0.0 <= near <= 1.0 and 0.0 <= far <= 1.0
+
+    def test_uniform_field_fully_coherent(self):
+        fld = OrientationField(base_angle=1.0)
+        value = float(fld.coherence(np.array([0.0]), np.array([0.0]))[0])
+        assert value == pytest.approx(1.0)
+
+
+class TestRidgeDirection:
+    def test_consistent_with_orientation(self, loop_field):
+        rng = np.random.default_rng(1)
+        for __ in range(20):
+            x, y = rng.uniform(-8, 8, 2)
+            direction = loop_field.ridge_direction_at(x, y, rng)
+            orientation = float(loop_field.angle_at(np.float64(x), np.float64(y)))
+            diff = (direction - orientation) % np.pi
+            assert min(diff, np.pi - diff) < 1e-9
+
+    def test_both_directions_occur(self, loop_field):
+        rng = np.random.default_rng(2)
+        directions = [
+            loop_field.ridge_direction_at(3.0, 3.0, rng) for __ in range(50)
+        ]
+        spread = max(directions) - min(directions)
+        assert spread > 2.0  # flips by pi happen
+
+
+class TestHelpers:
+    def test_distance_to_singularity(self, loop_field):
+        assert loop_field.distance_to_nearest_singularity(1.0, 1.5) == 0.0
+        assert OrientationField().distance_to_nearest_singularity(0, 0) == np.inf
+
+    def test_grid_shapes(self, loop_field):
+        xs, ys, angles = sample_field_grid(loop_field, 5, 6, 1.0)
+        assert angles.shape == (len(ys), len(xs))

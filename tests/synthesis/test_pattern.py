@@ -1,0 +1,86 @@
+"""Pattern classes and singularity layouts."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.pattern import (
+    PATTERN_FREQUENCIES,
+    PatternClass,
+    build_orientation_field,
+    sample_pattern_class,
+)
+
+
+class TestFrequencies:
+    def test_cover_all_classes(self):
+        assert set(PATTERN_FREQUENCIES) == set(PatternClass)
+
+    def test_roughly_normalized(self):
+        assert sum(PATTERN_FREQUENCIES.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_loops_dominate(self):
+        loops = (
+            PATTERN_FREQUENCIES[PatternClass.LEFT_LOOP]
+            + PATTERN_FREQUENCIES[PatternClass.RIGHT_LOOP]
+        )
+        assert loops > 0.5
+
+
+class TestSampling:
+    def test_distribution_matches_frequencies(self):
+        rng = np.random.default_rng(0)
+        samples = [sample_pattern_class(rng) for __ in range(4000)]
+        whorl_rate = samples.count(PatternClass.WHORL) / len(samples)
+        assert whorl_rate == pytest.approx(
+            PATTERN_FREQUENCIES[PatternClass.WHORL], abs=0.03
+        )
+
+    def test_deterministic_given_rng(self):
+        a = [sample_pattern_class(np.random.default_rng(1)) for __ in range(10)]
+        b = [sample_pattern_class(np.random.default_rng(1)) for __ in range(10)]
+        assert a == b
+
+
+class TestLayouts:
+    @pytest.mark.parametrize(
+        "pattern,n_cores,n_deltas",
+        [
+            (PatternClass.PLAIN_ARCH, 0, 0),
+            (PatternClass.TENTED_ARCH, 1, 1),
+            (PatternClass.LEFT_LOOP, 1, 1),
+            (PatternClass.RIGHT_LOOP, 1, 1),
+            (PatternClass.WHORL, 2, 2),
+        ],
+    )
+    def test_singularity_counts(self, pattern, n_cores, n_deltas):
+        fld = build_orientation_field(pattern, np.random.default_rng(3))
+        cores = [s for s in fld.singularities if s.kind == "core"]
+        deltas = [s for s in fld.singularities if s.kind == "delta"]
+        assert len(cores) == n_cores
+        assert len(deltas) == n_deltas
+
+    def test_arch_has_bend(self):
+        fld = build_orientation_field(PatternClass.PLAIN_ARCH, np.random.default_rng(4))
+        assert fld.arch_bend > 0.2
+
+    def test_loop_sides(self):
+        rng = np.random.default_rng(5)
+        left = build_orientation_field(PatternClass.LEFT_LOOP, rng)
+        right = build_orientation_field(PatternClass.RIGHT_LOOP, rng)
+        left_core = next(s for s in left.singularities if s.kind == "core")
+        right_core = next(s for s in right.singularities if s.kind == "core")
+        assert left_core.x < 0 < right_core.x
+
+    def test_jitter_makes_fields_unique(self):
+        rng = np.random.default_rng(6)
+        a = build_orientation_field(PatternClass.WHORL, rng)
+        b = build_orientation_field(PatternClass.WHORL, rng)
+        assert a.singularities != b.singularities
+
+    def test_delta_below_core_for_loops(self):
+        rng = np.random.default_rng(7)
+        for __ in range(10):
+            fld = build_orientation_field(PatternClass.LEFT_LOOP, rng)
+            core = next(s for s in fld.singularities if s.kind == "core")
+            delta = next(s for s in fld.singularities if s.kind == "delta")
+            assert delta.y < core.y

@@ -1,0 +1,47 @@
+"""PGM reader/writer round trips and strictness."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.ridges import read_pgm, write_pgm
+
+
+class TestRoundTrip:
+    def test_exact_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        image = rng.integers(0, 256, size=(37, 53), dtype=np.uint8)
+        path = tmp_path / "x.pgm"
+        write_pgm(image, path)
+        np.testing.assert_array_equal(read_pgm(path), image)
+
+    def test_non_square(self, tmp_path):
+        image = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        write_pgm(image, tmp_path / "r.pgm")
+        restored = read_pgm(tmp_path / "r.pgm")
+        assert restored.shape == (3, 4)
+
+
+class TestStrictness:
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n2 2\n255\n" + bytes(12))
+        with pytest.raises(ValueError, match="P5"):
+            read_pgm(path)
+
+    def test_truncated_raster(self, tmp_path):
+        path = tmp_path / "short.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n" + bytes(7))
+        with pytest.raises(ValueError, match="raster"):
+            read_pgm(path)
+
+    def test_unsupported_maxval(self, tmp_path):
+        path = tmp_path / "deep.pgm"
+        path.write_bytes(b"P5\n2 2\n65535\n" + bytes(8))
+        with pytest.raises(ValueError, match="maxval"):
+            read_pgm(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "hdr.pgm"
+        path.write_bytes(b"P5\n2")
+        with pytest.raises(ValueError, match="truncated"):
+            read_pgm(path)

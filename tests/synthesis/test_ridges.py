@@ -1,0 +1,61 @@
+"""Ridge-image rendering."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.master import synthesize_master_finger
+from repro.synthesis.ridges import ascii_preview, render_ridge_image, write_pgm
+
+
+@pytest.fixture(scope="module")
+def finger():
+    return synthesize_master_finger(np.random.default_rng(21))
+
+
+class TestRendering:
+    def test_dimensions_match_pad(self, finger):
+        image = render_ridge_image(finger, pixels_per_mm=5.0)
+        assert image.shape[0] == int(np.ceil(2 * finger.pad_half_height * 5))
+        assert image.shape[1] == int(np.ceil(2 * finger.pad_half_width * 5))
+        assert image.dtype == np.uint8
+
+    def test_contains_ridge_contrast(self, finger):
+        image = render_ridge_image(finger)
+        assert image.min() < 60 and image.max() > 200
+
+    def test_background_is_white(self, finger):
+        image = render_ridge_image(finger)
+        assert image[0, 0] == 255  # corner is outside the pad ellipse
+
+    def test_dryness_adds_speckle(self, finger):
+        clean = render_ridge_image(finger)
+        dry = render_ridge_image(
+            finger, dryness=0.9, rng=np.random.default_rng(0)
+        )
+        assert dry.mean() > clean.mean()  # broken ridges brighten the image
+
+
+class TestWriters:
+    def test_pgm_roundtrip_header(self, finger, tmp_path):
+        image = render_ridge_image(finger, pixels_per_mm=4.0)
+        path = tmp_path / "finger.pgm"
+        write_pgm(image, path)
+        content = path.read_bytes()
+        assert content.startswith(b"P5\n")
+        h, w = image.shape
+        assert f"{w} {h}".encode() in content
+        assert len(content) == content.index(b"255\n") + 4 + w * h
+
+    def test_pgm_validates_input(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(np.zeros((2, 2), dtype=np.float64), tmp_path / "x.pgm")
+
+    def test_ascii_preview(self, finger):
+        image = render_ridge_image(finger, pixels_per_mm=4.0)
+        text = ascii_preview(image, max_width=40)
+        lines = text.splitlines()
+        assert 0 < max(len(line) for line in lines) <= 40
+
+    def test_ascii_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_preview(np.zeros(5, dtype=np.uint8))

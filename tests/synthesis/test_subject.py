@@ -1,0 +1,76 @@
+"""Demographics and trait sampling (Figure 1 anchors)."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.subject import (
+    AGE_GROUPS,
+    ETHNICITY_GROUPS,
+    Demographics,
+    SubjectTraits,
+    demographic_histogram,
+    sample_demographics,
+    sample_traits,
+)
+
+
+class TestDistributions:
+    def test_age_anchor_53_percent(self):
+        # The paper: "53% varying between 20 and 29 years old".
+        rng = np.random.default_rng(0)
+        records = [sample_demographics(rng) for __ in range(5000)]
+        rate = sum(r.age_group == "20-29" for r in records) / len(records)
+        assert rate == pytest.approx(0.53, abs=0.03)
+
+    def test_ethnicity_anchor_572_percent(self):
+        # The paper: "57.2% of the population is Caucasian".
+        rng = np.random.default_rng(1)
+        records = [sample_demographics(rng) for __ in range(5000)]
+        rate = sum(r.ethnicity == "Caucasian" for r in records) / len(records)
+        assert rate == pytest.approx(0.572, abs=0.03)
+
+    def test_group_probabilities_normalized(self):
+        assert sum(p for __, p in AGE_GROUPS) == pytest.approx(1.0)
+        assert sum(p for __, p in ETHNICITY_GROUPS) == pytest.approx(1.0)
+
+
+class TestTraits:
+    def test_ranges(self):
+        rng = np.random.default_rng(2)
+        for __ in range(200):
+            demo = sample_demographics(rng)
+            traits = sample_traits(rng, demo)
+            assert 0.0 <= traits.skin_dryness <= 1.0
+            assert 0.30 <= traits.pressure_mean <= 1.0
+            assert 0.0 < traits.pressure_spread <= 0.30
+            assert 0.0 < traits.placement_sloppiness <= 1.0
+            assert 0.0 <= traits.habituation_rate <= 0.8
+
+    def test_age_shifts_dryness(self):
+        rng = np.random.default_rng(3)
+        young = [
+            sample_traits(rng, Demographics("<20", "Other")).skin_dryness
+            for __ in range(400)
+        ]
+        old = [
+            sample_traits(rng, Demographics("60+", "Other")).skin_dryness
+            for __ in range(400)
+        ]
+        assert np.mean(old) > np.mean(young)
+
+    def test_trait_validation(self):
+        with pytest.raises(ValueError):
+            SubjectTraits(2.0, 0.5, 0.1, 0.5, 0.1)
+
+
+class TestHistogram:
+    def test_counts_every_record(self):
+        records = (
+            Demographics("20-29", "Asian"),
+            Demographics("20-29", "Caucasian"),
+            Demographics("60+", "Caucasian"),
+        )
+        table = demographic_histogram(records)
+        assert table["age"]["20-29"] == 2
+        assert table["ethnicity"]["Caucasian"] == 2
+        assert sum(table["age"].values()) == 3

@@ -1,0 +1,181 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_only_validates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--only", "table99"])
+
+
+class TestInfo:
+    def test_lists_devices(self):
+        code, out = run_cli(["info"])
+        assert code == 0
+        for model in ("Guardian R2", "digID Mini", "TouchPrint", "Seek II"):
+            assert model in out
+
+
+class TestAcquireInspectMatch:
+    @pytest.fixture()
+    def fmr_files(self, tmp_path):
+        paths = {}
+        for name, argv in {
+            "a": ["acquire", "--subject", "0", "--device", "D0",
+                  "--out", str(tmp_path / "a.fmr")],
+            "b": ["acquire", "--subject", "0", "--device", "D0", "--set", "1",
+                  "--out", str(tmp_path / "b.fmr")],
+            "other": ["acquire", "--subject", "1", "--device", "D0",
+                      "--out", str(tmp_path / "other.fmr")],
+        }.items():
+            code, out = run_cli(argv)
+            assert code == 0
+            assert "wrote" in out
+            paths[name] = str(tmp_path / f"{name}.fmr")
+        return paths
+
+    def test_inspect(self, fmr_files):
+        code, out = run_cli(["inspect", fmr_files["a"]])
+        assert code == 0
+        assert "INCITS 378" in out
+        assert "minutiae" in out
+
+    def test_match_genuine(self, fmr_files):
+        code, out = run_cli(["match", fmr_files["b"], fmr_files["a"]])
+        assert code == 0
+        assert "likely same finger" in out
+
+    def test_match_impostor(self, fmr_files):
+        code, out = run_cli(["match", fmr_files["other"], fmr_files["a"]])
+        assert code == 0
+        assert "likely different fingers" in out
+
+    def test_match_ridgecount_engine(self, fmr_files):
+        code, out = run_cli(
+            ["match", fmr_files["b"], fmr_files["a"], "--matcher", "ridgecount"]
+        )
+        assert code == 0
+        assert "similarity score" in out
+
+    def test_acquire_deterministic(self, tmp_path):
+        argv = ["acquire", "--subject", "2", "--device", "D3", "--seed", "9"]
+        run_cli(argv + ["--out", str(tmp_path / "x.fmr")])
+        run_cli(argv + ["--out", str(tmp_path / "y.fmr")])
+        assert (tmp_path / "x.fmr").read_bytes() == (tmp_path / "y.fmr").read_bytes()
+
+
+class TestRun:
+    def test_run_single_artifact(self, tmp_path):
+        code, out = run_cli(
+            ["run", "--subjects", "4", "--workers", "0",
+             "--cache-dir", str(tmp_path), "--only", "table3"]
+        )
+        assert code == 0
+        assert "Table 3" in out
+        assert "Figure 2" not in out
+
+    def test_run_all_artifacts(self, tmp_path):
+        code, out = run_cli(
+            ["run", "--subjects", "4", "--workers", "0",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        for marker in ("Figure 1", "Table 3", "Table 5", "Figure 5"):
+            assert marker in out
+
+    def test_artifact_list_is_complete(self):
+        assert set(ARTIFACTS) == {
+            "fig1", "table1", "table3", "fig2", "fig3", "fig4",
+            "table4", "table5", "table6", "fig5",
+        }
+
+
+class TestRenderExtract:
+    def test_render_then_extract_then_match(self, tmp_path):
+        for sid, name in ((3, "g1"), (4, "h1")):
+            code, out = run_cli(
+                ["render", "--subject", str(sid),
+                 "--out", str(tmp_path / f"{name}.pgm")]
+            )
+            assert code == 0 and "minutiae planted" in out
+        code, out = run_cli(
+            ["render", "--subject", "3", "--render-seed", "7",
+             "--moisture", "0.56", "--out", str(tmp_path / "g2.pgm")]
+        )
+        assert code == 0
+
+        for name in ("g1", "g2", "h1"):
+            code, out = run_cli(
+                ["extract", str(tmp_path / f"{name}.pgm"),
+                 "--out", str(tmp_path / f"{name}.fmr")]
+            )
+            assert code == 0 and "extracted" in out
+
+        code, genuine_out = run_cli(
+            ["match", str(tmp_path / "g2.fmr"), str(tmp_path / "g1.fmr")]
+        )
+        assert "likely same finger" in genuine_out
+        code, impostor_out = run_cli(
+            ["match", str(tmp_path / "h1.fmr"), str(tmp_path / "g1.fmr")]
+        )
+        assert "likely different fingers" in impostor_out
+
+    def test_render_seed_changes_identity(self, tmp_path):
+        run_cli(["render", "--subject", "0", "--seed", "1",
+                 "--out", str(tmp_path / "a.pgm")])
+        run_cli(["render", "--subject", "0", "--seed", "2",
+                 "--out", str(tmp_path / "b.pgm")])
+        assert (tmp_path / "a.pgm").read_bytes() != (tmp_path / "b.pgm").read_bytes()
+
+
+class TestRunOut:
+    def test_out_writes_artifact_files(self, tmp_path):
+        code, out = run_cli(
+            ["run", "--subjects", "4", "--workers", "0",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--only", "table3", "--only", "table5",
+             "--out", str(tmp_path / "artifacts")]
+        )
+        assert code == 0
+        assert (tmp_path / "artifacts" / "table3.txt").exists()
+        assert (tmp_path / "artifacts" / "table5.txt").exists()
+        assert not (tmp_path / "artifacts" / "fig2.txt").exists()
+        assert "Table 3" in (tmp_path / "artifacts" / "table3.txt").read_text()
+
+
+class TestDataset:
+    def test_summary_and_habituation(self):
+        code, out = run_cli(["dataset", "--subjects", "4", "--workers", "0"])
+        assert code == 0
+        assert "Collection summary" in out
+        assert "first vs last" in out
+
+
+class TestPredict:
+    def test_predict_pair(self, tmp_path):
+        code, out = run_cli(
+            ["predict", "D0", "D4", "--subjects", "4", "--workers", "0",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert "P(false non-match" in out
+        assert "credible interval" in out
