@@ -8,11 +8,17 @@ import os
 from pathlib import Path
 
 from repro import StudyConfig
+from repro.runtime.manifest import RunManifest
+from repro.runtime.telemetry import TelemetryRecorder
 
 #: Default benchmark population (fast on a laptop, stable statistics).
 DEFAULT_BENCH_SUBJECTS = 48
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Where the benchmark session's telemetry manifest lands, next to the
+#: rendered artifacts (one manifest per bench invocation).
+MANIFEST_PATH = OUTPUT_DIR / "bench_manifest.json"
 
 
 def bench_config(**overrides) -> StudyConfig:
@@ -24,3 +30,18 @@ def bench_config(**overrides) -> StudyConfig:
     )
     params.update(overrides)
     return StudyConfig.from_environment(**params)
+
+
+def write_bench_manifest(
+    recorder: TelemetryRecorder, config: StudyConfig = None
+) -> Path:
+    """Persist the bench session's telemetry next to its artifacts.
+
+    Called by the session teardown in ``conftest.py``; every ``bench_*``
+    run therefore leaves per-stage span timings, matcher-invocation
+    counts and cache statistics in ``benchmarks/output/``.
+    """
+    manifest = RunManifest.from_recorder(
+        recorder, config if config is not None else bench_config()
+    )
+    return manifest.write(MANIFEST_PATH)

@@ -18,8 +18,24 @@ from pathlib import Path
 
 import pytest
 
-from _bench_common import OUTPUT_DIR, bench_config
+from _bench_common import OUTPUT_DIR, bench_config, write_bench_manifest
 from repro import InteroperabilityStudy
+from repro.runtime.telemetry import disable_telemetry, enable_telemetry
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Telemetry for the whole bench session; manifest written at exit.
+
+    Gives every ``bench_*`` invocation real per-stage numbers (span
+    timings, matcher-invocation counts, cache hit rates) in
+    ``benchmarks/output/bench_manifest.json``.
+    """
+    recorder = enable_telemetry()
+    yield recorder
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    write_bench_manifest(recorder)
+    disable_telemetry()
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,7 @@ the same configuration only recomputes the analyses.
 """
 
 from repro import InteroperabilityStudy, StudyConfig
+from repro.runtime.progress import ProgressReporter
 from repro.core import (
     render_figure1,
     render_figure4,
@@ -36,7 +37,13 @@ def main() -> None:
         n_subjects=48, n_workers=4, cache_dir=".repro_cache"
     )
     print(config.describe())
-    study = InteroperabilityStudy(config)
+    # Per-stage progress (collection, then each score scenario) on stderr.
+    study = InteroperabilityStudy(
+        config,
+        progress_factory=lambda total, label: ProgressReporter(
+            total=total, label=label
+        ),
+    )
     sets = study.score_sets()
     rule = "=" * 72
 

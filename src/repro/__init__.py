@@ -27,7 +27,17 @@ from .pipeline import (
     Verifier,
 )
 from .quality import QualityFeatures, nfiq_level
-from .runtime import ReproError, ScoreCache, SeedTree, StudyConfig
+from .runtime import (
+    ReproError,
+    RunManifest,
+    ScoreCache,
+    SeedTree,
+    StudyConfig,
+    configure_logging,
+    disable_telemetry,
+    enable_telemetry,
+    get_recorder,
+)
 from .sensors import (
     DEVICE_ORDER,
     DEVICE_PROFILES,
@@ -53,6 +63,11 @@ __all__ = [
     "SeedTree",
     "ScoreCache",
     "ReproError",
+    "RunManifest",
+    "enable_telemetry",
+    "disable_telemetry",
+    "get_recorder",
+    "configure_logging",
     "Population",
     "BioEngineMatcher",
     "RidgeGeometryMatcher",

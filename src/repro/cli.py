@@ -12,15 +12,20 @@ command        what it does
 ``inspect``    decode an INCITS 378 file and summarize its minutiae
 ``match``      match two INCITS 378 files and print the score
 ``predict``    answer the paper's FNM-probability question for a pair
+``stats``      pretty-print a run manifest written by ``run``
 =============  ==========================================================
 
 Every command honours ``REPRO_SUBJECTS`` / ``REPRO_WORKERS`` plus the
-explicit ``--subjects`` / ``--workers`` flags (flags win).
+explicit ``--subjects`` / ``--workers`` flags (flags win).  Observability
+switches: ``--log-level`` (or ``REPRO_LOG_LEVEL``) turns on JSON logs,
+and ``run --manifest-out FILE`` enables telemetry for the run and writes
+the span/counter manifest to ``FILE`` (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -47,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="emit structured JSON logs to stderr at this level "
+             "(default: REPRO_LOG_LEVEL, else off)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="show devices (Table 1) and configuration")
@@ -63,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="limit output to specific artifacts (repeatable)")
     run.add_argument("--out", default=None,
                      help="also write each artifact to <OUT>/<name>.txt")
+    run.add_argument("--manifest-out", default=None,
+                     help="enable telemetry and write the run manifest "
+                          "(spans, counters, cache stats) to this JSON file")
+
+    stats = sub.add_parser(
+        "stats", help="summarize a run manifest written by 'run --manifest-out'"
+    )
+    stats.add_argument("manifest", help="the manifest .json file")
 
     acquire = sub.add_parser(
         "acquire", help="synthesize an impression and write an INCITS 378 file"
@@ -182,60 +201,77 @@ def cmd_run(args, out) -> int:
     from .core.study import InteroperabilityStudy
     from .sensors.registry import DEVICE_ORDER
 
+    from .runtime.telemetry import disable_telemetry, enable_telemetry, get_recorder
+
     config = _config_from_args(args)
     wanted = set(args.only) if args.only else set(ARTIFACTS)
     print(config.describe(), file=out)
-    study = InteroperabilityStudy(config)
+    recorder = enable_telemetry() if args.manifest_out else get_recorder()
+    progress_factory = None
+    if sys.stderr.isatty():
+        from .runtime.progress import ProgressReporter
+
+        progress_factory = lambda total, label: ProgressReporter(  # noqa: E731
+            total=total, label=label
+        )
+    study = InteroperabilityStudy(config, progress_factory=progress_factory)
     sets = study.score_sets()
     rule = "=" * 72
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    def emit(name: str, text: str) -> None:
-        if name in wanted:
-            print(rule, file=out)
-            print(text, file=out)
-            if out_dir is not None:
-                (out_dir / f"{name}.txt").write_text(text + "\n")
+    def emit(name: str, render) -> None:
+        if name not in wanted:
+            return
+        with recorder.span(f"analysis.{name}"):
+            text = render()
+        print(rule, file=out)
+        print(text, file=out)
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
 
-    emit("fig1", render_figure1(study.demographics()))
-    emit("table1", render_table1())
-    emit("table3", render_table3(sets, config.n_subjects))
-    if "fig2" in wanted:
-        emit("fig2", render_score_histograms(
-            sets["DMG"].for_pair("D0", "D0"),
-            sets["DMI"].for_pair("D0", "D0"),
-            "Figure 2: DMG vs DMI, Cross Match Guardian R2",
-        ))
-    if "fig3" in wanted:
-        emit("fig3", render_score_histograms(
-            sets["DDMG"].for_pair("D0", "D1"),
-            sets["DDMI"].for_pair("D0", "D1"),
-            "Figure 3: DDMG vs DDMI, Guardian R2 vs digID Mini",
-        ))
-    if "fig4" in wanted:
+    def fig4_text() -> str:
         per_probe = {
             probe: study.genuine_scores("D3", probe).scores
             for probe in DEVICE_ORDER
         }
-        emit("fig4", render_figure4(per_probe, gallery_device="D3"))
-    if "table4" in wanted:
-        emit("table4", render_table4(kendall_matrix(study)))
-    if "table5" in wanted:
-        emit("table5", render_fnmr_matrix(
-            study.fnmr_matrix(1e-4), "Table 5: FNMR at fixed FMR of 0.01%"
-        ))
-    if "table6" in wanted:
-        emit("table6", render_fnmr_matrix(
-            quality_filtered_fnmr_matrix(study),
-            "Table 6: FNMR at fixed FMR of 0.1%, NFIQ < 3",
-        ))
-    if "fig5" in wanted:
-        emit("fig5", render_figure5(
-            low_score_quality_surface(study, cross_device=False),
-            low_score_quality_surface(study, cross_device=True),
-        ))
+        return render_figure4(per_probe, gallery_device="D3")
+
+    emit("fig1", lambda: render_figure1(study.demographics()))
+    emit("table1", render_table1)
+    emit("table3", lambda: render_table3(sets, config.n_subjects))
+    emit("fig2", lambda: render_score_histograms(
+        sets["DMG"].for_pair("D0", "D0"),
+        sets["DMI"].for_pair("D0", "D0"),
+        "Figure 2: DMG vs DMI, Cross Match Guardian R2",
+    ))
+    emit("fig3", lambda: render_score_histograms(
+        sets["DDMG"].for_pair("D0", "D1"),
+        sets["DDMI"].for_pair("D0", "D1"),
+        "Figure 3: DDMG vs DDMI, Guardian R2 vs digID Mini",
+    ))
+    emit("fig4", fig4_text)
+    emit("table4", lambda: render_table4(kendall_matrix(study)))
+    emit("table5", lambda: render_fnmr_matrix(
+        study.fnmr_matrix(1e-4), "Table 5: FNMR at fixed FMR of 0.01%"
+    ))
+    emit("table6", lambda: render_fnmr_matrix(
+        quality_filtered_fnmr_matrix(study),
+        "Table 6: FNMR at fixed FMR of 0.1%, NFIQ < 3",
+    ))
+    emit("fig5", lambda: render_figure5(
+        low_score_quality_surface(study, cross_device=False),
+        low_score_quality_surface(study, cross_device=True),
+    ))
+
+    if args.manifest_out:
+        from .runtime.manifest import RunManifest
+
+        manifest = RunManifest.from_recorder(recorder, config)
+        target = manifest.write(args.manifest_out)
+        print(f"run manifest written to {target}", file=out)
+        disable_telemetry()
     return 0
 
 
@@ -397,6 +433,19 @@ def cmd_dataset(args, out) -> int:
     return 0
 
 
+def cmd_stats(args, out) -> int:
+    """`repro stats`: validate and pretty-print a run manifest."""
+    from .runtime.errors import ConfigurationError
+    from .runtime.manifest import RunManifest, render_manifest
+
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(f"cannot read manifest: {exc}") from exc
+    print(render_manifest(manifest), file=out)
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "run": cmd_run,
@@ -407,6 +456,7 @@ _COMMANDS = {
     "extract": cmd_extract,
     "dataset": cmd_dataset,
     "predict": cmd_predict,
+    "stats": cmd_stats,
 }
 
 
@@ -416,6 +466,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         out = sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level or os.environ.get("REPRO_LOG_LEVEL"):
+        from .runtime.telemetry import configure_logging
+
+        configure_logging(args.log_level)
     return _COMMANDS[args.command](args, out)
 
 

@@ -23,13 +23,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..runtime.config import StudyConfig
 from ..runtime.errors import ConfigurationError
+from ..runtime.progress import ProgressReporter
 from ..runtime.rng import SeedTree
+from ..runtime.telemetry import get_recorder
 from ..sensors.protocol import Collection
 from ..sensors.registry import DEVICE_ORDER, LIVESCAN_DEVICES
 
@@ -253,8 +255,14 @@ def run_jobs(
     matcher,
     finger: str,
     scenario: str,
+    progress: Optional[ProgressReporter] = None,
 ) -> ScoreSet:
-    """Execute match jobs against a collection and assemble a ScoreSet."""
+    """Execute match jobs against a collection and assemble a ScoreSet.
+
+    ``progress`` (optional) is updated once per job — pass a throttled
+    :class:`~repro.runtime.progress.ProgressReporter` to surface
+    per-scenario progress in long runs.
+    """
     n = len(jobs)
     scores = np.empty(n, dtype=np.float64)
     subj_g = np.empty(n, dtype=np.int64)
@@ -273,6 +281,11 @@ def run_jobs(
         dev_p[k] = dp
         nfiq_g[k] = gallery.nfiq
         nfiq_p[k] = probe.nfiq
+        if progress is not None:
+            progress.update()
+    recorder = get_recorder()
+    if recorder.active:
+        recorder.count(f"matcher.invocations.{scenario}", n)
     return ScoreSet(
         scenario=scenario,
         matcher_name=getattr(matcher, "name", type(matcher).__name__),

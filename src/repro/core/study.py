@@ -20,14 +20,16 @@ Typical use::
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..matcher import build_matcher
 from ..runtime.cache import ScoreCache
 from ..runtime.config import StudyConfig, resolve_worker_count
+from ..runtime.progress import ProgressReporter
 from ..runtime.rng import SeedTree
+from ..runtime.telemetry import enable_telemetry, get_logger, get_recorder
 from ..sensors.protocol import Collection, ProtocolSettings
 from ..datasets.wvu2012 import build_collection
 from ..stats.kendall import KendallResult
@@ -48,10 +50,18 @@ from .scores import (
 # ----------------------------------------------------------------------
 _WORKER_STATE: dict = {}
 
+_log = get_logger("study")
 
-def _init_score_worker(collection: Collection, matcher_name: str) -> None:
+
+def _init_score_worker(
+    collection: Collection, matcher_name: str, telemetry_active: bool = False
+) -> None:
     _WORKER_STATE["collection"] = collection
     _WORKER_STATE["matcher"] = build_matcher(matcher_name)
+    if telemetry_active:
+        # Workers aggregate into a local recorder; the parent merges the
+        # per-chunk snapshots (no cross-process shared state).
+        enable_telemetry()
 
 
 def _run_job_chunk(args: Tuple[Sequence[MatchJob], str, str]) -> ScoreSet:
@@ -59,6 +69,20 @@ def _run_job_chunk(args: Tuple[Sequence[MatchJob], str, str]) -> ScoreSet:
     return run_jobs(
         jobs, _WORKER_STATE["collection"], _WORKER_STATE["matcher"], finger, scenario
     )
+
+
+def _run_job_chunk_with_metrics(
+    args: Tuple[Sequence[MatchJob], str, str],
+) -> Tuple[ScoreSet, dict]:
+    """Worker body used when telemetry is on: chunk result + local metrics.
+
+    The worker's registry is reset before the chunk so every snapshot
+    covers exactly one chunk; the parent folds them together in order.
+    """
+    recorder = get_recorder()
+    recorder.metrics.reset()
+    score_set = _run_job_chunk(args)
+    return score_set, recorder.metrics.snapshot()
 
 
 class InteroperabilityStudy:
@@ -73,6 +97,11 @@ class InteroperabilityStudy:
         ``config.cache_dir`` (or no caching when that is ``None``).
     protocol:
         Collection-protocol switches (quality gating, device order).
+    progress_factory:
+        Optional ``(total, label) -> ProgressReporter`` hook; when set,
+        dataset acquisition and every score-generation scenario report
+        progress through reporters it builds.  ``None`` (default) keeps
+        the library silent.
     """
 
     def __init__(
@@ -80,15 +109,26 @@ class InteroperabilityStudy:
         config: StudyConfig,
         cache: Optional[ScoreCache] = None,
         protocol: ProtocolSettings = ProtocolSettings(),
+        progress_factory: Optional[
+            Callable[[Optional[int], str], ProgressReporter]
+        ] = None,
     ) -> None:
         self.config = config
         self._cache = cache if cache is not None else ScoreCache(config.cache_dir)
         self._protocol = protocol
+        self._progress_factory = progress_factory
         self._tree = SeedTree(config.master_seed)
         self._collection: Optional[Collection] = None
         self._matcher = None
         self._score_sets: Dict[str, ScoreSet] = {}
         self._d4_diagonal: Optional[ScoreSet] = None
+
+    def _progress_for(
+        self, total: Optional[int], label: str
+    ) -> Optional[ProgressReporter]:
+        if self._progress_factory is None:
+            return None
+        return self._progress_factory(total, label)
 
     # ------------------------------------------------------------------
     # Lazy components
@@ -101,7 +141,11 @@ class InteroperabilityStudy:
     def collection(self) -> Collection:
         """The acquired dataset, built on first use."""
         if self._collection is None:
-            self._collection = build_collection(self.config, self._protocol)
+            self._collection = build_collection(
+                self.config,
+                self._protocol,
+                progress=self._progress_for(self.config.n_subjects, "collection"),
+            )
         return self._collection
 
     def matcher(self):
@@ -125,8 +169,12 @@ class InteroperabilityStudy:
                     n, self.config.scaled_ddmi_budget(), self._tree
                 ),
             }
+            recorder = get_recorder()
             for scenario, scenario_jobs in jobs.items():
-                self._score_sets[scenario] = self._scores_for(scenario, scenario_jobs)
+                with recorder.span(f"scores.{scenario}"):
+                    self._score_sets[scenario] = self._scores_for(
+                        scenario, scenario_jobs
+                    )
         return self._score_sets
 
     def d4_diagonal_genuine(self) -> ScoreSet:
@@ -148,10 +196,21 @@ class InteroperabilityStudy:
         cache_key = (
             f"{self.config.fingerprint()}-{self._protocol.fingerprint()}-{scenario}"
         )
+        recorder = get_recorder()
         cached = self._load_cached(base_scenario, cache_key)
         if cached is not None:
+            recorder.count("study.scores.cached")
+            _log.info(
+                "score set loaded from cache",
+                extra={"data": {"scenario": scenario, "jobs": len(jobs)}},
+            )
             return cached
-        score_set = self._execute(jobs, base_scenario)
+        recorder.count("study.scores.computed")
+        _log.info(
+            "score set computing",
+            extra={"data": {"scenario": scenario, "jobs": len(jobs)}},
+        )
+        score_set = self._execute(jobs, base_scenario, label=scenario)
         self._store_cached(score_set, cache_key)
         return score_set
 
@@ -186,9 +245,12 @@ class InteroperabilityStudy:
         jobs: Sequence[MatchJob],
         scenario: str,
         finger: Optional[str] = None,
+        label: Optional[str] = None,
     ) -> ScoreSet:
         collection = self.collection()
         effective_finger = finger if finger is not None else self.finger
+        recorder = get_recorder()
+        progress = self._progress_for(len(jobs), label or scenario)
         workers = resolve_worker_count(self.config.n_workers)
         if workers > 1 and len(jobs) >= 256:
             chunk = max(64, len(jobs) // (workers * 4))
@@ -196,14 +258,38 @@ class InteroperabilityStudy:
                 (list(jobs[i : i + chunk]), effective_finger, scenario)
                 for i in range(0, len(jobs), chunk)
             ]
+            recorder.gauge("parallel.workers", float(workers))
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_score_worker,
-                initargs=(collection, self.config.matcher_name),
+                initargs=(collection, self.config.matcher_name, recorder.active),
             ) as pool:
-                parts = list(pool.map(_run_job_chunk, chunks))
+                parts = []
+                if recorder.active:
+                    # Each chunk returns its worker-local metrics; merging
+                    # here keeps counters exact without shared memory.
+                    for part, snapshot in pool.map(
+                        _run_job_chunk_with_metrics, chunks
+                    ):
+                        recorder.merge_metrics(snapshot)
+                        parts.append(part)
+                        if progress is not None:
+                            progress.update(len(part))
+                else:
+                    for part in pool.map(_run_job_chunk, chunks):
+                        parts.append(part)
+                        if progress is not None:
+                            progress.update(len(part))
+            if progress is not None:
+                progress.finish()
             return ScoreSet.concatenate(parts)
-        return run_jobs(jobs, collection, self.matcher(), effective_finger, scenario)
+        score_set = run_jobs(
+            jobs, collection, self.matcher(), effective_finger, scenario,
+            progress=progress,
+        )
+        if progress is not None:
+            progress.finish()
+        return score_set
 
     def _load_cached(self, scenario: str, key: str) -> Optional[ScoreSet]:
         arrays = self._cache.load(key)

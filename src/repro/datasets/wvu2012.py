@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 from ..runtime.config import StudyConfig, resolve_worker_count
 from ..runtime.progress import NullProgress, ProgressReporter
 from ..runtime.rng import SeedTree
+from ..runtime.telemetry import get_logger, get_recorder
 from ..sensors.base import Impression
 from ..sensors.protocol import (
     Collection,
@@ -31,6 +32,8 @@ from ..synthesis.population import Population
 
 #: Per-process sensor instances (signature fields are pure device state).
 _SENSOR_CACHE: dict = {}
+
+_log = get_logger("datasets")
 
 
 def _sensors_for(device_order: Sequence[str]) -> dict:
@@ -81,24 +84,42 @@ def build_collection(
     """
     if progress is None:
         progress = NullProgress(total=config.n_subjects, label="collection")
+    recorder = get_recorder()
     collection = Collection()
-    workers = resolve_worker_count(config.n_workers)
-    if workers > 1 and config.n_subjects >= 8:
-        tasks = [(config, sid, settings) for sid in range(config.n_subjects)]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for impressions in pool.map(
-                _subject_session_task, tasks, chunksize=max(1, len(tasks) // (workers * 4))
-            ):
-                for impression in impressions:
-                    collection.add(impression)
+    with recorder.span("acquisition"):
+        workers = resolve_worker_count(config.n_workers)
+        if workers > 1 and config.n_subjects >= 8:
+            tasks = [(config, sid, settings) for sid in range(config.n_subjects)]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for impressions in pool.map(
+                    _subject_session_task, tasks,
+                    chunksize=max(1, len(tasks) // (workers * 4)),
+                ):
+                    _tally_impressions(recorder, collection, impressions)
+                    progress.update()
+        else:
+            for sid in range(config.n_subjects):
+                _tally_impressions(
+                    recorder, collection, subject_session(config, sid, settings)
+                )
                 progress.update()
-    else:
-        for sid in range(config.n_subjects):
-            for impression in subject_session(config, sid, settings):
-                collection.add(impression)
-            progress.update()
     progress.finish()
+    _log.info(
+        "collection acquired",
+        extra={"data": {"subjects": config.n_subjects,
+                        "impressions": len(collection)}},
+    )
     return collection
+
+
+def _tally_impressions(recorder, collection: Collection, impressions) -> None:
+    """Add a session's impressions, keeping the NFIQ tally counters."""
+    for impression in impressions:
+        collection.add(impression)
+    if recorder.active:
+        recorder.count("acquisition.impressions", len(impressions))
+        for impression in impressions:
+            recorder.count(f"acquisition.nfiq.level.{impression.nfiq}")
 
 
 def default_device_order() -> Sequence[str]:

@@ -11,10 +11,12 @@ the study matches every gallery template against hundreds of probes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..runtime.errors import MatcherError
+from ..runtime.telemetry import get_recorder
 from .alignment import RigidTransform, candidate_pairs, estimate_alignments
 from .descriptors import DescriptorSet, build_descriptors, similarity_matrix
 from .pairing import PairingResult, pair_minutiae
@@ -66,7 +68,24 @@ class BioEngineMatcher:
         return self.match_detailed(probe, gallery).score
 
     def match_detailed(self, probe: Template, gallery: Template) -> MatchResult:
-        """Score plus alignment/pairing diagnostics."""
+        """Score plus alignment/pairing diagnostics.
+
+        When telemetry is enabled, every invocation bumps the
+        ``matcher.invocations`` counter and feeds the per-comparison
+        latency into the ``matcher.match_seconds`` histogram; with the
+        default :class:`~repro.runtime.telemetry.NullRecorder` the
+        overhead is a single attribute check.
+        """
+        recorder = get_recorder()
+        if not recorder.active:
+            return self._match_detailed(probe, gallery)
+        start = time.perf_counter()
+        result = self._match_detailed(probe, gallery)
+        recorder.count("matcher.invocations")
+        recorder.observe("matcher.match_seconds", time.perf_counter() - start)
+        return result
+
+    def _match_detailed(self, probe: Template, gallery: Template) -> MatchResult:
         if probe is None or gallery is None:
             raise MatcherError("match requires two templates")
         if len(probe) < MIN_TEMPLATE_MINUTIAE or len(gallery) < MIN_TEMPLATE_MINUTIAE:

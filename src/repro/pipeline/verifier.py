@@ -36,6 +36,7 @@ from ..matcher.engine import BioEngineMatcher
 from ..matcher.types import Template
 from ..quality.features import QualityFeatures
 from ..runtime.errors import CalibrationError, ConfigurationError
+from ..runtime.telemetry import get_recorder
 from ..sensors.registry import DEVICE_ORDER
 from .database import TemplateDatabase
 from .decision import AuditLog, VerificationDecision
@@ -57,6 +58,20 @@ class Verifier:
         self.matcher = matcher if matcher is not None else BioEngineMatcher()
         self.audit = AuditLog()
 
+    def _record_decision(self, decision: VerificationDecision) -> None:
+        """Append to the audit log and keep the verification counters."""
+        self.audit.append(decision)
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.count("verify.attempts")
+            recorder.count(
+                "verify.accepted" if decision.accepted else "verify.rejected"
+            )
+            if getattr(decision, "probe_device_inferred", False):
+                recorder.count("verify.device_inferred")
+            if getattr(decision, "calibration_applied", False):
+                recorder.count("verify.calibrated")
+
     def verify(
         self,
         identity: str,
@@ -76,7 +91,7 @@ class Verifier:
             gallery_device=record.device_id,
             probe_device=probe_device,
         )
-        self.audit.append(decision)
+        self._record_decision(decision)
         return decision
 
     def verify_multi_sample(
@@ -114,7 +129,7 @@ class Verifier:
             gallery_device=record.device_id,
             probe_device=probe_device,
         )
-        self.audit.append(decision)
+        self._record_decision(decision)
         return decision
 
     def _normalize_score(
@@ -233,7 +248,7 @@ class InteropAwareVerifier(Verifier):
             probe_device_inferred=inferred,
             calibration_applied=calibrated,
         )
-        self.audit.append(decision)
+        self._record_decision(decision)
         return decision
 
 

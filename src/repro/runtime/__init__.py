@@ -23,9 +23,27 @@ from .errors import (
     SynthesisError,
     TemplateFormatError,
 )
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    render_manifest,
+    validate_manifest,
+)
 from .parallel import chunk_indices, parallel_map, sequential_map
 from .progress import NullProgress, ProgressReporter
 from .rng import SeedTree, derive_seed
+from .telemetry import (
+    MetricsRegistry,
+    NullRecorder,
+    Span,
+    TelemetryRecorder,
+    configure_logging,
+    disable_telemetry,
+    enable_telemetry,
+    get_logger,
+    get_recorder,
+    set_recorder,
+)
 
 __all__ = [
     "ScoreCache",
@@ -50,4 +68,18 @@ __all__ = [
     "NullProgress",
     "SeedTree",
     "derive_seed",
+    "MetricsRegistry",
+    "Span",
+    "TelemetryRecorder",
+    "NullRecorder",
+    "get_recorder",
+    "set_recorder",
+    "enable_telemetry",
+    "disable_telemetry",
+    "configure_logging",
+    "get_logger",
+    "RunManifest",
+    "MANIFEST_SCHEMA",
+    "validate_manifest",
+    "render_manifest",
 ]

@@ -16,14 +16,23 @@ import json
 import os
 import re
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
 
 from .errors import CacheError
+from .telemetry import get_logger, get_recorder
 
 _KEY_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+#: Everything np.load raises for a truncated/garbage entry: OSError for
+#: I/O trouble, ValueError for non-npz bytes, BadZipFile for a file that
+#: has a zip header but a mangled archive (the classic crashed-write).
+_CORRUPT_ENTRY_ERRORS = (OSError, ValueError, zipfile.BadZipFile)
+
+_log = get_logger("cache")
 
 
 class ScoreCache:
@@ -74,6 +83,7 @@ class ScoreCache:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(handle, **payload)
             os.replace(tmp_name, path)
+            get_recorder().count("cache.store")
         except OSError as exc:
             try:
                 os.unlink(tmp_name)
@@ -91,16 +101,24 @@ class ScoreCache:
             return None
         path = self._path_for(key)
         if not path.exists():
+            get_recorder().count("cache.miss")
             return None
         try:
             with np.load(path) as bundle:
                 arrays = {name: bundle[name] for name in bundle.files}
-        except (OSError, ValueError):
+        except _CORRUPT_ENTRY_ERRORS:
+            recorder = get_recorder()
+            recorder.count("cache.corrupt")
+            recorder.count("cache.miss")
+            _log.warning(
+                "corrupt cache entry removed", extra={"data": {"key": key}}
+            )
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
+        get_recorder().count("cache.hit")
         arrays.pop("__meta__", None)
         return arrays
 
@@ -116,7 +134,8 @@ class ScoreCache:
                 if "__meta__" not in bundle.files:
                     return None
                 raw = bytes(bundle["__meta__"].tobytes())
-        except (OSError, ValueError):
+        except _CORRUPT_ENTRY_ERRORS:
+            get_recorder().count("cache.corrupt")
             return None
         try:
             return json.loads(raw.decode("utf-8"))

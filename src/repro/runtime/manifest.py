@@ -1,0 +1,281 @@
+"""Run manifests — the JSON artifact every instrumented run leaves behind.
+
+A :class:`RunManifest` captures, in one file, everything needed to
+answer "what did that run do and where did the time go": the config
+fingerprint and seed (so the run is replayable), the library version
+(plus ``git describe`` when available), the nested span timings, every
+counter/gauge/histogram, and derived cache statistics.  Benchmarks and
+``repro run --manifest-out`` both emit one; ``repro stats`` renders it
+back into a human-readable summary.
+
+The schema is validated dependency-free: :data:`MANIFEST_SCHEMA` is a
+JSON-Schema-shaped dict and :func:`validate_manifest` interprets the
+subset of it we use (types, required keys, recursion into properties),
+so CI can reject a malformed manifest without installing ``jsonschema``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .telemetry import TelemetryRecorder
+
+#: Version of the manifest file layout; bump on breaking changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: JSON-Schema-shaped description of a manifest file.  ``spans`` is
+#: recursive (children of the same shape); :func:`validate_manifest`
+#: handles that recursion explicitly.
+MANIFEST_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "schema_version", "version", "created_unix", "config",
+        "spans", "counters", "gauges", "histograms", "cache",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "version": {"type": "string"},
+        "vcs_version": {"type": ["string", "null"]},
+        "created_unix": {"type": "number"},
+        "config": {
+            "type": "object",
+            "required": ["fingerprint", "description", "seed"],
+            "properties": {
+                "fingerprint": {"type": "string"},
+                "description": {"type": "string"},
+                "seed": {"type": "integer"},
+            },
+        },
+        "spans": {
+            "type": "object",
+            "required": ["name", "seconds", "children"],
+            "properties": {
+                "name": {"type": "string"},
+                "seconds": {"type": "number"},
+                "children": {"type": "array"},
+            },
+        },
+        "counters": {"type": "object"},
+        "gauges": {"type": "object"},
+        "histograms": {"type": "object"},
+        "cache": {"type": "object"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check_node(data, schema: dict, path: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](data) for t in allowed):
+            errors.append(f"{path}: expected {'/'.join(allowed)}, "
+                          f"got {type(data).__name__}")
+            return
+    if isinstance(data, dict):
+        for key in schema.get("required", ()):
+            if key not in data:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in data:
+                _check_node(data[key], sub, f"{path}.{key}", errors)
+
+
+def _check_span_tree(node, path: str, errors: List[str]) -> None:
+    span_schema = MANIFEST_SCHEMA["properties"]["spans"]
+    _check_node(node, span_schema, path, errors)
+    if isinstance(node, dict):
+        for k, child in enumerate(node.get("children") or []):
+            _check_span_tree(child, f"{path}.children[{k}]", errors)
+
+
+def validate_manifest(data: dict) -> None:
+    """Raise ``ValueError`` (listing every problem) if ``data`` is not a
+    well-formed manifest; return silently when it is."""
+    errors: List[str] = []
+    _check_node(data, MANIFEST_SCHEMA, "manifest", errors)
+    if isinstance(data, dict) and isinstance(data.get("spans"), dict):
+        for k, child in enumerate(data["spans"].get("children") or []):
+            _check_span_tree(child, f"manifest.spans.children[{k}]", errors)
+    if errors:
+        raise ValueError("invalid run manifest:\n" + "\n".join(errors))
+
+
+def vcs_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of the source tree, if available."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    described = result.stdout.strip()
+    return described or None
+
+
+def _cache_stats(counters: Dict[str, int]) -> dict:
+    hits = counters.get("cache.hit", 0)
+    misses = counters.get("cache.miss", 0)
+    looked = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "corrupt": counters.get("cache.corrupt", 0),
+        "stores": counters.get("cache.store", 0),
+        "hit_rate": round(hits / looked, 4) if looked else None,
+    }
+
+
+@dataclass
+class RunManifest:
+    """The end-of-run summary artifact.
+
+    Build one with :meth:`from_recorder` after an instrumented run,
+    persist it with :meth:`write`, read it back with :meth:`load`.
+    """
+
+    version: str
+    config: dict
+    spans: dict
+    counters: Dict[str, int]
+    gauges: Dict[str, float]
+    histograms: dict
+    cache: dict = field(default_factory=dict)
+    vcs_version: Optional[str] = None
+    created_unix: float = 0.0
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    @classmethod
+    def from_recorder(cls, recorder: TelemetryRecorder, config) -> "RunManifest":
+        """Assemble a manifest from a live recorder and a StudyConfig."""
+        from .. import __version__
+
+        snapshot = recorder.metrics.snapshot()
+        return cls(
+            version=__version__,
+            vcs_version=vcs_describe(),
+            created_unix=time.time(),
+            config={
+                "fingerprint": config.fingerprint(),
+                "description": config.describe(),
+                "seed": config.master_seed,
+                "n_subjects": config.n_subjects,
+                "matcher": config.matcher_name,
+                "n_workers": config.n_workers,
+            },
+            spans=recorder.span_tree(),
+            counters=snapshot["counters"],
+            gauges=snapshot["gauges"],
+            histograms=snapshot["histograms"],
+            cache=_cache_stats(snapshot["counters"]),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-able) form, schema-ordered."""
+        return dataclasses.asdict(self)
+
+    def write(self, path) -> Path:
+        """Write the manifest as indented JSON; returns the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                                     default=str) + "\n")
+        return target
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Validate ``data`` and build a manifest from it."""
+        validate_manifest(data)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        """Read and validate a manifest file."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+        return cls.from_dict(data)
+
+
+def _render_span(node: dict, depth: int, lines: List[str]) -> None:
+    lines.append(f"  {'  ' * depth}{node['name']:<{32 - 2 * depth}} "
+                 f"{node['seconds']:>10.3f}s")
+    for child in node.get("children", []):
+        _render_span(child, depth + 1, lines)
+
+
+def render_manifest(manifest: RunManifest) -> str:
+    """Human-readable summary of a manifest (the ``repro stats`` view)."""
+    lines: List[str] = []
+    vcs = f" ({manifest.vcs_version})" if manifest.vcs_version else ""
+    lines.append(f"run manifest — repro {manifest.version}{vcs}")
+    lines.append(f"  config: {manifest.config.get('description', '?')}")
+    lines.append(f"  fingerprint: {manifest.config.get('fingerprint', '?')}"
+                 f"  seed: {manifest.config.get('seed', '?')}")
+    lines.append("")
+    lines.append("spans (wall clock)")
+    _render_span(manifest.spans, 0, lines)
+    if manifest.counters:
+        lines.append("")
+        lines.append("counters")
+        for name in sorted(manifest.counters):
+            lines.append(f"  {name:<40} {manifest.counters[name]:>12,}")
+    if manifest.gauges:
+        lines.append("")
+        lines.append("gauges")
+        for name in sorted(manifest.gauges):
+            lines.append(f"  {name:<40} {manifest.gauges[name]:>12g}")
+    if manifest.histograms:
+        lines.append("")
+        lines.append("histograms")
+        lines.append(f"  {'name':<34} {'count':>9} {'mean':>10} "
+                     f"{'min':>10} {'max':>10}")
+        for name in sorted(manifest.histograms):
+            h = manifest.histograms[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {name:<34} {h['count']:>9,} {mean:>9.4f}s "
+                f"{h['min']:>9.4f}s {h['max']:>9.4f}s"
+            )
+    lines.append("")
+    hit_rate = manifest.cache.get("hit_rate")
+    rate_text = "n/a" if hit_rate is None else f"{100.0 * hit_rate:.1f}%"
+    lines.append(
+        f"cache: {manifest.cache.get('hits', 0)} hits, "
+        f"{manifest.cache.get('misses', 0)} misses, "
+        f"{manifest.cache.get('corrupt', 0)} corrupt, "
+        f"{manifest.cache.get('stores', 0)} stores (hit rate {rate_text})"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "RunManifest",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
+    "validate_manifest",
+    "render_manifest",
+    "vcs_describe",
+]

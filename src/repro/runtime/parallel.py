@@ -13,10 +13,12 @@ per-chunk work is deterministic because chunk boundaries depend only on
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
 
 from .config import resolve_worker_count
+from .telemetry import get_recorder
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,6 +40,20 @@ def chunk_indices(n_items: int, chunk_size: int) -> List[range]:
 def _apply_chunk(func: Callable[[T], R], items: Sequence[T]) -> List[R]:
     """Worker body: map ``func`` over one chunk (module-level, picklable)."""
     return [func(item) for item in items]
+
+
+def _apply_chunk_timed(
+    func: Callable[[T], R], items: Sequence[T]
+) -> Tuple[List[R], float]:
+    """Worker body that also reports the chunk's wall-clock seconds.
+
+    The timing happens *in the worker* so it measures compute, not the
+    parent's result-collection order; the parent feeds it into the
+    ``parallel.chunk_seconds`` histogram.
+    """
+    start = time.perf_counter()
+    results = [func(item) for item in items]
+    return results, time.perf_counter() - start
 
 
 def parallel_map(
@@ -66,15 +82,30 @@ def parallel_map(
     if effective <= 1 or len(items) < _MIN_ITEMS_FOR_POOL:
         return [func(item) for item in items]
 
+    recorder = get_recorder()
     chunks = chunk_indices(len(items), chunk_size)
+    if recorder.active:
+        recorder.gauge("parallel.workers", float(effective))
+        recorder.count("parallel.chunks", len(chunks))
+        recorder.count("parallel.items", len(items))
     results: List[R] = []
     with ProcessPoolExecutor(max_workers=effective) as pool:
-        futures = [
-            pool.submit(_apply_chunk, func, [items[i] for i in chunk])
-            for chunk in chunks
-        ]
-        for future in futures:
-            results.extend(future.result())
+        if recorder.active:
+            futures = [
+                pool.submit(_apply_chunk_timed, func, [items[i] for i in chunk])
+                for chunk in chunks
+            ]
+            for future in futures:
+                part, seconds = future.result()
+                recorder.observe("parallel.chunk_seconds", seconds)
+                results.extend(part)
+        else:
+            futures = [
+                pool.submit(_apply_chunk, func, [items[i] for i in chunk])
+                for chunk in chunks
+            ]
+            for future in futures:
+                results.extend(future.result())
     return results
 
 

@@ -14,6 +14,18 @@ import time
 from typing import Callable, Optional, TextIO
 
 
+def format_eta(seconds: float) -> str:
+    """Compact rendering of a remaining-time estimate (``4m12s`` style)."""
+    whole = int(round(max(0.0, seconds)))
+    if whole < 60:
+        return f"{whole}s"
+    minutes, secs = divmod(whole, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
 class ProgressReporter:
     """Throttled textual progress reporter.
 
@@ -86,6 +98,9 @@ class ProgressReporter:
                 f"[{self.label}] {self._count}/{self.total} "
                 f"({pct:5.1f}%) {rate:,.0f}/s"
             )
+            remaining = self.total - self._count
+            if not final and remaining > 0 and rate > 0:
+                msg += f" eta {format_eta(remaining / rate)}"
         else:
             msg = f"[{self.label}] {self._count} done, {rate:,.0f}/s"
         end = "\n" if final else "\r"
@@ -104,4 +119,4 @@ class NullProgress(ProgressReporter):
         super().__init__(total=total, label=label, stream=None, min_interval=0.0)
 
 
-__all__ = ["ProgressReporter", "NullProgress"]
+__all__ = ["ProgressReporter", "NullProgress", "format_eta"]

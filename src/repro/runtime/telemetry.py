@@ -1,0 +1,378 @@
+"""Process-wide telemetry: span timing, metrics, and structured logs.
+
+The study executes ~616,000 matcher invocations at paper scale; this
+module is how that run stops being a black box.  Three cooperating
+pieces, all dependency-free:
+
+* :class:`Span` / :meth:`TelemetryRecorder.span` — a context-manager
+  tree of wall-clock timings (synthesis → acquisition → extraction →
+  matching → analysis), assembled into a nested dict for the run
+  manifest.
+* :class:`MetricsRegistry` — named counters, gauges and fixed-bucket
+  histograms (matcher invocations per scenario, cache hits/misses,
+  pool chunk latencies, NFIQ tallies).  Snapshots are plain dicts so
+  worker processes can aggregate locally and the parent merges them
+  on chunk return — no shared memory, no locks across processes.
+* :func:`configure_logging` — stdlib ``logging`` with a single-line
+  JSON formatter, switched by ``REPRO_LOG_LEVEL`` or ``--log-level``.
+
+Telemetry is **off by default**: the process-wide recorder starts as a
+:class:`NullRecorder` whose every operation is a cheap no-op (mirroring
+the ``NullProgress`` pattern), so the test suite and library users who
+never opt in pay essentially nothing.  ``enable_telemetry()`` swaps in
+a live :class:`TelemetryRecorder`; hot paths guard per-item work behind
+``recorder.active``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import logging
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Histogram bucket upper bounds — a log-ish scale in seconds that
+#: resolves both a ~1 ms matcher call and a ~10 s scenario chunk.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one process.
+
+    Mutations are lock-protected (threads may share a registry); cross-
+    process aggregation goes through :meth:`snapshot` on the worker and
+    :meth:`merge` on the parent, which is how the score-generation pool
+    reports without any shared state.
+
+    Parameters
+    ----------
+    buckets:
+        Histogram bucket upper bounds, strictly increasing.  Every
+        histogram in a registry shares them so snapshots merge
+        bucket-for-bucket.
+    """
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self._lock = threading.Lock()
+        self._bounds = tuple(buckets)
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        # name -> [count, total, min, max, per-bucket counts (+overflow)]
+        self._histograms: Dict[str, list] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = [0, 0.0, float("inf"), float("-inf"),
+                        [0] * (len(self._bounds) + 1)]
+                self._histograms[name] = hist
+            hist[0] += 1
+            hist[1] += value
+            hist[2] = min(hist[2], value)
+            hist[3] = max(hist[3], value)
+            hist[4][bisect.bisect_left(self._bounds, value)] += 1
+
+    def counter_value(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never counted)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-able copy of every metric, suitable for :meth:`merge`."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: {
+                        "count": h[0],
+                        "sum": h[1],
+                        "min": h[2],
+                        "max": h[3],
+                        "buckets": list(h[4]),
+                    }
+                    for name, h in self._histograms.items()
+                },
+                "bucket_bounds": list(self._bounds),
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (typically from a worker process) in.
+
+        Counters add, gauges last-write-win, histograms combine count /
+        sum / min / max and add bucket-for-bucket.  Raises ``ValueError``
+        when the snapshot's bucket bounds disagree with this registry's
+        (merging those would silently misfile observations).
+        """
+        bounds = snapshot.get("bucket_bounds")
+        if bounds is not None and tuple(bounds) != self._bounds:
+            raise ValueError(
+                "cannot merge metrics snapshot: bucket bounds differ"
+            )
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, data in snapshot.get("histograms", {}).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = [0, 0.0, float("inf"), float("-inf"),
+                            [0] * (len(self._bounds) + 1)]
+                    self._histograms[name] = hist
+                hist[0] += data["count"]
+                hist[1] += data["sum"]
+                hist[2] = min(hist[2], data["min"])
+                hist[3] = max(hist[3], data["max"])
+                for k, bucket_count in enumerate(data["buckets"]):
+                    hist[4][k] += bucket_count
+
+    def reset(self) -> None:
+        """Drop every metric (used by pool workers between chunks)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class Span:
+    """One timed node in the span tree.
+
+    Spans are created by :meth:`TelemetryRecorder.span`; ``seconds`` is
+    ``None`` while the span is still open.
+    """
+
+    __slots__ = ("name", "started_at", "seconds", "children")
+
+    def __init__(self, name: str, started_at: float) -> None:
+        self.name = name
+        self.started_at = started_at
+        self.seconds: Optional[float] = None
+        self.children: List["Span"] = []
+
+    def to_dict(self, now: Optional[float] = None) -> dict:
+        """Nested-dict form used by the run manifest.
+
+        An unfinished span reports its elapsed time so far when ``now``
+        is given, else ``0.0``.
+        """
+        if self.seconds is not None:
+            seconds = self.seconds
+        elif now is not None:
+            seconds = max(0.0, now - self.started_at)
+        else:
+            seconds = 0.0
+        return {
+            "name": self.name,
+            "seconds": round(seconds, 6),
+            "children": [child.to_dict(now) for child in self.children],
+        }
+
+
+class TelemetryRecorder:
+    """Spans + metrics for one process.
+
+    One recorder is process-wide (see :func:`get_recorder`); the span
+    stack assumes spans open and close on a single thread, which is how
+    the study pipeline runs.  Metrics are thread-safe.
+
+    Parameters
+    ----------
+    clock:
+        Injectable monotonic time source, for deterministic tests.
+    """
+
+    #: Hot paths check this before doing per-item timing work.
+    active = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.metrics = MetricsRegistry()
+        self._root = Span("run", clock())
+        self._stack: List[Span] = [self._root]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a child span of the innermost open span."""
+        node = Span(name, self._clock())
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            node.seconds = self._clock() - node.started_at
+            self._stack.pop()
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter (delegates to :attr:`metrics`)."""
+        self.metrics.count(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge (delegates to :attr:`metrics`)."""
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram observation (delegates to :attr:`metrics`)."""
+        self.metrics.observe(name, value)
+
+    def merge_metrics(self, snapshot: dict) -> None:
+        """Fold a worker-process metrics snapshot into this recorder."""
+        self.metrics.merge(snapshot)
+
+    def span_tree(self) -> dict:
+        """The full span tree; the root covers the recorder's lifetime."""
+        return self._root.to_dict(self._clock())
+
+
+class NullRecorder(TelemetryRecorder):
+    """The default recorder: counts nothing, times nothing, writes nothing.
+
+    Mirrors :class:`~repro.runtime.progress.NullProgress` — the library
+    is always instrumented, but pays for it only after
+    :func:`enable_telemetry`.
+    """
+
+    active = False
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """A no-op context manager."""
+        yield None
+
+    def count(self, name: str, n: int = 1) -> None:
+        """No-op."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def observe(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def merge_metrics(self, snapshot: dict) -> None:
+        """No-op."""
+
+
+_RECORDER: TelemetryRecorder = NullRecorder()
+
+
+def get_recorder() -> TelemetryRecorder:
+    """The process-wide recorder (a :class:`NullRecorder` until enabled)."""
+    return _RECORDER
+
+
+def set_recorder(recorder: TelemetryRecorder) -> TelemetryRecorder:
+    """Install ``recorder`` process-wide; returns the previous one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+def enable_telemetry(
+    clock: Callable[[], float] = time.perf_counter,
+) -> TelemetryRecorder:
+    """Swap in a live recorder and return it."""
+    recorder = TelemetryRecorder(clock=clock)
+    set_recorder(recorder)
+    return recorder
+
+
+def disable_telemetry() -> None:
+    """Restore the zero-overhead :class:`NullRecorder`."""
+    set_recorder(NullRecorder())
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+# ----------------------------------------------------------------------
+class JsonLogFormatter(logging.Formatter):
+    """Render each log record as one JSON object per line.
+
+    A machine-parsable run log pairs with the run manifest: the manifest
+    is the end-of-run summary, the log is the during-run stream.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Serialize ``record`` (plus any ``extra={"data": ...}``)."""
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        data = getattr(record, "data", None)
+        if isinstance(data, dict):
+            payload.update(data)
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: Optional[str] = None, stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger with a JSON handler.
+
+    ``level`` falls back to ``REPRO_LOG_LEVEL`` and then ``WARNING``.
+    Idempotent: a previously-installed telemetry handler is replaced,
+    not stacked, so repeated CLI invocations in one process never
+    double-log.
+    """
+    resolved = (level or os.environ.get("REPRO_LOG_LEVEL") or "WARNING").upper()
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolved)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_telemetry = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (silent until configured)."""
+    return logging.getLogger(f"repro.{name}")
+
+
+# Library etiquette: without configure_logging(), repro loggers must stay
+# silent rather than fall through to logging's last-resort handler.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "TelemetryRecorder",
+    "NullRecorder",
+    "get_recorder",
+    "set_recorder",
+    "enable_telemetry",
+    "disable_telemetry",
+    "JsonLogFormatter",
+    "configure_logging",
+    "get_logger",
+]

@@ -12,8 +12,13 @@ import pytest
 
 import repro.runtime.parallel as parallel_module
 from repro.core.scores import enumerate_dmg_jobs
-from repro.core.study import _init_score_worker, _run_job_chunk
+from repro.core.study import (
+    _init_score_worker,
+    _run_job_chunk,
+    _run_job_chunk_with_metrics,
+)
 from repro.runtime.parallel import parallel_map
+from repro.runtime.telemetry import enable_telemetry, get_recorder, set_recorder
 
 
 def _square(x):
@@ -39,6 +44,49 @@ class TestScoreWorkerFunctions:
         np.testing.assert_array_equal(
             worker_result.subject_gallery, direct_result.subject_gallery
         )
+
+
+class TestWorkerTelemetry:
+    def test_chunk_with_metrics_reports_exact_counts(
+        self, tiny_collection, tiny_config
+    ):
+        """The telemetry variant returns the same ScoreSet plus a metrics
+        snapshot whose matcher counts are exact for the chunk."""
+        previous = get_recorder()
+        try:
+            jobs = enumerate_dmg_jobs(4)
+            _init_score_worker(tiny_collection, "bioengine", telemetry_active=True)
+            result, snapshot = _run_job_chunk_with_metrics(
+                (jobs, "right_index", "DMG")
+            )
+            plain = _run_job_chunk((jobs, "right_index", "DMG"))
+            np.testing.assert_array_equal(result.scores, plain.scores)
+            assert snapshot["counters"]["matcher.invocations"] == len(jobs)
+            assert snapshot["counters"]["matcher.invocations.DMG"] == len(jobs)
+            # Snapshots from two chunks merge to the total — the parent-
+            # side aggregation contract.
+            parent = enable_telemetry()
+            parent.merge_metrics(snapshot)
+            parent.merge_metrics(snapshot)
+            assert parent.metrics.counter_value("matcher.invocations") == 2 * len(
+                jobs
+            )
+        finally:
+            set_recorder(previous)
+
+    def test_initializer_defaults_to_no_telemetry(
+        self, tiny_collection, tiny_config
+    ):
+        previous = get_recorder()
+        try:
+            _init_score_worker(tiny_collection, "bioengine")
+            result, snapshot = _run_job_chunk_with_metrics(
+                (enumerate_dmg_jobs(4), "right_index", "DMG")
+            )
+            assert snapshot["counters"] == {}
+            assert result.scores.size > 0
+        finally:
+            set_recorder(previous)
 
 
 class TestForcedPool:

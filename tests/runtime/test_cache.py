@@ -5,6 +5,16 @@ import pytest
 
 from repro.runtime.cache import ScoreCache
 from repro.runtime.errors import CacheError
+from repro.runtime.telemetry import enable_telemetry, get_recorder, set_recorder
+
+
+@pytest.fixture()
+def recorder():
+    """A live recorder for the test, restored to the previous one after."""
+    previous = get_recorder()
+    live = enable_telemetry()
+    yield live
+    set_recorder(previous)
 
 
 @pytest.fixture()
@@ -51,6 +61,42 @@ class TestRobustness:
         assert cache.load("bad") is None
         # And the corrupt file was removed so the next store is clean.
         assert not path.exists()
+
+    def test_bad_zipfile_entry_is_a_miss(self, cache, tmp_path):
+        # Regression: a file with a valid zip magic but garbage payload
+        # raises zipfile.BadZipFile from np.load, which load() must treat
+        # as a corrupt entry, not propagate.
+        cache.store("bad", {"a": np.zeros(3)})
+        path = tmp_path / "cache" / "bad.npz"
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        assert cache.load("bad") is None
+        assert not path.exists()
+
+    def test_bad_zipfile_meta_is_a_miss(self, cache, tmp_path):
+        cache.store("bad", {"a": np.zeros(3)}, meta={"n": 3})
+        (tmp_path / "cache" / "bad.npz").write_bytes(b"PK\x03\x04" + b"\xff" * 32)
+        assert cache.load_meta("bad") is None
+
+    def test_corrupt_entry_counts_and_recovers(self, cache, tmp_path, recorder):
+        cache.store("bad", {"a": np.zeros(3)})
+        path = tmp_path / "cache" / "bad.npz"
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        assert cache.load("bad") is None
+        assert recorder.metrics.counter_value("cache.corrupt") == 1
+        assert recorder.metrics.counter_value("cache.miss") == 1
+        # The slot is clean again: a fresh store round-trips.
+        cache.store("bad", {"a": np.ones(2)})
+        np.testing.assert_array_equal(cache.load("bad")["a"], np.ones(2))
+        assert recorder.metrics.counter_value("cache.hit") == 1
+
+    def test_hit_miss_store_counters(self, cache, recorder):
+        assert cache.load("absent") is None
+        cache.store("k", {"a": np.zeros(1)})
+        assert cache.load("k") is not None
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["cache.miss"] == 1
+        assert counters["cache.store"] >= 1
+        assert counters["cache.hit"] == 1
 
     def test_bad_key_rejected(self, cache):
         with pytest.raises(CacheError):

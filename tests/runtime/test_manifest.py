@@ -1,0 +1,142 @@
+"""RunManifest: build, validate, round-trip, render."""
+
+import json
+
+import pytest
+
+from repro.runtime.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    render_manifest,
+    validate_manifest,
+    vcs_describe,
+)
+from repro.runtime.telemetry import TelemetryRecorder
+
+
+class FakeConfig:
+    """Just enough of StudyConfig for RunManifest.from_recorder."""
+
+    master_seed = 42
+    n_subjects = 6
+    matcher_name = "minutiae"
+    n_workers = 0
+
+    def fingerprint(self):
+        return "deadbeefcafe"
+
+    def describe(self):
+        return "6 subjects, minutiae matcher, sequential"
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_recorder():
+    clock = FakeClock()
+    recorder = TelemetryRecorder(clock=clock)
+    with recorder.span("scores.DMG"):
+        clock.advance(1.5)
+        recorder.count("matcher.invocations", 30)
+        recorder.observe("matcher.match_seconds", 0.05)
+    recorder.count("cache.hit", 3)
+    recorder.count("cache.miss", 1)
+    recorder.count("cache.store", 1)
+    return recorder
+
+
+def test_from_recorder_captures_everything():
+    manifest = RunManifest.from_recorder(make_recorder(), FakeConfig())
+    assert manifest.schema_version == MANIFEST_SCHEMA_VERSION
+    assert manifest.config["fingerprint"] == "deadbeefcafe"
+    assert manifest.config["seed"] == 42
+    assert manifest.spans["name"] == "run"
+    assert manifest.spans["children"][0]["name"] == "scores.DMG"
+    assert manifest.spans["children"][0]["seconds"] == pytest.approx(1.5)
+    assert manifest.counters["matcher.invocations"] == 30
+    assert manifest.histograms["matcher.match_seconds"]["count"] == 1
+    assert manifest.cache == {
+        "hits": 3,
+        "misses": 1,
+        "corrupt": 0,
+        "stores": 1,
+        "hit_rate": 0.75,
+    }
+
+
+def test_cache_hit_rate_none_when_untouched():
+    recorder = TelemetryRecorder(clock=FakeClock())
+    manifest = RunManifest.from_recorder(recorder, FakeConfig())
+    assert manifest.cache["hit_rate"] is None
+
+
+def test_write_load_round_trip(tmp_path):
+    manifest = RunManifest.from_recorder(make_recorder(), FakeConfig())
+    path = manifest.write(tmp_path / "nested" / "run.json")
+    assert path.exists()
+    loaded = RunManifest.load(path)
+    assert loaded.to_dict() == manifest.to_dict()
+
+
+def test_written_file_is_valid_json_and_schema(tmp_path):
+    manifest = RunManifest.from_recorder(make_recorder(), FakeConfig())
+    path = manifest.write(tmp_path / "run.json")
+    validate_manifest(json.loads(path.read_text()))
+
+
+def test_validate_rejects_missing_keys():
+    with pytest.raises(ValueError, match="missing required key"):
+        validate_manifest({"schema_version": 1})
+
+
+def test_validate_rejects_wrong_types():
+    data = RunManifest.from_recorder(make_recorder(), FakeConfig()).to_dict()
+    data["spans"] = "not a tree"
+    with pytest.raises(ValueError, match="manifest.spans"):
+        validate_manifest(data)
+
+
+def test_validate_recurses_into_span_children():
+    data = RunManifest.from_recorder(make_recorder(), FakeConfig()).to_dict()
+    data["spans"]["children"][0]["children"] = [{"name": "bad"}]
+    with pytest.raises(ValueError, match=r"children\[0\]"):
+        validate_manifest(data)
+
+
+def test_validate_collects_all_errors():
+    data = RunManifest.from_recorder(make_recorder(), FakeConfig()).to_dict()
+    data["counters"] = []
+    data["version"] = 3
+    with pytest.raises(ValueError) as excinfo:
+        validate_manifest(data)
+    message = str(excinfo.value)
+    assert "manifest.counters" in message and "manifest.version" in message
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        RunManifest.load(path)
+
+
+def test_render_mentions_key_sections():
+    text = render_manifest(RunManifest.from_recorder(make_recorder(), FakeConfig()))
+    assert "spans (wall clock)" in text
+    assert "scores.DMG" in text
+    assert "matcher.invocations" in text
+    assert "hit rate 75.0%" in text
+    assert "deadbeefcafe" in text
+
+
+def test_vcs_describe_returns_string_or_none():
+    described = vcs_describe()
+    assert described is None or (isinstance(described, str) and described)

@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.runtime.progress import NullProgress, ProgressReporter
+from repro.runtime.progress import NullProgress, ProgressReporter, format_eta
 
 
 class FakeClock:
@@ -64,6 +64,51 @@ class TestProgressReporter:
         reporter = ProgressReporter(stream=Broken(), min_interval=0.0)
         reporter.update()  # must not raise
         reporter.finish()
+
+
+class TestEta:
+    @pytest.mark.parametrize(
+        "seconds, expected",
+        [
+            (0, "0s"),
+            (37.4, "37s"),
+            (252, "4m12s"),
+            (59.6, "1m00s"),
+            (3780, "1h03m"),
+            (-5, "0s"),
+        ],
+    )
+    def test_format_eta(self, seconds, expected):
+        assert format_eta(seconds) == expected
+
+    def test_eta_appears_when_total_known(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=100, stream=stream, min_interval=0.0, clock=clock
+        )
+        clock.t = 10.0
+        reporter.update(20)  # 2/s, 80 left -> 40s remaining
+        assert "eta 40s" in stream.getvalue()
+
+    def test_no_eta_without_total(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, min_interval=0.0, clock=clock)
+        clock.t = 10.0
+        reporter.update(20)
+        assert "eta" not in stream.getvalue()
+
+    def test_no_eta_on_final_emission(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=4, stream=stream, min_interval=10.0, clock=clock
+        )
+        clock.t = 1.0
+        reporter._count = 4
+        reporter.finish()
+        assert "eta" not in stream.getvalue()
 
 
 class TestNullProgress:

@@ -1,10 +1,13 @@
 """Command-line interface."""
 
 import io
+import json
 
 import pytest
 
 from repro.cli import ARTIFACTS, build_parser, main
+from repro.runtime.manifest import validate_manifest
+from repro.runtime.telemetry import NullRecorder, get_recorder
 
 
 def run_cli(argv):
@@ -107,6 +110,85 @@ class TestRun:
             "fig1", "table1", "table3", "fig2", "fig3", "fig4",
             "table4", "table5", "table6", "fig5",
         }
+
+
+class TestManifestAndStats:
+    @pytest.fixture()
+    def manifest_path(self, tmp_path):
+        path = tmp_path / "run.json"
+        code, out = run_cli(
+            ["run", "--subjects", "4", "--workers", "0",
+             "--cache-dir", str(tmp_path / "cache"),
+             "--only", "table3", "--manifest-out", str(path)]
+        )
+        assert code == 0
+        assert "run manifest written" in out
+        return path
+
+    def test_manifest_is_valid_and_complete(self, manifest_path):
+        data = json.loads(manifest_path.read_text())
+        validate_manifest(data)
+        span_names = {c["name"] for c in data["spans"]["children"]}
+        # All four score scenarios were timed, plus the rendered analysis.
+        assert {"scores.DMG", "scores.DDMG", "scores.DMI",
+                "scores.DDMI"} <= span_names
+        assert "analysis.table3" in span_names
+        assert data["counters"]["matcher.invocations"] > 0
+        assert data["counters"]["cache.store"] > 0
+        assert data["config"]["n_subjects"] == 4
+        assert len(data["config"]["fingerprint"]) >= 12
+
+    def test_run_restores_null_recorder(self, manifest_path):
+        assert isinstance(get_recorder(), NullRecorder)
+
+    def test_stats_renders_manifest(self, manifest_path):
+        code, out = run_cli(["stats", str(manifest_path)])
+        assert code == 0
+        assert "spans (wall clock)" in out
+        assert "scores.DMG" in out
+        assert "matcher.invocations" in out
+        assert "cache:" in out
+
+    def test_stats_rejects_missing_file(self, tmp_path):
+        from repro.runtime.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="cannot read manifest"):
+            run_cli(["stats", str(tmp_path / "absent.json")])
+
+    def test_stats_rejects_invalid_manifest(self, tmp_path):
+        from repro.runtime.errors import ConfigurationError
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        with pytest.raises(ConfigurationError, match="missing required key"):
+            run_cli(["stats", str(path)])
+
+    def test_run_without_manifest_keeps_telemetry_off(self, tmp_path):
+        code, _ = run_cli(
+            ["run", "--subjects", "4", "--workers", "0",
+             "--cache-dir", str(tmp_path / "cache"), "--only", "table3"]
+        )
+        assert code == 0
+        assert isinstance(get_recorder(), NullRecorder)
+
+    def test_log_level_flag_accepted(self, tmp_path, capsys):
+        import logging
+
+        code, _ = run_cli(
+            ["--log-level", "error", "run", "--subjects", "4",
+             "--workers", "0", "--cache-dir", str(tmp_path / "cache"),
+             "--only", "table3"]
+        )
+        assert code == 0
+        logger = logging.getLogger("repro")
+        try:
+            assert logger.level == logging.ERROR
+        finally:
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_telemetry", False):
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+            logger.propagate = True
 
 
 class TestRenderExtract:
