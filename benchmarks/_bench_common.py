@@ -7,9 +7,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro import StudyConfig
-from repro.runtime.manifest import RunManifest
-from repro.runtime.telemetry import TelemetryRecorder
+from repro.api import RunManifest, StudyConfig, TelemetryRecorder
 
 #: Default benchmark population (fast on a laptop, stable statistics).
 DEFAULT_BENCH_SUBJECTS = 48

@@ -9,10 +9,14 @@ hypothesis must NOT raise impostor scores.
 
 import numpy as np
 
-from repro.matcher.alignment import candidate_pairs, estimate_alignments
-from repro.matcher.descriptors import build_descriptors, similarity_matrix
-from repro.matcher.pairing import pair_minutiae
-from repro.matcher.scoring import compute_score
+from repro.api import (
+    build_descriptors,
+    candidate_pairs,
+    compute_score,
+    estimate_alignments,
+    pair_minutiae,
+    similarity_matrix,
+)
 
 N_PAIRS = 40
 

@@ -12,7 +12,7 @@ kept six-figure impostor sets.
 
 import numpy as np
 
-from repro.stats import fnmr_at_fmr
+from repro.api import fnmr_at_fmr
 
 TARGET_FMR = 1e-2
 

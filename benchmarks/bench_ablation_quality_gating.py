@@ -9,8 +9,7 @@ NFIQ distribution and the cross-device low-score tail.
 import numpy as np
 
 from _bench_common import bench_config
-from repro import InteroperabilityStudy
-from repro.sensors import ProtocolSettings
+from repro.api import InteroperabilityStudy, ProtocolSettings
 
 ABLATION_SUBJECTS = 24
 

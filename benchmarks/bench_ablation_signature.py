@@ -13,8 +13,12 @@ Run at a reduced population (the ablation needs its own score sets).
 import numpy as np
 
 from _bench_common import bench_config
-from repro import InteroperabilityStudy
-from repro.sensors import DEVICE_ORDER, LIVESCAN_DEVICES, ProtocolSettings
+from repro.api import (
+    DEVICE_ORDER,
+    InteroperabilityStudy,
+    LIVESCAN_DEVICES,
+    ProtocolSettings,
+)
 
 ABLATION_SUBJECTS = 24
 

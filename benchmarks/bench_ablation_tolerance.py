@@ -9,10 +9,14 @@ the impostor ceiling stays below the paper's 7-landmark.
 
 import numpy as np
 
-from repro.matcher.alignment import candidate_pairs, estimate_alignments
-from repro.matcher.descriptors import build_descriptors, similarity_matrix
-from repro.matcher.pairing import pair_minutiae
-from repro.matcher.scoring import compute_score
+from repro.api import (
+    build_descriptors,
+    candidate_pairs,
+    compute_score,
+    estimate_alignments,
+    pair_minutiae,
+    similarity_matrix,
+)
 
 TOLERANCES_MM = (0.4, 0.6, 0.8, 1.1, 1.5)
 N_PAIRS = 25

@@ -8,8 +8,7 @@ one curve pair.
 
 import numpy as np
 
-from repro.stats import det_points
-from repro.stats.comparison import render_det
+from repro.api import det_points, render_det
 
 FMR_TARGETS = (1e-1, 3e-2, 1e-2, 3e-3, 1e-3)
 

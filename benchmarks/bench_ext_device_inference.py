@@ -7,8 +7,7 @@ the posterior evaluation over the whole test set.
 
 import numpy as np
 
-from repro.calibration import DeviceInferenceModel
-from repro.sensors import DEVICE_ORDER
+from repro.api import DEVICE_ORDER, DeviceInferenceModel
 
 
 def test_ext_device_inference_accuracy(benchmark, study, record_artifact):

@@ -10,8 +10,14 @@ should beat the weaker engine and typically the stronger one too.
 
 import numpy as np
 
-from repro.calibration import d_prime, separability_weights, sum_fusion, weighted_sum_fusion
-from repro.core.scores import GALLERY_SET, PROBE_SET
+from repro.api import (
+    d_prime,
+    GALLERY_SET,
+    PROBE_SET,
+    separability_weights,
+    sum_fusion,
+    weighted_sum_fusion,
+)
 
 CELL = ("D0", "D1")
 N_IMPOSTORS = 300

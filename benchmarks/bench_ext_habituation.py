@@ -16,7 +16,7 @@ habituation is measurable at two levels:
 
 import numpy as np
 
-from repro.core.habituation import (
+from repro.api import (
     control_by_presentation,
     first_vs_last,
     render_habituation,

@@ -8,8 +8,7 @@ probes from each device, CMC per probe source.
 
 import numpy as np
 
-from repro.core.identification import cross_device_cmc
-from repro.sensors import DEVICE_ORDER
+from repro.api import cross_device_cmc, DEVICE_ORDER
 
 GALLERY_DEVICE = "D0"
 MAX_SUBJECTS = 30  # 1:N is O(N^2) matcher calls per probe device
@@ -22,7 +21,7 @@ def _identification_margins(study, probe_device: str, n: int):
     genuinely easy when genuine and impostor scores barely overlap); the
     margin is the continuous robustness measure that does not.
     """
-    from repro.core.identification import rank_candidates
+    from repro.api import rank_candidates
 
     collection = study.collection()
     matcher = study.matcher()

@@ -8,8 +8,7 @@ and compares separability and FNMR at a fixed threshold.
 
 import numpy as np
 
-from repro.calibration import d_prime, sum_fusion
-from repro.core.scores import GALLERY_SET, PROBE_SET
+from repro.api import d_prime, GALLERY_SET, PROBE_SET, sum_fusion
 
 CELL = ("D0", "D1")
 N_IMPOSTORS = 300

@@ -8,7 +8,7 @@ score lift and FNMR drop at a fixed threshold.
 
 import numpy as np
 
-from repro.calibration import (
+from repro.api import (
     apply_tps_to_template,
     control_points_from_matches,
     fit_tps,

@@ -9,9 +9,13 @@ baseline cannot.
 
 import numpy as np
 
-from repro.pipeline import EnrolledRecord, TemplateDatabase, Verifier
-from repro.pipeline.verifier import train_interop_verifier_from_study
-from repro.sensors import DEVICE_ORDER
+from repro.api import (
+    DEVICE_ORDER,
+    EnrolledRecord,
+    TemplateDatabase,
+    train_interop_verifier_from_study,
+    Verifier,
+)
 
 ENROLL_DEVICE = "D0"
 
@@ -72,7 +76,7 @@ def test_ext_verification_architectures(benchmark, study, record_artifact):
 
 def test_ext_fnm_prediction(benchmark, study, record_artifact):
     """The §V probabilistic question, benchmarked."""
-    from repro.core.prediction import FnmrPredictor
+    from repro.api import FnmrPredictor
 
     predictor = FnmrPredictor().fit_from_study(study, target_fmr=1e-3)
 

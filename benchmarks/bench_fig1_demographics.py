@@ -6,8 +6,7 @@ records the rendered histogram.
 """
 
 from _bench_common import bench_config
-from repro.core.report import render_figure1
-from repro.synthesis import Population
+from repro.api import Population, render_figure1
 
 
 def test_fig1_demographics(benchmark, record_artifact):

@@ -7,8 +7,7 @@ placement dilemma the paper discusses.
 
 import numpy as np
 
-from repro.core.report import render_score_histograms
-from repro.stats import score_histogram
+from repro.api import render_score_histograms, score_histogram
 
 
 def test_fig2_guardian_dmg_vs_dmi(benchmark, study, record_artifact):

@@ -8,7 +8,7 @@ than 7, though very few impostor scores are high too".
 
 import numpy as np
 
-from repro.core.report import render_score_histograms
+from repro.api import render_score_histograms
 
 
 def test_fig3_cross_device_histograms(benchmark, study, record_artifact):

@@ -9,8 +9,7 @@ scans as probes".
 
 import numpy as np
 
-from repro.core.report import render_figure4
-from repro.sensors import DEVICE_ORDER
+from repro.api import DEVICE_ORDER, render_figure4
 
 GALLERY = "D3"  # Cross Match Seek II
 

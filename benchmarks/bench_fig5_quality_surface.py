@@ -9,8 +9,7 @@ qualities, more sharply in the cross-device panel.
 
 import numpy as np
 
-from repro.core.quality_analysis import low_score_quality_surface
-from repro.core.report import render_figure5
+from repro.api import low_score_quality_surface, render_figure5
 
 
 def test_fig5_low_score_quality_surfaces(benchmark, study, record_artifact):

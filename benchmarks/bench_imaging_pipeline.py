@@ -8,13 +8,13 @@ planted ground truth.
 
 import numpy as np
 
-from repro.imaging import (
-    RenderSettings,
+from repro.api import (
     extract_template,
     recovery_metrics,
     render_finger,
+    RenderSettings,
+    synthesize_master_finger,
 )
-from repro.synthesis import synthesize_master_finger
 
 N_FINGERS = 6
 

@@ -5,7 +5,7 @@ engines; at paper scale Table 3 implies ~616,000 comparisons, so the
 per-match latency sets the wall-clock of a full reproduction.
 """
 
-from repro.matcher import BioEngineMatcher, RidgeGeometryMatcher
+from repro.api import BioEngineMatcher, RidgeGeometryMatcher
 
 
 def _templates(study):
@@ -37,7 +37,7 @@ def test_ridgecount_throughput(benchmark, study):
 
 
 def test_incits378_codec_throughput(benchmark, study):
-    from repro.io import decode, encode
+    from repro.api import decode, encode
 
     gallery, __, ___ = _templates(study)
 

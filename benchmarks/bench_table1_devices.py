@@ -5,9 +5,12 @@ sensor construction (device signature fields included) and records the
 rendered table.
 """
 
-from repro.core.report import render_table1
-from repro.sensors import DEVICE_ORDER, build_sensor
-from repro.sensors.registry import DEVICE_PROFILES
+from repro.api import (
+    build_sensor,
+    DEVICE_ORDER,
+    DEVICE_PROFILES,
+    render_table1,
+)
 
 
 def test_table1_device_registry(benchmark, record_artifact):

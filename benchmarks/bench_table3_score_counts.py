@@ -6,13 +6,13 @@ enumeration only) and times the job enumeration, then records the
 Table 3 rendering of the shared benchmark run.
 """
 
-from repro.core.report import render_table3
-from repro.core.scores import (
+from repro.api import (
     enumerate_ddmg_jobs,
     enumerate_dmg_jobs,
     expected_counts,
+    render_table3,
+    StudyConfig,
 )
-from repro.runtime import StudyConfig
 
 
 def test_table3_counting_rules(benchmark, study, record_artifact):

@@ -9,13 +9,13 @@ our construction).
 
 import numpy as np
 
-from repro.core.kendall_analysis import (
+from repro.api import (
     asymmetry_count,
     kendall_matrix,
+    LIVESCAN_DEVICES,
     pvalue_matrix,
+    render_table4,
 )
-from repro.core.report import render_table4
-from repro.sensors import LIVESCAN_DEVICES
 
 
 def test_table4_kendall_matrix(benchmark, study, record_artifact):

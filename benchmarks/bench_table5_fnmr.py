@@ -8,13 +8,13 @@ among probes and the D4xD4 diagonal excellent; the paper itself reports
 
 import numpy as np
 
-from repro.core.error_rates import (
-    TABLE5_FMR,
+from repro.api import (
     diagonal_dominance_violations,
     fnmr_interoperability_matrix,
     mean_interoperability_penalty,
+    render_fnmr_matrix,
+    TABLE5_FMR,
 )
-from repro.core.report import render_fnmr_matrix
 
 
 def test_table5_fnmr_matrix(benchmark, study, record_artifact):

@@ -9,9 +9,11 @@ scrambles diagonal dominance.
 
 import numpy as np
 
-from repro.core.error_rates import fnmr_interoperability_matrix
-from repro.core.quality_analysis import quality_filtered_fnmr_matrix
-from repro.core.report import render_fnmr_matrix
+from repro.api import (
+    fnmr_interoperability_matrix,
+    quality_filtered_fnmr_matrix,
+    render_fnmr_matrix,
+)
 
 
 def test_table6_quality_filtered_fnmr(benchmark, study, record_artifact):

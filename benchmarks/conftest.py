@@ -19,8 +19,11 @@ from pathlib import Path
 import pytest
 
 from _bench_common import OUTPUT_DIR, bench_config, write_bench_manifest
-from repro import InteroperabilityStudy
-from repro.runtime.telemetry import disable_telemetry, enable_telemetry
+from repro.api import (
+    disable_telemetry,
+    enable_telemetry,
+    InteroperabilityStudy,
+)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -18,14 +18,16 @@ Run:
 
 import numpy as np
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.calibration import (
+from repro.api import (
     apply_tps_to_template,
     control_points_from_matches,
+    DEVICE_ORDER,
+    DEVICE_PROFILES,
     fit_tps,
+    InteroperabilityStudy,
+    StudyConfig,
+    threshold_at_fmr,
 )
-from repro.sensors import DEVICE_ORDER, DEVICE_PROFILES
-from repro.stats import threshold_at_fmr
 
 ENROLL_DEVICE = "D0"
 TRAIN_FRACTION = 0.4  # cohort used to learn the calibration splines

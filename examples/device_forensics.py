@@ -16,9 +16,13 @@ Run:
 
 import numpy as np
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.calibration import DeviceInferenceModel
-from repro.sensors import DEVICE_ORDER, DEVICE_PROFILES
+from repro.api import (
+    DEVICE_ORDER,
+    DEVICE_PROFILES,
+    DeviceInferenceModel,
+    InteroperabilityStudy,
+    StudyConfig,
+)
 
 
 def main() -> None:

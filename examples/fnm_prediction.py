@@ -14,7 +14,7 @@ Run:
     python examples/fnm_prediction.py
 """
 
-from repro import FnmrPredictor, InteroperabilityStudy, StudyConfig
+from repro.api import FnmrPredictor, InteroperabilityStudy, StudyConfig
 
 
 def main() -> None:

@@ -11,9 +11,13 @@ invocations).  Score sets are cached under ``.repro_cache``; re-running
 the same configuration only recomputes the analyses.
 """
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.runtime.progress import ProgressReporter
-from repro.core import (
+from repro.api import (
+    DEVICE_ORDER,
+    InteroperabilityStudy,
+    kendall_matrix,
+    low_score_quality_surface,
+    ProgressReporter,
+    quality_filtered_fnmr_matrix,
     render_figure1,
     render_figure4,
     render_figure5,
@@ -22,14 +26,9 @@ from repro.core import (
     render_table1,
     render_table3,
     render_table4,
+    StudyConfig,
+    TABLE5_FMR,
 )
-from repro.core.error_rates import TABLE5_FMR
-from repro.core.kendall_analysis import kendall_matrix
-from repro.core.quality_analysis import (
-    low_score_quality_surface,
-    quality_filtered_fnmr_matrix,
-)
-from repro.sensors import DEVICE_ORDER
 
 
 def main() -> None:
@@ -54,7 +53,7 @@ def main() -> None:
     print(render_table1())
 
     print(rule)
-    from repro.datasets import render_collection_summary, summarize_collection
+    from repro.api import render_collection_summary, summarize_collection
 
     print(render_collection_summary(summarize_collection(study.collection())))
 
@@ -113,7 +112,7 @@ def main() -> None:
     )
 
     print(rule)
-    from repro.core.habituation import render_habituation
+    from repro.api import render_habituation
 
     print(render_habituation(study.collection()))
 

@@ -17,13 +17,15 @@ Run:
 
 import numpy as np
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.core.identification import (
+from repro.api import (
     cross_device_cmc,
+    DEVICE_ORDER,
+    DEVICE_PROFILES,
+    InteroperabilityStudy,
     open_set_rates,
+    StudyConfig,
+    wilson_interval,
 )
-from repro.sensors import DEVICE_ORDER, DEVICE_PROFILES
-from repro.stats import wilson_interval
 
 GALLERY_DEVICE = "D0"
 

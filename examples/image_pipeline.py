@@ -22,15 +22,17 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.imaging import (
-    RenderSettings,
+from repro.api import (
+    ascii_preview,
+    BioEngineMatcher,
     extract_template,
     recovery_metrics,
     render_finger,
+    RenderSettings,
+    synthesize_master_finger,
     to_uint8,
+    write_pgm,
 )
-from repro.matcher import BioEngineMatcher
-from repro.synthesis import ascii_preview, synthesize_master_finger, write_pgm
 
 
 def main() -> None:

@@ -22,10 +22,15 @@ Run:
 
 import numpy as np
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.pipeline import EnrolledRecord, TemplateDatabase, Verifier
-from repro.pipeline.verifier import train_interop_verifier_from_study
-from repro.sensors import DEVICE_ORDER
+from repro.api import (
+    DEVICE_ORDER,
+    EnrolledRecord,
+    InteroperabilityStudy,
+    StudyConfig,
+    TemplateDatabase,
+    train_interop_verifier_from_study,
+    Verifier,
+)
 
 ENROLL_DEVICE = "D0"
 

@@ -18,9 +18,12 @@ from collections import Counter
 
 import numpy as np
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.core.quality_analysis import low_score_quality_surface
-from repro.sensors import ProtocolSettings
+from repro.api import (
+    InteroperabilityStudy,
+    low_score_quality_surface,
+    ProtocolSettings,
+    StudyConfig,
+)
 
 
 def nfiq_distribution(study: InteroperabilityStudy) -> Counter:

@@ -13,10 +13,15 @@ Run:
 
 import numpy as np
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.core import render_score_histograms, render_table3
-from repro.sensors import DEVICE_ORDER, LIVESCAN_DEVICES
-from repro.stats import summarize
+from repro.api import (
+    DEVICE_ORDER,
+    InteroperabilityStudy,
+    LIVESCAN_DEVICES,
+    render_score_histograms,
+    render_table3,
+    StudyConfig,
+    summarize,
+)
 
 
 def main() -> None:

@@ -15,9 +15,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.synthesis import (
-    PatternClass,
+from repro.api import (
     ascii_preview,
+    PatternClass,
     render_ridge_image,
     synthesize_master_finger,
     write_pgm,

@@ -8,50 +8,100 @@ fingerprints, parameterized sensor models for the study's five capture
 sources, an NFIQ-style quality assessor, a minutiae matcher — and the
 study engine that regenerates every table and figure of the paper.
 
-Quick start::
+The supported import surface is :mod:`repro.api`::
 
-    from repro import InteroperabilityStudy, StudyConfig
+    from repro.api import run_study, StudyConfig
 
-    study = InteroperabilityStudy(StudyConfig(n_subjects=60))
-    score_sets = study.score_sets()         # DMG / DMI / DDMG / DDMI
-    table5 = study.fnmr_matrix(1e-4)        # FNMR @ FMR 0.01%
-    table4 = study.kendall_matrix()         # rank-correlation p-values
+    result = run_study(StudyConfig(n_subjects=60))
+    score_sets = result.score_sets            # DMG / DMI / DDMG / DDMI
+    table5 = result.fnmr_matrix(1e-4)         # FNMR @ FMR 0.01%
+    table4 = result.kendall_matrix()          # rank-correlation p-values
+
+The facade entry points (:func:`~repro.api.run_study`,
+:func:`~repro.api.load_scores`, :func:`~repro.api.compare_devices`) are
+also re-exported here.  The historic top-level names
+(``from repro import InteroperabilityStudy`` etc.) keep working but emit
+:class:`DeprecationWarning`; ``docs/api.md`` has the migration table.
 """
 
-from .core import FnmrPredictor, InteroperabilityStudy, ScoreSet
-from .matcher import BioEngineMatcher, Minutia, RidgeGeometryMatcher, Template
-from .pipeline import (
-    EnrolledRecord,
-    InteropAwareVerifier,
-    TemplateDatabase,
-    Verifier,
-)
-from .quality import QualityFeatures, nfiq_level
-from .runtime import (
-    ReproError,
-    RunManifest,
-    ScoreCache,
-    SeedTree,
-    StudyConfig,
-    configure_logging,
-    disable_telemetry,
-    enable_telemetry,
-    get_recorder,
-)
-from .sensors import (
-    DEVICE_ORDER,
-    DEVICE_PROFILES,
-    LIVESCAN_DEVICES,
-    Impression,
-    InkCardSensor,
-    OpticalSensor,
-    build_sensor,
-)
-from .synthesis import Population
+import warnings
 
-__version__ = "1.0.0"
+from . import api
+from .api import (
+    DeviceComparison,
+    StudyResult,
+    compare_devices,
+    load_scores,
+    run_study,
+)
+
+__version__ = "1.1.0"
+
+#: Names that used to be exported eagerly from this module.  They now
+#: resolve through ``__getattr__`` so that touching one emits a
+#: DeprecationWarning pointing at the stable surface, ``repro.api``.
+_LEGACY_NAMES = frozenset(
+    {
+        "InteroperabilityStudy",
+        "ScoreSet",
+        "FnmrPredictor",
+        "TemplateDatabase",
+        "EnrolledRecord",
+        "Verifier",
+        "InteropAwareVerifier",
+        "StudyConfig",
+        "SeedTree",
+        "ScoreCache",
+        "ReproError",
+        "RunManifest",
+        "enable_telemetry",
+        "disable_telemetry",
+        "get_recorder",
+        "configure_logging",
+        "Population",
+        "BioEngineMatcher",
+        "RidgeGeometryMatcher",
+        "Template",
+        "Minutia",
+        "QualityFeatures",
+        "nfiq_level",
+        "Impression",
+        "OpticalSensor",
+        "InkCardSensor",
+        "build_sensor",
+        "DEVICE_ORDER",
+        "DEVICE_PROFILES",
+        "LIVESCAN_DEVICES",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _LEGACY_NAMES:
+        warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; "
+            f"use 'from repro.api import {name}' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LEGACY_NAMES)
+
 
 __all__ = [
+    # stable facade
+    "api",
+    "run_study",
+    "load_scores",
+    "compare_devices",
+    "StudyResult",
+    "DeviceComparison",
+    "__version__",
+    # legacy names (deprecated — import from repro.api instead)
     "InteroperabilityStudy",
     "ScoreSet",
     "FnmrPredictor",
@@ -82,5 +132,4 @@ __all__ = [
     "DEVICE_ORDER",
     "DEVICE_PROFILES",
     "LIVESCAN_DEVICES",
-    "__version__",
 ]

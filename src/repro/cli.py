@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
-from .runtime.config import StudyConfig
+from .api import StudyConfig
 
 #: Artifact names accepted by ``run --only``.
 ARTIFACTS = (
@@ -169,8 +169,7 @@ def _config_from_args(args, default_subjects: int = 48) -> StudyConfig:
 # ----------------------------------------------------------------------
 def cmd_info(args, out) -> int:
     """`repro info`: device registry and default configuration."""
-    from .core.report import render_table1
-    from .sensors.registry import DEVICE_PROFILES
+    from .api import DEVICE_PROFILES, render_table1
 
     print(f"repro {__version__}", file=out)
     print(render_table1(), file=out)
@@ -183,12 +182,12 @@ def cmd_info(args, out) -> int:
 
 def cmd_run(args, out) -> int:
     """`repro run`: regenerate study tables/figures at the chosen scale."""
-    from .core.kendall_analysis import kendall_matrix
-    from .core.quality_analysis import (
+    from .api import (
+        DEVICE_ORDER,
+        InteroperabilityStudy,
+        kendall_matrix,
         low_score_quality_surface,
         quality_filtered_fnmr_matrix,
-    )
-    from .core.report import (
         render_figure1,
         render_figure4,
         render_figure5,
@@ -198,10 +197,8 @@ def cmd_run(args, out) -> int:
         render_table3,
         render_table4,
     )
-    from .core.study import InteroperabilityStudy
-    from .sensors.registry import DEVICE_ORDER
 
-    from .runtime.telemetry import disable_telemetry, enable_telemetry, get_recorder
+    from .api import disable_telemetry, enable_telemetry, get_recorder
 
     config = _config_from_args(args)
     wanted = set(args.only) if args.only else set(ARTIFACTS)
@@ -209,7 +206,7 @@ def cmd_run(args, out) -> int:
     recorder = enable_telemetry() if args.manifest_out else get_recorder()
     progress_factory = None
     if sys.stderr.isatty():
-        from .runtime.progress import ProgressReporter
+        from .api import ProgressReporter
 
         progress_factory = lambda total, label: ProgressReporter(  # noqa: E731
             total=total, label=label
@@ -266,7 +263,7 @@ def cmd_run(args, out) -> int:
     ))
 
     if args.manifest_out:
-        from .runtime.manifest import RunManifest
+        from .api import RunManifest
 
         manifest = RunManifest.from_recorder(recorder, config)
         target = manifest.write(args.manifest_out)
@@ -277,9 +274,13 @@ def cmd_run(args, out) -> int:
 
 def cmd_acquire(args, out) -> int:
     """`repro acquire`: synthesize an impression into an INCITS 378 file."""
-    from .io.incits378 import RecordMetadata, encode
-    from .sensors.protocol import build_sensor
-    from .synthesis.population import FINGER_POSITION_CODES, Population
+    from .api import (
+        build_sensor,
+        encode,
+        FINGER_POSITION_CODES,
+        Population,
+        RecordMetadata,
+    )
 
     config = _config_from_args(args, default_subjects=max(args.subject + 1, 2))
     if args.subject >= config.n_subjects:
@@ -287,7 +288,7 @@ def cmd_acquire(args, out) -> int:
     population = Population(config)
     subject = population.subject(args.subject)
     sensor = build_sensor(args.device)
-    from .runtime.rng import SeedTree
+    from .api import SeedTree
 
     rng = SeedTree(config.master_seed).child("session", args.subject).generator(
         "impression", args.device, args.finger, args.set_index, "attempt", 0
@@ -312,7 +313,7 @@ def cmd_acquire(args, out) -> int:
 
 def cmd_inspect(args, out) -> int:
     """`repro inspect`: decode an INCITS 378 record and summarize it."""
-    from .io.incits378 import decode
+    from .api import decode
 
     buffer = Path(args.path).read_bytes()
     template, metadata = decode(buffer)
@@ -338,8 +339,7 @@ def cmd_inspect(args, out) -> int:
 
 def cmd_match(args, out) -> int:
     """`repro match`: score two INCITS 378 template files."""
-    from .io.incits378 import decode
-    from .matcher import build_matcher
+    from .api import build_matcher, decode
 
     probe, __ = decode(Path(args.probe).read_bytes())
     gallery, __ = decode(Path(args.gallery).read_bytes())
@@ -353,8 +353,7 @@ def cmd_match(args, out) -> int:
 
 def cmd_predict(args, out) -> int:
     """`repro predict`: the paper's FNM-probability question for a pair."""
-    from .core.prediction import FnmrPredictor
-    from .core.study import InteroperabilityStudy
+    from .api import FnmrPredictor, InteroperabilityStudy
 
     config = _config_from_args(args)
     study = InteroperabilityStudy(config)
@@ -376,9 +375,13 @@ def cmd_predict(args, out) -> int:
 
 def cmd_render(args, out) -> int:
     """`repro render`: synthesize a finger and write its ridge image."""
-    from .imaging import RenderSettings, render_finger, to_uint8
-    from .synthesis.population import Population
-    from .synthesis.ridges import write_pgm
+    from .api import (
+        Population,
+        render_finger,
+        RenderSettings,
+        to_uint8,
+        write_pgm,
+    )
 
     config = _config_from_args(args, default_subjects=max(args.subject + 1, 2))
     if args.subject >= config.n_subjects:
@@ -405,9 +408,7 @@ def cmd_render(args, out) -> int:
 
 def cmd_extract(args, out) -> int:
     """`repro extract`: image-domain minutiae extraction to INCITS 378."""
-    from .imaging import extract_template
-    from .io.incits378 import encode
-    from .synthesis.ridges import read_pgm
+    from .api import encode, extract_template, read_pgm
 
     image = read_pgm(Path(args.image)).astype(np.float64) / 255.0
     template = extract_template(image, pixels_per_mm=args.pixels_per_mm)
@@ -421,8 +422,12 @@ def cmd_extract(args, out) -> int:
 
 def cmd_dataset(args, out) -> int:
     """`repro dataset`: collection summary + habituation analysis."""
-    from .core.habituation import render_habituation
-    from .datasets import build_collection, render_collection_summary, summarize_collection
+    from .api import (
+        build_collection,
+        render_collection_summary,
+        render_habituation,
+        summarize_collection,
+    )
 
     config = _config_from_args(args, default_subjects=24)
     print(config.describe(), file=out)
@@ -435,8 +440,7 @@ def cmd_dataset(args, out) -> int:
 
 def cmd_stats(args, out) -> int:
     """`repro stats`: validate and pretty-print a run manifest."""
-    from .runtime.errors import ConfigurationError
-    from .runtime.manifest import RunManifest, render_manifest
+    from .api import ConfigurationError, render_manifest, RunManifest
 
     try:
         manifest = RunManifest.load(args.manifest)
@@ -467,7 +471,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.log_level or os.environ.get("REPRO_LOG_LEVEL"):
-        from .runtime.telemetry import configure_logging
+        from .api import configure_logging
 
         configure_logging(args.log_level)
     return _COMMANDS[args.command](args, out)

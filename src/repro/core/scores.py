@@ -58,6 +58,17 @@ class ScoreSet:
     nfiq_gallery: np.ndarray
     nfiq_probe: np.ndarray
 
+    # The filter API --------------------------------------------------
+    # Every filter returns a new ScoreSet with the same scenario and
+    # matcher labels and all provenance arrays restricted in lockstep,
+    # so filters chain freely:
+    #
+    #     sets["DDMG"].for_pair("D0", "D1").with_max_nfiq(2)
+    #     sets["DMG"].for_subjects(range(100)).select(custom_mask)
+    #
+    # ``select(mask)`` is the primitive; ``for_pair``, ``for_subjects``
+    # and ``with_max_nfiq`` are named masks built on top of it.
+
     def __post_init__(self) -> None:
         n = len(self.scores)
         for name in ("subject_gallery", "subject_probe", "device_gallery",
@@ -94,6 +105,19 @@ class ScoreSet:
         """Scores whose gallery/probe devices match the given pair."""
         mask = (self.device_gallery == gallery_device) & (
             self.device_probe == probe_device
+        )
+        return self.select(mask)
+
+    def for_subjects(self, subjects: Sequence[int]) -> "ScoreSet":
+        """Scores where *both* sides belong to the given subjects.
+
+        The subject-axis counterpart of :meth:`for_pair`: genuine rows
+        keep exactly the listed subjects; impostor rows survive only when
+        gallery and probe subject are both listed.
+        """
+        wanted = np.asarray(list(subjects), dtype=np.int64)
+        mask = np.isin(self.subject_gallery, wanted) & np.isin(
+            self.subject_probe, wanted
         )
         return self.select(mask)
 
@@ -299,10 +323,99 @@ def run_jobs(
     )
 
 
+#: A gallery identity: (subject, device, set) — one template per key.
+GalleryKey = Tuple[int, str, int]
+
+
+def group_jobs_gallery_major(
+    jobs: Sequence[MatchJob],
+) -> List[Tuple[GalleryKey, List[int]]]:
+    """Group job indices by the gallery template they compare against.
+
+    Returns ``[(gallery_key, [job_index, ...]), ...]`` in order of first
+    appearance, so regrouped execution stays deterministic and per-batch
+    results can be scattered back into the original job order.
+    """
+    groups: Dict[GalleryKey, List[int]] = {}
+    for k, job in enumerate(jobs):
+        groups.setdefault((job[0], job[1], job[2]), []).append(k)
+    return list(groups.items())
+
+
+def run_jobs_batched(
+    jobs: Sequence[MatchJob],
+    collection,
+    matcher,
+    finger: str,
+    scenario: str,
+    progress: Optional[ProgressReporter] = None,
+) -> ScoreSet:
+    """Batched :func:`run_jobs`: gallery-major regrouping + ``match_many``.
+
+    Jobs are regrouped so every probe facing the same gallery template is
+    scored in a single ``matcher.match_many`` call, which pays for the
+    gallery's descriptors and alignment frames once per batch.  Scores
+    are scattered back into the original job order, so the returned
+    :class:`ScoreSet` is row-for-row identical — provenance *and* score
+    values — to what :func:`run_jobs` produces (the scalar path is the
+    parity oracle).  Matchers without ``match_many`` fall back to the
+    scalar call per job.
+    """
+    n = len(jobs)
+    scores = np.empty(n, dtype=np.float64)
+    subj_g = np.empty(n, dtype=np.int64)
+    subj_p = np.empty(n, dtype=np.int64)
+    dev_g = np.empty(n, dtype="<U2")
+    dev_p = np.empty(n, dtype="<U2")
+    nfiq_g = np.empty(n, dtype=np.int64)
+    nfiq_p = np.empty(n, dtype=np.int64)
+    match_many = getattr(matcher, "match_many", None)
+    for (sg, dg, setg), indices in group_jobs_gallery_major(jobs):
+        gallery = collection.get(sg, finger, dg, setg)
+        probes = [
+            collection.get(jobs[k][3], finger, jobs[k][4], jobs[k][5])
+            for k in indices
+        ]
+        if match_many is not None:
+            batch = match_many(
+                [impression.template for impression in probes], gallery.template
+            )
+        else:
+            batch = [
+                matcher.match(impression.template, gallery.template)
+                for impression in probes
+            ]
+        for pos, k in enumerate(indices):
+            scores[k] = batch[pos]
+            subj_g[k] = sg
+            subj_p[k] = jobs[k][3]
+            dev_g[k] = dg
+            dev_p[k] = jobs[k][4]
+            nfiq_g[k] = gallery.nfiq
+            nfiq_p[k] = probes[pos].nfiq
+        if progress is not None:
+            progress.update(len(indices))
+    recorder = get_recorder()
+    if recorder.active:
+        recorder.count(f"matcher.invocations.{scenario}", n)
+    return ScoreSet(
+        scenario=scenario,
+        matcher_name=getattr(matcher, "name", type(matcher).__name__),
+        scores=scores,
+        subject_gallery=subj_g,
+        subject_probe=subj_p,
+        device_gallery=dev_g,
+        device_probe=dev_p,
+        nfiq_gallery=nfiq_g,
+        nfiq_probe=nfiq_p,
+    )
+
+
 __all__ = [
     "ScoreSet",
     "SCENARIOS",
     "MatchJob",
+    "GalleryKey",
     "GALLERY_SET",
     "PROBE_SET",
     "probe_set_for",
@@ -312,4 +425,6 @@ __all__ = [
     "sample_ddmi_jobs",
     "expected_counts",
     "run_jobs",
+    "run_jobs_batched",
+    "group_jobs_gallery_major",
 ]

@@ -19,16 +19,18 @@ Typical use::
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..matcher import build_matcher
 from ..runtime.cache import ScoreCache
 from ..runtime.config import StudyConfig, resolve_worker_count
+from ..runtime.errors import ConfigurationError
+from ..runtime.parallel import parallel_map_batched
 from ..runtime.progress import ProgressReporter
 from ..runtime.rng import SeedTree
+from ..runtime.shm import SharedTemplateStore, SharedTemplateView, StoreHandle
 from ..runtime.telemetry import enable_telemetry, get_logger, get_recorder
 from ..sensors.protocol import Collection, ProtocolSettings
 from ..datasets.wvu2012 import build_collection
@@ -40,7 +42,7 @@ from .scores import (
     enumerate_ddmg_jobs,
     enumerate_dmg_jobs,
     probe_set_for,
-    run_jobs,
+    run_jobs_batched,
     sample_ddmi_jobs,
     sample_dmi_jobs,
 )
@@ -54,9 +56,21 @@ _log = get_logger("study")
 
 
 def _init_score_worker(
-    collection: Collection, matcher_name: str, telemetry_active: bool = False
+    source: Union[Collection, StoreHandle],
+    matcher_name: str,
+    telemetry_active: bool = False,
 ) -> None:
-    _WORKER_STATE["collection"] = collection
+    """Seed one pool worker's state.
+
+    ``source`` is normally a :class:`StoreHandle` — the worker *maps* the
+    parent's shared-memory template block instead of receiving a pickled
+    copy of the whole collection.  A raw :class:`Collection` still works
+    (tests, and the fallback when shared memory is unavailable).
+    """
+    if isinstance(source, StoreHandle):
+        _WORKER_STATE["collection"] = SharedTemplateView.attach(source)
+    else:
+        _WORKER_STATE["collection"] = source
     _WORKER_STATE["matcher"] = build_matcher(matcher_name)
     if telemetry_active:
         # Workers aggregate into a local recorder; the parent merges the
@@ -66,7 +80,7 @@ def _init_score_worker(
 
 def _run_job_chunk(args: Tuple[Sequence[MatchJob], str, str]) -> ScoreSet:
     jobs, finger, scenario = args
-    return run_jobs(
+    return run_jobs_batched(
         jobs, _WORKER_STATE["collection"], _WORKER_STATE["matcher"], finger, scenario
     )
 
@@ -157,25 +171,42 @@ class InteroperabilityStudy:
     # ------------------------------------------------------------------
     # Score generation
     # ------------------------------------------------------------------
+    def _jobs_for(self, scenario: str) -> List[MatchJob]:
+        """The deterministic job list of one Table 2 scenario."""
+        n = self.config.n_subjects
+        if scenario == "DMG":
+            return enumerate_dmg_jobs(n)
+        if scenario == "DDMG":
+            return enumerate_ddmg_jobs(n)
+        if scenario == "DMI":
+            return sample_dmi_jobs(n, self.config.scaled_dmi_budget(), self._tree)
+        if scenario == "DDMI":
+            return sample_ddmi_jobs(n, self.config.scaled_ddmi_budget(), self._tree)
+        raise ConfigurationError(f"unknown scenario {scenario!r}")
+
     def score_sets(self) -> Dict[str, ScoreSet]:
         """The four Table 2 score sets (generated or loaded from cache)."""
         if not self._score_sets:
-            n = self.config.n_subjects
-            jobs = {
-                "DMG": enumerate_dmg_jobs(n),
-                "DDMG": enumerate_ddmg_jobs(n),
-                "DMI": sample_dmi_jobs(n, self.config.scaled_dmi_budget(), self._tree),
-                "DDMI": sample_ddmi_jobs(
-                    n, self.config.scaled_ddmi_budget(), self._tree
-                ),
-            }
             recorder = get_recorder()
-            for scenario, scenario_jobs in jobs.items():
+            for scenario in ("DMG", "DDMG", "DMI", "DDMI"):
                 with recorder.span(f"scores.{scenario}"):
                     self._score_sets[scenario] = self._scores_for(
-                        scenario, scenario_jobs
+                        scenario, self._jobs_for(scenario)
                     )
         return self._score_sets
+
+    def cached_score_set(self, scenario: str) -> Optional[ScoreSet]:
+        """One scenario's ScoreSet loaded purely from cache, or ``None``.
+
+        Unlike :meth:`score_sets` this never computes anything: every
+        device-pair shard of the scenario must already be cached.  The
+        backing store of :func:`repro.api.load_scores`.
+        """
+        jobs = self._jobs_for(scenario)
+        shards, missing, pair_indices = self._load_shards(scenario, jobs)
+        if missing:
+            return None
+        return self._assemble_shards(shards, pair_indices, len(jobs))
 
     def d4_diagonal_genuine(self) -> ScoreSet:
         """Rolled-vs-slap genuine scores within the ten-print card.
@@ -191,28 +222,119 @@ class InteroperabilityStudy:
             self._d4_diagonal = self._scores_for("DMG-D4", jobs)
         return self._d4_diagonal
 
-    def _scores_for(self, scenario: str, jobs: Sequence[MatchJob]) -> ScoreSet:
-        base_scenario = scenario.split("-")[0]
-        cache_key = (
-            f"{self.config.fingerprint()}-{self._protocol.fingerprint()}-{scenario}"
+    def shard_key(self, scenario: str, gallery_device: str, probe_device: str) -> str:
+        """Cache key of one scenario x device-pair score shard.
+
+        Exposed so callers (and tests) can invalidate a single shard:
+        ``study._cache.invalidate(study.shard_key("DMG", "D0", "D0"))``
+        forces only that device pair to recompute on the next run.
+        """
+        return (
+            f"{self.config.fingerprint()}-{self._protocol.fingerprint()}"
+            f"-{scenario}-{gallery_device}x{probe_device}"
         )
+
+    @staticmethod
+    def _pair_partition(
+        jobs: Sequence[MatchJob],
+    ) -> Dict[Tuple[str, str], List[int]]:
+        """Job indices per (gallery device, probe device), stable order."""
+        pair_indices: Dict[Tuple[str, str], List[int]] = {}
+        for k, job in enumerate(jobs):
+            pair_indices.setdefault((job[1], job[4]), []).append(k)
+        return pair_indices
+
+    def _load_shards(
+        self, scenario: str, jobs: Sequence[MatchJob]
+    ) -> Tuple[
+        Dict[Tuple[str, str], ScoreSet],
+        List[Tuple[str, str]],
+        Dict[Tuple[str, str], List[int]],
+    ]:
+        """Load every cached device-pair shard of ``scenario``.
+
+        Returns (loaded shards, pairs still missing, job-index partition).
+        A shard whose row count does not match the job partition is
+        treated as missing — the cache is never a source of truth.
+        """
+        base_scenario = scenario.split("-")[0]
+        pair_indices = self._pair_partition(jobs)
+        shards: Dict[Tuple[str, str], ScoreSet] = {}
+        missing: List[Tuple[str, str]] = []
+        for pair, indices in pair_indices.items():
+            cached = self._load_cached(
+                base_scenario, self.shard_key(scenario, pair[0], pair[1])
+            )
+            if cached is not None and len(cached) == len(indices):
+                shards[pair] = cached
+            else:
+                missing.append(pair)
+        return shards, missing, pair_indices
+
+    @staticmethod
+    def _assemble_shards(
+        shards: Dict[Tuple[str, str], ScoreSet],
+        pair_indices: Dict[Tuple[str, str], List[int]],
+        n_jobs: int,
+    ) -> ScoreSet:
+        """Reassemble per-pair shards into the original job order."""
+        pairs = list(pair_indices)
+        if len(pairs) == 1:
+            return shards[pairs[0]]
+        combined = ScoreSet.concatenate([shards[pair] for pair in pairs])
+        positions = np.concatenate(
+            [np.asarray(pair_indices[pair], dtype=np.int64) for pair in pairs]
+        )
+        # combined row i is job positions[i]; argsort inverts the
+        # permutation so row k of the result is job k again.
+        return combined.select(np.argsort(positions, kind="stable"))
+
+    def _scores_for(self, scenario: str, jobs: Sequence[MatchJob]) -> ScoreSet:
+        """Compute or load one scenario, cached shard-per-device-pair.
+
+        Sharding makes cache re-entry granular: invalidating (or newly
+        needing) one (gallery device, probe device) cell recomputes only
+        that cell's jobs, not the whole scenario.
+        """
+        base_scenario = scenario.split("-")[0]
         recorder = get_recorder()
-        cached = self._load_cached(base_scenario, cache_key)
-        if cached is not None:
+        shards, missing, pair_indices = self._load_shards(scenario, jobs)
+        if shards:
+            recorder.count("study.scores.shards_cached", len(shards))
+        if not missing:
             recorder.count("study.scores.cached")
             _log.info(
                 "score set loaded from cache",
                 extra={"data": {"scenario": scenario, "jobs": len(jobs)}},
             )
-            return cached
+            return self._assemble_shards(shards, pair_indices, len(jobs))
         recorder.count("study.scores.computed")
+        recorder.count("study.scores.shards_computed", len(missing))
+        missing_jobs = [
+            jobs[k] for pair in missing for k in pair_indices[pair]
+        ]
         _log.info(
             "score set computing",
-            extra={"data": {"scenario": scenario, "jobs": len(jobs)}},
+            extra={
+                "data": {
+                    "scenario": scenario,
+                    "jobs": len(missing_jobs),
+                    "shards": len(missing),
+                    "shards_cached": len(shards),
+                }
+            },
         )
-        score_set = self._execute(jobs, base_scenario, label=scenario)
-        self._store_cached(score_set, cache_key)
-        return score_set
+        computed = self._execute(missing_jobs, base_scenario, label=scenario)
+        cursor = 0
+        for pair in missing:
+            count = len(pair_indices[pair])
+            shard = computed.select(np.arange(cursor, cursor + count))
+            shards[pair] = shard
+            self._store_cached(
+                shard, self.shard_key(scenario, pair[0], pair[1])
+            )
+            cursor += count
+        return self._assemble_shards(shards, pair_indices, len(jobs))
 
     def custom_scores(
         self,
@@ -258,32 +380,50 @@ class InteroperabilityStudy:
                 (list(jobs[i : i + chunk]), effective_finger, scenario)
                 for i in range(0, len(jobs), chunk)
             ]
-            recorder.gauge("parallel.workers", float(workers))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_score_worker,
-                initargs=(collection, self.config.matcher_name, recorder.active),
-            ) as pool:
-                parts = []
+
+            def _collect(result) -> None:
                 if recorder.active:
-                    # Each chunk returns its worker-local metrics; merging
-                    # here keeps counters exact without shared memory.
-                    for part, snapshot in pool.map(
-                        _run_job_chunk_with_metrics, chunks
-                    ):
-                        recorder.merge_metrics(snapshot)
-                        parts.append(part)
-                        if progress is not None:
-                            progress.update(len(part))
+                    # Each chunk carries its worker-local metrics; merging
+                    # here keeps counters exact without shared state.
+                    part, snapshot = result
+                    recorder.merge_metrics(snapshot)
                 else:
-                    for part in pool.map(_run_job_chunk, chunks):
-                        parts.append(part)
-                        if progress is not None:
-                            progress.update(len(part))
+                    part = result
+                if progress is not None:
+                    progress.update(len(part))
+
+            store: Optional[SharedTemplateStore] = None
+            try:
+                try:
+                    # Workers map the template block instead of unpickling
+                    # a full Collection copy each.
+                    store = SharedTemplateStore.pack(collection)
+                    source: Union[Collection, StoreHandle] = store.handle()
+                except OSError:  # pragma: no cover - no shm on this platform
+                    source = collection
+                worker_func = (
+                    _run_job_chunk_with_metrics
+                    if recorder.active
+                    else _run_job_chunk
+                )
+                results = parallel_map_batched(
+                    worker_func,
+                    chunks,
+                    n_workers=workers,
+                    initializer=_init_score_worker,
+                    initargs=(source, self.config.matcher_name, recorder.active),
+                    on_result=_collect,
+                )
+            finally:
+                if store is not None:
+                    store.destroy()
+            parts = (
+                [part for part, _ in results] if recorder.active else results
+            )
             if progress is not None:
                 progress.finish()
             return ScoreSet.concatenate(parts)
-        score_set = run_jobs(
+        score_set = run_jobs_batched(
             jobs, collection, self.matcher(), effective_finger, scenario,
             progress=progress,
         )

@@ -138,12 +138,15 @@ def estimate_alignments(
         transforms.append(
             _weighted_rigid_fit(
                 pa[in_consensus], pb[in_consensus], weights[in_consensus],
-                fallback_theta=float(np.median(d_theta[in_consensus])),
+                fallback_theta=lambda sel=in_consensus: float(np.median(d_theta[sel])),
             )
         )
     if not transforms:
         transforms.append(
-            _weighted_rigid_fit(pa, pb, weights, fallback_theta=float(np.median(d_theta)))
+            _weighted_rigid_fit(
+                pa, pb, weights,
+                fallback_theta=lambda: float(np.median(d_theta)),
+            )
         )
     return transforms
 
@@ -163,9 +166,14 @@ def estimate_alignment(
 
 
 def _weighted_rigid_fit(
-    pa: np.ndarray, pb: np.ndarray, weights: np.ndarray, fallback_theta: float
+    pa: np.ndarray, pb: np.ndarray, weights: np.ndarray, fallback_theta
 ) -> RigidTransform:
-    """Weighted 2-D Procrustes: least-squares rotation + translation."""
+    """Weighted 2-D Procrustes: least-squares rotation + translation.
+
+    ``fallback_theta`` is a zero-argument callable evaluated only in the
+    degenerate case (all consensus points coincident), so the common path
+    never pays for the median it would use.
+    """
     w = weights / max(weights.sum(), 1e-12)
     ca = (w[:, None] * pa).sum(axis=0)
     cb = (w[:, None] * pb).sum(axis=0)
@@ -179,7 +187,7 @@ def _weighted_rigid_fit(
     denom = sxx + syy
     numer = sxy - syx
     if abs(denom) < 1e-12 and abs(numer) < 1e-12:
-        theta = fallback_theta
+        theta = fallback_theta()
     else:
         theta = float(np.arctan2(numer, denom))
     c, s = np.cos(theta), np.sin(theta)

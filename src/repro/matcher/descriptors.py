@@ -20,6 +20,8 @@ stage with its candidate correspondences.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from .types import Template
@@ -54,13 +56,28 @@ class DescriptorSet:
 
     entries: np.ndarray
     n: int
+    #: ``(3, n, K)`` contiguous per-channel view of ``entries`` and the
+    #: per-minutia count of real (non-padding) neighbour entries; both are
+    #: derivable from ``entries`` and exist so :func:`similarity_matrix`
+    #: does not recompute them for every comparison the set appears in.
+    channels: Optional[np.ndarray] = None
+    finite_counts: Optional[np.ndarray] = None
+
+
+def _descriptor_set(entries: np.ndarray, n: int) -> DescriptorSet:
+    return DescriptorSet(
+        entries=entries,
+        n=n,
+        channels=np.ascontiguousarray(entries.transpose(2, 0, 1)),
+        finite_counts=np.sum(np.isfinite(entries[:, :, 0]), axis=1),
+    )
 
 
 def build_descriptors(template: Template) -> DescriptorSet:
     """Compute the descriptor set of ``template`` (positions in mm)."""
     n = len(template)
     if n == 0:
-        return DescriptorSet(entries=np.zeros((0, NEIGHBOURS, 3)), n=0)
+        return _descriptor_set(np.zeros((0, NEIGHBOURS, 3)), 0)
     positions = template.positions_mm()
     angles = template.angles()
 
@@ -72,15 +89,14 @@ def build_descriptors(template: Template) -> DescriptorSet:
     entries = np.full((n, NEIGHBOURS, 3), np.inf, dtype=np.float64)
     if k > 0:
         neighbour_idx = np.argsort(dist, axis=1)[:, :k]
-        for i in range(n):
-            for slot, j in enumerate(neighbour_idx[i]):
-                d = dist[i, j]
-                azimuth = np.arctan2(diff[i, j, 1], diff[i, j, 0]) - angles[i]
-                relative = angles[j] - angles[i]
-                entries[i, slot, 0] = d
-                entries[i, slot, 1] = wrap_angle(azimuth)
-                entries[i, slot, 2] = wrap_angle(relative)
-    return DescriptorSet(entries=entries, n=n)
+        rows = np.arange(n)[:, None]
+        selected = diff[rows, neighbour_idx]  # (n, k, 2)
+        azimuth = np.arctan2(selected[..., 1], selected[..., 0]) - angles[:, None]
+        relative = angles[neighbour_idx] - angles[:, None]
+        entries[:, :k, 0] = dist[rows, neighbour_idx]
+        entries[:, :k, 1] = wrap_angle(azimuth)
+        entries[:, :k, 2] = wrap_angle(relative)
+    return _descriptor_set(entries, n)
 
 
 def similarity_matrix(a: DescriptorSet, b: DescriptorSet) -> np.ndarray:
@@ -95,18 +111,30 @@ def similarity_matrix(a: DescriptorSet, b: DescriptorSet) -> np.ndarray:
     if a.n == 0 or b.n == 0:
         return np.zeros((a.n, b.n), dtype=np.float64)
 
-    ea = a.entries  # (na, K, 3)
-    eb = b.entries  # (nb, K, 3)
+    cha = a.channels if a.channels is not None else np.ascontiguousarray(a.entries.transpose(2, 0, 1))
+    chb = b.channels if b.channels is not None else np.ascontiguousarray(b.entries.transpose(2, 0, 1))
 
-    # Pairwise entry compatibility tensor: (na, nb, K, K).
-    d_diff = np.abs(ea[:, None, :, None, 0] - eb[None, :, None, :, 0])
-    az_diff = np.abs(wrap_angle(ea[:, None, :, None, 1] - eb[None, :, None, :, 1]))
-    rel_diff = np.abs(wrap_angle(ea[:, None, :, None, 2] - eb[None, :, None, :, 2]))
-    compatible = (
-        (d_diff <= DISTANCE_TOL_MM)
-        & (az_diff <= AZIMUTH_TOL_RAD)
-        & (rel_diff <= RELATIVE_TOL_RAD)
-    )
+    # Pairwise entry compatibility tensor: (na, nb, K, K), built with
+    # in-place ufuncs to keep the temporary count down — this runs once
+    # per comparison and is the kernel's largest allocation.
+    scratch = cha[0][:, None, :, None] - chb[0][None, :, None, :]
+    np.abs(scratch, out=scratch)
+    compatible = scratch <= DISTANCE_TOL_MM
+
+    for channel, tolerance in ((1, AZIMUTH_TOL_RAD), (2, RELATIVE_TOL_RAD)):
+        np.subtract(
+            cha[channel][:, None, :, None],
+            chb[channel][None, :, None, :],
+            out=scratch,
+        )
+        # Angle entries are already wrapped into (-pi, pi], so their raw
+        # difference lies in (-2pi, 2pi) and |wrap(difference)| <= tol is
+        # exactly |difference| <= tol or |difference| >= 2pi - tol —
+        # no modulo needed.
+        np.abs(scratch, out=scratch)
+        within = scratch <= tolerance
+        within |= scratch >= (2.0 * np.pi - tolerance)
+        compatible &= within
 
     # Greedy one-to-one entry matching per (i, j): count row/column-unique
     # compatibilities.  With K=4 a simple double-sided cap is exact in the
@@ -115,10 +143,9 @@ def similarity_matrix(a: DescriptorSet, b: DescriptorSet) -> np.ndarray:
     col_hits = compatible.any(axis=2).sum(axis=2)  # entries of b_j matched
     matched = np.minimum(row_hits, col_hits).astype(np.float64)
 
-    k_effective = np.minimum(
-        np.sum(np.isfinite(ea[:, :, 0]), axis=1)[:, None],
-        np.sum(np.isfinite(eb[:, :, 0]), axis=1)[None, :],
-    )
+    fca = a.finite_counts if a.finite_counts is not None else np.sum(np.isfinite(a.entries[:, :, 0]), axis=1)
+    fcb = b.finite_counts if b.finite_counts is not None else np.sum(np.isfinite(b.entries[:, :, 0]), axis=1)
+    k_effective = np.minimum(fca[:, None], fcb[None, :])
     with np.errstate(invalid="ignore", divide="ignore"):
         sim = np.where(k_effective > 0, matched / np.maximum(k_effective, 1), 0.0)
     return np.clip(sim, 0.0, 1.0)

@@ -2,18 +2,25 @@
 
 :class:`BioEngineMatcher` chains the pipeline stages (descriptors →
 consensus alignment → tolerance-box pairing → calibrated score) behind
-the two-method interface a commercial SDK exposes: ``match`` for a bare
-score and ``match_detailed`` for diagnostics.
+the interface a commercial SDK exposes: ``match`` for a bare score,
+``match_detailed`` for diagnostics, and ``match_many`` for batched
+verification of many probes against one gallery template.
 
-Descriptor sets are memoized per template (keyed by identity), because
-the study matches every gallery template against hundreds of probes.
+Per-template work (mm-space positions, directions, qualities and the
+neighbourhood descriptors) is memoized as a :class:`TemplateFrame`,
+keyed by a *content fingerprint* — template length plus a hash of the
+minutiae — because the study matches every gallery template against
+hundreds of probes and ``id()``-based keys can alias after garbage
+collection.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..runtime.errors import MatcherError
 from ..runtime.telemetry import get_recorder
@@ -38,34 +45,113 @@ class MatchResult:
     pairing: Optional[PairingResult]
 
 
+@dataclass(frozen=True)
+class TemplateFrame:
+    """Everything the match kernel needs from one template, precomputed.
+
+    Built once per distinct template and reused across every comparison
+    that template participates in — the gallery side of a batch pays for
+    its arrays and descriptors exactly once.
+    """
+
+    positions: np.ndarray
+    angles: np.ndarray
+    qualities: np.ndarray
+    descriptors: DescriptorSet
+
+
+def template_fingerprint(template: Template) -> Tuple[int, int, int]:
+    """Content key for memoizing per-template work.
+
+    ``id()`` keys alias when the allocator recycles addresses after GC;
+    this key survives that: template length, capture resolution, and the
+    hash of the (frozen, hashable) minutiae tuple.
+    """
+    return template.content_key()
+
+
+def _empty_result() -> MatchResult:
+    empty = ScoreBreakdown(
+        score=0.0, match_ratio=0.0, consistency=0.0, quality_weight=0.0,
+        n_matched=0, n_overlap_a=0, n_overlap_b=0,
+    )
+    return MatchResult(score=0.0, breakdown=empty, transform=None, pairing=None)
+
+
 class BioEngineMatcher:
     """Minutiae matcher calibrated to the paper's score landmarks.
 
-    Thread-compatibility note: the descriptor memo is a plain dict; use
-    one matcher instance per process (the parallel harness does).
+    Thread-compatibility note: the frame memo is a plain dict; use one
+    matcher instance per process (the parallel harness does).
     """
 
     #: Name used by :class:`~repro.runtime.config.StudyConfig`.
     name = "bioengine"
 
     def __init__(self, max_cache_entries: int = 4096) -> None:
-        self._descriptor_cache: Dict[int, DescriptorSet] = {}
+        self._frame_cache: Dict[Tuple[int, int, int], TemplateFrame] = {}
         self._max_cache_entries = max_cache_entries
 
-    def _descriptors(self, template: Template) -> DescriptorSet:
-        key = id(template)
-        cached = self._descriptor_cache.get(key)
-        if cached is not None and cached.n == len(template):
+    def _frame(self, template: Template) -> TemplateFrame:
+        key = template_fingerprint(template)
+        cached = self._frame_cache.get(key)
+        if cached is not None:
             return cached
-        descriptors = build_descriptors(template)
-        if len(self._descriptor_cache) >= self._max_cache_entries:
-            self._descriptor_cache.clear()
-        self._descriptor_cache[key] = descriptors
-        return descriptors
+        frame = TemplateFrame(
+            positions=template.positions_mm(),
+            angles=template.angles(),
+            qualities=template.qualities(),
+            descriptors=build_descriptors(template),
+        )
+        if len(self._frame_cache) >= self._max_cache_entries:
+            self._frame_cache.clear()
+        self._frame_cache[key] = frame
+        return frame
+
+    def _descriptors(self, template: Template) -> DescriptorSet:
+        """Descriptor set of ``template`` (memoized via the frame cache)."""
+        return self._frame(template).descriptors
 
     def match(self, probe: Template, gallery: Template) -> float:
         """Similarity score; higher means more likely the same finger."""
         return self.match_detailed(probe, gallery).score
+
+    def match_many(
+        self, probes: Sequence[Template], gallery: Template
+    ) -> np.ndarray:
+        """Scores of every probe against one gallery template.
+
+        The batched entry point of the score engine: the gallery's frame
+        (positions, directions, qualities, descriptors) is computed once
+        and reused for the whole batch, and each distinct probe template
+        pays for its own frame once regardless of how many batches it
+        appears in.  Scores are *identical* to calling :meth:`match` in a
+        loop — the scalar path is the parity oracle for this kernel.
+        """
+        if gallery is None:
+            raise MatcherError("match_many requires a gallery template")
+        n = len(probes)
+        scores = np.empty(n, dtype=np.float64)
+        if n == 0:
+            return scores
+        recorder = get_recorder()
+        start = time.perf_counter() if recorder.active else 0.0
+        gallery_degenerate = len(gallery) < MIN_TEMPLATE_MINUTIAE
+        frame_g = None if gallery_degenerate else self._frame(gallery)
+        for k, probe in enumerate(probes):
+            if probe is None:
+                raise MatcherError("match_many requires probe templates")
+            if gallery_degenerate or len(probe) < MIN_TEMPLATE_MINUTIAE:
+                scores[k] = 0.0
+                continue
+            scores[k] = self._match_frames(self._frame(probe), frame_g).score
+        if recorder.active:
+            recorder.count("matcher.invocations", n)
+            recorder.observe("matcher.batch_size", float(n))
+            recorder.observe(
+                "matcher.batch_seconds", time.perf_counter() - start
+            )
+        return scores
 
     def match_detailed(self, probe: Template, gallery: Template) -> MatchResult:
         """Score plus alignment/pairing diagnostics.
@@ -91,40 +177,30 @@ class BioEngineMatcher:
         if len(probe) < MIN_TEMPLATE_MINUTIAE or len(gallery) < MIN_TEMPLATE_MINUTIAE:
             # Degenerate capture: a real SDK reports failure-to-match with
             # a floor score rather than raising.
-            empty = ScoreBreakdown(
-                score=0.0, match_ratio=0.0, consistency=0.0, quality_weight=0.0,
-                n_matched=0, n_overlap_a=0, n_overlap_b=0,
-            )
-            return MatchResult(score=0.0, breakdown=empty, transform=None, pairing=None)
+            return _empty_result()
+        return self._match_frames(self._frame(probe), self._frame(gallery))
 
-        desc_p = self._descriptors(probe)
-        desc_g = self._descriptors(gallery)
-        similarity = similarity_matrix(desc_p, desc_g)
+    def _match_frames(
+        self, frame_p: TemplateFrame, frame_g: TemplateFrame
+    ) -> MatchResult:
+        """The match kernel, shared by the scalar and batched paths."""
+        similarity = similarity_matrix(frame_p.descriptors, frame_g.descriptors)
         candidates = candidate_pairs(similarity)
 
-        positions_p = probe.positions_mm()
-        positions_g = gallery.positions_mm()
-        angles_p = probe.angles()
-        angles_g = gallery.angles()
-
         transforms = estimate_alignments(
-            positions_p, angles_p, positions_g, angles_g, candidates
+            frame_p.positions, frame_p.angles,
+            frame_g.positions, frame_g.angles, candidates,
         )
         if not transforms:
-            empty = ScoreBreakdown(
-                score=0.0, match_ratio=0.0, consistency=0.0, quality_weight=0.0,
-                n_matched=0, n_overlap_a=0, n_overlap_b=0,
-            )
-            return MatchResult(score=0.0, breakdown=empty, transform=None, pairing=None)
+            return _empty_result()
 
-        qualities_p = probe.qualities()
-        qualities_g = gallery.qualities()
         best: Optional[MatchResult] = None
         for transform in transforms:
             pairing = pair_minutiae(
-                positions_p, angles_p, positions_g, angles_g, transform
+                frame_p.positions, frame_p.angles,
+                frame_g.positions, frame_g.angles, transform,
             )
-            breakdown = compute_score(pairing, qualities_p, qualities_g)
+            breakdown = compute_score(pairing, frame_p.qualities, frame_g.qualities)
             result = MatchResult(
                 score=breakdown.score,
                 breakdown=breakdown,
@@ -136,4 +212,9 @@ class BioEngineMatcher:
         return best
 
 
-__all__ = ["BioEngineMatcher", "MatchResult"]
+__all__ = [
+    "BioEngineMatcher",
+    "MatchResult",
+    "TemplateFrame",
+    "template_fingerprint",
+]

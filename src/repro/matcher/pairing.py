@@ -90,30 +90,45 @@ def pair_minutiae(
     moved_a = transform.apply(positions_a)
     moved_angles_a = transform.apply_angles(angles_a)
 
-    diff = moved_a[:, None, :] - positions_b[None, :, :]
-    dist = np.sqrt(np.sum(diff**2, axis=2))
-    angle_diff = np.abs(wrap_angle(moved_angles_a[:, None] - angles_b[None, :]))
-    feasible = (dist <= position_tol_mm) & (angle_diff <= angle_tol_rad)
+    dist = moved_a[:, 0][:, None] - positions_b[:, 0][None, :]
+    dist *= dist
+    dy = moved_a[:, 1][:, None] - positions_b[:, 1][None, :]
+    dy *= dy
+    dist += dy
+    np.sqrt(dist, out=dist)
+    # The position test rejects nearly every candidate cell, so direction
+    # residuals are computed only where position already agrees — the same
+    # element-wise arithmetic, therefore identical feasibility decisions.
+    close_i, close_j = np.nonzero(dist <= position_tol_mm)
 
     pairs: List[Tuple[int, int]] = []
     residuals: List[float] = []
     angle_residuals: List[float] = []
-    if np.any(feasible):
-        cost = np.where(feasible, dist + 0.3 * angle_diff, np.inf)
+    if close_i.size:
+        angle_diff = np.abs(
+            wrap_angle(moved_angles_a[close_i] - angles_b[close_j])
+        )
+        within_angle = angle_diff <= angle_tol_rad
+        feas_i = close_i[within_angle]
+        feas_j = close_j[within_angle]
+        feas_dist = dist[feas_i, feas_j]
+        feas_angle = angle_diff[within_angle]
+        # Greedy nearest-first over the feasible entries only; sorting the
+        # (usually sparse) feasible set is equivalent to sorting the full
+        # cost matrix and stopping at the first infinite entry.
+        order = np.argsort(feas_dist + 0.3 * feas_angle)
         used_a = np.zeros(len(positions_a), dtype=bool)
         used_b = np.zeros(len(positions_b), dtype=bool)
-        order = np.argsort(cost, axis=None)
-        for flat in order:
-            if not np.isfinite(cost.flat[flat]):
-                break
-            i, j = np.unravel_index(flat, cost.shape)
+        for idx in order:
+            i = int(feas_i[idx])
+            j = int(feas_j[idx])
             if used_a[i] or used_b[j]:
                 continue
             used_a[i] = True
             used_b[j] = True
-            pairs.append((int(i), int(j)))
+            pairs.append((i, j))
             residuals.append(float(dist[i, j]))
-            angle_residuals.append(float(angle_diff[i, j]))
+            angle_residuals.append(float(feas_angle[idx]))
 
     n_overlap_a, n_overlap_b = _overlap_counts(moved_a, positions_b)
     return PairingResult(

@@ -101,18 +101,18 @@ def compute_score(
 
     # Residual tightness: 1.0 for perfectly registered pairs, ~0.5 when
     # pairs hug the tolerance boundary.
-    pos_term = float(np.mean(1.0 - 0.5 * (pairing.residuals_mm / POSITION_TOL_MM) ** 2))
+    pos_term = float((1.0 - 0.5 * (pairing.residuals_mm / POSITION_TOL_MM) ** 2).mean())
     ang_term = float(
-        np.mean(1.0 - 0.5 * (pairing.angle_residuals_rad / ANGLE_TOL_RAD) ** 2)
+        (1.0 - 0.5 * (pairing.angle_residuals_rad / ANGLE_TOL_RAD) ** 2).mean()
     )
-    consistency = float(np.clip(0.5 * (pos_term + ang_term), 0.30, 1.0))
+    consistency = min(max(0.5 * (pos_term + ang_term), 0.30), 1.0)
 
     qa = np.asarray(qualities_a, dtype=np.float64)
     qb = np.asarray(qualities_b, dtype=np.float64)
     pair_quality = np.sqrt(
         qa[pairing.pairs[:, 0]] * qb[pairing.pairs[:, 1]]
     ) / 100.0
-    quality_weight = float(np.clip(0.55 + 0.45 * pair_quality.mean(), 0.0, 1.0))
+    quality_weight = min(max(0.55 + 0.45 * float(pair_quality.mean()), 0.0), 1.0)
 
     score = SCORE_SCALE * np.sqrt(match_ratio) * consistency * quality_weight
     return ScoreBreakdown(

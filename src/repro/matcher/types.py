@@ -89,6 +89,20 @@ class Template:
     def __len__(self) -> int:
         return len(self.minutiae)
 
+    def content_key(self) -> Tuple[int, int, int]:
+        """Cheap content fingerprint for memoization.
+
+        Unlike ``id()``, this key survives the allocator recycling object
+        addresses, so caches keyed by it can never serve another
+        template's data.  Computed once per instance (the memo write uses
+        ``object.__setattr__`` because the dataclass is frozen).
+        """
+        key = self.__dict__.get("_content_key")
+        if key is None:
+            key = (len(self.minutiae), self.resolution_dpi, hash(self.minutiae))
+            object.__setattr__(self, "_content_key", key)
+        return key
+
     @property
     def pixels_per_mm(self) -> float:
         """Conversion factor from millimetres to pixels."""

@@ -29,9 +29,15 @@ from .manifest import (
     render_manifest,
     validate_manifest,
 )
-from .parallel import chunk_indices, parallel_map, sequential_map
+from .parallel import (
+    chunk_indices,
+    parallel_map,
+    parallel_map_batched,
+    sequential_map,
+)
 from .progress import NullProgress, ProgressReporter
 from .rng import SeedTree, derive_seed
+from .shm import SharedTemplateStore, SharedTemplateView, StoreHandle
 from .telemetry import (
     MetricsRegistry,
     NullRecorder,
@@ -62,8 +68,12 @@ __all__ = [
     "CalibrationError",
     "CacheError",
     "parallel_map",
+    "parallel_map_batched",
     "sequential_map",
     "chunk_indices",
+    "SharedTemplateStore",
+    "SharedTemplateView",
+    "StoreHandle",
     "ProgressReporter",
     "NullProgress",
     "SeedTree",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from .config import resolve_worker_count
 from .telemetry import get_recorder
@@ -109,9 +109,82 @@ def parallel_map(
     return results
 
 
+def _apply_batch_timed(func: Callable[[T], R], batch: T) -> Tuple[R, float]:
+    """Worker body for one pre-formed batch: result + wall-clock seconds."""
+    start = time.perf_counter()
+    return func(batch), time.perf_counter() - start
+
+
+def parallel_map_batched(
+    func: Callable[[T], R],
+    batches: Sequence[T],
+    n_workers: int = 0,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+    on_result: Optional[Callable[[R], None]] = None,
+) -> List[R]:
+    """Apply ``func`` to each pre-formed batch, one pool task per batch.
+
+    Unlike :func:`parallel_map`, the *caller* controls chunking: a batch
+    is the unit an optimized kernel wants dispatched whole (for score
+    generation, every job sharing one gallery template).  Results are
+    per-batch, in input order.
+
+    ``initializer``/``initargs`` seed per-worker state exactly as on
+    :class:`ProcessPoolExecutor` (the sequential fallback calls the
+    initializer once in-process, so ``func`` sees the same state either
+    way).  ``on_result`` fires once per batch as results arrive, in input
+    order — the hook for streaming progress without waiting for the full
+    map.
+
+    Telemetry (when enabled): ``parallel.batches`` counts dispatches and
+    ``parallel.batch_seconds`` observes each batch's compute seconds,
+    measured in the worker so scheduling skew never inflates it.
+    """
+    recorder = get_recorder()
+    if recorder.active:
+        recorder.count("parallel.batches", len(batches))
+    effective = resolve_worker_count(n_workers)
+    results: List[R] = []
+    if effective <= 1 or len(batches) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        for batch in batches:
+            if recorder.active:
+                result, seconds = _apply_batch_timed(func, batch)
+                recorder.observe("parallel.batch_seconds", seconds)
+            else:
+                result = func(batch)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+    if recorder.active:
+        recorder.gauge("parallel.workers", float(effective))
+    with ProcessPoolExecutor(
+        max_workers=effective, initializer=initializer, initargs=initargs
+    ) as pool:
+        futures = [
+            pool.submit(_apply_batch_timed, func, batch) for batch in batches
+        ]
+        for future in futures:
+            result, seconds = future.result()
+            if recorder.active:
+                recorder.observe("parallel.batch_seconds", seconds)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+    return results
+
+
 def sequential_map(func: Callable[[T], R], items: Iterable[T]) -> List[R]:
     """Plain list-building map, for symmetry with :func:`parallel_map`."""
     return [func(item) for item in items]
 
 
-__all__ = ["parallel_map", "sequential_map", "chunk_indices"]
+__all__ = [
+    "parallel_map",
+    "parallel_map_batched",
+    "sequential_map",
+    "chunk_indices",
+]

@@ -11,11 +11,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import InteroperabilityStudy, StudyConfig
-from repro.datasets import build_collection
-from repro.matcher import BioEngineMatcher
-from repro.runtime import SeedTree
-from repro.synthesis import Population
+from repro.api import (
+    BioEngineMatcher,
+    InteroperabilityStudy,
+    Population,
+    SeedTree,
+    StudyConfig,
+    build_collection,
+)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,82 @@
+"""Batched matching must equal scalar matching bit-for-bit.
+
+``match_many`` is the throughput kernel behind score generation; the
+scalar ``match`` stays as the parity oracle.  These tests drive both
+over the same >=1000-job workload (DMG genuine plus DDMI impostor, the
+two extremes of the Table 2 scenarios) and demand exact equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scores import (
+    enumerate_dmg_jobs,
+    group_jobs_gallery_major,
+    run_jobs,
+    run_jobs_batched,
+    sample_ddmi_jobs,
+)
+from repro.runtime import SeedTree
+
+FINGER = "right_index"
+
+
+@pytest.fixture(scope="module")
+def parity_jobs():
+    """DMG + DDMI jobs for the tiny collection, >=1000 in total."""
+    dmg = enumerate_dmg_jobs(10)
+    ddmi = sample_ddmi_jobs(10, 960, SeedTree(777))
+    assert len(dmg) + len(ddmi) >= 1000
+    return {"DMG": dmg, "DDMI": ddmi}
+
+
+class TestBatchScalarParity:
+    @pytest.mark.parametrize("scenario", ["DMG", "DDMI"])
+    def test_run_jobs_batched_matches_scalar(
+        self, parity_jobs, tiny_collection, matcher, scenario
+    ):
+        jobs = parity_jobs[scenario]
+        scalar = run_jobs(jobs, tiny_collection, matcher, FINGER, scenario)
+        batched = run_jobs_batched(
+            jobs, tiny_collection, matcher, FINGER, scenario
+        )
+        np.testing.assert_array_equal(scalar.scores, batched.scores)
+        np.testing.assert_array_equal(
+            scalar.subject_gallery, batched.subject_gallery
+        )
+        np.testing.assert_array_equal(
+            scalar.subject_probe, batched.subject_probe
+        )
+        np.testing.assert_array_equal(
+            scalar.device_gallery, batched.device_gallery
+        )
+        np.testing.assert_array_equal(
+            scalar.device_probe, batched.device_probe
+        )
+        np.testing.assert_array_equal(scalar.nfiq_probe, batched.nfiq_probe)
+
+    def test_match_many_equals_match_per_gallery_group(
+        self, parity_jobs, tiny_collection, matcher
+    ):
+        jobs = parity_jobs["DDMI"][:200]
+        for (subject_g, device_g, set_g), indices in group_jobs_gallery_major(
+            jobs
+        ):
+            gallery = tiny_collection.get(
+                subject_g, FINGER, device_g, set_g
+            ).template
+            probes = [
+                tiny_collection.get(
+                    jobs[k][3], FINGER, jobs[k][4], jobs[k][5]
+                ).template
+                for k in indices
+            ]
+            batch = matcher.match_many(probes, gallery)
+            scalar = [matcher.match(probe, gallery) for probe in probes]
+            np.testing.assert_array_equal(
+                np.asarray(batch), np.asarray(scalar)
+            )
+
+    def test_match_many_handles_empty_batch(self, tiny_collection, matcher):
+        gallery = tiny_collection.get(0, FINGER, "D0", 0).template
+        assert len(matcher.match_many([], gallery)) == 0

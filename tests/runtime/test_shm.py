@@ -1,0 +1,130 @@
+"""Shared-memory template store: exact round-trips, in and out of pools."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ConfigurationError,
+    SharedTemplateStore,
+    SharedTemplateView,
+    parallel_map_batched,
+)
+
+_VIEW = {}
+
+
+def _attach_view(handle):
+    """Pool initializer: map the shared block once per worker."""
+    _VIEW["view"] = SharedTemplateView.attach(handle)
+
+
+def _fetch_batch(keys):
+    """Pool task: pull each impression and return its raw arrays."""
+    view = _VIEW["view"]
+    out = []
+    for key in keys:
+        impression = view.get(*key)
+        template = impression.template
+        out.append(
+            (
+                key,
+                impression.nfiq,
+                template.positions_px().tolist(),
+                template.angles().tolist(),
+            )
+        )
+    return out
+
+
+def _all_keys(collection):
+    return [
+        (imp.subject_id, imp.finger_label, imp.device_id, imp.set_index)
+        for imp in collection
+    ]
+
+
+class TestRoundTrip:
+    def test_view_serves_identical_templates(self, tiny_collection):
+        with SharedTemplateStore.pack(tiny_collection) as store:
+            view = SharedTemplateView.attach(store.handle())
+            assert len(view) == len(_all_keys(tiny_collection))
+            for imp in tiny_collection:
+                served = view.get(
+                    imp.subject_id,
+                    imp.finger_label,
+                    imp.device_id,
+                    imp.set_index,
+                )
+                assert served.nfiq == imp.nfiq
+                assert (
+                    served.template.minutiae == imp.template.minutiae
+                )
+                assert (
+                    served.template.resolution_dpi
+                    == imp.template.resolution_dpi
+                )
+            view.close()
+
+    def test_view_memoizes_reconstruction(self, tiny_collection):
+        with SharedTemplateStore.pack(tiny_collection) as store:
+            view = SharedTemplateView.attach(store.handle())
+            first = view.get(0, "right_index", "D0", 0)
+            again = view.get(0, "right_index", "D0", 0)
+            assert first is again
+            view.close()
+
+    def test_missing_key_raises(self, tiny_collection):
+        with SharedTemplateStore.pack(tiny_collection) as store:
+            view = SharedTemplateView.attach(store.handle())
+            with pytest.raises(ConfigurationError):
+                view.get(9999, "right_index", "D0", 0)
+            view.close()
+
+    def test_destroy_is_idempotent(self, tiny_collection):
+        store = SharedTemplateStore.pack(tiny_collection)
+        store.destroy()
+        store.destroy()
+
+
+class TestPoolRoundTrip:
+    def test_two_worker_pool_reads_exact_payload(
+        self, tiny_collection, monkeypatch
+    ):
+        """Workers mapping the block must see byte-exact template data.
+
+        ``resolve_worker_count`` caps pools at the CPU count, which on a
+        single-core runner would silently degrade this to the in-process
+        fallback; pin it to 2 so the test always crosses real process
+        boundaries.
+        """
+        monkeypatch.setattr(
+            "repro.runtime.parallel.resolve_worker_count", lambda n: n
+        )
+        keys = _all_keys(tiny_collection)
+        half = len(keys) // 2
+        batches = [keys[:half], keys[half:]]
+        with SharedTemplateStore.pack(tiny_collection) as store:
+            parts = parallel_map_batched(
+                _fetch_batch,
+                batches,
+                n_workers=2,
+                initializer=_attach_view,
+                initargs=(store.handle(),),
+            )
+        fetched = {row[0]: row[1:] for part in parts for row in part}
+        assert set(fetched) == set(keys)
+        for imp in tiny_collection:
+            key = (
+                imp.subject_id,
+                imp.finger_label,
+                imp.device_id,
+                imp.set_index,
+            )
+            nfiq, positions, angles = fetched[key]
+            assert nfiq == imp.nfiq
+            np.testing.assert_array_equal(
+                np.asarray(positions), imp.template.positions_px()
+            )
+            np.testing.assert_array_equal(
+                np.asarray(angles), imp.template.angles()
+            )
