@@ -1,0 +1,132 @@
+"""Measure acquisition cold/warm/parallel timings and record them.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/acquisition_pipeline.py \
+        --label "PR-3 artifact store" --out acquisition_pipeline_pr3.json
+
+Four measurements over the same population:
+
+* ``cold_serial_seconds`` — build every subject from seeds, no store.
+* ``cold_parallel_seconds`` — same build fanned across ``--workers``
+  processes (degrades to serial when the machine has fewer CPUs; the
+  record carries ``cpus`` so readers can interpret the ratio honestly).
+* ``warm_seconds`` — reload the whole collection from the artifact
+  store populated by the parallel pass.
+* ``thinning`` — microbenchmark of the padded-slice neighbourhood
+  against the original ``np.roll`` chain it replaced.
+
+Every pass re-verifies that the resulting collections are equal, so the
+recorded speedups are for bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from _bench_common import OUTPUT_DIR
+from repro.api import ArtifactStore, StudyConfig, build_collection
+
+
+def _time_collection(config, repeats=1):
+    best = float("inf")
+    collection = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        collection = build_collection(config)
+        best = min(best, time.perf_counter() - start)
+    return best, collection
+
+
+def _thinning_microbench(repeats: int = 5):
+    from repro.imaging.thinning import neighbourhood_planes
+
+    def roll_planes(z):
+        p2 = np.roll(z, 1, axis=0)
+        p3 = np.roll(p2, -1, axis=1)
+        p4 = np.roll(z, -1, axis=1)
+        p6 = np.roll(z, -1, axis=0)
+        p5 = np.roll(p6, -1, axis=1)
+        p7 = np.roll(p6, 1, axis=1)
+        p8 = np.roll(z, 1, axis=1)
+        p9 = np.roll(p2, 1, axis=1)
+        return p2, p3, p4, p5, p6, p7, p8, p9
+
+    rng = np.random.Generator(np.random.PCG64(0))
+    z = (rng.random((512, 512)) < 0.4).astype(np.uint8)
+    iterations = 200
+
+    def best_of(func):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                func(z)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    roll_s = best_of(roll_planes)
+    slice_s = best_of(neighbourhood_planes)
+    return {
+        "shape": list(z.shape),
+        "iterations": iterations,
+        "roll_seconds": round(roll_s, 4),
+        "slice_seconds": round(slice_s, 4),
+        "speedup": round(roll_s / slice_s, 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--subjects", type=int, default=12)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--label", default="artifact store + parallel acquisition")
+    parser.add_argument("--out", default="acquisition_pipeline.json")
+    args = parser.parse_args()
+
+    base = StudyConfig(n_subjects=args.subjects)
+
+    cold_serial_s, serial = _time_collection(base)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        parallel_config = base.replace(
+            n_workers=args.workers, artifact_dir=os.path.join(tmp, "arts")
+        )
+        cold_parallel_s, parallel = _time_collection(parallel_config)
+        assert parallel == serial, "parallel build diverged from serial"
+
+        warm_s, warm = _time_collection(
+            base.replace(artifact_dir=parallel_config.artifact_dir), repeats=3
+        )
+        assert warm == serial, "warm load diverged from cold build"
+        store_stats = ArtifactStore(parallel_config.artifact_dir).stats()
+
+    record = {
+        "label": args.label,
+        "n_subjects": args.subjects,
+        "workers_requested": args.workers,
+        "cpus": os.cpu_count(),
+        "cold_serial_seconds": round(cold_serial_s, 3),
+        "cold_parallel_seconds": round(cold_parallel_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "parallel_speedup": round(cold_serial_s / cold_parallel_s, 2),
+        "warm_speedup": round(cold_serial_s / warm_s, 2),
+        "store_bytes": store_stats["total"]["bytes"],
+        "store_entries": store_stats["total"]["entries"],
+        "thinning": _thinning_microbench(),
+    }
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = OUTPUT_DIR / args.out
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"written to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 # --- configuration / runtime ------------------------------------------------
+from .runtime.artifacts import ArtifactStore, canonical_digest
 from .runtime.cache import ScoreCache
 from .runtime.config import (
     DEFAULT_SUBJECT_COUNT,
@@ -114,10 +115,14 @@ from .calibration import (
 )
 from .datasets import (
     build_collection,
+    load_quality_arrays,
     render_collection_summary,
+    subject_artifact_digest,
     summarize_collection,
+    warm_artifacts,
 )
 from .imaging import (
+    ImagePipeline,
     RenderSettings,
     extract_template,
     recovery_metrics,
@@ -238,6 +243,7 @@ def run_study(
     *,
     protocol: Optional[ProtocolSettings] = None,
     cache: Optional[ScoreCache] = None,
+    artifacts: Optional[ArtifactStore] = None,
     progress_factory: Optional[Callable] = None,
 ) -> StudyResult:
     """Run the paper's experiment and return its scores and analyses.
@@ -255,6 +261,11 @@ def run_study(
         Collection-protocol switches (quality gating, device order).
     cache:
         Score-cache override; by default ``config.cache_dir`` decides.
+    artifacts:
+        Artifact-store override for the acquisition pipeline; by default
+        ``config.artifact_dir`` decides.  Pre-warm it once with
+        :func:`warm_artifacts` and every subsequent ``run_study`` (or
+        fresh process) loads the collection instead of re-acquiring it.
     progress_factory:
         Optional ``(total, label) -> ProgressReporter`` hook.
     """
@@ -264,6 +275,8 @@ def run_study(
         kwargs["protocol"] = protocol
     if cache is not None:
         kwargs["cache"] = cache
+    if artifacts is not None:
+        kwargs["artifacts"] = artifacts
     if progress_factory is not None:
         kwargs["progress_factory"] = progress_factory
     study = InteroperabilityStudy(effective, **kwargs)
@@ -378,6 +391,8 @@ __all__ = [
     "PAPER_SUBJECT_COUNT",
     "resolve_worker_count",
     "ScoreCache",
+    "ArtifactStore",
+    "canonical_digest",
     "SeedTree",
     "ProgressReporter",
     "RunManifest",
@@ -397,6 +412,9 @@ __all__ = [
     "MatcherError",
     # data and models
     "build_collection",
+    "warm_artifacts",
+    "subject_artifact_digest",
+    "load_quality_arrays",
     "summarize_collection",
     "render_collection_summary",
     "Population",
@@ -412,6 +430,7 @@ __all__ = [
     "extract_template",
     "recovery_metrics",
     "to_uint8",
+    "ImagePipeline",
     "BioEngineMatcher",
     "RidgeGeometryMatcher",
     "build_matcher",

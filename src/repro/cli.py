@@ -8,6 +8,7 @@ command        what it does
 =============  ==========================================================
 ``info``       show the device registry (Table 1) and the configuration
 ``run``        regenerate study artifacts (tables/figures) at any scale
+``warm``       pre-populate the content-addressed artifact store
 ``acquire``    synthesize a subject's impression → INCITS 378 file
 ``inspect``    decode an INCITS 378 file and summarize its minutiae
 ``match``      match two INCITS 378 files and print the score
@@ -70,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None, help="master seed")
     run.add_argument("--cache-dir", default=".repro_cache",
                      help="score cache directory ('' disables caching)")
+    run.add_argument("--artifact-dir", default=None,
+                     help="content-addressed artifact store for acquired "
+                          "impressions; warm runs skip acquisition entirely "
+                          "(default: off; '' also disables)")
     run.add_argument("--only", choices=ARTIFACTS, action="append",
                      help="limit output to specific artifacts (repeatable)")
     run.add_argument("--out", default=None,
@@ -82,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summarize a run manifest written by 'run --manifest-out'"
     )
     stats.add_argument("manifest", help="the manifest .json file")
+
+    warm = sub.add_parser(
+        "warm",
+        help="pre-populate the artifact store so later runs skip acquisition",
+    )
+    warm.add_argument("--subjects", type=int, default=None,
+                      help="population size (default 48; paper scale 494)")
+    warm.add_argument("--workers", type=int, default=None,
+                      help="process-pool width for parallel acquisition")
+    warm.add_argument("--seed", type=int, default=None, help="master seed")
+    warm.add_argument("--artifact-dir", default=".repro_artifacts",
+                      help="artifact store directory to populate")
+    warm.add_argument("--clear", action="store_true",
+                      help="drop every existing entry before warming")
 
     acquire = sub.add_parser(
         "acquire", help="synthesize an impression and write an INCITS 378 file"
@@ -161,6 +180,9 @@ def _config_from_args(args, default_subjects: int = 48) -> StudyConfig:
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir is not None:
         overrides["cache_dir"] = cache_dir or None
+    artifact_dir = getattr(args, "artifact_dir", None)
+    if artifact_dir is not None:
+        overrides["artifact_dir"] = artifact_dir or None
     return config.replace(**overrides) if overrides else config
 
 
@@ -438,6 +460,30 @@ def cmd_dataset(args, out) -> int:
     return 0
 
 
+def cmd_warm(args, out) -> int:
+    """`repro warm`: pre-populate the artifact store for a configuration."""
+    from .api import ArtifactStore, ProgressReporter, warm_artifacts
+
+    config = _config_from_args(args)
+    print(config.describe(), file=out)
+    store = ArtifactStore(config.artifact_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} artifact entries", file=out)
+    progress = None
+    if sys.stderr.isatty():
+        progress = ProgressReporter(total=config.n_subjects, label="warm")
+    stats = warm_artifacts(config, progress=progress, artifacts=store)
+    print(f"artifact store at {store.root}:", file=out)
+    for tier, tier_stats in stats.items():
+        print(
+            f"  {tier:<12}{tier_stats['entries']:>8} entries"
+            f"{tier_stats['bytes']:>14,} bytes",
+            file=out,
+        )
+    return 0
+
+
 def cmd_stats(args, out) -> int:
     """`repro stats`: validate and pretty-print a run manifest."""
     from .api import ConfigurationError, render_manifest, RunManifest
@@ -461,6 +507,7 @@ _COMMANDS = {
     "dataset": cmd_dataset,
     "predict": cmd_predict,
     "stats": cmd_stats,
+    "warm": cmd_warm,
 }
 
 

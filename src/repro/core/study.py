@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..matcher import build_matcher
+from ..runtime.artifacts import ArtifactStore
 from ..runtime.cache import ScoreCache
 from ..runtime.config import StudyConfig, resolve_worker_count
 from ..runtime.errors import ConfigurationError
@@ -109,6 +110,11 @@ class InteroperabilityStudy:
     cache:
         Optional on-disk score cache; defaults to the directory named in
         ``config.cache_dir`` (or no caching when that is ``None``).
+    artifacts:
+        Optional content-addressed artifact store backing the collection
+        build; defaults to ``config.artifact_dir`` (or a disabled store
+        when that is ``None``, in which case every cold process acquires
+        the dataset from seeds).
     protocol:
         Collection-protocol switches (quality gating, device order).
     progress_factory:
@@ -126,9 +132,13 @@ class InteroperabilityStudy:
         progress_factory: Optional[
             Callable[[Optional[int], str], ProgressReporter]
         ] = None,
+        artifacts: Optional[ArtifactStore] = None,
     ) -> None:
         self.config = config
         self._cache = cache if cache is not None else ScoreCache(config.cache_dir)
+        self._artifacts = (
+            artifacts if artifacts is not None else ArtifactStore(config.artifact_dir)
+        )
         self._protocol = protocol
         self._progress_factory = progress_factory
         self._tree = SeedTree(config.master_seed)
@@ -152,13 +162,19 @@ class InteroperabilityStudy:
         """The finger the headline score sets use (right index)."""
         return "right_index"
 
+    @property
+    def artifacts(self) -> ArtifactStore:
+        """The artifact store backing collection builds."""
+        return self._artifacts
+
     def collection(self) -> Collection:
-        """The acquired dataset, built on first use."""
+        """The acquired dataset, warm-loaded or built on first use."""
         if self._collection is None:
             self._collection = build_collection(
                 self.config,
                 self._protocol,
                 progress=self._progress_for(self.config.n_subjects, "collection"),
+                artifacts=self._artifacts,
             )
         return self._collection
 

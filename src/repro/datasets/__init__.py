@@ -5,11 +5,21 @@ from .summary import (
     render_collection_summary,
     summarize_collection,
 )
-from .wvu2012 import build_collection, default_device_order, subject_session
+from .wvu2012 import (
+    build_collection,
+    default_device_order,
+    load_quality_arrays,
+    subject_artifact_digest,
+    subject_session,
+    warm_artifacts,
+)
 
 __all__ = [
     "build_collection",
     "subject_session",
+    "subject_artifact_digest",
+    "load_quality_arrays",
+    "warm_artifacts",
     "default_device_order",
     "DeviceSummary",
     "summarize_collection",

@@ -12,6 +12,7 @@ from .extraction import (
     extract_template,
     recovery_metrics,
 )
+from .pipeline import ImagePipeline, template_from_bundle, template_to_arrays
 from .render import (
     RenderedImpression,
     RenderSettings,
@@ -19,7 +20,7 @@ from .render import (
     render_sensed_impression,
     to_uint8,
 )
-from .thinning import crossing_number, skeletonize
+from .thinning import crossing_number, neighbourhood_planes, skeletonize
 
 __all__ = [
     "RenderSettings",
@@ -29,8 +30,12 @@ __all__ = [
     "to_uint8",
     "skeletonize",
     "crossing_number",
+    "neighbourhood_planes",
     "ExtractionSettings",
     "binarize",
     "extract_template",
     "recovery_metrics",
+    "ImagePipeline",
+    "template_to_arrays",
+    "template_from_bundle",
 ]

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..matcher.types import KIND_BIFURCATION, KIND_ENDING, Template, template_from_arrays
 from ..synthesis.master import RIDGE_PERIOD_MM
-from .thinning import crossing_number, skeletonize
+from .thinning import crossing_number, neighbourhood_planes, skeletonize
 
 #: 8-neighbourhood offsets (dy, dx).
 _OFFSETS = ((-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1))
@@ -55,12 +55,20 @@ def binarize(image: np.ndarray, threshold: float = 0.5) -> np.ndarray:
 
 
 def _erode(mask: np.ndarray, iterations: int) -> np.ndarray:
-    """Binary erosion with a 3x3 structuring element (roll-based)."""
+    """Binary erosion with a 3x3 structuring element.
+
+    Built on the shared zero-padded neighbourhood planes of
+    :func:`repro.imaging.thinning.neighbourhood_planes`: out-of-frame
+    pixels count as background, so foreground touching the image border
+    erodes away like any other boundary.  (A roll-based erosion would
+    wrap around instead, and a mask spanning the full frame would never
+    shrink — leaving border minutiae to the downstream filters.)
+    """
     out = np.asarray(mask).astype(bool)
     for __ in range(iterations):
         shrunk = out.copy()
-        for dy, dx in _OFFSETS:
-            shrunk &= np.roll(np.roll(out, dy, axis=0), dx, axis=1)
+        for plane in neighbourhood_planes(out):
+            shrunk &= plane
         out = shrunk
     return out
 
@@ -186,7 +194,42 @@ def extract_template(
 def _annihilate_close_pairs(
     points: List[Tuple[int, int, float]], min_distance: float
 ) -> List[bool]:
-    """Mark points that survive mutual-annihilation filtering."""
+    """Mark points that survive mutual-annihilation filtering.
+
+    Greedy scan in index order: each still-alive point annihilates with
+    the *first* still-alive later point within ``min_distance``.  (This
+    is deliberately not all-pairs annihilation — in a chain A–B–C where
+    only the adjacent distances are short, A and B annihilate and C
+    survives.)  The O(n²) distance evaluations are a single broadcast;
+    the scan that consumes the precomputed adjacency stays sequential
+    because each kill changes which later points are still alive.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    coords = np.array([(y, x) for y, x, __ in points], dtype=np.float64)
+    diff = coords[:, None, :] - coords[None, :, :]
+    close = (diff**2).sum(axis=2) < min_distance**2
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        partners = np.flatnonzero(close[i] & keep)
+        partners = partners[partners > i]
+        if partners.size:
+            keep[i] = False
+            keep[partners[0]] = False
+    return keep.tolist()
+
+
+def _annihilate_close_pairs_reference(
+    points: List[Tuple[int, int, float]], min_distance: float
+) -> List[bool]:
+    """Pure-Python reference of :func:`_annihilate_close_pairs`.
+
+    Kept as the executable specification of the greedy semantics; the
+    parity test drives both implementations over random point clouds.
+    """
     n = len(points)
     keep = [True] * n
     for i in range(n):

@@ -1,0 +1,172 @@
+"""Artifact-backed render → extract pipeline.
+
+Rendering a ridge image and re-extracting its minutiae are the two most
+expensive per-impression stages of the image-domain loop, and both are
+pure functions of (finger identity, settings).  :class:`ImagePipeline`
+caches them in the ``images`` and ``templates`` tiers of an
+:class:`~repro.runtime.artifacts.ArtifactStore`, keyed by
+:func:`~repro.runtime.artifacts.canonical_digest` of a caller-supplied
+identity (any JSON-able value that pins down the finger — e.g.
+``{"seed": 7, "subject": 12, "finger": "right_index"}``) together with
+the stage's settings.
+
+With a disabled store every call just computes, so callers never branch
+on whether persistence is configured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..matcher.types import Template, template_from_arrays
+from ..runtime.artifacts import ArtifactStore, canonical_digest
+from .extraction import ExtractionSettings, extract_template
+from .render import RenderedImpression, RenderSettings, render_finger
+
+
+def template_to_arrays(template: Template) -> dict:
+    """Lossless array encoding of a template (inverse of the loader)."""
+    return {
+        "positions_px": template.positions_px(),
+        "angles": template.angles(),
+        "kinds": template.kinds(),
+        "qualities": template.qualities(),
+        "shape": np.array(
+            [template.width_px, template.height_px, template.resolution_dpi],
+            dtype=np.int64,
+        ),
+    }
+
+
+def template_from_bundle(arrays: dict) -> Template:
+    """Decode :func:`template_to_arrays` output.
+
+    Raises ``KeyError``/``ValueError`` on malformed bundles; callers
+    treat those as cache misses.
+    """
+    width_px, height_px, dpi = (int(v) for v in arrays["shape"])
+    return template_from_arrays(
+        positions_px=arrays["positions_px"],
+        angles=arrays["angles"],
+        kinds=arrays["kinds"].astype(np.int64),
+        qualities=arrays["qualities"].astype(np.int64),
+        width_px=width_px,
+        height_px=height_px,
+        resolution_dpi=dpi,
+    )
+
+
+class ImagePipeline:
+    """Load-or-build wrapper over rendering and extraction.
+
+    Parameters
+    ----------
+    artifacts:
+        The backing store; ``None`` (or a disabled store) makes every
+        call compute fresh.
+    """
+
+    def __init__(self, artifacts: Optional[ArtifactStore] = None) -> None:
+        self._artifacts = artifacts if artifacts is not None else ArtifactStore()
+
+    @property
+    def artifacts(self) -> ArtifactStore:
+        """The backing artifact store."""
+        return self._artifacts
+
+    def render(
+        self,
+        finger,
+        identity: object,
+        settings: RenderSettings = RenderSettings(),
+        max_minutiae: Optional[int] = None,
+    ) -> RenderedImpression:
+        """Render ``finger`` (or load the cached render) for ``identity``."""
+        digest = canonical_digest(
+            {
+                "stage": "render",
+                "identity": identity,
+                "settings": settings,
+                "max_minutiae": max_minutiae,
+            }
+        )
+        cached = self._artifacts.load("images", digest)
+        if cached is not None:
+            try:
+                return RenderedImpression(
+                    image=cached["image"],
+                    minutiae_px=cached["minutiae_px"],
+                    mask=cached["mask"].astype(bool),
+                    pixels_per_mm=float(cached["pixels_per_mm"][0]),
+                )
+            except (KeyError, ValueError, IndexError):
+                self._artifacts.invalidate("images", digest)
+        rendered = render_finger(finger, settings, max_minutiae=max_minutiae)
+        self._artifacts.store(
+            "images",
+            digest,
+            {
+                "image": rendered.image,
+                "minutiae_px": rendered.minutiae_px,
+                "mask": rendered.mask,
+                "pixels_per_mm": np.array([rendered.pixels_per_mm]),
+            },
+            meta={"identity": _meta_safe(identity)},
+        )
+        return rendered
+
+    def extract(
+        self,
+        image: np.ndarray,
+        pixels_per_mm: float,
+        identity: object,
+        mask: Optional[np.ndarray] = None,
+        settings: ExtractionSettings = ExtractionSettings(),
+        resolution_dpi: int = 500,
+    ) -> Template:
+        """Extract a template from ``image`` (or load the cached one)."""
+        digest = canonical_digest(
+            {
+                "stage": "extract",
+                "identity": identity,
+                "pixels_per_mm": pixels_per_mm,
+                "settings": settings,
+                "resolution_dpi": resolution_dpi,
+            }
+        )
+        cached = self._artifacts.load("templates", digest)
+        if cached is not None:
+            try:
+                return template_from_bundle(cached)
+            except (KeyError, ValueError):
+                self._artifacts.invalidate("templates", digest)
+        template = extract_template(
+            image,
+            pixels_per_mm,
+            mask=mask,
+            settings=settings,
+            resolution_dpi=resolution_dpi,
+        )
+        self._artifacts.store(
+            "templates",
+            digest,
+            template_to_arrays(template),
+            meta={"identity": _meta_safe(identity)},
+        )
+        return template
+
+
+def _meta_safe(identity: object) -> object:
+    """Identity as storable metadata (stringified when not plain JSON)."""
+    if isinstance(identity, (str, int, float, bool, type(None), list, dict)):
+        return identity
+    return repr(identity)
+
+
+__all__ = [
+    "ImagePipeline",
+    "template_to_arrays",
+    "template_from_bundle",
+]

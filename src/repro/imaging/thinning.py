@@ -2,10 +2,10 @@
 
 Minutiae live on the one-pixel-wide ridge skeleton; the classical
 Zhang–Suen (1984) parallel thinning algorithm produces it.  The
-implementation is fully vectorized with numpy rolls — each sub-iteration
-evaluates the deletion conditions for every pixel simultaneously — so a
-typical rendered impression (~300x350 px) thins in a few tens of
-milliseconds.
+implementation is fully vectorized: each sub-iteration evaluates the
+deletion conditions for every pixel simultaneously over the eight
+neighbourhood planes of :func:`neighbourhood_planes`, so a typical
+rendered impression (~300x350 px) thins in a few tens of milliseconds.
 """
 
 from __future__ import annotations
@@ -15,26 +15,36 @@ from typing import Tuple
 import numpy as np
 
 
-def _neighbours(z: np.ndarray) -> Tuple[np.ndarray, ...]:
+def neighbourhood_planes(z: np.ndarray) -> Tuple[np.ndarray, ...]:
     """The 8-neighbourhood planes P2..P9 in Zhang–Suen's ordering.
 
     P2 is the pixel above, then clockwise: P3 upper-right, P4 right,
     P5 lower-right, P6 below, P7 lower-left, P8 left, P9 upper-left.
     (Row 0 is the top of the image.)
+
+    Implemented as eight views into one zero-padded copy: a single
+    (H+2, W+2) allocation replaces the twelve full-size copies the
+    equivalent ``np.roll`` chain would make, and out-of-frame pixels
+    read as background instead of wrapping to the opposite edge —
+    which is what every consumer (thinning, crossing number, erosion)
+    actually wants at the border.
     """
-    p2 = np.roll(z, 1, axis=0)
-    p3 = np.roll(np.roll(z, 1, axis=0), -1, axis=1)
-    p4 = np.roll(z, -1, axis=1)
-    p5 = np.roll(np.roll(z, -1, axis=0), -1, axis=1)
-    p6 = np.roll(z, -1, axis=0)
-    p7 = np.roll(np.roll(z, -1, axis=0), 1, axis=1)
-    p8 = np.roll(z, 1, axis=1)
-    p9 = np.roll(np.roll(z, 1, axis=0), 1, axis=1)
+    height, width = z.shape
+    padded = np.zeros((height + 2, width + 2), dtype=z.dtype)
+    padded[1:-1, 1:-1] = z
+    p2 = padded[:-2, 1:-1]
+    p3 = padded[:-2, 2:]
+    p4 = padded[1:-1, 2:]
+    p5 = padded[2:, 2:]
+    p6 = padded[2:, 1:-1]
+    p7 = padded[2:, :-2]
+    p8 = padded[1:-1, :-2]
+    p9 = padded[:-2, :-2]
     return p2, p3, p4, p5, p6, p7, p8, p9
 
 
 def _sub_iteration(z: np.ndarray, first: bool) -> Tuple[np.ndarray, int]:
-    p2, p3, p4, p5, p6, p7, p8, p9 = _neighbours(z)
+    p2, p3, p4, p5, p6, p7, p8, p9 = neighbourhood_planes(z)
     neighbours_sum = (
         p2.astype(np.int8) + p3 + p4 + p5 + p6 + p7 + p8 + p9
     )
@@ -84,8 +94,8 @@ def skeletonize(binary: np.ndarray, max_iterations: int = 200) -> np.ndarray:
     if binary.ndim != 2:
         raise ValueError("skeletonize expects a 2-D array")
     z = (np.asarray(binary) > 0).astype(np.uint8)
-    # Clear the border: roll-based neighbourhoods wrap around, and a
-    # cleared 1-px frame makes the wraparound harmless.
+    # Clear the border: a skeleton pixel needs its full 8-neighbourhood,
+    # so frame pixels can never survive thinning anyway.
     z[0, :] = z[-1, :] = 0
     z[:, 0] = z[:, -1] = 0
     for __ in range(max_iterations):
@@ -103,10 +113,10 @@ def crossing_number(skeleton: np.ndarray) -> np.ndarray:
     ridge continuation.  Non-skeleton pixels get 0.
     """
     z = (np.asarray(skeleton) > 0).astype(np.int8)
-    p2, p3, p4, p5, p6, p7, p8, p9 = _neighbours(z)
+    p2, p3, p4, p5, p6, p7, p8, p9 = neighbourhood_planes(z)
     sequence = (p2, p3, p4, p5, p6, p7, p8, p9, p2)
     cn = sum(np.abs(sequence[k] - sequence[k + 1]) for k in range(8)) // 2
     return np.where(z == 1, cn, 0)
 
 
-__all__ = ["skeletonize", "crossing_number"]
+__all__ = ["skeletonize", "crossing_number", "neighbourhood_planes"]

@@ -4,7 +4,8 @@ This package contains no biometrics; it is the plumbing that makes a
 616,000-comparison empirical study deterministic, resumable and fast.
 """
 
-from .cache import ScoreCache
+from .artifacts import CODE_SALT, TIERS, ArtifactStore, canonical_digest
+from .cache import NpzDirectory, ScoreCache
 from .config import (
     DEFAULT_SUBJECT_COUNT,
     PAPER_DDMI_BUDGET,
@@ -53,6 +54,11 @@ from .telemetry import (
 
 __all__ = [
     "ScoreCache",
+    "NpzDirectory",
+    "ArtifactStore",
+    "canonical_digest",
+    "CODE_SALT",
+    "TIERS",
     "StudyConfig",
     "resolve_worker_count",
     "DEFAULT_SUBJECT_COUNT",

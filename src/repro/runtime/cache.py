@@ -2,12 +2,15 @@
 
 Paper-scale score generation takes minutes; the benchmark harness and the
 analysis notebooks re-run the same configurations repeatedly.
-:class:`ScoreCache` stores numpy arrays (and small JSON metadata) keyed by
-the study-config fingerprint plus an artifact name, so a score set is
-computed at most once per configuration.
+:class:`NpzDirectory` is the shared persistence primitive — a directory
+of named numpy-array bundles with atomic writes, corruption-as-miss
+semantics and telemetry counters — and :class:`ScoreCache` is its
+score-set instantiation.  The artifact store
+(:mod:`repro.runtime.artifacts`) builds its content-addressed tiers on
+the same primitive, so both cache layers share one battle-tested format.
 
-The cache format is deliberately simple — one ``.npz`` file per artifact —
-so a corrupt entry can be deleted by hand and nothing else is affected.
+The format is deliberately simple — one ``.npz`` file per entry — so a
+corrupt entry can be deleted by hand and nothing else is affected.
 """
 
 from __future__ import annotations
@@ -35,24 +38,44 @@ _CORRUPT_ENTRY_ERRORS = (OSError, ValueError, zipfile.BadZipFile)
 _log = get_logger("cache")
 
 
-class ScoreCache:
+class NpzDirectory:
     """A directory of named numpy-array bundles.
 
     Parameters
     ----------
     directory:
-        Cache root; created on first write.  ``None`` produces a disabled
-        cache whose :meth:`load` always misses — callers never need to
-        branch on whether caching is configured.
+        Entry root; created on first write.  ``None`` produces a disabled
+        store whose :meth:`load` always misses — callers never need to
+        branch on whether persistence is configured.
+    metric_prefix:
+        Namespace for the telemetry counters this store emits
+        (``{prefix}.hit``, ``{prefix}.miss``, ``{prefix}.corrupt``,
+        ``{prefix}.store``, ``{prefix}.bytes_read``,
+        ``{prefix}.bytes_written``).  The score cache counts under
+        ``cache.*``, the artifact store under ``artifacts.*``, so one
+        manifest separates the two layers.
     """
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        metric_prefix: str = "cache",
+    ) -> None:
         self._root: Optional[Path] = Path(directory) if directory is not None else None
+        self._prefix = metric_prefix
 
     @property
     def enabled(self) -> bool:
-        """Whether this cache persists anything."""
+        """Whether this store persists anything."""
         return self._root is not None
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The backing directory (``None`` when disabled)."""
+        return self._root
+
+    def _count(self, event: str, value: int = 1) -> None:
+        get_recorder().count(f"{self._prefix}.{event}", value)
 
     def _path_for(self, key: str) -> Path:
         if self._root is None:
@@ -83,7 +106,11 @@ class ScoreCache:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(handle, **payload)
             os.replace(tmp_name, path)
-            get_recorder().count("cache.store")
+            self._count("store")
+            try:
+                self._count("bytes_written", path.stat().st_size)
+            except OSError:  # pragma: no cover - entry raced away
+                pass
         except OSError as exc:
             try:
                 os.unlink(tmp_name)
@@ -101,15 +128,15 @@ class ScoreCache:
             return None
         path = self._path_for(key)
         if not path.exists():
-            get_recorder().count("cache.miss")
+            self._count("miss")
             return None
         try:
+            size = path.stat().st_size
             with np.load(path) as bundle:
                 arrays = {name: bundle[name] for name in bundle.files}
         except _CORRUPT_ENTRY_ERRORS:
-            recorder = get_recorder()
-            recorder.count("cache.corrupt")
-            recorder.count("cache.miss")
+            self._count("corrupt")
+            self._count("miss")
             _log.warning(
                 "corrupt cache entry removed", extra={"data": {"key": key}}
             )
@@ -118,7 +145,8 @@ class ScoreCache:
             except OSError:
                 pass
             return None
-        get_recorder().count("cache.hit")
+        self._count("hit")
+        self._count("bytes_read", size)
         arrays.pop("__meta__", None)
         return arrays
 
@@ -135,7 +163,7 @@ class ScoreCache:
                     return None
                 raw = bytes(bundle["__meta__"].tobytes())
         except _CORRUPT_ENTRY_ERRORS:
-            get_recorder().count("cache.corrupt")
+            self._count("corrupt")
             return None
         try:
             return json.loads(raw.decode("utf-8"))
@@ -162,5 +190,31 @@ class ScoreCache:
             removed += 1
         return removed
 
+    def stats(self) -> Dict[str, int]:
+        """Current on-disk footprint: ``{"entries": n, "bytes": total}``."""
+        if self._root is None or not self._root.exists():
+            return {"entries": 0, "bytes": 0}
+        entries = 0
+        total = 0
+        for path in self._root.glob("*.npz"):
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - entry raced away
+                pass
+        return {"entries": entries, "bytes": total}
 
-__all__ = ["ScoreCache"]
+
+class ScoreCache(NpzDirectory):
+    """The score-set cache: named numpy bundles under ``cache.*`` metrics.
+
+    Keys are built by the study orchestrator from the config/protocol
+    fingerprints plus the scenario and device-pair shard, so a score set
+    is computed at most once per configuration.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        super().__init__(directory, metric_prefix="cache")
+
+
+__all__ = ["NpzDirectory", "ScoreCache"]

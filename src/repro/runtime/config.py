@@ -64,6 +64,11 @@ class StudyConfig:
         Process-pool width for score generation; ``0`` means sequential.
     cache_dir:
         Directory for the on-disk score cache; ``None`` disables caching.
+    artifact_dir:
+        Directory for the persistent content-addressed artifact store
+        (acquired impressions, rendered images, extracted templates,
+        quality features); ``None`` disables it and every run rebuilds
+        the dataset from seeds.
     """
 
     n_subjects: int = DEFAULT_SUBJECT_COUNT
@@ -75,6 +80,7 @@ class StudyConfig:
     matcher_name: str = "bioengine"
     n_workers: int = 0
     cache_dir: Optional[str] = None
+    artifact_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_subjects < 2:
@@ -204,10 +210,26 @@ class StudyConfig:
         """Return a copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
 
+    #: Fields that never influence computed results: where caches live
+    #: and how wide the process pool is.  Excluded from the fingerprint
+    #: so two runs of the same experiment share cache entries no matter
+    #: where they store them or how parallel they are (score equality
+    #: across worker counts is covered by the parallel-equivalence tests).
+    _NON_CONTENT_FIELDS = ("cache_dir", "artifact_dir", "n_workers")
+
     def fingerprint(self) -> str:
-        """Stable hash of the configuration, used as the cache key prefix."""
-        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
-        return hashlib.blake2b(payload.encode("utf-8"), digest_size=12).hexdigest()
+        """Stable hash of the *content-determining* configuration fields.
+
+        Used as the cache/artifact key prefix; storage locations and
+        parallelism (:data:`_NON_CONTENT_FIELDS`) are excluded because
+        they cannot change a single computed byte.
+        """
+        payload = dataclasses.asdict(self)
+        for name in self._NON_CONTENT_FIELDS:
+            payload.pop(name, None)
+        return hashlib.blake2b(
+            json.dumps(payload, sort_keys=True).encode("utf-8"), digest_size=12
+        ).hexdigest()
 
     def describe(self) -> str:
         """One-line human-readable summary."""

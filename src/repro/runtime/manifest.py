@@ -65,6 +65,8 @@ MANIFEST_SCHEMA: dict = {
         "gauges": {"type": "object"},
         "histograms": {"type": "object"},
         "cache": {"type": "object"},
+        # Optional (schema_version 1 manifests predate the artifact store).
+        "artifacts": {"type": "object"},
     },
 }
 
@@ -133,17 +135,22 @@ def vcs_describe() -> Optional[str]:
     return described or None
 
 
-def _cache_stats(counters: Dict[str, int]) -> dict:
-    hits = counters.get("cache.hit", 0)
-    misses = counters.get("cache.miss", 0)
+def _store_stats(counters: Dict[str, int], prefix: str) -> dict:
+    """Hit/miss rollup of one npz-directory store's counter namespace."""
+    hits = counters.get(f"{prefix}.hit", 0)
+    misses = counters.get(f"{prefix}.miss", 0)
     looked = hits + misses
     return {
         "hits": hits,
         "misses": misses,
-        "corrupt": counters.get("cache.corrupt", 0),
-        "stores": counters.get("cache.store", 0),
+        "corrupt": counters.get(f"{prefix}.corrupt", 0),
+        "stores": counters.get(f"{prefix}.store", 0),
         "hit_rate": round(hits / looked, 4) if looked else None,
     }
+
+
+def _cache_stats(counters: Dict[str, int]) -> dict:
+    return _store_stats(counters, "cache")
 
 
 @dataclass
@@ -161,6 +168,7 @@ class RunManifest:
     gauges: Dict[str, float]
     histograms: dict
     cache: dict = field(default_factory=dict)
+    artifacts: dict = field(default_factory=dict)
     vcs_version: Optional[str] = None
     created_unix: float = 0.0
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -188,6 +196,7 @@ class RunManifest:
             gauges=snapshot["gauges"],
             histograms=snapshot["histograms"],
             cache=_cache_stats(snapshot["counters"]),
+            artifacts=_store_stats(snapshot["counters"], "artifacts"),
         )
 
     def to_dict(self) -> dict:
@@ -268,6 +277,16 @@ def render_manifest(manifest: RunManifest) -> str:
         f"{manifest.cache.get('corrupt', 0)} corrupt, "
         f"{manifest.cache.get('stores', 0)} stores (hit rate {rate_text})"
     )
+    if manifest.artifacts:
+        art_rate = manifest.artifacts.get("hit_rate")
+        art_text = "n/a" if art_rate is None else f"{100.0 * art_rate:.1f}%"
+        lines.append(
+            f"artifacts: {manifest.artifacts.get('hits', 0)} hits, "
+            f"{manifest.artifacts.get('misses', 0)} misses, "
+            f"{manifest.artifacts.get('corrupt', 0)} corrupt, "
+            f"{manifest.artifacts.get('stores', 0)} stores "
+            f"(hit rate {art_text})"
+        )
     return "\n".join(lines)
 
 

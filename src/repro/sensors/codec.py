@@ -1,0 +1,204 @@
+"""Array codec for acquired impressions.
+
+The artifact store persists numpy-array bundles; this module is the
+bridge between those bundles and the acquisition pipeline's rich
+:class:`~repro.sensors.base.Impression` objects.  Encoding is lossless:
+every float travels as float64 and every structural field round-trips
+exactly, so a decoded impression compares equal (``==``) to the one the
+sensors produced — which is what lets determinism tests assert
+bit-identical collections across cold builds, warm loads and parallel
+acquisition.
+
+Layout (one bundle per subject session, ``n`` impressions, ``m`` total
+minutiae):
+
+===================  =========================================================
+array                contents
+===================  =========================================================
+``subject_id``       int64[n]
+``finger``           str[n] finger labels
+``device``           str[n] device ids
+``set_index``        int64[n]
+``presentation``     int64[n] presentation counters
+``nfiq``             int64[n]
+``image_meta``       int64[n, 3] (width_px, height_px, resolution_dpi)
+``features``         float64[n, 5] quality-feature fields, declaration order
+``feature_counts``   int64[n] minutiae_count (the one integer feature)
+``conditions``       float64[n, 3] (pressure, moisture, sloppiness)
+``minutia_offsets``  int64[n + 1] prefix offsets into ``minutiae``
+``minutiae``         float64[m, 5] (x, y, angle, kind, quality)
+===================  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..matcher.types import template_from_arrays
+from ..quality.features import QualityFeatures
+from .base import Impression
+from .noise import PresentationConditions
+
+#: One minutia row: x_px, y_px, angle, kind, quality.
+_MINUTIA_FIELDS = 5
+
+#: Float-valued QualityFeatures fields, in declaration order.
+_FEATURE_FIELDS = (
+    "contact_area_fraction",
+    "mean_coherence",
+    "dryness_artifact",
+    "noise_level",
+    "mean_minutia_quality",
+)
+
+
+def impressions_to_arrays(
+    impressions: Sequence[Impression],
+) -> Dict[str, np.ndarray]:
+    """Encode ``impressions`` as a dict of numpy arrays (lossless)."""
+    n = len(impressions)
+    subject_id = np.empty(n, dtype=np.int64)
+    finger = np.empty(n, dtype="<U24")
+    device = np.empty(n, dtype="<U4")
+    set_index = np.empty(n, dtype=np.int64)
+    presentation = np.empty(n, dtype=np.int64)
+    nfiq = np.empty(n, dtype=np.int64)
+    image_meta = np.empty((n, 3), dtype=np.int64)
+    features = np.empty((n, len(_FEATURE_FIELDS)), dtype=np.float64)
+    feature_counts = np.empty(n, dtype=np.int64)
+    conditions = np.empty((n, 3), dtype=np.float64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+
+    blocks: List[np.ndarray] = []
+    for k, impression in enumerate(impressions):
+        template = impression.template
+        subject_id[k] = impression.subject_id
+        finger[k] = impression.finger_label
+        device[k] = impression.device_id
+        set_index[k] = impression.set_index
+        presentation[k] = impression.presentation_index
+        nfiq[k] = impression.nfiq
+        image_meta[k] = (
+            template.width_px, template.height_px, template.resolution_dpi
+        )
+        features[k] = [
+            getattr(impression.features, name) for name in _FEATURE_FIELDS
+        ]
+        feature_counts[k] = impression.features.minutiae_count
+        conditions[k] = (
+            impression.conditions.pressure,
+            impression.conditions.moisture,
+            impression.conditions.sloppiness,
+        )
+        rows = np.empty((len(template), _MINUTIA_FIELDS), dtype=np.float64)
+        if len(template):
+            rows[:, 0:2] = template.positions_px()
+            rows[:, 2] = template.angles()
+            rows[:, 3] = template.kinds()
+            rows[:, 4] = template.qualities()
+        blocks.append(rows)
+        offsets[k + 1] = offsets[k] + len(template)
+
+    minutiae = (
+        np.concatenate(blocks, axis=0)
+        if blocks
+        else np.zeros((0, _MINUTIA_FIELDS), dtype=np.float64)
+    )
+    return {
+        "subject_id": subject_id,
+        "finger": finger,
+        "device": device,
+        "set_index": set_index,
+        "presentation": presentation,
+        "nfiq": nfiq,
+        "image_meta": image_meta,
+        "features": features,
+        "feature_counts": feature_counts,
+        "conditions": conditions,
+        "minutia_offsets": offsets,
+        "minutiae": minutiae,
+    }
+
+
+def impressions_from_arrays(
+    arrays: Dict[str, np.ndarray],
+) -> List[Impression]:
+    """Decode a bundle produced by :func:`impressions_to_arrays`.
+
+    Raises ``KeyError``/``ValueError`` on a malformed bundle; artifact
+    consumers treat those as cache misses, mirroring the corruption
+    semantics of the store itself.
+    """
+    n = int(len(arrays["subject_id"]))
+    offsets = arrays["minutia_offsets"]
+    minutiae = arrays["minutiae"]
+    if len(offsets) != n + 1 or int(offsets[-1]) != len(minutiae):
+        raise ValueError("impression bundle offsets are inconsistent")
+    impressions: List[Impression] = []
+    for k in range(n):
+        rows = minutiae[int(offsets[k]) : int(offsets[k + 1])]
+        width_px, height_px, dpi = (int(v) for v in arrays["image_meta"][k])
+        template = template_from_arrays(
+            positions_px=rows[:, 0:2],
+            angles=rows[:, 2],
+            kinds=rows[:, 3].astype(np.int64),
+            qualities=rows[:, 4].astype(np.int64),
+            width_px=width_px,
+            height_px=height_px,
+            resolution_dpi=dpi,
+        )
+        float_features = arrays["features"][k]
+        features = QualityFeatures(
+            minutiae_count=int(arrays["feature_counts"][k]),
+            **{
+                name: float(float_features[j])
+                for j, name in enumerate(_FEATURE_FIELDS)
+            },
+        )
+        pressure, moisture, sloppiness = arrays["conditions"][k]
+        impressions.append(
+            Impression(
+                subject_id=int(arrays["subject_id"][k]),
+                finger_label=str(arrays["finger"][k]),
+                device_id=str(arrays["device"][k]),
+                set_index=int(arrays["set_index"][k]),
+                presentation_index=int(arrays["presentation"][k]),
+                template=template,
+                features=features,
+                nfiq=int(arrays["nfiq"][k]),
+                conditions=PresentationConditions(
+                    pressure=float(pressure),
+                    moisture=float(moisture),
+                    sloppiness=float(sloppiness),
+                ),
+            )
+        )
+    return impressions
+
+
+def quality_to_arrays(
+    impressions: Sequence[Impression],
+) -> Dict[str, np.ndarray]:
+    """Encode only the quality evidence of ``impressions``.
+
+    The ``quality`` artifact tier stores this compact form so quality
+    analyses (NFIQ distributions, device-inference features) can warm-load
+    without decoding any minutia data.
+    """
+    full = impressions_to_arrays(impressions)
+    return {
+        name: full[name]
+        for name in (
+            "subject_id", "finger", "device", "set_index",
+            "nfiq", "features", "feature_counts",
+        )
+    }
+
+
+__all__ = [
+    "impressions_to_arrays",
+    "impressions_from_arrays",
+    "quality_to_arrays",
+]

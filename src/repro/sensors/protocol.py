@@ -136,6 +136,21 @@ class Collection:
         for impression in other:
             self.add(impression)
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same keys mapping to equal impressions.
+
+        Insertion order is ignored — a warm-loaded or parallel-assembled
+        collection equals its serially built twin as long as every
+        impression matches field-for-field (impressions are frozen
+        dataclasses, so ``==`` compares templates, features and
+        conditions exactly).
+        """
+        if not isinstance(other, Collection):
+            return NotImplemented
+        return self._impressions == other._impressions
+
+    __hash__ = None  # mutable container
+
 
 def acquire_subject_session(
     subject: Subject,

@@ -98,20 +98,40 @@ class Population:
         """The finger used for the headline score sets (right index)."""
         return FINGER_LABELS[0]
 
-    def subject(self, subject_id: int) -> Subject:
-        """Return (synthesizing on first access) subject ``subject_id``."""
+    def traits(self, subject_id: int) -> SubjectTraits:
+        """Subject ``subject_id``'s interaction traits, fingers unsynthesized.
+
+        Traits and demographics are drawn from their own seed-tree nodes,
+        so they can be sampled without paying for master-finger synthesis
+        — which is what makes content-addressed artifact digests (keyed
+        partly on traits) cheap enough to compute for every subject on
+        every run.
+        """
+        cached = self._cache.get(subject_id)
+        if cached is not None:
+            return cached.traits
+        demographics, traits = self._sample_identity(subject_id)
+        return traits
+
+    def _sample_identity(self, subject_id: int):
+        """Draw (demographics, traits) from the subject's seed node."""
         if not 0 <= subject_id < self.n_subjects:
             raise IndexError(
                 f"subject_id {subject_id} outside population of {self.n_subjects}"
             )
+        node = self._tree.child("subject", subject_id)
+        demographics = sample_demographics(node.generator("demographics"))
+        traits = sample_traits(node.generator("traits"), demographics)
+        return demographics, traits
+
+    def subject(self, subject_id: int) -> Subject:
+        """Return (synthesizing on first access) subject ``subject_id``."""
         cached = self._cache.get(subject_id)
         if cached is not None:
             return cached
 
+        demographics, traits = self._sample_identity(subject_id)
         node = self._tree.child("subject", subject_id)
-        demo_rng = node.generator("demographics")
-        demographics = sample_demographics(demo_rng)
-        traits = sample_traits(node.generator("traits"), demographics)
         fingers: Dict[str, MasterFinger] = {}
         for label in self.finger_labels:
             fingers[label] = synthesize_master_finger(node.generator("finger", label))

@@ -1,0 +1,113 @@
+"""The shared padded-slice neighbourhood and its consumers."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.extraction import (
+    _annihilate_close_pairs,
+    _annihilate_close_pairs_reference,
+    _erode,
+)
+from repro.imaging.thinning import neighbourhood_planes
+
+
+def _roll_planes(z):
+    """The original np.roll chain (wraparound semantics), for reference."""
+    p2 = np.roll(z, 1, axis=0)
+    p3 = np.roll(np.roll(z, 1, axis=0), -1, axis=1)
+    p4 = np.roll(z, -1, axis=1)
+    p5 = np.roll(np.roll(z, -1, axis=0), -1, axis=1)
+    p6 = np.roll(z, -1, axis=0)
+    p7 = np.roll(np.roll(z, -1, axis=0), 1, axis=1)
+    p8 = np.roll(z, 1, axis=1)
+    p9 = np.roll(np.roll(z, 1, axis=0), 1, axis=1)
+    return p2, p3, p4, p5, p6, p7, p8, p9
+
+
+class TestNeighbourhoodPlanes:
+    def test_matches_rolls_for_border_cleared_input(self):
+        rng = np.random.Generator(np.random.PCG64(7))
+        z = (rng.random((40, 50)) < 0.4).astype(np.uint8)
+        z[0, :] = z[-1, :] = 0
+        z[:, 0] = z[:, -1] = 0
+        for ours, rolled in zip(neighbourhood_planes(z), _roll_planes(z)):
+            np.testing.assert_array_equal(ours, rolled)
+
+    def test_out_of_frame_reads_as_background(self):
+        z = np.ones((3, 3), dtype=np.uint8)
+        p2, p3, p4, p5, p6, p7, p8, p9 = neighbourhood_planes(z)
+        # The pixel above row 0 is outside the frame: zero, not a wrap
+        # to the bottom row (np.roll would give 1 here).
+        assert p2[0, 1] == 0
+        assert p6[2, 1] == 0
+        assert p4[1, 2] == 0
+        assert p8[1, 0] == 0
+        assert p3[0, 2] == 0 and p5[2, 2] == 0 and p7[2, 0] == 0 and p9[0, 0] == 0
+
+    def test_orientation(self):
+        z = np.zeros((5, 5), dtype=np.uint8)
+        z[1, 2] = 1  # above the centre
+        p2 = neighbourhood_planes(z)[0]
+        assert p2[2, 2] == 1
+
+    def test_shapes_match_input(self):
+        z = np.zeros((4, 7), dtype=np.uint8)
+        for plane in neighbourhood_planes(z):
+            assert plane.shape == z.shape
+
+
+class TestErode:
+    def test_interior_square_shrinks(self):
+        mask = np.zeros((11, 11), dtype=bool)
+        mask[2:9, 2:9] = True
+        eroded = _erode(mask, 1)
+        expected = np.zeros_like(mask)
+        expected[3:8, 3:8] = True
+        np.testing.assert_array_equal(eroded, expected)
+
+    def test_full_frame_mask_erodes_from_the_border(self):
+        # Regression: the roll-based erosion wrapped around, so an
+        # all-True mask never shrank and border minutiae survived the
+        # interior filter.
+        mask = np.ones((10, 10), dtype=bool)
+        eroded = _erode(mask, 2)
+        assert not eroded[:2, :].any() and not eroded[-2:, :].any()
+        assert not eroded[:, :2].any() and not eroded[:, -2:].any()
+        assert eroded[2:-2, 2:-2].all()
+
+    def test_zero_iterations_identity(self):
+        mask = np.ones((5, 5), dtype=bool)
+        np.testing.assert_array_equal(_erode(mask, 0), mask)
+
+
+class TestAnnihilationParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_on_random_clouds(self, seed):
+        rng = np.random.Generator(np.random.PCG64(seed))
+        n = int(rng.integers(0, 120))
+        points = [
+            (int(y), int(x), float(a))
+            for y, x, a in zip(
+                rng.integers(0, 60, n),
+                rng.integers(0, 60, n),
+                rng.random(n),
+            )
+        ]
+        for min_distance in (1.0, 4.0, 9.5):
+            assert _annihilate_close_pairs(
+                points, min_distance
+            ) == _annihilate_close_pairs_reference(points, min_distance)
+
+    def test_empty(self):
+        assert _annihilate_close_pairs([], 5.0) == []
+
+    def test_greedy_chain_semantics(self):
+        # A-B close, B-C close, A-C far: A annihilates with B (its first
+        # close partner), leaving C alive — not the all-pairs result
+        # where all three would die.
+        points = [(0, 0, 0.0), (0, 3, 0.0), (0, 6, 0.0)]
+        assert _annihilate_close_pairs(points, 4.0) == [False, False, True]
+
+    def test_far_points_all_survive(self):
+        points = [(0, 0, 0.0), (0, 50, 0.0), (50, 0, 0.0)]
+        assert _annihilate_close_pairs(points, 5.0) == [True, True, True]

@@ -1,0 +1,90 @@
+"""Artifact-backed render/extract pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import ImagePipeline, RenderSettings
+from repro.imaging.pipeline import template_from_bundle, template_to_arrays
+from repro.runtime.artifacts import ArtifactStore
+from repro.runtime.rng import SeedTree
+from repro.runtime.telemetry import enable_telemetry, get_recorder, set_recorder
+from repro.synthesis import synthesize_master_finger
+
+
+@pytest.fixture()
+def recorder():
+    previous = get_recorder()
+    live = enable_telemetry()
+    yield live
+    set_recorder(previous)
+
+
+@pytest.fixture(scope="module")
+def finger():
+    return synthesize_master_finger(SeedTree(11).generator("finger"))
+
+
+SETTINGS = RenderSettings(pixels_per_mm=8.0)
+IDENTITY = {"seed": 11, "finger": "test"}
+
+
+class TestTemplateCodec:
+    def test_roundtrip(self, finger):
+        from repro.imaging import extract_template, render_finger
+
+        rendered = render_finger(finger, SETTINGS)
+        template = extract_template(
+            rendered.image, SETTINGS.pixels_per_mm, mask=rendered.mask
+        )
+        decoded = template_from_bundle(template_to_arrays(template))
+        assert decoded == template
+
+    def test_malformed_bundle_raises(self):
+        with pytest.raises(KeyError):
+            template_from_bundle({"positions_px": np.zeros((0, 2))})
+
+
+class TestImagePipeline:
+    def test_render_cached_roundtrip(self, finger, tmp_path, recorder):
+        pipe = ImagePipeline(ArtifactStore(tmp_path / "arts"))
+        cold = pipe.render(finger, IDENTITY, SETTINGS)
+        warm = pipe.render(finger, IDENTITY, SETTINGS)
+        np.testing.assert_array_equal(cold.image, warm.image)
+        np.testing.assert_array_equal(cold.minutiae_px, warm.minutiae_px)
+        np.testing.assert_array_equal(cold.mask, warm.mask)
+        assert cold.pixels_per_mm == warm.pixels_per_mm
+        assert recorder.metrics.counter_value("artifacts.hit") == 1
+
+    def test_extract_cached_roundtrip(self, finger, tmp_path):
+        pipe = ImagePipeline(ArtifactStore(tmp_path / "arts"))
+        rendered = pipe.render(finger, IDENTITY, SETTINGS)
+        cold = pipe.extract(
+            rendered.image, SETTINGS.pixels_per_mm, IDENTITY, mask=rendered.mask
+        )
+        warm = pipe.extract(
+            rendered.image, SETTINGS.pixels_per_mm, IDENTITY, mask=rendered.mask
+        )
+        assert cold == warm
+        assert len(cold) > 0
+
+    def test_identity_separates_entries(self, finger, tmp_path):
+        pipe = ImagePipeline(ArtifactStore(tmp_path / "arts"))
+        pipe.render(finger, {"subject": 1}, SETTINGS)
+        pipe.render(finger, {"subject": 2}, SETTINGS)
+        assert pipe.artifacts.stats()["images"]["entries"] == 2
+
+    def test_disabled_store_computes(self, finger):
+        pipe = ImagePipeline()
+        rendered = pipe.render(finger, IDENTITY, SETTINGS)
+        assert rendered.image.shape[0] > 0
+        assert pipe.artifacts.stats()["total"]["entries"] == 0
+
+    def test_corrupt_image_entry_recomputed(self, finger, tmp_path):
+        store = ArtifactStore(tmp_path / "arts")
+        pipe = ImagePipeline(store)
+        cold = pipe.render(finger, IDENTITY, SETTINGS)
+        tier_dir = tmp_path / "arts" / "images"
+        entry = next(tier_dir.glob("*.npz"))
+        entry.write_bytes(b"PK\x03\x04" + b"\x00" * 32)
+        again = pipe.render(finger, IDENTITY, SETTINGS)
+        np.testing.assert_array_equal(cold.image, again.image)

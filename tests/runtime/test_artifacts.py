@@ -1,0 +1,180 @@
+"""Content-addressed artifact store behaviour."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime.artifacts import CODE_SALT, TIERS, ArtifactStore, canonical_digest
+from repro.runtime.errors import CacheError
+from repro.runtime.telemetry import enable_telemetry, get_recorder, set_recorder
+
+
+@pytest.fixture()
+def recorder():
+    previous = get_recorder()
+    live = enable_telemetry()
+    yield live
+    set_recorder(previous)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+class TestCanonicalDigest:
+    def test_deterministic(self):
+        payload = {"subject": 3, "seed": 20130624, "devices": ["D0", "D1"]}
+        assert canonical_digest(payload) == canonical_digest(dict(payload))
+
+    def test_key_order_irrelevant(self):
+        a = canonical_digest({"x": 1, "y": 2})
+        b = canonical_digest({"y": 2, "x": 1})
+        assert a == b
+
+    def test_value_changes_address(self):
+        base = canonical_digest({"subject": 3})
+        assert canonical_digest({"subject": 4}) != base
+
+    def test_salt_changes_address(self):
+        payload = {"subject": 3}
+        assert canonical_digest(payload) != canonical_digest(
+            payload, salt=CODE_SALT + "-next"
+        )
+
+    def test_dataclass_payload(self):
+        @dataclasses.dataclass(frozen=True)
+        class Traits:
+            pressure: float
+            moisture: float
+
+        a = canonical_digest({"traits": Traits(0.5, 0.3)})
+        b = canonical_digest({"traits": {"pressure": 0.5, "moisture": 0.3}})
+        assert a == b
+
+    def test_numpy_payload(self):
+        assert canonical_digest({"v": np.int64(3)}) == canonical_digest({"v": 3})
+        assert canonical_digest({"v": np.array([1.0, 2.0])}) == canonical_digest(
+            {"v": [1.0, 2.0]}
+        )
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_digest({"v": object()})
+
+    def test_hex_and_stable_width(self):
+        digest = canonical_digest({"subject": 0})
+        assert len(digest) == 32
+        int(digest, 16)  # hex-parsable
+
+
+class TestTiers:
+    def test_tiers_are_separate_namespaces(self, store):
+        digest = "d" * 32
+        store.store("impressions", digest, {"a": np.zeros(2)})
+        assert store.load("impressions", digest) is not None
+        assert store.load("images", digest) is None
+
+    def test_unknown_tier_rejected(self, store):
+        with pytest.raises(CacheError):
+            store.store("scores", "k", {"a": np.zeros(1)})
+        with pytest.raises(CacheError):
+            store.load("scores", "k")
+
+    def test_all_declared_tiers_work(self, store):
+        for tier in TIERS:
+            store.store(tier, "k", {"a": np.full(1, 7.0)})
+        for tier in TIERS:
+            np.testing.assert_array_equal(store.load(tier, "k")["a"], [7.0])
+
+
+class TestRoundTrip:
+    def test_store_and_load(self, store):
+        arrays = {"x": np.arange(4.0), "y": np.array(["a", "b"])}
+        store.store("templates", "k1", arrays)
+        loaded = store.load("templates", "k1")
+        np.testing.assert_array_equal(loaded["x"], arrays["x"])
+        np.testing.assert_array_equal(loaded["y"], arrays["y"])
+
+    def test_meta_roundtrip(self, store):
+        store.store("quality", "k", {"a": np.zeros(1)}, meta={"subject": 5})
+        assert store.load_meta("quality", "k") == {"subject": 5}
+
+    def test_has(self, store):
+        assert not store.has("images", "k")
+        store.store("images", "k", {"a": np.zeros(1)})
+        assert store.has("images", "k")
+
+    def test_invalidate(self, store):
+        store.store("images", "k", {"a": np.zeros(1)})
+        assert store.invalidate("images", "k") is True
+        assert store.load("images", "k") is None
+        assert store.invalidate("images", "k") is False
+
+    def test_clear_one_tier(self, store):
+        store.store("images", "k", {"a": np.zeros(1)})
+        store.store("templates", "k", {"a": np.zeros(1)})
+        assert store.clear("images") == 1
+        assert store.load("images", "k") is None
+        assert store.load("templates", "k") is not None
+
+    def test_clear_all(self, store):
+        store.store("images", "k", {"a": np.zeros(1)})
+        store.store("templates", "k", {"a": np.zeros(1)})
+        assert store.clear() == 2
+
+
+class TestDisabled:
+    def test_none_directory_disables(self):
+        store = ArtifactStore(None)
+        assert not store.enabled
+        assert store.root is None
+        store.store("impressions", "k", {"a": np.zeros(1)})  # no-op
+        assert store.load("impressions", "k") is None
+        assert not store.has("impressions", "k")
+        assert store.clear() == 0
+        assert store.stats()["total"] == {"entries": 0, "bytes": 0}
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, store, tmp_path, recorder):
+        store.store("impressions", "bad", {"a": np.zeros(3)})
+        path = tmp_path / "artifacts" / "impressions" / "bad.npz"
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 64)
+        assert store.load("impressions", "bad") is None
+        assert not path.exists()
+        assert recorder.metrics.counter_value("artifacts.corrupt") == 1
+        assert recorder.metrics.counter_value("artifacts.miss") == 1
+
+    def test_truncated_entry_is_a_miss(self, store, tmp_path):
+        store.store("templates", "cut", {"a": np.arange(1000.0)})
+        path = tmp_path / "artifacts" / "templates" / "cut.npz"
+        path.write_bytes(path.read_bytes()[:40])
+        assert store.load("templates", "cut") is None
+
+    def test_counters_use_artifacts_namespace(self, store, recorder):
+        assert store.load("images", "absent") is None
+        store.store("images", "k", {"a": np.zeros(1)})
+        assert store.load("images", "k") is not None
+        counters = recorder.metrics.snapshot()["counters"]
+        assert counters["artifacts.miss"] == 1
+        assert counters["artifacts.hit"] == 1
+        assert counters["artifacts.store"] == 1
+        assert counters["artifacts.bytes_written"] > 0
+        assert counters["artifacts.bytes_read"] > 0
+        assert "cache.hit" not in counters
+
+
+class TestStats:
+    def test_per_tier_and_total(self, store):
+        store.store("impressions", "a", {"x": np.zeros(10)})
+        store.store("quality", "b", {"x": np.zeros(10)})
+        stats = store.stats()
+        assert stats["impressions"]["entries"] == 1
+        assert stats["quality"]["entries"] == 1
+        assert stats["images"] == {"entries": 0, "bytes": 0}
+        assert stats["total"]["entries"] == 2
+        assert stats["total"]["bytes"] == sum(
+            stats[tier]["bytes"] for tier in TIERS
+        )

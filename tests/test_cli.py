@@ -261,3 +261,46 @@ class TestPredict:
         assert code == 0
         assert "P(false non-match" in out
         assert "credible interval" in out
+
+
+class TestWarm:
+    def test_warm_populates_store(self, tmp_path):
+        arts = tmp_path / "arts"
+        code, out = run_cli(
+            ["warm", "--subjects", "4", "--workers", "0",
+             "--artifact-dir", str(arts)]
+        )
+        assert code == 0
+        assert "impressions" in out and "quality" in out
+        assert len(list((arts / "impressions").glob("*.npz"))) == 4
+
+    def test_warm_clear_drops_entries(self, tmp_path):
+        arts = str(tmp_path / "arts")
+        run_cli(["warm", "--subjects", "4", "--workers", "0",
+                 "--artifact-dir", arts])
+        code, out = run_cli(
+            ["warm", "--subjects", "4", "--workers", "0",
+             "--artifact-dir", arts, "--clear"]
+        )
+        assert code == 0
+        assert "cleared 8 artifact entries" in out
+
+    def test_run_after_warm_hits_artifacts(self, tmp_path):
+        arts = str(tmp_path / "arts")
+        run_cli(["warm", "--subjects", "4", "--workers", "0",
+                 "--artifact-dir", arts])
+        manifest = tmp_path / "m.json"
+        code, _ = run_cli(
+            ["run", "--subjects", "4", "--workers", "0",
+             "--cache-dir", str(tmp_path / "cache"), "--artifact-dir", arts,
+             "--only", "table3", "--manifest-out", str(manifest)]
+        )
+        assert code == 0
+        data = json.loads(manifest.read_text())
+        validate_manifest(data)
+        assert data["counters"]["artifacts.hit"] == 4
+        assert data["artifacts"]["hits"] == 4
+        assert data["artifacts"]["misses"] == 0
+        code, out = run_cli(["stats", str(manifest)])
+        assert code == 0
+        assert "artifacts: 4 hits" in out
