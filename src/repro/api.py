@@ -38,12 +38,21 @@ from .runtime.config import (
     StudyConfig,
     resolve_worker_count,
 )
-from .runtime.errors import ConfigurationError, MatcherError, ReproError
+from .runtime.errors import (
+    ConfigurationError,
+    MatcherError,
+    PermanentError,
+    ReproError,
+    TransientError,
+    classify_failure,
+)
+from .runtime.faults import FaultInjector, parse_faults
 from .runtime.manifest import RunManifest, render_manifest, validate_manifest
 from .runtime.parallel import parallel_map, parallel_map_batched
 from .runtime.progress import ProgressReporter
 from .runtime.rng import SeedTree
 from .runtime.shm import SharedTemplateStore, SharedTemplateView
+from .runtime.supervisor import RetryPolicy, supervised_map_batched
 from .runtime.telemetry import (
     TelemetryRecorder,
     configure_logging,
@@ -405,11 +414,18 @@ __all__ = [
     "configure_logging",
     "parallel_map",
     "parallel_map_batched",
+    "supervised_map_batched",
+    "RetryPolicy",
     "SharedTemplateStore",
     "SharedTemplateView",
+    "FaultInjector",
+    "parse_faults",
     "ReproError",
     "ConfigurationError",
     "MatcherError",
+    "TransientError",
+    "PermanentError",
+    "classify_failure",
     # data and models
     "build_collection",
     "warm_artifacts",

@@ -21,6 +21,14 @@ explicit ``--subjects`` / ``--workers`` flags (flags win).  Observability
 switches: ``--log-level`` (or ``REPRO_LOG_LEVEL``) turns on JSON logs,
 and ``run --manifest-out FILE`` enables telemetry for the run and writes
 the span/counter manifest to ``FILE`` (see ``docs/observability.md``).
+
+Failures print one ``repro: <ErrorType>: <message>`` line to stderr and
+exit with a family-specific nonzero code (see :data:`EXIT_CODE_BY_ERROR`)
+so scripts and CI can branch on *what* failed without parsing
+tracebacks; ``run`` additionally offers ``--resume`` (continue an
+interrupted run from its chunk checkpoints) and ``--no-fail-fast``
+(record permanently failed batches as skips instead of aborting) — see
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +43,44 @@ from typing import List, Optional
 
 from . import __version__
 from .api import StudyConfig
+from .runtime.errors import (
+    AcquisitionError,
+    CacheError,
+    CalibrationError,
+    ConfigurationError,
+    MatcherError,
+    PermanentError,
+    ReproError,
+    SynthesisError,
+    TemplateFormatError,
+    TransientError,
+)
+
+#: Exit code per failure family; first match wins, so subclasses must
+#: precede their bases (every code here is distinct from 0 and from
+#: argparse's own 2-adjacent usage errors only by the stderr line).
+EXIT_CODE_BY_ERROR = (
+    (ConfigurationError, 2),
+    (TemplateFormatError, 3),
+    (MatcherError, 4),
+    (AcquisitionError, 5),
+    (SynthesisError, 5),
+    (CalibrationError, 6),
+    (CacheError, 7),
+    (PermanentError, 8),
+    (TransientError, 9),
+)
+
+#: Exit code of a :class:`ReproError` outside every family above.
+GENERIC_ERROR_EXIT = 10
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The process exit code one library failure maps to."""
+    for error_type, code in EXIT_CODE_BY_ERROR:
+        if isinstance(exc, error_type):
+            return code
+    return GENERIC_ERROR_EXIT
 
 #: Artifact names accepted by ``run --only``.
 ARTIFACTS = (
@@ -82,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--manifest-out", default=None,
                      help="enable telemetry and write the run manifest "
                           "(spans, counters, cache stats) to this JSON file")
+    run.add_argument("--resume", action="store_true",
+                     help="resume an interrupted run from its chunk "
+                          "checkpoints (requires the same --cache-dir; "
+                          "a completed run makes this a no-op)")
+    run.add_argument("--fail-fast", dest="fail_fast", action="store_true",
+                     default=True,
+                     help="abort on the first permanently failed batch "
+                          "(default)")
+    run.add_argument("--no-fail-fast", dest="fail_fast",
+                     action="store_false",
+                     help="skip permanently failed batches instead of "
+                          "aborting; skips are counted in the manifest "
+                          "and the affected score rows are absent")
 
     stats = sub.add_parser(
         "stats", help="summarize a run manifest written by 'run --manifest-out'"
@@ -233,7 +292,12 @@ def cmd_run(args, out) -> int:
         progress_factory = lambda total, label: ProgressReporter(  # noqa: E731
             total=total, label=label
         )
-    study = InteroperabilityStudy(config, progress_factory=progress_factory)
+    study = InteroperabilityStudy(
+        config,
+        progress_factory=progress_factory,
+        resume=args.resume,
+        fail_fast=args.fail_fast,
+    )
     sets = study.score_sets()
     rule = "=" * 72
     out_dir = Path(args.out) if args.out else None
@@ -521,7 +585,13 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from .api import configure_logging
 
         configure_logging(args.log_level)
-    return _COMMANDS[args.command](args, out)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        # One diagnostic line, one family-specific exit code — scripts
+        # branch on $?, humans read stderr, nobody parses a traceback.
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

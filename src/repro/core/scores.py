@@ -131,6 +131,36 @@ class ScoreSet:
         return self.select(mask)
 
     @staticmethod
+    def assemble(
+        parts: Sequence["ScoreSet"], positions: Sequence[np.ndarray]
+    ) -> "ScoreSet":
+        """Merge parts and restore original job order by position.
+
+        ``positions[i]`` gives, for each row of ``parts[i]``, that row's
+        index in the original job enumeration.  The positions need not
+        form a contiguous range — rows of skipped batches are simply
+        absent from the result — but must be pairwise disjoint for the
+        ordering to be meaningful.
+        """
+        if len(parts) != len(positions):
+            raise ConfigurationError(
+                f"assemble got {len(parts)} parts but "
+                f"{len(positions)} position arrays"
+            )
+        for part, pos in zip(parts, positions):
+            if len(part) != len(pos):
+                raise ConfigurationError(
+                    f"assemble part has {len(part)} rows but "
+                    f"{len(pos)} positions"
+                )
+        combined = ScoreSet.concatenate(parts)
+        flat = np.concatenate(
+            [np.asarray(pos, dtype=np.int64) for pos in positions]
+        )
+        order = np.argsort(flat, kind="stable")
+        return combined.select(order)
+
+    @staticmethod
     def concatenate(parts: Sequence["ScoreSet"]) -> "ScoreSet":
         """Merge score sets of the same scenario and matcher."""
         if not parts:

@@ -19,6 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -29,6 +30,7 @@ from ..runtime.cache import ScoreCache
 from ..runtime.config import StudyConfig, resolve_worker_count
 from ..runtime.errors import ConfigurationError
 from ..runtime.parallel import parallel_map_batched
+from ..runtime.supervisor import RetryPolicy
 from ..runtime.progress import ProgressReporter
 from ..runtime.rng import SeedTree
 from ..runtime.shm import SharedTemplateStore, SharedTemplateView, StoreHandle
@@ -100,6 +102,46 @@ def _run_job_chunk_with_metrics(
     return score_set, recorder.metrics.snapshot()
 
 
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Result of one :meth:`InteroperabilityStudy._execute` dispatch.
+
+    ``positions`` indexes the *submitted* job list: under fail-fast (the
+    default) it is simply ``arange(total)``, while salvage mode
+    (``fail_fast=False``) leaves gaps where permanently failed batches
+    were skipped — the rows of ``score_set`` line up with ``positions``.
+    """
+
+    score_set: ScoreSet
+    positions: np.ndarray
+    total: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether every submitted job produced a score."""
+        return len(self.positions) == self.total
+
+    @property
+    def skipped(self) -> int:
+        """How many submitted jobs were skipped."""
+        return self.total - len(self.positions)
+
+
+def _empty_score_set(scenario: str, matcher_name: str) -> ScoreSet:
+    """A zero-row ScoreSet (every submitted batch was skipped)."""
+    return ScoreSet(
+        scenario=scenario,
+        matcher_name=matcher_name,
+        scores=np.empty(0, dtype=np.float64),
+        subject_gallery=np.empty(0, dtype=np.int64),
+        subject_probe=np.empty(0, dtype=np.int64),
+        device_gallery=np.empty(0, dtype="<U2"),
+        device_probe=np.empty(0, dtype="<U2"),
+        nfiq_gallery=np.empty(0, dtype=np.int64),
+        nfiq_probe=np.empty(0, dtype=np.int64),
+    )
+
+
 class InteroperabilityStudy:
     """One full run of the paper's experiment.
 
@@ -122,6 +164,22 @@ class InteroperabilityStudy:
         dataset acquisition and every score-generation scenario report
         progress through reporters it builds.  ``None`` (default) keeps
         the library silent.
+    resume:
+        When true, pooled score generation first loads any chunk
+        checkpoints an interrupted earlier run streamed into the cache,
+        and submits only the unfinished chunks.  Requires a cache
+        directory; a run that completes normally removes its
+        checkpoints, so resuming a finished run is a no-op.
+    fail_fast:
+        With the default (true), a permanently failed batch aborts the
+        run with the original exception.  With ``fail_fast=False`` the
+        failed batch is skipped: the affected device-pair shards are
+        not cached (they would be incomplete) and the returned score
+        sets simply lack those rows, with the skip counted in telemetry
+        (``study.jobs.skipped``) and the run manifest.
+    retry_policy:
+        Retry/backoff/timeout policy for supervised pooled execution;
+        ``None`` (default) reads :meth:`RetryPolicy.from_environment`.
     """
 
     def __init__(
@@ -133,6 +191,9 @@ class InteroperabilityStudy:
             Callable[[Optional[int], str], ProgressReporter]
         ] = None,
         artifacts: Optional[ArtifactStore] = None,
+        resume: bool = False,
+        fail_fast: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.config = config
         self._cache = cache if cache is not None else ScoreCache(config.cache_dir)
@@ -141,6 +202,9 @@ class InteroperabilityStudy:
         )
         self._protocol = protocol
         self._progress_factory = progress_factory
+        self._resume = resume
+        self._fail_fast = fail_fast
+        self._retry_policy = retry_policy
         self._tree = SeedTree(config.master_seed)
         self._collection: Optional[Collection] = None
         self._matcher = None
@@ -340,17 +404,40 @@ class InteroperabilityStudy:
                 }
             },
         )
-        computed = self._execute(missing_jobs, base_scenario, label=scenario)
-        cursor = 0
-        for pair in missing:
-            count = len(pair_indices[pair])
-            shard = computed.select(np.arange(cursor, cursor + count))
-            shards[pair] = shard
-            self._store_cached(
-                shard, self.shard_key(scenario, pair[0], pair[1])
-            )
-            cursor += count
-        return self._assemble_shards(shards, pair_indices, len(jobs))
+        outcome = self._execute(missing_jobs, base_scenario, label=scenario)
+        computed = outcome.score_set
+        if outcome.complete:
+            cursor = 0
+            for pair in missing:
+                count = len(pair_indices[pair])
+                shard = computed.select(np.arange(cursor, cursor + count))
+                shards[pair] = shard
+                self._store_cached(
+                    shard, self.shard_key(scenario, pair[0], pair[1])
+                )
+                cursor += count
+            return self._assemble_shards(shards, pair_indices, len(jobs))
+        # Salvage mode (fail_fast=False with skipped batches): return the
+        # rows that did complete, but cache none of the affected pair
+        # shards — an incomplete shard in the cache would silently
+        # shortchange every later run, while recomputing is merely slow.
+        recorder.count("study.jobs.skipped", outcome.skipped)
+        _log.warning(
+            "score set incomplete; skipped jobs dropped, shards not cached",
+            extra={
+                "data": {"scenario": scenario, "skipped": outcome.skipped}
+            },
+        )
+        missing_global = np.asarray(
+            [k for pair in missing for k in pair_indices[pair]], dtype=np.int64
+        )
+        parts = [shards[pair] for pair in shards]
+        positions = [
+            np.asarray(pair_indices[pair], dtype=np.int64) for pair in shards
+        ]
+        parts.append(computed)
+        positions.append(missing_global[outcome.positions])
+        return ScoreSet.assemble(parts, positions)
 
     def custom_scores(
         self,
@@ -374,9 +461,30 @@ class InteroperabilityStudy:
         cached = self._load_cached(base_scenario, cache_key)
         if cached is not None:
             return cached
-        score_set = self._execute(jobs, base_scenario, finger=effective_finger)
-        self._store_cached(score_set, cache_key)
-        return score_set
+        outcome = self._execute(
+            jobs, base_scenario, finger=effective_finger, label=label
+        )
+        if outcome.complete:
+            self._store_cached(outcome.score_set, cache_key)
+        else:
+            get_recorder().count("study.jobs.skipped", outcome.skipped)
+            _log.warning(
+                "custom score set incomplete; result not cached",
+                extra={"data": {"label": label, "skipped": outcome.skipped}},
+            )
+        return outcome.score_set
+
+    def _checkpoint_prefix(self, label: str, finger: str, n_chunks: int) -> str:
+        """Cache-key prefix of one pooled execution's chunk checkpoints.
+
+        Embeds the config and protocol fingerprints plus the chunk
+        partition, so a checkpoint can never be resumed into a run whose
+        chunk boundaries (or science) differ.
+        """
+        return (
+            f"{self.config.fingerprint()}-{self._protocol.fingerprint()}"
+            f"-ckpt-{label}-{finger}-{n_chunks}"
+        )
 
     def _execute(
         self,
@@ -384,39 +492,103 @@ class InteroperabilityStudy:
         scenario: str,
         finger: Optional[str] = None,
         label: Optional[str] = None,
-    ) -> ScoreSet:
+    ) -> ExecutionOutcome:
         collection = self.collection()
         effective_finger = finger if finger is not None else self.finger
-        recorder = get_recorder()
         progress = self._progress_for(len(jobs), label or scenario)
         workers = resolve_worker_count(self.config.n_workers)
         if workers > 1 and len(jobs) >= 256:
-            chunk = max(64, len(jobs) // (workers * 4))
-            chunks = [
-                (list(jobs[i : i + chunk]), effective_finger, scenario)
-                for i in range(0, len(jobs), chunk)
-            ]
+            return self._execute_pooled(
+                jobs, scenario, effective_finger, label or scenario,
+                workers, progress,
+            )
+        score_set = run_jobs_batched(
+            jobs, collection, self.matcher(), effective_finger, scenario,
+            progress=progress,
+        )
+        if progress is not None:
+            progress.finish()
+        return ExecutionOutcome(
+            score_set, np.arange(len(jobs), dtype=np.int64), len(jobs)
+        )
 
-            def _collect(result) -> None:
-                if recorder.active:
-                    # Each chunk carries its worker-local metrics; merging
-                    # here keeps counters exact without shared state.
-                    part, snapshot = result
-                    recorder.merge_metrics(snapshot)
-                else:
-                    part = result
+    def _execute_pooled(
+        self,
+        jobs: Sequence[MatchJob],
+        scenario: str,
+        finger: str,
+        task_label: str,
+        workers: int,
+        progress: Optional[ProgressReporter],
+    ) -> ExecutionOutcome:
+        """Supervised pooled execution with streaming chunk checkpoints."""
+        recorder = get_recorder()
+        chunk = max(64, len(jobs) // (workers * 4))
+        bounds = list(range(0, len(jobs), chunk))
+        chunks = [
+            (list(jobs[start : start + chunk]), finger, scenario)
+            for start in bounds
+        ]
+        task_keys = [f"{task_label}-chunk{i:04d}" for i in range(len(chunks))]
+        ckpt_enabled = self._cache.enabled and len(chunks) > 1
+        ckpt_prefix = self._checkpoint_prefix(task_label, finger, len(chunks))
+        prefilled: Dict[int, ScoreSet] = {}
+        if ckpt_enabled and self._resume:
+            for i, (chunk_jobs, _, _) in enumerate(chunks):
+                cached = self._load_cached(scenario, f"{ckpt_prefix}-{i:04d}")
+                if cached is not None and len(cached) == len(chunk_jobs):
+                    prefilled[i] = cached
+            if prefilled:
+                recorder.count("study.checkpoint.resumed", len(prefilled))
+                _log.info(
+                    "resumed from chunk checkpoints",
+                    extra={
+                        "data": {
+                            "label": task_label,
+                            "resumed": len(prefilled),
+                            "chunks": len(chunks),
+                        }
+                    },
+                )
                 if progress is not None:
-                    progress.update(len(part))
+                    progress.update(sum(len(p) for p in prefilled.values()))
+        submitted = [i for i in range(len(chunks)) if i not in prefilled]
+        emitted = 0
 
+        def _collect(result) -> None:
+            # on_result fires once per submitted batch, in input order
+            # (None marks a skip), so ``emitted`` tracks chunk identity.
+            nonlocal emitted
+            chunk_idx = submitted[emitted]
+            emitted += 1
+            if result is None:
+                return
+            if recorder.active:
+                # Each chunk carries its worker-local metrics; merging
+                # here keeps counters exact without shared state.
+                part, snapshot = result
+                recorder.merge_metrics(snapshot)
+            else:
+                part = result
+            if ckpt_enabled:
+                # Stream the finished chunk to disk: an interrupted run
+                # restarted with resume=True recomputes only the rest.
+                self._store_cached(part, f"{ckpt_prefix}-{chunk_idx:04d}")
+                recorder.count("study.checkpoint.stored")
+            if progress is not None:
+                progress.update(len(part))
+
+        results: List[object] = []
+        if submitted:
             store: Optional[SharedTemplateStore] = None
             try:
                 try:
                     # Workers map the template block instead of unpickling
                     # a full Collection copy each.
-                    store = SharedTemplateStore.pack(collection)
+                    store = SharedTemplateStore.pack(self.collection())
                     source: Union[Collection, StoreHandle] = store.handle()
                 except OSError:  # pragma: no cover - no shm on this platform
-                    source = collection
+                    source = self.collection()
                 worker_func = (
                     _run_job_chunk_with_metrics
                     if recorder.active
@@ -424,28 +596,50 @@ class InteroperabilityStudy:
                 )
                 results = parallel_map_batched(
                     worker_func,
-                    chunks,
+                    [chunks[i] for i in submitted],
                     n_workers=workers,
                     initializer=_init_score_worker,
                     initargs=(source, self.config.matcher_name, recorder.active),
                     on_result=_collect,
+                    policy=self._retry_policy,
+                    task_keys=[task_keys[i] for i in submitted],
+                    fail_fast=self._fail_fast,
                 )
             finally:
                 if store is not None:
                     store.destroy()
-            parts = (
-                [part for part, _ in results] if recorder.active else results
-            )
-            if progress is not None:
-                progress.finish()
-            return ScoreSet.concatenate(parts)
-        score_set = run_jobs_batched(
-            jobs, collection, self.matcher(), effective_finger, scenario,
-            progress=progress,
-        )
         if progress is not None:
             progress.finish()
-        return score_set
+        parts: List[ScoreSet] = []
+        positions: List[np.ndarray] = []
+        cursor = 0
+        for i, start in enumerate(bounds):
+            if i in prefilled:
+                part = prefilled[i]
+            else:
+                result = results[cursor]
+                cursor += 1
+                if result is None:  # skipped under fail_fast=False
+                    continue
+                part = result[0] if recorder.active else result
+            parts.append(part)
+            positions.append(
+                np.arange(start, start + len(part), dtype=np.int64)
+            )
+        if parts:
+            score_set = ScoreSet.concatenate(parts)
+            done = np.concatenate(positions)
+        else:
+            score_set = _empty_score_set(scenario, self.config.matcher_name)
+            done = np.empty(0, dtype=np.int64)
+        outcome = ExecutionOutcome(score_set, done, len(jobs))
+        if ckpt_enabled and outcome.complete:
+            # The shard/label cache entries now supersede the chunk
+            # checkpoints; drop them so a later resume never reads stale
+            # chunks from a superseded partition.
+            for i in range(len(chunks)):
+                self._cache.invalidate(f"{ckpt_prefix}-{i:04d}")
+        return outcome
 
     def _load_cached(self, scenario: str, key: str) -> Optional[ScoreSet]:
         arrays = self._cache.load(key)

@@ -20,10 +20,14 @@ from .errors import (
     CalibrationError,
     ConfigurationError,
     MatcherError,
+    PermanentError,
     ReproError,
     SynthesisError,
     TemplateFormatError,
+    TransientError,
+    classify_failure,
 )
+from .faults import Fault, FaultInjector, parse_faults
 from .manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
@@ -38,6 +42,7 @@ from .parallel import (
 )
 from .progress import NullProgress, ProgressReporter
 from .rng import SeedTree, derive_seed
+from .supervisor import RetryPolicy, supervised_map_batched
 from .shm import SharedTemplateStore, SharedTemplateView, StoreHandle
 from .telemetry import (
     MetricsRegistry,
@@ -73,6 +78,14 @@ __all__ = [
     "TemplateFormatError",
     "CalibrationError",
     "CacheError",
+    "TransientError",
+    "PermanentError",
+    "classify_failure",
+    "Fault",
+    "FaultInjector",
+    "parse_faults",
+    "RetryPolicy",
+    "supervised_map_batched",
     "parallel_map",
     "parallel_map_batched",
     "sequential_map",

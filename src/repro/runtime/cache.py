@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from . import faults
 from .errors import CacheError
 from .telemetry import get_logger, get_recorder
 
@@ -106,6 +107,7 @@ class NpzDirectory:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(handle, **payload)
             os.replace(tmp_name, path)
+            faults.corrupt_hook(path, key)
             self._count("store")
             try:
                 self._count("bytes_written", path.stat().st_size)

@@ -35,6 +35,37 @@ PAPER_DDMI_BUDGET = 483_420
 DEFAULT_SUBJECT_COUNT = 80
 
 
+def env_int(name: str) -> Optional[int]:
+    """Integer value of environment variable ``name`` (``None`` if unset).
+
+    A present-but-unparsable value raises :class:`ConfigurationError`
+    naming the variable — a typo in a tuning knob must never be silently
+    ignored.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from exc
+
+
+def env_float(name: str) -> Optional[float]:
+    """Float value of environment variable ``name`` (``None`` if unset)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{name} must be a number, got {raw!r}"
+        ) from exc
+
+
 @dataclass(frozen=True)
 class StudyConfig:
     """Immutable configuration of one interoperability study run.
@@ -158,22 +189,12 @@ class StudyConfig:
         code (``REPRO_SUBJECTS=494 python examples/full_study.py``).
         """
         params: dict = dict(defaults)
-        subjects = os.environ.get("REPRO_SUBJECTS")
+        subjects = env_int("REPRO_SUBJECTS")
         if subjects is not None:
-            try:
-                params["n_subjects"] = int(subjects)
-            except ValueError as exc:
-                raise ConfigurationError(
-                    f"REPRO_SUBJECTS must be an integer, got {subjects!r}"
-                ) from exc
-        workers = os.environ.get("REPRO_WORKERS")
+            params["n_subjects"] = subjects
+        workers = env_int("REPRO_WORKERS")
         if workers is not None:
-            try:
-                params["n_workers"] = int(workers)
-            except ValueError as exc:
-                raise ConfigurationError(
-                    f"REPRO_WORKERS must be an integer, got {workers!r}"
-                ) from exc
+            params["n_workers"] = workers
         return cls(**params)
 
     # ------------------------------------------------------------------
@@ -256,6 +277,8 @@ def resolve_worker_count(requested: int) -> int:
 __all__ = [
     "StudyConfig",
     "resolve_worker_count",
+    "env_int",
+    "env_float",
     "PAPER_SUBJECT_COUNT",
     "PAPER_DMI_BUDGET",
     "PAPER_DDMI_BUDGET",

@@ -3,6 +3,13 @@
 All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
 callers can catch library failures with a single ``except`` clause while
 still distinguishing configuration mistakes from data-level problems.
+
+For fault tolerance the hierarchy also splits failures along a second
+axis — *retryability*: :class:`TransientError` marks failures worth
+retrying (a wedged worker, a torn cache write, resource exhaustion that
+may clear), :class:`PermanentError` marks failures that will recur on
+every attempt (bad input, a bug).  :func:`classify_failure` maps any
+exception onto that axis for the supervised execution core.
 """
 
 from __future__ import annotations
@@ -38,3 +45,44 @@ class CalibrationError(ReproError):
 
 class CacheError(ReproError):
     """The on-disk score cache is corrupt or unwritable."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to clear on retry.
+
+    Raise this from task code (or wrap an underlying exception with it)
+    when the failure is environmental — a hung device, a momentarily
+    unavailable resource — rather than a property of the input.  The
+    supervised executor retries transient failures under its
+    :class:`~repro.runtime.supervisor.RetryPolicy`.
+    """
+
+
+class PermanentError(ReproError):
+    """A failure that will recur on every attempt; never retried.
+
+    The supervised executor either aborts the run (fail-fast, the
+    default) or records a skip when it sees one.
+    """
+
+
+#: Exception types the supervisor treats as transient even though they
+#: do not derive from :class:`TransientError`: wedged-I/O and exhausted-
+#: resource conditions that routinely clear on a fresh attempt.
+TRANSIENT_FAILURE_TYPES = (TransientError, TimeoutError, ConnectionError, MemoryError)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to ``"transient"`` or ``"permanent"``.
+
+    :class:`PermanentError` wins over everything (even when a transient
+    type appears in its ``__cause__`` chain); the types in
+    :data:`TRANSIENT_FAILURE_TYPES` are transient; any other exception is
+    permanent — an unknown failure is assumed to be a bug, because
+    retrying a bug burns the retry budget without ever succeeding.
+    """
+    if isinstance(exc, PermanentError):
+        return "permanent"
+    if isinstance(exc, TRANSIENT_FAILURE_TYPES):
+        return "transient"
+    return "permanent"

@@ -1,0 +1,321 @@
+"""Deterministic fault injection — the chaos harness behind the supervisor.
+
+A fault-tolerant execution layer is only trustworthy if its failure
+paths are *exercised*, and real crashes are rare and unreproducible.
+This module injects them on demand, deterministically:
+
+* ``REPRO_FAULTS="crash:0.1,hang:1"`` names the faults of a run.  A
+  value below ``1.0`` is a per-task probability (decided by a seeded
+  hash of the task key, so the same tasks fail on every replay); an
+  integer value is an exact fire count claimed first-come across all
+  worker processes.
+* Every fault fires **at most once per task**, recorded as a marker
+  file in a shared ledger directory — so a retried task succeeds, which
+  is exactly the contract the supervisor needs to converge.
+* ``kind@substring`` restricts a fault to task keys containing
+  ``substring`` (``permanent@DMG-chunk0003:1`` kills one known chunk),
+  which makes targeted chaos tests trivial to write.
+
+Fault kinds
+-----------
+``crash``
+    ``os._exit(17)`` in the worker — the parent sees a broken pool.
+``hang``
+    Sleep past any reasonable batch timeout (param: seconds, default
+    3600) — the parent must detect the stall and kill the pool.
+``transient`` / ``permanent``
+    Raise :class:`~repro.runtime.errors.TransientError` /
+    :class:`~repro.runtime.errors.PermanentError` from the task.
+``corrupt``
+    Truncate a just-written cache entry (applied by
+    :meth:`~repro.runtime.cache.NpzDirectory.store` through
+    :func:`corrupt_hook`), exercising corruption-as-miss recovery.
+
+Faults are injected only inside supervised pool workers (and the cache
+write hook); library code never calls :func:`perturb` on its own hot
+path when ``REPRO_FAULTS`` is unset — the check is one environment
+lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .errors import ConfigurationError, PermanentError, TransientError
+
+#: Environment variable naming the fault plan, e.g. ``"crash:0.1,hang:1"``.
+ENV_SPEC = "REPRO_FAULTS"
+
+#: Environment variable pointing at the shared once-only marker ledger.
+ENV_LEDGER = "REPRO_FAULTS_DIR"
+
+#: Environment variable seeding the probability decisions (default 0).
+ENV_SEED = "REPRO_FAULTS_SEED"
+
+#: Fault kinds applied inside a task (``corrupt`` instead hooks writes).
+TASK_FAULT_KINDS = ("crash", "hang", "transient", "permanent")
+
+#: All recognised kinds.
+FAULT_KINDS = TASK_FAULT_KINDS + ("corrupt",)
+
+#: Default sleep of a ``hang`` fault — far past any batch timeout.
+DEFAULT_HANG_SECONDS = 3600.0
+
+#: Exit status of an injected ``crash`` (distinctive in worker logs).
+CRASH_EXIT_STATUS = 17
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One entry of a fault plan.
+
+    ``rate`` below 1.0 is a per-task probability; 1.0 or more is an
+    exact integer fire count.  ``target`` is a task-key substring filter
+    (empty matches every task); ``param`` is kind-specific (the sleep
+    seconds of ``hang``).
+    """
+
+    kind: str
+    rate: float
+    target: str = ""
+    param: Optional[float] = None
+
+    @property
+    def is_count(self) -> bool:
+        """Whether this fault fires an exact number of times."""
+        return self.rate >= 1.0
+
+    @property
+    def count(self) -> int:
+        """The fire budget of a count-style fault."""
+        return int(self.rate)
+
+
+def parse_faults(spec: str) -> Tuple[Fault, ...]:
+    """Parse a ``REPRO_FAULTS`` plan string.
+
+    Grammar: comma-separated ``kind[@target]:rate[:param]`` entries.
+    Raises :class:`ConfigurationError` on unknown kinds or unparsable
+    numbers, naming the offending entry — a typo in a chaos run must
+    fail loudly, not silently inject nothing.
+    """
+    faults = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            raise ConfigurationError(
+                f"fault entry {entry!r} is not 'kind[@target]:rate[:param]'"
+            )
+        kind, _, target = parts[0].partition("@")
+        if kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r} in {entry!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        try:
+            rate = float(parts[1])
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"fault entry {entry!r}: rate {parts[1]!r} is not a number"
+            ) from exc
+        if rate <= 0:
+            raise ConfigurationError(f"fault entry {entry!r}: rate must be > 0")
+        param: Optional[float] = None
+        if len(parts) == 3:
+            try:
+                param = float(parts[2])
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"fault entry {entry!r}: param {parts[2]!r} is not a number"
+                ) from exc
+        faults.append(Fault(kind=kind, rate=rate, target=target, param=param))
+    return tuple(faults)
+
+
+def digest_fraction(seed: int, *parts: object) -> float:
+    """Deterministic uniform [0, 1) from a seed and arbitrary parts.
+
+    The one randomness primitive of the robustness layer: fault
+    decisions and retry-backoff jitter both hash their identifying key
+    through it, so replays are bit-identical.
+    """
+    payload = ("\x1f".join(str(p) for p in (seed,) + parts)).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+def _marker_token(*parts: object) -> str:
+    """Short filesystem-safe token for a ledger marker."""
+    payload = ("\x1f".join(str(p) for p in parts)).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=10).hexdigest()
+
+
+class FaultInjector:
+    """Applies a fault plan deterministically, once per (fault, task).
+
+    The ledger directory is the cross-process coordination point: a
+    fault claims a marker file with ``O_CREAT | O_EXCL`` *before* it
+    fires, so a crash-then-retry of the same task finds the marker and
+    proceeds cleanly.  All decisions derive from ``(seed, kind, task
+    key)`` — replaying a run with the same plan, seed and a fresh ledger
+    injects the identical faults.
+    """
+
+    def __init__(
+        self, faults: Tuple[Fault, ...], ledger: os.PathLike, seed: int = 0
+    ) -> None:
+        self.faults = faults
+        self.ledger = Path(ledger)
+        self.seed = seed
+
+    @classmethod
+    def from_environment(cls) -> Optional["FaultInjector"]:
+        """The injector named by ``REPRO_FAULTS``, or ``None`` when unset.
+
+        Requires ``REPRO_FAULTS_DIR`` to point at the marker ledger; the
+        supervisor creates one (and exports the variable to its workers)
+        via :func:`ensure_ledger` before the first pool starts.
+        """
+        spec = os.environ.get(ENV_SPEC)
+        if not spec:
+            return None
+        ledger = os.environ.get(ENV_LEDGER)
+        if not ledger:
+            return None
+        seed = int(os.environ.get(ENV_SEED, "0"))
+        return cls(parse_faults(spec), ledger, seed=seed)
+
+    def _claim(self, marker: str) -> bool:
+        """Atomically claim a marker; False when already claimed."""
+        self.ledger.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(
+                self.ledger / marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def _should_fire(self, fault: Fault, task_key: str) -> bool:
+        """Decide-and-claim one fault for one task."""
+        if fault.target and fault.target not in task_key:
+            return False
+        if fault.is_count:
+            # Claim the next free slot of the fire budget; losing every
+            # race means the budget is spent.
+            token = _marker_token(fault.kind, fault.target, task_key)
+            if (self.ledger / f"{fault.kind}-task-{token}").exists():
+                return False
+            for slot in range(fault.count):
+                if self._claim(f"{fault.kind}{fault.target}-slot{slot}"):
+                    self._claim(f"{fault.kind}-task-{token}")
+                    return True
+            return False
+        if digest_fraction(self.seed, fault.kind, task_key) >= fault.rate:
+            return False
+        token = _marker_token(fault.kind, fault.target, task_key)
+        return self._claim(f"{fault.kind}-task-{token}")
+
+    def perturb(self, task_key: str) -> None:
+        """Fire the task-scoped faults due for ``task_key`` (if any)."""
+        for fault in self.faults:
+            if fault.kind not in TASK_FAULT_KINDS:
+                continue
+            if not self._should_fire(fault, task_key):
+                continue
+            if fault.kind == "crash":
+                os._exit(CRASH_EXIT_STATUS)
+            if fault.kind == "hang":
+                time.sleep(fault.param or DEFAULT_HANG_SECONDS)
+                continue
+            if fault.kind == "transient":
+                raise TransientError(
+                    f"injected transient fault for task {task_key!r}"
+                )
+            raise PermanentError(
+                f"injected permanent fault for task {task_key!r}"
+            )
+
+    def corrupt_file(self, path: os.PathLike, key: str) -> bool:
+        """Truncate a freshly written store entry (``corrupt`` faults).
+
+        Returns whether a corruption fired; at most once per key so the
+        rewrite after the corruption is detected survives.
+        """
+        for fault in self.faults:
+            if fault.kind != "corrupt":
+                continue
+            if not self._should_fire(fault, key):
+                continue
+            target = Path(path)
+            size = target.stat().st_size
+            with open(target, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+            return True
+        return False
+
+
+def faults_requested() -> bool:
+    """Whether the environment names a fault plan at all."""
+    return bool(os.environ.get(ENV_SPEC))
+
+
+def ensure_ledger() -> Optional[str]:
+    """Make sure a requested fault plan has a ledger directory.
+
+    Called by the supervisor in the *parent* before starting a pool, so
+    workers inherit ``REPRO_FAULTS_DIR`` and share one set of markers.
+    Returns the ledger path, or ``None`` when no faults are requested.
+    """
+    if not faults_requested():
+        return None
+    ledger = os.environ.get(ENV_LEDGER)
+    if not ledger:
+        ledger = tempfile.mkdtemp(prefix="repro-faults-")
+        os.environ[ENV_LEDGER] = ledger
+    return ledger
+
+
+def perturb(task_key: str) -> None:
+    """Apply the environment's fault plan to one task (worker-side)."""
+    injector = FaultInjector.from_environment()
+    if injector is not None:
+        injector.perturb(task_key)
+
+
+def corrupt_hook(path: os.PathLike, key: str) -> bool:
+    """Apply any ``corrupt`` fault to a just-written store entry."""
+    if not faults_requested():
+        return False
+    injector = FaultInjector.from_environment()
+    if injector is None:
+        return False
+    return injector.corrupt_file(path, key)
+
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "digest_fraction",
+    "parse_faults",
+    "perturb",
+    "corrupt_hook",
+    "ensure_ledger",
+    "faults_requested",
+    "ENV_SPEC",
+    "ENV_LEDGER",
+    "ENV_SEED",
+    "FAULT_KINDS",
+    "DEFAULT_HANG_SECONDS",
+    "CRASH_EXIT_STATUS",
+]

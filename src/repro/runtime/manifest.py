@@ -65,8 +65,10 @@ MANIFEST_SCHEMA: dict = {
         "gauges": {"type": "object"},
         "histograms": {"type": "object"},
         "cache": {"type": "object"},
-        # Optional (schema_version 1 manifests predate the artifact store).
+        # Optional (schema_version 1 manifests predate the artifact store
+        # and the fault-tolerance layer).
         "artifacts": {"type": "object"},
+        "supervisor": {"type": "object"},
     },
 }
 
@@ -118,7 +120,14 @@ def validate_manifest(data: dict) -> None:
 
 
 def vcs_describe() -> Optional[str]:
-    """``git describe --always --dirty`` of the source tree, if available."""
+    """``git describe --always --dirty`` of the source tree, if available.
+
+    The probe must never take a run down with it: a missing ``git``
+    binary, a sandbox that blocks subprocesses, or a hung ``git``
+    (5-second timeout) all degrade to the literal string
+    ``"unavailable"`` — recorded, not raised — while a working ``git``
+    in a non-repository (exit code != 0) yields ``None``.
+    """
     try:
         result = subprocess.run(
             ["git", "describe", "--always", "--dirty"],
@@ -128,7 +137,7 @@ def vcs_describe() -> Optional[str]:
             timeout=5,
         )
     except (OSError, subprocess.SubprocessError):
-        return None
+        return "unavailable"
     if result.returncode != 0:
         return None
     described = result.stdout.strip()
@@ -153,6 +162,30 @@ def _cache_stats(counters: Dict[str, int]) -> dict:
     return _store_stats(counters, "cache")
 
 
+def _supervisor_stats(snapshot: dict) -> dict:
+    """Fault-tolerance rollup: what the supervised executor had to do.
+
+    All zeros on a healthy run — the rollup exists so a chaos test (or
+    an operator reading ``repro stats``) can assert recovery happened
+    from the manifest alone.
+    """
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    backoff = snapshot["histograms"].get("supervisor.backoff_seconds") or {}
+    return {
+        "retries": counters.get("supervisor.retries", 0),
+        "requeued": counters.get("supervisor.requeued", 0),
+        "timeouts": counters.get("supervisor.timeouts", 0),
+        "pool_restarts": counters.get("supervisor.pool_restarts", 0),
+        "skipped": counters.get("supervisor.skipped", 0),
+        "jobs_skipped": counters.get("study.jobs.skipped", 0),
+        "checkpoints_stored": counters.get("study.checkpoint.stored", 0),
+        "checkpoints_resumed": counters.get("study.checkpoint.resumed", 0),
+        "degraded": gauges.get("supervisor.degraded", 0.0) > 0.0,
+        "backoff_seconds_total": round(backoff.get("sum", 0.0), 6),
+    }
+
+
 @dataclass
 class RunManifest:
     """The end-of-run summary artifact.
@@ -169,6 +202,7 @@ class RunManifest:
     histograms: dict
     cache: dict = field(default_factory=dict)
     artifacts: dict = field(default_factory=dict)
+    supervisor: dict = field(default_factory=dict)
     vcs_version: Optional[str] = None
     created_unix: float = 0.0
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -197,6 +231,7 @@ class RunManifest:
             histograms=snapshot["histograms"],
             cache=_cache_stats(snapshot["counters"]),
             artifacts=_store_stats(snapshot["counters"], "artifacts"),
+            supervisor=_supervisor_stats(snapshot),
         )
 
     def to_dict(self) -> dict:
@@ -287,6 +322,21 @@ def render_manifest(manifest: RunManifest) -> str:
             f"{manifest.artifacts.get('stores', 0)} stores "
             f"(hit rate {art_text})"
         )
+    if manifest.supervisor:
+        sup = manifest.supervisor
+        degraded = " [degraded to serial]" if sup.get("degraded") else ""
+        lines.append(
+            f"supervisor: {sup.get('retries', 0)} retries, "
+            f"{sup.get('requeued', 0)} requeued, "
+            f"{sup.get('timeouts', 0)} timeouts, "
+            f"{sup.get('pool_restarts', 0)} pool restarts, "
+            f"{sup.get('skipped', 0)} batches skipped{degraded}"
+        )
+        if sup.get("checkpoints_stored") or sup.get("checkpoints_resumed"):
+            lines.append(
+                f"checkpoints: {sup.get('checkpoints_stored', 0)} stored, "
+                f"{sup.get('checkpoints_resumed', 0)} resumed"
+            )
     return "\n".join(lines)
 
 

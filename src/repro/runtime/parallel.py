@@ -6,6 +6,15 @@ over a process pool that degrades gracefully to a sequential loop when
 ``n_workers == 0`` (the default for tests) or when the workload is too
 small to amortize process start-up.
 
+Both maps execute on the supervised core
+(:mod:`repro.runtime.supervisor`): futures are collected as they
+complete with index bookkeeping — a slow first chunk no longer delays
+progress reporting, and every completed future is drained before an
+error propagates — while transient failures, hangs and broken pools are
+retried under the active :class:`~repro.runtime.supervisor.RetryPolicy`.
+Output order (and the ``on_result`` firing order) remains input order
+regardless of completion order.
+
 Functions submitted to the pool must be picklable module-level callables;
 per-chunk work is deterministic because chunk boundaries depend only on
 ``len(items)`` and ``chunk_size``, never on scheduling.
@@ -13,11 +22,12 @@ per-chunk work is deterministic because chunk boundaries depend only on
 
 from __future__ import annotations
 
+import functools
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from .config import resolve_worker_count
+from .supervisor import RetryPolicy, default_task_keys, supervised_map_batched
 from .telemetry import get_recorder
 
 T = TypeVar("T")
@@ -61,8 +71,9 @@ def parallel_map(
     items: Sequence[T],
     n_workers: int = 0,
     chunk_size: int = 256,
+    policy: Optional[RetryPolicy] = None,
 ) -> List[R]:
-    """Map ``func`` over ``items``, optionally on a process pool.
+    """Map ``func`` over ``items``, optionally on a supervised pool.
 
     Results are returned in input order regardless of worker scheduling.
 
@@ -77,6 +88,9 @@ def parallel_map(
         calling process, which is also the fallback for tiny workloads.
     chunk_size:
         Items per task submitted to the pool; larger chunks amortize IPC.
+    policy:
+        Retry/timeout policy for the supervised execution; ``None`` uses
+        :meth:`RetryPolicy.from_environment`.
     """
     effective = resolve_worker_count(n_workers)
     if effective <= 1 or len(items) < _MIN_ITEMS_FOR_POOL:
@@ -88,31 +102,19 @@ def parallel_map(
         recorder.gauge("parallel.workers", float(effective))
         recorder.count("parallel.chunks", len(chunks))
         recorder.count("parallel.items", len(items))
+    payloads = [[items[i] for i in chunk] for chunk in chunks]
+    parts = supervised_map_batched(
+        functools.partial(_apply_chunk, func),
+        payloads,
+        n_workers=effective,
+        policy=policy if policy is not None else RetryPolicy.from_environment(),
+        task_keys=default_task_keys("map", len(payloads)),
+        metric="parallel.chunk_seconds",
+    )
     results: List[R] = []
-    with ProcessPoolExecutor(max_workers=effective) as pool:
-        if recorder.active:
-            futures = [
-                pool.submit(_apply_chunk_timed, func, [items[i] for i in chunk])
-                for chunk in chunks
-            ]
-            for future in futures:
-                part, seconds = future.result()
-                recorder.observe("parallel.chunk_seconds", seconds)
-                results.extend(part)
-        else:
-            futures = [
-                pool.submit(_apply_chunk, func, [items[i] for i in chunk])
-                for chunk in chunks
-            ]
-            for future in futures:
-                results.extend(future.result())
+    for part in parts:
+        results.extend(part)
     return results
-
-
-def _apply_batch_timed(func: Callable[[T], R], batch: T) -> Tuple[R, float]:
-    """Worker body for one pre-formed batch: result + wall-clock seconds."""
-    start = time.perf_counter()
-    return func(batch), time.perf_counter() - start
 
 
 def parallel_map_batched(
@@ -122,6 +124,9 @@ def parallel_map_batched(
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple = (),
     on_result: Optional[Callable[[R], None]] = None,
+    policy: Optional[RetryPolicy] = None,
+    task_keys: Optional[Sequence[str]] = None,
+    fail_fast: bool = True,
 ) -> List[R]:
     """Apply ``func`` to each pre-formed batch, one pool task per batch.
 
@@ -131,11 +136,18 @@ def parallel_map_batched(
     per-batch, in input order.
 
     ``initializer``/``initargs`` seed per-worker state exactly as on
-    :class:`ProcessPoolExecutor` (the sequential fallback calls the
-    initializer once in-process, so ``func`` sees the same state either
-    way).  ``on_result`` fires once per batch as results arrive, in input
-    order — the hook for streaming progress without waiting for the full
+    :class:`~concurrent.futures.ProcessPoolExecutor` (the sequential
+    fallback calls the initializer once in-process, so ``func`` sees the
+    same state either way).  ``on_result`` fires once per batch, in
+    input order, as soon as the ordered prefix is complete — the hook
+    for streaming progress and checkpoints without waiting for the full
     map.
+
+    ``policy`` configures retry/backoff/timeout supervision (default:
+    :meth:`RetryPolicy.from_environment`); ``task_keys`` names each
+    batch for deterministic jitter, fault targeting and logs; with
+    ``fail_fast=False`` a permanently failed batch yields ``None``
+    instead of aborting the run (and counts ``supervisor.skipped``).
 
     Telemetry (when enabled): ``parallel.batches`` counts dispatches and
     ``parallel.batch_seconds`` observes each batch's compute seconds,
@@ -145,36 +157,20 @@ def parallel_map_batched(
     if recorder.active:
         recorder.count("parallel.batches", len(batches))
     effective = resolve_worker_count(n_workers)
-    results: List[R] = []
-    if effective <= 1 or len(batches) <= 1:
-        if initializer is not None:
-            initializer(*initargs)
-        for batch in batches:
-            if recorder.active:
-                result, seconds = _apply_batch_timed(func, batch)
-                recorder.observe("parallel.batch_seconds", seconds)
-            else:
-                result = func(batch)
-            results.append(result)
-            if on_result is not None:
-                on_result(result)
-        return results
-    if recorder.active:
+    if recorder.active and effective > 1 and len(batches) > 1:
         recorder.gauge("parallel.workers", float(effective))
-    with ProcessPoolExecutor(
-        max_workers=effective, initializer=initializer, initargs=initargs
-    ) as pool:
-        futures = [
-            pool.submit(_apply_batch_timed, func, batch) for batch in batches
-        ]
-        for future in futures:
-            result, seconds = future.result()
-            if recorder.active:
-                recorder.observe("parallel.batch_seconds", seconds)
-            results.append(result)
-            if on_result is not None:
-                on_result(result)
-    return results
+    return supervised_map_batched(
+        func,
+        batches,
+        n_workers=effective,
+        initializer=initializer,
+        initargs=initargs,
+        on_result=on_result,
+        policy=policy if policy is not None else RetryPolicy.from_environment(),
+        task_keys=task_keys,
+        fail_fast=fail_fast,
+        metric="parallel.batch_seconds",
+    )
 
 
 def sequential_map(func: Callable[[T], R], items: Iterable[T]) -> List[R]:

@@ -1,0 +1,651 @@
+"""Supervised process-pool execution: retries, timeouts, self-healing.
+
+At paper scale the study is a ~616,000-invocation campaign; a single
+OOM-killed worker, wedged sensor model or crashed process must cost one
+batch retry, not the whole run.  This module is the execution core
+underneath :func:`~repro.runtime.parallel.parallel_map` and
+:func:`~repro.runtime.parallel.parallel_map_batched`:
+
+* **Failure classification.**  Per-task exceptions are split transient /
+  permanent by :func:`~repro.runtime.errors.classify_failure`; transient
+  failures are retried under a :class:`RetryPolicy` with exponential
+  backoff and *deterministic* jitter (hashed from the task key, so tests
+  replay bit-identically).
+* **Pool supervision.**  A broken pool (worker crash) or a batch running
+  past ``batch_timeout`` (hang) kills and rebuilds the pool, requeuing
+  only the unfinished batches — completed results are never lost.
+  Repeated breakage shrinks the worker count; a breakage at width one
+  degrades to in-process serial execution as the last resort.
+* **Ordered streaming.**  Futures are collected as they complete
+  (index-bookkept), yet results return in input order and ``on_result``
+  fires in input order — the contract checkpoint-resume and progress
+  reporting rely on.
+* **Chaos hooks.**  Every pooled task runs through
+  :func:`repro.runtime.faults.perturb`, so a ``REPRO_FAULTS`` plan can
+  crash, hang or poison exactly the tasks a chaos test names.
+
+Telemetry (when enabled): ``supervisor.retries``, ``supervisor.requeued``,
+``supervisor.timeouts``, ``supervisor.pool_restarts``,
+``supervisor.skipped``, the ``supervisor.degraded`` / ``supervisor.workers``
+gauges and the ``supervisor.backoff_seconds`` histogram, all rolled up
+into the run manifest.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from . import faults
+from .config import env_float, env_int
+from .errors import ConfigurationError, PermanentError, classify_failure
+from .telemetry import get_logger, get_recorder
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_log = get_logger("supervisor")
+
+#: How long a fail-fast abort waits for healthy inflight batches to
+#: finish (and reach ``on_result``) when no batch timeout bounds them.
+ABORT_SETTLE_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor reacts to failing, hanging or crashing batches.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total executions allowed per batch (first try included) before
+        its failure is escalated as permanent.
+    backoff_base, backoff_factor, backoff_max:
+        Attempt *k* (1-based failure count) waits
+        ``min(backoff_base * backoff_factor**(k-1), backoff_max)``
+        seconds, scaled by the jitter term, before re-running.
+    jitter:
+        Fractional spread added on top of the exponential delay.  The
+        draw is a deterministic hash of ``(jitter_seed, task key,
+        attempt)`` — no two batches thundering-herd the pool, yet every
+        replay waits the identical schedule.
+    batch_timeout:
+        Wall-clock seconds one batch may run before the pool is declared
+        hung and rebuilt.  ``None`` (default) disables the watchdog.
+    poll_interval:
+        Upper bound on how long the collection loop blocks between
+        checks of the timeout watchdog.
+    shrink_after:
+        Pool restarts tolerated at a given width before the worker count
+        halves; a restart at width one degrades to serial execution.
+    jitter_seed:
+        Seed folded into the jitter hash.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    batch_timeout: Optional[float] = None
+    poll_interval: float = 0.25
+    shrink_after: int = 2
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1.0")
+        if not 0.0 <= self.jitter:
+            raise ConfigurationError("jitter must be >= 0")
+        if self.batch_timeout is not None and self.batch_timeout <= 0:
+            raise ConfigurationError("batch_timeout must be positive or None")
+        if self.shrink_after < 1:
+            raise ConfigurationError("shrink_after must be >= 1")
+
+    @classmethod
+    def from_environment(cls, **defaults: object) -> "RetryPolicy":
+        """A policy honouring the ``REPRO_RETRY_*`` tuning knobs.
+
+        ``REPRO_RETRY_MAX_ATTEMPTS``, ``REPRO_RETRY_BACKOFF`` (the base
+        delay) and ``REPRO_BATCH_TIMEOUT`` override the keyword
+        defaults, mirroring how ``StudyConfig.from_environment`` treats
+        ``REPRO_SUBJECTS`` / ``REPRO_WORKERS``.
+        """
+        params: dict = dict(defaults)
+        max_attempts = env_int("REPRO_RETRY_MAX_ATTEMPTS")
+        if max_attempts is not None:
+            params["max_attempts"] = max_attempts
+        backoff = env_float("REPRO_RETRY_BACKOFF")
+        if backoff is not None:
+            params["backoff_base"] = backoff
+        timeout = env_float("REPRO_BATCH_TIMEOUT")
+        if timeout is not None:
+            params["batch_timeout"] = timeout if timeout > 0 else None
+        return cls(**params)  # type: ignore[arg-type]
+
+    def backoff_for(self, task_key: str, attempt: int) -> float:
+        """Deterministic pre-retry delay after failure number ``attempt``."""
+        delay = min(
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+            self.backoff_max,
+        )
+        spread = faults.digest_fraction(self.jitter_seed, task_key, attempt)
+        return delay * (1.0 + self.jitter * spread)
+
+
+def default_task_keys(label: str, count: int) -> List[str]:
+    """Stable task keys ``{label}-batch0000...`` for an unlabeled map."""
+    return [f"{label}-batch{i:04d}" for i in range(count)]
+
+
+def _supervised_call(
+    func: Callable[[T], R], batch: T, task_key: str
+) -> Tuple[R, float]:
+    """Worker body: fault hook + timed execution (module-level, picklable)."""
+    faults.perturb(task_key)
+    start = time.perf_counter()
+    return func(batch), time.perf_counter() - start
+
+
+def _stop_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, terminating workers that may be hung.
+
+    ``ProcessPoolExecutor`` has no public kill switch; terminating the
+    worker processes directly is the only way to reclaim a pool whose
+    worker is asleep past the batch timeout.  ``_processes`` has been
+    stable across CPython 3.8–3.13; if it ever disappears the fallback
+    is a plain (potentially blocking) shutdown.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, AttributeError):  # pragma: no cover - racing exit
+                pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - cancel_futures needs py3.9
+        pool.shutdown(wait=False)
+
+
+class _TaskState:
+    """Parent-side bookkeeping for one batch."""
+
+    __slots__ = ("index", "key", "attempts", "ready_at")
+
+    def __init__(self, index: int, key: str) -> None:
+        self.index = index
+        self.key = key
+        self.attempts = 0  # failed executions so far
+        self.ready_at = 0.0  # monotonic time before which not to resubmit
+
+
+class BatchSupervisor:
+    """One supervised execution of ``func`` over a batch list.
+
+    Instantiated per call by :func:`supervised_map_batched`; holds the
+    mutable run state (queue, inflight futures, ordered-emission
+    cursor) so the collection loop stays readable.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[T], R],
+        batches: Sequence[T],
+        *,
+        n_workers: int,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple = (),
+        on_result: Optional[Callable[[R], None]] = None,
+        policy: Optional[RetryPolicy] = None,
+        task_keys: Optional[Sequence[str]] = None,
+        fail_fast: bool = True,
+        metric: str = "parallel.batch_seconds",
+    ) -> None:
+        self.func = func
+        self.batches = batches
+        self.initializer = initializer
+        self.initargs = initargs
+        self.on_result = on_result
+        self.policy = policy if policy is not None else RetryPolicy()
+        if task_keys is None:
+            task_keys = default_task_keys("task", len(batches))
+        if len(task_keys) != len(batches):
+            raise ConfigurationError(
+                f"task_keys length {len(task_keys)} != batches {len(batches)}"
+            )
+        self.task_keys = list(task_keys)
+        self.fail_fast = fail_fast
+        self.metric = metric
+        # ``n_workers`` arrives pre-resolved (callers run it through
+        # resolve_worker_count); <= 1 means in-process serial execution.
+        self.workers = max(0, int(n_workers))
+        self.recorder = get_recorder()
+
+        n = len(batches)
+        self.results: List[Optional[R]] = [None] * n
+        self.finished = [False] * n
+        self.skipped = [False] * n
+        self._emit_cursor = 0
+        self._remaining = n
+        self._queue: List[_TaskState] = [
+            _TaskState(i, key) for i, key in enumerate(self.task_keys)
+        ]
+        self._inflight: dict = {}  # future -> (_TaskState, submitted_at)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._restarts_at_width = 0
+        self.degraded = False
+
+    # ------------------------------------------------------------------
+    # Result plumbing
+    # ------------------------------------------------------------------
+    def _record(self, task: _TaskState, result: R) -> None:
+        self.results[task.index] = result
+        self.finished[task.index] = True
+        self._remaining -= 1
+        self._flush_ordered()
+
+    def _record_skip(self, task: _TaskState, exc: BaseException) -> None:
+        self.finished[task.index] = True
+        self.skipped[task.index] = True
+        self._remaining -= 1
+        if self.recorder.active:
+            self.recorder.count("supervisor.skipped")
+        _log.warning(
+            "batch skipped after permanent failure",
+            extra={"data": {"task": task.key, "error": repr(exc)}},
+        )
+        self._flush_ordered()
+
+    def _flush_ordered(self) -> None:
+        """Fire ``on_result`` for every finished prefix batch, in order.
+
+        A skipped batch (``fail_fast=False``) fires with ``None`` so
+        callers keeping their own index bookkeeping stay aligned.
+        """
+        while self._emit_cursor < len(self.finished) and self.finished[
+            self._emit_cursor
+        ]:
+            if self.on_result is not None:
+                self.on_result(self.results[self._emit_cursor])
+            self._emit_cursor += 1
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _settle_inflight(self) -> None:
+        """Let healthy inflight batches finish before a fail-fast abort.
+
+        Their results still stream through ``on_result`` (checkpoints!),
+        so aborting on one bad batch never discards work that was about
+        to complete.  Bounded by ``batch_timeout`` when set — a hung
+        batch must not turn an abort into a hang — else by
+        :data:`ABORT_SETTLE_SECONDS`.
+        """
+        if not self._inflight:
+            return
+        grace = self.policy.batch_timeout
+        if grace is None:
+            grace = ABORT_SETTLE_SECONDS
+        wait(list(self._inflight), timeout=grace)
+
+    def _escalate(self, task: _TaskState, exc: BaseException) -> None:
+        """A batch is out of options: abort the run or record a skip."""
+        if self.fail_fast:
+            self._settle_inflight()
+            self._drain_completed()
+            self._teardown()
+            if isinstance(exc, Exception):
+                raise exc
+            raise PermanentError(
+                f"batch {task.key!r} failed with {exc!r}"
+            ) from None
+        self._record_skip(task, exc)
+
+    def _retry(self, task: _TaskState, cause: str) -> None:
+        """Queue one more attempt of a failed batch, with backoff."""
+        task.attempts += 1
+        backoff = self.policy.backoff_for(task.key, task.attempts)
+        task.ready_at = time.monotonic() + backoff
+        if self.recorder.active:
+            self.recorder.count("supervisor.retries")
+            self.recorder.observe("supervisor.backoff_seconds", backoff)
+        _log.info(
+            "batch retry scheduled",
+            extra={
+                "data": {
+                    "task": task.key,
+                    "attempt": task.attempts,
+                    "cause": cause,
+                    "backoff_s": round(backoff, 4),
+                }
+            },
+        )
+        self._queue.append(task)
+
+    def _handle_failure(self, task: _TaskState, exc: BaseException) -> None:
+        kind = classify_failure(exc)
+        if kind == "permanent" or task.attempts + 1 >= self.policy.max_attempts:
+            self._escalate(task, exc)
+        else:
+            self._retry(task, cause=type(exc).__name__)
+
+    def _drain_completed(self) -> None:
+        """Collect every already-finished inflight future (no blocking).
+
+        Called before an error propagates so completed work — results
+        the caller may have paid minutes for — is never discarded.
+        """
+        for future in list(self._inflight):
+            if not future.done():
+                continue
+            task, _ = self._inflight.pop(future)
+            try:
+                result, seconds = future.result()
+            except BaseException:
+                self._queue.append(task)
+            else:
+                if self.recorder.active:
+                    self.recorder.observe(self.metric, seconds)
+                self._record(task, result)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            _stop_pool(self._pool)
+            self._pool = None
+        self._inflight.clear()
+
+    def _restart_pool(self, reason: str) -> None:
+        """Kill the pool, requeue unfinished batches, maybe shrink."""
+        self._drain_completed()
+        for future, (task, _) in list(self._inflight.items()):
+            if self.recorder.active:
+                self.recorder.count("supervisor.requeued")
+            self._queue.append(task)
+        self._inflight.clear()
+        if self._pool is not None:
+            _stop_pool(self._pool)
+            self._pool = None
+        self._restarts_at_width += 1
+        if self.recorder.active:
+            self.recorder.count("supervisor.pool_restarts")
+        _log.warning(
+            "process pool restarted",
+            extra={
+                "data": {
+                    "reason": reason,
+                    "workers": self.workers,
+                    "restarts_at_width": self._restarts_at_width,
+                }
+            },
+        )
+        if self._restarts_at_width >= self.policy.shrink_after:
+            if self.workers > 1:
+                self.workers = max(1, self.workers // 2)
+                self._restarts_at_width = 0
+                if self.recorder.active:
+                    self.recorder.gauge("supervisor.workers", float(self.workers))
+                _log.warning(
+                    "pool width shrunk after repeated breakage",
+                    extra={"data": {"workers": self.workers}},
+                )
+            else:
+                self.degraded = True
+                if self.recorder.active:
+                    self.recorder.gauge("supervisor.degraded", 1.0)
+                _log.warning(
+                    "degrading to in-process serial execution",
+                    extra={"data": {"remaining": self._remaining}},
+                )
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            )
+        return self._pool
+
+    def _submit_ready(self, now: float) -> bool:
+        """Submit queued batches whose backoff has elapsed; False on break."""
+        pool = self._ensure_pool()
+        while self._queue and len(self._inflight) < self.workers:
+            pick = None
+            for k, task in enumerate(self._queue):
+                if task.ready_at <= now:
+                    pick = k
+                    break
+            if pick is None:
+                break
+            task = self._queue.pop(pick)
+            try:
+                future = pool.submit(
+                    _supervised_call,
+                    self.func,
+                    self.batches[task.index],
+                    task.key,
+                )
+            except (BrokenProcessPool, RuntimeError):
+                self._queue.append(task)
+                return False
+            self._inflight[future] = (task, now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Serial paths
+    # ------------------------------------------------------------------
+    def _run_one_serial(self, task: _TaskState) -> None:
+        """Execute one batch in-process under the retry policy."""
+        while True:
+            start = time.perf_counter()
+            try:
+                result = self.func(self.batches[task.index])
+            except Exception as exc:
+                if (
+                    classify_failure(exc) == "permanent"
+                    or task.attempts + 1 >= self.policy.max_attempts
+                ):
+                    self._escalate(task, exc)
+                    return
+                task.attempts += 1
+                backoff = self.policy.backoff_for(task.key, task.attempts)
+                if self.recorder.active:
+                    self.recorder.count("supervisor.retries")
+                    self.recorder.observe("supervisor.backoff_seconds", backoff)
+                time.sleep(backoff)
+                continue
+            if self.recorder.active:
+                self.recorder.observe(self.metric, time.perf_counter() - start)
+            self._record(task, result)
+            return
+
+    def _run_serial(self) -> List[Optional[R]]:
+        """The no-pool path (``n_workers`` <= 1, or degraded remainder)."""
+        if self.initializer is not None:
+            self.initializer(*self.initargs)
+        for task in sorted(self._queue, key=lambda t: t.index):
+            self._run_one_serial(task)
+        self._queue.clear()
+        return self.results
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> List[Optional[R]]:
+        """Execute every batch; the public entry point."""
+        if self.workers <= 1 or len(self.batches) <= 1:
+            return self._run_serial()
+        faults.ensure_ledger()
+        if self.recorder.active:
+            self.recorder.gauge("supervisor.workers", float(self.workers))
+        try:
+            while self._remaining:
+                if self.degraded:
+                    # Last resort: finish the remainder in-process (the
+                    # initializer reruns here so worker state exists).
+                    if self.initializer is not None:
+                        self.initializer(*self.initargs)
+                    for task in sorted(self._queue, key=lambda t: t.index):
+                        self._run_one_serial(task)
+                    self._queue.clear()
+                    break
+                now = time.monotonic()
+                if not self._submit_ready(now):
+                    self._restart_pool("broken pool on submit")
+                    continue
+                if not self._inflight:
+                    if self._queue:
+                        sleep_for = max(
+                            0.0,
+                            min(t.ready_at for t in self._queue) - now,
+                        )
+                        time.sleep(min(sleep_for, self.policy.poll_interval))
+                        continue
+                    break  # inconsistent remainder; nothing left to run
+                self._collect(now)
+        finally:
+            self._teardown()
+        return self.results
+
+    def _wait_timeout(self, now: float) -> Optional[float]:
+        """How long the next ``wait`` may block without missing an event."""
+        candidates = []
+        if self.policy.batch_timeout is not None:
+            earliest = min(at for _, at in self._inflight.values())
+            candidates.append(earliest + self.policy.batch_timeout - now)
+            candidates.append(self.policy.poll_interval)
+        for task in self._queue:
+            # Ready tasks blocked on a free slot are woken by the next
+            # completion; only future ready_at times need a timed wake.
+            if task.ready_at > now:
+                candidates.append(task.ready_at - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+
+    def _collect(self, now: float) -> None:
+        """Wait for one completion / timeout tick and process it."""
+        done, _ = wait(
+            list(self._inflight),
+            timeout=self._wait_timeout(now),
+            return_when=FIRST_COMPLETED,
+        )
+        broken = False
+        for future in done:
+            task, _ = self._inflight.pop(future)
+            try:
+                result, seconds = future.result()
+            except BrokenProcessPool:
+                broken = True
+                self._fail_or_requeue_after_break(task)
+            except Exception as exc:
+                self._handle_failure(task, exc)
+            else:
+                if self.recorder.active:
+                    self.recorder.observe(self.metric, seconds)
+                self._record(task, result)
+        if broken:
+            self._restart_pool("broken process pool")
+            return
+        if self.policy.batch_timeout is None:
+            return
+        now = time.monotonic()
+        expired = [
+            (future, task)
+            for future, (task, at) in self._inflight.items()
+            if now - at > self.policy.batch_timeout and not future.done()
+        ]
+        if not expired:
+            return
+        # A hung batch cannot be cancelled individually; the pool goes.
+        for future, task in expired:
+            self._inflight.pop(future, None)
+            if self.recorder.active:
+                self.recorder.count("supervisor.timeouts")
+            if task.attempts + 1 >= self.policy.max_attempts:
+                self._escalate(
+                    task,
+                    PermanentError(
+                        f"batch {task.key!r} exceeded the "
+                        f"{self.policy.batch_timeout:g}s timeout "
+                        f"{task.attempts + 1} times"
+                    ),
+                )
+            else:
+                self._retry(task, cause="timeout")
+        self._restart_pool("batch timeout")
+
+    def _fail_or_requeue_after_break(self, task: _TaskState) -> None:
+        """A batch that was inflight when its pool died."""
+        task.attempts += 1
+        if task.attempts >= self.policy.max_attempts:
+            self._escalate(
+                task,
+                PermanentError(
+                    f"batch {task.key!r} was inflight through "
+                    f"{task.attempts} pool failures"
+                ),
+            )
+        else:
+            if self.recorder.active:
+                self.recorder.count("supervisor.retries")
+            task.ready_at = time.monotonic() + self.policy.backoff_for(
+                task.key, task.attempts
+            )
+            self._queue.append(task)
+
+
+def supervised_map_batched(
+    func: Callable[[T], R],
+    batches: Sequence[T],
+    *,
+    n_workers: int = 0,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+    on_result: Optional[Callable[[R], None]] = None,
+    policy: Optional[RetryPolicy] = None,
+    task_keys: Optional[Sequence[str]] = None,
+    fail_fast: bool = True,
+    metric: str = "parallel.batch_seconds",
+) -> List[Optional[R]]:
+    """Map ``func`` over pre-formed batches under supervision.
+
+    The fault-tolerant engine behind
+    :func:`~repro.runtime.parallel.parallel_map_batched`; see
+    :class:`BatchSupervisor` for the mechanics and :class:`RetryPolicy`
+    for the knobs.  Returns per-batch results in input order; with
+    ``fail_fast=False`` a permanently failed batch yields ``None`` (and
+    a ``supervisor.skipped`` count) instead of aborting the run.
+    """
+    return BatchSupervisor(
+        func,
+        batches,
+        n_workers=n_workers,
+        initializer=initializer,
+        initargs=initargs,
+        on_result=on_result,
+        policy=policy,
+        task_keys=task_keys,
+        fail_fast=fail_fast,
+        metric=metric,
+    ).run()
+
+
+__all__ = [
+    "RetryPolicy",
+    "BatchSupervisor",
+    "supervised_map_batched",
+    "default_task_keys",
+]

@@ -239,6 +239,15 @@ class TelemetryRecorder:
         """Fold a worker-process metrics snapshot into this recorder."""
         self.metrics.merge(snapshot)
 
+    def counter_value(self, name: str) -> int:
+        """Current value of one counter (0 when never incremented).
+
+        Convenience for assertions — chaos tests check recovery through
+        ``recorder.counter_value("supervisor.retries")`` instead of
+        taking a full snapshot.
+        """
+        return self.metrics.counter_value(name)
+
     def span_tree(self) -> dict:
         """The full span tree; the root covers the recorder's lifetime."""
         return self._root.to_dict(self._clock())

@@ -22,6 +22,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..runtime.errors import AcquisitionError
 from ..runtime.rng import SeedTree
+from ..runtime.telemetry import get_recorder
 from ..quality.nfiq import recommend_reacquisition
 from ..synthesis.population import Subject
 from .base import Impression, Sensor
@@ -212,6 +213,7 @@ def _acquire_with_policy(
     signature_override = None
     if settings.disable_device_signatures:
         signature_override = SmoothWarpField(seed=0, magnitude_mm=0.0)
+    recorder = get_recorder()
     attempts = 0
     best: Optional[Impression] = None
     while True:
@@ -226,11 +228,15 @@ def _acquire_with_policy(
             presentation_index=presentation_counter + attempts,
             signature_override=signature_override,
         )
+        if recorder.active:
+            recorder.count("acquisition.attempts")
         if best is None or impression.nfiq < best.nfiq:
             best = impression
         if not settings.quality_gating:
             return impression
         if not recommend_reacquisition(impression.nfiq, attempts):
+            if recorder.active and attempts:
+                recorder.count("acquisition.reacquisitions", attempts)
             return best
         attempts += 1
 

@@ -162,3 +162,32 @@ class TestScoreSet:
     def test_concatenate_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             ScoreSet.concatenate([])
+
+    def test_assemble_reorders_parts_by_position(self):
+        full = _score_set()
+        # Shards arrive out of order (as parallel chunks do); assemble
+        # restores global score order from the position arrays.
+        tail = full.select(np.array([3, 4, 5]))
+        head = full.select(np.array([0, 1, 2]))
+        rebuilt = ScoreSet.assemble([tail, head], [[3, 4, 5], [0, 1, 2]])
+        np.testing.assert_array_equal(rebuilt.scores, full.scores)
+        np.testing.assert_array_equal(
+            rebuilt.device_gallery, full.device_gallery
+        )
+
+    def test_assemble_tolerates_gaps(self):
+        # A salvage-mode run (fail_fast=False) drops a chunk; positions
+        # are then non-contiguous but relative order must survive.
+        full = _score_set()
+        parts = [full.select(np.array([0, 1])), full.select(np.array([4, 5]))]
+        rebuilt = ScoreSet.assemble(parts, [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(
+            rebuilt.scores, full.scores[[0, 1, 4, 5]]
+        )
+
+    def test_assemble_validates_lengths(self):
+        full = _score_set()
+        with pytest.raises(ConfigurationError):
+            ScoreSet.assemble([full], [])
+        with pytest.raises(ConfigurationError):
+            ScoreSet.assemble([full], [[0, 1]])

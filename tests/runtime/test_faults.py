@@ -1,0 +1,152 @@
+"""Deterministic fault injection: spec parsing, ledger, firing rules."""
+
+import os
+
+import pytest
+
+from repro.runtime.errors import (
+    ConfigurationError,
+    PermanentError,
+    TransientError,
+)
+from repro.runtime.faults import (
+    ENV_LEDGER,
+    ENV_SPEC,
+    Fault,
+    FaultInjector,
+    digest_fraction,
+    ensure_ledger,
+    faults_requested,
+    parse_faults,
+)
+
+
+class TestParseFaults:
+    def test_simple_entries(self):
+        faults = parse_faults("crash:0.1,hang:1")
+        assert faults == (
+            Fault(kind="crash", rate=0.1),
+            Fault(kind="hang", rate=1.0),
+        )
+        assert not faults[0].is_count
+        assert faults[1].is_count and faults[1].count == 1
+
+    def test_target_and_param(self):
+        (fault,) = parse_faults("hang@DMG-chunk0003:1:0.5")
+        assert fault.target == "DMG-chunk0003"
+        assert fault.param == 0.5
+
+    def test_empty_entries_skipped(self):
+        assert parse_faults(" , crash:1 ,") == (Fault(kind="crash", rate=1.0),)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="explode"):
+            parse_faults("explode:1")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a number"):
+            parse_faults("crash:lots")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="> 0"):
+            parse_faults("crash:0")
+
+    def test_missing_rate_rejected(self):
+        with pytest.raises(ConfigurationError, match="crash"):
+            parse_faults("crash")
+
+
+class TestDigestFraction:
+    def test_uniform_range_and_determinism(self):
+        values = [digest_fraction(0, "task", i) for i in range(200)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert values == [digest_fraction(0, "task", i) for i in range(200)]
+
+    def test_seed_changes_draw(self):
+        assert digest_fraction(0, "x") != digest_fraction(1, "x")
+
+
+class TestFaultInjector:
+    def test_count_fault_fires_exactly_n_times(self, tmp_path):
+        injector = FaultInjector(parse_faults("transient:2"), tmp_path)
+        fired = 0
+        for i in range(50):
+            try:
+                injector.perturb(f"task-{i:02d}")
+            except TransientError:
+                fired += 1
+        assert fired == 2
+
+    def test_fault_fires_once_per_task(self, tmp_path):
+        injector = FaultInjector(parse_faults("transient:1"), tmp_path)
+        with pytest.raises(TransientError):
+            injector.perturb("task-0")
+        # The retry of the same task must succeed — the supervisor's
+        # convergence contract.
+        injector.perturb("task-0")
+
+    def test_probability_fault_is_deterministic(self, tmp_path):
+        keys = [f"task-{i:03d}" for i in range(100)]
+
+        def fired_set(ledger):
+            injector = FaultInjector(
+                parse_faults("permanent:0.2"), ledger, seed=7
+            )
+            fired = set()
+            for key in keys:
+                try:
+                    injector.perturb(key)
+                except PermanentError:
+                    fired.add(key)
+            return fired
+
+        first = fired_set(tmp_path / "a")
+        assert first == fired_set(tmp_path / "b")
+        assert 0 < len(first) < len(keys)
+
+    def test_target_filters_tasks(self, tmp_path):
+        injector = FaultInjector(parse_faults("permanent@DMI:5"), tmp_path)
+        injector.perturb("DMG-chunk0000")  # no match, no fire
+        with pytest.raises(PermanentError):
+            injector.perturb("DMI-chunk0000")
+
+    def test_corrupt_file_truncates_once(self, tmp_path):
+        victim = tmp_path / "entry.npz"
+        victim.write_bytes(b"x" * 1000)
+        injector = FaultInjector(parse_faults("corrupt:1"), tmp_path / "ledger")
+        assert injector.corrupt_file(victim, "entry") is True
+        assert victim.stat().st_size == 500
+        # Rewrite and try again: the per-key marker protects the repair.
+        victim.write_bytes(b"x" * 1000)
+        assert injector.corrupt_file(victim, "entry") is False
+        assert victim.stat().st_size == 1000
+
+    def test_task_faults_skip_corrupt_kind(self, tmp_path):
+        injector = FaultInjector(parse_faults("corrupt:5"), tmp_path)
+        injector.perturb("task-0")  # corrupt never fires in perturb
+
+
+class TestEnvironment:
+    def test_from_environment_requires_both_variables(self, monkeypatch):
+        monkeypatch.delenv(ENV_SPEC, raising=False)
+        monkeypatch.delenv(ENV_LEDGER, raising=False)
+        assert FaultInjector.from_environment() is None
+        monkeypatch.setenv(ENV_SPEC, "crash:1")
+        assert FaultInjector.from_environment() is None
+        monkeypatch.setenv(ENV_LEDGER, "/tmp/ledger")
+        injector = FaultInjector.from_environment()
+        assert injector is not None
+        assert injector.faults == parse_faults("crash:1")
+
+    def test_ensure_ledger_creates_and_exports(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_SPEC, "crash:1")
+        monkeypatch.delenv(ENV_LEDGER, raising=False)
+        ledger = ensure_ledger()
+        assert ledger is not None
+        assert os.environ[ENV_LEDGER] == ledger
+        assert os.path.isdir(ledger)
+
+    def test_ensure_ledger_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_SPEC, raising=False)
+        assert not faults_requested()
+        assert ensure_ledger() is None

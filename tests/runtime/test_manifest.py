@@ -140,3 +140,101 @@ def test_render_mentions_key_sections():
 def test_vcs_describe_returns_string_or_none():
     described = vcs_describe()
     assert described is None or (isinstance(described, str) and described)
+
+
+class TestVcsDegradation:
+    """The git probe records its own failure instead of raising."""
+
+    def test_missing_git_degrades_to_unavailable(self, monkeypatch):
+        import repro.runtime.manifest as manifest_mod
+
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git: command not found")
+
+        monkeypatch.setattr(manifest_mod.subprocess, "run", no_git)
+        assert vcs_describe() == "unavailable"
+
+    def test_hung_git_degrades_to_unavailable(self, monkeypatch):
+        import subprocess
+
+        import repro.runtime.manifest as manifest_mod
+
+        def hung(*args, **kwargs):
+            raise subprocess.TimeoutExpired(cmd="git", timeout=5)
+
+        monkeypatch.setattr(manifest_mod.subprocess, "run", hung)
+        assert vcs_describe() == "unavailable"
+
+    def test_non_repository_yields_none(self, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.runtime.manifest as manifest_mod
+
+        def not_a_repo(*args, **kwargs):
+            return SimpleNamespace(returncode=128, stdout="")
+
+        monkeypatch.setattr(manifest_mod.subprocess, "run", not_a_repo)
+        assert vcs_describe() is None
+
+    def test_unavailable_manifest_still_validates(self, monkeypatch):
+        import repro.runtime.manifest as manifest_mod
+
+        monkeypatch.setattr(
+            manifest_mod.subprocess,
+            "run",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("sandboxed")),
+        )
+        manifest = RunManifest.from_recorder(make_recorder(), FakeConfig())
+        assert manifest.vcs_version == "unavailable"
+        validate_manifest(manifest.to_dict())
+
+
+class TestSupervisorRollup:
+    def make_chaotic_recorder(self):
+        recorder = make_recorder()
+        recorder.count("supervisor.retries", 5)
+        recorder.count("supervisor.requeued", 2)
+        recorder.count("supervisor.timeouts", 1)
+        recorder.count("supervisor.pool_restarts", 3)
+        recorder.count("supervisor.skipped", 1)
+        recorder.count("study.jobs.skipped", 64)
+        recorder.count("study.checkpoint.stored", 4)
+        recorder.count("study.checkpoint.resumed", 4)
+        recorder.gauge("supervisor.degraded", 1.0)
+        recorder.observe("supervisor.backoff_seconds", 0.25)
+        recorder.observe("supervisor.backoff_seconds", 0.75)
+        return recorder
+
+    def test_rollup_captures_recovery_story(self):
+        manifest = RunManifest.from_recorder(
+            self.make_chaotic_recorder(), FakeConfig()
+        )
+        assert manifest.supervisor == {
+            "retries": 5,
+            "requeued": 2,
+            "timeouts": 1,
+            "pool_restarts": 3,
+            "skipped": 1,
+            "jobs_skipped": 64,
+            "checkpoints_stored": 4,
+            "checkpoints_resumed": 4,
+            "degraded": True,
+            "backoff_seconds_total": 1.0,
+        }
+
+    def test_healthy_run_rolls_up_to_zeros(self):
+        manifest = RunManifest.from_recorder(make_recorder(), FakeConfig())
+        assert manifest.supervisor["retries"] == 0
+        assert manifest.supervisor["degraded"] is False
+        assert manifest.supervisor["backoff_seconds_total"] == 0.0
+
+    def test_rollup_round_trips_and_renders(self, tmp_path):
+        manifest = RunManifest.from_recorder(
+            self.make_chaotic_recorder(), FakeConfig()
+        )
+        loaded = RunManifest.load(manifest.write(tmp_path / "run.json"))
+        assert loaded.supervisor == manifest.supervisor
+        text = render_manifest(loaded)
+        assert "supervisor: 5 retries, 2 requeued, 1 timeouts" in text
+        assert "[degraded to serial]" in text
+        assert "checkpoints: 4 stored, 4 resumed" in text

@@ -1,14 +1,19 @@
 """Collection protocol: session structure, D4 rules, quality gating."""
 
+from types import SimpleNamespace
+
 import pytest
 
+from repro.quality.nfiq import MAX_REACQUISITIONS
 from repro.runtime import SeedTree
 from repro.runtime.errors import AcquisitionError
+from repro.runtime.telemetry import enable_telemetry, get_recorder, set_recorder
 from repro.sensors.inkcard import InkCardSensor
 from repro.sensors.optical import OpticalSensor
 from repro.sensors.protocol import (
     Collection,
     ProtocolSettings,
+    _acquire_with_policy,
     acquire_subject_session,
     build_sensor,
 )
@@ -107,6 +112,80 @@ class TestQualityGating:
             worst_off.append(max(i.nfiq for i in off))
             worst_on.append(max(i.nfiq for i in on))
         assert sum(worst_on) <= sum(worst_off)
+
+
+class _ScriptedSensor:
+    """Stub whose acquisitions return a scripted NFIQ sequence."""
+
+    device_id = "DX"
+
+    def __init__(self, levels):
+        self._levels = iter(levels)
+        self.calls = 0
+
+    def acquire(self, subject, finger, rng, *, set_index,
+                presentation_index, signature_override=None):
+        self.calls += 1
+        return SimpleNamespace(nfiq=next(self._levels))
+
+
+def _acquire_scripted(levels, *, quality_gating=True):
+    sensor = _ScriptedSensor(levels)
+    impression = _acquire_with_policy(
+        sensor,
+        subject=None,
+        finger="right_index",
+        session_tree=SeedTree(1).child("s", 0),
+        set_index=0,
+        presentation_counter=0,
+        settings=ProtocolSettings(quality_gating=quality_gating),
+    )
+    return impression, sensor
+
+
+class TestReacquisitionRule:
+    """NIST SP 800-76 retry rule inside ``_acquire_with_policy``."""
+
+    @pytest.fixture()
+    def recorder(self):
+        previous = get_recorder()
+        live = enable_telemetry()
+        yield live
+        set_recorder(previous)
+
+    def test_good_first_impression_is_not_retried(self):
+        impression, sensor = _acquire_scripted([2])
+        assert impression.nfiq == 2
+        assert sensor.calls == 1
+
+    def test_retries_are_bounded(self):
+        # All-poor quality: the rule allows MAX_REACQUISITIONS retries
+        # on top of the initial presentation, then gives up.
+        impression, sensor = _acquire_scripted([5, 5, 5, 5, 5])
+        assert sensor.calls == MAX_REACQUISITIONS + 1
+        assert impression.nfiq == 5
+
+    def test_best_impression_is_retained(self):
+        # Quality worsens across retries; the first (best) impression
+        # must be the one kept, not the last acquired.
+        impression, sensor = _acquire_scripted([4, 5, 5, 5])
+        assert sensor.calls == MAX_REACQUISITIONS + 1
+        assert impression.nfiq == 4
+
+    def test_gating_off_returns_first_acquisition(self):
+        impression, sensor = _acquire_scripted([5, 1], quality_gating=False)
+        assert impression.nfiq == 5
+        assert sensor.calls == 1
+
+    def test_telemetry_counts_attempts_and_reacquisitions(self, recorder):
+        _acquire_scripted([4, 5, 5, 5])
+        assert recorder.counter_value("acquisition.attempts") == 4
+        assert recorder.counter_value("acquisition.reacquisitions") == 3
+
+    def test_telemetry_quiet_without_retries(self, recorder):
+        _acquire_scripted([2])
+        assert recorder.counter_value("acquisition.attempts") == 1
+        assert recorder.counter_value("acquisition.reacquisitions") == 0
 
 
 class TestCollection:

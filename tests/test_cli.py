@@ -5,7 +5,19 @@ import json
 
 import pytest
 
-from repro.cli import ARTIFACTS, build_parser, main
+from repro.cli import ARTIFACTS, GENERIC_ERROR_EXIT, build_parser, exit_code_for, main
+from repro.runtime.errors import (
+    AcquisitionError,
+    CacheError,
+    CalibrationError,
+    ConfigurationError,
+    MatcherError,
+    PermanentError,
+    ReproError,
+    SynthesisError,
+    TemplateFormatError,
+    TransientError,
+)
 from repro.runtime.manifest import validate_manifest
 from repro.runtime.telemetry import NullRecorder, get_recorder
 
@@ -28,6 +40,53 @@ class TestParser:
     def test_run_only_validates(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--only", "table99"])
+
+    def test_run_resume_and_fail_fast_flags(self):
+        args = build_parser().parse_args(["run"])
+        assert args.resume is False
+        assert args.fail_fast is True
+        args = build_parser().parse_args(["run", "--resume", "--no-fail-fast"])
+        assert args.resume is True
+        assert args.fail_fast is False
+        args = build_parser().parse_args(["run", "--fail-fast"])
+        assert args.fail_fast is True
+
+
+class TestExitCodes:
+    """Every error family maps to a distinct, stable exit code."""
+
+    @pytest.mark.parametrize(
+        ("exc", "code"),
+        [
+            (ConfigurationError("x"), 2),
+            (TemplateFormatError("x"), 3),
+            (MatcherError("x"), 4),
+            (AcquisitionError("x"), 5),
+            (SynthesisError("x"), 5),
+            (CalibrationError("x"), 6),
+            (CacheError("x"), 7),
+            (PermanentError("x"), 8),
+            (TransientError("x"), 9),
+            (ReproError("x"), GENERIC_ERROR_EXIT),
+        ],
+    )
+    def test_mapping(self, exc, code):
+        assert exit_code_for(exc) == code
+
+    def test_codes_never_collide_with_success_or_argparse(self):
+        # 0 is success and argparse exits with 2 only for usage errors;
+        # library failures start at 2 as well (config errors read the
+        # same to a shell) but never use 0 or 1.
+        codes = {
+            exit_code_for(exc)
+            for exc in (
+                ConfigurationError("x"), TemplateFormatError("x"),
+                MatcherError("x"), AcquisitionError("x"), SynthesisError("x"),
+                CalibrationError("x"), CacheError("x"), PermanentError("x"),
+                TransientError("x"), ReproError("x"),
+            )
+        }
+        assert 0 not in codes and 1 not in codes
 
 
 class TestInfo:
@@ -149,19 +208,21 @@ class TestManifestAndStats:
         assert "matcher.invocations" in out
         assert "cache:" in out
 
-    def test_stats_rejects_missing_file(self, tmp_path):
-        from repro.runtime.errors import ConfigurationError
+    def test_stats_rejects_missing_file(self, tmp_path, capsys):
+        # Library failures no longer escape main(): one stderr line and
+        # the family-specific exit code (ConfigurationError -> 2).
+        code, _ = run_cli(["stats", str(tmp_path / "absent.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "repro: ConfigurationError: cannot read manifest" in err
+        assert "Traceback" not in err
 
-        with pytest.raises(ConfigurationError, match="cannot read manifest"):
-            run_cli(["stats", str(tmp_path / "absent.json")])
-
-    def test_stats_rejects_invalid_manifest(self, tmp_path):
-        from repro.runtime.errors import ConfigurationError
-
+    def test_stats_rejects_invalid_manifest(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
         path.write_text(json.dumps({"schema_version": 1}))
-        with pytest.raises(ConfigurationError, match="missing required key"):
-            run_cli(["stats", str(path)])
+        code, _ = run_cli(["stats", str(path)])
+        assert code == 2
+        assert "missing required key" in capsys.readouterr().err
 
     def test_run_without_manifest_keeps_telemetry_off(self, tmp_path):
         code, _ = run_cli(
