@@ -1,0 +1,206 @@
+"""Load-benchmark the online serving layer: micro-batching on vs off.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py \
+        --label "PR-5 serving layer" --out service_load_pr5.json
+
+Closed-loop load generator: ``--clients`` concurrent client threads
+replay a mixed workload against a live ``VerificationServer`` over real
+HTTP.  The gallery holds 8 subjects enrolled on two capture devices
+(D0 and D1 — the interoperability study's cross-device setting), and
+each client loops through cycles of one same-device verify plus three
+all-device identifies for its assigned identity.  Client identities are
+drawn from a *hot population*: with ``--hot 4``, 16 clients replay
+traffic for 4 frequent identities (4 clients per identity), the
+duplicate-heavy regime where an admission queue sees the same
+comparison arrive from several in-flight requests at once.
+
+Each hot-population level runs twice — batching disabled (the control
+arm: one scalar matcher call and one worker round trip per comparison)
+and enabled (pair jobs coalesce into shared dispatches and duplicate
+comparisons collapse to a single kernel invocation).  Both arms score
+bit-identical results; the record carries throughput, client-observed
+latency percentiles, the server's batch-size distribution, and the
+matcher's collapse/invocation counters so the speedup is attributable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _bench_common import OUTPUT_DIR
+from repro.api import BioEngineMatcher, StudyConfig, build_collection
+from repro.runtime.telemetry import disable_telemetry, enable_telemetry
+from repro.service import (
+    BatchingConfig,
+    GalleryIndex,
+    ServiceClient,
+    ServiceRunner,
+    VerificationServer,
+)
+
+DEVICES = ("D0", "D1")
+GALLERY_SUBJECTS = 8
+IDENTIFIES_PER_CYCLE = 3
+
+
+def _percentiles(samples_ms):
+    arr = np.asarray(samples_ms, dtype=np.float64)
+    return {
+        "p50_ms": round(float(np.percentile(arr, 50)), 2),
+        "p95_ms": round(float(np.percentile(arr, 95)), 2),
+        "p99_ms": round(float(np.percentile(arr, 99)), 2),
+        "max_ms": round(float(arr.max()), 2),
+        "count": int(arr.size),
+    }
+
+
+def _run_arm(collection, matcher, *, enabled, clients, cycles, hot):
+    """One benchmark arm; returns its measurement record."""
+    recorder = enable_telemetry()
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            gallery = GalleryIndex(Path(tmp) / "gallery")
+            batching = BatchingConfig(
+                max_batch=512, max_wait_ms=20.0, queue_depth=4096, enabled=enabled
+            )
+            server = VerificationServer(
+                gallery, matcher=matcher, port=0, batching=batching
+            )
+            with ServiceRunner(server) as (host, port):
+                with ServiceClient(host, port) as setup:
+                    for sid in range(GALLERY_SUBJECTS):
+                        for device in DEVICES:
+                            template = collection.get(
+                                sid, "right_index", device, 0
+                            ).template
+                            setup.enroll(f"subject-{sid}", template, device=device)
+                probes = {
+                    sid: collection.get(sid, "right_index", "D1", 1).template
+                    for sid in range(hot)
+                }
+
+                def worker(wid):
+                    sid = wid % hot
+                    identity = f"subject-{sid}"
+                    latencies = []
+                    with ServiceClient(host, port) as client:
+                        for _ in range(cycles):
+                            start = time.perf_counter()
+                            verdict = client.verify(
+                                identity, probes[sid], device="D1"
+                            )
+                            latencies.append(time.perf_counter() - start)
+                            assert verdict["decision"] == "accept", (
+                                f"genuine {identity} rejected"
+                            )
+                            for _ in range(IDENTIFIES_PER_CYCLE):
+                                start = time.perf_counter()
+                                hits = client.identify(probes[sid], device=None)
+                                latencies.append(time.perf_counter() - start)
+                                top = hits["candidates"][0]["identity"]
+                                assert top.split("/")[-1] == identity, (
+                                    f"rank-1 miss: {top} for {identity}"
+                                )
+                    return latencies
+
+                wall_start = time.perf_counter()
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=clients
+                ) as pool:
+                    per_client = list(pool.map(worker, range(clients)))
+                wall = time.perf_counter() - wall_start
+                with ServiceClient(host, port) as client:
+                    snapshot = client.stats()
+        latencies_ms = [1000.0 * s for worker in per_client for s in worker]
+        counters = recorder.metrics.snapshot()["counters"]
+        batching_stats = snapshot["batching"]
+        return {
+            "batching_enabled": enabled,
+            "requests": len(latencies_ms),
+            "wall_seconds": round(wall, 3),
+            "throughput_rps": round(len(latencies_ms) / wall, 1),
+            "latency": _percentiles(latencies_ms),
+            "batches": batching_stats["batches"],
+            "mean_batch_size": batching_stats["mean_size"],
+            "max_batch_size": batching_stats["max_size"],
+            "batch_size_histogram": batching_stats["histogram"],
+            "matcher_invocations": int(counters.get("matcher.invocations", 0)),
+            "collapsed_comparisons": int(counters.get("matcher.collapsed", 0)),
+        }
+    finally:
+        disable_telemetry()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--cycles", type=int, default=4)
+    parser.add_argument(
+        "--hot",
+        type=lambda text: [int(v) for v in text.split(",")],
+        default=[4, 8],
+        help="hot-population sizes to sweep (first one is the headline)",
+    )
+    parser.add_argument("--label", default="online serving micro-batching")
+    parser.add_argument("--out", default="service_load.json")
+    args = parser.parse_args()
+
+    config = StudyConfig(n_subjects=max(GALLERY_SUBJECTS, max(args.hot)))
+    collection = build_collection(config)
+    matcher = BioEngineMatcher()
+
+    sweep = []
+    for hot in args.hot:
+        arms = {}
+        for enabled in (False, True):
+            mode = "batched" if enabled else "unbatched"
+            arms[mode] = _run_arm(
+                collection,
+                matcher,
+                enabled=enabled,
+                clients=args.clients,
+                cycles=args.cycles,
+                hot=hot,
+            )
+        speedup = round(
+            arms["batched"]["throughput_rps"] / arms["unbatched"]["throughput_rps"],
+            2,
+        )
+        sweep.append({"hot_identities": hot, "speedup": speedup, **arms})
+        print(
+            f"hot={hot}: unbatched {arms['unbatched']['throughput_rps']} req/s, "
+            f"batched {arms['batched']['throughput_rps']} req/s ({speedup}x)"
+        )
+
+    record = {
+        "label": args.label,
+        "clients": args.clients,
+        "cycles_per_client": args.cycles,
+        "workload": (
+            f"per cycle: 1 verify (device D1) + {IDENTIFIES_PER_CYCLE} "
+            f"all-device identifies; gallery {GALLERY_SUBJECTS} subjects x "
+            f"{len(DEVICES)} devices"
+        ),
+        "cpus": os.cpu_count(),
+        "headline_speedup": sweep[0]["speedup"],
+        "sweep": sweep,
+    }
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = OUTPUT_DIR / args.out
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"written to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

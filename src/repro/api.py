@@ -79,6 +79,7 @@ from .core.identification import (
     cross_device_cmc,
     open_set_rates,
     rank_candidates,
+    rank_candidates_scalar,
 )
 from .core.kendall_analysis import (
     asymmetry_count,
@@ -157,7 +158,26 @@ from .pipeline import (
     Verifier,
 )
 from .pipeline.verifier import train_interop_verifier_from_study
-from .quality import QualityFeatures, nfiq_level
+from .quality import (
+    QualityFeatures,
+    assess_template,
+    nfiq_level,
+    template_quality_features,
+)
+from .service import (
+    BatchingConfig,
+    EnrollmentRejected,
+    GalleryIndex,
+    GalleryRecord,
+    MicroBatcher,
+    ServerStartupError,
+    ServiceClient,
+    ServiceClientError,
+    ServiceStats,
+    UnknownIdentityError,
+    VerificationServer,
+    encode_template,
+)
 from .sensors import (
     DEVICE_ORDER,
     DEVICE_PROFILES,
@@ -381,6 +401,7 @@ __all__ = [
     "cross_device_cmc",
     "open_set_rates",
     "rank_candidates",
+    "rank_candidates_scalar",
     "control_by_presentation",
     "first_vs_last",
     "render_habituation",
@@ -460,6 +481,21 @@ __all__ = [
     "compute_score",
     "QualityFeatures",
     "nfiq_level",
+    "assess_template",
+    "template_quality_features",
+    # online serving layer
+    "VerificationServer",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceStats",
+    "GalleryIndex",
+    "GalleryRecord",
+    "BatchingConfig",
+    "MicroBatcher",
+    "EnrollmentRejected",
+    "UnknownIdentityError",
+    "ServerStartupError",
+    "encode_template",
     "Impression",
     "ProtocolSettings",
     "build_sensor",

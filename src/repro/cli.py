@@ -14,6 +14,8 @@ command        what it does
 ``match``      match two INCITS 378 files and print the score
 ``predict``    answer the paper's FNM-probability question for a pair
 ``stats``      pretty-print a run manifest written by ``run``
+``serve``      run the online verification/identification HTTP server
+``enroll``     add a template to a serving gallery (file or synthesized)
 =============  ==========================================================
 
 Every command honours ``REPRO_SUBJECTS`` / ``REPRO_WORKERS`` plus the
@@ -223,6 +225,62 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--fmr", type=float, default=1e-3,
                          help="fixed FMR of the operating point")
     predict.add_argument("--cache-dir", default=".repro_cache")
+
+    serve = sub.add_parser(
+        "serve", help="run the online verification/identification server"
+    )
+    serve.add_argument("--gallery-dir", default=".repro_gallery",
+                       help="persistent gallery root (per-device shards)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8799,
+                       help="listen port (0 binds an ephemeral port)")
+    serve.add_argument("--matcher", default="bioengine",
+                       choices=("bioengine", "ridgecount"))
+    serve.add_argument("--threshold", type=float, default=None,
+                       help="accept/reject score threshold "
+                            "(default: REPRO_SERVE_THRESHOLD, else 7.5)")
+    serve.add_argument("--max-nfiq", type=int, default=4,
+                       help="worst NFIQ level accepted at enrollment (1-5)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="micro-batch size cap (REPRO_SERVE_MAX_BATCH)")
+    serve.add_argument("--max-wait-ms", type=float, default=None,
+                       help="batch coalescing window "
+                            "(REPRO_SERVE_MAX_WAIT_MS)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="admission queue bound "
+                            "(REPRO_SERVE_QUEUE_DEPTH); overflow answers 503")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable cross-request micro-batching "
+                            "(REPRO_SERVE_BATCHING=0)")
+    serve.add_argument("--manifest-out", default=None,
+                       help="enable telemetry and write a run manifest "
+                            "(with the service rollup) on shutdown")
+
+    enroll = sub.add_parser(
+        "enroll", help="enroll a template into a serving gallery"
+    )
+    enroll.add_argument("--gallery-dir", default=".repro_gallery",
+                        help="persistent gallery root (created if missing)")
+    enroll.add_argument("--identity", default=None,
+                        help="identity to enroll under (default: template "
+                             "file stem, or subject-<N> when synthesizing)")
+    enroll.add_argument("--device", default=None,
+                        help="gallery device shard (default: the capture "
+                             "device when synthesizing, else 'default')")
+    enroll.add_argument("--template", default=None,
+                        help="INCITS 378 .fmr file to enroll; omit to "
+                             "synthesize one with --subject/--capture-device")
+    enroll.add_argument("--subject", type=int, default=0,
+                        help="subject id for the synthesized path")
+    enroll.add_argument("--capture-device", default="D0",
+                        help="capture device for the synthesized path")
+    enroll.add_argument("--set", dest="set_index", type=int, default=0,
+                        choices=(0, 1), help="impression set")
+    enroll.add_argument("--finger", default="right_index",
+                        choices=("right_index", "right_middle"))
+    enroll.add_argument("--seed", type=int, default=None, help="master seed")
+    enroll.add_argument("--max-nfiq", type=int, default=4,
+                        help="worst NFIQ level accepted (1-5)")
     return parser
 
 
@@ -560,6 +618,113 @@ def cmd_stats(args, out) -> int:
     return 0
 
 
+def _synthesize_template(args):
+    """Acquire one synthetic impression (the ``enroll`` fallback path)."""
+    from .api import build_sensor, Population, SeedTree
+
+    config = _config_from_args(args, default_subjects=max(args.subject + 1, 2))
+    if args.subject >= config.n_subjects:
+        config = config.replace(n_subjects=args.subject + 1)
+    subject = Population(config).subject(args.subject)
+    sensor = build_sensor(args.capture_device)
+    rng = SeedTree(config.master_seed).child("session", args.subject).generator(
+        "impression", args.capture_device, args.finger, args.set_index,
+        "attempt", 0,
+    )
+    return sensor.acquire(subject, args.finger, rng, set_index=args.set_index)
+
+
+def cmd_enroll(args, out) -> int:
+    """`repro enroll`: add one template to a persistent serving gallery."""
+    from .api import decode
+    from .service import GalleryIndex
+
+    gallery = GalleryIndex(Path(args.gallery_dir), max_nfiq_level=args.max_nfiq)
+    if args.template is not None:
+        template, _metadata = decode(Path(args.template).read_bytes())
+        identity = args.identity or Path(args.template).stem
+        device = args.device or "default"
+    else:
+        template = _synthesize_template(args).template
+        identity = args.identity or f"subject-{args.subject}"
+        device = args.device or args.capture_device
+    record = gallery.enroll(identity, template, device=device)
+    print(
+        f"enrolled {record.identity!r} on device {record.device}: "
+        f"{len(record.template)} minutiae, NFIQ {record.nfiq_level} "
+        f"(utility {record.nfiq_utility:.3f}); "
+        f"gallery now holds {len(gallery)} enrollments at {args.gallery_dir}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    """`repro serve`: host the gallery behind the async matching server."""
+    import asyncio
+    import signal
+
+    from .api import build_matcher, disable_telemetry, enable_telemetry
+    from .service import BatchingConfig, GalleryIndex, VerificationServer
+
+    recorder = enable_telemetry() if args.manifest_out else None
+    overrides: dict = {}
+    if args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    if args.max_wait_ms is not None:
+        overrides["max_wait_ms"] = args.max_wait_ms
+    if args.queue_depth is not None:
+        overrides["queue_depth"] = args.queue_depth
+    if args.no_batching:
+        overrides["enabled"] = False
+    batching = BatchingConfig.from_environment(**overrides)
+    gallery = GalleryIndex(Path(args.gallery_dir), max_nfiq_level=args.max_nfiq)
+    server = VerificationServer(
+        gallery,
+        matcher=build_matcher(args.matcher),
+        host=args.host,
+        port=args.port,
+        threshold=args.threshold,
+        batching=batching,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        host, port = server.address
+        print(
+            f"repro service listening on http://{host}:{port} "
+            f"({len(gallery)} enrolled, threshold {server.threshold}, "
+            f"batching {'on' if batching.enabled else 'off'})",
+            file=out, flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        serving = loop.create_task(server.serve_forever())
+        await stop.wait()
+        serving.cancel()
+        await asyncio.gather(serving, return_exceptions=True)
+        await server.stop()
+
+    try:
+        asyncio.run(_run())
+    finally:
+        if args.manifest_out and recorder is not None:
+            from .api import RunManifest
+
+            config = StudyConfig.from_environment()
+            target = RunManifest.from_recorder(recorder, config).write(
+                args.manifest_out
+            )
+            print(f"run manifest written to {target}", file=out)
+            disable_telemetry()
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "run": cmd_run,
@@ -572,6 +737,8 @@ _COMMANDS = {
     "predict": cmd_predict,
     "stats": cmd_stats,
     "warm": cmd_warm,
+    "serve": cmd_serve,
+    "enroll": cmd_enroll,
 }
 
 

@@ -41,9 +41,52 @@ def rank_candidates(
     gallery: Dict[str, Template],
     max_candidates: Optional[int] = None,
 ) -> List[Candidate]:
-    """Score ``probe`` against every gallery template, best first."""
+    """Score ``probe`` against every gallery template, best first.
+
+    Rides the matcher's batched 1:N path
+    (:meth:`~repro.matcher.engine.BioEngineMatcher.match_one_to_many`)
+    when the engine exposes one — the probe's frame is computed once for
+    the whole candidate list — and falls back to the scalar per-candidate
+    loop for matchers that only implement ``match``.  Both paths produce
+    identical rankings (:func:`rank_candidates_scalar` is the parity
+    oracle).  Ties are broken by identity, ascending, so all-tied scores
+    still yield a deterministic order; an empty gallery returns an empty
+    candidate list.
+    """
     if not gallery:
-        raise ConfigurationError("identification needs a non-empty gallery")
+        return []
+    identities = list(gallery)
+    batched = getattr(matcher, "match_one_to_many", None)
+    if batched is not None:
+        scores = batched(probe, [gallery[identity] for identity in identities])
+        scored = [
+            Candidate(identity=identity, score=float(score))
+            for identity, score in zip(identities, scores)
+        ]
+    else:
+        scored = [
+            Candidate(identity=identity, score=matcher.match(probe, gallery[identity]))
+            for identity in identities
+        ]
+    scored.sort(key=lambda c: (-c.score, c.identity))
+    return scored[:max_candidates] if max_candidates else scored
+
+
+def rank_candidates_scalar(
+    matcher,
+    probe: Template,
+    gallery: Dict[str, Template],
+    max_candidates: Optional[int] = None,
+) -> List[Candidate]:
+    """Reference 1:N ranking via one scalar ``match`` call per candidate.
+
+    The parity oracle for :func:`rank_candidates`: the batched path must
+    reproduce this ordering (and these scores) exactly.  Kept as a public
+    function so the parity tests — and any matcher author validating a
+    new batched kernel — can compare against it directly.
+    """
+    if not gallery:
+        return []
     scored = [
         Candidate(identity=identity, score=matcher.match(probe, template))
         for identity, template in gallery.items()
@@ -82,9 +125,15 @@ class CmcCurve:
         return float(self.hit_rates[0]) if len(self.hit_rates) else 0.0
 
     def rate_at(self, rank: int) -> float:
-        """Hit rate at the given 1-based rank (saturates at the tail)."""
+        """Hit rate at the given 1-based rank (saturates at the tail).
+
+        A curve with no ranks (zero probes) reports 0.0 everywhere
+        rather than indexing into an empty array.
+        """
         if rank < 1:
             raise ConfigurationError("rank must be >= 1")
+        if not len(self.hit_rates):
+            return 0.0
         index = min(rank, len(self.hit_rates)) - 1
         return float(self.hit_rates[index])
 
@@ -99,12 +148,21 @@ class CmcCurve:
 
 
 def cmc_curve(ranks: Sequence[int], max_rank: int) -> CmcCurve:
-    """Build a CMC from per-probe true-identity ranks (0 = missed)."""
+    """Build a CMC from per-probe true-identity ranks (0 = missed).
+
+    Zero probes produce an all-zero curve over ``max_rank`` ranks (the
+    online service can be asked for a CMC before any identification has
+    run) instead of tripping numpy's empty-mean warning; probes whose
+    identity was absent from the gallery arrive as rank 0 and simply
+    never hit.
+    """
     if max_rank < 1:
         raise ConfigurationError("max_rank must be >= 1")
     rank_array = np.asarray(ranks, dtype=np.int64)
     if rank_array.size == 0:
-        raise ConfigurationError("cmc_curve needs at least one probe")
+        return CmcCurve(
+            hit_rates=np.zeros(max_rank, dtype=np.float64), n_probes=0
+        )
     hits = np.zeros(max_rank, dtype=np.float64)
     for k in range(1, max_rank + 1):
         hits[k - 1] = np.mean((rank_array >= 1) & (rank_array <= k))
@@ -142,9 +200,17 @@ def open_set_rates(
           threshold;
         * FPIR — false-positive identification rate: unenrolled probes
           whose best candidate cleared the threshold.
+
+    Edge cases are well-defined rather than warning-dependent: an empty
+    gallery can never identify anyone, so every "enrolled" probe is a
+    miss (FNIR 1.0) and no unenrolled probe can raise a false alarm
+    (FPIR 0.0); a probe whose identity is absent from the gallery counts
+    as a miss whatever it scores.
     """
     if not enrolled_probes and not unenrolled_probes:
         raise ConfigurationError("open_set_rates needs at least one probe")
+    if not gallery:
+        return (1.0 if enrolled_probes else 0.0), 0.0
     misses = 0
     for true_identity, probe in enrolled_probes:
         best = rank_candidates(matcher, probe, gallery, max_candidates=1)[0]
@@ -189,6 +255,7 @@ def cross_device_cmc(
 __all__ = [
     "Candidate",
     "rank_candidates",
+    "rank_candidates_scalar",
     "identification_rank",
     "CmcCurve",
     "cmc_curve",

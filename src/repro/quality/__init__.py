@@ -5,9 +5,11 @@ from .nfiq import (
     MAX_REACQUISITIONS,
     QualityAssessment,
     assess,
+    assess_template,
     nfiq_level,
     quality_utility,
     recommend_reacquisition,
+    template_quality_features,
 )
 
 __all__ = [
@@ -15,6 +17,8 @@ __all__ = [
     "FEATURE_DIM",
     "QualityAssessment",
     "assess",
+    "assess_template",
+    "template_quality_features",
     "nfiq_level",
     "quality_utility",
     "recommend_reacquisition",

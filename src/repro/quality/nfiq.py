@@ -79,6 +79,60 @@ def assess(features: QualityFeatures) -> QualityAssessment:
     return QualityAssessment(level=nfiq_level(features), utility=utility)
 
 
+#: Neutral stand-ins for the image-domain quality factors a bare
+#: template cannot testify about.  Chosen at the synthetic population's
+#: typical live-scan operating point so that template-evidence NFIQ
+#: levels land on the same 1–5 scale as acquisition-time NFIQ: a dense,
+#: high-confidence template reads 1–2, a sparse or low-confidence one
+#: reads 4–5.
+_TEMPLATE_NEUTRAL_COHERENCE = 0.80
+_TEMPLATE_NEUTRAL_DRYNESS = 0.15
+_TEMPLATE_NEUTRAL_NOISE = 0.15
+
+#: A minutiae bounding box covering this fraction of the image frame
+#: counts as full contact (live-scan pads are never rim-to-rim).
+_TEMPLATE_FULL_CONTACT_FRACTION = 0.6
+
+
+def template_quality_features(template) -> QualityFeatures:
+    """Quality evidence recoverable from a bare template.
+
+    The online serving layer gates enrollment on quality, but an
+    ``/enroll`` request carries only an INCITS 378 template — the ground
+    truth the acquisition pipeline feeds :class:`QualityFeatures` is
+    gone.  This estimator uses what the template does testify about
+    (minutiae count, per-minutia confidence, the fraction of the image
+    frame the minutiae span) and holds the unobservable image factors at
+    neutral population-typical values, so the resulting level is
+    comparable with — though coarser than — acquisition-time NFIQ.
+    """
+    count = len(template)
+    if count:
+        qualities = template.qualities()
+        mean_quality = float(qualities.mean()) / 100.0
+        positions = template.positions_px()
+        extent = positions.max(axis=0) - positions.min(axis=0)
+        frame_area = float(template.width_px * template.height_px)
+        bbox_fraction = float(extent[0] * extent[1]) / frame_area if frame_area else 0.0
+        contact = min(1.0, bbox_fraction / _TEMPLATE_FULL_CONTACT_FRACTION)
+    else:
+        mean_quality = 0.0
+        contact = 0.0
+    return QualityFeatures(
+        minutiae_count=count,
+        contact_area_fraction=max(0.0, contact),
+        mean_coherence=_TEMPLATE_NEUTRAL_COHERENCE,
+        dryness_artifact=_TEMPLATE_NEUTRAL_DRYNESS,
+        noise_level=_TEMPLATE_NEUTRAL_NOISE,
+        mean_minutia_quality=max(0.0, min(1.0, mean_quality)),
+    )
+
+
+def assess_template(template) -> QualityAssessment:
+    """Template-evidence NFIQ: the enrollment quality gate's assessor."""
+    return assess(template_quality_features(template))
+
+
 def recommend_reacquisition(level: int, attempts_so_far: int) -> bool:
     """NIST SP 800-76 rule: re-capture while NFIQ > 3, at most 3 retries.
 
@@ -98,6 +152,8 @@ __all__ = [
     "nfiq_level",
     "QualityAssessment",
     "assess",
+    "assess_template",
+    "template_quality_features",
     "recommend_reacquisition",
     "MAX_REACQUISITIONS",
 ]

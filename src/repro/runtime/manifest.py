@@ -65,10 +65,11 @@ MANIFEST_SCHEMA: dict = {
         "gauges": {"type": "object"},
         "histograms": {"type": "object"},
         "cache": {"type": "object"},
-        # Optional (schema_version 1 manifests predate the artifact store
-        # and the fault-tolerance layer).
+        # Optional (schema_version 1 manifests predate the artifact store,
+        # the fault-tolerance layer, and the online serving layer).
         "artifacts": {"type": "object"},
         "supervisor": {"type": "object"},
+        "service": {"type": "object"},
     },
 }
 
@@ -186,6 +187,40 @@ def _supervisor_stats(snapshot: dict) -> dict:
     }
 
 
+def _service_stats(snapshot: dict) -> dict:
+    """Online-serving rollup: what the service layer did during the run.
+
+    All zeros unless the process hosted a
+    :class:`~repro.service.server.VerificationServer` (``repro serve``
+    writes a manifest at shutdown); the CI smoke check asserts request
+    and batch counts from this block alone.
+    """
+    counters = snapshot["counters"]
+    batch = snapshot["histograms"].get("service.batch_size") or {}
+    latency = snapshot["histograms"].get("service.latency_seconds") or {}
+    batches = counters.get("service.batches", 0)
+    jobs = counters.get("service.batched_jobs", 0)
+    mean_latency_ms = None
+    if latency.get("count"):
+        mean_latency_ms = round(1000.0 * latency["sum"] / latency["count"], 3)
+    return {
+        "requests": counters.get("service.requests", 0),
+        "enroll": counters.get("service.requests.enroll", 0),
+        "verify": counters.get("service.requests.verify", 0),
+        "identify": counters.get("service.requests.identify", 0),
+        "accepted": counters.get("service.accepted", 0),
+        "rejected": counters.get("service.rejected", 0),
+        "enroll_rejected": counters.get("service.enroll.rejected", 0),
+        "overloads": counters.get("service.overload", 0),
+        "deadline_exceeded": counters.get("service.deadline_exceeded", 0),
+        "batches": batches,
+        "batched_jobs": jobs,
+        "mean_batch_size": round(jobs / batches, 3) if batches else None,
+        "max_batch_size": int(batch.get("max", 0) or 0),
+        "mean_latency_ms": mean_latency_ms,
+    }
+
+
 @dataclass
 class RunManifest:
     """The end-of-run summary artifact.
@@ -203,6 +238,7 @@ class RunManifest:
     cache: dict = field(default_factory=dict)
     artifacts: dict = field(default_factory=dict)
     supervisor: dict = field(default_factory=dict)
+    service: dict = field(default_factory=dict)
     vcs_version: Optional[str] = None
     created_unix: float = 0.0
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -232,6 +268,7 @@ class RunManifest:
             cache=_cache_stats(snapshot["counters"]),
             artifacts=_store_stats(snapshot["counters"], "artifacts"),
             supervisor=_supervisor_stats(snapshot),
+            service=_service_stats(snapshot),
         )
 
     def to_dict(self) -> dict:
@@ -337,6 +374,28 @@ def render_manifest(manifest: RunManifest) -> str:
                 f"checkpoints: {sup.get('checkpoints_stored', 0)} stored, "
                 f"{sup.get('checkpoints_resumed', 0)} resumed"
             )
+    if manifest.service and manifest.service.get("requests"):
+        svc = manifest.service
+        mean_size = svc.get("mean_batch_size")
+        size_text = "n/a" if mean_size is None else f"{mean_size:g}"
+        latency = svc.get("mean_latency_ms")
+        latency_text = "n/a" if latency is None else f"{latency:g} ms"
+        lines.append(
+            f"service: {svc.get('requests', 0)} requests "
+            f"({svc.get('enroll', 0)} enroll, {svc.get('verify', 0)} verify, "
+            f"{svc.get('identify', 0)} identify), "
+            f"{svc.get('accepted', 0)} accepted / "
+            f"{svc.get('rejected', 0)} rejected, "
+            f"{svc.get('enroll_rejected', 0)} quality-rejected"
+        )
+        lines.append(
+            f"  batching: {svc.get('batches', 0)} batches, "
+            f"{svc.get('batched_jobs', 0)} jobs "
+            f"(mean size {size_text}, max {svc.get('max_batch_size', 0)}), "
+            f"{svc.get('overloads', 0)} overloads, "
+            f"{svc.get('deadline_exceeded', 0)} deadline-exceeded, "
+            f"mean latency {latency_text}"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,73 @@
+"""Online serving layer: persistent gallery + async matching server.
+
+The batch study answers "how interoperable are these devices?" offline;
+this package turns the same pipeline into the system the paper's
+US-VISIT motivation actually describes — an online service where
+fingers are enrolled once and verified or identified later, possibly
+from a different device:
+
+* :mod:`repro.service.gallery` — persistent, device-aware index of
+  enrolled templates with an NFIQ quality gate;
+* :mod:`repro.service.batching` — admission queue that coalesces
+  concurrent comparisons into batched matcher dispatches;
+* :mod:`repro.service.server` — stdlib-asyncio HTTP server
+  (``/enroll``, ``/verify``, ``/identify``, ``/healthz``, ``/stats``);
+* :mod:`repro.service.client` — blocking client for tests, smoke
+  checks, and the load benchmark;
+* :mod:`repro.service.stats` — live request/latency/batch-size
+  counters, mirrored into the telemetry manifest.
+
+Start one from the command line with ``repro serve`` (and populate it
+with ``repro enroll``), or in-process::
+
+    from repro.service import GalleryIndex, VerificationServer
+
+    server = VerificationServer(GalleryIndex(Path("gallery")), port=0)
+    await server.start()
+"""
+
+from .batching import (
+    BatchingConfig,
+    DeadlineExceededError,
+    MicroBatcher,
+    ServiceOverloadError,
+)
+from .client import ServiceClient, ServiceClientError, encode_template
+from .gallery import (
+    DEFAULT_MAX_NFIQ_LEVEL,
+    EnrollmentRejected,
+    GalleryError,
+    GalleryIndex,
+    GalleryRecord,
+    UnknownIdentityError,
+)
+from .runner import ServiceRunner
+from .server import (
+    DEFAULT_THRESHOLD,
+    ServerStartupError,
+    VerificationServer,
+    decode_template_field,
+)
+from .stats import ServiceStats
+
+__all__ = [
+    "BatchingConfig",
+    "MicroBatcher",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+    "ServiceClient",
+    "ServiceClientError",
+    "encode_template",
+    "GalleryIndex",
+    "GalleryRecord",
+    "GalleryError",
+    "EnrollmentRejected",
+    "UnknownIdentityError",
+    "DEFAULT_MAX_NFIQ_LEVEL",
+    "VerificationServer",
+    "ServerStartupError",
+    "ServiceRunner",
+    "decode_template_field",
+    "DEFAULT_THRESHOLD",
+    "ServiceStats",
+]

@@ -1,0 +1,340 @@
+"""Admission queue and micro-batching for the online matcher.
+
+The batch study showed the matcher's batched entry points amortize
+per-call overhead across many comparisons; an online server naturally
+receives comparisons one at a time.  :class:`MicroBatcher` closes that
+gap: concurrent in-flight requests enqueue *pair jobs* (one per
+probe/gallery comparison — a verify is one job, a 1:N identify fans out
+into one job per candidate), and a collector coalesces up to
+``max_batch`` jobs — waiting at most ``max_wait_ms`` for stragglers —
+into a single :meth:`~repro.matcher.engine.BioEngineMatcher.score_pairs`
+dispatch on the worker executor.  One executor round-trip then serves a
+whole batch of comparisons, instead of one event-loop/worker handoff
+per comparison.
+
+Overload and deadlines reuse the study's error taxonomy
+(:mod:`repro.runtime.errors`): a full admission queue raises
+:class:`ServiceOverloadError` (transient — back off and retry, HTTP
+503) instead of letting latency grow without bound, and a job that
+outlives its request deadline raises :class:`DeadlineExceededError`
+(transient, HTTP 504) without wasting matcher time on an answer nobody
+is waiting for.
+
+Knobs come from ``REPRO_SERVE_*`` environment variables via
+:meth:`BatchingConfig.from_environment`; setting
+``REPRO_SERVE_BATCHING=0`` switches to fully unbatched serving — one
+scalar matcher call and one worker round trip per comparison, nothing
+shared or collapsed — the control arm of the load benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from collections import deque
+
+from ..matcher.types import Template
+from ..runtime.config import env_float, env_int
+from ..runtime.errors import ConfigurationError, TransientError
+from ..runtime.telemetry import get_recorder
+from .stats import ServiceStats
+
+
+class ServiceOverloadError(TransientError):
+    """The admission queue is full; the client should back off and retry."""
+
+
+class DeadlineExceededError(TransientError):
+    """A request outlived its deadline before the matcher answered."""
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Micro-batching knobs (all overridable via ``REPRO_SERVE_*``).
+
+    Attributes
+    ----------
+    max_batch:
+        Largest number of pair jobs dispatched in one matcher call
+        (``REPRO_SERVE_MAX_BATCH``).
+    max_wait_ms:
+        How long the collector holds a non-full batch open for
+        stragglers (``REPRO_SERVE_MAX_WAIT_MS``).  The classic
+        micro-batching trade: higher values grow batches (throughput),
+        lower values shrink queueing delay (latency).
+    queue_depth:
+        Admission bound on queued pair jobs (``REPRO_SERVE_QUEUE_DEPTH``);
+        arrivals beyond it are refused with
+        :class:`ServiceOverloadError`.
+    timeout_s:
+        Default per-request deadline (``REPRO_SERVE_TIMEOUT_S``).
+    enabled:
+        Whether cross-request coalescing runs at all
+        (``REPRO_SERVE_BATCHING``, 0 disables).
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_depth: int = 256
+    timeout_s: float = 30.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms cannot be negative, got {self.max_wait_ms}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+    @classmethod
+    def from_environment(cls, **defaults: object) -> "BatchingConfig":
+        """Build a config; ``REPRO_SERVE_*`` variables win over defaults."""
+        params: dict = dict(defaults)
+        max_batch = env_int("REPRO_SERVE_MAX_BATCH")
+        if max_batch is not None:
+            params["max_batch"] = max_batch
+        max_wait_ms = env_float("REPRO_SERVE_MAX_WAIT_MS")
+        if max_wait_ms is not None:
+            params["max_wait_ms"] = max_wait_ms
+        queue_depth = env_int("REPRO_SERVE_QUEUE_DEPTH")
+        if queue_depth is not None:
+            params["queue_depth"] = queue_depth
+        timeout_s = env_float("REPRO_SERVE_TIMEOUT_S")
+        if timeout_s is not None:
+            params["timeout_s"] = timeout_s
+        batching = env_int("REPRO_SERVE_BATCHING")
+        if batching is not None:
+            params["enabled"] = bool(batching)
+        return cls(**params)  # type: ignore[arg-type]
+
+
+@dataclass
+class _Job:
+    """One queued probe/gallery comparison awaiting a batch slot."""
+
+    probe: Template
+    gallery: Template
+    future: "asyncio.Future[float]"
+    deadline: float
+
+
+class MicroBatcher:
+    """Coalesces concurrent comparisons into batched matcher dispatches.
+
+    Single-event-loop component: :meth:`score` must be awaited from the
+    loop that called :meth:`start`.  The matcher itself runs on a
+    one-thread executor, which both keeps the event loop responsive
+    during a match and serializes access to the engine's (thread-naive)
+    frame cache.
+    """
+
+    def __init__(
+        self,
+        matcher,
+        stats: Optional[ServiceStats] = None,
+        config: Optional[BatchingConfig] = None,
+    ) -> None:
+        self._matcher = matcher
+        self._stats = stats if stats is not None else ServiceStats()
+        self._config = config if config is not None else BatchingConfig()
+        self._queue: Deque[_Job] = deque()
+        self._wake = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-match"
+        )
+        self._collector: Optional[asyncio.Task] = None
+        self._closed = False
+
+    @property
+    def config(self) -> BatchingConfig:
+        return self._config
+
+    @property
+    def queue_depth(self) -> int:
+        """Pair jobs currently waiting for a batch slot."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the collector task (no-op when batching is disabled)."""
+        if self._config.enabled and self._collector is None:
+            self._closed = False
+            self._collector = asyncio.get_running_loop().create_task(
+                self._collect(), name="repro-batch-collector"
+            )
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the collector, shut the executor down."""
+        self._closed = True
+        self._wake.set()
+        if self._collector is not None:
+            await self._collector
+            self._collector = None
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+    async def score(
+        self,
+        pairs: Sequence[Tuple[Template, Template]],
+        timeout_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Scores of this request's comparisons, in input order.
+
+        With batching enabled, the pairs join the shared admission queue
+        and ride whichever micro-batches the collector forms; otherwise
+        they are scored immediately in one private dispatch.  Raises
+        :class:`ServiceOverloadError` when the queue cannot admit the
+        request and :class:`DeadlineExceededError` when the deadline
+        expires before the matcher answers.
+        """
+        loop = asyncio.get_running_loop()
+        budget = timeout_s if timeout_s is not None else self._config.timeout_s
+        pair_list = list(pairs)
+        if not pair_list:
+            return np.empty(0, dtype=np.float64)
+        if not self._config.enabled or self._collector is None:
+            return await self._score_direct(loop, pair_list, budget)
+        if len(self._queue) + len(pair_list) > self._config.queue_depth:
+            self._stats.record_overload()
+            raise ServiceOverloadError(
+                f"admission queue full ({len(self._queue)} jobs queued, "
+                f"depth {self._config.queue_depth}); retry later"
+            )
+        deadline = loop.time() + budget
+        futures: List["asyncio.Future[float]"] = []
+        for probe, gallery in pair_list:
+            future: "asyncio.Future[float]" = loop.create_future()
+            self._queue.append(_Job(probe, gallery, future, deadline))
+            futures.append(future)
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.gauge("service.queue_depth", float(len(self._queue)))
+        self._wake.set()
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        scores = np.empty(len(results), dtype=np.float64)
+        for index, result in enumerate(results):
+            if isinstance(result, BaseException):
+                raise result
+            scores[index] = result
+        return scores
+
+    async def _score_direct(
+        self, loop: asyncio.AbstractEventLoop, pair_list: list, budget: float
+    ) -> np.ndarray:
+        """The unbatched control path: one scalar dispatch per comparison.
+
+        This is what a naive server does — every comparison is its own
+        ``match`` call and its own event-loop/worker round trip, with no
+        coalescing, no batch grouping, and no duplicate collapsing.  The
+        load benchmark measures micro-batching against exactly this arm.
+        """
+        deadline = loop.time() + budget
+        scores = np.empty(len(pair_list), dtype=np.float64)
+        for index, (probe, gallery) in enumerate(pair_list):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"request exceeded its {budget:.3f}s deadline"
+                )
+            call = loop.run_in_executor(
+                self._executor, self._matcher.match, probe, gallery
+            )
+            try:
+                scores[index] = await asyncio.wait_for(call, timeout=remaining)
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(
+                    f"request exceeded its {budget:.3f}s deadline"
+                ) from None
+            self._stats.record_batch(1)
+        return scores
+
+    # ------------------------------------------------------------------
+    # Collector side
+    # ------------------------------------------------------------------
+    async def _collect(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._queue and not self._closed:
+                self._wake.clear()
+                await self._wake.wait()
+            if not self._queue and self._closed:
+                return
+            await self._wait_for_stragglers(loop)
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self._config.max_batch))
+            ]
+            await self._dispatch(loop, batch)
+
+    async def _wait_for_stragglers(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Hold the batch open briefly so concurrent arrivals can join."""
+        if self._config.max_wait_ms <= 0:
+            return
+        window_end = loop.time() + self._config.max_wait_ms / 1000.0
+        while len(self._queue) < self._config.max_batch and not self._closed:
+            remaining = window_end - loop.time()
+            if remaining <= 0:
+                return
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                return
+
+    async def _dispatch(
+        self, loop: asyncio.AbstractEventLoop, batch: List[_Job]
+    ) -> None:
+        now = loop.time()
+        live: List[_Job] = []
+        expired = 0
+        for job in batch:
+            if job.future.cancelled():
+                continue
+            if job.deadline <= now:
+                expired += 1
+                job.future.set_exception(
+                    DeadlineExceededError(
+                        "comparison expired in the admission queue"
+                    )
+                )
+                continue
+            live.append(job)
+        if live:
+            pairs = [(job.probe, job.gallery) for job in live]
+            try:
+                scores = await loop.run_in_executor(
+                    self._executor, self._matcher.score_pairs, pairs
+                )
+            except Exception as exc:  # noqa: BLE001 - fan the failure out
+                for job in live:
+                    if not job.future.cancelled():
+                        job.future.set_exception(exc)
+            else:
+                for job, score in zip(live, scores):
+                    if not job.future.cancelled():
+                        job.future.set_result(float(score))
+        self._stats.record_batch(len(live), expired=expired)
+
+
+__all__ = [
+    "BatchingConfig",
+    "MicroBatcher",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
+]

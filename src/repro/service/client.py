@@ -1,0 +1,203 @@
+"""Blocking HTTP client for the serving layer.
+
+A thin :mod:`http.client` wrapper used by the tests, the CI smoke
+check, and the load benchmark — anything that wants to talk to a
+:class:`~repro.service.server.VerificationServer` without pulling in an
+async stack.  Templates are serialized to base64 ANSI/INCITS 378 on the
+way out, mirroring :func:`repro.service.server.decode_template_field`
+on the way in.
+
+Error responses come back as :class:`ServiceClientError` carrying the
+HTTP status and the server's error payload, so callers can assert on
+exact status codes (the smoke test does) or branch on
+``retryable`` (503/504 — the transient statuses — line up with the
+study's :class:`~repro.runtime.errors.TransientError` taxonomy).
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import socket
+import time
+from typing import Optional
+
+from ..io.incits378 import encode as encode_378
+from ..matcher.types import Template
+from ..runtime.errors import ReproError, TransientError
+
+#: HTTP statuses that correspond to transient (retry-worthy) failures.
+RETRYABLE_STATUSES = frozenset({503, 504})
+
+
+class ServiceClientError(ReproError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(
+            f"service returned HTTP {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+    @property
+    def retryable(self) -> bool:
+        """Whether the failure is transient (overload / deadline)."""
+        return self.status in RETRYABLE_STATUSES
+
+
+def encode_template(template: Template) -> str:
+    """Base64 INCITS 378 wire form of a template."""
+    return base64.b64encode(encode_378(template)).decode("ascii")
+
+
+class ServiceClient:
+    """Blocking client for one server address.
+
+    One persistent keep-alive connection per client instance; a client
+    is therefore *not* thread-safe — the load generator gives each
+    worker thread its own.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout_s = timeout_s
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout_s
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Drop the persistent connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        try:
+            connection = self._connect()
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, http.client.HTTPException, OSError) as exc:
+            self.close()
+            raise TransientError(
+                f"service at {self._host}:{self._port} unreachable: {exc}"
+            ) from exc
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            data = {"error": raw.decode("utf-8", "replace")}
+        if response.status >= 400:
+            raise ServiceClientError(response.status, data)
+        return data
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """The server's live counters and distributions."""
+        return self._request("GET", "/stats")
+
+    def enroll(
+        self, identity: str, template: Template, device: str = "default"
+    ) -> dict:
+        """Enroll one template (may raise 409 via ServiceClientError)."""
+        return self._request(
+            "POST",
+            "/enroll",
+            {
+                "identity": identity,
+                "device": device,
+                "template": encode_template(template),
+            },
+        )
+
+    def verify(
+        self,
+        identity: str,
+        template: Template,
+        device: str = "default",
+        threshold: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """1:1 verification of a claimed identity."""
+        payload: dict = {
+            "identity": identity,
+            "device": device,
+            "template": encode_template(template),
+        }
+        if threshold is not None:
+            payload["threshold"] = threshold
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return self._request("POST", "/verify", payload)
+
+    def identify(
+        self,
+        template: Template,
+        device: Optional[str] = "default",
+        max_candidates: int = 10,
+        threshold: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """1:N search; ``device=None`` searches every shard."""
+        payload: dict = {
+            "template": encode_template(template),
+            "max_candidates": max_candidates,
+        }
+        if device is not None:
+            payload["device"] = device
+        if threshold is not None:
+            payload["threshold"] = threshold
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return self._request("POST", "/identify", payload)
+
+    def delete(self, identity: str, device: str = "default") -> dict:
+        """Remove one enrollment."""
+        return self._request("DELETE", f"/enroll/{device}/{identity}")
+
+    def wait_until_healthy(self, timeout_s: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the server answers (startup helper)."""
+        deadline = time.monotonic() + timeout_s
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (TransientError, ServiceClientError) as exc:
+                last_error = exc
+                time.sleep(0.05)
+        raise TransientError(
+            f"service at {self._host}:{self._port} did not become healthy "
+            f"within {timeout_s:.1f}s: {last_error}"
+        )
+
+
+__all__ = [
+    "ServiceClient",
+    "ServiceClientError",
+    "encode_template",
+    "RETRYABLE_STATUSES",
+]

@@ -1,0 +1,329 @@
+"""Persistent, device-aware gallery of enrolled templates.
+
+The online counterpart of the batch study's
+:class:`~repro.pipeline.database.FingerprintCollection`: instead of a
+synthesized population fixed at construction, :class:`GalleryIndex`
+accepts enrollments one at a time, gates them on template-evidence NFIQ
+quality, and persists every accepted record so the gallery survives a
+server restart.
+
+Storage rides :class:`~repro.runtime.cache.NpzDirectory` — one shard
+directory per capture device, one ``.npz`` bundle per identity — so the
+gallery inherits the cache layer's atomic writes and
+corruption-as-miss semantics: a record torn by a crash mid-write is
+dropped (and logged) at reload rather than poisoning the index.  The
+per-device sharding mirrors the paper's central finding: which device
+enrolled a finger is *the* covariate interoperability cares about, so
+the serving layer keeps it a first-class axis (verify and identify
+requests address a device shard, and cross-device searches are an
+explicit choice).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..matcher.types import Template, template_from_arrays
+from ..quality.nfiq import assess_template
+from ..runtime.cache import NpzDirectory
+from ..runtime.errors import ConfigurationError, PermanentError, ReproError
+from ..runtime.telemetry import get_logger, get_recorder
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+#: Default NFIQ acceptance ceiling: levels 1–4 enroll, level 5 (the
+#: "hopeless sample" bucket) is rejected.  NIST SP 800-76 gates at
+#: NFIQ > 3; pass ``max_nfiq_level=3`` for that stricter policy.
+DEFAULT_MAX_NFIQ_LEVEL = 4
+
+_log = get_logger("service.gallery")
+
+
+class GalleryError(ReproError):
+    """The gallery index could not complete an operation."""
+
+
+class EnrollmentRejected(PermanentError):
+    """An enrollment failed the NFIQ quality gate.
+
+    Permanent by design: re-submitting the same template will produce
+    the same level, so the caller must re-capture, not retry.
+    """
+
+    def __init__(self, identity: str, level: int, max_level: int) -> None:
+        super().__init__(
+            f"enrollment of {identity!r} rejected: NFIQ level {level} "
+            f"exceeds the acceptance ceiling {max_level}"
+        )
+        self.identity = identity
+        self.level = level
+        self.max_level = max_level
+
+
+class UnknownIdentityError(PermanentError):
+    """A lookup referenced an identity/device pair that is not enrolled."""
+
+    def __init__(self, identity: str, device: str) -> None:
+        super().__init__(f"identity {identity!r} is not enrolled on device {device!r}")
+        self.identity = identity
+        self.device = device
+
+
+@dataclass(frozen=True)
+class GalleryRecord:
+    """One enrolled template plus its enrollment-time metadata."""
+
+    identity: str
+    device: str
+    template: Template
+    nfiq_level: int
+    nfiq_utility: float
+    enrolled_at: float
+
+
+def _check_name(value: str, what: str) -> str:
+    if not isinstance(value, str) or not _NAME_RE.match(value):
+        raise ConfigurationError(
+            f"{what} must match [A-Za-z0-9._-]+, got {value!r}"
+        )
+    return value
+
+
+class GalleryIndex:
+    """Enrollment database: per-device shards of quality-gated templates.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the per-device shards
+        (``root/<device>/<identity>.npz``).  Created on first enrollment;
+        existing records are loaded eagerly at construction, which is how
+        a restarted server recovers its gallery.
+    max_nfiq_level:
+        Acceptance ceiling for the template-evidence NFIQ gate; a
+        template assessed *worse* (numerically greater) is rejected with
+        :class:`EnrollmentRejected`.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        max_nfiq_level: int = DEFAULT_MAX_NFIQ_LEVEL,
+    ) -> None:
+        if not 1 <= max_nfiq_level <= 5:
+            raise ConfigurationError(
+                f"max_nfiq_level must be 1..5, got {max_nfiq_level}"
+            )
+        self._root = Path(root)
+        self._max_nfiq_level = max_nfiq_level
+        self._shards: Dict[str, NpzDirectory] = {}
+        self._records: Dict[Tuple[str, str], GalleryRecord] = {}
+        self._reload()
+
+    # ------------------------------------------------------------------
+    # Persistence plumbing
+    # ------------------------------------------------------------------
+    def _shard(self, device: str) -> NpzDirectory:
+        shard = self._shards.get(device)
+        if shard is None:
+            shard = NpzDirectory(self._root / device, metric_prefix="gallery")
+            self._shards[device] = shard
+        return shard
+
+    def _reload(self) -> None:
+        """Rebuild the in-memory index from whatever survives on disk."""
+        if not self._root.exists():
+            return
+        loaded = 0
+        dropped = 0
+        for device_dir in sorted(p for p in self._root.iterdir() if p.is_dir()):
+            device = device_dir.name
+            if not _NAME_RE.match(device):
+                continue
+            shard = self._shard(device)
+            for entry in sorted(device_dir.glob("*.npz")):
+                identity = entry.stem
+                if not _NAME_RE.match(identity):
+                    continue
+                record = self._load_record(shard, device, identity)
+                if record is None:
+                    dropped += 1
+                    continue
+                self._records[(device, identity)] = record
+                loaded += 1
+        if loaded or dropped:
+            _log.info(
+                "gallery reloaded",
+                extra={"data": {"records": loaded, "dropped": dropped}},
+            )
+
+    def _load_record(
+        self, shard: NpzDirectory, device: str, identity: str
+    ) -> Optional[GalleryRecord]:
+        arrays = shard.load(identity)
+        meta = shard.load_meta(identity)
+        if arrays is None or meta is None:
+            return None
+        try:
+            template = template_from_arrays(
+                positions_px=arrays["positions"],
+                angles=arrays["angles"],
+                kinds=arrays["kinds"],
+                qualities=arrays["qualities"],
+                width_px=int(meta["width_px"]),
+                height_px=int(meta["height_px"]),
+                resolution_dpi=int(meta.get("resolution_dpi", 500)),
+            )
+        except (KeyError, ReproError):
+            _log.warning(
+                "unreadable gallery record dropped",
+                extra={"data": {"device": device, "identity": identity}},
+            )
+            return None
+        return GalleryRecord(
+            identity=identity,
+            device=device,
+            template=template,
+            nfiq_level=int(meta.get("nfiq_level", 0)) or assess_template(template).level,
+            nfiq_utility=float(meta.get("nfiq_utility", 0.0)),
+            enrolled_at=float(meta.get("enrolled_at", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def enroll(
+        self, identity: str, template: Template, device: str = "default"
+    ) -> GalleryRecord:
+        """Quality-gate, persist, and index one template.
+
+        Re-enrolling an existing (identity, device) pair replaces the
+        stored template — the online analogue of a re-capture.  Raises
+        :class:`EnrollmentRejected` when the template's NFIQ level is
+        worse than the index's acceptance ceiling.
+        """
+        _check_name(identity, "identity")
+        _check_name(device, "device")
+        assessment = assess_template(template)
+        if assessment.level > self._max_nfiq_level:
+            get_recorder().count("gallery.rejected")
+            raise EnrollmentRejected(identity, assessment.level, self._max_nfiq_level)
+        record = GalleryRecord(
+            identity=identity,
+            device=device,
+            template=template,
+            nfiq_level=assessment.level,
+            nfiq_utility=assessment.utility,
+            enrolled_at=time.time(),
+        )
+        self._shard(device).store(
+            identity,
+            arrays={
+                "positions": template.positions_px(),
+                "angles": template.angles(),
+                "kinds": template.kinds(),
+                "qualities": template.qualities(),
+            },
+            meta={
+                "identity": identity,
+                "device": device,
+                "nfiq_level": record.nfiq_level,
+                "nfiq_utility": record.nfiq_utility,
+                "width_px": template.width_px,
+                "height_px": template.height_px,
+                "resolution_dpi": template.resolution_dpi,
+                "enrolled_at": record.enrolled_at,
+            },
+        )
+        self._records[(device, identity)] = record
+        get_recorder().count("gallery.enrolled")
+        return record
+
+    def delete(self, identity: str, device: str = "default") -> None:
+        """Remove one enrollment; unknown pairs raise."""
+        _check_name(identity, "identity")
+        _check_name(device, "device")
+        if (device, identity) not in self._records:
+            raise UnknownIdentityError(identity, device)
+        del self._records[(device, identity)]
+        self._shard(device).invalidate(identity)
+        get_recorder().count("gallery.deleted")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def get(self, identity: str, device: str = "default") -> GalleryRecord:
+        """The enrolled record, or :class:`UnknownIdentityError`."""
+        record = self._records.get((device, identity))
+        if record is None:
+            raise UnknownIdentityError(identity, device)
+        return record
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        device, identity = key
+        return (device, identity) in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def devices(self) -> List[str]:
+        """Devices with at least one enrollment, sorted."""
+        return sorted({device for device, _ in self._records})
+
+    def identities(self, device: Optional[str] = None) -> List[str]:
+        """Enrolled identities (on one device, or anywhere), sorted."""
+        if device is None:
+            return sorted({identity for _, identity in self._records})
+        return sorted(
+            identity for dev, identity in self._records if dev == device
+        )
+
+    def candidates(self, device: Optional[str] = None) -> Dict[str, Template]:
+        """The 1:N search space as ``{identity: template}``.
+
+        With a device, keys are bare identities within that shard; across
+        all devices the same identity may be enrolled several times, so
+        keys become ``device/identity`` to keep candidates distinct.
+        """
+        if device is not None:
+            return {
+                identity: record.template
+                for (dev, identity), record in sorted(self._records.items())
+                if dev == device
+            }
+        return {
+            f"{dev}/{identity}": record.template
+            for (dev, identity), record in sorted(self._records.items())
+        }
+
+    def stats(self) -> dict:
+        """JSON-able footprint summary for ``/stats`` and the CLI."""
+        per_device: Dict[str, int] = {}
+        for device, _ in self._records:
+            per_device[device] = per_device.get(device, 0) + 1
+        disk = {"entries": 0, "bytes": 0}
+        for device in self.devices():
+            shard_stats = self._shard(device).stats()
+            disk["entries"] += shard_stats["entries"]
+            disk["bytes"] += shard_stats["bytes"]
+        return {
+            "root": str(self._root),
+            "enrolled": len(self._records),
+            "devices": per_device,
+            "max_nfiq_level": self._max_nfiq_level,
+            "disk": disk,
+        }
+
+
+__all__ = [
+    "GalleryIndex",
+    "GalleryRecord",
+    "GalleryError",
+    "EnrollmentRejected",
+    "UnknownIdentityError",
+    "DEFAULT_MAX_NFIQ_LEVEL",
+]

@@ -1,0 +1,97 @@
+"""Host a :class:`VerificationServer` on a background thread.
+
+The server is asyncio all the way down, but most of its consumers are
+blocking code: pytest, the load benchmark, a notebook.
+:class:`ServiceRunner` owns a private event loop on a daemon thread,
+starts the server there, and exposes the bound address — so synchronous
+callers can drive the service with :class:`~repro.service.client.ServiceClient`
+and still get real concurrent-request behaviour (the event loop thread
+keeps coalescing micro-batches while N client threads block on their
+sockets).
+
+Startup failures (port in use → :class:`ServerStartupError`) are
+re-raised in the caller's thread from :meth:`start`, not swallowed on
+the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from ..runtime.errors import ConfigurationError
+from .server import VerificationServer
+
+#: How long :meth:`ServiceRunner.start` waits for the loop thread.
+_STARTUP_TIMEOUT_S = 30.0
+
+
+class ServiceRunner:
+    """Run one server on its own event-loop thread.
+
+    Usable as a context manager::
+
+        with ServiceRunner(server) as (host, port):
+            ServiceClient(host, port).healthz()
+    """
+
+    def __init__(self, server: VerificationServer) -> None:
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Start the loop thread and the server; returns (host, port)."""
+        if self._thread is not None:
+            raise ConfigurationError("ServiceRunner is already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(_STARTUP_TIMEOUT_S):
+            raise ConfigurationError("service thread did not start in time")
+        if self._startup_error is not None:
+            self._thread.join(timeout=_STARTUP_TIMEOUT_S)
+            self._thread = None
+            raise self._startup_error
+        return self.server.address
+
+    def stop(self) -> None:
+        """Stop the server and join the loop thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=_STARTUP_TIMEOUT_S)
+        self._thread = None
+        self._loop = None
+        self._stop = None
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._started.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+__all__ = ["ServiceRunner"]

@@ -1,0 +1,504 @@
+"""Asyncio HTTP server for online verification and identification.
+
+A deliberately small, dependency-free HTTP/1.1 server (stdlib asyncio
+only — the reproduction adds no packages) exposing the study's matcher
+as an online service:
+
+========  ==============================  =======================================
+Method    Path                            Meaning
+========  ==============================  =======================================
+POST      ``/enroll``                     quality-gated enrollment
+POST      ``/verify``                     1:1 claim check against one enrollment
+POST      ``/identify``                   1:N rank-k search of a device shard
+DELETE    ``/enroll/<device>/<identity>`` remove one enrollment
+GET       ``/healthz``                    liveness + gallery size
+GET       ``/stats``                      live counters, latency, batch sizes
+========  ==============================  =======================================
+
+Templates travel as base64-encoded ANSI/INCITS 378 records — the same
+interchange format the paper's interoperability scenario is about — so
+any client that can produce a standard minutiae record can talk to the
+server.  Match work is delegated to the
+:class:`~repro.service.batching.MicroBatcher`, which coalesces the
+comparisons of concurrent requests into batched matcher dispatches.
+
+Failures map the study's error taxonomy onto HTTP status codes:
+
+* malformed JSON / bad template / bad parameters
+  (:class:`~repro.runtime.errors.TemplateFormatError`,
+  :class:`~repro.runtime.errors.ConfigurationError`) → 400,
+* unknown identity → 404,
+* quality-gate rejection → 409,
+* admission-queue overload (transient) → 503,
+* deadline exceeded (transient) → 504.
+
+Binding a port that is already taken raises
+:class:`ServerStartupError`, a :class:`~repro.runtime.errors.TransientError`
+— the CLI surfaces it with the transient exit code so a supervising
+process knows a retry (or a different port) can succeed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+from ..io.incits378 import decode as decode_378
+from ..matcher.engine import BioEngineMatcher
+from ..matcher.types import Template
+from ..runtime.config import env_float
+from ..runtime.errors import (
+    ConfigurationError,
+    PermanentError,
+    ReproError,
+    TemplateFormatError,
+    TransientError,
+)
+from ..runtime.telemetry import get_logger
+from .batching import (
+    BatchingConfig,
+    DeadlineExceededError,
+    MicroBatcher,
+    ServiceOverloadError,
+)
+from .gallery import EnrollmentRejected, GalleryIndex, UnknownIdentityError
+from .stats import ServiceStats
+
+#: Operating threshold on the matcher's 0–30 score scale.  The paper's
+#: figures put the impostor band at 0–7 and genuine scores at 7–24, so
+#: 7.5 sits just above the impostor ceiling; override per deployment
+#: with ``REPRO_SERVE_THRESHOLD`` or per request with ``"threshold"``.
+DEFAULT_THRESHOLD = 7.5
+
+#: Largest accepted request body; INCITS 378 templates are ~1 KiB.
+MAX_BODY_BYTES = 1 << 20
+
+_log = get_logger("service.server")
+
+
+class ServerStartupError(TransientError):
+    """The server could not bind its address (typically: port in use)."""
+
+
+class _HttpError(Exception):
+    """Internal: an HTTP failure response ready to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _status_for(exc: ReproError) -> int:
+    """Map a library exception onto its HTTP status."""
+    if isinstance(exc, EnrollmentRejected):
+        return 409
+    if isinstance(exc, UnknownIdentityError):
+        return 404
+    if isinstance(exc, ServiceOverloadError):
+        return 503
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    if isinstance(exc, (TemplateFormatError, ConfigurationError)):
+        return 400
+    if isinstance(exc, PermanentError):
+        return 400
+    return 500
+
+
+def decode_template_field(payload: dict, field: str = "template") -> Template:
+    """Decode a base64 INCITS 378 template from a JSON request body."""
+    raw = payload.get(field)
+    if not isinstance(raw, str) or not raw:
+        raise TemplateFormatError(f"request body needs a base64 {field!r} field")
+    try:
+        buffer = base64.b64decode(raw, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise TemplateFormatError(f"{field} is not valid base64: {exc}") from exc
+    template, _metadata = decode_378(buffer)
+    return template
+
+
+class VerificationServer:
+    """The online serving layer bundled into one object.
+
+    Owns a :class:`~repro.service.gallery.GalleryIndex`, a matcher, and a
+    :class:`~repro.service.batching.MicroBatcher`; speaks HTTP/1.1 with
+    keep-alive on an asyncio event loop.  ``port=0`` binds an ephemeral
+    port (read it back from :attr:`address` — tests do).
+    """
+
+    def __init__(
+        self,
+        gallery: GalleryIndex,
+        matcher=None,
+        host: str = "127.0.0.1",
+        port: int = 8799,
+        threshold: Optional[float] = None,
+        batching: Optional[BatchingConfig] = None,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        if threshold is None:
+            threshold = env_float("REPRO_SERVE_THRESHOLD")
+        self.gallery = gallery
+        self.matcher = matcher if matcher is not None else BioEngineMatcher()
+        self.threshold = DEFAULT_THRESHOLD if threshold is None else float(threshold)
+        self.stats = stats if stats is not None else ServiceStats()
+        self.batcher = MicroBatcher(
+            self.matcher,
+            stats=self.stats,
+            config=batching if batching is not None else BatchingConfig.from_environment(),
+        )
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); raises until :meth:`start` succeeds."""
+        if self._server is None or not self._server.sockets:
+            raise ConfigurationError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the batch collector."""
+        await self.batcher.start()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self._host, port=self._port
+            )
+        except OSError as exc:
+            await self.batcher.stop()
+            raise ServerStartupError(
+                f"could not bind {self._host}:{self._port}: {exc}"
+            ) from exc
+        host, port = self.address
+        _log.info(
+            "service listening",
+            extra={"data": {"host": host, "port": port,
+                            "enrolled": len(self.gallery)}},
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI wraps this with signal handling)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener and drain the batcher."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                keep_alive = await self._handle_request(writer, method, path, body)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels open keep-alive connections; ending
+            # the handler normally keeps shutdown quiet.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, body
+
+    async def _handle_request(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> bool:
+        started = time.perf_counter()
+        endpoint = self._endpoint_for(method, path)
+        try:
+            status, payload = await self._route(method, path, body)
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except ReproError as exc:
+            status = _status_for(exc)
+            payload = {"error": str(exc), "kind": type(exc).__name__}
+            if status == 503:
+                self.stats.record_overload()
+            elif status == 504:
+                self.stats.record_deadline()
+        except Exception as exc:  # noqa: BLE001 - never kill the connection
+            _log.warning(
+                "unhandled service error",
+                extra={"data": {"path": path, "error": repr(exc)}},
+            )
+            status, payload = 500, {"error": "internal error"}
+        self.stats.record_request(endpoint, time.perf_counter() - started, status)
+        return await self._respond(writer, status, payload)
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> bool:
+        data = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + data)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Routing and endpoint handlers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _endpoint_for(method: str, path: str) -> str:
+        """Stats bucket for a request — known before the handler runs, so
+        failed requests still land in the right per-endpoint tally."""
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            return "healthz"
+        if path == "/stats":
+            return "stats"
+        if path == "/verify":
+            return "verify"
+        if path == "/identify":
+            return "identify"
+        if path == "/enroll":
+            return "enroll"
+        if path.startswith("/enroll/"):
+            return "delete" if method == "DELETE" else "enroll"
+        return "unknown"
+
+    async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            return 200, self._handle_healthz()
+        if path == "/stats" and method == "GET":
+            return 200, self._handle_stats()
+        if path == "/enroll" and method == "POST":
+            return await self._handle_enroll(self._json_body(body))
+        if path == "/verify" and method == "POST":
+            return await self._handle_verify(self._json_body(body))
+        if path == "/identify" and method == "POST":
+            return await self._handle_identify(self._json_body(body))
+        if path.startswith("/enroll/") and method == "DELETE":
+            parts = [p for p in path.split("/") if p]
+            if len(parts) != 3:
+                raise _HttpError(400, "DELETE path must be /enroll/<device>/<identity>")
+            _, device, identity = parts
+            self.gallery.delete(identity, device=device)
+            return 200, {"deleted": identity, "device": device}
+        raise _HttpError(
+            405 if path in ("/enroll", "/verify", "/identify", "/healthz", "/stats")
+            else 404,
+            f"no route for {method} {path}",
+        )
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            raise _HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+    def _handle_healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "enrolled": len(self.gallery),
+            "uptime_seconds": round(time.time() - self.stats.started_at, 3),
+        }
+
+    def _handle_stats(self) -> dict:
+        payload = self.stats.snapshot()
+        payload["gallery"] = self.gallery.stats()
+        payload["batching"]["config"] = {
+            "enabled": self.batcher.config.enabled,
+            "max_batch": self.batcher.config.max_batch,
+            "max_wait_ms": self.batcher.config.max_wait_ms,
+            "queue_depth": self.batcher.config.queue_depth,
+            "timeout_s": self.batcher.config.timeout_s,
+        }
+        payload["batching"]["queued_jobs"] = self.batcher.queue_depth
+        payload["threshold"] = self.threshold
+        return payload
+
+    async def _handle_enroll(self, payload: dict) -> Tuple[int, dict]:
+        identity = self._required_str(payload, "identity")
+        device = str(payload.get("device", "default"))
+        template = decode_template_field(payload)
+        try:
+            record = self.gallery.enroll(identity, template, device=device)
+        except EnrollmentRejected as exc:
+            self.stats.record_enroll_rejected()
+            raise exc
+        return 201, {
+            "identity": record.identity,
+            "device": record.device,
+            "nfiq_level": record.nfiq_level,
+            "nfiq_utility": round(record.nfiq_utility, 4),
+            "minutiae": len(record.template),
+        }
+
+    async def _handle_verify(self, payload: dict) -> Tuple[int, dict]:
+        identity = self._required_str(payload, "identity")
+        device = str(payload.get("device", "default"))
+        probe = decode_template_field(payload)
+        threshold = self._threshold(payload)
+        record = self.gallery.get(identity, device=device)
+        scores = await self.batcher.score(
+            [(probe, record.template)], timeout_s=self._timeout(payload)
+        )
+        score = float(scores[0])
+        accepted = score >= threshold
+        self.stats.record_decision(accepted)
+        return 200, {
+            "identity": identity,
+            "device": device,
+            "score": round(score, 4),
+            "threshold": threshold,
+            "decision": "accept" if accepted else "reject",
+        }
+
+    async def _handle_identify(self, payload: dict) -> Tuple[int, dict]:
+        probe = decode_template_field(payload)
+        device = payload.get("device")
+        if device is not None:
+            device = str(device)
+        threshold = self._threshold(payload)
+        max_candidates = payload.get("max_candidates", 10)
+        if not isinstance(max_candidates, int) or max_candidates < 1:
+            raise _HttpError(400, "max_candidates must be a positive integer")
+        candidates = self.gallery.candidates(device=device)
+        identities = sorted(candidates)
+        scores = await self.batcher.score(
+            [(probe, candidates[identity]) for identity in identities],
+            timeout_s=self._timeout(payload),
+        )
+        ranked = sorted(
+            zip(identities, (float(s) for s in scores)),
+            key=lambda item: (-item[1], item[0]),
+        )[:max_candidates]
+        best = ranked[0] if ranked else None
+        return 200, {
+            "device": device,
+            "gallery_size": len(identities),
+            "threshold": threshold,
+            "candidates": [
+                {"identity": identity, "score": round(score, 4)}
+                for identity, score in ranked
+            ],
+            "best": (
+                {
+                    "identity": best[0],
+                    "score": round(best[1], 4),
+                    "decision": "accept" if best[1] >= threshold else "reject",
+                }
+                if best is not None
+                else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Small request helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _required_str(payload: dict, field: str) -> str:
+        value = payload.get(field)
+        if not isinstance(value, str) or not value:
+            raise _HttpError(400, f"request body needs a string {field!r} field")
+        return value
+
+    def _threshold(self, payload: dict) -> float:
+        value = payload.get("threshold", self.threshold)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _HttpError(400, "threshold must be a number")
+        return float(value)
+
+    def _timeout(self, payload: dict) -> Optional[float]:
+        value = payload.get("timeout_s")
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+            raise _HttpError(400, "timeout_s must be a positive number")
+        return float(value)
+
+
+__all__ = [
+    "VerificationServer",
+    "ServerStartupError",
+    "decode_template_field",
+    "DEFAULT_THRESHOLD",
+    "MAX_BODY_BYTES",
+]

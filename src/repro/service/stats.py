@@ -1,0 +1,194 @@
+"""Service-side observability: request counters and latency windows.
+
+The batch study gets a run manifest at the end; a server never ends, so
+it needs live introspection instead.  :class:`ServiceStats` is the
+server's always-on view: per-endpoint request counters, a sliding window
+of request latencies (exact p50/p95/p99 over the window), and the
+micro-batch size distribution.  ``GET /stats`` serializes a snapshot;
+the same events are mirrored into the process-wide telemetry recorder
+(``service.*`` counters and histograms) so a ``--manifest-out`` run
+additionally lands the service rollup in its run manifest, rendered by
+``repro stats``.
+
+Latency distributions ride :class:`repro.stats.histogram.Histogram` —
+the same binned-distribution type the paper's figures use — so the
+``/stats`` payload exposes bin edges and counts, not just summary
+quantiles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from ..runtime.telemetry import get_recorder
+from ..stats.histogram import score_histogram
+
+#: Sliding-window length for exact latency quantiles.  Old observations
+#: fall out; the totals keep counting forever.
+LATENCY_WINDOW = 4096
+
+#: The endpoints the service tallies individually.
+ENDPOINTS = ("enroll", "verify", "identify", "delete", "healthz", "stats")
+
+
+def _quantiles(values: Deque[float]) -> Optional[Dict[str, float]]:
+    """p50/p95/p99/max of a latency window, in milliseconds."""
+    if not values:
+        return None
+    arr = np.asarray(values, dtype=np.float64) * 1000.0
+    p50, p95, p99 = np.percentile(arr, (50.0, 95.0, 99.0))
+    return {
+        "count": int(arr.size),
+        "p50_ms": round(float(p50), 3),
+        "p95_ms": round(float(p95), 3),
+        "p99_ms": round(float(p99), 3),
+        "max_ms": round(float(arr.max()), 3),
+    }
+
+
+class ServiceStats:
+    """Live counters and distributions for one server process.
+
+    The server runs a single asyncio event loop, so mutation is
+    single-threaded; reads (the ``/stats`` handler) happen on the same
+    loop.  Everything is also mirrored into the telemetry recorder,
+    which is thread-safe and a no-op until telemetry is enabled.
+    """
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self.requests: Dict[str, int] = {name: 0 for name in ENDPOINTS}
+        self.statuses: Dict[int, int] = {}
+        self.accepted = 0
+        self.rejected = 0
+        self.enroll_rejected = 0
+        self.overloads = 0
+        self.deadline_exceeded = 0
+        self.batches = 0
+        self.batched_jobs = 0
+        self.expired_jobs = 0
+        self._latencies: Dict[str, Deque[float]] = {
+            name: deque(maxlen=LATENCY_WINDOW) for name in ENDPOINTS
+        }
+        self._batch_sizes: Deque[int] = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Event sinks
+    # ------------------------------------------------------------------
+    def record_request(self, endpoint: str, seconds: float, status: int) -> None:
+        """Tally one finished HTTP request."""
+        if endpoint in self.requests:
+            self.requests[endpoint] += 1
+            self._latencies[endpoint].append(seconds)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.count("service.requests")
+            recorder.count(f"service.requests.{endpoint}")
+            recorder.count(f"service.status.{status}")
+            recorder.observe("service.latency_seconds", seconds)
+
+    def record_decision(self, accepted: bool) -> None:
+        """Tally one verification decision."""
+        if accepted:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.count(
+                "service.accepted" if accepted else "service.rejected"
+            )
+
+    def record_enroll_rejected(self) -> None:
+        """Tally one quality-gated enrollment rejection."""
+        self.enroll_rejected += 1
+        get_recorder().count("service.enroll.rejected")
+
+    def record_overload(self) -> None:
+        """Tally one admission rejected on a full queue (HTTP 503)."""
+        self.overloads += 1
+        get_recorder().count("service.overload")
+
+    def record_deadline(self) -> None:
+        """Tally one request that outlived its deadline (HTTP 504)."""
+        self.deadline_exceeded += 1
+        get_recorder().count("service.deadline_exceeded")
+
+    def record_batch(self, size: int, expired: int = 0) -> None:
+        """Tally one dispatched micro-batch of ``size`` comparisons.
+
+        A batch whose jobs all expired in the queue dispatches nothing;
+        its ``size`` arrives as 0 and only the expiry tally moves.
+        """
+        if size:
+            self.batches += 1
+            self.batched_jobs += size
+            self._batch_sizes.append(size)
+        self.expired_jobs += expired
+        recorder = get_recorder()
+        if recorder.active:
+            if size:
+                recorder.count("service.batches")
+                recorder.count("service.batched_jobs", size)
+                recorder.observe("service.batch_size", float(size))
+            if expired:
+                recorder.count("service.expired_jobs", expired)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def max_batch_size(self) -> int:
+        """Largest micro-batch observed in the window (0 before any)."""
+        return max(self._batch_sizes) if self._batch_sizes else 0
+
+    def latency_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-endpoint window quantiles (endpoints never hit are absent)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for endpoint, window in self._latencies.items():
+            quantiles = _quantiles(window)
+            if quantiles is not None:
+                out[endpoint] = quantiles
+        return out
+
+    def batch_snapshot(self) -> dict:
+        """Micro-batch distribution: totals plus a unit-binned histogram."""
+        sizes = list(self._batch_sizes)
+        payload = {
+            "batches": self.batches,
+            "jobs": self.batched_jobs,
+            "expired_jobs": self.expired_jobs,
+            "mean_size": (
+                round(self.batched_jobs / self.batches, 3) if self.batches else None
+            ),
+            "max_size": self.max_batch_size(),
+        }
+        if sizes:
+            hist = score_histogram(sizes, bin_width=1.0, label="batch_size")
+            payload["histogram"] = {
+                "edges": [float(e) for e in hist.edges],
+                "counts": [int(c) for c in hist.counts],
+            }
+        return payload
+
+    def snapshot(self) -> dict:
+        """The full ``/stats`` payload (JSON-able)."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "requests": dict(self.requests),
+            "requests_total": int(sum(self.requests.values())),
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "decisions": {"accepted": self.accepted, "rejected": self.rejected},
+            "enroll_rejected": self.enroll_rejected,
+            "overloads": self.overloads,
+            "deadline_exceeded": self.deadline_exceeded,
+            "latency": self.latency_snapshot(),
+            "batching": self.batch_snapshot(),
+        }
+
+
+__all__ = ["ServiceStats", "LATENCY_WINDOW", "ENDPOINTS"]

@@ -11,9 +11,32 @@ from repro.core.identification import (
     identification_rank,
     open_set_rates,
     rank_candidates,
+    rank_candidates_scalar,
     run_identification,
 )
 from repro.runtime.errors import ConfigurationError
+
+
+class _ScalarOnlyMatcher:
+    """A matcher exposing only ``match`` (no batched 1:N path)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = 0
+
+    def match(self, probe, gallery):
+        self.calls += 1
+        return self._inner.match(probe, gallery)
+
+
+class _ConstantMatcher:
+    """Every comparison scores the same — the all-tied edge case."""
+
+    def match(self, probe, gallery):
+        return 5.0
+
+    def match_one_to_many(self, probe, galleries):
+        return np.full(len(galleries), 5.0)
 
 
 @pytest.fixture(scope="module")
@@ -41,10 +64,54 @@ class TestRankCandidates:
         probe = tiny_collection.get(0, "right_index", "D0", 1).template
         assert len(rank_candidates(matcher, probe, gallery, max_candidates=3)) == 3
 
-    def test_empty_gallery(self, matcher, tiny_collection):
+    def test_empty_gallery_returns_no_candidates(self, matcher, tiny_collection):
         probe = tiny_collection.get(0, "right_index", "D0", 1).template
-        with pytest.raises(ConfigurationError):
-            rank_candidates(matcher, probe, {})
+        assert rank_candidates(matcher, probe, {}) == []
+        assert rank_candidates_scalar(matcher, probe, {}) == []
+
+    def test_all_tied_scores_order_by_identity(self, gallery, tiny_collection):
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        candidates = rank_candidates(_ConstantMatcher(), probe, gallery)
+        identities = [c.identity for c in candidates]
+        assert identities == sorted(gallery)
+        assert all(c.score == 5.0 for c in candidates)
+
+    def test_scalar_fallback_for_match_only_engines(
+        self, matcher, gallery, tiny_collection
+    ):
+        probe = tiny_collection.get(2, "right_index", "D0", 1).template
+        scalar_only = _ScalarOnlyMatcher(matcher)
+        candidates = rank_candidates(scalar_only, probe, gallery)
+        assert scalar_only.calls == len(gallery)
+        assert candidates == rank_candidates(matcher, probe, gallery)
+
+
+class TestBatchedScalarParity:
+    def test_batched_ranking_equals_scalar_on_500_pairs(
+        self, matcher, tiny_collection, tiny_config
+    ):
+        """Acceptance: >= 500 probe/gallery pairs, identical rankings."""
+        gallery = {
+            f"{device}/subject-{sid}": tiny_collection.get(
+                sid, "right_index", device, 0
+            ).template
+            for device in ("D0", "D1")
+            for sid in range(tiny_config.n_subjects)
+        }
+        probes = [
+            tiny_collection.get(sid, "right_index", device, 1).template
+            for device in ("D0", "D1", "D2", "D3", "D4")
+            for sid in range(5)
+        ]
+        assert len(probes) * len(gallery) >= 500
+        for probe in probes:
+            batched = rank_candidates(matcher, probe, gallery)
+            scalar = rank_candidates_scalar(matcher, probe, gallery)
+            assert [c.identity for c in batched] == [c.identity for c in scalar]
+            np.testing.assert_array_equal(
+                np.array([c.score for c in batched]),
+                np.array([c.score for c in scalar]),
+            )
 
 
 class TestRankHelpers:
@@ -72,11 +139,28 @@ class TestCmc:
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
-            cmc_curve([], max_rank=3)
-        with pytest.raises(ConfigurationError):
             cmc_curve([1], max_rank=0)
         with pytest.raises(ConfigurationError):
             cmc_curve([1], max_rank=3).rate_at(0)
+
+    def test_zero_probes_yield_zero_curve(self):
+        curve = cmc_curve([], max_rank=3)
+        assert curve.n_probes == 0
+        np.testing.assert_array_equal(curve.hit_rates, np.zeros(3))
+        assert curve.rank1 == 0.0
+        assert curve.rate_at(2) == 0.0
+
+    def test_empty_curve_rate_at_is_zero(self):
+        curve = CmcCurve(hit_rates=np.zeros(0), n_probes=0)
+        assert curve.rank1 == 0.0
+        assert curve.rate_at(1) == 0.0
+
+    def test_absent_identities_never_hit(self):
+        # Probes whose identity is missing from the gallery arrive as
+        # rank 0 and must depress, not crash, the curve.
+        curve = cmc_curve([0, 0, 1], max_rank=2)
+        assert curve.rank1 == pytest.approx(1.0 / 3.0)
+        assert curve.rate_at(2) == pytest.approx(1.0 / 3.0)
 
     def test_render(self):
         text = cmc_curve([1, 2, 1], max_rank=3).render()
@@ -127,3 +211,26 @@ class TestEndToEnd:
     def test_open_set_validation(self, matcher, gallery):
         with pytest.raises(ConfigurationError):
             open_set_rates(matcher, [], [], gallery, threshold=5.0)
+
+    def test_open_set_empty_gallery_is_all_misses(
+        self, matcher, tiny_collection
+    ):
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        fnir, fpir = open_set_rates(
+            matcher, [("subject-0", probe)], [probe], {}, threshold=5.0
+        )
+        assert fnir == 1.0
+        assert fpir == 0.0
+        # Only unenrolled probes: nothing to miss, nothing to alarm on.
+        fnir, fpir = open_set_rates(matcher, [], [probe], {}, threshold=5.0)
+        assert fnir == 0.0
+        assert fpir == 0.0
+
+    def test_open_set_absent_identity_counts_as_miss(
+        self, matcher, gallery, tiny_collection
+    ):
+        probe = tiny_collection.get(0, "right_index", "D0", 1).template
+        fnir, _ = open_set_rates(
+            matcher, [("ghost", probe)], [], gallery, threshold=0.0
+        )
+        assert fnir == 1.0

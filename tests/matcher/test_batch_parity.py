@@ -80,3 +80,78 @@ class TestBatchScalarParity:
     def test_match_many_handles_empty_batch(self, tiny_collection, matcher):
         gallery = tiny_collection.get(0, FINGER, "D0", 0).template
         assert len(matcher.match_many([], gallery)) == 0
+
+
+class TestOneToManyParity:
+    """The identification-shaped batch path must also equal scalar."""
+
+    def test_match_one_to_many_equals_match_per_candidate(
+        self, tiny_collection, matcher
+    ):
+        probe = tiny_collection.get(0, FINGER, "D1", 1).template
+        galleries = [
+            tiny_collection.get(sid, FINGER, device, 0).template
+            for device in ("D0", "D1", "D2")
+            for sid in range(10)
+        ]
+        batch = matcher.match_one_to_many(probe, galleries)
+        scalar = [matcher.match(probe, gallery) for gallery in galleries]
+        np.testing.assert_array_equal(np.asarray(batch), np.asarray(scalar))
+
+    def test_match_one_to_many_handles_empty_list(
+        self, tiny_collection, matcher
+    ):
+        probe = tiny_collection.get(0, FINGER, "D0", 0).template
+        assert len(matcher.match_one_to_many(probe, [])) == 0
+
+    def test_degenerate_probe_scores_all_zero(self, tiny_collection, matcher):
+        from repro.matcher.types import Template
+
+        empty_probe = Template(minutiae=(), width_px=100, height_px=100)
+        galleries = [
+            tiny_collection.get(sid, FINGER, "D0", 0).template
+            for sid in range(4)
+        ]
+        np.testing.assert_array_equal(
+            matcher.match_one_to_many(empty_probe, galleries), np.zeros(4)
+        )
+
+
+class TestScorePairsParity:
+    """score_pairs (the serving layer's entry point) vs the scalar loop."""
+
+    def _pairs(self, tiny_collection):
+        # A mix that exercises every grouping branch: shared galleries
+        # (many probes vs one), shared probes (one vs many), and true
+        # one-off stragglers.
+        pairs = []
+        shared_gallery = tiny_collection.get(0, FINGER, "D0", 0).template
+        for sid in range(8):
+            probe = tiny_collection.get(sid, FINGER, "D1", 1).template
+            pairs.append((probe, shared_gallery))
+        shared_probe = tiny_collection.get(1, FINGER, "D2", 1).template
+        for sid in range(2, 8):
+            gallery = tiny_collection.get(sid, FINGER, "D0", 0).template
+            pairs.append((shared_probe, gallery))
+        for sid in range(4, 7):
+            pairs.append((
+                tiny_collection.get(sid, FINGER, "D3", 1).template,
+                tiny_collection.get(sid, FINGER, "D4", 0).template,
+            ))
+        return pairs
+
+    def test_score_pairs_equals_scalar_loop(self, tiny_collection, matcher):
+        pairs = self._pairs(tiny_collection)
+        batch = matcher.score_pairs(pairs)
+        scalar = [matcher.match(probe, gallery) for probe, gallery in pairs]
+        np.testing.assert_array_equal(np.asarray(batch), np.asarray(scalar))
+
+    def test_score_pairs_preserves_input_order(self, tiny_collection, matcher):
+        pairs = self._pairs(tiny_collection)
+        shuffled = list(reversed(pairs))
+        np.testing.assert_array_equal(
+            matcher.score_pairs(shuffled), matcher.score_pairs(pairs)[::-1]
+        )
+
+    def test_score_pairs_empty(self, matcher):
+        assert len(matcher.score_pairs([])) == 0

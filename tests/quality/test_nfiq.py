@@ -3,13 +3,16 @@
 import numpy as np
 import pytest
 
+from repro.matcher.types import Template, template_from_arrays
 from repro.quality.features import QualityFeatures
 from repro.quality.nfiq import (
     MAX_REACQUISITIONS,
     assess,
+    assess_template,
     nfiq_level,
     quality_utility,
     recommend_reacquisition,
+    template_quality_features,
 )
 
 
@@ -98,6 +101,53 @@ class TestReacquisition:
             recommend_reacquisition(0, 0)
         with pytest.raises(ValueError):
             recommend_reacquisition(3, -1)
+
+
+class TestTemplateEvidence:
+    """Template-only NFIQ — the serving layer's enrollment gate."""
+
+    def _template(self, count=40, quality=80, spread=260.0):
+        rng = np.random.default_rng(7)
+        positions = 40.0 + rng.random((count, 2)) * spread
+        return template_from_arrays(
+            positions_px=positions,
+            angles=rng.random(count) * 6.28,
+            kinds=rng.integers(1, 3, count),
+            qualities=np.full(count, quality),
+            width_px=350,
+            height_px=400,
+        )
+
+    def test_features_reflect_template_evidence(self):
+        features = template_quality_features(self._template())
+        assert features.minutiae_count == 40
+        assert features.mean_minutia_quality == pytest.approx(0.80)
+        assert 0.0 < features.contact_area_fraction <= 1.0
+
+    def test_dense_template_assesses_well(self):
+        verdict = assess_template(self._template(count=45, quality=90))
+        assert verdict.level <= 2
+
+    def test_sparse_low_confidence_template_assesses_poorly(self):
+        verdict = assess_template(self._template(count=5, quality=12, spread=25.0))
+        assert verdict.level >= 4
+
+    def test_empty_template_is_level_5(self):
+        empty = Template(minutiae=(), width_px=300, height_px=400)
+        verdict = assess_template(empty)
+        assert verdict.level == 5
+        features = template_quality_features(empty)
+        assert features.minutiae_count == 0
+        assert features.contact_area_fraction == 0.0
+
+    def test_synthesized_templates_pass_the_default_gate(self, tiny_collection):
+        levels = [
+            assess_template(
+                tiny_collection.get(sid, "right_index", "D0", 0).template
+            ).level
+            for sid in range(5)
+        ]
+        assert all(1 <= level <= 4 for level in levels)
 
 
 class TestPredictsMatcherPerformance:

@@ -1,0 +1,203 @@
+"""Persistent gallery index: quality gate, CRUD, restart recovery."""
+
+import numpy as np
+import pytest
+
+from repro.matcher.types import template_from_arrays
+from repro.runtime.errors import ConfigurationError
+from repro.service.gallery import (
+    DEFAULT_MAX_NFIQ_LEVEL,
+    EnrollmentRejected,
+    GalleryIndex,
+    GalleryRecord,
+    UnknownIdentityError,
+)
+
+FINGER = "right_index"
+
+
+def _low_quality_template():
+    """Four low-confidence minutiae huddled in a corner: NFIQ level 5."""
+    return template_from_arrays(
+        positions_px=[[10.0, 10.0], [14.0, 12.0], [11.0, 16.0], [15.0, 15.0]],
+        angles=[0.1, 1.0, 2.0, 3.0],
+        kinds=[1, 2, 1, 2],
+        qualities=[10, 12, 9, 11],
+        width_px=300,
+        height_px=400,
+    )
+
+
+@pytest.fixture()
+def gallery(tmp_path):
+    return GalleryIndex(tmp_path / "gallery")
+
+
+class TestEnroll:
+    def test_enroll_and_get(self, gallery, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 0).template
+        record = gallery.enroll("subject-0", template, device="D0")
+        assert isinstance(record, GalleryRecord)
+        assert record.identity == "subject-0"
+        assert record.device == "D0"
+        assert 1 <= record.nfiq_level <= DEFAULT_MAX_NFIQ_LEVEL
+        assert 0.0 < record.nfiq_utility <= 1.0
+        assert gallery.get("subject-0", device="D0").template == template
+        assert ("D0", "subject-0") in gallery
+        assert len(gallery) == 1
+
+    def test_reenroll_replaces(self, gallery, tiny_collection):
+        first = tiny_collection.get(0, FINGER, "D0", 0).template
+        second = tiny_collection.get(0, FINGER, "D0", 1).template
+        gallery.enroll("subject-0", first, device="D0")
+        gallery.enroll("subject-0", second, device="D0")
+        assert len(gallery) == 1
+        assert gallery.get("subject-0", device="D0").template == second
+
+    def test_quality_gate_rejects_level_5(self, gallery):
+        with pytest.raises(EnrollmentRejected) as excinfo:
+            gallery.enroll("mushy", _low_quality_template())
+        assert excinfo.value.identity == "mushy"
+        assert excinfo.value.level == 5
+        assert excinfo.value.max_level == DEFAULT_MAX_NFIQ_LEVEL
+        assert len(gallery) == 0
+
+    def test_permissive_ceiling_admits_level_5(self, tmp_path):
+        lax = GalleryIndex(tmp_path / "lax", max_nfiq_level=5)
+        record = lax.enroll("mushy", _low_quality_template())
+        assert record.nfiq_level == 5
+
+    def test_invalid_names_rejected(self, gallery, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 0).template
+        with pytest.raises(ConfigurationError):
+            gallery.enroll("no spaces", template)
+        with pytest.raises(ConfigurationError):
+            gallery.enroll("fine", template, device="../escape")
+        with pytest.raises(ConfigurationError):
+            gallery.enroll("", template)
+
+    def test_invalid_ceiling_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            GalleryIndex(tmp_path / "bad", max_nfiq_level=0)
+        with pytest.raises(ConfigurationError):
+            GalleryIndex(tmp_path / "bad", max_nfiq_level=6)
+
+
+class TestDelete:
+    def test_delete_removes(self, gallery, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 0).template
+        gallery.enroll("subject-0", template, device="D0")
+        gallery.delete("subject-0", device="D0")
+        assert len(gallery) == 0
+        with pytest.raises(UnknownIdentityError):
+            gallery.get("subject-0", device="D0")
+
+    def test_delete_unknown_raises(self, gallery):
+        with pytest.raises(UnknownIdentityError) as excinfo:
+            gallery.delete("ghost", device="D9")
+        assert excinfo.value.identity == "ghost"
+        assert excinfo.value.device == "D9"
+
+
+class TestLookups:
+    @pytest.fixture()
+    def populated(self, gallery, tiny_collection):
+        for device in ("D0", "D1"):
+            for sid in range(3):
+                gallery.enroll(
+                    f"subject-{sid}",
+                    tiny_collection.get(sid, FINGER, device, 0).template,
+                    device=device,
+                )
+        return gallery
+
+    def test_devices_and_identities(self, populated):
+        assert populated.devices() == ["D0", "D1"]
+        assert populated.identities("D0") == [
+            "subject-0", "subject-1", "subject-2",
+        ]
+        assert populated.identities() == [
+            "subject-0", "subject-1", "subject-2",
+        ]
+
+    def test_candidates_per_device_uses_bare_keys(self, populated):
+        candidates = populated.candidates(device="D0")
+        assert sorted(candidates) == ["subject-0", "subject-1", "subject-2"]
+
+    def test_candidates_cross_device_qualifies_keys(self, populated):
+        candidates = populated.candidates()
+        assert len(candidates) == 6
+        assert "D0/subject-0" in candidates and "D1/subject-0" in candidates
+
+    def test_stats_shape(self, populated):
+        stats = populated.stats()
+        assert stats["enrolled"] == 6
+        assert stats["devices"] == {"D0": 3, "D1": 3}
+        assert stats["max_nfiq_level"] == DEFAULT_MAX_NFIQ_LEVEL
+        assert stats["disk"]["entries"] == 6
+        assert stats["disk"]["bytes"] > 0
+
+
+class TestPersistence:
+    def test_survives_restart(self, tmp_path, tiny_collection):
+        root = tmp_path / "gallery"
+        first = GalleryIndex(root)
+        for sid in range(3):
+            first.enroll(
+                f"subject-{sid}",
+                tiny_collection.get(sid, FINGER, "D0", 0).template,
+                device="D0",
+            )
+        original = first.get("subject-1", device="D0")
+
+        reborn = GalleryIndex(root)
+        assert len(reborn) == 3
+        restored = reborn.get("subject-1", device="D0")
+        assert restored.nfiq_level == original.nfiq_level
+        assert restored.nfiq_utility == pytest.approx(original.nfiq_utility)
+        np.testing.assert_array_equal(
+            restored.template.positions_px(), original.template.positions_px()
+        )
+        np.testing.assert_array_equal(
+            restored.template.angles(), original.template.angles()
+        )
+        assert restored.template.width_px == original.template.width_px
+
+    def test_restored_templates_score_identically(
+        self, tmp_path, tiny_collection, matcher
+    ):
+        root = tmp_path / "gallery"
+        enrolled = tiny_collection.get(2, FINGER, "D0", 0).template
+        GalleryIndex(root).enroll("subject-2", enrolled, device="D0")
+        probe = tiny_collection.get(2, FINGER, "D0", 1).template
+        restored = GalleryIndex(root).get("subject-2", device="D0").template
+        assert matcher.match(probe, restored) == matcher.match(probe, enrolled)
+
+    def test_corrupt_record_dropped_at_reload(self, tmp_path, tiny_collection):
+        root = tmp_path / "gallery"
+        first = GalleryIndex(root)
+        for sid in range(2):
+            first.enroll(
+                f"subject-{sid}",
+                tiny_collection.get(sid, FINGER, "D0", 0).template,
+                device="D0",
+            )
+        victim = root / "D0" / "subject-0.npz"
+        assert victim.exists()
+        victim.write_bytes(b"torn mid-write")
+
+        reborn = GalleryIndex(root)
+        assert len(reborn) == 1
+        assert ("D0", "subject-1") in reborn
+        assert ("D0", "subject-0") not in reborn
+
+    def test_foreign_files_ignored_at_reload(self, tmp_path, tiny_collection):
+        root = tmp_path / "gallery"
+        GalleryIndex(root).enroll(
+            "subject-0",
+            tiny_collection.get(0, FINGER, "D0", 0).template,
+            device="D0",
+        )
+        (root / "D0" / "notes.txt").write_text("not a record")
+        (root / "has space").mkdir()
+        assert len(GalleryIndex(root)) == 1

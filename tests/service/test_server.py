@@ -1,0 +1,266 @@
+"""End-to-end HTTP round trips against a live VerificationServer.
+
+The acceptance scenario for the serving layer, over a real socket:
+enroll → genuine accept / impostor reject → identify rank-1 → restart →
+persistence.  ``port=0`` keeps every server on its own ephemeral port.
+"""
+
+import base64
+import concurrent.futures
+import json
+
+import pytest
+
+from repro.service import (
+    BatchingConfig,
+    GalleryIndex,
+    ServerStartupError,
+    ServiceClient,
+    ServiceClientError,
+    ServiceRunner,
+    VerificationServer,
+    encode_template,
+)
+
+FINGER = "right_index"
+SUBJECTS = (0, 1, 2)
+
+
+def _server(gallery, matcher, **kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("batching", BatchingConfig(max_wait_ms=5.0))
+    return VerificationServer(gallery, matcher=matcher, **kwargs)
+
+
+@pytest.fixture()
+def live(tmp_path, tiny_collection, matcher):
+    """A running server enrolled with three subjects, plus its client."""
+    gallery = GalleryIndex(tmp_path / "gallery")
+    with ServiceRunner(_server(gallery, matcher)) as (host, port):
+        with ServiceClient(host, port) as client:
+            for sid in SUBJECTS:
+                client.enroll(
+                    f"subject-{sid}",
+                    tiny_collection.get(sid, FINGER, "D0", 0).template,
+                    device="D0",
+                )
+            yield client
+
+
+class TestRoundTrip:
+    def test_full_lifecycle_with_restart(self, tmp_path, tiny_collection, matcher):
+        root = tmp_path / "gallery"
+
+        with ServiceRunner(_server(GalleryIndex(root), matcher)) as (host, port):
+            with ServiceClient(host, port) as client:
+                assert client.wait_until_healthy()["status"] == "ok"
+                for sid in SUBJECTS:
+                    reply = client.enroll(
+                        f"subject-{sid}",
+                        tiny_collection.get(sid, FINGER, "D0", 0).template,
+                        device="D0",
+                    )
+                    assert 1 <= reply["nfiq_level"] <= 4
+
+                genuine = client.verify(
+                    "subject-0",
+                    tiny_collection.get(0, FINGER, "D0", 1).template,
+                    device="D0",
+                )
+                assert genuine["decision"] == "accept"
+                assert genuine["score"] >= genuine["threshold"]
+
+                impostor = client.verify(
+                    "subject-0",
+                    tiny_collection.get(1, FINGER, "D0", 1).template,
+                    device="D0",
+                )
+                assert impostor["decision"] == "reject"
+
+                identified = client.identify(
+                    tiny_collection.get(1, FINGER, "D0", 1).template,
+                    device="D0",
+                )
+                assert identified["gallery_size"] == len(SUBJECTS)
+                assert identified["best"]["identity"] == "subject-1"
+                assert identified["best"]["decision"] == "accept"
+                assert identified["candidates"][0]["identity"] == "subject-1"
+
+        # A fresh server over the same gallery directory remembers.
+        with ServiceRunner(_server(GalleryIndex(root), matcher)) as (host, port):
+            with ServiceClient(host, port) as client:
+                assert client.healthz()["enrolled"] == len(SUBJECTS)
+                survived = client.verify(
+                    "subject-2",
+                    tiny_collection.get(2, FINGER, "D0", 1).template,
+                    device="D0",
+                )
+                assert survived["decision"] == "accept"
+
+    def test_cross_device_verification_still_works(self, live, tiny_collection):
+        # The interoperable case the paper studies: probe from another
+        # optical device against the D0 enrollment.
+        reply = live.verify(
+            "subject-0",
+            tiny_collection.get(0, FINGER, "D1", 1).template,
+            device="D0",
+        )
+        assert reply["decision"] == "accept"
+
+    def test_delete_then_verify_404s(self, live, tiny_collection):
+        live.delete("subject-2", device="D0")
+        with pytest.raises(ServiceClientError) as excinfo:
+            live.verify(
+                "subject-2",
+                tiny_collection.get(2, FINGER, "D0", 1).template,
+                device="D0",
+            )
+        assert excinfo.value.status == 404
+        assert not excinfo.value.retryable
+
+
+class TestStatusCodes:
+    def test_unknown_identity_404(self, live, tiny_collection):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live.verify(
+                "ghost",
+                tiny_collection.get(0, FINGER, "D0", 1).template,
+                device="D0",
+            )
+        assert excinfo.value.status == 404
+        assert excinfo.value.payload["kind"] == "UnknownIdentityError"
+
+    def test_malformed_template_400(self, live):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request(
+                "POST",
+                "/verify",
+                {"identity": "subject-0", "device": "D0", "template": "!!!"},
+            )
+        assert excinfo.value.status == 400
+
+    def test_truncated_template_400(self, live):
+        garbage = base64.b64encode(b"FMR\x00 not a record").decode("ascii")
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request(
+                "POST",
+                "/verify",
+                {"identity": "subject-0", "device": "D0", "template": garbage},
+            )
+        assert excinfo.value.status == 400
+
+    def test_missing_identity_400(self, live, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 1).template
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request("POST", "/verify", {"template": encode_template(template)})
+        assert excinfo.value.status == 400
+
+    def test_bad_threshold_type_400(self, live, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 1).template
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request(
+                "POST",
+                "/verify",
+                {
+                    "identity": "subject-0",
+                    "device": "D0",
+                    "template": encode_template(template),
+                    "threshold": True,
+                },
+            )
+        assert excinfo.value.status == 400
+
+    def test_wrong_method_405(self, live):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request("GET", "/verify")
+        assert excinfo.value.status == 405
+
+    def test_unknown_route_404(self, live):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_port_in_use_raises_startup_error(self, tmp_path, matcher):
+        gallery = GalleryIndex(tmp_path / "gallery")
+        with ServiceRunner(_server(gallery, matcher)) as (host, port):
+            second = ServiceRunner(_server(gallery, matcher, port=port))
+            with pytest.raises(ServerStartupError):
+                second.start()
+
+
+class TestQualityGate:
+    def test_low_quality_enrollment_409(self, live):
+        from tests.service.test_gallery import _low_quality_template
+
+        with pytest.raises(ServiceClientError) as excinfo:
+            live.enroll("mushy", _low_quality_template(), device="D0")
+        assert excinfo.value.status == 409
+        assert excinfo.value.payload["kind"] == "EnrollmentRejected"
+        stats = live.stats()
+        assert stats["enroll_rejected"] == 1
+
+
+class TestStatsEndpoint:
+    def test_stats_payload_shape(self, live, tiny_collection):
+        live.verify(
+            "subject-0",
+            tiny_collection.get(0, FINGER, "D0", 1).template,
+            device="D0",
+        )
+        stats = live.stats()
+        assert stats["requests"]["enroll"] == len(SUBJECTS)
+        assert stats["requests"]["verify"] == 1
+        assert stats["decisions"]["accepted"] == 1
+        assert stats["gallery"]["enrolled"] == len(SUBJECTS)
+        assert stats["batching"]["config"]["enabled"] is True
+        assert stats["batching"]["jobs"] >= 1
+        assert stats["threshold"] == 7.5
+        assert "verify" in stats["latency"]
+        assert json.dumps(stats)  # the payload must stay JSON-able
+
+    def test_identify_fans_out_into_one_batch(self, live, tiny_collection):
+        live.identify(
+            tiny_collection.get(0, FINGER, "D0", 1).template, device="D0"
+        )
+        stats = live.stats()
+        # One identify = one job per enrolled candidate, coalesced.
+        assert stats["batching"]["max_size"] >= len(SUBJECTS)
+
+
+class TestConcurrency:
+    def test_concurrent_clients_coalesce_batches(
+        self, tmp_path, tiny_collection, matcher
+    ):
+        gallery = GalleryIndex(tmp_path / "gallery")
+        server = _server(
+            gallery, matcher, batching=BatchingConfig(max_wait_ms=20.0)
+        )
+        with ServiceRunner(server) as (host, port):
+            with ServiceClient(host, port) as setup:
+                for sid in SUBJECTS:
+                    setup.enroll(
+                        f"subject-{sid}",
+                        tiny_collection.get(sid, FINGER, "D0", 0).template,
+                        device="D0",
+                    )
+
+            def one_verify(sid):
+                with ServiceClient(host, port) as client:
+                    return client.verify(
+                        f"subject-{sid % len(SUBJECTS)}",
+                        tiny_collection.get(
+                            sid % len(SUBJECTS), FINGER, "D0", 1
+                        ).template,
+                        device="D0",
+                    )
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                replies = list(pool.map(one_verify, range(16)))
+            assert all(r["decision"] == "accept" for r in replies)
+
+            with ServiceClient(host, port) as client:
+                stats = client.stats()
+        assert stats["requests"]["verify"] == 16
+        # Concurrent single-pair requests must have shared batches.
+        assert stats["batching"]["max_size"] >= 2
+        assert stats["batching"]["batches"] < 16 + len(SUBJECTS)

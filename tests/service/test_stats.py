@@ -1,0 +1,157 @@
+"""ServiceStats snapshots, telemetry mirroring, and the manifest rollup."""
+
+import pytest
+
+from repro.runtime.manifest import RunManifest, render_manifest
+from repro.runtime.telemetry import (
+    enable_telemetry,
+    get_recorder,
+    set_recorder,
+)
+from repro.service.stats import ENDPOINTS, ServiceStats
+
+
+@pytest.fixture(autouse=True)
+def restore_recorder():
+    previous = get_recorder()
+    yield
+    set_recorder(previous)
+
+
+def _exercise(stats):
+    """A plausible little serving session."""
+    stats.record_request("enroll", 0.010, 201)
+    stats.record_request("enroll", 0.012, 201)
+    stats.record_request("verify", 0.020, 200)
+    stats.record_request("verify", 0.025, 200)
+    stats.record_request("identify", 0.060, 200)
+    stats.record_decision(accepted=True)
+    stats.record_decision(accepted=False)
+    stats.record_enroll_rejected()
+    stats.record_request("enroll", 0.002, 409)
+    stats.record_batch(1)
+    stats.record_batch(4)
+    stats.record_batch(0, expired=2)
+
+
+class TestCounters:
+    def test_snapshot_shape(self):
+        stats = ServiceStats()
+        _exercise(stats)
+        snap = stats.snapshot()
+        assert snap["requests"]["enroll"] == 3
+        assert snap["requests"]["verify"] == 2
+        assert snap["requests"]["identify"] == 1
+        assert snap["requests_total"] == 6
+        assert snap["statuses"] == {"200": 3, "201": 2, "409": 1}
+        assert snap["decisions"] == {"accepted": 1, "rejected": 1}
+        assert snap["enroll_rejected"] == 1
+        assert snap["batching"]["batches"] == 2
+        assert snap["batching"]["jobs"] == 5
+        assert snap["batching"]["expired_jobs"] == 2
+        assert snap["batching"]["mean_size"] == 2.5
+        assert snap["batching"]["max_size"] == 4
+
+    def test_unknown_endpoint_counts_status_only(self):
+        stats = ServiceStats()
+        stats.record_request("unknown", 0.001, 404)
+        snap = stats.snapshot()
+        assert snap["requests_total"] == 0
+        assert snap["statuses"] == {"404": 1}
+
+    def test_all_expired_batch_keeps_distribution_clean(self):
+        stats = ServiceStats()
+        stats.record_batch(0, expired=3)
+        assert stats.batches == 0
+        assert stats.max_batch_size() == 0
+        assert stats.expired_jobs == 3
+
+    def test_latency_snapshot_quantiles(self):
+        stats = ServiceStats()
+        for ms in range(1, 101):
+            stats.record_request("verify", ms / 1000.0, 200)
+        latency = stats.latency_snapshot()
+        assert set(latency) == {"verify"}
+        window = latency["verify"]
+        assert window["count"] == 100
+        assert window["p50_ms"] == pytest.approx(50.5, abs=1.0)
+        assert window["p95_ms"] <= window["p99_ms"] <= window["max_ms"]
+        assert window["max_ms"] == pytest.approx(100.0)
+
+    def test_batch_histogram_unit_bins(self):
+        stats = ServiceStats()
+        for size in (1, 1, 2, 4, 4, 4):
+            stats.record_batch(size)
+        hist = stats.batch_snapshot()["histogram"]
+        assert sum(hist["counts"]) == 6
+        assert len(hist["edges"]) == len(hist["counts"]) + 1
+
+    def test_endpoints_cover_the_routing_table(self):
+        assert set(ENDPOINTS) == {
+            "enroll", "verify", "identify", "delete", "healthz", "stats",
+        }
+
+
+class TestTelemetryMirroring:
+    def test_events_mirror_into_recorder(self):
+        recorder = enable_telemetry()
+        stats = ServiceStats()
+        _exercise(stats)
+        snap = recorder.metrics.snapshot()
+        counters = snap["counters"]
+        assert counters["service.requests"] == 6
+        assert counters["service.requests.enroll"] == 3
+        assert counters["service.accepted"] == 1
+        assert counters["service.rejected"] == 1
+        assert counters["service.enroll.rejected"] == 1
+        assert counters["service.batches"] == 2
+        assert counters["service.batched_jobs"] == 5
+        assert counters["service.expired_jobs"] == 2
+        assert snap["histograms"]["service.batch_size"]["max"] == 4.0
+        assert snap["histograms"]["service.latency_seconds"]["count"] == 6
+
+    def test_null_recorder_costs_nothing(self):
+        stats = ServiceStats()
+        _exercise(stats)  # must not raise with telemetry disabled
+        assert stats.snapshot()["requests_total"] == 6
+
+
+class TestManifestRollup:
+    def _manifest(self, tiny_config):
+        recorder = enable_telemetry()
+        stats = ServiceStats()
+        _exercise(stats)
+        return RunManifest.from_recorder(recorder, tiny_config)
+
+    def test_service_block(self, tiny_config):
+        manifest = self._manifest(tiny_config)
+        service = manifest.service
+        assert service["requests"] == 6
+        assert service["enroll"] == 3
+        assert service["verify"] == 2
+        assert service["identify"] == 1
+        assert service["accepted"] == 1
+        assert service["rejected"] == 1
+        assert service["enroll_rejected"] == 1
+        assert service["batches"] == 2
+        assert service["batched_jobs"] == 5
+        assert service["mean_batch_size"] == 2.5
+        assert service["max_batch_size"] == 4
+        assert service["mean_latency_ms"] > 0
+
+    def test_round_trips_through_json(self, tiny_config, tmp_path):
+        manifest = self._manifest(tiny_config)
+        path = manifest.write(tmp_path / "manifest.json")
+        assert RunManifest.load(path).service == manifest.service
+
+    def test_render_includes_service_lines(self, tiny_config):
+        text = render_manifest(self._manifest(tiny_config))
+        assert "service: 6 requests (3 enroll, 2 verify, 1 identify)" in text
+        assert "batching: 2 batches, 5 jobs (mean size 2.5, max 4)" in text
+
+    def test_render_omits_service_when_idle(self, tiny_config):
+        recorder = enable_telemetry()
+        recorder.count("study.jobs")  # some non-service activity
+        manifest = RunManifest.from_recorder(recorder, tiny_config)
+        assert manifest.service["requests"] == 0
+        assert "service:" not in render_manifest(manifest)

@@ -365,3 +365,95 @@ class TestWarm:
         code, out = run_cli(["stats", str(manifest)])
         assert code == 0
         assert "artifacts: 4 hits" in out
+
+
+class TestEnroll:
+    def test_enroll_synthesized(self, tmp_path):
+        gallery = str(tmp_path / "gallery")
+        code, out = run_cli(
+            ["enroll", "--gallery-dir", gallery, "--subject", "1",
+             "--capture-device", "D0", "--seed", "1234"]
+        )
+        assert code == 0
+        assert "enrolled 'subject-1' on device D0" in out
+        assert "gallery now holds 1 enrollments" in out
+
+    def test_enroll_from_fmr_file(self, tmp_path):
+        fmr = tmp_path / "probe.fmr"
+        run_cli(["acquire", "--subject", "0", "--device", "D1",
+                 "--out", str(fmr)])
+        gallery = str(tmp_path / "gallery")
+        code, out = run_cli(
+            ["enroll", "--gallery-dir", gallery, "--template", str(fmr),
+             "--device", "D1"]
+        )
+        assert code == 0
+        assert "enrolled 'probe' on device D1" in out
+
+    def test_enroll_is_idempotent_on_reenroll(self, tmp_path):
+        gallery = str(tmp_path / "gallery")
+        argv = ["enroll", "--gallery-dir", gallery, "--subject", "0",
+                "--seed", "7"]
+        run_cli(argv)
+        code, out = run_cli(argv)
+        assert code == 0
+        assert "gallery now holds 1 enrollments" in out
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8799
+        assert args.gallery_dir == ".repro_gallery"
+        assert args.max_nfiq == 4
+        assert args.no_batching is False
+
+    def test_port_in_use_exits_transient(self, tmp_path):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+        try:
+            port = sock.getsockname()[1]
+            code, _ = run_cli(
+                ["serve", "--gallery-dir", str(tmp_path / "gallery"),
+                 "--port", str(port)]
+            )
+        finally:
+            sock.close()
+        assert code == 9  # TransientError: retry or pick another port
+
+    def test_invalid_nfiq_ceiling_exits_config(self, tmp_path):
+        code, _ = run_cli(
+            ["serve", "--gallery-dir", str(tmp_path / "gallery"),
+             "--max-nfiq", "7", "--port", "0"]
+        )
+        assert code == 2
+
+    def test_stats_renders_service_rollup(self, tmp_path):
+        # A manifest carrying service counters renders the service block.
+        from repro.runtime.manifest import RunManifest
+        from repro.runtime.telemetry import (
+            disable_telemetry,
+            enable_telemetry,
+        )
+        from repro.runtime.config import StudyConfig
+        from repro.service import ServiceStats
+
+        recorder = enable_telemetry()
+        try:
+            stats = ServiceStats()
+            stats.record_request("verify", 0.01, 200)
+            stats.record_decision(accepted=True)
+            stats.record_batch(3)
+            manifest = RunManifest.from_recorder(
+                recorder, StudyConfig(n_subjects=4)
+            )
+        finally:
+            disable_telemetry()
+        path = manifest.write(tmp_path / "service_manifest.json")
+        code, out = run_cli(["stats", str(path)])
+        assert code == 0
+        assert "service: 1 requests (0 enroll, 1 verify, 0 identify)" in out
+        assert "batching: 1 batches, 3 jobs" in out
