@@ -23,6 +23,13 @@ comparisons collapse to a single kernel invocation).  Both arms score
 bit-identical results; the record carries throughput, client-observed
 latency percentiles, the server's batch-size distribution, and the
 matcher's collapse/invocation counters so the speedup is attributable.
+
+A final sweep measures the observability stack itself: the same
+batched workload with request tracing + the JSONL request log enabled
+versus ``tracing=False`` and no log.  The tracing arm must stay within
+the 3% throughput-overhead budget; the record reports the measured
+overhead against it (best-of ``--repeats`` per arm to damp scheduler
+noise).
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from repro.runtime.telemetry import disable_telemetry, enable_telemetry
 from repro.service import (
     BatchingConfig,
     GalleryIndex,
+    RequestLog,
     ServiceClient,
     ServiceRunner,
     VerificationServer,
@@ -64,7 +72,10 @@ def _percentiles(samples_ms):
     }
 
 
-def _run_arm(collection, matcher, *, enabled, clients, cycles, hot):
+def _run_arm(
+    collection, matcher, *, enabled, clients, cycles, hot,
+    tracing=False, with_reqlog=False,
+):
     """One benchmark arm; returns its measurement record."""
     recorder = enable_telemetry()
     try:
@@ -73,8 +84,12 @@ def _run_arm(collection, matcher, *, enabled, clients, cycles, hot):
             batching = BatchingConfig(
                 max_batch=512, max_wait_ms=20.0, queue_depth=4096, enabled=enabled
             )
+            reqlog = (
+                RequestLog(Path(tmp) / "reqlog.jsonl") if with_reqlog else None
+            )
             server = VerificationServer(
-                gallery, matcher=matcher, port=0, batching=batching
+                gallery, matcher=matcher, port=0, batching=batching,
+                tracing=tracing, reqlog=reqlog,
             )
             with ServiceRunner(server) as (host, port):
                 with ServiceClient(host, port) as setup:
@@ -126,6 +141,8 @@ def _run_arm(collection, matcher, *, enabled, clients, cycles, hot):
         batching_stats = snapshot["batching"]
         return {
             "batching_enabled": enabled,
+            "tracing_enabled": tracing,
+            "reqlog_enabled": with_reqlog,
             "requests": len(latencies_ms),
             "wall_seconds": round(wall, 3),
             "throughput_rps": round(len(latencies_ms) / wall, 1),
@@ -141,10 +158,46 @@ def _run_arm(collection, matcher, *, enabled, clients, cycles, hot):
         disable_telemetry()
 
 
+TRACING_BUDGET_PCT = 3.0
+
+
+def _tracing_overhead(collection, matcher, *, clients, cycles, hot, repeats):
+    """Tracing+reqlog vs tracing-off on the batched workload, best-of runs."""
+    arms = {}
+    for mode, tracing, with_reqlog in (
+        ("tracing_off", False, False),
+        ("tracing_on", True, True),
+    ):
+        runs = [
+            _run_arm(
+                collection, matcher, enabled=True, clients=clients,
+                cycles=cycles, hot=hot, tracing=tracing,
+                with_reqlog=with_reqlog,
+            )
+            for _ in range(repeats)
+        ]
+        arms[mode] = max(runs, key=lambda r: r["throughput_rps"])
+    off_rps = arms["tracing_off"]["throughput_rps"]
+    on_rps = arms["tracing_on"]["throughput_rps"]
+    overhead_pct = round(100.0 * (1.0 - on_rps / off_rps), 2)
+    return {
+        "hot_identities": hot,
+        "repeats_per_arm": repeats,
+        "overhead_pct": overhead_pct,
+        "budget_pct": TRACING_BUDGET_PCT,
+        "within_budget": overhead_pct <= TRACING_BUDGET_PCT,
+        **arms,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--clients", type=int, default=16)
     parser.add_argument("--cycles", type=int, default=4)
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="runs per tracing-overhead arm (best-of damps noise)",
+    )
     parser.add_argument(
         "--hot",
         type=lambda text: [int(v) for v in text.split(",")],
@@ -182,6 +235,16 @@ def main() -> None:
             f"batched {arms['batched']['throughput_rps']} req/s ({speedup}x)"
         )
 
+    tracing = _tracing_overhead(
+        collection, matcher, clients=args.clients, cycles=args.cycles,
+        hot=args.hot[0], repeats=args.repeats,
+    )
+    print(
+        f"tracing overhead: {tracing['overhead_pct']}% "
+        f"(budget {TRACING_BUDGET_PCT}%, "
+        f"{'within' if tracing['within_budget'] else 'OVER'} budget)"
+    )
+
     record = {
         "label": args.label,
         "clients": args.clients,
@@ -194,6 +257,7 @@ def main() -> None:
         "cpus": os.cpu_count(),
         "headline_speedup": sweep[0]["speedup"],
         "sweep": sweep,
+        "tracing_overhead": tracing,
     }
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     out_path = OUTPUT_DIR / args.out

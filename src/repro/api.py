@@ -55,10 +55,14 @@ from .runtime.shm import SharedTemplateStore, SharedTemplateView
 from .runtime.supervisor import RetryPolicy, supervised_map_batched
 from .runtime.telemetry import (
     TelemetryRecorder,
+    TraceContext,
     configure_logging,
+    current_trace,
     disable_telemetry,
     enable_telemetry,
     get_recorder,
+    new_request_id,
+    trace_request,
 )
 
 # --- study engine -----------------------------------------------------------
@@ -170,6 +174,7 @@ from .service import (
     GalleryIndex,
     GalleryRecord,
     MicroBatcher,
+    RequestLog,
     ServerStartupError,
     ServiceClient,
     ServiceClientError,
@@ -177,6 +182,9 @@ from .service import (
     UnknownIdentityError,
     VerificationServer,
     encode_template,
+    iter_reqlog,
+    parse_exposition,
+    render_exposition,
 )
 from .sensors import (
     DEVICE_ORDER,
@@ -433,6 +441,10 @@ __all__ = [
     "disable_telemetry",
     "get_recorder",
     "configure_logging",
+    "TraceContext",
+    "current_trace",
+    "new_request_id",
+    "trace_request",
     "parallel_map",
     "parallel_map_batched",
     "supervised_map_batched",
@@ -496,6 +508,10 @@ __all__ = [
     "UnknownIdentityError",
     "ServerStartupError",
     "encode_template",
+    "RequestLog",
+    "iter_reqlog",
+    "render_exposition",
+    "parse_exposition",
     "Impression",
     "ProtocolSettings",
     "build_sensor",

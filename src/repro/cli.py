@@ -15,6 +15,7 @@ command        what it does
 ``predict``    answer the paper's FNM-probability question for a pair
 ``stats``      pretty-print a run manifest written by ``run``
 ``serve``      run the online verification/identification HTTP server
+``top``        live per-endpoint dashboard for a running ``serve``
 ``enroll``     add a template to a serving gallery (file or synthesized)
 =============  ==========================================================
 
@@ -255,6 +256,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--manifest-out", default=None,
                        help="enable telemetry and write a run manifest "
                             "(with the service rollup) on shutdown")
+    serve.add_argument("--reqlog", default=None,
+                       help="append one JSON line per request to this file "
+                            "(REPRO_SERVE_REQLOG; size-rotated)")
+    serve.add_argument("--slow-ms", type=float, default=None,
+                       help="log requests slower than this at WARNING "
+                            "with their full span timeline "
+                            "(REPRO_SERVE_SLOW_MS)")
+    serve.add_argument("--no-tracing", action="store_true",
+                       help="disable per-request TraceContext propagation "
+                            "(REPRO_SERVE_TRACING=0)")
+
+    top = sub.add_parser(
+        "top", help="live dashboard for a running repro serve instance"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8799)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N frames (default: run until Ctrl-C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of redrawing in place")
 
     enroll = sub.add_parser(
         "enroll", help="enroll a template into a serving gallery"
@@ -659,13 +682,32 @@ def cmd_enroll(args, out) -> int:
     return 0
 
 
+def cmd_top(args, out) -> int:
+    """`repro top`: live per-endpoint rates for a running server."""
+    from .service import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        out=out,
+        clear=not args.no_clear,
+    )
+
+
 def cmd_serve(args, out) -> int:
     """`repro serve`: host the gallery behind the async matching server."""
     import asyncio
     import signal
 
     from .api import build_matcher, disable_telemetry, enable_telemetry
-    from .service import BatchingConfig, GalleryIndex, VerificationServer
+    from .service import (
+        BatchingConfig,
+        GalleryIndex,
+        RequestLog,
+        VerificationServer,
+    )
 
     recorder = enable_telemetry() if args.manifest_out else None
     overrides: dict = {}
@@ -679,6 +721,10 @@ def cmd_serve(args, out) -> int:
         overrides["enabled"] = False
     batching = BatchingConfig.from_environment(**overrides)
     gallery = GalleryIndex(Path(args.gallery_dir), max_nfiq_level=args.max_nfiq)
+    reqlog = (
+        RequestLog(args.reqlog) if args.reqlog
+        else RequestLog.from_environment()
+    )
     server = VerificationServer(
         gallery,
         matcher=build_matcher(args.matcher),
@@ -686,6 +732,9 @@ def cmd_serve(args, out) -> int:
         port=args.port,
         threshold=args.threshold,
         batching=batching,
+        reqlog=reqlog,
+        tracing=False if args.no_tracing else None,
+        slow_ms=args.slow_ms,
     )
 
     async def _run() -> None:
@@ -694,7 +743,10 @@ def cmd_serve(args, out) -> int:
         print(
             f"repro service listening on http://{host}:{port} "
             f"({len(gallery)} enrolled, threshold {server.threshold}, "
-            f"batching {'on' if batching.enabled else 'off'})",
+            f"batching {'on' if batching.enabled else 'off'}, "
+            f"tracing {'on' if server.tracing else 'off'}"
+            + (f", reqlog {server.reqlog.path}" if server.reqlog else "")
+            + ")",
             file=out, flush=True,
         )
         stop = asyncio.Event()
@@ -738,6 +790,7 @@ _COMMANDS = {
     "stats": cmd_stats,
     "warm": cmd_warm,
     "serve": cmd_serve,
+    "top": cmd_top,
     "enroll": cmd_enroll,
 }
 

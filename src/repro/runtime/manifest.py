@@ -70,6 +70,7 @@ MANIFEST_SCHEMA: dict = {
         "artifacts": {"type": "object"},
         "supervisor": {"type": "object"},
         "service": {"type": "object"},
+        "trace": {"type": "object"},
     },
 }
 
@@ -221,6 +222,38 @@ def _service_stats(snapshot: dict) -> dict:
     }
 
 
+def _phase_mean_ms(histograms: dict, name: str) -> Optional[float]:
+    hist = histograms.get(name) or {}
+    if not hist.get("count"):
+        return None
+    return round(1000.0 * hist["sum"] / hist["count"], 3)
+
+
+def _trace_stats(snapshot: dict) -> dict:
+    """Request-tracing rollup: how traced serving time decomposed.
+
+    Empty-ish (zero traces, ``None`` phase means) unless the process
+    served traced requests with telemetry enabled; the phase means come
+    from the ``service.phase.*_seconds`` histograms the micro-batcher
+    feeds per pair job.
+    """
+    counters = snapshot["counters"]
+    histograms = snapshot["histograms"]
+    return {
+        "requests_traced": counters.get("service.traces", 0),
+        "slow_requests": counters.get("service.slow_requests", 0),
+        "mean_queue_wait_ms": _phase_mean_ms(
+            histograms, "service.phase.queue_wait_seconds"
+        ),
+        "mean_batch_wait_ms": _phase_mean_ms(
+            histograms, "service.phase.batch_wait_seconds"
+        ),
+        "mean_match_ms": _phase_mean_ms(
+            histograms, "service.phase.match_seconds"
+        ),
+    }
+
+
 @dataclass
 class RunManifest:
     """The end-of-run summary artifact.
@@ -239,6 +272,7 @@ class RunManifest:
     artifacts: dict = field(default_factory=dict)
     supervisor: dict = field(default_factory=dict)
     service: dict = field(default_factory=dict)
+    trace: dict = field(default_factory=dict)
     vcs_version: Optional[str] = None
     created_unix: float = 0.0
     schema_version: int = MANIFEST_SCHEMA_VERSION
@@ -269,6 +303,7 @@ class RunManifest:
             artifacts=_store_stats(snapshot["counters"], "artifacts"),
             supervisor=_supervisor_stats(snapshot),
             service=_service_stats(snapshot),
+            trace=_trace_stats(snapshot),
         )
 
     def to_dict(self) -> dict:
@@ -396,6 +431,19 @@ def render_manifest(manifest: RunManifest) -> str:
             f"{svc.get('deadline_exceeded', 0)} deadline-exceeded, "
             f"mean latency {latency_text}"
         )
+        trace = manifest.trace or {}
+        if trace.get("requests_traced"):
+            def _ms(key: str) -> str:
+                value = trace.get(key)
+                return "n/a" if value is None else f"{value:g} ms"
+
+            lines.append(
+                f"  tracing: {trace.get('requests_traced', 0)} traced, "
+                f"{trace.get('slow_requests', 0)} slow; mean phases "
+                f"queue_wait {_ms('mean_queue_wait_ms')}, "
+                f"batch_wait {_ms('mean_batch_wait_ms')}, "
+                f"match {_ms('mean_match_ms')}"
+            )
     return "\n".join(lines)
 
 

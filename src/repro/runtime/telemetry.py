@@ -15,6 +15,11 @@ pieces, all dependency-free:
   on chunk return — no shared memory, no locks across processes.
 * :func:`configure_logging` — stdlib ``logging`` with a single-line
   JSON formatter, switched by ``REPRO_LOG_LEVEL`` or ``--log-level``.
+* :class:`TraceContext` — the serving layer's per-request span
+  timeline (request id, named phases, micro-batch annotations),
+  propagated through a :mod:`contextvars` variable so the admission
+  queue and collector can annotate the request that enqueued each
+  comparison without explicit plumbing.
 
 Telemetry is **off by default**: the process-wide recorder starts as a
 :class:`NullRecorder` whose every operation is a cheap no-op (mirroring
@@ -27,12 +32,15 @@ a live :class:`TelemetryRecorder`; hot paths guard per-item work behind
 from __future__ import annotations
 
 import bisect
+import contextvars
 import json
 import logging
 import os
+import re
 import sys
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -312,6 +320,185 @@ def disable_telemetry() -> None:
 
 
 # ----------------------------------------------------------------------
+# Request tracing
+# ----------------------------------------------------------------------
+#: Accepted shape of a caller-supplied request id (an ``X-Request-ID``
+#: header).  Anything else is replaced by a generated id rather than
+#: flowed into logs verbatim.
+_REQUEST_ID_PATTERN = re.compile(r"^[A-Za-z0-9._\-]{1,128}$")
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-character request id (collision-safe per service)."""
+    return uuid.uuid4().hex[:16]
+
+
+def sanitize_request_id(candidate: Optional[str]) -> Optional[str]:
+    """``candidate`` if it is a well-formed request id, else ``None``.
+
+    Guards the reqlog and the response headers against header injection:
+    only short token-ish ids propagate; everything else is regenerated.
+    """
+    if isinstance(candidate, str) and _REQUEST_ID_PATTERN.match(candidate):
+        return candidate
+    return None
+
+
+class TracePhase:
+    """One named, timed segment of a request's life."""
+
+    __slots__ = ("name", "seconds")
+
+    def __init__(self, name: str, seconds: float) -> None:
+        self.name = name
+        self.seconds = seconds
+
+    def to_dict(self) -> dict:
+        """Render as ``{"name": ..., "ms": ...}`` for timelines and logs."""
+        return {"name": self.name, "ms": round(self.seconds * 1000.0, 3)}
+
+
+class TraceContext:
+    """The per-request span timeline of the serving layer.
+
+    One is created per HTTP request (see
+    :class:`~repro.service.server.VerificationServer`), installed in a
+    :mod:`contextvars` variable so every coroutine the request awaits —
+    including :meth:`~repro.service.batching.MicroBatcher.score` — can
+    reach it without plumbing, and serialized into the request audit log
+    when the response goes out.  Phases appear in completion order; the
+    canonical lifecycle is ``parse → gallery → queue_wait → batch_wait →
+    match → respond``.
+
+    The micro-batch collector annotates the trace from the event loop
+    via :meth:`note_batch` (which batch carried each comparison, how
+    long it queued); the request's own coroutine only reads the trace
+    after its scores resolve, so no locking is needed on the single
+    serving loop.
+    """
+
+    __slots__ = (
+        "request_id", "endpoint", "started_at", "phases",
+        "batch_ids", "queue_wait_s", "batch_wait_s", "match_s",
+        "meta", "_clock",
+    )
+
+    def __init__(
+        self,
+        request_id: Optional[str] = None,
+        endpoint: str = "",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.request_id = request_id or new_request_id()
+        self.endpoint = endpoint
+        self._clock = clock
+        self.started_at = clock()
+        self.phases: List[TracePhase] = []
+        self.batch_ids: List[int] = []
+        self.queue_wait_s = 0.0
+        self.batch_wait_s = 0.0
+        self.match_s = 0.0
+        self.meta: Dict[str, object] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named segment and append it to the timeline."""
+        started = self._clock()
+        try:
+            yield
+        finally:
+            self.add_phase(name, self._clock() - started)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Append one already-measured segment."""
+        self.phases.append(TracePhase(name, max(0.0, seconds)))
+
+    def note_batch(
+        self,
+        batch_id: int,
+        queue_wait_s: float,
+        batch_wait_s: float,
+        match_s: float,
+    ) -> None:
+        """Record that one of this request's comparisons rode ``batch_id``.
+
+        A 1:N identify fans into many jobs which may land in several
+        batches; waits aggregate by ``max`` (the jobs overlap in time,
+        so the slowest one is what the client experienced).
+        """
+        if batch_id not in self.batch_ids:
+            self.batch_ids.append(batch_id)
+        self.queue_wait_s = max(self.queue_wait_s, queue_wait_s)
+        self.batch_wait_s = max(self.batch_wait_s, batch_wait_s)
+        self.match_s = max(self.match_s, match_s)
+
+    def finalize_batch_phases(self) -> None:
+        """Fold the batch annotations into the phase timeline.
+
+        Called once by the server after the handler returns, so the
+        queue/batch/match segments appear in their canonical position
+        even though they were measured by the collector.
+        """
+        if not self.batch_ids:
+            return
+        self.add_phase("queue_wait", self.queue_wait_s)
+        self.add_phase("batch_wait", self.batch_wait_s)
+        self.add_phase("match", self.match_s)
+
+    def elapsed(self) -> float:
+        """Seconds since the trace started."""
+        return self._clock() - self.started_at
+
+    def timeline(self) -> dict:
+        """The JSON-able span timeline (reqlog / slow-log payload)."""
+        return {
+            "request_id": self.request_id,
+            "endpoint": self.endpoint,
+            "total_ms": round(self.elapsed() * 1000.0, 3),
+            "phases": [phase.to_dict() for phase in self.phases],
+            "batch_ids": list(self.batch_ids),
+            "queue_wait_ms": round(self.queue_wait_s * 1000.0, 3),
+            "batch_wait_ms": round(self.batch_wait_s * 1000.0, 3),
+            "match_ms": round(self.match_s * 1000.0, 3),
+        }
+
+
+_TRACE: "contextvars.ContextVar[Optional[TraceContext]]" = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The trace of the request the current coroutine is serving."""
+    return _TRACE.get()
+
+
+def set_current_trace(
+    trace: Optional[TraceContext],
+) -> "contextvars.Token":
+    """Install ``trace`` for the current context; returns a reset token."""
+    return _TRACE.set(trace)
+
+
+def reset_current_trace(token: "contextvars.Token") -> None:
+    """Undo a :func:`set_current_trace` (restores the previous trace)."""
+    _TRACE.reset(token)
+
+
+@contextmanager
+def trace_request(
+    request_id: Optional[str] = None, endpoint: str = ""
+) -> Iterator[TraceContext]:
+    """Create, install, and on exit uninstall a :class:`TraceContext`."""
+    trace = TraceContext(request_id=request_id, endpoint=endpoint)
+    token = set_current_trace(trace)
+    try:
+        yield trace
+    finally:
+        reset_current_trace(token)
+
+
+# ----------------------------------------------------------------------
 # Structured logging
 # ----------------------------------------------------------------------
 class JsonLogFormatter(logging.Formatter):
@@ -381,6 +568,14 @@ __all__ = [
     "set_recorder",
     "enable_telemetry",
     "disable_telemetry",
+    "TraceContext",
+    "TracePhase",
+    "new_request_id",
+    "sanitize_request_id",
+    "current_trace",
+    "set_current_trace",
+    "reset_current_trace",
+    "trace_request",
     "JsonLogFormatter",
     "configure_logging",
     "get_logger",

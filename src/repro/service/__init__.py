@@ -15,7 +15,12 @@ from a different device:
 * :mod:`repro.service.client` — blocking client for tests, smoke
   checks, and the load benchmark;
 * :mod:`repro.service.stats` — live request/latency/batch-size
-  counters, mirrored into the telemetry manifest.
+  counters, mirrored into the telemetry manifest;
+* :mod:`repro.service.metrics` — Prometheus text exposition behind
+  ``GET /metrics`` plus a strict parser for validating scrapes;
+* :mod:`repro.service.reqlog` — JSONL per-request audit log with
+  size-based rotation;
+* :mod:`repro.service.top` — the ``repro top`` live dashboard.
 
 Start one from the command line with ``repro serve`` (and populate it
 with ``repro enroll``), or in-process::
@@ -41,6 +46,14 @@ from .gallery import (
     GalleryRecord,
     UnknownIdentityError,
 )
+from .metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    ExpositionParseError,
+    parse_exposition,
+    render_exposition,
+    sample_value,
+)
+from .reqlog import RequestLog, iter_reqlog, slow_threshold_ms
 from .runner import ServiceRunner
 from .server import (
     DEFAULT_THRESHOLD,
@@ -49,6 +62,7 @@ from .server import (
     decode_template_field,
 )
 from .stats import ServiceStats
+from .top import run_top
 
 __all__ = [
     "BatchingConfig",
@@ -70,4 +84,13 @@ __all__ = [
     "decode_template_field",
     "DEFAULT_THRESHOLD",
     "ServiceStats",
+    "EXPOSITION_CONTENT_TYPE",
+    "ExpositionParseError",
+    "render_exposition",
+    "parse_exposition",
+    "sample_value",
+    "RequestLog",
+    "iter_reqlog",
+    "slow_threshold_ms",
+    "run_top",
 ]

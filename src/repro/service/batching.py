@@ -30,8 +30,10 @@ shared or collapsed — the control arm of the load benchmark.
 from __future__ import annotations
 
 import asyncio
+import logging
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,8 +43,15 @@ from collections import deque
 from ..matcher.types import Template
 from ..runtime.config import env_float, env_int
 from ..runtime.errors import ConfigurationError, TransientError
-from ..runtime.telemetry import get_recorder
+from ..runtime.telemetry import (
+    TraceContext,
+    current_trace,
+    get_logger,
+    get_recorder,
+)
 from .stats import ServiceStats
+
+_log = get_logger("service.batching")
 
 
 class ServiceOverloadError(TransientError):
@@ -128,6 +137,12 @@ class _Job:
     gallery: Template
     future: "asyncio.Future[float]"
     deadline: float
+    #: Trace of the request that enqueued this comparison (``None``
+    #: when tracing is off or the caller is not a traced request).
+    trace: Optional[TraceContext] = None
+    #: ``time.perf_counter()`` at enqueue — queue age is measured from
+    #: here when the collector claims the job into a batch.
+    enqueued: float = field(default_factory=time.perf_counter)
 
 
 class MicroBatcher:
@@ -156,10 +171,16 @@ class MicroBatcher:
         )
         self._collector: Optional[asyncio.Task] = None
         self._closed = False
+        self._batch_seq = 0
 
     @property
     def config(self) -> BatchingConfig:
         return self._config
+
+    @property
+    def last_batch_id(self) -> int:
+        """Id of the most recently dispatched batch (0 before any)."""
+        return self._batch_seq
 
     @property
     def queue_depth(self) -> int:
@@ -217,10 +238,14 @@ class MicroBatcher:
                 f"depth {self._config.queue_depth}); retry later"
             )
         deadline = loop.time() + budget
+        trace = current_trace()
+        enqueued = time.perf_counter()
         futures: List["asyncio.Future[float]"] = []
         for probe, gallery in pair_list:
             future: "asyncio.Future[float]" = loop.create_future()
-            self._queue.append(_Job(probe, gallery, future, deadline))
+            self._queue.append(
+                _Job(probe, gallery, future, deadline, trace, enqueued)
+            )
             futures.append(future)
         recorder = get_recorder()
         if recorder.active:
@@ -245,6 +270,7 @@ class MicroBatcher:
         load benchmark measures micro-batching against exactly this arm.
         """
         deadline = loop.time() + budget
+        trace = current_trace()
         scores = np.empty(len(pair_list), dtype=np.float64)
         for index, (probe, gallery) in enumerate(pair_list):
             remaining = deadline - loop.time()
@@ -252,6 +278,7 @@ class MicroBatcher:
                 raise DeadlineExceededError(
                     f"request exceeded its {budget:.3f}s deadline"
                 )
+            started = time.perf_counter()
             call = loop.run_in_executor(
                 self._executor, self._matcher.match, probe, gallery
             )
@@ -261,7 +288,16 @@ class MicroBatcher:
                 raise DeadlineExceededError(
                     f"request exceeded its {budget:.3f}s deadline"
                 ) from None
-            self._stats.record_batch(1)
+            self._batch_seq += 1
+            if trace is not None:
+                # The unbatched arm still yields an attributable
+                # timeline: zero queue/handoff wait, per-call batch id.
+                trace.note_batch(
+                    self._batch_seq, 0.0, 0.0, time.perf_counter() - started
+                )
+            self._stats.record_batch(
+                1, requests=1, batch_id=self._batch_seq
+            )
         return scores
 
     # ------------------------------------------------------------------
@@ -315,21 +351,76 @@ class MicroBatcher:
                 )
                 continue
             live.append(job)
+        batch_id = 0
         if live:
+            self._batch_seq += 1
+            batch_id = self._batch_seq
+            claimed = time.perf_counter()
+            recorder = get_recorder()
+            for job in live:
+                queue_wait = max(0.0, claimed - job.enqueued)
+                self._stats.record_queue_wait(queue_wait)
+                if recorder.active:
+                    recorder.observe(
+                        "service.phase.queue_wait_seconds", queue_wait
+                    )
             pairs = [(job.probe, job.gallery) for job in live]
+
+            def _timed_score_pairs():
+                # Runs on the one-thread executor: `started` lags
+                # `claimed` by the executor handoff plus any batch still
+                # occupying the matcher thread — the batch_wait phase.
+                started = time.perf_counter()
+                result = self._matcher.score_pairs(pairs)
+                return result, started, time.perf_counter()
+
             try:
-                scores = await loop.run_in_executor(
-                    self._executor, self._matcher.score_pairs, pairs
+                scores, started, finished = await loop.run_in_executor(
+                    self._executor, _timed_score_pairs
                 )
             except Exception as exc:  # noqa: BLE001 - fan the failure out
                 for job in live:
                     if not job.future.cancelled():
                         job.future.set_exception(exc)
             else:
+                batch_wait = max(0.0, started - claimed)
+                match_seconds = max(0.0, finished - started)
+                if recorder.active:
+                    recorder.observe(
+                        "service.phase.batch_wait_seconds", batch_wait
+                    )
+                    recorder.observe(
+                        "service.phase.match_seconds", match_seconds
+                    )
                 for job, score in zip(live, scores):
+                    if job.trace is not None:
+                        job.trace.note_batch(
+                            batch_id,
+                            max(0.0, claimed - job.enqueued),
+                            batch_wait,
+                            match_seconds,
+                        )
                     if not job.future.cancelled():
                         job.future.set_result(float(score))
-        self._stats.record_batch(len(live), expired=expired)
+        request_ids = sorted(
+            {job.trace.request_id for job in live if job.trace is not None}
+        )
+        self._stats.record_batch(
+            len(live),
+            expired=expired,
+            requests=len(request_ids),
+            batch_id=batch_id or None,
+        )
+        if live and _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "micro-batch dispatched",
+                extra={"data": {
+                    "batch_id": batch_id,
+                    "jobs": len(live),
+                    "expired": expired,
+                    "requests": request_ids,
+                }},
+            )
 
 
 __all__ = [

@@ -12,6 +12,11 @@ HTTP status and the server's error payload, so callers can assert on
 exact status codes (the smoke test does) or branch on
 ``retryable`` (503/504 — the transient statuses — line up with the
 study's :class:`~repro.runtime.errors.TransientError` taxonomy).
+
+Every request carries a generated ``X-Request-ID``, and the id the
+server echoes back is kept on :attr:`ServiceClient.last_request_id`
+(response headers on :attr:`~ServiceClient.last_headers`), so a caller
+can tie its own records to the server's reqlog and traces.
 """
 
 from __future__ import annotations
@@ -21,11 +26,12 @@ import http.client
 import json
 import socket
 import time
-from typing import Optional
+from typing import Dict, Optional
 
 from ..io.incits378 import encode as encode_378
 from ..matcher.types import Template
 from ..runtime.errors import ReproError, TransientError
+from ..runtime.telemetry import new_request_id
 
 #: HTTP statuses that correspond to transient (retry-worthy) failures.
 RETRYABLE_STATUSES = frozenset({503, 504})
@@ -65,6 +71,12 @@ class ServiceClient:
         self._port = port
         self._timeout_s = timeout_s
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: Request id echoed by the server on the last response (the id
+        #: this client sent, unless a proxy rewrote it).
+        self.last_request_id: Optional[str] = None
+        #: Lower-cased headers of the last response (``retry-after``
+        #: shows up here on a 503).
+        self.last_headers: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Transport
@@ -88,9 +100,15 @@ class ServiceClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _exchange(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> tuple:
+        """One round trip; returns ``(status, raw_body)`` after capturing
+        the echoed request id and response headers."""
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
+        request_id = new_request_id()
+        headers["X-Request-ID"] = request_id
         try:
             connection = self._connect()
             connection.request(method, path, body=body, headers=headers)
@@ -101,12 +119,20 @@ class ServiceClient:
             raise TransientError(
                 f"service at {self._host}:{self._port} unreachable: {exc}"
             ) from exc
+        self.last_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
+        self.last_request_id = self.last_headers.get("x-request-id", request_id)
+        return response.status, raw
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        status, raw = self._exchange(method, path, payload)
         try:
             data = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
             data = {"error": raw.decode("utf-8", "replace")}
-        if response.status >= 400:
-            raise ServiceClientError(response.status, data)
+        if status >= 400:
+            raise ServiceClientError(status, data)
         return data
 
     # ------------------------------------------------------------------
@@ -119,6 +145,14 @@ class ServiceClient:
     def stats(self) -> dict:
         """The server's live counters and distributions."""
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        status, raw = self._exchange("GET", "/metrics")
+        text = raw.decode("utf-8", "replace")
+        if status >= 400:
+            raise ServiceClientError(status, {"error": text})
+        return text
 
     def enroll(
         self, identity: str, template: Template, device: str = "default"

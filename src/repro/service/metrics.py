@@ -1,0 +1,496 @@
+"""Prometheus text exposition for the serving layer, dependency-free.
+
+Two halves, both stdlib-only:
+
+* :func:`render_exposition` — renders a :class:`~repro.service.stats.ServiceStats`
+  (always on), the gallery footprint, the admission-queue depth, and —
+  when telemetry is enabled — every metric in the process-wide
+  :class:`~repro.runtime.telemetry.MetricsRegistry`, in the Prometheus
+  text format (``# HELP`` / ``# TYPE`` / samples, histograms with
+  cumulative ``le`` buckets ending in ``+Inf``).  The server mounts it
+  at ``GET /metrics`` with the standard
+  ``text/plain; version=0.0.4`` content type, so a stock Prometheus
+  scraper can point at ``repro serve`` unmodified.
+
+* :func:`parse_exposition` — a *strict* parser for the same format:
+  metric-name and label grammar, TYPE-before-sample ordering, duplicate
+  sample detection, and histogram invariants (cumulative buckets,
+  ``+Inf`` bucket equal to ``_count``).  The test suite and the CI
+  smoke job run every scrape through it, so a malformed exposition line
+  is a failing build rather than a silently dropped scrape.
+
+Metric name catalogue (all prefixed ``repro_``; see
+``docs/observability.md`` for the full table):
+
+========================================  =========  =====================
+name                                      type       labels
+========================================  =========  =====================
+``repro_uptime_seconds``                  gauge      —
+``repro_requests_total``                  counter    ``endpoint``
+``repro_responses_total``                 counter    ``status``
+``repro_request_latency_seconds``         histogram  ``endpoint``, ``device``
+``repro_request_latency_window_ms``       gauge      ``endpoint``, ``quantile``
+``repro_queue_wait_seconds``              histogram  —
+``repro_batch_size``                      histogram  —
+``repro_batch_requests``                  histogram  —
+``repro_batches_total``                   counter    —
+``repro_batched_jobs_total``              counter    —
+``repro_expired_jobs_total``              counter    —
+``repro_batch_last_id``                   gauge      —
+``repro_queue_depth``                     gauge      —
+``repro_decisions_total``                 counter    ``decision``
+``repro_enroll_rejected_total``           counter    —
+``repro_overloads_total``                 counter    —
+``repro_deadline_exceeded_total``         counter    —
+``repro_slow_requests_total``             counter    —
+``repro_gallery_enrolled``                gauge      ``device``
+``repro_telemetry_*``                     mixed      — (recorder passthrough)
+========================================  =========  =====================
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.telemetry import get_recorder
+from .stats import ServiceStats
+
+#: The content type Prometheus' text exposition format 0.0.4 declares.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class _Writer:
+    """Accumulates exposition lines, one ``# TYPE`` block per family."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self, name: str, labels: Dict[str, str], value: float
+    ) -> None:
+        self.lines.append(f"{name}{_labels_text(labels)} {_format_value(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        bounds,
+        bucket_counts,
+        count: int,
+        total: float,
+    ) -> None:
+        """Emit one labeled histogram series (cumulative ``le`` buckets).
+
+        ``bucket_counts`` is non-cumulative with a final overflow slot,
+        matching :class:`repro.service.stats._CumulativeHistogram` and
+        :class:`repro.runtime.telemetry.MetricsRegistry` snapshots.
+        """
+        running = 0
+        for bound, bucket in zip(bounds, bucket_counts):
+            running += bucket
+            self.sample(
+                f"{name}_bucket",
+                {**labels, "le": _format_value(float(bound))},
+                running,
+            )
+        self.sample(f"{name}_bucket", {**labels, "le": "+Inf"}, count)
+        self.sample(f"{name}_sum", labels, total)
+        self.sample(f"{name}_count", labels, count)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _sanitize_name(raw: str) -> Optional[str]:
+    """A telemetry metric name as a valid Prometheus name, or ``None``."""
+    candidate = raw.replace(".", "_").replace("-", "_")
+    return candidate if _NAME_RE.match(candidate) else None
+
+
+def render_exposition(
+    stats: ServiceStats,
+    gallery_devices: Optional[Dict[str, int]] = None,
+    queue_depth: Optional[int] = None,
+) -> str:
+    """The full ``/metrics`` payload for one server.
+
+    Parameters
+    ----------
+    stats:
+        The server's live :class:`ServiceStats`.
+    gallery_devices:
+        Per-device enrollment counts (``GalleryIndex.stats()["devices"]``).
+    queue_depth:
+        Pair jobs currently queued in the micro-batcher.
+    """
+    w = _Writer()
+    snapshot = stats.snapshot()
+
+    w.family("repro_uptime_seconds", "gauge", "Seconds since server start.")
+    w.sample("repro_uptime_seconds", {}, snapshot["uptime_seconds"])
+
+    w.family("repro_requests_total", "counter",
+             "HTTP requests finished, by endpoint (probes included).")
+    for endpoint, count in sorted(snapshot["requests"].items()):
+        w.sample("repro_requests_total", {"endpoint": endpoint}, count)
+
+    w.family("repro_responses_total", "counter",
+             "HTTP responses sent, by status code.")
+    for status, count in sorted(snapshot["statuses"].items()):
+        w.sample("repro_responses_total", {"status": status}, count)
+
+    w.family("repro_request_latency_seconds", "histogram",
+             "Request latency by endpoint and device (probes excluded).")
+    for (endpoint, device), hist in stats.labeled_latency().items():
+        labels = {"endpoint": endpoint}
+        if device:
+            labels["device"] = device
+        w.histogram(
+            "repro_request_latency_seconds", labels,
+            hist["bounds"], hist["buckets"], hist["count"], hist["sum"],
+        )
+
+    w.family("repro_request_latency_window_ms", "gauge",
+             "Exact sliding-window latency quantiles, milliseconds.")
+    for endpoint, window in sorted(snapshot["latency"].items()):
+        for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+            w.sample(
+                "repro_request_latency_window_ms",
+                {"endpoint": endpoint, "quantile": quantile[:-3]},
+                window[quantile],
+            )
+
+    queue_wait = stats.queue_wait_snapshot()
+    w.family("repro_queue_wait_seconds", "histogram",
+             "Pair-job time spent in the admission queue.")
+    w.histogram(
+        "repro_queue_wait_seconds", {},
+        queue_wait["bounds"], queue_wait["buckets"],
+        queue_wait["count"], queue_wait["sum"],
+    )
+
+    batch_hists = stats.batch_histograms()
+    w.family("repro_batch_size", "histogram",
+             "Pair jobs per dispatched micro-batch.")
+    size_hist = batch_hists["batch_size"]
+    w.histogram("repro_batch_size", {}, size_hist["bounds"],
+                size_hist["buckets"], size_hist["count"], size_hist["sum"])
+    w.family("repro_batch_requests", "histogram",
+             "Distinct requests coalesced per micro-batch.")
+    req_hist = batch_hists["batch_requests"]
+    w.histogram("repro_batch_requests", {}, req_hist["bounds"],
+                req_hist["buckets"], req_hist["count"], req_hist["sum"])
+
+    batching = snapshot["batching"]
+    for name, help_text, value in (
+        ("repro_batches_total", "Micro-batches dispatched.",
+         batching["batches"]),
+        ("repro_batched_jobs_total", "Pair jobs carried by batches.",
+         batching["jobs"]),
+        ("repro_expired_jobs_total", "Jobs expired in the queue.",
+         batching["expired_jobs"]),
+        ("repro_enroll_rejected_total", "Quality-gate enrollment refusals.",
+         snapshot["enroll_rejected"]),
+        ("repro_overloads_total", "Admissions refused on a full queue.",
+         snapshot["overloads"]),
+        ("repro_deadline_exceeded_total", "Requests past their deadline.",
+         snapshot["deadline_exceeded"]),
+        ("repro_slow_requests_total",
+         "Requests over the REPRO_SERVE_SLOW_MS threshold.",
+         snapshot["slow_requests"]),
+    ):
+        w.family(name, "counter", help_text)
+        w.sample(name, {}, value)
+
+    w.family("repro_decisions_total", "counter",
+             "Verification decisions, by outcome.")
+    for decision, count in sorted(snapshot["decisions"].items()):
+        w.sample("repro_decisions_total", {"decision": decision}, count)
+
+    w.family("repro_batch_last_id", "gauge",
+             "Id of the most recently dispatched micro-batch.")
+    w.sample("repro_batch_last_id", {}, batching["last_batch_id"])
+
+    if queue_depth is not None:
+        w.family("repro_queue_depth", "gauge",
+                 "Pair jobs currently awaiting a batch slot.")
+        w.sample("repro_queue_depth", {}, queue_depth)
+
+    if gallery_devices is not None:
+        w.family("repro_gallery_enrolled", "gauge",
+                 "Enrolled templates per device shard.")
+        for device, count in sorted(gallery_devices.items()):
+            w.sample("repro_gallery_enrolled", {"device": device}, count)
+
+    _render_recorder_metrics(w)
+    return w.text()
+
+
+def _render_recorder_metrics(w: _Writer) -> None:
+    """Pass the live telemetry registry through, ``repro_telemetry_``-prefixed.
+
+    Only runs when telemetry is enabled; the always-on ServiceStats
+    families above carry the serving story by themselves.
+    """
+    recorder = get_recorder()
+    if not recorder.active:
+        return
+    snap = recorder.metrics.snapshot()
+    for name, value in sorted(snap["counters"].items()):
+        prom = _sanitize_name(f"repro_telemetry_{name}_total")
+        if prom is None:
+            continue
+        w.family(prom, "counter", f"Telemetry counter {name}.")
+        w.sample(prom, {}, value)
+    for name, value in sorted(snap["gauges"].items()):
+        prom = _sanitize_name(f"repro_telemetry_{name}")
+        if prom is None:
+            continue
+        w.family(prom, "gauge", f"Telemetry gauge {name}.")
+        w.sample(prom, {}, value)
+    bounds = snap["bucket_bounds"]
+    for name, hist in sorted(snap["histograms"].items()):
+        prom = _sanitize_name(f"repro_telemetry_{name}")
+        if prom is None:
+            continue
+        w.family(prom, "histogram", f"Telemetry histogram {name}.")
+        w.histogram(prom, {}, bounds, hist["buckets"],
+                    hist["count"], hist["sum"])
+
+
+# ----------------------------------------------------------------------
+# Strict exposition-format parser (test helper; CI runs every scrape
+# through it)
+# ----------------------------------------------------------------------
+class ExpositionParseError(ValueError):
+    """The scraped payload violates the text exposition format."""
+
+
+def _parse_value(text: str, where: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionParseError(f"{where}: unparsable value {text!r}")
+
+
+def _parse_labels(raw: str, where: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    position = 0
+    while position < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, position)
+        if match is None:
+            raise ExpositionParseError(f"{where}: malformed labels {raw!r}")
+        name = match.group("name")
+        if not _LABEL_RE.match(name):
+            raise ExpositionParseError(f"{where}: bad label name {name!r}")
+        if name in labels:
+            raise ExpositionParseError(f"{where}: duplicate label {name!r}")
+        value = match.group("value")
+        labels[name] = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        position = match.end()
+    return labels
+
+
+def _base_family(name: str) -> str:
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_exposition(text: str) -> Dict[str, dict]:
+    """Parse (and strictly validate) a text-format exposition payload.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples":
+    [(name, labels, value), ...]}}``.  Raises
+    :class:`ExpositionParseError` on any violation: bad metric or label
+    grammar, samples before their ``# TYPE``, duplicate series,
+    non-cumulative histogram buckets, missing ``+Inf`` bucket, or a
+    ``+Inf`` bucket that disagrees with ``_count``.
+    """
+    families: Dict[str, dict] = {}
+    seen_series = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line != line.strip():
+            raise ExpositionParseError(f"{where}: stray whitespace: {line!r}")
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                raise ExpositionParseError(f"{where}: malformed HELP line")
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                raise ExpositionParseError(f"{where}: bad metric name {name!r}")
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )["help"] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ExpositionParseError(f"{where}: malformed TYPE line")
+            name, kind = parts[2], parts[3]
+            if not _NAME_RE.match(name):
+                raise ExpositionParseError(f"{where}: bad metric name {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ExpositionParseError(f"{where}: unknown type {kind!r}")
+            family = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            if family["type"] is not None:
+                raise ExpositionParseError(f"{where}: duplicate TYPE for {name}")
+            if family["samples"]:
+                raise ExpositionParseError(
+                    f"{where}: TYPE for {name} after its samples"
+                )
+            family["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionParseError(f"{where}: unparsable sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", where)
+        value = _parse_value(match.group("value"), where)
+        family_name = _base_family(name)
+        family = families.get(family_name)
+        if family is None or family["type"] is None:
+            # Histogram suffix stripping may not apply (plain metric
+            # whose name ends in _count); fall back to the full name.
+            family = families.get(name)
+            family_name = name
+        if family is None or family["type"] is None:
+            raise ExpositionParseError(
+                f"{where}: sample {name!r} before its # TYPE"
+            )
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            raise ExpositionParseError(
+                f"{where}: duplicate series {name}{labels!r}"
+            )
+        seen_series.add(series_key)
+        family["samples"].append((name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, dict]) -> None:
+    for family_name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: Dict[Tuple, List[Tuple[float, float]]] = {}
+        counts: Dict[Tuple, float] = {}
+        for name, labels, value in family["samples"]:
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name == f"{family_name}_bucket":
+                if "le" not in labels:
+                    raise ExpositionParseError(
+                        f"{family_name}: bucket sample missing 'le'"
+                    )
+                bound = _parse_value(labels["le"], family_name)
+                series.setdefault(key, []).append((bound, value))
+            elif name == f"{family_name}_count":
+                counts[key] = value
+        for key, buckets in series.items():
+            ordered = sorted(buckets, key=lambda item: item[0])
+            cumulative = [count for _, count in ordered]
+            if cumulative != sorted(cumulative):
+                raise ExpositionParseError(
+                    f"{family_name}{dict(key)!r}: buckets not cumulative"
+                )
+            if not ordered or ordered[-1][0] != math.inf:
+                raise ExpositionParseError(
+                    f"{family_name}{dict(key)!r}: missing +Inf bucket"
+                )
+            if key in counts and ordered[-1][1] != counts[key]:
+                raise ExpositionParseError(
+                    f"{family_name}{dict(key)!r}: +Inf bucket "
+                    f"{ordered[-1][1]} != count {counts[key]}"
+                )
+
+
+def sample_value(
+    families: Dict[str, dict],
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+) -> Optional[float]:
+    """Convenience: one sample's value from a parsed exposition.
+
+    ``name`` is the full sample name (e.g. ``repro_requests_total`` or
+    ``repro_batch_size_count``); ``labels`` must match exactly.
+    """
+    wanted = labels or {}
+    family = families.get(_base_family(name)) or families.get(name)
+    if family is None:
+        return None
+    for sample_name, sample_labels, value in family["samples"]:
+        if sample_name == name and sample_labels == wanted:
+            return value
+    return None
+
+
+__all__ = [
+    "EXPOSITION_CONTENT_TYPE",
+    "ExpositionParseError",
+    "render_exposition",
+    "parse_exposition",
+    "sample_value",
+]

@@ -1,0 +1,171 @@
+"""Structured request audit log: one JSON line per finished request.
+
+The ``/stats`` endpoint answers "how is the service doing overall"; the
+request log answers "what happened to *that* request".  Every finished
+HTTP request appends one JSON object — request id, endpoint, device,
+status, the latency breakdown from its
+:class:`~repro.runtime.telemetry.TraceContext` (queue wait, batch wait,
+match time, which micro-batches carried its comparisons), and the
+gallery size at the time — so a slow or failed ``/verify`` is
+attributable after the fact: join the reqlog line's ``batch_ids``
+against the batch counters in ``/metrics`` and the time is accounted
+for, phase by phase.
+
+Rotation is size-based and dependency-free: when an append would push
+the file past ``max_bytes``, the current file shifts to ``<path>.1``
+(older generations to ``.2`` … ``.<backups>``, the oldest dropped) and
+a fresh file starts.  Writes are serialized by a lock and each line is
+flushed, so a crash loses at most the line being written.
+
+Configuration (CLI flags win over the environment):
+
+=============================  ==========================================
+``REPRO_SERVE_REQLOG``         path of the JSONL file (unset = disabled)
+``REPRO_SERVE_REQLOG_BYTES``   rotate past this size (default 16 MiB)
+``REPRO_SERVE_SLOW_MS``        slow-request threshold; over it, the full
+                               span timeline is also logged at WARNING
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..runtime.config import env_float, env_int
+from ..runtime.telemetry import get_logger
+
+#: Default rotation threshold: 16 MiB per generation.
+DEFAULT_MAX_BYTES = 16 * 1024 * 1024
+
+#: Rotated generations kept (``<path>.1`` … ``<path>.N``).
+DEFAULT_BACKUPS = 3
+
+_log = get_logger("service.reqlog")
+
+
+class RequestLog:
+    """Append-only JSONL audit log with size-based rotation.
+
+    Thread-safe: the serving loop writes request lines while the CLI's
+    shutdown path closes the handle.
+    """
+
+    def __init__(
+        self,
+        path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        backups: int = DEFAULT_BACKUPS,
+    ) -> None:
+        self._path = Path(path)
+        self._max_bytes = max(1024, int(max_bytes))
+        self._backups = max(1, int(backups))
+        self._lock = threading.Lock()
+        self._handle = None
+        self.lines_written = 0
+        self.rotations = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @classmethod
+    def from_environment(cls) -> Optional["RequestLog"]:
+        """A log configured by ``REPRO_SERVE_REQLOG*``, or ``None``."""
+        target = os.environ.get("REPRO_SERVE_REQLOG")
+        if not target:
+            return None
+        max_bytes = env_int("REPRO_SERVE_REQLOG_BYTES")
+        return cls(
+            target,
+            max_bytes=max_bytes if max_bytes is not None else DEFAULT_MAX_BYTES,
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _open(self):
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self._path.open("a", encoding="utf-8")
+        return self._handle
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        oldest = self._path.with_name(f"{self._path.name}.{self._backups}")
+        oldest.unlink(missing_ok=True)
+        for generation in range(self._backups - 1, 0, -1):
+            source = self._path.with_name(f"{self._path.name}.{generation}")
+            if source.exists():
+                source.rename(
+                    self._path.with_name(f"{self._path.name}.{generation + 1}")
+                )
+        if self._path.exists():
+            self._path.rename(self._path.with_name(f"{self._path.name}.1"))
+        self.rotations += 1
+
+    def write(self, record: dict) -> None:
+        """Append one request record (never raises into the server)."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            try:
+                handle = self._open()
+                if handle.tell() + len(line) + 1 > self._max_bytes:
+                    self._rotate()
+                    handle = self._open()
+                handle.write(line + "\n")
+                handle.flush()
+                self.lines_written += 1
+            except OSError as exc:  # disk full, permission lost, ...
+                _log.warning(
+                    "request log write failed",
+                    extra={"data": {"path": str(self._path),
+                                    "error": repr(exc)}},
+                )
+
+    def close(self) -> None:
+        """Flush and close the current generation (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_reqlog(path) -> Iterator[dict]:
+    """Yield the records of one reqlog generation (tests, CI, tooling)."""
+    target = Path(path)
+    if not target.exists():
+        return
+    with target.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def slow_threshold_ms() -> Optional[float]:
+    """The ``REPRO_SERVE_SLOW_MS`` threshold, or ``None`` when unset."""
+    value = env_float("REPRO_SERVE_SLOW_MS")
+    if value is None or value < 0:
+        return None
+    return value
+
+
+__all__ = [
+    "RequestLog",
+    "iter_reqlog",
+    "slow_threshold_ms",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_BACKUPS",
+]

@@ -13,7 +13,20 @@ POST      ``/identify``                   1:N rank-k search of a device shard
 DELETE    ``/enroll/<device>/<identity>`` remove one enrollment
 GET       ``/healthz``                    liveness + gallery size
 GET       ``/stats``                      live counters, latency, batch sizes
+GET       ``/metrics``                    Prometheus text exposition of the same
 ========  ==============================  =======================================
+
+Every request is traced: the server honors a client-supplied
+``X-Request-ID`` header (token-shaped, else it generates one), installs
+a :class:`~repro.runtime.telemetry.TraceContext` for the request task,
+and echoes the id on **every** response — success, error, even a
+malformed request line — so client and server logs join on one key.
+The trace records a phase timeline (``parse → gallery → queue_wait →
+batch_wait → match → respond``); finished requests are appended to an
+optional JSONL :class:`~repro.service.reqlog.RequestLog`, and requests
+slower than ``REPRO_SERVE_SLOW_MS`` dump their full timeline at
+WARNING.  Overloaded (503) responses carry ``Retry-After`` so
+well-behaved clients back off.
 
 Templates travel as base64-encoded ANSI/INCITS 378 records — the same
 interchange format the paper's interoperability scenario is about — so
@@ -45,12 +58,13 @@ import base64
 import binascii
 import json
 import time
+from contextlib import nullcontext
 from typing import Dict, Optional, Tuple
 
 from ..io.incits378 import decode as decode_378
 from ..matcher.engine import BioEngineMatcher
 from ..matcher.types import Template
-from ..runtime.config import env_float
+from ..runtime.config import env_float, env_int
 from ..runtime.errors import (
     ConfigurationError,
     PermanentError,
@@ -58,7 +72,16 @@ from ..runtime.errors import (
     TemplateFormatError,
     TransientError,
 )
-from ..runtime.telemetry import get_logger
+from ..runtime.telemetry import (
+    TraceContext,
+    current_trace,
+    get_logger,
+    get_recorder,
+    new_request_id,
+    reset_current_trace,
+    sanitize_request_id,
+    set_current_trace,
+)
 from .batching import (
     BatchingConfig,
     DeadlineExceededError,
@@ -66,6 +89,8 @@ from .batching import (
     ServiceOverloadError,
 )
 from .gallery import EnrollmentRejected, GalleryIndex, UnknownIdentityError
+from .metrics import EXPOSITION_CONTENT_TYPE, render_exposition
+from .reqlog import RequestLog, slow_threshold_ms
 from .stats import ServiceStats
 
 #: Operating threshold on the matcher's 0–30 score scale.  The paper's
@@ -78,6 +103,12 @@ DEFAULT_THRESHOLD = 7.5
 MAX_BODY_BYTES = 1 << 20
 
 _log = get_logger("service.server")
+
+
+def _phase(name: str):
+    """Context manager timing `name` on the current trace (no-op untraced)."""
+    trace = current_trace()
+    return trace.phase(name) if trace is not None else nullcontext()
 
 
 class ServerStartupError(TransientError):
@@ -155,6 +186,9 @@ class VerificationServer:
         threshold: Optional[float] = None,
         batching: Optional[BatchingConfig] = None,
         stats: Optional[ServiceStats] = None,
+        reqlog: Optional[RequestLog] = None,
+        tracing: Optional[bool] = None,
+        slow_ms: Optional[float] = None,
     ) -> None:
         if threshold is None:
             threshold = env_float("REPRO_SERVE_THRESHOLD")
@@ -167,6 +201,12 @@ class VerificationServer:
             stats=self.stats,
             config=batching if batching is not None else BatchingConfig.from_environment(),
         )
+        if tracing is None:
+            flag = env_int("REPRO_SERVE_TRACING")
+            tracing = True if flag is None else bool(flag)
+        self.tracing = bool(tracing)
+        self.reqlog = reqlog if reqlog is not None else RequestLog.from_environment()
+        self.slow_ms = slow_ms if slow_ms is not None else slow_threshold_ms()
         self._host = host
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -210,12 +250,14 @@ class VerificationServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Close the listener and drain the batcher."""
+        """Close the listener, drain the batcher, flush the request log."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.batcher.stop()
+        if self.reqlog is not None:
+            self.reqlog.close()
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -225,11 +267,26 @@ class VerificationServer:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # A request too broken to route (bad request line,
+                    # oversized body) still deserves an answer — and a
+                    # request id, so the failure is attributable — but
+                    # the connection state is unknown, so close after.
+                    await self._respond(
+                        writer,
+                        exc.status,
+                        {"error": exc.message},
+                        request_id=new_request_id(),
+                    )
+                    break
                 if request is None:
                     break
-                method, path, body = request
-                keep_alive = await self._handle_request(writer, method, path, body)
+                method, path, headers, body = request
+                keep_alive = await self._handle_request(
+                    writer, method, path, headers, body
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -247,7 +304,7 @@ class VerificationServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
         """Parse one request; ``None`` on a cleanly closed connection."""
         try:
             request_line = await reader.readline()
@@ -270,41 +327,144 @@ class VerificationServer:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), target, body
+        return method.upper(), target, headers, body
 
     async def _handle_request(
-        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
     ) -> bool:
         started = time.perf_counter()
         endpoint = self._endpoint_for(method, path)
+        request_id = (
+            sanitize_request_id(headers.get("x-request-id")) or new_request_id()
+        )
+        trace: Optional[TraceContext] = None
+        token = None
+        if self.tracing:
+            trace = TraceContext(request_id=request_id, endpoint=endpoint)
+            token = set_current_trace(trace)
         try:
-            status, payload = await self._route(method, path, body)
-        except _HttpError as exc:
-            status, payload = exc.status, {"error": exc.message}
-        except ReproError as exc:
-            status = _status_for(exc)
-            payload = {"error": str(exc), "kind": type(exc).__name__}
-            if status == 503:
-                self.stats.record_overload()
-            elif status == 504:
-                self.stats.record_deadline()
-        except Exception as exc:  # noqa: BLE001 - never kill the connection
+            try:
+                status, payload = await self._route(method, path, body)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except ReproError as exc:
+                status = _status_for(exc)
+                payload = {"error": str(exc), "kind": type(exc).__name__}
+                if status == 503:
+                    self.stats.record_overload()
+                elif status == 504:
+                    self.stats.record_deadline()
+            except Exception as exc:  # noqa: BLE001 - never kill the connection
+                _log.warning(
+                    "unhandled service error",
+                    extra={"data": {"request_id": request_id, "path": path,
+                                    "error": repr(exc)}},
+                )
+                status, payload = 500, {"error": "internal error"}
+            if trace is not None:
+                trace.finalize_batch_phases()
+                with trace.phase("respond"):
+                    keep_alive = await self._respond(
+                        writer, status, payload, request_id=request_id
+                    )
+            else:
+                keep_alive = await self._respond(
+                    writer, status, payload, request_id=request_id
+                )
+        finally:
+            if token is not None:
+                reset_current_trace(token)
+        elapsed = time.perf_counter() - started
+        device = trace.meta.get("device") if trace is not None else None
+        self.stats.record_request(endpoint, elapsed, status, device=device)
+        self._audit(
+            request_id, endpoint, method, path, status, elapsed, trace
+        )
+        return keep_alive
+
+    def _audit(
+        self,
+        request_id: str,
+        endpoint: str,
+        method: str,
+        path: str,
+        status: int,
+        elapsed: float,
+        trace: Optional[TraceContext],
+    ) -> None:
+        """Request-level accounting: audit line, slow log, trace counter."""
+        latency_ms = elapsed * 1000.0
+        slow = self.slow_ms is not None and latency_ms >= self.slow_ms
+        if slow:
+            self.stats.record_slow()
+        recorder = get_recorder()
+        if recorder.active and trace is not None:
+            recorder.count("service.traces")
+        if self.reqlog is not None:
+            record = {
+                "ts": round(time.time(), 3),
+                "request_id": request_id,
+                "endpoint": endpoint,
+                "method": method,
+                "path": path.split("?", 1)[0],
+                "status": status,
+                "latency_ms": round(latency_ms, 3),
+                "gallery_size": len(self.gallery),
+                "slow": slow,
+            }
+            if trace is not None:
+                timeline = trace.timeline()
+                record["device"] = trace.meta.get("device")
+                record["batch_ids"] = timeline["batch_ids"]
+                record["queue_wait_ms"] = timeline["queue_wait_ms"]
+                record["batch_wait_ms"] = timeline["batch_wait_ms"]
+                record["match_ms"] = timeline["match_ms"]
+                record["phases"] = timeline["phases"]
+            self.reqlog.write(record)
+        if slow:
             _log.warning(
-                "unhandled service error",
-                extra={"data": {"path": path, "error": repr(exc)}},
+                "slow request",
+                extra={"data": (
+                    trace.timeline() if trace is not None else {
+                        "request_id": request_id,
+                        "endpoint": endpoint,
+                        "total_ms": round(latency_ms, 3),
+                        "status": status,
+                    }
+                )},
             )
-            status, payload = 500, {"error": "internal error"}
-        self.stats.record_request(endpoint, time.perf_counter() - started, status)
-        return await self._respond(writer, status, payload)
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        request_id: Optional[str] = None,
     ) -> bool:
-        data = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Pre-rendered text body (the /metrics exposition).
+            data = payload.encode("utf-8")
+            content_type = EXPOSITION_CONTENT_TYPE
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        extra = ""
+        if request_id is not None:
+            extra += f"X-Request-ID: {request_id}\r\n"
+        if status == 503:
+            # Overload is transient by construction; tell well-behaved
+            # clients when to come back instead of letting them hammer.
+            extra += "Retry-After: 1\r\n"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Status')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: keep-alive\r\n\r\n"
         ).encode("latin-1")
         try:
@@ -326,6 +486,8 @@ class VerificationServer:
             return "healthz"
         if path == "/stats":
             return "stats"
+        if path == "/metrics":
+            return "metrics"
         if path == "/verify":
             return "verify"
         if path == "/identify":
@@ -336,12 +498,14 @@ class VerificationServer:
             return "delete" if method == "DELETE" else "enroll"
         return "unknown"
 
-    async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, dict]:
+    async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
         path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return 200, self._handle_healthz()
         if path == "/stats" and method == "GET":
             return 200, self._handle_stats()
+        if path == "/metrics" and method == "GET":
+            return 200, self._handle_metrics()
         if path == "/enroll" and method == "POST":
             return await self._handle_enroll(self._json_body(body))
         if path == "/verify" and method == "POST":
@@ -353,10 +517,15 @@ class VerificationServer:
             if len(parts) != 3:
                 raise _HttpError(400, "DELETE path must be /enroll/<device>/<identity>")
             _, device, identity = parts
-            self.gallery.delete(identity, device=device)
+            trace = current_trace()
+            if trace is not None:
+                trace.meta["device"] = device
+            with _phase("gallery"):
+                self.gallery.delete(identity, device=device)
             return 200, {"deleted": identity, "device": device}
         raise _HttpError(
-            405 if path in ("/enroll", "/verify", "/identify", "/healthz", "/stats")
+            405 if path in ("/enroll", "/verify", "/identify",
+                            "/healthz", "/stats", "/metrics")
             else 404,
             f"no route for {method} {path}",
         )
@@ -392,14 +561,27 @@ class VerificationServer:
         }
         payload["batching"]["queued_jobs"] = self.batcher.queue_depth
         payload["threshold"] = self.threshold
+        payload["tracing"] = self.tracing
         return payload
+
+    def _handle_metrics(self) -> str:
+        return render_exposition(
+            self.stats,
+            gallery_devices=self.gallery.stats().get("devices"),
+            queue_depth=self.batcher.queue_depth,
+        )
 
     async def _handle_enroll(self, payload: dict) -> Tuple[int, dict]:
         identity = self._required_str(payload, "identity")
         device = str(payload.get("device", "default"))
-        template = decode_template_field(payload)
+        trace = current_trace()
+        if trace is not None:
+            trace.meta["device"] = device
+        with _phase("parse"):
+            template = decode_template_field(payload)
         try:
-            record = self.gallery.enroll(identity, template, device=device)
+            with _phase("gallery"):
+                record = self.gallery.enroll(identity, template, device=device)
         except EnrollmentRejected as exc:
             self.stats.record_enroll_rejected()
             raise exc
@@ -414,9 +596,14 @@ class VerificationServer:
     async def _handle_verify(self, payload: dict) -> Tuple[int, dict]:
         identity = self._required_str(payload, "identity")
         device = str(payload.get("device", "default"))
-        probe = decode_template_field(payload)
+        trace = current_trace()
+        if trace is not None:
+            trace.meta["device"] = device
+        with _phase("parse"):
+            probe = decode_template_field(payload)
         threshold = self._threshold(payload)
-        record = self.gallery.get(identity, device=device)
+        with _phase("gallery"):
+            record = self.gallery.get(identity, device=device)
         scores = await self.batcher.score(
             [(probe, record.template)], timeout_s=self._timeout(payload)
         )
@@ -432,15 +619,20 @@ class VerificationServer:
         }
 
     async def _handle_identify(self, payload: dict) -> Tuple[int, dict]:
-        probe = decode_template_field(payload)
+        with _phase("parse"):
+            probe = decode_template_field(payload)
         device = payload.get("device")
         if device is not None:
             device = str(device)
+        trace = current_trace()
+        if trace is not None and device is not None:
+            trace.meta["device"] = device
         threshold = self._threshold(payload)
         max_candidates = payload.get("max_candidates", 10)
         if not isinstance(max_candidates, int) or max_candidates < 1:
             raise _HttpError(400, "max_candidates must be a positive integer")
-        candidates = self.gallery.candidates(device=device)
+        with _phase("gallery"):
+            candidates = self.gallery.candidates(device=device)
         identities = sorted(candidates)
         scores = await self.batcher.score(
             [(probe, candidates[identity]) for identity in identities],

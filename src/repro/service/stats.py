@@ -3,12 +3,25 @@
 The batch study gets a run manifest at the end; a server never ends, so
 it needs live introspection instead.  :class:`ServiceStats` is the
 server's always-on view: per-endpoint request counters, a sliding window
-of request latencies (exact p50/p95/p99 over the window), and the
-micro-batch size distribution.  ``GET /stats`` serializes a snapshot;
-the same events are mirrored into the process-wide telemetry recorder
-(``service.*`` counters and histograms) so a ``--manifest-out`` run
-additionally lands the service rollup in its run manifest, rendered by
-``repro stats``.
+of request latencies (exact p50/p95/p99 over the window), the
+micro-batch size distribution, and labeled cumulative histograms in the
+shape Prometheus expects (rendered by
+:func:`repro.service.metrics.render_exposition` behind ``GET
+/metrics``).  ``GET /stats`` serializes a snapshot; the same events are
+mirrored into the process-wide telemetry recorder (``service.*``
+counters and histograms) so a ``--manifest-out`` run additionally lands
+the service rollup in its run manifest, rendered by ``repro stats``.
+
+Probe traffic — ``healthz``, ``stats``, ``metrics``, the endpoints a
+monitoring loop hits every few seconds — is *counted* but excluded from
+every latency distribution: those requests answer in microseconds, and
+under scrape load they drag p50 toward zero and mask real matcher
+latency.  The request counters still include them, so traffic
+accounting stays exact.
+
+Mutations are lock-protected: most events arrive on the serving event
+loop, but the batcher's executor thread and any embedding code may
+record concurrently, and the windows must never tear.
 
 Latency distributions ride :class:`repro.stats.histogram.Histogram` —
 the same binned-distribution type the paper's figures use — so the
@@ -18,9 +31,10 @@ quantiles.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +46,22 @@ from ..stats.histogram import score_histogram
 LATENCY_WINDOW = 4096
 
 #: The endpoints the service tallies individually.
-ENDPOINTS = ("enroll", "verify", "identify", "delete", "healthz", "stats")
+ENDPOINTS = (
+    "enroll", "verify", "identify", "delete", "healthz", "stats", "metrics",
+)
+
+#: Monitoring endpoints excluded from the latency windows (still counted).
+PROBE_ENDPOINTS = frozenset({"healthz", "stats", "metrics"})
+
+#: Bucket upper bounds (seconds) for the Prometheus latency histograms.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Bucket upper bounds (jobs) for the batch-size / batch-requests
+#: histograms — powers of two up to the largest sane micro-batch.
+BATCH_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 def _quantiles(values: Deque[float]) -> Optional[Dict[str, float]]:
@@ -50,16 +79,50 @@ def _quantiles(values: Deque[float]) -> Optional[Dict[str, float]]:
     }
 
 
+class _CumulativeHistogram:
+    """A Prometheus-shaped histogram: count, sum, per-bucket tallies.
+
+    Buckets hold *non-cumulative* counts internally (cheap to update);
+    the exposition renderer accumulates them into the ``le`` form.
+    """
+
+    __slots__ = ("bounds", "count", "total", "buckets")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.count = 0
+        self.total = 0.0
+        self.buckets = [0] * (len(bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": list(self.buckets),
+            "bounds": list(self.bounds),
+        }
+
+
 class ServiceStats:
     """Live counters and distributions for one server process.
 
-    The server runs a single asyncio event loop, so mutation is
-    single-threaded; reads (the ``/stats`` handler) happen on the same
-    loop.  Everything is also mirrored into the telemetry recorder,
-    which is thread-safe and a no-op until telemetry is enabled.
+    Thread-safe: the serving event loop, the matcher executor thread,
+    and any embedding code can record concurrently.  Everything is also
+    mirrored into the telemetry recorder, which is itself thread-safe
+    and a no-op until telemetry is enabled.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.started_at = time.time()
         self.requests: Dict[str, int] = {name: 0 for name in ENDPOINTS}
         self.statuses: Dict[int, int] = {}
@@ -71,33 +134,64 @@ class ServiceStats:
         self.batches = 0
         self.batched_jobs = 0
         self.expired_jobs = 0
+        self.last_batch_id = 0
+        self.slow_requests = 0
         self._latencies: Dict[str, Deque[float]] = {
             name: deque(maxlen=LATENCY_WINDOW) for name in ENDPOINTS
         }
         self._batch_sizes: Deque[int] = deque(maxlen=LATENCY_WINDOW)
+        # Labeled (endpoint, device) latency histograms for /metrics.
+        self._latency_hist: Dict[Tuple[str, str], _CumulativeHistogram] = {}
+        self._queue_wait = _CumulativeHistogram(LATENCY_BUCKETS)
+        self._batch_size_hist = _CumulativeHistogram(BATCH_BUCKETS)
+        self._batch_requests_hist = _CumulativeHistogram(BATCH_BUCKETS)
 
     # ------------------------------------------------------------------
     # Event sinks
     # ------------------------------------------------------------------
-    def record_request(self, endpoint: str, seconds: float, status: int) -> None:
-        """Tally one finished HTTP request."""
-        if endpoint in self.requests:
-            self.requests[endpoint] += 1
-            self._latencies[endpoint].append(seconds)
-        self.statuses[status] = self.statuses.get(status, 0) + 1
+    def record_request(
+        self,
+        endpoint: str,
+        seconds: float,
+        status: int,
+        device: Optional[str] = None,
+        probe: Optional[bool] = None,
+    ) -> None:
+        """Tally one finished HTTP request.
+
+        ``probe`` marks monitoring traffic excluded from the latency
+        windows; when ``None`` it is inferred from the endpoint name.
+        """
+        if probe is None:
+            probe = endpoint in PROBE_ENDPOINTS
+        with self._lock:
+            if endpoint in self.requests:
+                self.requests[endpoint] += 1
+                if not probe:
+                    self._latencies[endpoint].append(seconds)
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if not probe:
+                key = (endpoint, device or "")
+                hist = self._latency_hist.get(key)
+                if hist is None:
+                    hist = _CumulativeHistogram(LATENCY_BUCKETS)
+                    self._latency_hist[key] = hist
+                hist.observe(seconds)
         recorder = get_recorder()
         if recorder.active:
             recorder.count("service.requests")
             recorder.count(f"service.requests.{endpoint}")
             recorder.count(f"service.status.{status}")
-            recorder.observe("service.latency_seconds", seconds)
+            if not probe:
+                recorder.observe("service.latency_seconds", seconds)
 
     def record_decision(self, accepted: bool) -> None:
         """Tally one verification decision."""
-        if accepted:
-            self.accepted += 1
-        else:
-            self.rejected += 1
+        with self._lock:
+            if accepted:
+                self.accepted += 1
+            else:
+                self.rejected += 1
         recorder = get_recorder()
         if recorder.active:
             recorder.count(
@@ -106,36 +200,66 @@ class ServiceStats:
 
     def record_enroll_rejected(self) -> None:
         """Tally one quality-gated enrollment rejection."""
-        self.enroll_rejected += 1
+        with self._lock:
+            self.enroll_rejected += 1
         get_recorder().count("service.enroll.rejected")
 
     def record_overload(self) -> None:
         """Tally one admission rejected on a full queue (HTTP 503)."""
-        self.overloads += 1
+        with self._lock:
+            self.overloads += 1
         get_recorder().count("service.overload")
 
     def record_deadline(self) -> None:
         """Tally one request that outlived its deadline (HTTP 504)."""
-        self.deadline_exceeded += 1
+        with self._lock:
+            self.deadline_exceeded += 1
         get_recorder().count("service.deadline_exceeded")
 
-    def record_batch(self, size: int, expired: int = 0) -> None:
+    def record_slow(self) -> None:
+        """Tally one request over the ``REPRO_SERVE_SLOW_MS`` threshold."""
+        with self._lock:
+            self.slow_requests += 1
+        get_recorder().count("service.slow_requests")
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """Tally one pair job's time in the admission queue."""
+        with self._lock:
+            self._queue_wait.observe(seconds)
+
+    def record_batch(
+        self,
+        size: int,
+        expired: int = 0,
+        requests: int = 0,
+        batch_id: Optional[int] = None,
+    ) -> None:
         """Tally one dispatched micro-batch of ``size`` comparisons.
 
+        ``requests`` is how many distinct in-flight requests the batch
+        coalesced (a verify contributes one job, an identify several).
         A batch whose jobs all expired in the queue dispatches nothing;
         its ``size`` arrives as 0 and only the expiry tally moves.
         """
-        if size:
-            self.batches += 1
-            self.batched_jobs += size
-            self._batch_sizes.append(size)
-        self.expired_jobs += expired
+        with self._lock:
+            if size:
+                self.batches += 1
+                self.batched_jobs += size
+                self._batch_sizes.append(size)
+                self._batch_size_hist.observe(float(size))
+                if requests:
+                    self._batch_requests_hist.observe(float(requests))
+            self.expired_jobs += expired
+            if batch_id is not None:
+                self.last_batch_id = max(self.last_batch_id, batch_id)
         recorder = get_recorder()
         if recorder.active:
             if size:
                 recorder.count("service.batches")
                 recorder.count("service.batched_jobs", size)
                 recorder.observe("service.batch_size", float(size))
+                if requests:
+                    recorder.observe("service.batch_requests", float(requests))
             if expired:
                 recorder.count("service.expired_jobs", expired)
 
@@ -144,28 +268,59 @@ class ServiceStats:
     # ------------------------------------------------------------------
     def max_batch_size(self) -> int:
         """Largest micro-batch observed in the window (0 before any)."""
-        return max(self._batch_sizes) if self._batch_sizes else 0
+        with self._lock:
+            return max(self._batch_sizes) if self._batch_sizes else 0
 
     def latency_snapshot(self) -> Dict[str, Dict[str, float]]:
         """Per-endpoint window quantiles (endpoints never hit are absent)."""
+        with self._lock:
+            windows = {
+                endpoint: deque(window)
+                for endpoint, window in self._latencies.items()
+            }
         out: Dict[str, Dict[str, float]] = {}
-        for endpoint, window in self._latencies.items():
+        for endpoint, window in windows.items():
             quantiles = _quantiles(window)
             if quantiles is not None:
                 out[endpoint] = quantiles
         return out
 
+    def labeled_latency(self) -> Dict[Tuple[str, str], dict]:
+        """Per-(endpoint, device) cumulative histograms for /metrics."""
+        with self._lock:
+            return {
+                key: hist.snapshot()
+                for key, hist in sorted(self._latency_hist.items())
+            }
+
+    def queue_wait_snapshot(self) -> dict:
+        """The admission-queue wait histogram for /metrics."""
+        with self._lock:
+            return self._queue_wait.snapshot()
+
+    def batch_histograms(self) -> Dict[str, dict]:
+        """Batch size / coalesced-request histograms for /metrics."""
+        with self._lock:
+            return {
+                "batch_size": self._batch_size_hist.snapshot(),
+                "batch_requests": self._batch_requests_hist.snapshot(),
+            }
+
     def batch_snapshot(self) -> dict:
         """Micro-batch distribution: totals plus a unit-binned histogram."""
-        sizes = list(self._batch_sizes)
+        with self._lock:
+            sizes = list(self._batch_sizes)
+            batches = self.batches
+            jobs = self.batched_jobs
+            expired = self.expired_jobs
+            last_id = self.last_batch_id
         payload = {
-            "batches": self.batches,
-            "jobs": self.batched_jobs,
-            "expired_jobs": self.expired_jobs,
-            "mean_size": (
-                round(self.batched_jobs / self.batches, 3) if self.batches else None
-            ),
-            "max_size": self.max_batch_size(),
+            "batches": batches,
+            "jobs": jobs,
+            "expired_jobs": expired,
+            "last_batch_id": last_id,
+            "mean_size": round(jobs / batches, 3) if batches else None,
+            "max_size": max(sizes) if sizes else 0,
         }
         if sizes:
             hist = score_histogram(sizes, bin_width=1.0, label="batch_size")
@@ -177,18 +332,34 @@ class ServiceStats:
 
     def snapshot(self) -> dict:
         """The full ``/stats`` payload (JSON-able)."""
+        with self._lock:
+            requests = dict(self.requests)
+            statuses = {str(k): v for k, v in sorted(self.statuses.items())}
+            decisions = {"accepted": self.accepted, "rejected": self.rejected}
+            enroll_rejected = self.enroll_rejected
+            overloads = self.overloads
+            deadline_exceeded = self.deadline_exceeded
+            slow = self.slow_requests
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
-            "requests": dict(self.requests),
-            "requests_total": int(sum(self.requests.values())),
-            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
-            "decisions": {"accepted": self.accepted, "rejected": self.rejected},
-            "enroll_rejected": self.enroll_rejected,
-            "overloads": self.overloads,
-            "deadline_exceeded": self.deadline_exceeded,
+            "requests": requests,
+            "requests_total": int(sum(requests.values())),
+            "statuses": statuses,
+            "decisions": decisions,
+            "enroll_rejected": enroll_rejected,
+            "overloads": overloads,
+            "deadline_exceeded": deadline_exceeded,
+            "slow_requests": slow,
             "latency": self.latency_snapshot(),
             "batching": self.batch_snapshot(),
         }
 
 
-__all__ = ["ServiceStats", "LATENCY_WINDOW", "ENDPOINTS"]
+__all__ = [
+    "ServiceStats",
+    "LATENCY_WINDOW",
+    "LATENCY_BUCKETS",
+    "BATCH_BUCKETS",
+    "ENDPOINTS",
+    "PROBE_ENDPOINTS",
+]

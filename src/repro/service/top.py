@@ -1,0 +1,175 @@
+"""`repro top`: a live terminal dashboard for one running server.
+
+Polls ``GET /stats`` (exact window quantiles, decision tallies) and
+``GET /metrics`` (cumulative counters, run through the strict
+exposition parser — every refresh doubles as a format check) and renders
+per-endpoint rates *between* consecutive samples: QPS, window p95,
+error rate, and the interval's mean micro-batch size.  Rendering is
+plain ANSI (cursor-home + clear-to-end), no curses, no dependencies.
+
+The arithmetic lives in pure functions (:func:`compute_deltas`,
+:func:`render_frame`) so the tests can drive them with synthetic
+samples; :func:`run_top` is the thin polling loop the CLI wraps.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional, TextIO
+
+from .client import ServiceClient
+from .metrics import parse_exposition, sample_value
+from .stats import ENDPOINTS, PROBE_ENDPOINTS
+
+#: Endpoints shown as dashboard rows (probe traffic stays off the board).
+DISPLAY_ENDPOINTS = tuple(e for e in ENDPOINTS if e not in PROBE_ENDPOINTS)
+
+_CLEAR = "\x1b[H\x1b[J"
+
+
+def take_sample(client: ServiceClient) -> dict:
+    """One observation of the server, normalized for delta arithmetic."""
+    stats = client.stats()
+    families = parse_exposition(client.metrics())
+    requests: Dict[str, float] = {}
+    for endpoint in ENDPOINTS:
+        value = sample_value(
+            families, "repro_requests_total", {"endpoint": endpoint}
+        )
+        if value is None:
+            value = float(stats["requests"].get(endpoint, 0))
+        requests[endpoint] = value
+    errors = sum(
+        count for status, count in stats["statuses"].items()
+        if int(status) >= 400
+    )
+    batching = stats["batching"]
+    return {
+        "time": time.monotonic(),
+        "requests": requests,
+        "total": float(sum(requests.values())),
+        "errors": float(errors),
+        "latency": stats.get("latency", {}),
+        "batches": float(batching["batches"]),
+        "jobs": float(batching["jobs"]),
+        "queued_jobs": batching.get("queued_jobs", 0),
+        "uptime_seconds": stats["uptime_seconds"],
+        "enrolled": stats.get("gallery", {}).get("enrolled", 0),
+        "overloads": stats["overloads"],
+        "deadline_exceeded": stats["deadline_exceeded"],
+        "slow_requests": stats.get("slow_requests", 0),
+    }
+
+
+def compute_deltas(prev: Optional[dict], cur: dict) -> dict:
+    """Interval rates between two samples (zeros on the first frame)."""
+    if prev is None:
+        dt = 0.0
+    else:
+        dt = max(1e-9, cur["time"] - prev["time"])
+
+    def rate(key: str, sub: Optional[str] = None) -> float:
+        if prev is None:
+            return 0.0
+        if sub is None:
+            return max(0.0, (cur[key] - prev[key]) / dt)
+        return max(0.0, (cur[key].get(sub, 0.0) - prev[key].get(sub, 0.0)) / dt)
+
+    per_endpoint = {}
+    for endpoint in DISPLAY_ENDPOINTS:
+        window = cur["latency"].get(endpoint)
+        per_endpoint[endpoint] = {
+            "qps": rate("requests", endpoint),
+            "p95_ms": window["p95_ms"] if window else None,
+        }
+    total_delta = 0.0 if prev is None else cur["total"] - prev["total"]
+    error_delta = 0.0 if prev is None else cur["errors"] - prev["errors"]
+    batch_delta = 0.0 if prev is None else cur["batches"] - prev["batches"]
+    job_delta = 0.0 if prev is None else cur["jobs"] - prev["jobs"]
+    return {
+        "interval_s": dt,
+        "endpoints": per_endpoint,
+        "qps": rate("total"),
+        "error_rate": (error_delta / total_delta) if total_delta > 0 else 0.0,
+        "mean_batch_size": (job_delta / batch_delta) if batch_delta > 0 else 0.0,
+    }
+
+
+def _fmt(value, width: int, digits: int = 1) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:.{digits}f}".rjust(width)
+
+
+def render_frame(sample: dict, deltas: dict, host: str, port: int) -> str:
+    """One dashboard frame as plain text (no escape codes)."""
+    lines = [
+        f"repro top — {host}:{port}   "
+        f"up {sample['uptime_seconds']:.0f}s   "
+        f"enrolled {sample['enrolled']}   "
+        f"queued {sample['queued_jobs']}",
+        f"interval {deltas['interval_s']:.1f}s   "
+        f"qps {deltas['qps']:.1f}   "
+        f"err {100.0 * deltas['error_rate']:.1f}%   "
+        f"batch {deltas['mean_batch_size']:.1f}   "
+        f"503 {sample['overloads']}   504 {sample['deadline_exceeded']}   "
+        f"slow {sample['slow_requests']}",
+        "",
+        f"{'endpoint':<10}{'qps':>8}{'p95_ms':>10}",
+    ]
+    for endpoint in DISPLAY_ENDPOINTS:
+        row = deltas["endpoints"][endpoint]
+        lines.append(
+            f"{endpoint:<10}"
+            f"{_fmt(row['qps'], 8)}"
+            f"{_fmt(row['p95_ms'], 10, 2)}"
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    out: Optional[TextIO] = None,
+    clear: bool = True,
+) -> int:
+    """Poll and redraw until interrupted (or for ``iterations`` frames).
+
+    Returns a process exit code: 0 on a clean exit (including Ctrl-C),
+    1 when the server could not be reached at all.
+    """
+    stream = out if out is not None else sys.stdout
+    prev: Optional[dict] = None
+    frames = 0
+    with ServiceClient(host, port) as client:
+        try:
+            while iterations is None or frames < iterations:
+                cur = take_sample(client)
+                frame = render_frame(cur, compute_deltas(prev, cur), host, port)
+                if clear:
+                    stream.write(_CLEAR)
+                stream.write(frame + "\n")
+                stream.flush()
+                prev = cur
+                frames += 1
+                if iterations is not None and frames >= iterations:
+                    break
+                time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0
+        except Exception as exc:  # noqa: BLE001 - surface, don't trace back
+            stream.write(f"repro top: {exc}\n")
+            return 1
+    return 0
+
+
+__all__ = [
+    "take_sample",
+    "compute_deltas",
+    "render_frame",
+    "run_top",
+    "DISPLAY_ENDPOINTS",
+]

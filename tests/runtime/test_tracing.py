@@ -1,0 +1,142 @@
+"""TraceContext: phase timing, batch aggregation, contextvar install."""
+
+import asyncio
+
+from repro.runtime.telemetry import (
+    TraceContext,
+    current_trace,
+    new_request_id,
+    reset_current_trace,
+    sanitize_request_id,
+    set_current_trace,
+    trace_request,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestRequestIds:
+    def test_new_ids_are_distinct_tokens(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        for rid in ids:
+            assert sanitize_request_id(rid) == rid
+
+    def test_sanitize_accepts_token_shapes(self):
+        assert sanitize_request_id("abc-123_DEF.9") == "abc-123_DEF.9"
+
+    def test_sanitize_rejects_garbage(self):
+        assert sanitize_request_id(None) is None
+        assert sanitize_request_id("") is None
+        assert sanitize_request_id("has space") is None
+        assert sanitize_request_id("newline\ninjection") is None
+        assert sanitize_request_id("x" * 200) is None
+
+
+class TestPhases:
+    def test_phase_context_manager_times_the_block(self):
+        clock = FakeClock()
+        trace = TraceContext(endpoint="verify", clock=clock)
+        with trace.phase("parse"):
+            clock.advance(0.010)
+        assert [p.name for p in trace.phases] == ["parse"]
+        assert trace.phases[0].seconds == 0.010
+
+    def test_phase_recorded_even_when_block_raises(self):
+        clock = FakeClock()
+        trace = TraceContext(clock=clock)
+        try:
+            with trace.phase("gallery"):
+                clock.advance(0.005)
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert [p.name for p in trace.phases] == ["gallery"]
+
+    def test_timeline_rounds_to_ms(self):
+        clock = FakeClock()
+        trace = TraceContext(request_id="abc", endpoint="verify", clock=clock)
+        trace.add_phase("parse", 0.0015)
+        clock.advance(0.1)
+        timeline = trace.timeline()
+        assert timeline["request_id"] == "abc"
+        assert timeline["endpoint"] == "verify"
+        assert timeline["total_ms"] == 100.0
+        assert timeline["phases"] == [{"name": "parse", "ms": 1.5}]
+
+
+class TestBatchAggregation:
+    def test_note_batch_aggregates_by_max(self):
+        trace = TraceContext()
+        trace.note_batch(3, queue_wait_s=0.002, batch_wait_s=0.001, match_s=0.010)
+        trace.note_batch(4, queue_wait_s=0.005, batch_wait_s=0.0005, match_s=0.008)
+        trace.note_batch(3, queue_wait_s=0.001, batch_wait_s=0.003, match_s=0.001)
+        assert trace.batch_ids == [3, 4]  # deduped, in arrival order
+        assert trace.queue_wait_s == 0.005
+        assert trace.batch_wait_s == 0.003
+        assert trace.match_s == 0.010
+
+    def test_finalize_appends_canonical_phases(self):
+        trace = TraceContext()
+        trace.add_phase("parse", 0.001)
+        trace.note_batch(1, 0.002, 0.003, 0.004)
+        trace.finalize_batch_phases()
+        assert [p.name for p in trace.phases] == [
+            "parse", "queue_wait", "batch_wait", "match",
+        ]
+
+    def test_finalize_without_batches_is_a_noop(self):
+        trace = TraceContext()
+        trace.add_phase("parse", 0.001)
+        trace.finalize_batch_phases()
+        assert [p.name for p in trace.phases] == ["parse"]
+
+
+class TestContextVar:
+    def test_install_and_reset(self):
+        assert current_trace() is None
+        trace = TraceContext()
+        token = set_current_trace(trace)
+        assert current_trace() is trace
+        reset_current_trace(token)
+        assert current_trace() is None
+
+    def test_trace_request_context_manager(self):
+        with trace_request(request_id="r1", endpoint="verify") as trace:
+            assert current_trace() is trace
+            assert trace.request_id == "r1"
+        assert current_trace() is None
+
+    def test_propagates_across_awaits_within_a_task(self):
+        async def helper():
+            await asyncio.sleep(0)
+            return current_trace()
+
+        async def request():
+            with trace_request(endpoint="identify") as trace:
+                seen = await helper()
+                return trace, seen
+
+        trace, seen = asyncio.run(request())
+        assert seen is trace
+
+    def test_concurrent_tasks_see_their_own_trace(self):
+        async def request(name):
+            with trace_request(request_id=name) as trace:
+                await asyncio.sleep(0.001)
+                assert current_trace() is trace
+                return current_trace().request_id
+
+        async def main():
+            return await asyncio.gather(*(request(f"r{i}") for i in range(8)))
+
+        assert asyncio.run(main()) == [f"r{i}" for i in range(8)]

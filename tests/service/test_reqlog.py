@@ -1,0 +1,129 @@
+"""RequestLog: JSONL append, size rotation, env config, slow threshold."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.reqlog import (
+    DEFAULT_MAX_BYTES,
+    RequestLog,
+    iter_reqlog,
+    slow_threshold_ms,
+)
+
+
+class TestWriting:
+    def test_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        with RequestLog(path) as log:
+            log.write({"request_id": "a", "status": 200})
+            log.write({"request_id": "b", "status": 404})
+        records = list(iter_reqlog(path))
+        assert [r["request_id"] for r in records] == ["a", "b"]
+        assert log.lines_written == 2
+
+    def test_lines_are_valid_standalone_json(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        with RequestLog(path) as log:
+            log.write({"nested": {"phases": [{"name": "parse", "ms": 1.0}]}})
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["nested"]["phases"][0]["name"] == "parse"
+
+    def test_parent_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "logs" / "req.jsonl"
+        with RequestLog(path) as log:
+            log.write({"ok": True})
+        assert path.exists()
+
+    def test_concurrent_writers_never_tear_lines(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        log = RequestLog(path)
+
+        def hammer(tag):
+            for i in range(50):
+                log.write({"tag": tag, "i": i})
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        records = list(iter_reqlog(path))
+        assert len(records) == 200  # every line parsed cleanly
+
+
+class TestRotation:
+    def test_rotates_past_max_bytes(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        log = RequestLog(path, max_bytes=2048)
+        for i in range(200):
+            log.write({"request_id": f"req-{i:04d}", "pad": "x" * 40})
+        log.close()
+        assert log.rotations >= 1
+        assert path.with_name("req.jsonl.1").exists()
+        # The live file stays under the cap.
+        assert path.stat().st_size <= 2048
+
+    def test_generations_shift_and_oldest_drops(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        log = RequestLog(path, max_bytes=1100, backups=2)
+        for i in range(400):
+            log.write({"i": i, "pad": "y" * 40})
+        log.close()
+        assert path.with_name("req.jsonl.1").exists()
+        assert path.with_name("req.jsonl.2").exists()
+        assert not path.with_name("req.jsonl.3").exists()
+
+    def test_latest_records_stay_in_live_file(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        log = RequestLog(path, max_bytes=1100)
+        for i in range(100):
+            log.write({"i": i, "pad": "z" * 40})
+        log.close()
+        live = list(iter_reqlog(path))
+        assert live and live[-1]["i"] == 99
+
+
+class TestConfig:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_REQLOG", raising=False)
+        assert RequestLog.from_environment() is None
+
+    def test_env_path_and_size(self, tmp_path, monkeypatch):
+        target = tmp_path / "audit.jsonl"
+        monkeypatch.setenv("REPRO_SERVE_REQLOG", str(target))
+        monkeypatch.setenv("REPRO_SERVE_REQLOG_BYTES", "4096")
+        log = RequestLog.from_environment()
+        assert log is not None
+        assert log.path == target
+        assert log._max_bytes == 4096
+        log.close()
+
+    def test_default_max_bytes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_REQLOG", str(tmp_path / "a.jsonl"))
+        monkeypatch.delenv("REPRO_SERVE_REQLOG_BYTES", raising=False)
+        log = RequestLog.from_environment()
+        assert log._max_bytes == DEFAULT_MAX_BYTES
+        log.close()
+
+    def test_slow_threshold_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_SLOW_MS", raising=False)
+        assert slow_threshold_ms() is None
+        monkeypatch.setenv("REPRO_SERVE_SLOW_MS", "250")
+        assert slow_threshold_ms() == 250.0
+        monkeypatch.setenv("REPRO_SERVE_SLOW_MS", "-1")
+        assert slow_threshold_ms() is None
+
+
+class TestIteration:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_reqlog(tmp_path / "absent.jsonl")) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "req.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert [r["a"] for r in iter_reqlog(path)] == [1, 2]

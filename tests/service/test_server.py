@@ -8,11 +8,13 @@ persistence.  ``port=0`` keeps every server on its own ephemeral port.
 import base64
 import concurrent.futures
 import json
+import socket
 
 import pytest
 
 from repro.service import (
     BatchingConfig,
+    EXPOSITION_CONTENT_TYPE,
     GalleryIndex,
     ServerStartupError,
     ServiceClient,
@@ -20,6 +22,8 @@ from repro.service import (
     ServiceRunner,
     VerificationServer,
     encode_template,
+    parse_exposition,
+    sample_value,
 )
 
 FINGER = "right_index"
@@ -186,6 +190,84 @@ class TestStatusCodes:
             second = ServiceRunner(_server(gallery, matcher, port=port))
             with pytest.raises(ServerStartupError):
                 second.start()
+
+    def test_malformed_request_line_gets_a_400_response(self, live):
+        host, port = live._host, live._port
+        with socket.create_connection((host, port), timeout=5) as raw:
+            raw.sendall(b"NONSENSE\r\n\r\n")
+            reply = raw.recv(4096).decode("latin-1")
+        assert reply.startswith("HTTP/1.1 400 ")
+        assert "X-Request-ID:" in reply
+
+
+class TestOverload:
+    def test_deterministic_503_with_retry_after(
+        self, tmp_path, tiny_collection, matcher
+    ):
+        gallery = GalleryIndex(tmp_path / "gallery")
+        server = _server(
+            gallery, matcher,
+            batching=BatchingConfig(queue_depth=1, max_wait_ms=0.0),
+        )
+        with ServiceRunner(server) as (host, port):
+            with ServiceClient(host, port) as client:
+                for sid in SUBJECTS:
+                    client.enroll(
+                        f"subject-{sid}",
+                        tiny_collection.get(sid, FINGER, "D0", 0).template,
+                        device="D0",
+                    )
+                # 3 candidates -> 3 pair jobs > queue_depth=1: refused.
+                with pytest.raises(ServiceClientError) as excinfo:
+                    client.identify(
+                        tiny_collection.get(0, FINGER, "D0", 1).template,
+                        device="D0",
+                    )
+                assert excinfo.value.status == 503
+                assert excinfo.value.retryable
+                assert client.last_headers.get("retry-after") == "1"
+                assert client.last_headers.get("x-request-id")
+                assert client.stats()["overloads"] >= 1
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_strictly(self, live, tiny_collection):
+        live.verify(
+            "subject-0",
+            tiny_collection.get(0, FINGER, "D0", 1).template,
+            device="D0",
+        )
+        text = live.metrics()
+        assert live.last_headers["content-type"] == EXPOSITION_CONTENT_TYPE
+        families = parse_exposition(text)
+        assert sample_value(
+            families, "repro_requests_total", {"endpoint": "verify"}
+        ) == 1
+        assert sample_value(
+            families, "repro_requests_total", {"endpoint": "enroll"}
+        ) == len(SUBJECTS)
+        assert sample_value(
+            families, "repro_gallery_enrolled", {"device": "D0"}
+        ) == len(SUBJECTS)
+        assert sample_value(families, "repro_batches_total") >= 1
+
+    def test_scraping_metrics_does_not_pollute_latency(self, live):
+        for _ in range(5):
+            live.metrics()
+            live.healthz()
+            live.stats()
+        stats = live.stats()
+        # Counted...
+        assert stats["requests"]["metrics"] == 5
+        # ...but never timed: the windows only hold real traffic.
+        assert "metrics" not in stats["latency"]
+        assert "healthz" not in stats["latency"]
+        assert "stats" not in stats["latency"]
+
+    def test_metrics_is_get_only(self, live):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request("POST", "/metrics")
+        assert excinfo.value.status == 405
 
 
 class TestQualityGate:

@@ -1,5 +1,7 @@
 """ServiceStats snapshots, telemetry mirroring, and the manifest rollup."""
 
+import threading
+
 import pytest
 
 from repro.runtime.manifest import RunManifest, render_manifest
@@ -8,7 +10,12 @@ from repro.runtime.telemetry import (
     get_recorder,
     set_recorder,
 )
-from repro.service.stats import ENDPOINTS, ServiceStats
+from repro.service.stats import (
+    ENDPOINTS,
+    LATENCY_WINDOW,
+    PROBE_ENDPOINTS,
+    ServiceStats,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -88,8 +95,94 @@ class TestCounters:
 
     def test_endpoints_cover_the_routing_table(self):
         assert set(ENDPOINTS) == {
-            "enroll", "verify", "identify", "delete", "healthz", "stats",
+            "enroll", "verify", "identify", "delete",
+            "healthz", "stats", "metrics",
         }
+
+
+class TestEdgeCases:
+    def test_empty_window_has_no_quantiles(self):
+        stats = ServiceStats()
+        assert stats.latency_snapshot() == {}
+        snap = stats.snapshot()
+        assert snap["latency"] == {}
+        assert snap["requests_total"] == 0
+
+    def test_window_rolls_over_at_latency_window(self):
+        stats = ServiceStats()
+        # Fill past the window with slow requests, then flood with fast
+        # ones: the slow ones must have fallen out entirely.
+        for _ in range(10):
+            stats.record_request("verify", 5.0, 200)
+        for _ in range(LATENCY_WINDOW):
+            stats.record_request("verify", 0.001, 200)
+        window = stats.latency_snapshot()["verify"]
+        assert window["count"] == LATENCY_WINDOW
+        assert window["max_ms"] == pytest.approx(1.0)
+        # Totals keep counting even though the window forgot.
+        assert stats.snapshot()["requests"]["verify"] == LATENCY_WINDOW + 10
+
+    def test_probe_endpoints_counted_but_not_timed(self):
+        stats = ServiceStats()
+        for endpoint in PROBE_ENDPOINTS:
+            stats.record_request(endpoint, 0.5, 200)
+        snap = stats.snapshot()
+        assert snap["requests_total"] == len(PROBE_ENDPOINTS)
+        assert snap["statuses"] == {"200": len(PROBE_ENDPOINTS)}
+        assert snap["latency"] == {}
+        assert stats.labeled_latency() == {}
+
+    def test_probe_override_flag_wins(self):
+        stats = ServiceStats()
+        stats.record_request("verify", 0.1, 200, probe=True)
+        assert stats.latency_snapshot() == {}
+        stats.record_request("healthz", 0.1, 200, probe=False)
+        assert "healthz" in stats.latency_snapshot()
+
+    def test_concurrent_recording_from_threads(self):
+        # The batcher's executor thread and the asyncio loop both record;
+        # totals must come out exact, not torn.
+        stats = ServiceStats()
+        per_thread = 500
+
+        def requests():
+            for _ in range(per_thread):
+                stats.record_request("verify", 0.002, 200)
+
+        def batches():
+            for i in range(per_thread):
+                stats.record_batch(2, requests=1, batch_id=i + 1)
+                stats.record_queue_wait(0.001)
+
+        threads = [
+            threading.Thread(target=requests),
+            threading.Thread(target=requests),
+            threading.Thread(target=batches),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = stats.snapshot()
+        assert snap["requests"]["verify"] == 2 * per_thread
+        assert snap["batching"]["batches"] == per_thread
+        assert snap["batching"]["jobs"] == 2 * per_thread
+        assert snap["batching"]["last_batch_id"] == per_thread
+        assert stats.queue_wait_snapshot()["count"] == per_thread
+        hist = stats.labeled_latency()[("verify", "")]
+        assert hist["count"] == 2 * per_thread
+
+    def test_slow_request_counter(self):
+        stats = ServiceStats()
+        stats.record_slow()
+        stats.record_slow()
+        assert stats.snapshot()["slow_requests"] == 2
+
+    def test_last_batch_id_is_monotonic(self):
+        stats = ServiceStats()
+        stats.record_batch(2, batch_id=5)
+        stats.record_batch(2, batch_id=3)  # late report never regresses it
+        assert stats.batch_snapshot()["last_batch_id"] == 5
 
 
 class TestTelemetryMirroring:
