@@ -80,10 +80,19 @@ from .core.habituation import (
     render_habituation,
 )
 from .core.identification import (
+    DEFAULT_CANDIDATE_K,
+    IDENTIFY_MODES,
+    SearchReport,
+    TwoStageIdentifier,
     cross_device_cmc,
     open_set_rates,
     rank_candidates,
     rank_candidates_scalar,
+)
+from .core.prefilter import (
+    DESCRIPTOR_DIM,
+    PrefilterIndex,
+    descriptor_vector,
 )
 from .core.kendall_analysis import (
     asymmetry_count,
@@ -410,6 +419,13 @@ __all__ = [
     "open_set_rates",
     "rank_candidates",
     "rank_candidates_scalar",
+    "DEFAULT_CANDIDATE_K",
+    "IDENTIFY_MODES",
+    "SearchReport",
+    "TwoStageIdentifier",
+    "DESCRIPTOR_DIM",
+    "PrefilterIndex",
+    "descriptor_vector",
     "control_by_presentation",
     "first_vs_last",
     "render_habituation",

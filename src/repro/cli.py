@@ -266,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-tracing", action="store_true",
                        help="disable per-request TraceContext propagation "
                             "(REPRO_SERVE_TRACING=0)")
+    serve.add_argument("--identify-mode", default=None,
+                       choices=("exact", "two_stage"),
+                       help="default /identify search path: exhaustive "
+                            "matcher or descriptor prefilter + rescoring "
+                            "(REPRO_IDENTIFY_MODE, else exact)")
+    serve.add_argument("--candidate-k", type=int, default=None,
+                       help="two-stage prefilter shortlist size "
+                            "(REPRO_IDENTIFY_CANDIDATES, else 32)")
 
     top = sub.add_parser(
         "top", help="live dashboard for a running repro serve instance"
@@ -735,6 +743,8 @@ def cmd_serve(args, out) -> int:
         reqlog=reqlog,
         tracing=False if args.no_tracing else None,
         slow_ms=args.slow_ms,
+        identify_mode=args.identify_mode,
+        candidate_k=args.candidate_k,
     )
 
     async def _run() -> None:
@@ -744,6 +754,7 @@ def cmd_serve(args, out) -> int:
             f"repro service listening on http://{host}:{port} "
             f"({len(gallery)} enrolled, threshold {server.threshold}, "
             f"batching {'on' if batching.enabled else 'off'}, "
+            f"identify {server.identify_mode}, "
             f"tracing {'on' if server.tracing else 'off'}"
             + (f", reqlog {server.reqlog.path}" if server.reqlog else "")
             + ")",

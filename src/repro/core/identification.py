@@ -6,6 +6,9 @@ US-VISIT motivation is an identification system.  This module provides
 the 1:N machinery over any gallery of templates:
 
 * :func:`rank_candidates` — score a probe against the whole gallery;
+* :class:`TwoStageIdentifier` — descriptor prefilter + exact rescoring,
+  the sub-linear search path for million-identity galleries (the
+  exhaustive :func:`rank_candidates` remains its recall oracle);
 * :class:`CmcCurve` — cumulative match characteristic: P(true identity
   within rank k), the standard closed-set identification measure;
 * :func:`open_set_rates` — FPIR/FNIR at a score threshold for open-set
@@ -18,6 +21,7 @@ accuracy*, not just verification FNMR.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,14 +29,30 @@ import numpy as np
 
 from ..matcher.types import Template
 from ..runtime.errors import ConfigurationError
+from .prefilter import PrefilterIndex, descriptor_vector
+
+#: Default prefilter survivor count for two-stage identification.  At
+#: paper-scale galleries the true mate essentially always lands in the
+#: first few descriptor neighbours; 32 leaves a wide recall margin while
+#: keeping the exact stage constant-time in the gallery size.
+DEFAULT_CANDIDATE_K = 32
+
+#: The valid values of the ``REPRO_IDENTIFY_MODE`` knob.
+IDENTIFY_MODES = ("exact", "two_stage")
 
 
 @dataclass(frozen=True)
 class Candidate:
-    """One gallery candidate in a ranked identification result."""
+    """One gallery candidate in a ranked identification result.
+
+    ``prefilter_rank`` is the candidate's 1-based position in the coarse
+    descriptor stage when the two-stage path produced it; ``None`` for
+    exhaustive search, where no prefilter ran.
+    """
 
     identity: str
     score: float
+    prefilter_rank: Optional[int] = None
 
 
 def rank_candidates(
@@ -93,6 +113,120 @@ def rank_candidates_scalar(
     ]
     scored.sort(key=lambda c: (-c.score, c.identity))
     return scored[:max_candidates] if max_candidates else scored
+
+
+@dataclass(frozen=True)
+class SearchReport:
+    """Provenance of one identification search (the ``search`` block).
+
+    Attributes
+    ----------
+    mode:
+        ``"exact"`` (exhaustive) or ``"two_stage"`` (prefiltered).
+    gallery_size:
+        Enrolled candidates the search logically covered.
+    candidates_scored:
+        How many of them the exact matcher actually scored — equals
+        ``gallery_size`` for exact mode, at most ``candidate_k`` for
+        two-stage.
+    candidate_k:
+        The prefilter survivor budget (``None`` in exact mode).
+    prefilter_seconds:
+        Wall time of the coarse stage (0.0 in exact mode).
+    """
+
+    mode: str
+    gallery_size: int
+    candidates_scored: int
+    candidate_k: Optional[int] = None
+    prefilter_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """The JSON-ready ``search`` block of an ``/identify`` response."""
+        return {
+            "mode": self.mode,
+            "gallery_size": self.gallery_size,
+            "candidates_scored": self.candidates_scored,
+            "candidate_k": self.candidate_k,
+            "prefilter_seconds": round(self.prefilter_seconds, 6),
+        }
+
+
+class TwoStageIdentifier:
+    """Two-stage 1:N search over a fixed gallery dictionary.
+
+    Builds a :class:`~repro.core.prefilter.PrefilterIndex` over the
+    gallery once; each :meth:`identify` then runs a vectorized
+    descriptor top-K pass and hands only the K survivors to the exact
+    matcher.  Against the same gallery, the exact stage's scores are
+    bit-identical to :func:`rank_candidates` — the two paths call the
+    same matcher entry point on the same templates — so two-stage top-1
+    differs from exhaustive top-1 only when the prefilter drops the true
+    best candidate (the recall the benchmark measures).
+
+    The online serving layer keeps its own incrementally-maintained
+    per-device indexes (:class:`repro.service.gallery.GalleryIndex`);
+    this class is the batch/benchmark harness over a plain dict.
+    """
+
+    def __init__(
+        self,
+        matcher,
+        gallery: Dict[str, Template],
+        candidate_k: int = DEFAULT_CANDIDATE_K,
+    ) -> None:
+        if candidate_k < 1:
+            raise ConfigurationError(
+                f"candidate_k must be >= 1, got {candidate_k}"
+            )
+        self._matcher = matcher
+        self._gallery = dict(gallery)
+        self._candidate_k = candidate_k
+        self._index = PrefilterIndex.from_items(
+            {key: descriptor_vector(t) for key, t in self._gallery.items()}
+        )
+
+    @property
+    def candidate_k(self) -> int:
+        return self._candidate_k
+
+    def __len__(self) -> int:
+        return len(self._gallery)
+
+    def identify(
+        self,
+        probe: Template,
+        max_candidates: Optional[int] = None,
+        candidate_k: Optional[int] = None,
+    ) -> Tuple[List[Candidate], SearchReport]:
+        """Ranked candidates plus the search's provenance report."""
+        k = candidate_k if candidate_k is not None else self._candidate_k
+        if k < 1:
+            raise ConfigurationError(f"candidate_k must be >= 1, got {k}")
+        started = time.perf_counter()
+        survivors = self._index.top_k(descriptor_vector(probe), k)
+        prefilter_seconds = time.perf_counter() - started
+        ranks = {c.key: c.rank for c in survivors}
+        shortlist = {c.key: self._gallery[c.key] for c in survivors}
+        scored = rank_candidates(self._matcher, probe, shortlist)
+        candidates = [
+            Candidate(
+                identity=c.identity,
+                score=c.score,
+                prefilter_rank=ranks[c.identity],
+            )
+            for c in scored
+        ]
+        if max_candidates:
+            candidates = candidates[:max_candidates]
+        report = SearchReport(
+            mode="two_stage",
+            gallery_size=len(self._gallery),
+            candidates_scored=len(shortlist),
+            candidate_k=k,
+            prefilter_seconds=prefilter_seconds,
+        )
+        return candidates, report
 
 
 def identification_rank(candidates: Sequence[Candidate], true_identity: str) -> int:
@@ -254,6 +388,10 @@ def cross_device_cmc(
 
 __all__ = [
     "Candidate",
+    "DEFAULT_CANDIDATE_K",
+    "IDENTIFY_MODES",
+    "SearchReport",
+    "TwoStageIdentifier",
     "rank_candidates",
     "rank_candidates_scalar",
     "identification_rank",

@@ -1,0 +1,335 @@
+"""Fixed-length template descriptors and the top-K prefilter index.
+
+The exact minutiae matcher is O(gallery) in the most expensive kernel:
+every ``/identify`` pays one full alignment-and-pairing run per enrolled
+template.  That cannot survive the million-identity north star.  This
+module provides the coarse first stage of a two-stage search: a cheap,
+fixed-length **descriptor vector** per template, plus a
+:class:`PrefilterIndex` holding all gallery descriptors in one
+contiguous matrix so a probe's top-K nearest candidates fall out of a
+single vectorized numpy pass.  Only the K survivors are handed to the
+exact matcher; the exhaustive path remains the recall oracle
+(:func:`repro.core.identification.rank_candidates`).
+
+The descriptor is a *bag of local structures*: a joint soft histogram
+over the rotation- and translation-invariant neighbourhood entries the
+exact matcher itself computes (:func:`repro.matcher.descriptors.
+build_descriptors` — per-minutia (distance, azimuth, relative-angle)
+triples in the Jiang & Yau local frame), concatenated with the
+NFIQ-style scalar evidence from
+:func:`repro.quality.nfiq.template_quality_features` (minutiae count,
+contact area, quality statistics) and a nearest-neighbour
+ridge-spacing summary.  Pose invariance is the decisive property: two
+impressions of one finger differ by a global rotation/translation that
+absolute-coordinate features cannot survive, while the local-frame
+entries move only with capture jitter.
+
+Design constraints, in order:
+
+* **Deterministic** — the same template always produces the same
+  vector (the gallery persists descriptors, so drift would poison the
+  index; :data:`DESCRIPTOR_VERSION` guards format changes).
+* **Smooth** — trilinear/circular soft binning everywhere, so the
+  jitter between two impressions of one finger moves mass between
+  adjacent bins instead of teleporting it; the mate's descriptor stays
+  near the enrollment's.
+* **Cheap** — pure numpy on arrays the template already exposes;
+  building a descriptor costs well under a millisecond, searching 100k
+  of them costs milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..matcher.descriptors import build_descriptors
+from ..matcher.types import Template
+from ..quality.nfiq import quality_utility, template_quality_features
+from ..runtime.errors import ConfigurationError
+
+#: Bump when the descriptor layout or weighting changes; persisted
+#: descriptors with another version are recomputed, never compared.
+DESCRIPTOR_VERSION = 1
+
+#: Joint structure-histogram resolution: distance x azimuth x relative.
+_DIST_BINS = 8
+_AZIMUTH_BINS = 8
+_RELATIVE_BINS = 8
+
+#: Neighbour distances beyond this are clamped into the last bin (mm).
+_DIST_RANGE_MM = 10.0
+
+#: Vector layout: structure histogram, count, bifurcation fraction,
+#: quality mean/std, neighbour-spacing mean/std, contact area, NFIQ
+#: utility.
+_BAG_DIM = _DIST_BINS * _AZIMUTH_BINS * _RELATIVE_BINS
+DESCRIPTOR_DIM = _BAG_DIM + 1 + 1 + 2 + 2 + 1 + 1
+
+#: Per-block weights: the pose-invariant structure histogram carries
+#: nearly all of the identity signal; the scalar statistics only refine
+#: the ordering between structurally similar templates, and are kept
+#: deliberately light because count/quality/contact evidence shifts
+#: systematically between capture devices.
+_WEIGHTS = np.concatenate([
+    np.full(_BAG_DIM, 3.0),                 # bag of local structures
+    [0.3],                                  # minutiae count (squashed)
+    [0.15],                                 # bifurcation fraction
+    [0.15, 0.075],                          # minutia quality mean/std
+    [0.15, 0.075],                          # ridge-spacing proxy mean/std
+    [0.09],                                 # contact area fraction
+    [0.09],                                 # NFIQ utility
+])
+assert _WEIGHTS.shape == (DESCRIPTOR_DIM,)
+
+
+def _axis_parts(scaled: np.ndarray, bins: int, wrap: bool):
+    """Soft-binning halves for one histogram axis.
+
+    ``scaled`` is the bin-center coordinate (value already mapped onto
+    [-0.5, bins - 0.5]); each sample splits its mass between the two
+    surrounding bins.  Circular axes wrap, linear axes clamp at the
+    edges.
+    """
+    low = np.floor(scaled).astype(np.int64)
+    frac = scaled - low
+    if wrap:
+        return ((np.mod(low, bins), 1.0 - frac), (np.mod(low + 1, bins), frac))
+    return (
+        (np.clip(low, 0, bins - 1), 1.0 - frac),
+        (np.clip(low + 1, 0, bins - 1), frac),
+    )
+
+
+def _structure_histogram(template: Template) -> np.ndarray:
+    """The bag of local structures: a joint soft 3D histogram.
+
+    Pools every finite neighbourhood entry the exact matcher's
+    Jiang & Yau descriptor builder produces — (distance, azimuth,
+    relative-angle) triples expressed in each minutia's own frame, hence
+    invariant to the global pose difference between two captures — into
+    one trilinearly soft-binned histogram, normalized by entry count.
+    """
+    entries = build_descriptors(template).entries.reshape(-1, 3)
+    entries = entries[np.isfinite(entries[:, 0])]
+    hist = np.zeros((_DIST_BINS, _AZIMUTH_BINS, _RELATIVE_BINS), dtype=np.float64)
+    if len(entries) == 0:
+        return hist.ravel()
+    dist = np.clip(entries[:, 0] / _DIST_RANGE_MM, 0.0, 1.0 - 1e-9) * _DIST_BINS - 0.5
+    azimuth = (entries[:, 1] + np.pi) / (2.0 * np.pi) * _AZIMUTH_BINS - 0.5
+    relative = (entries[:, 2] + np.pi) / (2.0 * np.pi) * _RELATIVE_BINS - 0.5
+    for d_idx, d_wgt in _axis_parts(dist, _DIST_BINS, wrap=False):
+        for a_idx, a_wgt in _axis_parts(azimuth, _AZIMUTH_BINS, wrap=True):
+            for r_idx, r_wgt in _axis_parts(relative, _RELATIVE_BINS, wrap=True):
+                np.add.at(hist, (d_idx, a_idx, r_idx), d_wgt * a_wgt * r_wgt)
+    return hist.ravel() / len(entries)
+
+
+def _spacing_stats(positions_mm: np.ndarray) -> Tuple[float, float]:
+    """Mean/std of each minutia's nearest-neighbour distance (mm).
+
+    The ridge-count proxy: minutiae sit on ridges, so their typical
+    spacing tracks local ridge period — without any image in sight.
+    Distances are squashed through ``tanh(d / 2 mm)`` onto [0, 1].
+    """
+    n = len(positions_mm)
+    if n < 2:
+        return 0.0, 0.0
+    deltas = positions_mm[:, None, :] - positions_mm[None, :, :]
+    dist = np.sqrt((deltas ** 2).sum(axis=2))
+    np.fill_diagonal(dist, np.inf)
+    nearest = np.tanh(dist.min(axis=1) / 2.0)
+    return float(nearest.mean()), float(nearest.std())
+
+
+def descriptor_vector(template: Template) -> np.ndarray:
+    """The fixed-length prefilter descriptor of one template.
+
+    A weighted float64 vector of length :data:`DESCRIPTOR_DIM`; Euclidean
+    distance between two vectors is the prefilter's coarse dissimilarity.
+    Deterministic: depends only on the template's minutiae and frame.
+    """
+    n = len(template)
+    features = template_quality_features(template)
+    if n:
+        qualities = template.qualities().astype(np.float64) / 100.0
+        quality_mean = float(qualities.mean())
+        quality_std = float(qualities.std())
+        bif_fraction = float((template.kinds() == 2).mean())
+        spacing_mean, spacing_std = _spacing_stats(template.positions_mm())
+    else:
+        quality_mean = quality_std = bif_fraction = 0.0
+        spacing_mean = spacing_std = 0.0
+    raw = np.concatenate([
+        _structure_histogram(template),
+        [np.tanh(n / 60.0)],
+        [bif_fraction],
+        [quality_mean, quality_std],
+        [spacing_mean, spacing_std],
+        [features.contact_area_fraction],
+        [quality_utility(features)],
+    ])
+    return raw * _WEIGHTS
+
+
+@dataclass(frozen=True)
+class PrefilterCandidate:
+    """One survivor of the coarse stage: key, distance, 1-based rank."""
+
+    key: str
+    distance: float
+    rank: int
+
+
+class PrefilterIndex:
+    """A contiguous matrix of descriptors supporting vectorized top-K.
+
+    Keys are arbitrary strings (the gallery uses identities).  ``add``
+    replaces an existing key's row in place; ``remove`` swaps the last
+    row into the hole, so the matrix stays contiguous without shifting —
+    enroll and delete are both O(1) row operations (amortized: the
+    backing array doubles when full).
+
+    ``top_k`` computes all squared Euclidean distances in one numpy
+    pass, selects K via ``argpartition``, and breaks distance ties by
+    key so the candidate order is deterministic.
+    """
+
+    def __init__(self, dim: int = DESCRIPTOR_DIM) -> None:
+        if dim < 1:
+            raise ConfigurationError(f"descriptor dim must be >= 1, got {dim}")
+        self._dim = dim
+        self._keys: List[str] = []
+        self._pos: Dict[str, int] = {}
+        self._matrix = np.empty((0, dim), dtype=np.float64)
+
+    @classmethod
+    def from_items(
+        cls, items: Dict[str, np.ndarray], dim: int = DESCRIPTOR_DIM
+    ) -> "PrefilterIndex":
+        """Bulk-build an index from ``{key: descriptor}``."""
+        index = cls(dim=dim)
+        if not items:
+            return index
+        index._keys = list(items)
+        index._pos = {key: i for i, key in enumerate(index._keys)}
+        index._matrix = np.ascontiguousarray(
+            np.stack([np.asarray(items[key], dtype=np.float64) for key in index._keys])
+        )
+        if index._matrix.shape[1] != dim:
+            raise ConfigurationError(
+                f"descriptors have dim {index._matrix.shape[1]}, index wants {dim}"
+            )
+        return index
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._pos
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def keys(self) -> List[str]:
+        """Row-ordered keys (parallel to :meth:`matrix` rows)."""
+        return list(self._keys)
+
+    def matrix(self) -> np.ndarray:
+        """The (n, dim) descriptor matrix — a contiguous copy."""
+        return np.ascontiguousarray(self._matrix[: len(self._keys)])
+
+    def _check(self, vector: np.ndarray) -> np.ndarray:
+        arr = np.asarray(vector, dtype=np.float64).ravel()
+        if arr.shape != (self._dim,):
+            raise ConfigurationError(
+                f"descriptor must have shape ({self._dim},), got {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ConfigurationError("descriptor contains non-finite values")
+        return arr
+
+    def add(self, key: str, vector: np.ndarray) -> None:
+        """Insert (or replace) one descriptor row."""
+        arr = self._check(vector)
+        slot = self._pos.get(key)
+        if slot is not None:
+            self._matrix[slot] = arr
+            return
+        n = len(self._keys)
+        if n == self._matrix.shape[0]:
+            grown = np.empty(
+                (max(8, 2 * self._matrix.shape[0]), self._dim), dtype=np.float64
+            )
+            grown[:n] = self._matrix[:n]
+            self._matrix = grown
+        self._matrix[n] = arr
+        self._pos[key] = n
+        self._keys.append(key)
+
+    def remove(self, key: str) -> None:
+        """Drop one key (swap-with-last keeps the matrix contiguous)."""
+        slot = self._pos.pop(key, None)
+        if slot is None:
+            raise ConfigurationError(f"prefilter index has no key {key!r}")
+        last = len(self._keys) - 1
+        if slot != last:
+            self._keys[slot] = self._keys[last]
+            self._matrix[slot] = self._matrix[last]
+            self._pos[self._keys[slot]] = slot
+        self._keys.pop()
+
+    def top_k(self, vector: np.ndarray, k: int) -> List[PrefilterCandidate]:
+        """The K nearest keys by Euclidean distance, nearest first."""
+        if k < 1:
+            raise ConfigurationError(f"top_k needs k >= 1, got {k}")
+        n = len(self._keys)
+        if n == 0:
+            return []
+        probe = self._check(vector)
+        live = self._matrix[:n]
+        deltas = live - probe[None, :]
+        sq = np.einsum("ij,ij->i", deltas, deltas)
+        k = min(k, n)
+        if k < n:
+            chosen = np.argpartition(sq, k - 1)[:k]
+        else:
+            chosen = np.arange(n)
+        order = sorted(
+            (float(np.sqrt(sq[i])), self._keys[i]) for i in chosen
+        )
+        return [
+            PrefilterCandidate(key=key, distance=distance, rank=rank)
+            for rank, (distance, key) in enumerate(order, start=1)
+        ]
+
+
+def merge_shard_candidates(
+    shards: Sequence[Sequence[PrefilterCandidate]], k: int
+) -> List[PrefilterCandidate]:
+    """Merge per-shard top-K lists into one global top-K (re-ranked).
+
+    Exact for any metric: the global K nearest are each within their own
+    shard's K nearest, so taking every shard's local top-K and re-sorting
+    loses nothing.
+    """
+    pooled = sorted(
+        ((c.distance, c.key) for shard in shards for c in shard),
+    )[:k]
+    return [
+        PrefilterCandidate(key=key, distance=distance, rank=rank)
+        for rank, (distance, key) in enumerate(pooled, start=1)
+    ]
+
+
+__all__ = [
+    "DESCRIPTOR_DIM",
+    "DESCRIPTOR_VERSION",
+    "descriptor_vector",
+    "PrefilterCandidate",
+    "PrefilterIndex",
+    "merge_shard_candidates",
+]

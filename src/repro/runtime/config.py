@@ -53,6 +53,17 @@ def env_int(name: str) -> Optional[int]:
         ) from exc
 
 
+def env_str(name: str) -> Optional[str]:
+    """String value of environment variable ``name``.
+
+    Unset and set-but-empty both read as ``None``, so ``FOO= repro
+    serve`` behaves like an unset knob rather than smuggling an empty
+    value past validation.
+    """
+    raw = os.environ.get(name)
+    return raw if raw else None
+
+
 def env_float(name: str) -> Optional[float]:
     """Float value of environment variable ``name`` (``None`` if unset)."""
     raw = os.environ.get(name)
@@ -279,6 +290,7 @@ __all__ = [
     "resolve_worker_count",
     "env_int",
     "env_float",
+    "env_str",
     "PAPER_SUBJECT_COUNT",
     "PAPER_DMI_BUDGET",
     "PAPER_DDMI_BUDGET",

@@ -219,6 +219,32 @@ def _service_stats(snapshot: dict) -> dict:
         "mean_batch_size": round(jobs / batches, 3) if batches else None,
         "max_batch_size": int(batch.get("max", 0) or 0),
         "mean_latency_ms": mean_latency_ms,
+        "index": _index_stats(snapshot),
+    }
+
+
+def _index_stats(snapshot: dict) -> dict:
+    """Two-stage ``/identify`` rollup: prefilter index activity.
+
+    ``searches`` tallies ``/identify`` calls per recall mode,
+    ``candidates_scored`` the exact comparisons those searches spent,
+    and ``prefilter_seconds_total`` the wall time spent inside the
+    descriptor top-K scan (two-stage searches only) — enough for the
+    smoke check to assert that the index actually prefiltered.
+    """
+    counters = snapshot["counters"]
+    prefilter = snapshot["histograms"].get("index.prefilter_seconds") or {}
+    prefix = "index.recall_mode."
+    searches = {
+        name[len(prefix):]: count
+        for name, count in sorted(counters.items())
+        if name.startswith(prefix)
+    }
+    return {
+        "searches": searches,
+        "candidates_scored": counters.get("index.candidates", 0),
+        "prefilter_searches": prefilter.get("count", 0),
+        "prefilter_seconds_total": round(prefilter.get("sum", 0.0), 6),
     }
 
 
@@ -431,6 +457,17 @@ def render_manifest(manifest: RunManifest) -> str:
             f"{svc.get('deadline_exceeded', 0)} deadline-exceeded, "
             f"mean latency {latency_text}"
         )
+        index = svc.get("index") or {}
+        if index.get("searches"):
+            modes = ", ".join(
+                f"{count} {mode}"
+                for mode, count in sorted(index["searches"].items())
+            )
+            lines.append(
+                f"  index: {modes} searches, "
+                f"{index.get('candidates_scored', 0)} candidates scored, "
+                f"prefilter {index.get('prefilter_seconds_total', 0.0):g}s total"
+            )
         trace = manifest.trace or {}
         if trace.get("requests_traced"):
             def _ms(key: str) -> str:

@@ -367,8 +367,9 @@ class TraceContext:
     including :meth:`~repro.service.batching.MicroBatcher.score` — can
     reach it without plumbing, and serialized into the request audit log
     when the response goes out.  Phases appear in completion order; the
-    canonical lifecycle is ``parse → gallery → queue_wait → batch_wait →
-    match → respond``.
+    canonical lifecycle is ``parse → gallery → [prefilter →] queue_wait
+    → batch_wait → match → respond`` (``prefilter`` only appears on
+    two-stage ``/identify`` requests, timing the descriptor top-K scan).
 
     The micro-batch collector annotates the trace from the event loop
     via :meth:`note_batch` (which batch carried each comparison, how

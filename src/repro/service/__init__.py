@@ -7,11 +7,14 @@ fingers are enrolled once and verified or identified later, possibly
 from a different device:
 
 * :mod:`repro.service.gallery` — persistent, device-aware index of
-  enrolled templates with an NFIQ quality gate;
+  enrolled templates with an NFIQ quality gate and per-shard
+  descriptor matrices for the two-stage ``/identify`` prefilter;
 * :mod:`repro.service.batching` — admission queue that coalesces
   concurrent comparisons into batched matcher dispatches;
-* :mod:`repro.service.server` — stdlib-asyncio HTTP server
-  (``/enroll``, ``/verify``, ``/identify``, ``/healthz``, ``/stats``);
+* :mod:`repro.service.server` — stdlib-asyncio HTTP server speaking
+  the versioned ``/v1`` API (``/v1/enroll``, ``/v1/verify``,
+  ``/v1/identify``, ``/v1/healthz``, ``/v1/stats``; legacy unversioned
+  paths answer with a ``Deprecation`` header);
 * :mod:`repro.service.client` — blocking client for tests, smoke
   checks, and the load benchmark;
 * :mod:`repro.service.stats` — live request/latency/batch-size
@@ -37,7 +40,12 @@ from .batching import (
     MicroBatcher,
     ServiceOverloadError,
 )
-from .client import ServiceClient, ServiceClientError, encode_template
+from .client import (
+    RETRYABLE_STATUSES,
+    ServiceClient,
+    ServiceClientError,
+    encode_template,
+)
 from .gallery import (
     DEFAULT_MAX_NFIQ_LEVEL,
     EnrollmentRejected,
@@ -61,6 +69,7 @@ from .server import (
     VerificationServer,
     decode_template_field,
 )
+from ..core.identification import DEFAULT_CANDIDATE_K, IDENTIFY_MODES
 from .stats import ServiceStats
 from .top import run_top
 
@@ -83,6 +92,9 @@ __all__ = [
     "ServiceRunner",
     "decode_template_field",
     "DEFAULT_THRESHOLD",
+    "DEFAULT_CANDIDATE_K",
+    "IDENTIFY_MODES",
+    "RETRYABLE_STATUSES",
     "ServiceStats",
     "EXPOSITION_CONTENT_TYPE",
     "ExpositionParseError",

@@ -7,11 +7,19 @@ async stack.  Templates are serialized to base64 ANSI/INCITS 378 on the
 way out, mirroring :func:`repro.service.server.decode_template_field`
 on the way in.
 
-Error responses come back as :class:`ServiceClientError` carrying the
-HTTP status and the server's error payload, so callers can assert on
-exact status codes (the smoke test does) or branch on
-``retryable`` (503/504 — the transient statuses — line up with the
-study's :class:`~repro.runtime.errors.TransientError` taxonomy).
+The client speaks the versioned ``/v1`` API by default; pass
+``api_base=""`` to exercise the deprecated unversioned paths (the
+deprecation tests do).  Error responses come back as
+:class:`ServiceClientError` carrying the HTTP status and the server's
+error envelope — ``code``/``message``/``request_id`` are exposed as
+properties — so callers can assert on exact status codes (the smoke
+test does) or branch on ``retryable`` (503/504 — the transient
+statuses — line up with the study's
+:class:`~repro.runtime.errors.TransientError` taxonomy).  A 503's
+``Retry-After`` header is honored when backing off —
+:meth:`ServiceClient.retry_delay` surfaces it, and
+:meth:`ServiceClient.wait_until_healthy` sleeps by it instead of a
+fixed interval.
 
 Every request carries a generated ``X-Request-ID``, and the id the
 server echoes back is kept on :attr:`ServiceClient.last_request_id`
@@ -38,14 +46,53 @@ RETRYABLE_STATUSES = frozenset({503, 504})
 
 
 class ServiceClientError(ReproError):
-    """The server answered with an error status."""
+    """The server answered with an error status.
+
+    ``payload`` is the parsed response body.  The v1 API wraps every
+    failure in one envelope — ``{"error": {"code", "message",
+    "request_id", ...}}`` — surfaced here through the :attr:`code`,
+    :attr:`error_message`, :attr:`request_id` and :attr:`kind`
+    properties; legacy flat bodies (``{"error": "..."}``) degrade to
+    ``None`` codes rather than raising.
+    """
 
     def __init__(self, status: int, payload: dict) -> None:
+        error = payload.get("error") if isinstance(payload, dict) else None
+        detail = error.get("message") if isinstance(error, dict) else error
         super().__init__(
-            f"service returned HTTP {status}: {payload.get('error', payload)}"
+            f"service returned HTTP {status}: {detail if detail is not None else payload}"
         )
         self.status = status
         self.payload = payload
+
+    @property
+    def _envelope(self) -> dict:
+        error = self.payload.get("error") if isinstance(self.payload, dict) else None
+        return error if isinstance(error, dict) else {}
+
+    @property
+    def code(self) -> Optional[str]:
+        """The envelope's machine-readable error slug."""
+        return self._envelope.get("code")
+
+    @property
+    def error_message(self) -> Optional[str]:
+        """The envelope's human-readable message."""
+        envelope = self._envelope
+        if envelope:
+            return envelope.get("message")
+        error = self.payload.get("error") if isinstance(self.payload, dict) else None
+        return error if isinstance(error, str) else None
+
+    @property
+    def request_id(self) -> Optional[str]:
+        """The request id the server stamped on the failure."""
+        return self._envelope.get("request_id")
+
+    @property
+    def kind(self) -> Optional[str]:
+        """The library exception class named by the envelope, if any."""
+        return self._envelope.get("kind")
 
     @property
     def retryable(self) -> bool:
@@ -66,10 +113,19 @@ class ServiceClient:
     worker thread its own.
     """
 
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        api_base: str = "/v1",
+    ) -> None:
         self._host = host
         self._port = port
         self._timeout_s = timeout_s
+        #: Path prefix for every endpoint; "" targets the deprecated
+        #: unversioned surface.
+        self.api_base = api_base.rstrip("/")
         self._connection: Optional[http.client.HTTPConnection] = None
         #: Request id echoed by the server on the last response (the id
         #: this client sent, unless a proxy rewrote it).
@@ -135,20 +191,24 @@ class ServiceClient:
             raise ServiceClientError(status, data)
         return data
 
+    def _path(self, endpoint: str) -> str:
+        """An endpoint path under the client's API base."""
+        return f"{self.api_base}{endpoint}"
+
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
         """Liveness probe."""
-        return self._request("GET", "/healthz")
+        return self._request("GET", self._path("/healthz"))
 
     def stats(self) -> dict:
         """The server's live counters and distributions."""
-        return self._request("GET", "/stats")
+        return self._request("GET", self._path("/stats"))
 
     def metrics(self) -> str:
         """The raw Prometheus text exposition from ``GET /metrics``."""
-        status, raw = self._exchange("GET", "/metrics")
+        status, raw = self._exchange("GET", self._path("/metrics"))
         text = raw.decode("utf-8", "replace")
         if status >= 400:
             raise ServiceClientError(status, {"error": text})
@@ -160,7 +220,7 @@ class ServiceClient:
         """Enroll one template (may raise 409 via ServiceClientError)."""
         return self._request(
             "POST",
-            "/enroll",
+            self._path("/enroll"),
             {
                 "identity": identity,
                 "device": device,
@@ -186,7 +246,7 @@ class ServiceClient:
             payload["threshold"] = threshold
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        return self._request("POST", "/verify", payload)
+        return self._request("POST", self._path("/verify"), payload)
 
     def identify(
         self,
@@ -195,8 +255,17 @@ class ServiceClient:
         max_candidates: int = 10,
         threshold: Optional[float] = None,
         timeout_s: Optional[float] = None,
+        mode: Optional[str] = None,
+        candidate_k: Optional[int] = None,
     ) -> dict:
-        """1:N search; ``device=None`` searches every shard."""
+        """1:N search; ``device=None`` searches every shard.
+
+        ``mode`` selects the search path (``"exact"`` exhaustive,
+        ``"two_stage"`` descriptor-prefiltered; ``None`` defers to the
+        server's default), and ``candidate_k`` sizes the two-stage
+        shortlist.  The response's ``search`` block reports what
+        actually ran.
+        """
         payload: dict = {
             "template": encode_template(template),
             "max_candidates": max_candidates,
@@ -207,20 +276,50 @@ class ServiceClient:
             payload["threshold"] = threshold
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        return self._request("POST", "/identify", payload)
+        if mode is not None:
+            payload["mode"] = mode
+        if candidate_k is not None:
+            payload["candidate_k"] = candidate_k
+        return self._request("POST", self._path("/identify"), payload)
 
     def delete(self, identity: str, device: str = "default") -> dict:
         """Remove one enrollment."""
-        return self._request("DELETE", f"/enroll/{device}/{identity}")
+        return self._request("DELETE", self._path(f"/enroll/{device}/{identity}"))
+
+    def retry_delay(self, default: float = 0.05) -> float:
+        """How long to back off before retrying the last failed request.
+
+        Honors the server's ``Retry-After`` header (seconds form) when
+        the last response carried one — the server knows its own queue
+        better than any client-side constant — and falls back to
+        ``default`` when absent or unparsable.  Negative advertised
+        delays clamp to 0.
+        """
+        raw = self.last_headers.get("retry-after")
+        if raw is not None:
+            try:
+                return max(0.0, float(raw))
+            except ValueError:
+                pass
+        return max(0.0, default)
 
     def wait_until_healthy(self, timeout_s: float = 10.0) -> dict:
-        """Poll ``/healthz`` until the server answers (startup helper)."""
+        """Poll ``/healthz`` until the server answers (startup helper).
+
+        Backs off by the server's ``Retry-After`` on a 503 (capped to
+        the remaining budget) and by a short fixed interval while the
+        socket is not answering at all.
+        """
         deadline = time.monotonic() + timeout_s
         last_error: Optional[Exception] = None
         while time.monotonic() < deadline:
             try:
                 return self.healthz()
-            except (TransientError, ServiceClientError) as exc:
+            except ServiceClientError as exc:
+                last_error = exc
+                delay = self.retry_delay() if exc.status == 503 else 0.05
+                time.sleep(min(delay, max(0.0, deadline - time.monotonic())))
+            except TransientError as exc:
                 last_error = exc
                 time.sleep(0.05)
         raise TransientError(

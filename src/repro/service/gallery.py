@@ -17,16 +17,35 @@ enrolled a finger is *the* covariate interoperability cares about, so
 the serving layer keeps it a first-class axis (verify and identify
 requests address a device shard, and cross-device searches are an
 explicit choice).
+
+Each record also carries its fixed-length **prefilter descriptor**
+(:func:`repro.core.prefilter.descriptor_vector`), and every device
+shard maintains a contiguous descriptor matrix — a
+:class:`~repro.core.prefilter.PrefilterIndex` updated incrementally on
+enroll/delete and persisted under ``root/__index__/<device>.npz`` as
+one more corruption-as-miss tier: a torn or stale matrix is rebuilt
+from the records (never trusted), so the index can accelerate
+``/identify`` without ever being able to corrupt it.
 """
 
 from __future__ import annotations
 
 import re
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from ..core.prefilter import (
+    DESCRIPTOR_DIM,
+    DESCRIPTOR_VERSION,
+    PrefilterCandidate,
+    PrefilterIndex,
+    descriptor_vector,
+    merge_shard_candidates,
+)
 from ..matcher.types import Template, template_from_arrays
 from ..quality.nfiq import assess_template
 from ..runtime.cache import NpzDirectory
@@ -34,6 +53,10 @@ from ..runtime.errors import ConfigurationError, PermanentError, ReproError
 from ..runtime.telemetry import get_logger, get_recorder
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+#: Shard directory holding the persisted per-device descriptor
+#: matrices; reserved — no device or identity may use the name.
+_INDEX_DIRNAME = "__index__"
 
 #: Default NFIQ acceptance ceiling: levels 1–4 enroll, level 5 (the
 #: "hopeless sample" bucket) is rejected.  NIST SP 800-76 gates at
@@ -75,7 +98,12 @@ class UnknownIdentityError(PermanentError):
 
 @dataclass(frozen=True)
 class GalleryRecord:
-    """One enrolled template plus its enrollment-time metadata."""
+    """One enrolled template plus its enrollment-time metadata.
+
+    ``descriptor`` is the record's prefilter vector — persisted with the
+    template so reloads never pay the descriptor build, excluded from
+    equality because numpy arrays don't compare to a bool.
+    """
 
     identity: str
     device: str
@@ -83,12 +111,17 @@ class GalleryRecord:
     nfiq_level: int
     nfiq_utility: float
     enrolled_at: float
+    descriptor: np.ndarray = field(compare=False, repr=False, default=None)
 
 
 def _check_name(value: str, what: str) -> str:
     if not isinstance(value, str) or not _NAME_RE.match(value):
         raise ConfigurationError(
             f"{what} must match [A-Za-z0-9._-]+, got {value!r}"
+        )
+    if value == _INDEX_DIRNAME:
+        raise ConfigurationError(
+            f"{what} {value!r} is reserved for the descriptor index"
         )
     return value
 
@@ -122,6 +155,10 @@ class GalleryIndex:
         self._max_nfiq_level = max_nfiq_level
         self._shards: Dict[str, NpzDirectory] = {}
         self._records: Dict[Tuple[str, str], GalleryRecord] = {}
+        self._indexes: Dict[str, PrefilterIndex] = {}
+        self._index_store = NpzDirectory(
+            self._root / _INDEX_DIRNAME, metric_prefix="gallery.index"
+        )
         self._reload()
 
     # ------------------------------------------------------------------
@@ -142,7 +179,7 @@ class GalleryIndex:
         dropped = 0
         for device_dir in sorted(p for p in self._root.iterdir() if p.is_dir()):
             device = device_dir.name
-            if not _NAME_RE.match(device):
+            if device == _INDEX_DIRNAME or not _NAME_RE.match(device):
                 continue
             shard = self._shard(device)
             for entry in sorted(device_dir.glob("*.npz")):
@@ -155,6 +192,8 @@ class GalleryIndex:
                     continue
                 self._records[(device, identity)] = record
                 loaded += 1
+        for device in self.devices():
+            self._restore_index(device)
         if loaded or dropped:
             _log.info(
                 "gallery reloaded",
@@ -184,6 +223,17 @@ class GalleryIndex:
                 extra={"data": {"device": device, "identity": identity}},
             )
             return None
+        descriptor = arrays.get("descriptor")
+        if (
+            descriptor is None
+            or descriptor.shape != (DESCRIPTOR_DIM,)
+            or int(meta.get("descriptor_version", 0)) != DESCRIPTOR_VERSION
+        ):
+            # Records written before the prefilter (or under another
+            # descriptor layout) are upgraded in memory; the next store
+            # of that identity persists the fresh vector.
+            descriptor = descriptor_vector(template)
+            get_recorder().count("gallery.descriptor_recomputed")
         return GalleryRecord(
             identity=identity,
             device=device,
@@ -191,7 +241,79 @@ class GalleryIndex:
             nfiq_level=int(meta.get("nfiq_level", 0)) or assess_template(template).level,
             nfiq_utility=float(meta.get("nfiq_utility", 0.0)),
             enrolled_at=float(meta.get("enrolled_at", 0.0)),
+            descriptor=np.asarray(descriptor, dtype=np.float64),
         )
+
+    # ------------------------------------------------------------------
+    # Descriptor index maintenance
+    # ------------------------------------------------------------------
+    def _index(self, device: str) -> PrefilterIndex:
+        index = self._indexes.get(device)
+        if index is None:
+            index = PrefilterIndex()
+            self._indexes[device] = index
+        return index
+
+    def _persist_index(self, device: str) -> None:
+        """Write one shard's contiguous descriptor matrix atomically."""
+        index = self._index(device)
+        if len(index) == 0:
+            self._index_store.invalidate(device)
+            return
+        self._index_store.store(
+            device,
+            arrays={"matrix": index.matrix()},
+            meta={
+                "device": device,
+                "identities": list(index.keys()),
+                "descriptor_version": DESCRIPTOR_VERSION,
+                "dim": index.dim,
+            },
+        )
+
+    def _rebuild_index(self, device: str) -> None:
+        """Derive one shard's index from its records and re-persist it."""
+        self._indexes[device] = PrefilterIndex.from_items({
+            identity: record.descriptor
+            for (dev, identity), record in sorted(self._records.items())
+            if dev == device
+        })
+        self._persist_index(device)
+        get_recorder().count("gallery.index.rebuilt")
+
+    def _restore_index(self, device: str) -> None:
+        """Adopt the persisted matrix when it matches the records.
+
+        The matrix is a derived artifact: corruption, a descriptor
+        version bump, or any disagreement with the records (identity
+        set, dimension, non-finite rows) means it is discarded and
+        rebuilt — corruption-as-miss, never corruption-as-truth.
+        """
+        arrays = self._index_store.load(device)
+        meta = self._index_store.load_meta(device)
+        expected = sorted(
+            identity for (dev, identity) in self._records if dev == device
+        )
+        if arrays is not None and meta is not None:
+            matrix = arrays.get("matrix")
+            identities = list(meta.get("identities", []))
+            if (
+                int(meta.get("descriptor_version", 0)) == DESCRIPTOR_VERSION
+                and matrix is not None
+                and matrix.ndim == 2
+                and matrix.shape == (len(identities), DESCRIPTOR_DIM)
+                and sorted(identities) == expected
+                and bool(np.all(np.isfinite(matrix)))
+            ):
+                self._indexes[device] = PrefilterIndex.from_items({
+                    identity: matrix[i] for i, identity in enumerate(identities)
+                })
+                return
+            _log.warning(
+                "stale descriptor matrix rebuilt",
+                extra={"data": {"device": device}},
+            )
+        self._rebuild_index(device)
 
     # ------------------------------------------------------------------
     # Mutations
@@ -212,6 +334,7 @@ class GalleryIndex:
         if assessment.level > self._max_nfiq_level:
             get_recorder().count("gallery.rejected")
             raise EnrollmentRejected(identity, assessment.level, self._max_nfiq_level)
+        descriptor = descriptor_vector(template)
         record = GalleryRecord(
             identity=identity,
             device=device,
@@ -219,6 +342,7 @@ class GalleryIndex:
             nfiq_level=assessment.level,
             nfiq_utility=assessment.utility,
             enrolled_at=time.time(),
+            descriptor=descriptor,
         )
         self._shard(device).store(
             identity,
@@ -227,6 +351,7 @@ class GalleryIndex:
                 "angles": template.angles(),
                 "kinds": template.kinds(),
                 "qualities": template.qualities(),
+                "descriptor": descriptor,
             },
             meta={
                 "identity": identity,
@@ -237,9 +362,12 @@ class GalleryIndex:
                 "height_px": template.height_px,
                 "resolution_dpi": template.resolution_dpi,
                 "enrolled_at": record.enrolled_at,
+                "descriptor_version": DESCRIPTOR_VERSION,
             },
         )
         self._records[(device, identity)] = record
+        self._index(device).add(identity, descriptor)
+        self._persist_index(device)
         get_recorder().count("gallery.enrolled")
         return record
 
@@ -251,6 +379,10 @@ class GalleryIndex:
             raise UnknownIdentityError(identity, device)
         del self._records[(device, identity)]
         self._shard(device).invalidate(identity)
+        index = self._index(device)
+        if identity in index:
+            index.remove(identity)
+        self._persist_index(device)
         get_recorder().count("gallery.deleted")
 
     # ------------------------------------------------------------------
@@ -300,6 +432,46 @@ class GalleryIndex:
             for (dev, identity), record in sorted(self._records.items())
         }
 
+    def prefilter(
+        self,
+        probe: Template,
+        device: Optional[str] = None,
+        k: int = 32,
+    ) -> List[PrefilterCandidate]:
+        """Coarse-stage top-K: the descriptor-nearest enrolled candidates.
+
+        Keys match :meth:`candidates` — bare identities within one
+        device shard, ``device/identity`` across shards (each shard's
+        local top-K is merged into an exact global top-K, so sharding
+        never changes the answer).  Returns at most ``k`` candidates,
+        nearest first; an empty gallery returns an empty list.
+        """
+        if k < 1:
+            raise ConfigurationError(f"prefilter needs k >= 1, got {k}")
+        vector = descriptor_vector(probe)
+        if device is not None:
+            _check_name(device, "device")
+            if device not in self._indexes:
+                return []
+            return self._indexes[device].top_k(vector, k)
+        shards = []
+        for dev in self.devices():
+            local = self._indexes[dev].top_k(vector, k)
+            shards.append([
+                PrefilterCandidate(
+                    key=f"{dev}/{c.key}", distance=c.distance, rank=c.rank
+                )
+                for c in local
+            ])
+        return merge_shard_candidates(shards, k)
+
+    def descriptor_matrix(self, device: str) -> np.ndarray:
+        """One shard's contiguous (n, dim) descriptor matrix (a copy)."""
+        _check_name(device, "device")
+        if device not in self._indexes:
+            return np.empty((0, DESCRIPTOR_DIM), dtype=np.float64)
+        return self._indexes[device].matrix()
+
     def stats(self) -> dict:
         """JSON-able footprint summary for ``/stats`` and the CLI."""
         per_device: Dict[str, int] = {}
@@ -316,6 +488,14 @@ class GalleryIndex:
             "devices": per_device,
             "max_nfiq_level": self._max_nfiq_level,
             "disk": disk,
+            "index": {
+                "descriptor_version": DESCRIPTOR_VERSION,
+                "descriptor_dim": DESCRIPTOR_DIM,
+                "indexed": {
+                    device: len(index)
+                    for device, index in sorted(self._indexes.items())
+                },
+            },
         }
 
 

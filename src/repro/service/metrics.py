@@ -44,6 +44,9 @@ name                                      type       labels
 ``repro_deadline_exceeded_total``         counter    —
 ``repro_slow_requests_total``             counter    —
 ``repro_gallery_enrolled``                gauge      ``device``
+``repro_identify_searches_total``         counter    ``mode``
+``repro_identify_candidates_total``       counter    —
+``repro_identify_prefilter_seconds``      histogram  —
 ``repro_telemetry_*``                     mixed      — (recorder passthrough)
 ========================================  =========  =====================
 """
@@ -253,6 +256,22 @@ def render_exposition(
     w.family("repro_batch_last_id", "gauge",
              "Id of the most recently dispatched micro-batch.")
     w.sample("repro_batch_last_id", {}, batching["last_batch_id"])
+
+    identify = snapshot["identify"]
+    w.family("repro_identify_searches_total", "counter",
+             "1:N identify searches, by search mode.")
+    for mode, count in identify["modes"].items():
+        w.sample("repro_identify_searches_total", {"mode": mode}, count)
+    w.family("repro_identify_candidates_total", "counter",
+             "Gallery templates scored by the exact matcher during identify.")
+    w.sample("repro_identify_candidates_total", {},
+             identify["candidates_scored"])
+    prefilter = stats.prefilter_snapshot()
+    w.family("repro_identify_prefilter_seconds", "histogram",
+             "Wall time of the two-stage descriptor prefilter pass.")
+    w.histogram("repro_identify_prefilter_seconds", {},
+                prefilter["bounds"], prefilter["buckets"],
+                prefilter["count"], prefilter["sum"])
 
     if queue_depth is not None:
         w.family("repro_queue_depth", "gauge",

@@ -2,27 +2,49 @@
 
 A deliberately small, dependency-free HTTP/1.1 server (stdlib asyncio
 only — the reproduction adds no packages) exposing the study's matcher
-as an online service:
+as an online service.  The HTTP surface is versioned under ``/v1``:
 
-========  ==============================  =======================================
-Method    Path                            Meaning
-========  ==============================  =======================================
-POST      ``/enroll``                     quality-gated enrollment
-POST      ``/verify``                     1:1 claim check against one enrollment
-POST      ``/identify``                   1:N rank-k search of a device shard
-DELETE    ``/enroll/<device>/<identity>`` remove one enrollment
-GET       ``/healthz``                    liveness + gallery size
-GET       ``/stats``                      live counters, latency, batch sizes
-GET       ``/metrics``                    Prometheus text exposition of the same
-========  ==============================  =======================================
+========  =================================  ====================================
+Method    Path                               Meaning
+========  =================================  ====================================
+POST      ``/v1/enroll``                     quality-gated enrollment
+POST      ``/v1/verify``                     1:1 claim check against one enrollment
+POST      ``/v1/identify``                   1:N rank-k search (exact or two-stage)
+DELETE    ``/v1/enroll/<device>/<identity>`` remove one enrollment
+GET       ``/v1/healthz``                    liveness + gallery size
+GET       ``/v1/stats``                      live counters, latency, batch sizes
+GET       ``/v1/metrics``                    Prometheus text exposition of the same
+========  =================================  ====================================
+
+The legacy unversioned paths (``/verify``, ...) still answer — with
+identical semantics — but carry a ``Deprecation: true`` header (RFC
+8594 style) so clients notice before the paths disappear.  Every error
+response, on every endpoint and status code, is one envelope shape::
+
+    {"error": {"code": "unknown_identity", "message": "...",
+               "request_id": "...", "kind": "UnknownIdentityError"}}
+
+``code`` is a stable machine-readable slug (per-status, see
+``_ERROR_CODES``), ``message`` is human-readable, ``request_id`` echoes
+the ``X-Request-ID`` header, and ``kind`` (when present) names the
+library exception class.
+
+``/identify`` is two-stage capable: ``REPRO_IDENTIFY_MODE=two_stage``
+(or ``"mode": "two_stage"`` per request) runs the descriptor prefilter
+(:meth:`repro.service.gallery.GalleryIndex.prefilter`) and hands only
+the top ``candidate_k`` survivors to the exact matcher; ``exact``
+(the default) remains the exhaustive recall oracle, bit-identical to
+the pre-index behavior.
 
 Every request is traced: the server honors a client-supplied
 ``X-Request-ID`` header (token-shaped, else it generates one), installs
 a :class:`~repro.runtime.telemetry.TraceContext` for the request task,
 and echoes the id on **every** response — success, error, even a
 malformed request line — so client and server logs join on one key.
-The trace records a phase timeline (``parse → gallery → queue_wait →
-batch_wait → match → respond``); finished requests are appended to an
+The trace records a phase timeline (``parse → gallery → [prefilter →]
+queue_wait → batch_wait → match → respond``; the ``prefilter`` phase
+appears on two-stage identify requests); finished requests are appended
+to an
 optional JSONL :class:`~repro.service.reqlog.RequestLog`, and requests
 slower than ``REPRO_SERVE_SLOW_MS`` dump their full timeline at
 WARNING.  Overloaded (503) responses carry ``Retry-After`` so
@@ -61,10 +83,11 @@ import time
 from contextlib import nullcontext
 from typing import Dict, Optional, Tuple
 
+from ..core.identification import DEFAULT_CANDIDATE_K, IDENTIFY_MODES
 from ..io.incits378 import decode as decode_378
 from ..matcher.engine import BioEngineMatcher
 from ..matcher.types import Template
-from ..runtime.config import env_float, env_int
+from ..runtime.config import env_float, env_int, env_str
 from ..runtime.errors import (
     ConfigurationError,
     PermanentError,
@@ -118,10 +141,11 @@ class ServerStartupError(TransientError):
 class _HttpError(Exception):
     """Internal: an HTTP failure response ready to send."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str, code: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code or _DEFAULT_CODES.get(status, "error")
 
 
 _STATUS_TEXT = {
@@ -135,6 +159,19 @@ _STATUS_TEXT = {
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
+}
+
+#: Stable machine-readable slug per HTTP failure status — the ``code``
+#: field of the error envelope when no more specific one applies.
+_DEFAULT_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    413: "payload_too_large",
+    500: "internal",
+    503: "overloaded",
+    504: "deadline_exceeded",
 }
 
 
@@ -153,6 +190,38 @@ def _status_for(exc: ReproError) -> int:
     if isinstance(exc, PermanentError):
         return 400
     return 500
+
+
+def _code_for(exc: ReproError) -> str:
+    """The error-envelope ``code`` slug for a library exception."""
+    if isinstance(exc, EnrollmentRejected):
+        return "quality_rejected"
+    if isinstance(exc, UnknownIdentityError):
+        return "unknown_identity"
+    if isinstance(exc, ServiceOverloadError):
+        return "overloaded"
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline_exceeded"
+    if isinstance(exc, TemplateFormatError):
+        return "invalid_template"
+    if isinstance(exc, ConfigurationError):
+        return "invalid_request"
+    if isinstance(exc, PermanentError):
+        return "bad_request"
+    return "internal"
+
+
+def _error_envelope(
+    code: str,
+    message: str,
+    request_id: str,
+    kind: Optional[str] = None,
+) -> dict:
+    """The one error shape every endpoint and status code speaks."""
+    error = {"code": code, "message": message, "request_id": request_id}
+    if kind is not None:
+        error["kind"] = kind
+    return {"error": error}
 
 
 def decode_template_field(payload: dict, field: str = "template") -> Template:
@@ -189,9 +258,28 @@ class VerificationServer:
         reqlog: Optional[RequestLog] = None,
         tracing: Optional[bool] = None,
         slow_ms: Optional[float] = None,
+        identify_mode: Optional[str] = None,
+        candidate_k: Optional[int] = None,
     ) -> None:
         if threshold is None:
             threshold = env_float("REPRO_SERVE_THRESHOLD")
+        if identify_mode is None:
+            identify_mode = env_str("REPRO_IDENTIFY_MODE") or "exact"
+        if identify_mode not in IDENTIFY_MODES:
+            raise ConfigurationError(
+                f"identify mode must be one of {IDENTIFY_MODES}, "
+                f"got {identify_mode!r}"
+            )
+        if candidate_k is None:
+            candidate_k = env_int("REPRO_IDENTIFY_CANDIDATES")
+        if candidate_k is None:
+            candidate_k = DEFAULT_CANDIDATE_K
+        if candidate_k < 1:
+            raise ConfigurationError(
+                f"candidate_k must be >= 1, got {candidate_k}"
+            )
+        self.identify_mode = identify_mode
+        self.candidate_k = int(candidate_k)
         self.gallery = gallery
         self.matcher = matcher if matcher is not None else BioEngineMatcher()
         self.threshold = DEFAULT_THRESHOLD if threshold is None else float(threshold)
@@ -274,11 +362,12 @@ class VerificationServer:
                     # oversized body) still deserves an answer — and a
                     # request id, so the failure is attributable — but
                     # the connection state is unknown, so close after.
+                    request_id = new_request_id()
                     await self._respond(
                         writer,
                         exc.status,
-                        {"error": exc.message},
-                        request_id=new_request_id(),
+                        _error_envelope(exc.code, exc.message, request_id),
+                        request_id=request_id,
                     )
                     break
                 if request is None:
@@ -338,7 +427,11 @@ class VerificationServer:
         body: bytes,
     ) -> bool:
         started = time.perf_counter()
-        endpoint = self._endpoint_for(method, path)
+        base_path, versioned = self._normalize_path(path)
+        endpoint = self._endpoint_for(method, base_path)
+        # Legacy unversioned paths still answer but are marked: clients
+        # get an RFC 8594-style Deprecation header until they move to /v1.
+        deprecated = not versioned and endpoint != "unknown"
         request_id = (
             sanitize_request_id(headers.get("x-request-id")) or new_request_id()
         )
@@ -349,12 +442,16 @@ class VerificationServer:
             token = set_current_trace(trace)
         try:
             try:
-                status, payload = await self._route(method, path, body)
+                status, payload = await self._route(method, base_path, body)
             except _HttpError as exc:
-                status, payload = exc.status, {"error": exc.message}
+                status = exc.status
+                payload = _error_envelope(exc.code, exc.message, request_id)
             except ReproError as exc:
                 status = _status_for(exc)
-                payload = {"error": str(exc), "kind": type(exc).__name__}
+                payload = _error_envelope(
+                    _code_for(exc), str(exc), request_id,
+                    kind=type(exc).__name__,
+                )
                 if status == 503:
                     self.stats.record_overload()
                 elif status == 504:
@@ -365,16 +462,19 @@ class VerificationServer:
                     extra={"data": {"request_id": request_id, "path": path,
                                     "error": repr(exc)}},
                 )
-                status, payload = 500, {"error": "internal error"}
+                status = 500
+                payload = _error_envelope("internal", "internal error", request_id)
             if trace is not None:
                 trace.finalize_batch_phases()
                 with trace.phase("respond"):
                     keep_alive = await self._respond(
-                        writer, status, payload, request_id=request_id
+                        writer, status, payload,
+                        request_id=request_id, deprecated=deprecated,
                     )
             else:
                 keep_alive = await self._respond(
-                    writer, status, payload, request_id=request_id
+                    writer, status, payload,
+                    request_id=request_id, deprecated=deprecated,
                 )
         finally:
             if token is not None:
@@ -445,6 +545,7 @@ class VerificationServer:
         status: int,
         payload,
         request_id: Optional[str] = None,
+        deprecated: bool = False,
     ) -> bool:
         if isinstance(payload, str):
             # Pre-rendered text body (the /metrics exposition).
@@ -456,6 +557,8 @@ class VerificationServer:
         extra = ""
         if request_id is not None:
             extra += f"X-Request-ID: {request_id}\r\n"
+        if deprecated:
+            extra += "Deprecation: true\r\n"
         if status == 503:
             # Overload is transient by construction; tell well-behaved
             # clients when to come back instead of letting them hammer.
@@ -478,10 +581,26 @@ class VerificationServer:
     # Routing and endpoint handlers
     # ------------------------------------------------------------------
     @staticmethod
+    def _normalize_path(path: str) -> Tuple[str, bool]:
+        """Strip the query string and the ``/v1`` version prefix.
+
+        Returns ``(base_path, versioned)``; the router only ever sees
+        base paths, so ``/v1/verify`` and legacy ``/verify`` share one
+        handler (and one stats bucket) — the version only decides
+        whether the response carries a ``Deprecation`` header.
+        """
+        path = path.split("?", 1)[0]
+        if path == "/v1":
+            return "/", True
+        if path.startswith("/v1/"):
+            return path[len("/v1"):], True
+        return path, False
+
+    @staticmethod
     def _endpoint_for(method: str, path: str) -> str:
         """Stats bucket for a request — known before the handler runs, so
-        failed requests still land in the right per-endpoint tally."""
-        path = path.split("?", 1)[0]
+        failed requests still land in the right per-endpoint tally.
+        Expects a base path (see :meth:`_normalize_path`)."""
         if path == "/healthz":
             return "healthz"
         if path == "/stats":
@@ -499,7 +618,6 @@ class VerificationServer:
         return "unknown"
 
     async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
-        path = path.split("?", 1)[0]
         if path == "/healthz" and method == "GET":
             return 200, self._handle_healthz()
         if path == "/stats" and method == "GET":
@@ -560,6 +678,8 @@ class VerificationServer:
             "timeout_s": self.batcher.config.timeout_s,
         }
         payload["batching"]["queued_jobs"] = self.batcher.queue_depth
+        payload["identify"]["default_mode"] = self.identify_mode
+        payload["identify"]["candidate_k"] = self.candidate_k
         payload["threshold"] = self.threshold
         payload["tracing"] = self.tracing
         return payload
@@ -630,26 +750,76 @@ class VerificationServer:
         threshold = self._threshold(payload)
         max_candidates = payload.get("max_candidates", 10)
         if not isinstance(max_candidates, int) or max_candidates < 1:
-            raise _HttpError(400, "max_candidates must be a positive integer")
+            raise _HttpError(
+                400, "max_candidates must be a positive integer",
+                code="invalid_request",
+            )
+        mode = payload.get("mode", self.identify_mode)
+        if mode not in IDENTIFY_MODES:
+            raise _HttpError(
+                400, f"mode must be one of {list(IDENTIFY_MODES)}, got {mode!r}",
+                code="invalid_request",
+            )
+        candidate_k = payload.get("candidate_k", self.candidate_k)
+        if not isinstance(candidate_k, int) or isinstance(candidate_k, bool) \
+                or candidate_k < 1:
+            raise _HttpError(
+                400, "candidate_k must be a positive integer",
+                code="invalid_request",
+            )
         with _phase("gallery"):
             candidates = self.gallery.candidates(device=device)
-        identities = sorted(candidates)
+        gallery_size = len(candidates)
+        prefilter_seconds = 0.0
+        prefilter_ranks: Dict[str, int] = {}
+        if mode == "two_stage" and gallery_size:
+            with _phase("prefilter"):
+                prefilter_started = time.perf_counter()
+                survivors = self.gallery.prefilter(
+                    probe, device=device, k=candidate_k
+                )
+                prefilter_seconds = time.perf_counter() - prefilter_started
+            prefilter_ranks = {c.key: c.rank for c in survivors}
+            shortlist = sorted(prefilter_ranks)
+        else:
+            shortlist = sorted(candidates)
         scores = await self.batcher.score(
-            [(probe, candidates[identity]) for identity in identities],
+            [(probe, candidates[identity]) for identity in shortlist],
             timeout_s=self._timeout(payload),
         )
         ranked = sorted(
-            zip(identities, (float(s) for s in scores)),
+            zip(shortlist, (float(s) for s in scores)),
             key=lambda item: (-item[1], item[0]),
         )[:max_candidates]
+        self.stats.record_identify(
+            mode,
+            candidates_scored=len(shortlist),
+            prefilter_seconds=prefilter_seconds,
+        )
+        stage = "rescored" if mode == "two_stage" else "exhaustive"
         best = ranked[0] if ranked else None
         return 200, {
             "device": device,
-            "gallery_size": len(identities),
             "threshold": threshold,
+            "search": {
+                "mode": mode,
+                "gallery_size": gallery_size,
+                "candidates_scored": len(shortlist),
+                "candidate_k": candidate_k if mode == "two_stage" else None,
+                "prefilter_seconds": round(prefilter_seconds, 6),
+            },
             "candidates": [
-                {"identity": identity, "score": round(score, 4)}
-                for identity, score in ranked
+                {
+                    "identity": key.split("/", 1)[1] if device is None and "/" in key else key,
+                    "device": (
+                        key.split("/", 1)[0] if device is None and "/" in key
+                        else device
+                    ),
+                    "score": round(score, 4),
+                    "prefilter_rank": prefilter_ranks.get(key),
+                    "stage": stage,
+                }
+                for key, score in ranked
             ],
             "best": (
                 {

@@ -63,6 +63,14 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
 #: histograms — powers of two up to the largest sane micro-batch.
 BATCH_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
+#: Bucket upper bounds (seconds) for the identify prefilter stage —
+#: descriptor search is sub-millisecond at paper scale, milliseconds at
+#: millions, so the grid starts two decades below LATENCY_BUCKETS.
+PREFILTER_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+)
+
 
 def _quantiles(values: Deque[float]) -> Optional[Dict[str, float]]:
     """p50/p95/p99/max of a latency window, in milliseconds."""
@@ -145,6 +153,9 @@ class ServiceStats:
         self._queue_wait = _CumulativeHistogram(LATENCY_BUCKETS)
         self._batch_size_hist = _CumulativeHistogram(BATCH_BUCKETS)
         self._batch_requests_hist = _CumulativeHistogram(BATCH_BUCKETS)
+        self.identify_modes: Dict[str, int] = {}
+        self.identify_candidates = 0
+        self._prefilter_hist = _CumulativeHistogram(PREFILTER_BUCKETS)
 
     # ------------------------------------------------------------------
     # Event sinks
@@ -222,6 +233,31 @@ class ServiceStats:
             self.slow_requests += 1
         get_recorder().count("service.slow_requests")
 
+    def record_identify(
+        self,
+        mode: str,
+        candidates_scored: int,
+        prefilter_seconds: float = 0.0,
+    ) -> None:
+        """Tally one 1:N search: its mode and exact-stage workload.
+
+        ``candidates_scored`` is how many gallery templates reached the
+        exact matcher (the whole gallery in exact mode, the prefilter
+        survivors in two-stage); the prefilter wall time is only
+        observed for two-stage searches, where the coarse stage ran.
+        """
+        with self._lock:
+            self.identify_modes[mode] = self.identify_modes.get(mode, 0) + 1
+            self.identify_candidates += candidates_scored
+            if mode == "two_stage":
+                self._prefilter_hist.observe(prefilter_seconds)
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.count(f"index.recall_mode.{mode}")
+            recorder.count("index.candidates", candidates_scored)
+            if mode == "two_stage":
+                recorder.observe("index.prefilter_seconds", prefilter_seconds)
+
     def record_queue_wait(self, seconds: float) -> None:
         """Tally one pair job's time in the admission queue."""
         with self._lock:
@@ -298,6 +334,19 @@ class ServiceStats:
         with self._lock:
             return self._queue_wait.snapshot()
 
+    def prefilter_snapshot(self) -> dict:
+        """The two-stage prefilter wall-time histogram for /metrics."""
+        with self._lock:
+            return self._prefilter_hist.snapshot()
+
+    def identify_snapshot(self) -> dict:
+        """Identify-search mode tallies for /stats."""
+        with self._lock:
+            return {
+                "modes": dict(sorted(self.identify_modes.items())),
+                "candidates_scored": self.identify_candidates,
+            }
+
     def batch_histograms(self) -> Dict[str, dict]:
         """Batch size / coalesced-request histograms for /metrics."""
         with self._lock:
@@ -352,6 +401,7 @@ class ServiceStats:
             "slow_requests": slow,
             "latency": self.latency_snapshot(),
             "batching": self.batch_snapshot(),
+            "identify": self.identify_snapshot(),
         }
 
 
@@ -360,6 +410,7 @@ __all__ = [
     "LATENCY_WINDOW",
     "LATENCY_BUCKETS",
     "BATCH_BUCKETS",
+    "PREFILTER_BUCKETS",
     "ENDPOINTS",
     "PROBE_ENDPOINTS",
 ]

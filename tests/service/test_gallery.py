@@ -1,8 +1,11 @@
 """Persistent gallery index: quality gate, CRUD, restart recovery."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro.core.prefilter import DESCRIPTOR_DIM, descriptor_vector
 from repro.matcher.types import template_from_arrays
 from repro.runtime.errors import ConfigurationError
 from repro.service.gallery import (
@@ -201,3 +204,165 @@ class TestPersistence:
         (root / "D0" / "notes.txt").write_text("not a record")
         (root / "has space").mkdir()
         assert len(GalleryIndex(root)) == 1
+
+
+class TestDescriptorIndex:
+    """Tentpole: the per-shard descriptor matrix behind two-stage identify."""
+
+    @pytest.fixture()
+    def populated(self, gallery, tiny_collection):
+        for device in ("D0", "D1"):
+            for sid in range(3):
+                gallery.enroll(
+                    f"subject-{sid}",
+                    tiny_collection.get(sid, FINGER, device, 0).template,
+                    device=device,
+                )
+        return gallery
+
+    def test_enroll_stores_descriptor_on_record(self, gallery, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 0).template
+        record = gallery.enroll("subject-0", template, device="D0")
+        assert record.descriptor.shape == (DESCRIPTOR_DIM,)
+        np.testing.assert_allclose(record.descriptor, descriptor_vector(template))
+
+    def test_matrix_tracks_enrollment(self, populated):
+        matrix = populated.descriptor_matrix("D0")
+        assert matrix.shape == (3, DESCRIPTOR_DIM)
+        assert np.isfinite(matrix).all()
+        stats = populated.stats()
+        assert stats["index"]["descriptor_dim"] == DESCRIPTOR_DIM
+        assert stats["index"]["indexed"] == {"D0": 3, "D1": 3}
+
+    def test_prefilter_ranks_the_mate_first_by_construction(
+        self, populated, tiny_collection
+    ):
+        # Probing with the exact enrolled impression: distance 0 to its
+        # own descriptor, so rank 1 is guaranteed, not just likely.
+        probe = tiny_collection.get(1, FINGER, "D0", 0).template
+        survivors = populated.prefilter(probe, device="D0", k=2)
+        assert survivors[0].key == "subject-1"
+        assert survivors[0].rank == 1
+        assert survivors[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_prefilter_cross_shard_prefixes_keys(self, populated, tiny_collection):
+        probe = tiny_collection.get(1, FINGER, "D0", 0).template
+        survivors = populated.prefilter(probe, device=None, k=4)
+        assert survivors[0].key == "D0/subject-1"
+        assert all("/" in c.key for c in survivors)
+        assert [c.rank for c in survivors] == [1, 2, 3, 4]
+
+    def test_delete_shrinks_the_index(self, populated, tiny_collection):
+        populated.delete("subject-1", device="D0")
+        assert populated.descriptor_matrix("D0").shape == (2, DESCRIPTOR_DIM)
+        probe = tiny_collection.get(1, FINGER, "D0", 0).template
+        keys = {c.key for c in populated.prefilter(probe, device="D0", k=3)}
+        assert keys == {"subject-0", "subject-2"}
+
+    def test_reenroll_replaces_descriptor(self, gallery, tiny_collection):
+        first = tiny_collection.get(0, FINGER, "D0", 0).template
+        second = tiny_collection.get(0, FINGER, "D0", 1).template
+        gallery.enroll("subject-0", first, device="D0")
+        gallery.enroll("subject-0", second, device="D0")
+        assert gallery.descriptor_matrix("D0").shape == (1, DESCRIPTOR_DIM)
+        np.testing.assert_allclose(
+            gallery.descriptor_matrix("D0")[0], descriptor_vector(second)
+        )
+
+    def test_reserved_index_names_rejected(self, gallery, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 0).template
+        with pytest.raises(ConfigurationError):
+            gallery.enroll("__index__", template)
+        with pytest.raises(ConfigurationError):
+            gallery.enroll("fine", template, device="__index__")
+
+
+class TestDescriptorPersistence:
+    """The matrix survives restart, rebuilds from corruption, and never
+    blocks gallery recovery."""
+
+    def _populate(self, root, tiny_collection, n=3):
+        gallery = GalleryIndex(root)
+        for sid in range(n):
+            gallery.enroll(
+                f"subject-{sid}",
+                tiny_collection.get(sid, FINGER, "D0", 0).template,
+                device="D0",
+            )
+        return gallery
+
+    def test_matrix_persisted_and_adopted_on_restart(self, tmp_path, tiny_collection):
+        root = tmp_path / "gallery"
+        first = self._populate(root, tiny_collection)
+        assert (root / "__index__" / "D0.npz").exists()
+
+        reborn = GalleryIndex(root)
+        np.testing.assert_array_equal(
+            reborn.descriptor_matrix("D0"), first.descriptor_matrix("D0")
+        )
+
+    def test_corrupt_matrix_file_rebuilds_from_records(
+        self, tmp_path, tiny_collection
+    ):
+        root = tmp_path / "gallery"
+        first = self._populate(root, tiny_collection)
+        expected = first.descriptor_matrix("D0")
+        (root / "__index__" / "D0.npz").write_bytes(b"garbage")
+
+        reborn = GalleryIndex(root)
+        assert len(reborn) == 3
+        np.testing.assert_allclose(reborn.descriptor_matrix("D0"), expected)
+
+    def test_stale_matrix_detected_and_rebuilt(self, tmp_path, tiny_collection):
+        # Simulate a crash between record write and index persist: the
+        # persisted matrix names fewer identities than the records.
+        root = tmp_path / "gallery"
+        self._populate(root, tiny_collection, n=2)
+        stale = (root / "__index__" / "D0.npz").read_bytes()
+        gallery = GalleryIndex(root)
+        gallery.enroll(
+            "subject-2",
+            tiny_collection.get(2, FINGER, "D0", 0).template,
+            device="D0",
+        )
+        (root / "__index__" / "D0.npz").write_bytes(stale)
+
+        reborn = GalleryIndex(root)
+        assert reborn.descriptor_matrix("D0").shape == (3, DESCRIPTOR_DIM)
+        probe = tiny_collection.get(2, FINGER, "D0", 0).template
+        assert reborn.prefilter(probe, device="D0", k=1)[0].key == "subject-2"
+
+    def test_missing_index_dir_rebuilds_silently(self, tmp_path, tiny_collection):
+        import shutil
+
+        root = tmp_path / "gallery"
+        self._populate(root, tiny_collection)
+        shutil.rmtree(root / "__index__")
+
+        reborn = GalleryIndex(root)
+        assert reborn.descriptor_matrix("D0").shape == (3, DESCRIPTOR_DIM)
+
+    def test_record_without_descriptor_recomputed_at_load(
+        self, tmp_path, tiny_collection
+    ):
+        # Records enrolled before this PR have no stored descriptor —
+        # the loader recomputes instead of failing or skipping.
+        root = tmp_path / "gallery"
+        self._populate(root, tiny_collection, n=1)
+        path = root / "D0" / "subject-0.npz"
+        with np.load(path, allow_pickle=False) as handle:
+            arrays = {name: handle[name] for name in handle.files}
+        arrays.pop("descriptor", None)
+        meta = json.loads(arrays.pop("__meta__").tobytes().decode("utf-8"))
+        meta.pop("descriptor_version", None)
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+
+        reborn = GalleryIndex(root)
+        record = reborn.get("subject-0", device="D0")
+        np.testing.assert_allclose(
+            record.descriptor, descriptor_vector(record.template)
+        )
+        assert reborn.descriptor_matrix("D0").shape == (1, DESCRIPTOR_DIM)

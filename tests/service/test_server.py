@@ -85,7 +85,7 @@ class TestRoundTrip:
                     tiny_collection.get(1, FINGER, "D0", 1).template,
                     device="D0",
                 )
-                assert identified["gallery_size"] == len(SUBJECTS)
+                assert identified["search"]["gallery_size"] == len(SUBJECTS)
                 assert identified["best"]["identity"] == "subject-1"
                 assert identified["best"]["decision"] == "accept"
                 assert identified["candidates"][0]["identity"] == "subject-1"
@@ -132,7 +132,8 @@ class TestStatusCodes:
                 device="D0",
             )
         assert excinfo.value.status == 404
-        assert excinfo.value.payload["kind"] == "UnknownIdentityError"
+        assert excinfo.value.kind == "UnknownIdentityError"
+        assert excinfo.value.code == "unknown_identity"
 
     def test_malformed_template_400(self, live):
         with pytest.raises(ServiceClientError) as excinfo:
@@ -277,7 +278,8 @@ class TestQualityGate:
         with pytest.raises(ServiceClientError) as excinfo:
             live.enroll("mushy", _low_quality_template(), device="D0")
         assert excinfo.value.status == 409
-        assert excinfo.value.payload["kind"] == "EnrollmentRejected"
+        assert excinfo.value.kind == "EnrollmentRejected"
+        assert excinfo.value.code == "quality_rejected"
         stats = live.stats()
         assert stats["enroll_rejected"] == 1
 
@@ -346,3 +348,272 @@ class TestConcurrency:
         # Concurrent single-pair requests must have shared batches.
         assert stats["batching"]["max_size"] >= 2
         assert stats["batching"]["batches"] < 16 + len(SUBJECTS)
+
+
+class TestVersionedApi:
+    """Satellite (a): the /v1 surface, deprecation headers, envelopes."""
+
+    def test_client_targets_v1_by_default(self, live):
+        assert live.api_base == "/v1"
+        assert live.healthz()["status"] == "ok"
+        assert "deprecation" not in live.last_headers
+
+    def test_legacy_paths_answer_with_deprecation_header(self, live):
+        legacy = ServiceClient(live._host, live._port, api_base="")
+        with legacy:
+            assert legacy.healthz()["status"] == "ok"
+            assert legacy.last_headers.get("deprecation") == "true"
+            legacy.stats()
+            assert legacy.last_headers.get("deprecation") == "true"
+
+    def test_v1_and_legacy_hit_the_same_router(self, live, tiny_collection):
+        template = tiny_collection.get(0, FINGER, "D0", 1).template
+        v1 = live.verify("subject-0", template, device="D0")
+        legacy = ServiceClient(live._host, live._port, api_base="")
+        with legacy:
+            old = legacy.verify("subject-0", template, device="D0")
+        assert v1["score"] == old["score"]
+        assert v1["decision"] == old["decision"]
+
+    def test_unknown_route_is_not_marked_deprecated(self, live):
+        with pytest.raises(ServiceClientError):
+            live._request("GET", "/nope")
+        assert "deprecation" not in live.last_headers
+
+    def test_bare_v1_404s_without_deprecation(self, live):
+        # "/v1" normalizes to "/", which is not a route — but it is
+        # versioned, so the error must not claim deprecation.
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request("GET", "/v1")
+        assert excinfo.value.status == 404
+        assert excinfo.value.code == "not_found"
+        assert "deprecation" not in live.last_headers
+
+
+class TestErrorEnvelope:
+    """Satellite (a): every failure is {"error": {code, message, request_id}}."""
+
+    @staticmethod
+    def _assert_envelope(exc, status, code):
+        assert exc.status == status
+        envelope = exc.payload["error"]
+        assert envelope["code"] == code == exc.code
+        assert isinstance(envelope["message"], str) and envelope["message"]
+        assert envelope["request_id"] == exc.request_id
+        assert exc.request_id  # always stamped
+
+    def test_404_unknown_route(self, live):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request("GET", "/v1/nope")
+        self._assert_envelope(excinfo.value, 404, "not_found")
+
+    def test_405_wrong_method(self, live):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request("GET", "/v1/verify")
+        self._assert_envelope(excinfo.value, 405, "method_not_allowed")
+
+    def test_400_unparsable_json(self, live):
+        connection = live._connect()
+        connection.request(
+            "POST", "/v1/verify", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 400
+        envelope = payload["error"]
+        assert envelope["code"] == "bad_request"
+        assert envelope["request_id"]
+
+    def test_400_invalid_template(self, live):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live._request(
+                "POST",
+                "/v1/verify",
+                {"identity": "subject-0", "device": "D0", "template": "!!!"},
+            )
+        self._assert_envelope(excinfo.value, 400, "invalid_template")
+        assert excinfo.value.kind == "TemplateFormatError"
+
+    def test_413_oversized_body(self, live):
+        connection = live._connect()
+        connection.request(
+            "POST", "/v1/verify", body=b"x" * ((1 << 20) + 1),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 413
+        assert payload["error"]["code"] == "payload_too_large"
+
+    def test_503_overload_envelope_is_retryable(
+        self, tmp_path, tiny_collection, matcher
+    ):
+        gallery = GalleryIndex(tmp_path / "gallery")
+        server = _server(
+            gallery, matcher,
+            batching=BatchingConfig(queue_depth=1, max_wait_ms=0.0),
+        )
+        with ServiceRunner(server) as (host, port):
+            with ServiceClient(host, port) as client:
+                for sid in SUBJECTS:
+                    client.enroll(
+                        f"subject-{sid}",
+                        tiny_collection.get(sid, FINGER, "D0", 0).template,
+                        device="D0",
+                    )
+                with pytest.raises(ServiceClientError) as excinfo:
+                    client.identify(
+                        tiny_collection.get(0, FINGER, "D0", 1).template,
+                        device="D0",
+                    )
+        self._assert_envelope(excinfo.value, 503, "overloaded")
+        assert excinfo.value.retryable
+
+    def test_legacy_errors_carry_the_same_envelope(self, live):
+        legacy = ServiceClient(live._host, live._port, api_base="")
+        with legacy:
+            with pytest.raises(ServiceClientError) as excinfo:
+                legacy._request("GET", "/verify")
+        self._assert_envelope(excinfo.value, 405, "method_not_allowed")
+        assert legacy.last_headers.get("deprecation") == "true"
+
+
+class TestTwoStageIdentify:
+    """Tentpole at the HTTP layer: modes, search block, candidate schema."""
+
+    def test_exact_mode_response_schema(self, live, tiny_collection):
+        reply = live.identify(
+            tiny_collection.get(1, FINGER, "D0", 1).template, device="D0"
+        )
+        search = reply["search"]
+        assert search["mode"] == "exact"
+        assert search["gallery_size"] == len(SUBJECTS)
+        assert search["candidates_scored"] == len(SUBJECTS)
+        assert search["candidate_k"] is None
+        assert search["prefilter_seconds"] == 0.0
+        top = reply["candidates"][0]
+        assert top["identity"] == "subject-1"
+        assert top["device"] == "D0"
+        assert top["stage"] == "exhaustive"
+        assert top["prefilter_rank"] is None
+        assert isinstance(top["score"], float)
+
+    def test_two_stage_mode_response_schema(self, live, tiny_collection):
+        reply = live.identify(
+            tiny_collection.get(1, FINGER, "D0", 1).template,
+            device="D0",
+            mode="two_stage",
+            candidate_k=2,
+        )
+        search = reply["search"]
+        assert search["mode"] == "two_stage"
+        assert search["gallery_size"] == len(SUBJECTS)
+        assert search["candidates_scored"] == 2
+        assert search["candidate_k"] == 2
+        assert search["prefilter_seconds"] > 0.0
+        for candidate in reply["candidates"]:
+            assert candidate["stage"] == "rescored"
+            assert 1 <= candidate["prefilter_rank"] <= 2
+
+    def test_two_stage_agrees_with_exact_top1(self, live, tiny_collection):
+        for sid in SUBJECTS:
+            probe = tiny_collection.get(sid, FINGER, "D0", 1).template
+            exact = live.identify(probe, device="D0", mode="exact")
+            fast = live.identify(probe, device="D0", mode="two_stage")
+            assert (
+                exact["candidates"][0]["identity"]
+                == fast["candidates"][0]["identity"]
+                == f"subject-{sid}"
+            )
+            assert exact["candidates"][0]["score"] == pytest.approx(
+                fast["candidates"][0]["score"]
+            )
+
+    def test_invalid_mode_400(self, live, tiny_collection):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live.identify(
+                tiny_collection.get(0, FINGER, "D0", 1).template,
+                device="D0",
+                mode="bogus",
+            )
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid_request"
+
+    def test_invalid_candidate_k_400(self, live, tiny_collection):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live.identify(
+                tiny_collection.get(0, FINGER, "D0", 1).template,
+                device="D0",
+                mode="two_stage",
+                candidate_k=0,
+            )
+        assert excinfo.value.status == 400
+
+    def test_server_default_mode_knob(self, tmp_path, tiny_collection, matcher):
+        gallery = GalleryIndex(tmp_path / "gallery")
+        server = _server(gallery, matcher, identify_mode="two_stage", candidate_k=2)
+        with ServiceRunner(server) as (host, port):
+            with ServiceClient(host, port) as client:
+                for sid in SUBJECTS:
+                    client.enroll(
+                        f"subject-{sid}",
+                        tiny_collection.get(sid, FINGER, "D0", 0).template,
+                        device="D0",
+                    )
+                reply = client.identify(
+                    tiny_collection.get(0, FINGER, "D0", 1).template, device="D0"
+                )
+                assert reply["search"]["mode"] == "two_stage"
+                assert reply["search"]["candidates_scored"] == 2
+                stats = client.stats()
+                assert stats["identify"]["default_mode"] == "two_stage"
+                assert stats["identify"]["candidate_k"] == 2
+
+    def test_identify_telemetry_reaches_metrics(self, live, tiny_collection):
+        probe = tiny_collection.get(0, FINGER, "D0", 1).template
+        live.identify(probe, device="D0", mode="exact")
+        live.identify(probe, device="D0", mode="two_stage")
+        families = parse_exposition(live.metrics())
+        assert sample_value(
+            families, "repro_identify_searches_total", {"mode": "exact"}
+        ) >= 1
+        assert sample_value(
+            families, "repro_identify_searches_total", {"mode": "two_stage"}
+        ) >= 1
+        assert sample_value(families, "repro_identify_candidates_total") >= 1
+        assert sample_value(
+            families, "repro_identify_prefilter_seconds_count", {}
+        ) >= 1
+
+
+class TestRetryAfterBackoff:
+    """Satellite (c): the client honors Retry-After on 503s."""
+
+    def test_retry_delay_reads_the_header(self, live):
+        live.last_headers = {"retry-after": "2.5"}
+        assert live.retry_delay() == 2.5
+        live.last_headers = {"retry-after": "-3"}
+        assert live.retry_delay() == 0.0
+        live.last_headers = {"retry-after": "soon"}
+        assert live.retry_delay() == 0.05
+        live.last_headers = {}
+        assert live.retry_delay(default=0.2) == 0.2
+
+    def test_wait_until_healthy_backs_off_by_retry_after(self, monkeypatch, live):
+        naps = []
+        calls = {"n": 0}
+
+        def fake_healthz():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                live.last_headers = {"retry-after": "0.123"}
+                raise ServiceClientError(503, {"error": {"message": "full"}})
+            return {"status": "ok"}
+
+        monkeypatch.setattr(live, "healthz", fake_healthz)
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: naps.append(s)
+        )
+        assert live.wait_until_healthy(timeout_s=5.0)["status"] == "ok"
+        assert naps and naps[0] == pytest.approx(0.123, abs=1e-6)
