@@ -30,6 +30,15 @@ versus ``tracing=False`` and no log.  The tracing arm must stay within
 the 3% throughput-overhead budget; the record reports the measured
 overhead against it (best-of ``--repeats`` per arm to damp scheduler
 noise).
+
+The worker-count sweep (``--worker-counts``, default ``1,2,4``)
+measures horizontal sharding: an identify-only closed loop against the
+same gallery served by 1 (in-process control), 2, and 4 sharded worker
+processes.  Counts above ``os.cpu_count()`` are skipped — running 4
+matcher processes on fewer cores measures contention, not sharding —
+and the record says so (``skipped_counts`` / ``skip_reason``) with an
+honest ``cpus`` field, leaving ``speedup`` null when the top count
+could not run.
 """
 
 from __future__ import annotations
@@ -158,6 +167,119 @@ def _run_arm(
         disable_telemetry()
 
 
+def _worker_arm(collection, matcher, *, workers, clients, cycles):
+    """One worker-count arm: identify-only closed loop, both modes."""
+    with tempfile.TemporaryDirectory() as tmp:
+        gallery = GalleryIndex(Path(tmp) / "gallery")
+        batching = BatchingConfig(
+            max_batch=512, max_wait_ms=5.0, queue_depth=4096
+        )
+        server = VerificationServer(
+            gallery, matcher=matcher, port=0, batching=batching,
+            workers=workers,
+        )
+        with ServiceRunner(server) as (host, port):
+            with ServiceClient(host, port) as setup:
+                for sid in range(GALLERY_SUBJECTS):
+                    for device in DEVICES:
+                        template = collection.get(
+                            sid, "right_index", device, 0
+                        ).template
+                        setup.enroll(f"subject-{sid}", template, device=device)
+            probes = {
+                sid: collection.get(sid, "right_index", "D1", 1).template
+                for sid in range(GALLERY_SUBJECTS)
+            }
+
+            def worker(wid):
+                sid = wid % GALLERY_SUBJECTS
+                identity = f"subject-{sid}"
+                count = 0
+                with ServiceClient(host, port) as client:
+                    for cycle in range(cycles):
+                        mode = "two_stage" if cycle % 2 else "exact"
+                        hits = client.identify(
+                            probes[sid], device=None, mode=mode
+                        )
+                        count += 1
+                        top = hits["candidates"][0]["identity"]
+                        assert top.split("/")[-1] == identity, (
+                            f"rank-1 miss: {top} for {identity}"
+                        )
+                return count
+
+            wall_start = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=clients
+            ) as pool:
+                requests = sum(pool.map(worker, range(clients)))
+            wall = time.perf_counter() - wall_start
+            with ServiceClient(host, port) as client:
+                snapshot = client.stats()
+    return {
+        "workers": workers,
+        "requests": requests,
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(requests / wall, 1),
+        "worker_dispatches": sum(
+            snapshot["workers"]["dispatches"].values()
+        ),
+        "respawns": sum(snapshot["workers"]["respawns"].values()),
+    }
+
+
+#: Acceptance target: identify throughput at 4 workers vs 1.
+WORKER_SPEEDUP_TARGET = 2.5
+
+
+def _worker_sweep(collection, matcher, *, clients, cycles, counts):
+    """Sharded identify throughput across worker counts (1 = control).
+
+    Skips counts above the core count rather than reporting a number
+    that measures oversubscription; the record carries the honest
+    ``cpus`` and the skip reason so a reader can tell a small runner
+    from a regression.
+    """
+    cpus = os.cpu_count() or 1
+    runnable = [c for c in counts if c <= cpus]
+    skipped = [c for c in counts if c > cpus]
+    arms = []
+    for count in runnable:
+        arm = _worker_arm(
+            collection, matcher, workers=count, clients=clients, cycles=cycles
+        )
+        arms.append(arm)
+        print(
+            f"workers={count}: {arm['throughput_rps']} identify/s "
+            f"({arm['worker_dispatches']} worker dispatches)"
+        )
+    by_count = {arm["workers"]: arm for arm in arms}
+    top = max(runnable) if runnable else 0
+    speedup = None
+    if top > 1 and 1 in by_count:
+        speedup = round(
+            by_count[top]["throughput_rps"] / by_count[1]["throughput_rps"], 2
+        )
+    if skipped:
+        print(
+            f"worker counts {skipped} skipped: only {cpus} CPU(s) — "
+            "sharding needs a core per worker to mean anything"
+        )
+    return {
+        "counts_requested": counts,
+        "cpus": cpus,
+        "skipped_counts": skipped,
+        "skip_reason": (
+            f"host has {cpus} CPU(s); counts above that would measure "
+            "core contention, not sharding" if skipped else None
+        ),
+        "speedup": speedup,
+        "speedup_measured_at": top if speedup is not None else None,
+        "speedup_target": WORKER_SPEEDUP_TARGET,
+        "arms": arms,
+    }
+
+
 TRACING_BUDGET_PCT = 3.0
 
 
@@ -204,6 +326,12 @@ def main() -> None:
         default=[4, 8],
         help="hot-population sizes to sweep (first one is the headline)",
     )
+    parser.add_argument(
+        "--worker-counts",
+        type=lambda text: [int(v) for v in text.split(",")],
+        default=[1, 2, 4],
+        help="sharded-pool sizes to sweep (counts above cpu_count skip)",
+    )
     parser.add_argument("--label", default="online serving micro-batching")
     parser.add_argument("--out", default="service_load.json")
     args = parser.parse_args()
@@ -235,6 +363,11 @@ def main() -> None:
             f"batched {arms['batched']['throughput_rps']} req/s ({speedup}x)"
         )
 
+    worker_sweep = _worker_sweep(
+        collection, matcher, clients=args.clients, cycles=args.cycles,
+        counts=args.worker_counts,
+    )
+
     tracing = _tracing_overhead(
         collection, matcher, clients=args.clients, cycles=args.cycles,
         hot=args.hot[0], repeats=args.repeats,
@@ -257,6 +390,7 @@ def main() -> None:
         "cpus": os.cpu_count(),
         "headline_speedup": sweep[0]["speedup"],
         "sweep": sweep,
+        "worker_sweep": worker_sweep,
         "tracing_overhead": tracing,
     }
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)

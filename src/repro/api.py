@@ -190,10 +190,14 @@ from .service import (
     ServiceStats,
     UnknownIdentityError,
     VerificationServer,
+    WorkerPool,
+    WorkerPoolConfig,
+    WorkerPoolDegradedError,
     encode_template,
     iter_reqlog,
     parse_exposition,
     render_exposition,
+    shard_of,
 )
 from .sensors import (
     DEVICE_ORDER,
@@ -528,6 +532,10 @@ __all__ = [
     "iter_reqlog",
     "render_exposition",
     "parse_exposition",
+    "WorkerPool",
+    "WorkerPoolConfig",
+    "WorkerPoolDegradedError",
+    "shard_of",
     "Impression",
     "ProtocolSettings",
     "build_sensor",

@@ -37,6 +37,7 @@ interrupted run from its chunk checkpoints) and ``--no-fail-fast``
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 
@@ -271,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default /identify search path: exhaustive "
                             "matcher or descriptor prefilter + rescoring "
                             "(REPRO_IDENTIFY_MODE, else exact)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="shard the gallery across N matcher worker "
+                            "processes (0/1 keeps the in-process path; "
+                            "default honours REPRO_SERVE_WORKERS)")
     serve.add_argument("--candidate-k", type=int, default=None,
                        help="two-stage prefilter shortlist size "
                             "(REPRO_IDENTIFY_CANDIDATES, else 32)")
@@ -745,6 +750,8 @@ def cmd_serve(args, out) -> int:
         slow_ms=args.slow_ms,
         identify_mode=args.identify_mode,
         candidate_k=args.candidate_k,
+        workers=args.workers,
+        matcher_factory=functools.partial(build_matcher, args.matcher),
     )
 
     async def _run() -> None:
@@ -755,6 +762,7 @@ def cmd_serve(args, out) -> int:
             f"({len(gallery)} enrolled, threshold {server.threshold}, "
             f"batching {'on' if batching.enabled else 'off'}, "
             f"identify {server.identify_mode}, "
+            f"workers {server.pool.workers if server.pool else 0}, "
             f"tracing {'on' if server.tracing else 'off'}"
             + (f", reqlog {server.reqlog.path}" if server.reqlog else "")
             + ")",

@@ -314,15 +314,32 @@ def merge_shard_candidates(
 
     Exact for any metric: the global K nearest are each within their own
     shard's K nearest, so taking every shard's local top-K and re-sorting
-    loses nothing.
+    loses nothing.  A key appearing in several shards (overlapping
+    shards, or a retried fan-out that answered twice) survives once, at
+    its nearest distance — for disjoint shards, the worker-pool case,
+    this dedup is a no-op.  Ties break on ``(distance, key)``, the same
+    total order :meth:`PrefilterIndex.top_k` uses, so the merged ranking
+    is deterministic regardless of shard count or arrival order.
     """
+    if k < 1:
+        return []
     pooled = sorted(
-        ((c.distance, c.key) for shard in shards for c in shard),
-    )[:k]
-    return [
-        PrefilterCandidate(key=key, distance=distance, rank=rank)
-        for rank, (distance, key) in enumerate(pooled, start=1)
-    ]
+        (c.distance, c.key) for shard in shards for c in shard
+    )
+    merged: List[PrefilterCandidate] = []
+    seen = set()
+    for distance, key in pooled:
+        if key in seen:
+            continue
+        seen.add(key)
+        merged.append(
+            PrefilterCandidate(
+                key=key, distance=distance, rank=len(merged) + 1
+            )
+        )
+        if len(merged) == k:
+            break
+    return merged
 
 
 __all__ = [

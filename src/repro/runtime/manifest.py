@@ -220,6 +220,26 @@ def _service_stats(snapshot: dict) -> dict:
         "max_batch_size": int(batch.get("max", 0) or 0),
         "mean_latency_ms": mean_latency_ms,
         "index": _index_stats(snapshot),
+        "workers": _worker_stats(snapshot),
+    }
+
+
+def _worker_stats(snapshot: dict) -> dict:
+    """Sharded-serving rollup: what the worker pool did during the run.
+
+    All zeros when serving ran in-process (``REPRO_SERVE_WORKERS`` <= 1
+    or no server at all); a chaos smoke can assert respawns — and that
+    the pool never degraded — from the manifest alone.
+    """
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    return {
+        "configured": int(gauges.get("service.worker.configured", 0.0)),
+        "alive": int(gauges.get("service.worker.alive", 0.0)),
+        "degraded": gauges.get("service.worker.degraded", 0.0) > 0.0,
+        "dispatches": counters.get("service.worker.dispatches", 0),
+        "dispatched_jobs": counters.get("service.worker.dispatched_jobs", 0),
+        "respawns": counters.get("service.worker.respawns", 0),
     }
 
 
@@ -457,6 +477,16 @@ def render_manifest(manifest: RunManifest) -> str:
             f"{svc.get('deadline_exceeded', 0)} deadline-exceeded, "
             f"mean latency {latency_text}"
         )
+        workers = svc.get("workers") or {}
+        if workers.get("configured"):
+            degraded = " [degraded to in-process]" if workers.get("degraded") else ""
+            lines.append(
+                f"  workers: {workers.get('alive', 0)}/"
+                f"{workers.get('configured', 0)} alive, "
+                f"{workers.get('dispatches', 0)} dispatches "
+                f"({workers.get('dispatched_jobs', 0)} jobs), "
+                f"{workers.get('respawns', 0)} respawns{degraded}"
+            )
         index = svc.get("index") or {}
         if index.get("searches"):
             modes = ", ".join(

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Dict, Tuple
@@ -62,6 +63,21 @@ class StoreHandle:
     #: Pid of the packing process — attaches in the creator itself (the
     #: sequential fallback, tests) must keep the tracker registration.
     creator_pid: int
+
+
+def _destroy_block(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink one owned block; tolerates a racing unlink.
+
+    Module-level so :mod:`weakref` finalizers can call it without
+    keeping the store object alive.
+    """
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+    except OSError:  # pragma: no cover - interpreter teardown
+        pass
 
 
 def _unregister_from_tracker(shm: shared_memory.SharedMemory) -> None:
@@ -106,10 +122,15 @@ class SharedTemplateStore:
     """
 
     def __init__(
-        self, shm: shared_memory.SharedMemory, handle: StoreHandle
+        self, shm: shared_memory.SharedMemory, handle
     ) -> None:
         self._shm = shm
         self._handle = handle
+        # Leak guard: a store dropped without destroy() (an exception
+        # between pack and the pool, a crashed server teardown path)
+        # must not strand a /dev/shm block until reboot.  destroy() is
+        # idempotent, so the explicit call and the finalizer compose.
+        self._finalizer = weakref.finalize(self, _destroy_block, shm)
 
     @classmethod
     def pack(cls, collection) -> "SharedTemplateStore":
@@ -172,11 +193,8 @@ class SharedTemplateStore:
         """Close the parent mapping and unlink the block (idempotent)."""
         if self._shm is None:
             return
-        self._shm.close()
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover
-            pass
+        self._finalizer.detach()
+        _destroy_block(self._shm)
         self._shm = None
 
     def __enter__(self) -> "SharedTemplateStore":
@@ -266,9 +284,234 @@ class StoredImpression:
     nfiq: int
 
 
+#: Gallery index entry: (row_offset, n_minutiae, width_px, height_px,
+#: dpi, descriptor_row).
+_GalleryEntry = Tuple[int, int, int, int, int, int]
+
+#: Gallery addressing key: (device, identity).
+_GalleryKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class GalleryStoreHandle:
+    """Attachment token of a packed serving gallery.
+
+    Same idea as :class:`StoreHandle`, but keyed by (device, identity)
+    and carrying the descriptor-matrix geometry: the block holds the
+    minutia rows of every record followed by one contiguous
+    ``(n_records, descriptor_dim)`` float64 matrix, so a sharded worker
+    can rebuild both its templates *and* its
+    :class:`~repro.core.prefilter.PrefilterIndex` slice without any
+    payload travelling through pickle.
+    """
+
+    name: str
+    n_rows: int
+    n_records: int
+    descriptor_dim: int
+    index: Dict[_GalleryKey, _GalleryEntry]
+    creator_pid: int
+
+
+class SharedGalleryStore(SharedTemplateStore):
+    """Parent-side owner of a packed serving-gallery block.
+
+    The serving sibling of :meth:`SharedTemplateStore.pack`: instead of
+    a synthesized collection it packs the live
+    :class:`~repro.service.gallery.GalleryIndex` records — minutia rows
+    plus each record's prefilter descriptor — into one block the worker
+    pool maps.  Lifecycle (context manager, idempotent :meth:`destroy`,
+    GC leak guard) is inherited.
+    """
+
+    @classmethod
+    def pack_gallery(
+        cls, records: Dict[_GalleryKey, Any]
+    ) -> "SharedGalleryStore":
+        """Pack ``{(device, identity): record}`` into shared memory.
+
+        Records need ``.template`` and ``.descriptor`` (the
+        :class:`~repro.service.gallery.GalleryRecord` surface).  Keys are
+        packed in sorted order so the block layout is deterministic for
+        a given gallery state.
+        """
+        index: Dict[_GalleryKey, _GalleryEntry] = {}
+        blocks = []
+        descriptors = []
+        offset = 0
+        dim = 0
+        for position, key in enumerate(sorted(records)):
+            record = records[key]
+            template = record.template
+            descriptor = np.asarray(record.descriptor, dtype=np.float64).ravel()
+            if dim == 0:
+                dim = descriptor.size
+            if descriptor.size != dim:
+                raise ConfigurationError(
+                    f"descriptor of {key!r} has dim {descriptor.size}, "
+                    f"expected {dim}"
+                )
+            n = len(template)
+            rows = np.empty((n, _ROW_FIELDS), dtype=np.float64)
+            if n:
+                rows[:, 0:2] = template.positions_px()
+                rows[:, 2] = template.angles()
+                rows[:, 3] = template.kinds()
+                rows[:, 4] = template.qualities()
+            blocks.append(rows)
+            descriptors.append(descriptor)
+            index[key] = (
+                offset,
+                n,
+                template.width_px,
+                template.height_px,
+                template.resolution_dpi,
+                position,
+            )
+            offset += n
+        rows_payload = (
+            np.concatenate(blocks, axis=0)
+            if blocks
+            else np.zeros((0, _ROW_FIELDS), dtype=np.float64)
+        )
+        matrix_payload = (
+            np.stack(descriptors)
+            if descriptors
+            else np.zeros((0, max(1, dim)), dtype=np.float64)
+        )
+        size = max(1, rows_payload.nbytes + matrix_payload.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        if rows_payload.size:
+            target = np.ndarray(
+                rows_payload.shape, dtype=np.float64, buffer=shm.buf
+            )
+            target[:] = rows_payload
+        if matrix_payload.size:
+            target = np.ndarray(
+                matrix_payload.shape,
+                dtype=np.float64,
+                buffer=shm.buf,
+                offset=rows_payload.nbytes,
+            )
+            target[:] = matrix_payload
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.gauge("shm.gallery.records", float(len(index)))
+            recorder.gauge(
+                "shm.gallery.bytes",
+                float(rows_payload.nbytes + matrix_payload.nbytes),
+            )
+        handle = GalleryStoreHandle(
+            name=shm.name,
+            n_rows=offset,
+            n_records=len(index),
+            descriptor_dim=dim,
+            index=index,
+            creator_pid=os.getpid(),
+        )
+        return cls(shm, handle)
+
+    def handle(self) -> GalleryStoreHandle:
+        """The picklable attachment token for worker processes."""
+        return self._handle
+
+
+class SharedGalleryView:
+    """Worker-side read-only view over a packed gallery block.
+
+    Serves the base snapshot of one worker's shard: templates are
+    reconstructed lazily (memoized per key, exactly as
+    :class:`SharedTemplateView` does) and descriptor rows are zero-copy
+    slices of the shared matrix, ready to seed a per-device
+    :class:`~repro.core.prefilter.PrefilterIndex`.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, handle: GalleryStoreHandle
+    ) -> None:
+        self._shm = shm
+        self._rows = np.ndarray(
+            (handle.n_rows, _ROW_FIELDS), dtype=np.float64, buffer=shm.buf
+        )
+        self._matrix = np.ndarray(
+            (handle.n_records, max(1, handle.descriptor_dim)),
+            dtype=np.float64,
+            buffer=shm.buf,
+            offset=handle.n_rows * _ROW_FIELDS * 8,
+        )
+        self._index = handle.index
+        self._templates: Dict[_GalleryKey, Any] = {}
+
+    @classmethod
+    def attach(cls, handle: GalleryStoreHandle) -> "SharedGalleryView":
+        """Map the block named by ``handle`` (read side)."""
+        shm = shared_memory.SharedMemory(name=handle.name)
+        if (
+            os.getpid() != handle.creator_pid
+            and not _tracker_is_shared_with_creator()
+        ):
+            _unregister_from_tracker(shm)
+        return cls(shm, handle)
+
+    def keys(self):
+        """Every packed (device, identity) key."""
+        return self._index.keys()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: _GalleryKey) -> bool:
+        return key in self._index
+
+    def template(self, device: str, identity: str):
+        """Rebuild one record's template (memoized); raises when absent."""
+        key = (device, identity)
+        cached = self._templates.get(key)
+        if cached is not None:
+            return cached
+        entry = self._index.get(key)
+        if entry is None:
+            raise ConfigurationError(f"no shared gallery record for {key}")
+        from ..matcher.types import template_from_arrays
+
+        offset, n, width_px, height_px, dpi, _position = entry
+        rows = self._rows[offset : offset + n]
+        template = template_from_arrays(
+            positions_px=rows[:, 0:2],
+            angles=rows[:, 2],
+            kinds=rows[:, 3].astype(np.int64),
+            qualities=rows[:, 4].astype(np.int64),
+            width_px=width_px,
+            height_px=height_px,
+            resolution_dpi=dpi,
+        )
+        self._templates[key] = template
+        return template
+
+    def descriptor(self, device: str, identity: str) -> np.ndarray:
+        """One record's descriptor row (a copy, safe to keep)."""
+        entry = self._index.get((device, identity))
+        if entry is None:
+            raise ConfigurationError(
+                f"no shared gallery record for {(device, identity)}"
+            )
+        return np.array(self._matrix[entry[5]], dtype=np.float64)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself lives on)."""
+        if self._shm is not None:
+            self._rows = None
+            self._matrix = None
+            self._shm.close()
+            self._shm = None
+
+
 __all__ = [
     "SharedTemplateStore",
     "SharedTemplateView",
+    "SharedGalleryStore",
+    "SharedGalleryView",
     "StoreHandle",
+    "GalleryStoreHandle",
     "StoredImpression",
 ]

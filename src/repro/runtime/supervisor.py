@@ -140,6 +140,36 @@ class RetryPolicy:
         return delay * (1.0 + self.jitter * spread)
 
 
+class RestartBudget:
+    """Counts restarts until a tolerance is exhausted.
+
+    The escalation primitive shared by :class:`BatchSupervisor` (where
+    an exhausted budget halves the pool width, then degrades to serial)
+    and the serving worker pool in :mod:`repro.service.workers` (where
+    shard ownership is static, so exhaustion degrades straight to the
+    in-process path).  :meth:`note_restart` returns ``True`` when the
+    tolerance is spent; :meth:`reset` rearms it after the caller has
+    taken its escalation step.
+    """
+
+    __slots__ = ("tolerance", "restarts")
+
+    def __init__(self, tolerance: int) -> None:
+        if tolerance < 1:
+            raise ConfigurationError("restart tolerance must be >= 1")
+        self.tolerance = tolerance
+        self.restarts = 0
+
+    def note_restart(self) -> bool:
+        """Record one restart; True when the budget is now exhausted."""
+        self.restarts += 1
+        return self.restarts >= self.tolerance
+
+    def reset(self) -> None:
+        """Rearm the budget after the caller's escalation step."""
+        self.restarts = 0
+
+
 def default_task_keys(label: str, count: int) -> List[str]:
     """Stable task keys ``{label}-batch0000...`` for an unlabeled map."""
     return [f"{label}-batch{i:04d}" for i in range(count)]
@@ -241,7 +271,7 @@ class BatchSupervisor:
         ]
         self._inflight: dict = {}  # future -> (_TaskState, submitted_at)
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._restarts_at_width = 0
+        self._restart_budget = RestartBudget(self.policy.shrink_after)
         self.degraded = False
 
     # ------------------------------------------------------------------
@@ -377,7 +407,7 @@ class BatchSupervisor:
         if self._pool is not None:
             _stop_pool(self._pool)
             self._pool = None
-        self._restarts_at_width += 1
+        exhausted = self._restart_budget.note_restart()
         if self.recorder.active:
             self.recorder.count("supervisor.pool_restarts")
         _log.warning(
@@ -386,14 +416,14 @@ class BatchSupervisor:
                 "data": {
                     "reason": reason,
                     "workers": self.workers,
-                    "restarts_at_width": self._restarts_at_width,
+                    "restarts_at_width": self._restart_budget.restarts,
                 }
             },
         )
-        if self._restarts_at_width >= self.policy.shrink_after:
+        if exhausted:
             if self.workers > 1:
                 self.workers = max(1, self.workers // 2)
-                self._restarts_at_width = 0
+                self._restart_budget.reset()
                 if self.recorder.active:
                     self.recorder.gauge("supervisor.workers", float(self.workers))
                 _log.warning(
@@ -645,6 +675,7 @@ def supervised_map_batched(
 
 __all__ = [
     "RetryPolicy",
+    "RestartBudget",
     "BatchSupervisor",
     "supervised_map_batched",
     "default_task_keys",

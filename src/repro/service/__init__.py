@@ -23,6 +23,11 @@ from a different device:
   ``GET /metrics`` plus a strict parser for validating scrapes;
 * :mod:`repro.service.reqlog` — JSONL per-request audit log with
   size-based rotation;
+* :mod:`repro.service.workers` — horizontally sharded serving: a
+  supervised pool of matcher processes, each owning a BLAKE2b
+  identity-hash slice of the gallery (``REPRO_SERVE_WORKERS`` /
+  ``--workers``), with cross-shard top-K merges bit-identical to the
+  single-process path;
 * :mod:`repro.service.top` — the ``repro top`` live dashboard.
 
 Start one from the command line with ``repro serve`` (and populate it
@@ -72,6 +77,13 @@ from .server import (
 from ..core.identification import DEFAULT_CANDIDATE_K, IDENTIFY_MODES
 from .stats import ServiceStats
 from .top import run_top
+from .workers import (
+    WorkerBrokenError,
+    WorkerPool,
+    WorkerPoolConfig,
+    WorkerPoolDegradedError,
+    shard_of,
+)
 
 __all__ = [
     "BatchingConfig",
@@ -105,4 +117,9 @@ __all__ = [
     "iter_reqlog",
     "slow_threshold_ms",
     "run_top",
+    "WorkerPool",
+    "WorkerPoolConfig",
+    "WorkerBrokenError",
+    "WorkerPoolDegradedError",
+    "shard_of",
 ]

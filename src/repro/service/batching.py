@@ -34,7 +34,7 @@ import logging
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -160,18 +160,29 @@ class MicroBatcher:
         matcher,
         stats: Optional[ServiceStats] = None,
         config: Optional[BatchingConfig] = None,
+        *,
+        name: str = "",
+        sequence: Optional[Callable[[], int]] = None,
     ) -> None:
         self._matcher = matcher
         self._stats = stats if stats is not None else ServiceStats()
         self._config = config if config is not None else BatchingConfig()
         self._queue: Deque[_Job] = deque()
         self._wake = asyncio.Event()
+        prefix = f"repro-match-{name}" if name else "repro-match"
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-match"
+            max_workers=1, thread_name_prefix=prefix
         )
         self._collector: Optional[asyncio.Task] = None
         self._closed = False
         self._batch_seq = 0
+        # Sharded serving runs one batcher per worker; a shared sequence
+        # keeps batch ids unique across the pool so traces and stats
+        # never show two concurrent batches under one id.
+        self._next_batch_id = sequence if sequence is not None else self._bump
+
+    def _bump(self) -> int:
+        return self._batch_seq + 1
 
     @property
     def config(self) -> BatchingConfig:
@@ -288,7 +299,7 @@ class MicroBatcher:
                 raise DeadlineExceededError(
                     f"request exceeded its {budget:.3f}s deadline"
                 ) from None
-            self._batch_seq += 1
+            self._batch_seq = self._next_batch_id()
             if trace is not None:
                 # The unbatched arm still yields an attributable
                 # timeline: zero queue/handoff wait, per-call batch id.
@@ -353,7 +364,7 @@ class MicroBatcher:
             live.append(job)
         batch_id = 0
         if live:
-            self._batch_seq += 1
+            self._batch_seq = self._next_batch_id()
             batch_id = self._batch_seq
             claimed = time.perf_counter()
             recorder = get_recorder()

@@ -465,6 +465,16 @@ class GalleryIndex:
             ])
         return merge_shard_candidates(shards, k)
 
+    def records(self) -> Dict[Tuple[str, str], GalleryRecord]:
+        """A shallow copy of every record, keyed ``(device, identity)``.
+
+        The worker pool packs this into a
+        :class:`~repro.runtime.shm.SharedGalleryStore` snapshot at
+        startup; the copy keeps later enrollments from mutating the dict
+        mid-pack.
+        """
+        return dict(self._records)
+
     def descriptor_matrix(self, device: str) -> np.ndarray:
         """One shard's contiguous (n, dim) descriptor matrix (a copy)."""
         _check_name(device, "device")

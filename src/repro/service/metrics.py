@@ -47,6 +47,12 @@ name                                      type       labels
 ``repro_identify_searches_total``         counter    ``mode``
 ``repro_identify_candidates_total``       counter    —
 ``repro_identify_prefilter_seconds``      histogram  —
+``repro_worker_pool_size``                gauge      ``state``
+``repro_worker_degraded``                 gauge      —
+``repro_worker_dispatches_total``         counter    ``worker``
+``repro_worker_dispatched_jobs_total``    counter    ``worker``
+``repro_worker_respawns_total``           counter    ``worker``
+``repro_worker_shard_size``               gauge      ``worker``
 ``repro_telemetry_*``                     mixed      — (recorder passthrough)
 ========================================  =========  =====================
 """
@@ -272,6 +278,33 @@ def render_exposition(
     w.histogram("repro_identify_prefilter_seconds", {},
                 prefilter["bounds"], prefilter["buckets"],
                 prefilter["count"], prefilter["sum"])
+
+    workers = snapshot["workers"]
+    w.family("repro_worker_pool_size", "gauge",
+             "Sharded serving pool width, configured and currently alive.")
+    w.sample("repro_worker_pool_size", {"state": "configured"},
+             workers["configured"])
+    w.sample("repro_worker_pool_size", {"state": "alive"}, workers["alive"])
+    w.family("repro_worker_degraded", "gauge",
+             "1 when the pool fell back to in-process serving.")
+    w.sample("repro_worker_degraded", {}, 1 if workers["degraded"] else 0)
+    w.family("repro_worker_dispatches_total", "counter",
+             "RPCs dispatched to each sharded worker.")
+    for worker, count in workers["dispatches"].items():
+        w.sample("repro_worker_dispatches_total", {"worker": worker}, count)
+    w.family("repro_worker_dispatched_jobs_total", "counter",
+             "Pair jobs carried by dispatches to each sharded worker.")
+    for worker, count in workers["dispatched_jobs"].items():
+        w.sample("repro_worker_dispatched_jobs_total", {"worker": worker},
+                 count)
+    w.family("repro_worker_respawns_total", "counter",
+             "Crash-or-stall respawns of each sharded worker.")
+    for worker, count in workers["respawns"].items():
+        w.sample("repro_worker_respawns_total", {"worker": worker}, count)
+    w.family("repro_worker_shard_size", "gauge",
+             "Gallery records owned by each sharded worker.")
+    for worker, count in workers["shard_sizes"].items():
+        w.sample("repro_worker_shard_size", {"worker": worker}, count)
 
     if queue_depth is not None:
         w.family("repro_queue_depth", "gauge",

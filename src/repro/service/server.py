@@ -43,8 +43,9 @@ and echoes the id on **every** response — success, error, even a
 malformed request line — so client and server logs join on one key.
 The trace records a phase timeline (``parse → gallery → [prefilter →]
 queue_wait → batch_wait → match → respond``; the ``prefilter`` phase
-appears on two-stage identify requests); finished requests are appended
-to an
+appears on two-stage identify requests, and sharded serving adds a
+``worker_dispatch`` phase covering the scatter/gather round trip);
+finished requests are appended to an
 optional JSONL :class:`~repro.service.reqlog.RequestLog`, and requests
 slower than ``REPRO_SERVE_SLOW_MS`` dump their full timeline at
 WARNING.  Overloaded (503) responses carry ``Retry-After`` so
@@ -111,10 +112,12 @@ from .batching import (
     MicroBatcher,
     ServiceOverloadError,
 )
+from ..core.prefilter import descriptor_vector
 from .gallery import EnrollmentRejected, GalleryIndex, UnknownIdentityError
 from .metrics import EXPOSITION_CONTENT_TYPE, render_exposition
 from .reqlog import RequestLog, slow_threshold_ms
 from .stats import ServiceStats
+from .workers import WorkerPool, WorkerPoolConfig, WorkerPoolDegradedError
 
 #: Operating threshold on the matcher's 0–30 score scale.  The paper's
 #: figures put the impostor band at 0–7 and genuine scores at 7–24, so
@@ -260,6 +263,8 @@ class VerificationServer:
         slow_ms: Optional[float] = None,
         identify_mode: Optional[str] = None,
         candidate_k: Optional[int] = None,
+        workers: Optional[int] = None,
+        matcher_factory=None,
     ) -> None:
         if threshold is None:
             threshold = env_float("REPRO_SERVE_THRESHOLD")
@@ -298,6 +303,24 @@ class VerificationServer:
         self._host = host
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        # Sharded serving: the pool spins up in start() (it needs the
+        # running loop); workers <= 1 keeps the single-process path —
+        # the bit-identical control arm of the worker sweep.
+        pool_config = WorkerPoolConfig.from_environment()
+        if workers is not None:
+            pool_config = WorkerPoolConfig(
+                workers=int(workers),
+                rpc_timeout_s=pool_config.rpc_timeout_s,
+                respawn_budget=pool_config.respawn_budget,
+            )
+        self._pool_config = pool_config
+        self._matcher_factory = matcher_factory
+        self._pool_batching = (
+            batching
+            if batching is not None
+            else BatchingConfig.from_environment()
+        )
+        self.pool: Optional[WorkerPool] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -311,7 +334,28 @@ class VerificationServer:
         return host, port
 
     async def start(self) -> None:
-        """Bind the listening socket and start the batch collector."""
+        """Bind the listening socket and start the batch collector.
+
+        With ``workers >= 2`` the sharded pool also spins up here.  The
+        in-process batcher starts regardless: it is both the control arm
+        (pool off) and the degraded fallback (pool broken), so falling
+        back never needs new machinery mid-request.
+        """
+        if self._pool_config.workers >= 2 and self.pool is None:
+            factory = self._matcher_factory
+            if factory is None:
+                # Fork-context workers inherit the closure; callers on
+                # spawn-only platforms should pass a picklable factory.
+                matcher = self.matcher
+                factory = lambda: matcher  # noqa: E731
+            self.pool = WorkerPool(
+                self.gallery,
+                factory,
+                stats=self.stats,
+                config=self._pool_config,
+                batching=self._pool_batching,
+            )
+            await self.pool.start()
         await self.batcher.start()
         try:
             self._server = await asyncio.start_server(
@@ -319,6 +363,9 @@ class VerificationServer:
             )
         except OSError as exc:
             await self.batcher.stop()
+            if self.pool is not None:
+                await self.pool.stop()
+                self.pool = None
             raise ServerStartupError(
                 f"could not bind {self._host}:{self._port}: {exc}"
             ) from exc
@@ -326,7 +373,8 @@ class VerificationServer:
         _log.info(
             "service listening",
             extra={"data": {"host": host, "port": port,
-                            "enrolled": len(self.gallery)}},
+                            "enrolled": len(self.gallery),
+                            "workers": self._pool_config.workers}},
         )
 
     async def serve_forever(self) -> None:
@@ -343,6 +391,9 @@ class VerificationServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.pool is not None:
+            await self.pool.stop()
+            self.pool = None
         await self.batcher.stop()
         if self.reqlog is not None:
             self.reqlog.close()
@@ -414,9 +465,32 @@ class VerificationServer:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         if length > MAX_BODY_BYTES:
+            # Drain the upload (bounded, with a deadline) before
+            # answering: closing mid-upload RSTs the socket and the
+            # client may never get to read the 413.
+            await self._drain_body(reader, length)
             raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
         return method.upper(), target, headers, body
+
+    @staticmethod
+    async def _drain_body(
+        reader: asyncio.StreamReader, length: int
+    ) -> None:
+        """Discard up to ``length`` declared body bytes, best-effort."""
+
+        async def _drain() -> None:
+            remaining = min(length, 8 * MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = await reader.read(min(65536, remaining))
+                if not chunk:
+                    return
+                remaining -= len(chunk)
+
+        try:
+            await asyncio.wait_for(_drain(), timeout=5.0)
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
 
     async def _handle_request(
         self,
@@ -640,6 +714,8 @@ class VerificationServer:
                 trace.meta["device"] = device
             with _phase("gallery"):
                 self.gallery.delete(identity, device=device)
+            if self._live_pool is not None:
+                await self.pool.apply_delete(device, identity)
             return 200, {"deleted": identity, "device": device}
         raise _HttpError(
             405 if path in ("/enroll", "/verify", "/identify",
@@ -660,11 +736,25 @@ class VerificationServer:
             raise _HttpError(400, "request body must be a JSON object")
         return payload
 
+    @property
+    def _live_pool(self) -> Optional[WorkerPool]:
+        """The worker pool, when it is running and not degraded."""
+        pool = self.pool
+        if pool is not None and not pool.degraded:
+            return pool
+        return None
+
     def _handle_healthz(self) -> dict:
+        pool = self.pool
         return {
             "status": "ok",
             "enrolled": len(self.gallery),
             "uptime_seconds": round(time.time() - self.stats.started_at, 3),
+            "workers": {
+                "configured": pool.workers if pool is not None else 0,
+                "alive": pool.alive_count if pool is not None else 0,
+                "degraded": pool.degraded if pool is not None else False,
+            },
         }
 
     def _handle_stats(self) -> dict:
@@ -677,7 +767,10 @@ class VerificationServer:
             "queue_depth": self.batcher.config.queue_depth,
             "timeout_s": self.batcher.config.timeout_s,
         }
-        payload["batching"]["queued_jobs"] = self.batcher.queue_depth
+        queued = self.batcher.queue_depth
+        if self.pool is not None:
+            queued += self.pool.queue_depth
+        payload["batching"]["queued_jobs"] = queued
         payload["identify"]["default_mode"] = self.identify_mode
         payload["identify"]["candidate_k"] = self.candidate_k
         payload["threshold"] = self.threshold
@@ -685,10 +778,13 @@ class VerificationServer:
         return payload
 
     def _handle_metrics(self) -> str:
+        queued = self.batcher.queue_depth
+        if self.pool is not None:
+            queued += self.pool.queue_depth
         return render_exposition(
             self.stats,
             gallery_devices=self.gallery.stats().get("devices"),
-            queue_depth=self.batcher.queue_depth,
+            queue_depth=queued,
         )
 
     async def _handle_enroll(self, payload: dict) -> Tuple[int, dict]:
@@ -705,6 +801,13 @@ class VerificationServer:
         except EnrollmentRejected as exc:
             self.stats.record_enroll_rejected()
             raise exc
+        if self._live_pool is not None:
+            # The response only returns after the owning worker acked,
+            # so a follow-up verify against this identity cannot race a
+            # not-yet-delivered delta.
+            await self.pool.apply_enroll(
+                device, identity, record.template, record.descriptor
+            )
         return 201, {
             "identity": record.identity,
             "device": record.device,
@@ -724,9 +827,20 @@ class VerificationServer:
         threshold = self._threshold(payload)
         with _phase("gallery"):
             record = self.gallery.get(identity, device=device)
-        scores = await self.batcher.score(
-            [(probe, record.template)], timeout_s=self._timeout(payload)
-        )
+        scores = None
+        if self._live_pool is not None:
+            try:
+                with _phase("worker_dispatch"):
+                    scores = await self.pool.score_keyed(
+                        probe, device, [identity],
+                        timeout_s=self._timeout(payload),
+                    )
+            except WorkerPoolDegradedError:
+                scores = None
+        if scores is None:
+            scores = await self.batcher.score(
+                [(probe, record.template)], timeout_s=self._timeout(payload)
+            )
         score = float(scores[0])
         accepted = score >= threshold
         self.stats.record_decision(accepted)
@@ -767,33 +881,24 @@ class VerificationServer:
                 400, "candidate_k must be a positive integer",
                 code="invalid_request",
             )
-        with _phase("gallery"):
-            candidates = self.gallery.candidates(device=device)
-        gallery_size = len(candidates)
-        prefilter_seconds = 0.0
-        prefilter_ranks: Dict[str, int] = {}
-        if mode == "two_stage" and gallery_size:
-            with _phase("prefilter"):
-                prefilter_started = time.perf_counter()
-                survivors = self.gallery.prefilter(
-                    probe, device=device, k=candidate_k
+        result = None
+        if self._live_pool is not None:
+            try:
+                result = await self._identify_sharded(
+                    probe, device, mode, candidate_k, max_candidates,
+                    self._timeout(payload),
                 )
-                prefilter_seconds = time.perf_counter() - prefilter_started
-            prefilter_ranks = {c.key: c.rank for c in survivors}
-            shortlist = sorted(prefilter_ranks)
-        else:
-            shortlist = sorted(candidates)
-        scores = await self.batcher.score(
-            [(probe, candidates[identity]) for identity in shortlist],
-            timeout_s=self._timeout(payload),
-        )
-        ranked = sorted(
-            zip(shortlist, (float(s) for s in scores)),
-            key=lambda item: (-item[1], item[0]),
-        )[:max_candidates]
+            except WorkerPoolDegradedError:
+                result = None
+        if result is None:
+            result = await self._identify_local(
+                probe, device, mode, candidate_k, max_candidates,
+                self._timeout(payload),
+            )
+        gallery_size, scored, ranked, prefilter_seconds, prefilter_ranks = result
         self.stats.record_identify(
             mode,
-            candidates_scored=len(shortlist),
+            candidates_scored=scored,
             prefilter_seconds=prefilter_seconds,
         )
         stage = "rescored" if mode == "two_stage" else "exhaustive"
@@ -804,7 +909,7 @@ class VerificationServer:
             "search": {
                 "mode": mode,
                 "gallery_size": gallery_size,
-                "candidates_scored": len(shortlist),
+                "candidates_scored": scored,
                 "candidate_k": candidate_k if mode == "two_stage" else None,
                 "prefilter_seconds": round(prefilter_seconds, 6),
             },
@@ -831,6 +936,84 @@ class VerificationServer:
                 else None
             ),
         }
+
+    async def _identify_local(
+        self, probe, device, mode, candidate_k, max_candidates, timeout_s
+    ):
+        """The single-process 1:N search — unchanged pre-pool behavior.
+
+        Also the live fallback when the worker pool has degraded, which
+        is why it stays a complete, self-contained path.
+        """
+        with _phase("gallery"):
+            candidates = self.gallery.candidates(device=device)
+        gallery_size = len(candidates)
+        prefilter_seconds = 0.0
+        prefilter_ranks: Dict[str, int] = {}
+        if mode == "two_stage" and gallery_size:
+            with _phase("prefilter"):
+                prefilter_started = time.perf_counter()
+                survivors = self.gallery.prefilter(
+                    probe, device=device, k=candidate_k
+                )
+                prefilter_seconds = time.perf_counter() - prefilter_started
+            prefilter_ranks = {c.key: c.rank for c in survivors}
+            shortlist = sorted(prefilter_ranks)
+        else:
+            shortlist = sorted(candidates)
+        scores = await self.batcher.score(
+            [(probe, candidates[identity]) for identity in shortlist],
+            timeout_s=timeout_s,
+        )
+        ranked = sorted(
+            zip(shortlist, (float(s) for s in scores)),
+            key=lambda item: (-item[1], item[0]),
+        )[:max_candidates]
+        return (
+            gallery_size, len(shortlist), ranked,
+            prefilter_seconds, prefilter_ranks,
+        )
+
+    async def _identify_sharded(
+        self, probe, device, mode, candidate_k, max_candidates, timeout_s
+    ):
+        """Scatter/gather 1:N across the worker pool.
+
+        Both modes reduce with the comparators the local path uses —
+        ``(-score, key)`` for ranking, ``(distance, key)`` in the
+        prefilter merge — so the response is bit-identical to
+        :meth:`_identify_local`, deterministic tie-breaks included.
+        """
+        prefilter_seconds = 0.0
+        prefilter_ranks: Dict[str, int] = {}
+        if mode == "two_stage":
+            vector = descriptor_vector(probe)
+            with _phase("prefilter"):
+                prefilter_started = time.perf_counter()
+                gallery_size, survivors = await self.pool.prefilter(
+                    vector, device, candidate_k
+                )
+                prefilter_seconds = time.perf_counter() - prefilter_started
+            prefilter_ranks = {c.key: c.rank for c in survivors}
+            shortlist = sorted(prefilter_ranks)
+            with _phase("worker_dispatch"):
+                scores = await self.pool.score_keyed(
+                    probe, device, shortlist, timeout_s=timeout_s
+                )
+            ranked = sorted(
+                zip(shortlist, (float(s) for s in scores)),
+                key=lambda item: (-item[1], item[0]),
+            )[:max_candidates]
+            return (
+                gallery_size, len(shortlist), ranked,
+                prefilter_seconds, prefilter_ranks,
+            )
+        with _phase("worker_dispatch"):
+            gallery_size, ranked = await self.pool.rank(
+                probe, device, limit=max_candidates
+            )
+        # Exact mode scores the whole (sharded) gallery.
+        return gallery_size, gallery_size, ranked, 0.0, prefilter_ranks
 
     # ------------------------------------------------------------------
     # Small request helpers

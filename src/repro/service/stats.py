@@ -156,6 +156,14 @@ class ServiceStats:
         self.identify_modes: Dict[str, int] = {}
         self.identify_candidates = 0
         self._prefilter_hist = _CumulativeHistogram(PREFILTER_BUCKETS)
+        # Sharded worker pool (all zero / empty when serving in-process).
+        self.workers_configured = 0
+        self.workers_alive = 0
+        self.worker_degraded = False
+        self.worker_dispatches: Dict[int, int] = {}
+        self.worker_jobs: Dict[int, int] = {}
+        self.worker_respawns: Dict[int, int] = {}
+        self.worker_shard_sizes: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Event sinks
@@ -258,6 +266,65 @@ class ServiceStats:
             if mode == "two_stage":
                 recorder.observe("index.prefilter_seconds", prefilter_seconds)
 
+    # ------------------------------------------------------------------
+    # Worker-pool sinks (sharded serving)
+    # ------------------------------------------------------------------
+    def configure_workers(self, configured: int, alive: int) -> None:
+        """Record the pool shape at startup (and the live count)."""
+        with self._lock:
+            self.workers_configured = configured
+            self.workers_alive = alive
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.gauge("service.worker.configured", float(configured))
+            recorder.gauge("service.worker.alive", float(alive))
+
+    def set_worker_alive(self, alive: int) -> None:
+        """Update the live worker count after a crash or respawn."""
+        with self._lock:
+            self.workers_alive = alive
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.gauge("service.worker.alive", float(alive))
+
+    def set_worker_degraded(self) -> None:
+        """The pool gave up; the server fell back to in-process serving."""
+        with self._lock:
+            self.worker_degraded = True
+            self.workers_alive = 0
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.gauge("service.worker.degraded", 1.0)
+            recorder.gauge("service.worker.alive", 0.0)
+
+    def set_worker_shard(self, worker: int, size: int) -> None:
+        """Record how many gallery records worker ``worker`` owns."""
+        with self._lock:
+            self.worker_shard_sizes[worker] = size
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.gauge(f"service.worker.shard_size.{worker}", float(size))
+
+    def record_worker_dispatch(self, worker: int, jobs: int = 1) -> None:
+        """Tally one RPC dispatched to worker ``worker`` (``jobs`` pairs)."""
+        with self._lock:
+            self.worker_dispatches[worker] = (
+                self.worker_dispatches.get(worker, 0) + 1
+            )
+            self.worker_jobs[worker] = self.worker_jobs.get(worker, 0) + jobs
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.count("service.worker.dispatches")
+            recorder.count("service.worker.dispatched_jobs", jobs)
+
+    def record_worker_respawn(self, worker: int) -> None:
+        """Tally one crash-or-stall respawn of worker ``worker``."""
+        with self._lock:
+            self.worker_respawns[worker] = (
+                self.worker_respawns.get(worker, 0) + 1
+            )
+        get_recorder().count("service.worker.respawns")
+
     def record_queue_wait(self, seconds: float) -> None:
         """Tally one pair job's time in the admission queue."""
         with self._lock:
@@ -347,6 +414,29 @@ class ServiceStats:
                 "candidates_scored": self.identify_candidates,
             }
 
+    def worker_snapshot(self) -> dict:
+        """The sharded-pool block for ``/stats`` and the manifest."""
+        with self._lock:
+            return {
+                "configured": self.workers_configured,
+                "alive": self.workers_alive,
+                "degraded": self.worker_degraded,
+                "dispatches": {
+                    str(k): v
+                    for k, v in sorted(self.worker_dispatches.items())
+                },
+                "dispatched_jobs": {
+                    str(k): v for k, v in sorted(self.worker_jobs.items())
+                },
+                "respawns": {
+                    str(k): v for k, v in sorted(self.worker_respawns.items())
+                },
+                "shard_sizes": {
+                    str(k): v
+                    for k, v in sorted(self.worker_shard_sizes.items())
+                },
+            }
+
     def batch_histograms(self) -> Dict[str, dict]:
         """Batch size / coalesced-request histograms for /metrics."""
         with self._lock:
@@ -402,6 +492,7 @@ class ServiceStats:
             "latency": self.latency_snapshot(),
             "batching": self.batch_snapshot(),
             "identify": self.identify_snapshot(),
+            "workers": self.worker_snapshot(),
         }
 
 

@@ -59,6 +59,8 @@ def take_sample(client: ServiceClient) -> dict:
         "overloads": stats["overloads"],
         "deadline_exceeded": stats["deadline_exceeded"],
         "slow_requests": stats.get("slow_requests", 0),
+        "workers_alive": stats.get("workers", {}).get("alive", 0),
+        "workers_configured": stats.get("workers", {}).get("configured", 0),
     }
 
 
@@ -108,7 +110,9 @@ def render_frame(sample: dict, deltas: dict, host: str, port: int) -> str:
         f"repro top — {host}:{port}   "
         f"up {sample['uptime_seconds']:.0f}s   "
         f"enrolled {sample['enrolled']}   "
-        f"queued {sample['queued_jobs']}",
+        f"queued {sample['queued_jobs']}   "
+        f"workers {sample.get('workers_alive', 0)}"
+        f"/{sample.get('workers_configured', 0)}",
         f"interval {deltas['interval_s']:.1f}s   "
         f"qps {deltas['qps']:.1f}   "
         f"err {100.0 * deltas['error_rate']:.1f}%   "

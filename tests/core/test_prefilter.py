@@ -236,6 +236,57 @@ class TestMergeShardCandidates:
         assert [c.key for c in merged] == expected
         assert [c.rank for c in merged] == list(range(1, 7))
 
+    def test_empty_shards_are_skipped(self):
+        shard = [PrefilterCandidate("a", 1.0, 1)]
+        merged = merge_shard_candidates([[], shard, []], 3)
+        assert [c.key for c in merged] == ["a"]
+        assert merge_shard_candidates([], 5) == []
+        assert merge_shard_candidates([[], [], []], 5) == []
+
+    def test_unequal_shard_sizes(self):
+        big = [
+            PrefilterCandidate(f"b-{i}", float(i), i) for i in range(1, 6)
+        ]
+        small = [PrefilterCandidate("s-0", 2.5, 1)]
+        merged = merge_shard_candidates([big, small], 4)
+        assert [c.key for c in merged] == ["b-1", "b-2", "s-0", "b-3"]
+        assert [c.rank for c in merged] == [1, 2, 3, 4]
+
+    def test_duplicate_keys_keep_nearest_distance(self):
+        # A retried fan-out can answer twice: the same key must survive
+        # once, at its best (smallest) distance.
+        first = [PrefilterCandidate("dup", 3.0, 1)]
+        second = [
+            PrefilterCandidate("dup", 1.0, 1),
+            PrefilterCandidate("other", 2.0, 2),
+        ]
+        merged = merge_shard_candidates([first, second], 5)
+        assert [(c.key, c.distance) for c in merged] == [
+            ("dup", 1.0), ("other", 2.0)
+        ]
+        assert [c.rank for c in merged] == [1, 2]
+
+    def test_k_larger_than_total_gallery(self):
+        shards = [
+            [PrefilterCandidate("a", 1.0, 1)],
+            [PrefilterCandidate("b", 2.0, 1)],
+        ]
+        merged = merge_shard_candidates(shards, 100)
+        assert [c.key for c in merged] == ["a", "b"]
+
+    def test_nonpositive_k_yields_empty(self):
+        shards = [[PrefilterCandidate("a", 1.0, 1)]]
+        assert merge_shard_candidates(shards, 0) == []
+        assert merge_shard_candidates(shards, -3) == []
+
+    def test_ties_break_on_key_across_shards(self):
+        shards = [
+            [PrefilterCandidate("zeta", 1.0, 1)],
+            [PrefilterCandidate("alpha", 1.0, 1)],
+        ]
+        merged = merge_shard_candidates(shards, 2)
+        assert [c.key for c in merged] == ["alpha", "zeta"]
+
 
 class TestTwoStageParity:
     """Property: two-stage top-1 == exhaustive top-1, at scale."""
