@@ -1,0 +1,123 @@
+"""Write-ahead log overhead: what each fsync policy costs per enrollment.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py \
+        --enrollments 200 --out wal_overhead_pr9.json
+
+Enrolls the same burst of templates under each ``REPRO_WAL_SYNC``
+policy — ``never``, ``rotate``, ``always`` — and records the
+per-enrollment latency distribution of each arm.  ``always`` pays one
+fsync per acked write (the durable-by-default arm); ``rotate`` and
+``never`` show how much of the cost is the sync versus the
+framing/serialization.
+
+Also measures cold-restart replay: the ``always`` arm's gallery is
+reopened with its shard directory deleted, so every enrollment comes
+back from the log alone — the healing path timed end to end.
+
+The record lands in ``benchmarks/output/`` as JSON with per-arm p50/p95
+latencies and the replay timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _bench_common import OUTPUT_DIR
+from repro.api import StudyConfig, build_collection
+from repro.service.gallery import GalleryIndex
+
+FINGER = "right_index"
+
+
+def _templates(count: int):
+    """``count`` enrollment templates cycled from a tiny collection."""
+    collection = build_collection(StudyConfig(n_subjects=10, master_seed=1234))
+    base = [
+        collection.get(sid, FINGER, "D0", impression).template
+        for sid in range(10)
+        for impression in range(2)
+    ]
+    return [base[i % len(base)] for i in range(count)]
+
+
+def _bench_arm(sync: str, templates, root: Path) -> dict:
+    gallery = GalleryIndex(root, wal_sync=sync)
+    latencies = []
+    start = time.perf_counter()
+    for i, template in enumerate(templates):
+        t0 = time.perf_counter()
+        gallery.enroll(f"id-{i:05d}", template, device="D0")
+        latencies.append(time.perf_counter() - t0)
+    elapsed = time.perf_counter() - start
+    gallery.close()
+    lat = np.asarray(latencies)
+    return {
+        "sync": sync,
+        "enrollments": len(templates),
+        "throughput_per_s": round(len(templates) / elapsed, 1),
+        "p50_ms": round(float(np.percentile(lat, 50)) * 1000.0, 3),
+        "p95_ms": round(float(np.percentile(lat, 95)) * 1000.0, 3),
+        "mean_ms": round(float(lat.mean()) * 1000.0, 3),
+        "wal": {
+            k: v
+            for k, v in (gallery.wal_stats() or {}).items()
+            if k not in ("directory",)
+        },
+    }
+
+
+def _bench_replay(root: Path) -> dict:
+    """Cold restart with the shards gone: everything heals from the log."""
+    shutil.rmtree(root / "D0")
+    t0 = time.perf_counter()
+    gallery = GalleryIndex(root)
+    elapsed = time.perf_counter() - t0
+    healed = len(gallery)
+    gallery.close()
+    return {
+        "healed_records": healed,
+        "replay_seconds": round(elapsed, 4),
+        "records_per_s": round(healed / elapsed, 1) if elapsed else None,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--enrollments", type=int, default=200)
+    parser.add_argument("--out", default="wal_overhead_pr9.json")
+    args = parser.parse_args()
+
+    templates = _templates(args.enrollments)
+    record = {"arms": [], "replay": None}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+        tmp_path = Path(tmp)
+        for sync in ("never", "rotate", "always"):
+            arm = _bench_arm(sync, templates, tmp_path / f"gallery-{sync}")
+            record["arms"].append(arm)
+            print(
+                f"{sync:>7}: {arm['throughput_per_s']:>8} enroll/s  "
+                f"p50 {arm['p50_ms']} ms  p95 {arm['p95_ms']} ms"
+            )
+        record["replay"] = _bench_replay(tmp_path / "gallery-always")
+        print(
+            f"replay: {record['replay']['healed_records']} records healed "
+            f"in {record['replay']['replay_seconds']}s"
+        )
+
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = OUTPUT_DIR / args.out
+    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -181,6 +181,7 @@ from .service import (
     BatchingConfig,
     EnrollmentRejected,
     GalleryIndex,
+    GalleryReadOnlyError,
     GalleryRecord,
     MicroBatcher,
     RequestLog,
@@ -521,6 +522,7 @@ __all__ = [
     "ServiceClientError",
     "ServiceStats",
     "GalleryIndex",
+    "GalleryReadOnlyError",
     "GalleryRecord",
     "BatchingConfig",
     "MicroBatcher",

@@ -276,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard the gallery across N matcher worker "
                             "processes (0/1 keeps the in-process path; "
                             "default honours REPRO_SERVE_WORKERS)")
+    serve.add_argument("--follow", default=None, metavar="WAL_DIR",
+                       help="run as a read-only follower replica tailing "
+                            "this write-ahead log directory (typically the "
+                            "primary's <gallery-dir>/__wal__); writes are "
+                            "rejected with the read_only error code")
     serve.add_argument("--candidate-k", type=int, default=None,
                        help="two-stage prefilter shortlist size "
                             "(REPRO_IDENTIFY_CANDIDATES, else 32)")
@@ -675,7 +680,6 @@ def cmd_enroll(args, out) -> int:
     from .api import decode
     from .service import GalleryIndex
 
-    gallery = GalleryIndex(Path(args.gallery_dir), max_nfiq_level=args.max_nfiq)
     if args.template is not None:
         template, _metadata = decode(Path(args.template).read_bytes())
         identity = args.identity or Path(args.template).stem
@@ -684,12 +688,18 @@ def cmd_enroll(args, out) -> int:
         template = _synthesize_template(args).template
         identity = args.identity or f"subject-{args.subject}"
         device = args.device or args.capture_device
-    record = gallery.enroll(identity, template, device=device)
+    # Context-managed so the deferred descriptor-matrix flush and the
+    # WAL checkpoint land before the process exits.
+    with GalleryIndex(
+        Path(args.gallery_dir), max_nfiq_level=args.max_nfiq
+    ) as gallery:
+        record = gallery.enroll(identity, template, device=device)
+        enrolled = len(gallery)
     print(
         f"enrolled {record.identity!r} on device {record.device}: "
         f"{len(record.template)} minutiae, NFIQ {record.nfiq_level} "
         f"(utility {record.nfiq_utility:.3f}); "
-        f"gallery now holds {len(gallery)} enrollments at {args.gallery_dir}",
+        f"gallery now holds {enrolled} enrollments at {args.gallery_dir}",
         file=out,
     )
     return 0
@@ -733,7 +743,11 @@ def cmd_serve(args, out) -> int:
     if args.no_batching:
         overrides["enabled"] = False
     batching = BatchingConfig.from_environment(**overrides)
-    gallery = GalleryIndex(Path(args.gallery_dir), max_nfiq_level=args.max_nfiq)
+    gallery = GalleryIndex(
+        Path(args.gallery_dir),
+        max_nfiq_level=args.max_nfiq,
+        readonly=args.follow is not None,
+    )
     reqlog = (
         RequestLog(args.reqlog) if args.reqlog
         else RequestLog.from_environment()
@@ -752,6 +766,7 @@ def cmd_serve(args, out) -> int:
         candidate_k=args.candidate_k,
         workers=args.workers,
         matcher_factory=functools.partial(build_matcher, args.matcher),
+        follow=args.follow,
     )
 
     async def _run() -> None:
@@ -759,7 +774,8 @@ def cmd_serve(args, out) -> int:
         host, port = server.address
         print(
             f"repro service listening on http://{host}:{port} "
-            f"({len(gallery)} enrolled, threshold {server.threshold}, "
+            f"({server.role}, "
+            f"{len(gallery)} enrolled, threshold {server.threshold}, "
             f"batching {'on' if batching.enabled else 'off'}, "
             f"identify {server.identify_mode}, "
             f"workers {server.pool.workers if server.pool else 0}, "

@@ -44,6 +44,13 @@ from .progress import NullProgress, ProgressReporter
 from .rng import SeedTree, derive_seed
 from .supervisor import RetryPolicy, supervised_map_batched
 from .shm import SharedTemplateStore, SharedTemplateView, StoreHandle
+from .wal import (
+    WalCorruptionError,
+    WalError,
+    WalFollower,
+    WalRecord,
+    WriteAheadLog,
+)
 from .telemetry import (
     MetricsRegistry,
     NullRecorder,
@@ -86,6 +93,11 @@ __all__ = [
     "parse_faults",
     "RetryPolicy",
     "supervised_map_batched",
+    "WriteAheadLog",
+    "WalFollower",
+    "WalRecord",
+    "WalError",
+    "WalCorruptionError",
     "parallel_map",
     "parallel_map_batched",
     "sequential_map",

@@ -55,15 +55,22 @@ class NpzDirectory:
         ``{prefix}.bytes_written``).  The score cache counts under
         ``cache.*``, the artifact store under ``artifacts.*``, so one
         manifest separates the two layers.
+    readonly:
+        A read-only view over a directory another process owns (a WAL
+        follower reading the primary's gallery shards): :meth:`store`
+        and :meth:`invalidate` raise, and a corrupt entry is still a
+        miss but is *not* unlinked — never mutate a store you don't own.
     """
 
     def __init__(
         self,
         directory: Optional[os.PathLike] = None,
         metric_prefix: str = "cache",
+        readonly: bool = False,
     ) -> None:
         self._root: Optional[Path] = Path(directory) if directory is not None else None
         self._prefix = metric_prefix
+        self._readonly = bool(readonly)
 
     @property
     def enabled(self) -> bool:
@@ -95,6 +102,8 @@ class NpzDirectory:
         """
         if self._root is None:
             return
+        if self._readonly:
+            raise CacheError(f"store is read-only; cannot write {key!r}")
         path = self._path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = dict(arrays)
@@ -139,6 +148,12 @@ class NpzDirectory:
         except _CORRUPT_ENTRY_ERRORS:
             self._count("corrupt")
             self._count("miss")
+            if self._readonly:
+                _log.warning(
+                    "corrupt cache entry skipped (read-only store)",
+                    extra={"data": {"key": key}},
+                )
+                return None
             _log.warning(
                 "corrupt cache entry removed", extra={"data": {"key": key}}
             )
@@ -176,6 +191,8 @@ class NpzDirectory:
         """Remove ``key`` from the cache; returns whether it existed."""
         if self._root is None:
             return False
+        if self._readonly:
+            raise CacheError(f"store is read-only; cannot invalidate {key!r}")
         path = self._path_for(key)
         if path.exists():
             path.unlink()

@@ -30,6 +30,19 @@ Fault kinds
     Truncate a just-written cache entry (applied by
     :meth:`~repro.runtime.cache.NpzDirectory.store` through
     :func:`corrupt_hook`), exercising corruption-as-miss recovery.
+``wal_torn``
+    Tear the frame a write-ahead log just appended — truncate it
+    mid-frame and fail the append, exactly what a crash between
+    ``write()`` and ``fsync()`` leaves behind.  Replay must truncate
+    the torn tail; the caller must *not* have acked.
+``wal_corrupt``
+    Flip a byte inside a just-appended (and acked) WAL frame,
+    simulating latent media corruption.  Replay must *refuse* the
+    record once later appends make it mid-log — corruption-as-truth is
+    never an option, and the refusal is loud by design.
+``wal_stall``
+    Sleep inside the WAL fsync path (param: seconds, default 1.0),
+    surfacing slow-disk behavior in append latency and metrics.
 
 Faults are injected only inside supervised pool workers (and the cache
 write hook); library code never calls :func:`perturb` on its own hot
@@ -61,11 +74,18 @@ ENV_SEED = "REPRO_FAULTS_SEED"
 #: Fault kinds applied inside a task (``corrupt`` instead hooks writes).
 TASK_FAULT_KINDS = ("crash", "hang", "transient", "permanent")
 
+#: Fault kinds hooked into the write-ahead log (:mod:`repro.runtime.wal`).
+WAL_FAULT_KINDS = ("wal_torn", "wal_corrupt", "wal_stall")
+
 #: All recognised kinds.
-FAULT_KINDS = TASK_FAULT_KINDS + ("corrupt",)
+FAULT_KINDS = TASK_FAULT_KINDS + ("corrupt",) + WAL_FAULT_KINDS
 
 #: Default sleep of a ``hang`` fault — far past any batch timeout.
 DEFAULT_HANG_SECONDS = 3600.0
+
+#: Default sleep of a ``wal_stall`` fault — long enough to show up in
+#: append latency, short enough for chaos tests.
+DEFAULT_WAL_STALL_SECONDS = 1.0
 
 #: Exit status of an injected ``crash`` (distinctive in worker logs).
 CRASH_EXIT_STATUS = 17
@@ -246,6 +266,59 @@ class FaultInjector:
                 f"injected permanent fault for task {task_key!r}"
             )
 
+    def wal_tear(
+        self, path: os.PathLike, frame_offset: int, frame_length: int, key: str
+    ) -> bool:
+        """Tear a just-appended WAL frame (``wal_torn`` faults).
+
+        Truncates the log so only the first half of the frame survives —
+        the on-disk state of a crash between write and fsync.  Returns
+        whether a tear fired; the WAL raises so the op is never acked.
+        """
+        for fault in self.faults:
+            if fault.kind != "wal_torn":
+                continue
+            if not self._should_fire(fault, key):
+                continue
+            keep = frame_offset + max(1, frame_length // 2)
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+            return True
+        return False
+
+    def wal_corrupt(
+        self, path: os.PathLike, frame_offset: int, frame_length: int, key: str
+    ) -> bool:
+        """Flip one byte inside an appended WAL frame (``wal_corrupt``).
+
+        The frame header stays intact (length still parses) but the
+        payload no longer matches its CRC — the latent-media-corruption
+        shape replay must refuse once the record is mid-log.
+        """
+        for fault in self.faults:
+            if fault.kind != "wal_corrupt":
+                continue
+            if not self._should_fire(fault, key):
+                continue
+            position = frame_offset + frame_length // 2
+            with open(path, "r+b") as handle:
+                handle.seek(position)
+                byte = handle.read(1)
+                handle.seek(position)
+                handle.write(bytes([byte[0] ^ 0xFF]) if byte else b"\xff")
+            return True
+        return False
+
+    def wal_stall(self, key: str) -> float:
+        """Seconds a ``wal_stall`` fault delays this fsync (0.0 = none)."""
+        for fault in self.faults:
+            if fault.kind != "wal_stall":
+                continue
+            if not self._should_fire(fault, key):
+                continue
+            return fault.param or DEFAULT_WAL_STALL_SECONDS
+        return 0.0
+
     def corrupt_file(self, path: os.PathLike, key: str) -> bool:
         """Truncate a freshly written store entry (``corrupt`` faults).
 
@@ -303,6 +376,40 @@ def corrupt_hook(path: os.PathLike, key: str) -> bool:
     return injector.corrupt_file(path, key)
 
 
+def wal_torn_hook(
+    path: os.PathLike, frame_offset: int, frame_length: int, key: str
+) -> bool:
+    """Apply any ``wal_torn`` fault to a just-appended WAL frame."""
+    if not faults_requested():
+        return False
+    injector = FaultInjector.from_environment()
+    if injector is None:
+        return False
+    return injector.wal_tear(path, frame_offset, frame_length, key)
+
+
+def wal_corrupt_hook(
+    path: os.PathLike, frame_offset: int, frame_length: int, key: str
+) -> bool:
+    """Apply any ``wal_corrupt`` fault to a just-appended WAL frame."""
+    if not faults_requested():
+        return False
+    injector = FaultInjector.from_environment()
+    if injector is None:
+        return False
+    return injector.wal_corrupt(path, frame_offset, frame_length, key)
+
+
+def wal_stall_hook(key: str) -> float:
+    """Seconds any ``wal_stall`` fault delays this WAL fsync."""
+    if not faults_requested():
+        return 0.0
+    injector = FaultInjector.from_environment()
+    if injector is None:
+        return 0.0
+    return injector.wal_stall(key)
+
+
 __all__ = [
     "Fault",
     "FaultInjector",
@@ -310,12 +417,17 @@ __all__ = [
     "parse_faults",
     "perturb",
     "corrupt_hook",
+    "wal_torn_hook",
+    "wal_corrupt_hook",
+    "wal_stall_hook",
     "ensure_ledger",
     "faults_requested",
     "ENV_SPEC",
     "ENV_LEDGER",
     "ENV_SEED",
     "FAULT_KINDS",
+    "WAL_FAULT_KINDS",
     "DEFAULT_HANG_SECONDS",
+    "DEFAULT_WAL_STALL_SECONDS",
     "CRASH_EXIT_STATUS",
 ]

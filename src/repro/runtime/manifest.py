@@ -221,6 +221,28 @@ def _service_stats(snapshot: dict) -> dict:
         "mean_latency_ms": mean_latency_ms,
         "index": _index_stats(snapshot),
         "workers": _worker_stats(snapshot),
+        "wal": _wal_stats(snapshot),
+    }
+
+
+def _wal_stats(snapshot: dict) -> dict:
+    """Durability rollup: write-ahead log activity during the run.
+
+    All zeros unless the process hosted a WAL-backed
+    :class:`~repro.service.gallery.GalleryIndex`; the CI durability
+    smoke asserts replay/torn-tail handling from this block alone.
+    """
+    counters = snapshot["counters"]
+    return {
+        "appends": counters.get("wal.appends", 0),
+        "bytes": counters.get("wal.bytes", 0),
+        "rotations": counters.get("wal.rotations", 0),
+        "checkpoints": counters.get("wal.checkpoints", 0),
+        "segments_removed": counters.get("wal.segments_removed", 0),
+        "replayed": counters.get("wal.replayed", 0),
+        "torn_truncated": counters.get("wal.torn_truncated", 0),
+        "reapplied": counters.get("gallery.wal_reapplied", 0),
+        "corrupt_dropped": counters.get("gallery.corrupt_dropped", 0),
     }
 
 
@@ -497,6 +519,22 @@ def render_manifest(manifest: RunManifest) -> str:
                 f"  index: {modes} searches, "
                 f"{index.get('candidates_scored', 0)} candidates scored, "
                 f"prefilter {index.get('prefilter_seconds_total', 0.0):g}s total"
+            )
+        wal = svc.get("wal") or {}
+        if wal.get("appends") or wal.get("replayed"):
+            healed = ""
+            if wal.get("torn_truncated") or wal.get("corrupt_dropped"):
+                healed = (
+                    f" [{wal.get('torn_truncated', 0)} torn tails truncated, "
+                    f"{wal.get('corrupt_dropped', 0)} corrupt records dropped]"
+                )
+            lines.append(
+                f"  wal: {wal.get('appends', 0)} appends "
+                f"({wal.get('bytes', 0)} bytes), "
+                f"{wal.get('rotations', 0)} rotations, "
+                f"{wal.get('checkpoints', 0)} checkpoints, "
+                f"{wal.get('replayed', 0)} replayed "
+                f"({wal.get('reapplied', 0)} reapplied){healed}"
             )
         trace = manifest.trace or {}
         if trace.get("requests_traced"):

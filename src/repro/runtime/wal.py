@@ -1,0 +1,722 @@
+"""Write-ahead log for the serving gallery: durable before acknowledged.
+
+The gallery's ``.npz`` shards are atomic against *process* crashes
+(write-to-temp, rename) but not durable against power loss, and they
+say nothing about operations in flight.  :class:`WriteAheadLog` closes
+that gap the classic way: every mutation is appended — and, per the
+fsync policy, forced to stable storage — *before* it is applied, so an
+acknowledged operation can always be replayed.
+
+Format
+------
+A log is a directory of segment files named ``<first_lsn>.wal``
+(zero-padded decimal), appended in order.  Each record is one frame::
+
+    +----------------+----------------+------------------------+
+    | length (u32le) | crc32 (u32le)  | payload (length bytes) |
+    +----------------+----------------+------------------------+
+
+The payload is canonical JSON (sorted keys) carrying at least ``lsn``
+(monotonic from 1) and ``op``; everything else is the operation's own
+business.  Numpy arrays travel as ``{"dtype", "shape", "data"}`` with
+base64 bytes (:func:`encode_array` / :func:`decode_array`), so an
+enrollment's template replays bit-identically.
+
+Replay rules
+------------
+* A frame that runs past end-of-file, or whose CRC fails at the very
+  end of the *final* segment, is a **torn tail**: the crash interrupted
+  the last append.  Replay truncates it away — the op was never acked.
+* Any other invalid frame is a **corrupt mid-log record**: an acked
+  write has rotted.  Replay refuses with
+  :class:`WalCorruptionError` — loud operator intervention beats
+  silently dropping acknowledged data.  (The gallery's ``.npz`` shards
+  hold every *applied* record, so recovery is deleting the bad
+  segments and reloading; nothing acked is lost.)
+
+Knobs (environment, overridable per constructor)
+------------------------------------------------
+``REPRO_WAL_SYNC``
+    ``always`` (default) — fsync after every append: acked ⇒ durable.
+    ``rotate`` — fsync only when a segment seals; a power cut may lose
+    the active segment's tail (process crashes still lose nothing).
+    ``never`` — leave flushing to the OS; fastest, weakest.
+``REPRO_WAL_SEGMENT_BYTES``
+    Rotation threshold (default 4 MiB).
+``REPRO_WAL_KEEP_SEGMENTS``
+    Sealed segments retained past a checkpoint (default 4) so a
+    follower briefly offline can still catch up from the log.
+
+:class:`WalFollower` tails a log directory another process appends to:
+``poll()`` returns newly completed records, treating an incomplete or
+CRC-failing tail of the *newest* segment as "not written yet" (retry
+later) rather than corruption.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import faults
+from .config import env_int, env_str
+from .errors import ConfigurationError, ReproError
+from .telemetry import get_logger, get_recorder
+
+#: Frame header: payload length then CRC-32 of the payload, both u32le.
+HEADER = struct.Struct("<II")
+
+#: Sanity ceiling on one record — a larger declared length is garbage.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: Environment knob names.
+ENV_SYNC = "REPRO_WAL_SYNC"
+ENV_SEGMENT_BYTES = "REPRO_WAL_SEGMENT_BYTES"
+ENV_KEEP_SEGMENTS = "REPRO_WAL_KEEP_SEGMENTS"
+
+#: Recognised fsync policies.
+SYNC_POLICIES = ("always", "rotate", "never")
+
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+DEFAULT_KEEP_SEGMENTS = 4
+
+#: Width of the zero-padded first-LSN in a segment file name.
+_SEGMENT_DIGITS = 16
+
+#: The checkpoint marker: ``{"lsn": n}``, written atomically.
+_CHECKPOINT_NAME = "CHECKPOINT.json"
+
+_log = get_logger("runtime.wal")
+
+
+class WalError(ReproError):
+    """The write-ahead log could not complete an operation."""
+
+
+class WalCorruptionError(WalError):
+    """Replay met a corrupt record that is not a torn tail.
+
+    Deliberately fatal: an acknowledged record has rotted mid-log, and
+    pretending otherwise would turn durability into a lie.  The error
+    names the segment and byte offset so an operator can inspect it.
+    """
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed log record: its sequence number, op, and payload."""
+
+    lsn: int
+    op: str
+    data: dict
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """A numpy array as JSON-able ``{"dtype", "shape", "data"}``.
+
+    Byte-exact (raw buffer, base64) — the decoded array compares equal
+    bit for bit, which is what keeps WAL replay deterministic.
+    """
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "dtype": contiguous.dtype.str,
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array`; raises :class:`WalError` on junk."""
+    try:
+        raw = base64.b64decode(payload["data"], validate=True)
+        array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        return array.reshape([int(n) for n in payload["shape"]]).copy()
+    except (KeyError, TypeError, ValueError, binascii.Error) as exc:
+        raise WalError(f"undecodable array payload: {exc}") from exc
+
+
+def _encode_frame(payload: bytes) -> bytes:
+    return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"{first_lsn:0{_SEGMENT_DIGITS}d}.wal"
+
+
+def _segment_first_lsn(path: Path) -> Optional[int]:
+    stem = path.name[: -len(".wal")]
+    if not (path.name.endswith(".wal") and stem.isdigit()):
+        return None
+    return int(stem)
+
+
+def _list_segments(directory: Path) -> List[Tuple[int, Path]]:
+    """``(first_lsn, path)`` for every segment, ascending."""
+    if not directory.exists():
+        return []
+    out = []
+    for path in directory.iterdir():
+        first = _segment_first_lsn(path)
+        if first is not None:
+            out.append((first, path))
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """One parsed frame: where it sits and what it carries."""
+
+    offset: int
+    end: int
+    payload: bytes
+
+
+class _BadFrame(Exception):
+    """Internal: frame at ``offset`` is invalid; ``torn_shaped`` when the
+    damage is consistent with an interrupted append (short frame, or a
+    CRC failure flush against end-of-file)."""
+
+    def __init__(self, offset: int, reason: str, torn_shaped: bool) -> None:
+        super().__init__(reason)
+        self.offset = offset
+        self.reason = reason
+        self.torn_shaped = torn_shaped
+
+
+def _parse_frames(data: bytes) -> Tuple[List[_Frame], Optional[_BadFrame]]:
+    """Split a segment's bytes into frames; stop at the first bad one."""
+    frames: List[_Frame] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if size - offset < HEADER.size:
+            return frames, _BadFrame(offset, "truncated header", True)
+        length, crc = HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            return frames, _BadFrame(
+                offset, f"implausible record length {length}", True
+            )
+        end = offset + HEADER.size + length
+        if end > size:
+            return frames, _BadFrame(offset, "truncated payload", True)
+        payload = data[offset + HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            # A half-overwritten final frame is torn; a CRC failure with
+            # more log after it is rot.
+            return frames, _BadFrame(offset, "crc mismatch", end == size)
+        frames.append(_Frame(offset=offset, end=end, payload=payload))
+        offset = end
+    return frames, None
+
+
+def _decode_record(payload: bytes, where: str) -> WalRecord:
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WalCorruptionError(
+            f"{where}: frame passes CRC but is not JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or "lsn" not in doc or "op" not in doc:
+        raise WalCorruptionError(f"{where}: record missing lsn/op")
+    lsn = doc.pop("lsn")
+    op = doc.pop("op")
+    if not isinstance(lsn, int) or lsn < 1 or not isinstance(op, str):
+        raise WalCorruptionError(f"{where}: malformed lsn/op pair")
+    return WalRecord(lsn=lsn, op=op, data=doc)
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """An append-only, CRC-framed, segmented operation log.
+
+    Single-writer by contract (the gallery serializes mutations);
+    readers (:class:`WalFollower`, replay) are safe against a
+    concurrent appender because every append is one ``write()`` of a
+    whole frame and tails are re-read until complete.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        sync: Optional[str] = None,
+        segment_bytes: Optional[int] = None,
+        keep_segments: Optional[int] = None,
+    ) -> None:
+        self._dir = Path(directory)
+        if sync is None:
+            sync = env_str(ENV_SYNC) or "always"
+        if sync not in SYNC_POLICIES:
+            raise ConfigurationError(
+                f"{ENV_SYNC} must be one of {SYNC_POLICIES}, got {sync!r}"
+            )
+        if segment_bytes is None:
+            segment_bytes = env_int(ENV_SEGMENT_BYTES) or DEFAULT_SEGMENT_BYTES
+        if segment_bytes < 1:
+            raise ConfigurationError(
+                f"segment_bytes must be >= 1, got {segment_bytes}"
+            )
+        if keep_segments is None:
+            keep = env_int(ENV_KEEP_SEGMENTS)
+            keep_segments = DEFAULT_KEEP_SEGMENTS if keep is None else keep
+        if keep_segments < 0:
+            raise ConfigurationError(
+                f"keep_segments must be >= 0, got {keep_segments}"
+            )
+        self.sync = sync
+        self.segment_bytes = int(segment_bytes)
+        self.keep_segments = int(keep_segments)
+        self._handle = None
+        self._active_path: Optional[Path] = None
+        self._active_size = 0
+        self._last_lsn = 0
+        self._failed = False
+        self._rotated_since_checkpoint = False
+        # Lifetime counters for /metrics and the manifest rollup.
+        self.counters: Dict[str, int] = {
+            "appends": 0,
+            "bytes": 0,
+            "fsyncs": 0,
+            "rotations": 0,
+            "checkpoints": 0,
+            "segments_removed": 0,
+            "replayed": 0,
+            "torn_truncated": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recent append (or replayed record)."""
+        return self._last_lsn
+
+    @property
+    def rotated_since_checkpoint(self) -> bool:
+        """Whether a segment sealed since the last checkpoint — the
+        gallery's cue to flush derived state and compact."""
+        return self._rotated_since_checkpoint
+
+    def checkpoint_lsn(self) -> int:
+        """Records at or below this LSN are durably applied downstream."""
+        path = self._dir / _CHECKPOINT_NAME
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            return int(doc["lsn"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return 0
+
+    def segments(self) -> List[Path]:
+        """Segment paths, oldest first."""
+        return [path for _, path in _list_segments(self._dir)]
+
+    def stats(self) -> dict:
+        """JSON-able footprint + counters for /stats and /metrics."""
+        segments = self.segments()
+        size = 0
+        for path in segments:
+            try:
+                size += path.stat().st_size
+            except OSError:  # pragma: no cover - segment raced away
+                pass
+        return {
+            "directory": str(self._dir),
+            "sync": self.sync,
+            "last_lsn": self._last_lsn,
+            "checkpoint_lsn": self.checkpoint_lsn(),
+            "segments": len(segments),
+            "size_bytes": size,
+            **self.counters,
+        }
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self) -> List[WalRecord]:
+        """Every record retained in the log, in LSN order.
+
+        Truncates a torn tail of the final segment in place (the
+        interrupted append was never acked); raises
+        :class:`WalCorruptionError` for damage anywhere else.  Leaves
+        the writer positioned after the last valid record.
+        """
+        records: List[WalRecord] = []
+        segments = _list_segments(self._dir)
+        for position, (first_lsn, path) in enumerate(segments):
+            final = position == len(segments) - 1
+            data = path.read_bytes()
+            frames, bad = _parse_frames(data)
+            if bad is not None:
+                if not (final and bad.torn_shaped):
+                    raise WalCorruptionError(
+                        f"{path.name} @ {bad.offset}: {bad.reason} "
+                        "(corrupt mid-log record; refusing to replay — "
+                        "inspect or remove the damaged segments)"
+                    )
+                _log.warning(
+                    "torn WAL tail truncated",
+                    extra={"data": {
+                        "segment": path.name,
+                        "offset": bad.offset,
+                        "reason": bad.reason,
+                    }},
+                )
+                with open(path, "r+b") as handle:
+                    handle.truncate(bad.offset)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self.counters["torn_truncated"] += 1
+                get_recorder().count("wal.torn_truncated")
+            for frame in frames:
+                record = _decode_record(
+                    frame.payload, f"{path.name} @ {frame.offset}"
+                )
+                if record.lsn != (records[-1].lsn + 1 if records else first_lsn):
+                    raise WalCorruptionError(
+                        f"{path.name} @ {frame.offset}: LSN {record.lsn} "
+                        "breaks the append sequence"
+                    )
+                records.append(record)
+        if records:
+            self._last_lsn = records[-1].lsn
+        else:
+            # An empty (or fully torn) log continues after the newest
+            # segment's declared start, never reusing burned LSNs.
+            self._last_lsn = max(
+                [first - 1 for first, _ in segments], default=0
+            )
+            checkpoint = self.checkpoint_lsn()
+            self._last_lsn = max(self._last_lsn, checkpoint)
+        self.counters["replayed"] += len(records)
+        if records:
+            get_recorder().count("wal.replayed", len(records))
+        return records
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _open_active(self) -> None:
+        segments = _list_segments(self._dir)
+        if segments:
+            first_lsn, path = segments[-1]
+            self._active_path = path
+            self._active_size = path.stat().st_size
+        else:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._active_path = self._dir / _segment_name(self._last_lsn + 1)
+            self._active_size = 0
+            _fsync_directory(self._dir)
+        self._handle = open(self._active_path, "ab", buffering=0)
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            if self.sync in ("always", "rotate"):
+                os.fsync(self._handle.fileno())
+                self.counters["fsyncs"] += 1
+            self._handle.close()
+        self._active_path = self._dir / _segment_name(self._last_lsn + 1)
+        self._active_size = 0
+        self._handle = open(self._active_path, "ab", buffering=0)
+        _fsync_directory(self._dir)
+        self.counters["rotations"] += 1
+        self._rotated_since_checkpoint = True
+        get_recorder().count("wal.rotations")
+
+    def append(self, op: str, data: dict) -> int:
+        """Frame, write, and (per policy) fsync one record; returns its LSN.
+
+        Raises :class:`WalError` if a previous append tore — the log is
+        not trustworthy past a tear until replayed — or if the write
+        itself fails; in both cases the caller must not ack.
+        """
+        if self._failed:
+            raise WalError(
+                "write-ahead log failed a previous append; "
+                "reopen and replay before writing again"
+            )
+        if self._handle is None:
+            self._open_active()
+        elif self._active_size >= self.segment_bytes:
+            self._rotate()
+        lsn = self._last_lsn + 1
+        payload = json.dumps(
+            {"lsn": lsn, "op": op, **data}, sort_keys=True
+        ).encode("utf-8")
+        frame = _encode_frame(payload)
+        offset = self._active_size
+        key = f"wal-append-{lsn:08d}"
+        try:
+            self._handle.write(frame)
+        except OSError as exc:
+            self._failed = True
+            raise WalError(f"WAL append failed: {exc}") from exc
+        if faults.wal_torn_hook(self._active_path, offset, len(frame), key):
+            self._failed = True
+            self._handle.close()
+            self._handle = None
+            raise WalError(
+                f"injected torn write at lsn {lsn}; append not durable"
+            )
+        faults.wal_corrupt_hook(self._active_path, offset, len(frame), key)
+        if self.sync == "always":
+            stall = faults.wal_stall_hook(f"wal-fsync-{lsn:08d}")
+            if stall > 0:
+                time.sleep(stall)
+            os.fsync(self._handle.fileno())
+            self.counters["fsyncs"] += 1
+        self._active_size += len(frame)
+        self._last_lsn = lsn
+        self.counters["appends"] += 1
+        self.counters["bytes"] += len(frame)
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.count("wal.appends")
+            recorder.count("wal.bytes", len(frame))
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Checkpoint / compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self, durable_lsn: int) -> int:
+        """Record that ops ≤ ``durable_lsn`` are applied; compact.
+
+        Sealed segments wholly below the checkpoint are removed, except
+        the newest ``keep_segments`` of them (follower catch-up
+        headroom).  Returns how many segments were removed.
+        """
+        durable_lsn = min(durable_lsn, self._last_lsn)
+        path = self._dir / _CHECKPOINT_NAME
+        self._dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"lsn": durable_lsn}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_directory(self._dir)
+        self.counters["checkpoints"] += 1
+        self._rotated_since_checkpoint = False
+        get_recorder().count("wal.checkpoints")
+
+        removed = 0
+        segments = _list_segments(self._dir)
+        # A segment's records end where the next segment starts; only
+        # sealed segments (not the last) are candidates.
+        removable = [
+            path
+            for (first, path), (next_first, _next) in zip(
+                segments, segments[1:]
+            )
+            if next_first - 1 <= durable_lsn
+        ]
+        for path in removable[: max(0, len(removable) - self.keep_segments)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        if removed:
+            _fsync_directory(self._dir)
+            self.counters["segments_removed"] += removed
+            get_recorder().count("wal.segments_removed", removed)
+        return removed
+
+    def close(self) -> None:
+        """Flush and close the active segment (idempotent)."""
+        if self._handle is not None:
+            if self.sync in ("always", "rotate") and not self._failed:
+                try:
+                    os.fsync(self._handle.fileno())
+                    self.counters["fsyncs"] += 1
+                except OSError:  # pragma: no cover - torn handle
+                    pass
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class WalFollower:
+    """Tail a log directory another process is appending to.
+
+    Keeps a cursor (segment, byte offset, last LSN) and returns newly
+    completed records from :meth:`poll`.  An invalid tail of the
+    *newest* segment reads as "mid-append, try again"; the same bytes
+    in a sealed segment are corruption.  A cursor pointing into a
+    compacted-away segment raises :class:`WalError` — the follower
+    fell past the log's retention and must re-bootstrap.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self._dir = Path(directory)
+        self._segment_first: Optional[int] = None
+        self._offset = 0
+        self._last_lsn = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record :meth:`poll` has returned."""
+        return self._last_lsn
+
+    def _segments(self) -> List[Tuple[int, Path]]:
+        return _list_segments(self._dir)
+
+    def poll(self) -> List[WalRecord]:
+        """Every record completed since the last call, in LSN order."""
+        records: List[WalRecord] = []
+        segments = self._segments()
+        if not segments:
+            return records
+        if self._segment_first is None:
+            self._segment_first, _ = segments[0]
+            self._offset = 0
+        while True:
+            index = next(
+                (
+                    i
+                    for i, (first, _) in enumerate(segments)
+                    if first == self._segment_first
+                ),
+                None,
+            )
+            if index is None:
+                if self._last_lsn >= segments[0][0] - 1:
+                    # Our segment sealed and was compacted after we
+                    # finished it; continue from the next retained one.
+                    nxt = next(
+                        (
+                            (first, path)
+                            for first, path in segments
+                            if first == self._last_lsn + 1
+                        ),
+                        None,
+                    )
+                    if nxt is None:
+                        raise WalError(
+                            "follower fell behind WAL retention "
+                            f"(next lsn {self._last_lsn + 1} compacted away); "
+                            "re-bootstrap from the gallery snapshot"
+                        )
+                    self._segment_first, _ = nxt
+                    self._offset = 0
+                    continue
+                raise WalError(
+                    "follower fell behind WAL retention; "
+                    "re-bootstrap from the gallery snapshot"
+                )
+            first, path = segments[index]
+            final = index == len(segments) - 1
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(self._offset)
+                    data = handle.read()
+            except FileNotFoundError:
+                segments = self._segments()
+                continue
+            base = self._offset
+            frames, bad = _parse_frames(data)
+            for frame in frames:
+                record = _decode_record(
+                    frame.payload, f"{path.name} @ {base + frame.offset}"
+                )
+                expected = self._last_lsn + 1 if self._last_lsn else record.lsn
+                if record.lsn != expected:
+                    raise WalCorruptionError(
+                        f"{path.name}: LSN {record.lsn} breaks the tailed "
+                        f"sequence (expected {expected})"
+                    )
+                records.append(record)
+                self._last_lsn = record.lsn
+            if frames:
+                self._offset = base + frames[-1].end
+            if bad is not None:
+                if final and bad.torn_shaped:
+                    # Mid-append (or a torn tail the primary will trim
+                    # at restart); wait for the bytes to settle.
+                    return records
+                raise WalCorruptionError(
+                    f"{path.name} @ {base + bad.offset}: {bad.reason} "
+                    "(corrupt record while tailing)"
+                )
+            if final:
+                return records
+            # Sealed segment fully consumed: advance.
+            self._segment_first = segments[index + 1][0]
+            self._offset = 0
+
+    def pending(self) -> int:
+        """Complete records written but not yet returned by :meth:`poll`.
+
+        The follower's ``lag_records``: 0 when fully caught up.  Counts
+        frames (cheap CRC-skip scan) without decoding payloads.
+        """
+        count = 0
+        segments = self._segments()
+        started = self._segment_first is not None
+        for index, (first, path) in enumerate(segments):
+            if started and first < (self._segment_first or 0):
+                continue
+            offset = (
+                self._offset
+                if started and first == self._segment_first
+                else 0
+            )
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+            except FileNotFoundError:
+                continue
+            frames, _bad = _parse_frames(data)
+            count += len(frames)
+        return count
+
+
+__all__ = [
+    "WriteAheadLog",
+    "WalFollower",
+    "WalRecord",
+    "WalError",
+    "WalCorruptionError",
+    "encode_array",
+    "decode_array",
+    "ENV_SYNC",
+    "ENV_SEGMENT_BYTES",
+    "ENV_KEEP_SEGMENTS",
+    "SYNC_POLICIES",
+    "DEFAULT_SEGMENT_BYTES",
+    "DEFAULT_KEEP_SEGMENTS",
+    "MAX_RECORD_BYTES",
+]

@@ -30,6 +30,12 @@ from a different device:
   single-process path;
 * :mod:`repro.service.top` — the ``repro top`` live dashboard.
 
+Gallery writes are durable: every enroll/delete is appended to a
+write-ahead log (:mod:`repro.runtime.wal`) *before* it is applied and
+acknowledged, the log is replayed at startup, and ``repro serve
+--follow <wal>`` runs a read-only follower replica that tails the
+same log (writes there answer 403 with the ``read_only`` error code).
+
 Start one from the command line with ``repro serve`` (and populate it
 with ``repro enroll``), or in-process::
 
@@ -56,6 +62,7 @@ from .gallery import (
     EnrollmentRejected,
     GalleryError,
     GalleryIndex,
+    GalleryReadOnlyError,
     GalleryRecord,
     UnknownIdentityError,
 )
@@ -96,6 +103,7 @@ __all__ = [
     "GalleryIndex",
     "GalleryRecord",
     "GalleryError",
+    "GalleryReadOnlyError",
     "EnrollmentRejected",
     "UnknownIdentityError",
     "DEFAULT_MAX_NFIQ_LEVEL",

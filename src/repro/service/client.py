@@ -34,7 +34,7 @@ import http.client
 import json
 import socket
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..io.incits378 import encode as encode_378
 from ..matcher.types import Template
@@ -111,6 +111,12 @@ class ServiceClient:
     One persistent keep-alive connection per client instance; a client
     is therefore *not* thread-safe — the load generator gives each
     worker thread its own.
+
+    ``follower`` names an optional read replica (a ``--follow`` server
+    tailing the primary's WAL): :meth:`verify` and :meth:`identify` go
+    to the replica, falling back to the primary if it is unreachable,
+    while writes (:meth:`enroll`, :meth:`delete`) always target the
+    primary — the replica would refuse them with ``read_only`` anyway.
     """
 
     def __init__(
@@ -119,6 +125,7 @@ class ServiceClient:
         port: int,
         timeout_s: float = 30.0,
         api_base: str = "/v1",
+        follower: Optional[Tuple[str, int]] = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -126,6 +133,14 @@ class ServiceClient:
         #: Path prefix for every endpoint; "" targets the deprecated
         #: unversioned surface.
         self.api_base = api_base.rstrip("/")
+        self._follower: Optional["ServiceClient"] = (
+            ServiceClient(
+                follower[0], int(follower[1]),
+                timeout_s=timeout_s, api_base=api_base,
+            )
+            if follower is not None
+            else None
+        )
         self._connection: Optional[http.client.HTTPConnection] = None
         #: Request id echoed by the server on the last response (the id
         #: this client sent, unless a proxy rewrote it).
@@ -145,10 +160,12 @@ class ServiceClient:
         return self._connection
 
     def close(self) -> None:
-        """Drop the persistent connection (idempotent)."""
+        """Drop the persistent connection(s) (idempotent)."""
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+        if self._follower is not None:
+            self._follower.close()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -194,6 +211,29 @@ class ServiceClient:
     def _path(self, endpoint: str) -> str:
         """An endpoint path under the client's API base."""
         return f"{self.api_base}{endpoint}"
+
+    @property
+    def follower(self) -> Optional["ServiceClient"]:
+        """The read-replica client, when one was configured."""
+        return self._follower
+
+    def _read_request(self, method: str, path: str, payload: dict) -> dict:
+        """A read: prefer the replica, fall back to the primary.
+
+        Only transport failures fall back — an HTTP error from the
+        replica (bad template, unknown identity) is the same answer
+        the primary would give, so it propagates as-is.
+        """
+        if self._follower is not None:
+            try:
+                result = self._follower._request(method, path, payload)
+            except TransientError:
+                pass  # replica unreachable: the primary still answers
+            else:
+                self.last_request_id = self._follower.last_request_id
+                self.last_headers = self._follower.last_headers
+                return result
+        return self._request(method, path, payload)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -246,7 +286,7 @@ class ServiceClient:
             payload["threshold"] = threshold
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        return self._request("POST", self._path("/verify"), payload)
+        return self._read_request("POST", self._path("/verify"), payload)
 
     def identify(
         self,
@@ -280,7 +320,7 @@ class ServiceClient:
             payload["mode"] = mode
         if candidate_k is not None:
             payload["candidate_k"] = candidate_k
-        return self._request("POST", self._path("/identify"), payload)
+        return self._read_request("POST", self._path("/identify"), payload)
 
     def delete(self, identity: str, device: str = "default") -> dict:
         """Remove one enrollment."""

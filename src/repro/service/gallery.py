@@ -26,6 +26,23 @@ enroll/delete and persisted under ``root/__index__/<device>.npz`` as
 one more corruption-as-miss tier: a torn or stale matrix is rebuilt
 from the records (never trusted), so the index can accelerate
 ``/identify`` without ever being able to corrupt it.
+
+Durability rides a :class:`~repro.runtime.wal.WriteAheadLog` under
+``root/__wal__``: every enroll/delete is logged (and, per
+``REPRO_WAL_SYNC``, fsynced) *before* it is applied, and the server
+only acks after both — log → apply → ack.  At startup the retained log
+is replayed against the shards, idempotently reconciling whatever a
+crash interrupted; once replay lands, the log is checkpointed and
+compacted.  The same log is what a read-only follower
+(``GalleryIndex(root, readonly=True)`` + ``apply_wal_record``) tails to
+mirror the primary live.
+
+The descriptor matrices are *derived* state, so they are flushed
+lazily: enroll/delete dirty-flag the device and the matrix is written
+atomically at WAL checkpoints and on :meth:`GalleryIndex.close` —
+O(gallery) matrix rewrites leave the per-write path, and a crash at
+worst leaves a stale matrix that the rebuild-on-mismatch reload check
+already repairs.
 """
 
 from __future__ import annotations
@@ -34,7 +51,7 @@ import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -51,12 +68,22 @@ from ..quality.nfiq import assess_template
 from ..runtime.cache import NpzDirectory
 from ..runtime.errors import ConfigurationError, PermanentError, ReproError
 from ..runtime.telemetry import get_logger, get_recorder
+from ..runtime.wal import (
+    WalRecord,
+    WriteAheadLog,
+    decode_array,
+    encode_array,
+)
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 #: Shard directory holding the persisted per-device descriptor
 #: matrices; reserved — no device or identity may use the name.
 _INDEX_DIRNAME = "__index__"
+
+#: Directory holding the write-ahead log's segments (reserved too; the
+#: underscore names already fail the device/identity grammar).
+_WAL_DIRNAME = "__wal__"
 
 #: Default NFIQ acceptance ceiling: levels 1–4 enroll, level 5 (the
 #: "hopeless sample" bucket) is rejected.  NIST SP 800-76 gates at
@@ -96,6 +123,17 @@ class UnknownIdentityError(PermanentError):
         self.device = device
 
 
+class GalleryReadOnlyError(PermanentError):
+    """A write reached a read-only (follower) gallery."""
+
+    def __init__(self, operation: str) -> None:
+        super().__init__(
+            f"gallery is read-only (follower replica); {operation} must "
+            "go to the primary"
+        )
+        self.operation = operation
+
+
 @dataclass(frozen=True)
 class GalleryRecord:
     """One enrolled template plus its enrollment-time metadata.
@@ -112,6 +150,9 @@ class GalleryRecord:
     nfiq_utility: float
     enrolled_at: float
     descriptor: np.ndarray = field(compare=False, repr=False, default=None)
+    #: WAL sequence number that durably logged this enrollment (0 for
+    #: records predating the log or loaded straight from the shards).
+    lsn: int = field(compare=False, default=0)
 
 
 def _check_name(value: str, what: str) -> str:
@@ -124,6 +165,67 @@ def _check_name(value: str, what: str) -> str:
             f"{what} {value!r} is reserved for the descriptor index"
         )
     return value
+
+
+def wal_enroll_payload(
+    identity: str,
+    device: str,
+    template: Template,
+    nfiq_level: int,
+    nfiq_utility: float,
+    enrolled_at: float,
+) -> dict:
+    """The JSON body of an ``enroll`` WAL record.
+
+    Carries the template's raw arrays byte-exactly (base64), so replay
+    — on the primary after a crash or live on a follower — rebuilds a
+    record bit-identical to the one the primary served.
+    """
+    return {
+        "identity": identity,
+        "device": device,
+        "nfiq_level": int(nfiq_level),
+        "nfiq_utility": float(nfiq_utility),
+        "enrolled_at": float(enrolled_at),
+        "template": {
+            "width_px": template.width_px,
+            "height_px": template.height_px,
+            "resolution_dpi": template.resolution_dpi,
+            "positions": encode_array(template.positions_px()),
+            "angles": encode_array(template.angles()),
+            "kinds": encode_array(template.kinds()),
+            "qualities": encode_array(template.qualities()),
+        },
+    }
+
+
+def record_from_wal(data: dict, lsn: int = 0) -> GalleryRecord:
+    """Rebuild a :class:`GalleryRecord` from an ``enroll`` WAL payload."""
+    try:
+        spec = data["template"]
+        template = template_from_arrays(
+            positions_px=decode_array(spec["positions"]),
+            angles=decode_array(spec["angles"]),
+            kinds=decode_array(spec["kinds"]),
+            qualities=decode_array(spec["qualities"]),
+            width_px=int(spec["width_px"]),
+            height_px=int(spec["height_px"]),
+            resolution_dpi=int(spec.get("resolution_dpi", 500)),
+        )
+        return GalleryRecord(
+            identity=_check_name(str(data["identity"]), "identity"),
+            device=_check_name(str(data["device"]), "device"),
+            template=template,
+            nfiq_level=int(data["nfiq_level"]),
+            nfiq_utility=float(data["nfiq_utility"]),
+            enrolled_at=float(data["enrolled_at"]),
+            descriptor=descriptor_vector(template),
+            lsn=int(lsn),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GalleryError(
+            f"WAL enroll record is missing or malformed: {exc}"
+        ) from exc
 
 
 class GalleryIndex:
@@ -140,12 +242,26 @@ class GalleryIndex:
         Acceptance ceiling for the template-evidence NFIQ gate; a
         template assessed *worse* (numerically greater) is rejected with
         :class:`EnrollmentRejected`.
+    wal_dir:
+        Where the write-ahead log lives (default ``root/__wal__``).
+    wal_sync:
+        Fsync policy override (default: ``REPRO_WAL_SYNC`` or
+        ``always``); see :mod:`repro.runtime.wal`.
+    readonly:
+        Follower mode: load the shards without mutating anything on
+        disk (corrupt entries are skipped, not unlinked; no WAL writer,
+        no index persistence).  Writes raise
+        :class:`GalleryReadOnlyError`; live updates arrive through
+        :meth:`apply_wal_record` from a tailed WAL instead.
     """
 
     def __init__(
         self,
         root: Path,
         max_nfiq_level: int = DEFAULT_MAX_NFIQ_LEVEL,
+        wal_dir: Optional[Path] = None,
+        wal_sync: Optional[str] = None,
+        readonly: bool = False,
     ) -> None:
         if not 1 <= max_nfiq_level <= 5:
             raise ConfigurationError(
@@ -153,13 +269,30 @@ class GalleryIndex:
             )
         self._root = Path(root)
         self._max_nfiq_level = max_nfiq_level
+        self._readonly = bool(readonly)
         self._shards: Dict[str, NpzDirectory] = {}
         self._records: Dict[Tuple[str, str], GalleryRecord] = {}
         self._indexes: Dict[str, PrefilterIndex] = {}
+        self._dirty_indexes: Set[str] = set()
+        #: Corrupt/unreadable records silently skipped at the last
+        #: reload — surfaced in :meth:`stats` and ``/metrics``.
+        self.corrupt_dropped = 0
         self._index_store = NpzDirectory(
-            self._root / _INDEX_DIRNAME, metric_prefix="gallery.index"
+            self._root / _INDEX_DIRNAME,
+            metric_prefix="gallery.index",
+            readonly=self._readonly,
         )
+        self._wal: Optional[WriteAheadLog] = None
+        if not self._readonly:
+            self._wal = WriteAheadLog(
+                wal_dir if wal_dir is not None else self._root / _WAL_DIRNAME,
+                sync=wal_sync,
+            )
         self._reload()
+        if self._wal is not None:
+            self._replay_wal()
+        for device in self.devices():
+            self._restore_index(device)
 
     # ------------------------------------------------------------------
     # Persistence plumbing
@@ -167,7 +300,11 @@ class GalleryIndex:
     def _shard(self, device: str) -> NpzDirectory:
         shard = self._shards.get(device)
         if shard is None:
-            shard = NpzDirectory(self._root / device, metric_prefix="gallery")
+            shard = NpzDirectory(
+                self._root / device,
+                metric_prefix="gallery",
+                readonly=self._readonly,
+            )
             self._shards[device] = shard
         return shard
 
@@ -192,13 +329,74 @@ class GalleryIndex:
                     continue
                 self._records[(device, identity)] = record
                 loaded += 1
-        for device in self.devices():
-            self._restore_index(device)
+        self.corrupt_dropped = dropped
+        if dropped:
+            get_recorder().count("gallery.corrupt_dropped", dropped)
         if loaded or dropped:
             _log.info(
                 "gallery reloaded",
                 extra={"data": {"records": loaded, "dropped": dropped}},
             )
+
+    def _replay_wal(self) -> None:
+        """Reconcile the shards with the retained write-ahead log.
+
+        Replay is idempotent: an enroll already reflected in the shards
+        (same enrollment timestamp) is skipped, a delete of an absent
+        pair is a no-op — so re-running replay after any crash point
+        converges on the logged history.  A torn tail was truncated by
+        :meth:`~repro.runtime.wal.WriteAheadLog.replay` (the
+        interrupted op was never acked); corruption anywhere else
+        propagates :class:`~repro.runtime.wal.WalCorruptionError`.
+        """
+        assert self._wal is not None
+        records = self._wal.replay()
+        applied = 0
+        # Every retained record replays, checkpointed or not: retained
+        # records are a suffix of the log, so idempotent re-application
+        # over the shard state converges — and re-materializes any shard
+        # file that vanished or rotted since the checkpoint.
+        for rec in records:
+            if rec.op == "enroll":
+                record = record_from_wal(rec.data, lsn=rec.lsn)
+                key = (record.device, record.identity)
+                existing = self._records.get(key)
+                if (
+                    existing is not None
+                    and existing.enrolled_at == record.enrolled_at
+                ):
+                    continue
+                self._store_record(record)
+                self._records[key] = record
+                applied += 1
+            elif rec.op == "delete":
+                try:
+                    key = (str(rec.data["device"]), str(rec.data["identity"]))
+                except KeyError as exc:
+                    raise GalleryError(
+                        f"WAL delete record missing field: {exc}"
+                    ) from exc
+                if key in self._records:
+                    del self._records[key]
+                    self._shard(key[0]).invalidate(key[1])
+                    applied += 1
+            else:
+                _log.warning(
+                    "unknown WAL op skipped",
+                    extra={"data": {"op": rec.op, "lsn": rec.lsn}},
+                )
+        if applied:
+            get_recorder().count("gallery.wal_reapplied", applied)
+            _log.info(
+                "WAL replay reconciled the gallery",
+                extra={"data": {
+                    "records": len(records), "applied": applied,
+                }},
+            )
+        # Everything logged is now applied to the (durable, atomic)
+        # shards: advance the checkpoint and compact old segments.
+        if self._wal.last_lsn:
+            self._wal.checkpoint(self._wal.last_lsn)
 
     def _load_record(
         self, shard: NpzDirectory, device: str, identity: str
@@ -256,6 +454,8 @@ class GalleryIndex:
 
     def _persist_index(self, device: str) -> None:
         """Write one shard's contiguous descriptor matrix atomically."""
+        if self._readonly:
+            return
         index = self._index(device)
         if len(index) == 0:
             self._index_store.invalidate(device)
@@ -270,6 +470,25 @@ class GalleryIndex:
                 "dim": index.dim,
             },
         )
+
+    def flush_indexes(self) -> int:
+        """Persist every dirty descriptor matrix; returns how many.
+
+        The per-write path only dirty-flags (an O(gallery) matrix
+        rewrite per enroll was the old behavior); flushes happen here —
+        at WAL checkpoints, on :meth:`close`, or whenever a caller
+        wants the derived state on disk.  Crash staleness is safe
+        either way: the reload check rebuilds any matrix that
+        disagrees with the records.
+        """
+        flushed = 0
+        for device in sorted(self._dirty_indexes):
+            self._persist_index(device)
+            flushed += 1
+        self._dirty_indexes.clear()
+        if flushed:
+            get_recorder().count("gallery.index.flushes", flushed)
+        return flushed
 
     def _rebuild_index(self, device: str) -> None:
         """Derive one shard's index from its records and re-persist it."""
@@ -318,44 +537,21 @@ class GalleryIndex:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
-    def enroll(
-        self, identity: str, template: Template, device: str = "default"
-    ) -> GalleryRecord:
-        """Quality-gate, persist, and index one template.
-
-        Re-enrolling an existing (identity, device) pair replaces the
-        stored template — the online analogue of a re-capture.  Raises
-        :class:`EnrollmentRejected` when the template's NFIQ level is
-        worse than the index's acceptance ceiling.
-        """
-        _check_name(identity, "identity")
-        _check_name(device, "device")
-        assessment = assess_template(template)
-        if assessment.level > self._max_nfiq_level:
-            get_recorder().count("gallery.rejected")
-            raise EnrollmentRejected(identity, assessment.level, self._max_nfiq_level)
-        descriptor = descriptor_vector(template)
-        record = GalleryRecord(
-            identity=identity,
-            device=device,
-            template=template,
-            nfiq_level=assessment.level,
-            nfiq_utility=assessment.utility,
-            enrolled_at=time.time(),
-            descriptor=descriptor,
-        )
-        self._shard(device).store(
-            identity,
+    def _store_record(self, record: GalleryRecord) -> None:
+        """Write one record's ``.npz`` shard entry (atomic)."""
+        template = record.template
+        self._shard(record.device).store(
+            record.identity,
             arrays={
                 "positions": template.positions_px(),
                 "angles": template.angles(),
                 "kinds": template.kinds(),
                 "qualities": template.qualities(),
-                "descriptor": descriptor,
+                "descriptor": record.descriptor,
             },
             meta={
-                "identity": identity,
-                "device": device,
+                "identity": record.identity,
+                "device": record.device,
                 "nfiq_level": record.nfiq_level,
                 "nfiq_utility": record.nfiq_utility,
                 "width_px": template.width_px,
@@ -365,25 +561,167 @@ class GalleryIndex:
                 "descriptor_version": DESCRIPTOR_VERSION,
             },
         )
+
+    def _maybe_checkpoint(self, durable_lsn: int) -> None:
+        """Checkpoint/compact when a WAL segment sealed since the last.
+
+        Every op at or below ``durable_lsn`` is already applied to the
+        atomic shard store, so the sealed segments are redundant; the
+        dirty descriptor matrices ride the same flush point.
+        """
+        if self._wal is None or not self._wal.rotated_since_checkpoint:
+            return
+        self.flush_indexes()
+        self._wal.checkpoint(durable_lsn)
+
+    def enroll(
+        self, identity: str, template: Template, device: str = "default"
+    ) -> GalleryRecord:
+        """Quality-gate, log, persist, and index one template.
+
+        Re-enrolling an existing (identity, device) pair replaces the
+        stored template — the online analogue of a re-capture.  Raises
+        :class:`EnrollmentRejected` when the template's NFIQ level is
+        worse than the index's acceptance ceiling.
+
+        Ordering is log → apply → return: the WAL append (fsynced per
+        policy) happens before any state changes, so a caller that saw
+        this method return can rely on the enrollment surviving a
+        crash, and a crash mid-apply is reconciled by replay.  A WAL
+        failure raises before anything is applied — never acked, never
+        half-done.
+        """
+        if self._readonly:
+            raise GalleryReadOnlyError("enroll")
+        _check_name(identity, "identity")
+        _check_name(device, "device")
+        assessment = assess_template(template)
+        if assessment.level > self._max_nfiq_level:
+            get_recorder().count("gallery.rejected")
+            raise EnrollmentRejected(identity, assessment.level, self._max_nfiq_level)
+        descriptor = descriptor_vector(template)
+        enrolled_at = time.time()
+        lsn = 0
+        if self._wal is not None:
+            lsn = self._wal.append(
+                "enroll",
+                wal_enroll_payload(
+                    identity, device, template,
+                    assessment.level, assessment.utility, enrolled_at,
+                ),
+            )
+        record = GalleryRecord(
+            identity=identity,
+            device=device,
+            template=template,
+            nfiq_level=assessment.level,
+            nfiq_utility=assessment.utility,
+            enrolled_at=enrolled_at,
+            descriptor=descriptor,
+            lsn=lsn,
+        )
+        self._store_record(record)
         self._records[(device, identity)] = record
         self._index(device).add(identity, descriptor)
-        self._persist_index(device)
+        self._dirty_indexes.add(device)
+        self._maybe_checkpoint(lsn)
         get_recorder().count("gallery.enrolled")
         return record
 
-    def delete(self, identity: str, device: str = "default") -> None:
-        """Remove one enrollment; unknown pairs raise."""
+    def delete(self, identity: str, device: str = "default") -> int:
+        """Remove one enrollment; unknown pairs raise.
+
+        Same log → apply contract as :meth:`enroll`; returns the WAL
+        sequence number of the logged delete (0 without a log).
+        """
+        if self._readonly:
+            raise GalleryReadOnlyError("delete")
         _check_name(identity, "identity")
         _check_name(device, "device")
         if (device, identity) not in self._records:
             raise UnknownIdentityError(identity, device)
+        lsn = 0
+        if self._wal is not None:
+            lsn = self._wal.append(
+                "delete", {"identity": identity, "device": device}
+            )
         del self._records[(device, identity)]
         self._shard(device).invalidate(identity)
         index = self._index(device)
         if identity in index:
             index.remove(identity)
-        self._persist_index(device)
+        self._dirty_indexes.add(device)
+        self._maybe_checkpoint(lsn)
         get_recorder().count("gallery.deleted")
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Follower application / lifecycle
+    # ------------------------------------------------------------------
+    def apply_wal_record(
+        self, record: WalRecord
+    ) -> Optional[Tuple[str, str, str, Optional[GalleryRecord]]]:
+        """Apply one tailed WAL record in memory (follower mode).
+
+        Returns ``(op, device, identity, record)`` for an applied
+        enroll (``record`` is the rebuilt :class:`GalleryRecord`) or
+        delete (``record`` is ``None``), and ``None`` for a no-op —
+        the caller forwards applied ops to its worker-pool delta log.
+        Never touches disk: the primary owns the shards.
+        """
+        if record.op == "enroll":
+            rebuilt = record_from_wal(record.data, lsn=record.lsn)
+            key = (rebuilt.device, rebuilt.identity)
+            existing = self._records.get(key)
+            self._records[key] = rebuilt
+            self._index(rebuilt.device).add(rebuilt.identity, rebuilt.descriptor)
+            if existing is not None and existing.enrolled_at == rebuilt.enrolled_at:
+                return None
+            return ("enroll", rebuilt.device, rebuilt.identity, rebuilt)
+        if record.op == "delete":
+            device = str(record.data.get("device", ""))
+            identity = str(record.data.get("identity", ""))
+            key = (device, identity)
+            if key not in self._records:
+                return None
+            del self._records[key]
+            index = self._index(device)
+            if identity in index:
+                index.remove(identity)
+            return ("delete", device, identity, None)
+        _log.warning(
+            "unknown WAL op skipped",
+            extra={"data": {"op": record.op, "lsn": record.lsn}},
+        )
+        return None
+
+    @property
+    def readonly(self) -> bool:
+        """Whether this gallery is a read-only follower view."""
+        return self._readonly
+
+    @property
+    def wal_last_lsn(self) -> int:
+        """LSN of the most recent logged op (0 without a writer)."""
+        return self._wal.last_lsn if self._wal is not None else 0
+
+    def wal_stats(self) -> Optional[dict]:
+        """The write-ahead log's footprint/counters (``None`` without one)."""
+        return self._wal.stats() if self._wal is not None else None
+
+    def close(self) -> None:
+        """Flush dirty matrices, checkpoint, and close the WAL (idempotent)."""
+        self.flush_indexes()
+        if self._wal is not None:
+            if self._wal.last_lsn:
+                self._wal.checkpoint(self._wal.last_lsn)
+            self._wal.close()
+
+    def __enter__(self) -> "GalleryIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Lookups
@@ -497,6 +835,8 @@ class GalleryIndex:
             "enrolled": len(self._records),
             "devices": per_device,
             "max_nfiq_level": self._max_nfiq_level,
+            "readonly": self._readonly,
+            "corrupt_dropped": self.corrupt_dropped,
             "disk": disk,
             "index": {
                 "descriptor_version": DESCRIPTOR_VERSION,
@@ -506,6 +846,7 @@ class GalleryIndex:
                     for device, index in sorted(self._indexes.items())
                 },
             },
+            "wal": self.wal_stats(),
         }
 
 
@@ -513,7 +854,10 @@ __all__ = [
     "GalleryIndex",
     "GalleryRecord",
     "GalleryError",
+    "GalleryReadOnlyError",
     "EnrollmentRejected",
     "UnknownIdentityError",
     "DEFAULT_MAX_NFIQ_LEVEL",
+    "record_from_wal",
+    "wal_enroll_payload",
 ]

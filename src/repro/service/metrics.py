@@ -53,6 +53,23 @@ name                                      type       labels
 ``repro_worker_dispatched_jobs_total``    counter    ``worker``
 ``repro_worker_respawns_total``           counter    ``worker``
 ``repro_worker_shard_size``               gauge      ``worker``
+``repro_gallery_corrupt_dropped_total``   counter    —
+``repro_wal_last_lsn``                    gauge      —
+``repro_wal_checkpoint_lsn``              gauge      —
+``repro_wal_segments``                    gauge      —
+``repro_wal_size_bytes``                  gauge      —
+``repro_wal_appends_total``               counter    —
+``repro_wal_bytes_total``                 counter    —
+``repro_wal_fsyncs_total``                counter    —
+``repro_wal_rotations_total``             counter    —
+``repro_wal_checkpoints_total``           counter    —
+``repro_wal_segments_removed_total``      counter    —
+``repro_wal_replayed_total``              counter    —
+``repro_wal_torn_truncated_total``        counter    —
+``repro_replication_role``                gauge      ``role``
+``repro_replication_applied_lsn``         gauge      —
+``repro_replication_lag_records``         gauge      —
+``repro_replication_broken``              gauge      —
 ``repro_telemetry_*``                     mixed      — (recorder passthrough)
 ========================================  =========  =====================
 """
@@ -163,6 +180,9 @@ def render_exposition(
     stats: ServiceStats,
     gallery_devices: Optional[Dict[str, int]] = None,
     queue_depth: Optional[int] = None,
+    corrupt_dropped: Optional[int] = None,
+    wal: Optional[dict] = None,
+    replication: Optional[dict] = None,
 ) -> str:
     """The full ``/metrics`` payload for one server.
 
@@ -174,6 +194,15 @@ def render_exposition(
         Per-device enrollment counts (``GalleryIndex.stats()["devices"]``).
     queue_depth:
         Pair jobs currently queued in the micro-batcher.
+    corrupt_dropped:
+        Corrupt gallery records silently skipped at the last reload
+        (``GalleryIndex.corrupt_dropped``).
+    wal:
+        The write-ahead log footprint/counters
+        (``GalleryIndex.wal_stats()``; ``None`` on a follower).
+    replication:
+        The ``{role, applied_lsn, lag_records}`` block the server also
+        reports in ``/v1/healthz``.
     """
     w = _Writer()
     snapshot = stats.snapshot()
@@ -316,6 +345,68 @@ def render_exposition(
                  "Enrolled templates per device shard.")
         for device, count in sorted(gallery_devices.items()):
             w.sample("repro_gallery_enrolled", {"device": device}, count)
+
+    if corrupt_dropped is not None:
+        w.family("repro_gallery_corrupt_dropped_total", "counter",
+                 "Corrupt gallery records dropped at the last reload.")
+        w.sample("repro_gallery_corrupt_dropped_total", {}, corrupt_dropped)
+
+    if wal is not None:
+        for name, help_text, value in (
+            ("repro_wal_last_lsn",
+             "Sequence number of the newest logged operation.",
+             wal.get("last_lsn", 0)),
+            ("repro_wal_checkpoint_lsn",
+             "Operations at or below this LSN are durably applied.",
+             wal.get("checkpoint_lsn", 0)),
+            ("repro_wal_segments", "Retained write-ahead log segments.",
+             wal.get("segments", 0)),
+            ("repro_wal_size_bytes", "On-disk bytes across WAL segments.",
+             wal.get("size_bytes", 0)),
+        ):
+            w.family(name, "gauge", help_text)
+            w.sample(name, {}, value)
+        for name, help_text, value in (
+            ("repro_wal_appends_total", "Records appended to the WAL.",
+             wal.get("appends", 0)),
+            ("repro_wal_bytes_total", "Frame bytes appended to the WAL.",
+             wal.get("bytes", 0)),
+            ("repro_wal_fsyncs_total", "fsync calls issued by the WAL.",
+             wal.get("fsyncs", 0)),
+            ("repro_wal_rotations_total", "Segment seals (rotations).",
+             wal.get("rotations", 0)),
+            ("repro_wal_checkpoints_total", "Checkpoints written.",
+             wal.get("checkpoints", 0)),
+            ("repro_wal_segments_removed_total",
+             "Sealed segments compacted away after checkpoints.",
+             wal.get("segments_removed", 0)),
+            ("repro_wal_replayed_total",
+             "Records replayed from the WAL at startup.",
+             wal.get("replayed", 0)),
+            ("repro_wal_torn_truncated_total",
+             "Torn WAL tails truncated during replay.",
+             wal.get("torn_truncated", 0)),
+        ):
+            w.family(name, "counter", help_text)
+            w.sample(name, {}, value)
+
+    if replication is not None:
+        w.family("repro_replication_role", "gauge",
+                 "1 for the role this server is playing.")
+        w.sample("repro_replication_role",
+                 {"role": replication.get("role", "primary")}, 1)
+        w.family("repro_replication_applied_lsn", "gauge",
+                 "Newest WAL operation applied by this server.")
+        w.sample("repro_replication_applied_lsn", {},
+                 replication.get("applied_lsn", 0))
+        w.family("repro_replication_lag_records", "gauge",
+                 "WAL records written but not yet applied here.")
+        w.sample("repro_replication_lag_records", {},
+                 replication.get("lag_records", 0))
+        w.family("repro_replication_broken", "gauge",
+                 "1 when follower replication stopped on an error.")
+        w.sample("repro_replication_broken", {},
+                 1 if replication.get("error") else 0)
 
     _render_recorder_metrics(w)
     return w.text()

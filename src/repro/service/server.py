@@ -80,8 +80,10 @@ import asyncio
 import base64
 import binascii
 import json
+import os
 import time
 from contextlib import nullcontext
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..core.identification import DEFAULT_CANDIDATE_K, IDENTIFY_MODES
@@ -113,7 +115,13 @@ from .batching import (
     ServiceOverloadError,
 )
 from ..core.prefilter import descriptor_vector
-from .gallery import EnrollmentRejected, GalleryIndex, UnknownIdentityError
+from ..runtime.wal import WalError, WalFollower
+from .gallery import (
+    EnrollmentRejected,
+    GalleryIndex,
+    GalleryReadOnlyError,
+    UnknownIdentityError,
+)
 from .metrics import EXPOSITION_CONTENT_TYPE, render_exposition
 from .reqlog import RequestLog, slow_threshold_ms
 from .stats import ServiceStats
@@ -127,6 +135,10 @@ DEFAULT_THRESHOLD = 7.5
 
 #: Largest accepted request body; INCITS 378 templates are ~1 KiB.
 MAX_BODY_BYTES = 1 << 20
+
+#: How often a follower polls the primary's WAL for new records, in
+#: milliseconds (``REPRO_WAL_POLL_MS`` overrides).
+DEFAULT_WAL_POLL_MS = 200.0
 
 _log = get_logger("service.server")
 
@@ -155,6 +167,7 @@ _STATUS_TEXT = {
     200: "OK",
     201: "Created",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -168,6 +181,7 @@ _STATUS_TEXT = {
 #: field of the error envelope when no more specific one applies.
 _DEFAULT_CODES = {
     400: "bad_request",
+    403: "read_only",
     404: "not_found",
     405: "method_not_allowed",
     409: "conflict",
@@ -182,6 +196,8 @@ def _status_for(exc: ReproError) -> int:
     """Map a library exception onto its HTTP status."""
     if isinstance(exc, EnrollmentRejected):
         return 409
+    if isinstance(exc, GalleryReadOnlyError):
+        return 403
     if isinstance(exc, UnknownIdentityError):
         return 404
     if isinstance(exc, ServiceOverloadError):
@@ -199,6 +215,8 @@ def _code_for(exc: ReproError) -> str:
     """The error-envelope ``code`` slug for a library exception."""
     if isinstance(exc, EnrollmentRejected):
         return "quality_rejected"
+    if isinstance(exc, GalleryReadOnlyError):
+        return "read_only"
     if isinstance(exc, UnknownIdentityError):
         return "unknown_identity"
     if isinstance(exc, ServiceOverloadError):
@@ -265,6 +283,7 @@ class VerificationServer:
         candidate_k: Optional[int] = None,
         workers: Optional[int] = None,
         matcher_factory=None,
+        follow: Optional[os.PathLike] = None,
     ) -> None:
         if threshold is None:
             threshold = env_float("REPRO_SERVE_THRESHOLD")
@@ -303,6 +322,24 @@ class VerificationServer:
         self._host = host
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        # Follower mode: tail the primary's WAL instead of accepting
+        # writes.  The gallery must be a read-only view — a follower
+        # that could write the primary's shards would corrupt them.
+        self._follow_dir = Path(follow) if follow is not None else None
+        if self._follow_dir is not None and not gallery.readonly:
+            raise ConfigurationError(
+                "follower mode needs a read-only gallery "
+                "(GalleryIndex(root, readonly=True))"
+            )
+        self._follower: Optional[WalFollower] = None
+        self._follow_task: Optional[asyncio.Task] = None
+        self._follow_lock = asyncio.Lock()
+        self._follow_error: Optional[str] = None
+        self._applied_lsn = 0
+        poll_ms = env_float("REPRO_WAL_POLL_MS")
+        self._poll_interval = (
+            DEFAULT_WAL_POLL_MS if poll_ms is None else max(1.0, poll_ms)
+        ) / 1000.0
         # Sharded serving: the pool spins up in start() (it needs the
         # running loop); workers <= 1 keeps the single-process path —
         # the bit-identical control arm of the worker sweep.
@@ -321,6 +358,90 @@ class VerificationServer:
             else BatchingConfig.from_environment()
         )
         self.pool: Optional[WorkerPool] = None
+
+    # ------------------------------------------------------------------
+    # Replication (follower mode)
+    # ------------------------------------------------------------------
+    @property
+    def role(self) -> str:
+        """``"primary"`` (owns the gallery) or ``"follower"`` (tails a WAL)."""
+        return "follower" if self._follow_dir is not None else "primary"
+
+    async def _drain_follower(self) -> None:
+        """Apply every WAL record completed so far (follower only).
+
+        Serialized by a lock: the poll loop and an eager ``/healthz``
+        drain must never interleave, or records could apply out of
+        order.  Applied ops are forwarded to the worker pool's delta
+        log so sharded reads see them too.
+        """
+        if self._follower is None:
+            return
+        async with self._follow_lock:
+            for rec in self._follower.poll():
+                applied = self.gallery.apply_wal_record(rec)
+                self._applied_lsn = rec.lsn
+                if applied is None:
+                    continue
+                op, device, identity, record = applied
+                if self._live_pool is not None:
+                    if op == "enroll":
+                        await self.pool.apply_enroll(
+                            device, identity,
+                            record.template, record.descriptor,
+                            lsn=rec.lsn,
+                        )
+                    else:
+                        await self.pool.apply_delete(
+                            device, identity, lsn=rec.lsn
+                        )
+
+    async def _follow_loop(self) -> None:
+        """Poll the primary's WAL until cancelled.
+
+        A :class:`WalError` (fell behind retention, corruption while
+        tailing) stops replication and is surfaced in ``/v1/healthz``;
+        the replica keeps answering reads from what it has applied.
+        """
+        while True:
+            try:
+                await self._drain_follower()
+            except asyncio.CancelledError:
+                raise
+            except WalError as exc:
+                self._follow_error = str(exc)
+                _log.error(
+                    "follower replication stopped",
+                    extra={"data": {"error": str(exc),
+                                    "applied_lsn": self._applied_lsn}},
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - keep serving reads
+                self._follow_error = repr(exc)
+                _log.error(
+                    "follower replication stopped",
+                    extra={"data": {"error": repr(exc),
+                                    "applied_lsn": self._applied_lsn}},
+                )
+                return
+            await asyncio.sleep(self._poll_interval)
+
+    def _replication(self) -> dict:
+        """The ``{role, applied_lsn, lag_records}`` health block."""
+        if self._follower is None:
+            return {
+                "role": "primary",
+                "applied_lsn": self.gallery.wal_last_lsn,
+                "lag_records": 0,
+            }
+        info = {
+            "role": "follower",
+            "applied_lsn": self._applied_lsn,
+            "lag_records": self._follower.pending(),
+        }
+        if self._follow_error is not None:
+            info["error"] = self._follow_error
+        return info
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -356,6 +477,9 @@ class VerificationServer:
                 batching=self._pool_batching,
             )
             await self.pool.start()
+        if self._follow_dir is not None and self._follow_task is None:
+            self._follower = WalFollower(self._follow_dir)
+            self._follow_task = asyncio.create_task(self._follow_loop())
         await self.batcher.start()
         try:
             self._server = await asyncio.start_server(
@@ -374,7 +498,8 @@ class VerificationServer:
             "service listening",
             extra={"data": {"host": host, "port": port,
                             "enrolled": len(self.gallery),
-                            "workers": self._pool_config.workers}},
+                            "workers": self._pool_config.workers,
+                            "role": self.role}},
         )
 
     async def serve_forever(self) -> None:
@@ -386,15 +511,29 @@ class VerificationServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Close the listener, drain the batcher, flush the request log."""
+        """Close the listener, drain the batcher, flush the request log.
+
+        Also closes the gallery: dirty descriptor matrices flush and the
+        WAL checkpoints on the way down — the deferred-write shutdown
+        path.  :meth:`GalleryIndex.close` is idempotent, so an owner
+        that closes the gallery again afterwards is fine.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._follow_task is not None:
+            self._follow_task.cancel()
+            try:
+                await self._follow_task
+            except asyncio.CancelledError:
+                pass
+            self._follow_task = None
         if self.pool is not None:
             await self.pool.stop()
             self.pool = None
         await self.batcher.stop()
+        self.gallery.close()
         if self.reqlog is not None:
             self.reqlog.close()
 
@@ -693,18 +832,20 @@ class VerificationServer:
 
     async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
         if path == "/healthz" and method == "GET":
-            return 200, self._handle_healthz()
+            return 200, await self._handle_healthz()
         if path == "/stats" and method == "GET":
             return 200, self._handle_stats()
         if path == "/metrics" and method == "GET":
             return 200, self._handle_metrics()
         if path == "/enroll" and method == "POST":
+            self._reject_write("enroll")
             return await self._handle_enroll(self._json_body(body))
         if path == "/verify" and method == "POST":
             return await self._handle_verify(self._json_body(body))
         if path == "/identify" and method == "POST":
             return await self._handle_identify(self._json_body(body))
         if path.startswith("/enroll/") and method == "DELETE":
+            self._reject_write("delete")
             parts = [p for p in path.split("/") if p]
             if len(parts) != 3:
                 raise _HttpError(400, "DELETE path must be /enroll/<device>/<identity>")
@@ -713,9 +854,9 @@ class VerificationServer:
             if trace is not None:
                 trace.meta["device"] = device
             with _phase("gallery"):
-                self.gallery.delete(identity, device=device)
+                lsn = self.gallery.delete(identity, device=device)
             if self._live_pool is not None:
-                await self.pool.apply_delete(device, identity)
+                await self.pool.apply_delete(device, identity, lsn=lsn)
             return 200, {"deleted": identity, "device": device}
         raise _HttpError(
             405 if path in ("/enroll", "/verify", "/identify",
@@ -744,7 +885,26 @@ class VerificationServer:
             return pool
         return None
 
-    def _handle_healthz(self) -> dict:
+    def _reject_write(self, operation: str) -> None:
+        """Follower replicas answer reads only; writes go to the primary."""
+        if self.role == "follower":
+            raise _HttpError(
+                403,
+                f"this replica is read-only; {operation} must go to "
+                "the primary",
+                code="read_only",
+            )
+
+    async def _handle_healthz(self) -> dict:
+        # A follower drains whatever the WAL holds before reporting, so
+        # `lag_records == 0` in the response means "caught up with every
+        # record written when the probe arrived" — the CI smoke keys on
+        # exactly that.
+        if self._follower is not None and self._follow_error is None:
+            try:
+                await self._drain_follower()
+            except WalError as exc:
+                self._follow_error = str(exc)
         pool = self.pool
         return {
             "status": "ok",
@@ -755,6 +915,7 @@ class VerificationServer:
                 "alive": pool.alive_count if pool is not None else 0,
                 "degraded": pool.degraded if pool is not None else False,
             },
+            "replication": self._replication(),
         }
 
     def _handle_stats(self) -> dict:
@@ -775,6 +936,7 @@ class VerificationServer:
         payload["identify"]["candidate_k"] = self.candidate_k
         payload["threshold"] = self.threshold
         payload["tracing"] = self.tracing
+        payload["replication"] = self._replication()
         return payload
 
     def _handle_metrics(self) -> str:
@@ -785,6 +947,9 @@ class VerificationServer:
             self.stats,
             gallery_devices=self.gallery.stats().get("devices"),
             queue_depth=queued,
+            corrupt_dropped=self.gallery.corrupt_dropped,
+            wal=self.gallery.wal_stats(),
+            replication=self._replication(),
         )
 
     async def _handle_enroll(self, payload: dict) -> Tuple[int, dict]:
@@ -806,7 +971,8 @@ class VerificationServer:
             # so a follow-up verify against this identity cannot race a
             # not-yet-delivered delta.
             await self.pool.apply_enroll(
-                device, identity, record.template, record.descriptor
+                device, identity, record.template, record.descriptor,
+                lsn=record.lsn,
             )
         return 201, {
             "identity": record.identity,

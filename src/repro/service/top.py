@@ -61,6 +61,9 @@ def take_sample(client: ServiceClient) -> dict:
         "slow_requests": stats.get("slow_requests", 0),
         "workers_alive": stats.get("workers", {}).get("alive", 0),
         "workers_configured": stats.get("workers", {}).get("configured", 0),
+        "role": stats.get("replication", {}).get("role", "primary"),
+        "applied_lsn": stats.get("replication", {}).get("applied_lsn", 0),
+        "lag_records": stats.get("replication", {}).get("lag_records", 0),
     }
 
 
@@ -112,7 +115,10 @@ def render_frame(sample: dict, deltas: dict, host: str, port: int) -> str:
         f"enrolled {sample['enrolled']}   "
         f"queued {sample['queued_jobs']}   "
         f"workers {sample.get('workers_alive', 0)}"
-        f"/{sample.get('workers_configured', 0)}",
+        f"/{sample.get('workers_configured', 0)}   "
+        f"{sample.get('role', 'primary')}"
+        f" lsn {sample.get('applied_lsn', 0)}"
+        f" lag {sample.get('lag_records', 0)}",
         f"interval {deltas['interval_s']:.1f}s   "
         f"qps {deltas['qps']:.1f}   "
         f"err {100.0 * deltas['error_rate']:.1f}%   "

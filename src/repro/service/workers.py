@@ -441,7 +441,12 @@ class WorkerPool:
         self._handles: List[Optional[_WorkerHandle]] = []
         self._batchers: List[MicroBatcher] = []
         self._store: Optional[SharedGalleryStore] = None
-        self._deltas: List[tuple] = []
+        # The delta log mirrors the gallery WAL: one latest op per
+        # (device, identity), tagged with its WAL LSN.  Per-key ops are
+        # last-write-wins and cross-key ops commute, so retaining only
+        # the newest op per key is lossless — the log stays bounded by
+        # the gallery size instead of growing with write traffic.
+        self._deltas: Dict[Tuple[str, str], tuple] = {}
         self._lock = threading.Lock()
         self._budget = RestartBudget(self._config.respawn_budget)
         self._degraded = False
@@ -477,6 +482,12 @@ class WorkerPool:
     def queue_depth(self) -> int:
         return sum(b.queue_depth for b in self._batchers)
 
+    @property
+    def delta_count(self) -> int:
+        """Live entries in the compacted respawn delta log."""
+        with self._lock:
+            return len(self._deltas)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -484,8 +495,8 @@ class WorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         deltas = [
             d
-            for d in self._deltas
-            if shard_of(d[2], self._config.workers) == worker_id
+            for (_device, identity), d in self._deltas.items()
+            if shard_of(identity, self._config.workers) == worker_id
         ]
         process = self._ctx.Process(
             target=_worker_main,
@@ -771,17 +782,23 @@ class WorkerPool:
         return gallery_size, merge_shard_candidates(shards, k)
 
     async def apply_enroll(
-        self, device: str, identity: str, template, descriptor
+        self, device: str, identity: str, template, descriptor,
+        lsn: int = 0,
     ) -> None:
-        """Propagate one enrollment to its owner (and the delta log)."""
+        """Propagate one enrollment to its owner (and the delta log).
+
+        ``lsn`` is the WAL sequence number that durably logged the op
+        (0 when no log is involved); it tags the delta for
+        observability and keeps the pool's log aligned with the WAL.
+        """
         worker_id = shard_of(identity, self._config.workers)
         with self._lock:
             if self._degraded:
                 return
             # Logged before the RPC: a worker that crashes mid-apply is
             # respawned *with* this delta, so the retry cannot lose it.
-            self._deltas.append(
-                ("enroll", device, identity, template, descriptor)
+            self._deltas[(device, identity)] = (
+                "enroll", device, identity, template, descriptor, int(lsn)
             )
         loop = asyncio.get_running_loop()
         try:
@@ -795,13 +812,17 @@ class WorkerPool:
             return
         self._stats.set_worker_shard(worker_id, int(owned))
 
-    async def apply_delete(self, device: str, identity: str) -> None:
+    async def apply_delete(
+        self, device: str, identity: str, lsn: int = 0
+    ) -> None:
         """Propagate one deletion to its owner (and the delta log)."""
         worker_id = shard_of(identity, self._config.workers)
         with self._lock:
             if self._degraded:
                 return
-            self._deltas.append(("delete", device, identity))
+            self._deltas[(device, identity)] = (
+                "delete", device, identity, int(lsn)
+            )
         loop = asyncio.get_running_loop()
         try:
             owned = await loop.run_in_executor(

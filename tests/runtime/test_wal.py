@@ -1,0 +1,374 @@
+"""Write-ahead log: framing, replay rules, compaction, tailing, chaos.
+
+The durability contract under test: an acked append survives anything
+short of media rot; a torn tail (the crash shape) is truncated silently;
+mid-log corruption is refused loudly; a follower tailing the same
+directory sees every completed record exactly once.
+"""
+
+import json
+import os
+import struct
+import time
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import ConfigurationError
+from repro.runtime.wal import (
+    DEFAULT_KEEP_SEGMENTS,
+    DEFAULT_SEGMENT_BYTES,
+    HEADER,
+    WalCorruptionError,
+    WalError,
+    WalFollower,
+    WalRecord,
+    WriteAheadLog,
+    decode_array,
+    encode_array,
+)
+
+
+def _wal(path, **kwargs):
+    kwargs.setdefault("sync", "never")  # fast; durability knobs get their own tests
+    return WriteAheadLog(path, **kwargs)
+
+
+def _flip_byte(path, offset):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestFraming:
+    def test_append_then_replay_round_trip(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        wal.append("enroll", {"identity": "a", "n": 1})
+        wal.append("enroll", {"identity": "b", "n": 2})
+        wal.append("delete", {"identity": "a"})
+        wal.close()
+
+        records = _wal(tmp_path / "wal").replay()
+        assert [r.lsn for r in records] == [1, 2, 3]
+        assert [r.op for r in records] == ["enroll", "enroll", "delete"]
+        assert records[1].data == {"identity": "b", "n": 2}
+
+    def test_lsns_are_monotonic_from_one(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        assert wal.append("op", {}) == 1
+        assert wal.append("op", {}) == 2
+        assert wal.last_lsn == 2
+
+    def test_array_payloads_replay_bit_identical(self, tmp_path):
+        array = np.arange(12, dtype=np.float32).reshape(3, 4) * np.pi
+        wal = _wal(tmp_path / "wal")
+        wal.append("enroll", {"positions": encode_array(array)})
+        wal.close()
+
+        [record] = _wal(tmp_path / "wal").replay()
+        decoded = decode_array(record.data["positions"])
+        assert decoded.dtype == array.dtype
+        assert np.array_equal(decoded, array)
+
+    def test_decode_array_rejects_junk(self):
+        with pytest.raises(WalError):
+            decode_array({"dtype": "<f4", "shape": [2], "data": "!!notb64!!"})
+        with pytest.raises(WalError):
+            decode_array({"dtype": "<f4"})
+
+    def test_empty_log_replays_empty(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        assert wal.replay() == []
+        assert wal.last_lsn == 0
+
+
+class TestRotation:
+    def test_small_segments_rotate(self, tmp_path):
+        wal = _wal(tmp_path / "wal", segment_bytes=64)
+        for i in range(8):
+            wal.append("op", {"i": i, "pad": "x" * 40})
+        wal.close()
+        assert len(wal.segments()) > 1
+        assert wal.counters["rotations"] >= 1
+
+        # Segment names carry their first LSN; replay stitches them.
+        firsts = [int(p.name[:-4]) for p in wal.segments()]
+        assert firsts == sorted(firsts) and firsts[0] == 1
+        records = _wal(tmp_path / "wal", segment_bytes=64).replay()
+        assert [r.lsn for r in records] == list(range(1, 9))
+
+    def test_append_continues_across_reopen(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        wal.append("op", {"i": 0})
+        wal.close()
+        reborn = _wal(tmp_path / "wal")
+        reborn.replay()
+        assert reborn.append("op", {"i": 1}) == 2
+
+    def test_bad_sync_policy_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog(tmp_path / "wal", sync="sometimes")
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog(tmp_path / "wal", segment_bytes=0)
+        with pytest.raises(ConfigurationError):
+            WriteAheadLog(tmp_path / "wal", keep_segments=-1)
+
+    def test_defaults_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WAL_SYNC", "rotate")
+        monkeypatch.setenv("REPRO_WAL_SEGMENT_BYTES", "128")
+        monkeypatch.setenv("REPRO_WAL_KEEP_SEGMENTS", "1")
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert wal.sync == "rotate"
+        assert wal.segment_bytes == 128
+        assert wal.keep_segments == 1
+
+
+class TestReplayRules:
+    def _write_then_damage_tail(self, tmp_path, keep_bytes):
+        wal = _wal(tmp_path / "wal")
+        for i in range(3):
+            wal.append("op", {"i": i})
+        wal.close()
+        [segment] = wal.segments()
+        size = segment.stat().st_size
+        with open(segment, "r+b") as handle:
+            handle.truncate(size - keep_bytes)
+        return segment
+
+    def test_torn_tail_truncated(self, tmp_path):
+        # Chop half of the final frame: the classic interrupted append.
+        self._write_then_damage_tail(tmp_path, keep_bytes=7)
+        reborn = _wal(tmp_path / "wal")
+        records = reborn.replay()
+        assert [r.lsn for r in records] == [1, 2]
+        assert reborn.counters["torn_truncated"] == 1
+        # The truncation is physical: a second replay is clean.
+        again = _wal(tmp_path / "wal")
+        assert [r.lsn for r in again.replay()] == [1, 2]
+        assert again.counters["torn_truncated"] == 0
+
+    def test_torn_tail_does_not_burn_the_lsn(self, tmp_path):
+        self._write_then_damage_tail(tmp_path, keep_bytes=7)
+        reborn = _wal(tmp_path / "wal")
+        reborn.replay()
+        assert reborn.append("op", {"again": True}) == 3
+
+    def test_crc_failure_at_eof_is_torn(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        for i in range(2):
+            wal.append("op", {"i": i})
+        wal.close()
+        [segment] = wal.segments()
+        _flip_byte(segment, segment.stat().st_size - 2)
+        records = _wal(tmp_path / "wal").replay()
+        assert [r.lsn for r in records] == [1]
+
+    def test_mid_log_corruption_refused(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        for i in range(3):
+            wal.append("op", {"i": i})
+        wal.close()
+        # Flip a payload byte of the FIRST frame: log continues after it.
+        [segment] = wal.segments()
+        _flip_byte(segment, HEADER.size + 4)
+        with pytest.raises(WalCorruptionError, match="mid-log"):
+            _wal(tmp_path / "wal").replay()
+
+    def test_corrupt_sealed_segment_refused(self, tmp_path):
+        wal = _wal(tmp_path / "wal", segment_bytes=64)
+        for i in range(8):
+            wal.append("op", {"i": i, "pad": "x" * 40})
+        wal.close()
+        sealed = wal.segments()[0]
+        with open(sealed, "r+b") as handle:
+            handle.truncate(sealed.stat().st_size - 3)
+        with pytest.raises(WalCorruptionError):
+            _wal(tmp_path / "wal", segment_bytes=64).replay()
+
+    def test_lsn_gap_refused(self, tmp_path):
+        path = tmp_path / "wal"
+        path.mkdir()
+        frames = b""
+        for lsn in (1, 3):  # skip 2
+            payload = json.dumps({"lsn": lsn, "op": "op"}).encode()
+            frames += HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        (path / f"{1:016d}.wal").write_bytes(frames)
+        with pytest.raises(WalCorruptionError, match="sequence"):
+            _wal(path).replay()
+
+    def test_valid_frame_with_garbage_json_refused(self, tmp_path):
+        path = tmp_path / "wal"
+        path.mkdir()
+        payload = b"not json at all"
+        frame = HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        (path / f"{1:016d}.wal").write_bytes(frame)
+        with pytest.raises(WalCorruptionError):
+            _wal(path).replay()
+
+
+class TestCheckpoint:
+    def test_checkpoint_persists_and_clamps(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        for i in range(3):
+            wal.append("op", {"i": i})
+        wal.checkpoint(99)  # clamps to last_lsn
+        assert wal.checkpoint_lsn() == 3
+        assert _wal(tmp_path / "wal").checkpoint_lsn() == 3
+
+    def test_compaction_respects_keep_segments(self, tmp_path):
+        wal = _wal(tmp_path / "wal", segment_bytes=64, keep_segments=0)
+        for i in range(12):
+            wal.append("op", {"i": i, "pad": "x" * 40})
+        before = len(wal.segments())
+        assert before > 2
+        removed = wal.checkpoint(wal.last_lsn)
+        assert removed == before - 1  # active segment always survives
+        assert len(wal.segments()) == 1
+
+        kept = _wal(tmp_path / "wal2", segment_bytes=64, keep_segments=2)
+        for i in range(12):
+            kept.append("op", {"i": i, "pad": "x" * 40})
+        kept.checkpoint(kept.last_lsn)
+        assert len(kept.segments()) >= 3  # active + 2 retained
+
+    def test_replay_after_compaction_continues_lsns(self, tmp_path):
+        wal = _wal(tmp_path / "wal", segment_bytes=64, keep_segments=0)
+        for i in range(12):
+            wal.append("op", {"i": i, "pad": "x" * 40})
+        last = wal.last_lsn
+        wal.checkpoint(last)
+        wal.close()
+
+        reborn = _wal(tmp_path / "wal", segment_bytes=64, keep_segments=0)
+        records = reborn.replay()
+        assert records and records[-1].lsn == last
+        assert reborn.append("op", {"next": True}) == last + 1
+
+    def test_stats_shape(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        wal.append("op", {})
+        stats = wal.stats()
+        assert stats["last_lsn"] == 1
+        assert stats["segments"] == 1
+        assert stats["size_bytes"] > 0
+        assert stats["appends"] == 1
+        for key in ("fsyncs", "rotations", "checkpoints", "replayed",
+                    "torn_truncated", "segments_removed", "bytes"):
+            assert key in stats
+
+
+class TestFollower:
+    def test_tail_sees_records_incrementally(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        follower = WalFollower(tmp_path / "wal")
+        assert follower.poll() == []
+
+        wal.append("op", {"i": 0})
+        wal.append("op", {"i": 1})
+        first = follower.poll()
+        assert [r.lsn for r in first] == [1, 2]
+        assert follower.poll() == []
+
+        wal.append("op", {"i": 2})
+        assert [r.lsn for r in follower.poll()] == [3]
+        assert follower.last_lsn == 3
+
+    def test_pending_counts_unconsumed(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        follower = WalFollower(tmp_path / "wal")
+        for i in range(4):
+            wal.append("op", {"i": i})
+        assert follower.pending() == 4
+        follower.poll()
+        assert follower.pending() == 0
+
+    def test_tail_crosses_rotations(self, tmp_path):
+        wal = _wal(tmp_path / "wal", segment_bytes=64)
+        follower = WalFollower(tmp_path / "wal")
+        for i in range(10):
+            wal.append("op", {"i": i, "pad": "x" * 40})
+        assert [r.lsn for r in follower.poll()] == list(range(1, 11))
+
+    def test_incomplete_tail_reads_as_not_yet(self, tmp_path):
+        wal = _wal(tmp_path / "wal")
+        wal.append("op", {"i": 0})
+        follower = WalFollower(tmp_path / "wal")
+        [segment] = wal.segments()
+        # A half-written second frame: poll must return record 1 and wait.
+        payload = json.dumps({"lsn": 2, "op": "op"}).encode()
+        frame = HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        with open(segment, "ab") as handle:
+            handle.write(frame[: len(frame) // 2])
+        assert [r.lsn for r in follower.poll()] == [1]
+        # The rest of the frame lands: now it completes.
+        with open(segment, "ab") as handle:
+            handle.write(frame[len(frame) // 2:])
+        assert [r.lsn for r in follower.poll()] == [2]
+
+    def test_compacted_past_cursor_raises(self, tmp_path):
+        wal = _wal(tmp_path / "wal", segment_bytes=64, keep_segments=0)
+        follower = WalFollower(tmp_path / "wal")
+        wal.append("op", {"i": 0, "pad": "x" * 40})
+        follower.poll()  # cursor in segment 1
+        for i in range(1, 12):
+            wal.append("op", {"i": i, "pad": "x" * 40})
+        wal.checkpoint(wal.last_lsn)  # segment 1 compacted away
+        with pytest.raises(WalError, match="retention"):
+            follower.poll()
+
+    def test_survives_compaction_when_caught_up(self, tmp_path):
+        wal = _wal(tmp_path / "wal", segment_bytes=64, keep_segments=0)
+        follower = WalFollower(tmp_path / "wal")
+        for i in range(12):
+            wal.append("op", {"i": i, "pad": "x" * 40})
+            follower.poll()  # keep up while segments seal
+        last = follower.last_lsn
+        wal.checkpoint(wal.last_lsn)
+        wal.append("op", {"next": True})
+        assert [r.lsn for r in follower.poll()] == [last + 1]
+
+
+class TestFaultInjection:
+    """The REPRO_FAULTS wal targets, driven end to end through append."""
+
+    @pytest.fixture()
+    def chaos_env(self, tmp_path, monkeypatch):
+        def arm(spec):
+            monkeypatch.setenv("REPRO_FAULTS", spec)
+            monkeypatch.setenv("REPRO_FAULTS_DIR", str(tmp_path / "ledger"))
+        return arm
+
+    def test_torn_write_fault_never_acks(self, tmp_path, chaos_env):
+        chaos_env("wal_torn@wal-append-00000002:1")
+        wal = _wal(tmp_path / "wal")
+        wal.append("op", {"i": 0})
+        with pytest.raises(WalError, match="torn"):
+            wal.append("op", {"i": 1})
+        # The log is poisoned until replayed; further appends refuse.
+        with pytest.raises(WalError):
+            wal.append("op", {"i": 2})
+
+        reborn = _wal(tmp_path / "wal")
+        records = reborn.replay()
+        assert [r.lsn for r in records] == [1]
+        assert reborn.counters["torn_truncated"] == 1
+        assert reborn.append("op", {"i": 1}) == 2
+
+    def test_corrupt_fault_refused_once_mid_log(self, tmp_path, chaos_env):
+        chaos_env("wal_corrupt@wal-append-00000001:1")
+        wal = _wal(tmp_path / "wal")
+        wal.append("op", {"i": 0})  # acked, then silently rotted
+        wal.append("op", {"i": 1})  # makes the rot mid-log
+        wal.close()
+        with pytest.raises(WalCorruptionError):
+            _wal(tmp_path / "wal").replay()
+
+    def test_stall_fault_delays_fsync(self, tmp_path, chaos_env):
+        chaos_env("wal_stall:1:0.25")
+        wal = WriteAheadLog(tmp_path / "wal", sync="always")
+        start = time.monotonic()
+        wal.append("op", {})
+        assert time.monotonic() - start >= 0.25

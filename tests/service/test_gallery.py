@@ -176,7 +176,9 @@ class TestPersistence:
         restored = GalleryIndex(root).get("subject-2", device="D0").template
         assert matcher.match(probe, restored) == matcher.match(probe, enrolled)
 
-    def test_corrupt_record_dropped_at_reload(self, tmp_path, tiny_collection):
+    def test_corrupt_record_healed_from_wal(self, tmp_path, tiny_collection):
+        # A torn shard is dropped at reload, but the enrollment is still
+        # in the WAL, so replay re-materializes it: nothing acked is lost.
         root = tmp_path / "gallery"
         first = GalleryIndex(root)
         for sid in range(2):
@@ -190,9 +192,34 @@ class TestPersistence:
         victim.write_bytes(b"torn mid-write")
 
         reborn = GalleryIndex(root)
+        assert len(reborn) == 2
+        assert ("D0", "subject-0") in reborn
+        assert reborn.corrupt_dropped == 1
+
+    def test_corrupt_record_dropped_and_counted_without_wal(
+        self, tmp_path, tiny_collection
+    ):
+        # Once the WAL no longer covers a record (compacted away), a
+        # corrupt shard is dropped — and counted, not just logged.
+        import shutil
+
+        root = tmp_path / "gallery"
+        first = GalleryIndex(root)
+        for sid in range(2):
+            first.enroll(
+                f"subject-{sid}",
+                tiny_collection.get(sid, FINGER, "D0", 0).template,
+                device="D0",
+            )
+        (root / "D0" / "subject-0.npz").write_bytes(b"torn mid-write")
+        shutil.rmtree(root / "__wal__")
+
+        reborn = GalleryIndex(root)
         assert len(reborn) == 1
         assert ("D0", "subject-1") in reborn
         assert ("D0", "subject-0") not in reborn
+        assert reborn.corrupt_dropped == 1
+        assert reborn.stats()["corrupt_dropped"] == 1
 
     def test_foreign_files_ignored_at_reload(self, tmp_path, tiny_collection):
         root = tmp_path / "gallery"
@@ -289,7 +316,33 @@ class TestDescriptorPersistence:
                 tiny_collection.get(sid, FINGER, "D0", 0).template,
                 device="D0",
             )
+        gallery.flush_indexes()
         return gallery
+
+    def test_index_flush_is_deferred(self, tmp_path, tiny_collection):
+        # Enrolls dirty the in-memory index; the O(gallery) matrix write
+        # happens once at flush/close, not once per write.
+        root = tmp_path / "gallery"
+        gallery = GalleryIndex(root)
+        gallery.enroll(
+            "subject-0",
+            tiny_collection.get(0, FINGER, "D0", 0).template,
+            device="D0",
+        )
+        assert not (root / "__index__" / "D0.npz").exists()
+        assert gallery.flush_indexes() == 1
+        assert (root / "__index__" / "D0.npz").exists()
+        assert gallery.flush_indexes() == 0  # clean: nothing rewritten
+
+    def test_close_flushes_dirty_index(self, tmp_path, tiny_collection):
+        root = tmp_path / "gallery"
+        with GalleryIndex(root) as gallery:
+            gallery.enroll(
+                "subject-0",
+                tiny_collection.get(0, FINGER, "D0", 0).template,
+                device="D0",
+            )
+        assert (root / "__index__" / "D0.npz").exists()
 
     def test_matrix_persisted_and_adopted_on_restart(self, tmp_path, tiny_collection):
         root = tmp_path / "gallery"
@@ -325,6 +378,7 @@ class TestDescriptorPersistence:
             tiny_collection.get(2, FINGER, "D0", 0).template,
             device="D0",
         )
+        gallery.flush_indexes()
         (root / "__index__" / "D0.npz").write_bytes(stale)
 
         reborn = GalleryIndex(root)
