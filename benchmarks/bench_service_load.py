@@ -31,6 +31,12 @@ the 3% throughput-overhead budget; the record reports the measured
 overhead against it (best-of ``--repeats`` per arm to damp scheduler
 noise).
 
+The admission-control sweep does the same for the hardening layer:
+keyed auth (constant-time lookup on every request) plus a live rate
+limiter (generous enough to never refuse, so the arm measures the
+bucket machinery rather than throttling) versus the open server.
+Same 3% budget, same best-of-repeats protocol.
+
 The worker-count sweep (``--worker-counts``, default ``1,2,4``)
 measures horizontal sharding: an identify-only closed loop against the
 same gallery served by 1 (in-process control), 2, and 4 sharded worker
@@ -57,12 +63,17 @@ from _bench_common import OUTPUT_DIR
 from repro.api import BioEngineMatcher, StudyConfig, build_collection
 from repro.runtime.telemetry import disable_telemetry, enable_telemetry
 from repro.service import (
+    ApiKeyAuthenticator,
     BatchingConfig,
     GalleryIndex,
+    LimitsConfig,
+    RateLimiter,
     RequestLog,
     ServiceClient,
     ServiceRunner,
     VerificationServer,
+    generate_key,
+    write_keyfile,
 )
 
 DEVICES = ("D0", "D1")
@@ -83,7 +94,7 @@ def _percentiles(samples_ms):
 
 def _run_arm(
     collection, matcher, *, enabled, clients, cycles, hot,
-    tracing=False, with_reqlog=False,
+    tracing=False, with_reqlog=False, with_auth=False,
 ):
     """One benchmark arm; returns its measurement record."""
     recorder = enable_telemetry()
@@ -96,12 +107,30 @@ def _run_arm(
             reqlog = (
                 RequestLog(Path(tmp) / "reqlog.jsonl") if with_reqlog else None
             )
+            api_key = None
+            auth = False
+            limits = None
+            if with_auth:
+                # Every request authenticates and passes a live token
+                # bucket; the bucket is too roomy to ever refuse, so
+                # the arm measures the machinery, not throttling.
+                api_key = generate_key()
+                keyfile = Path(tmp) / "keys.json"
+                write_keyfile(keyfile, [{
+                    "principal": "bench", "key": api_key,
+                    "roles": ["read", "write", "admin"], "limits": {},
+                }])
+                auth = ApiKeyAuthenticator(keyfile)
+                roomy = {c: 1e6 for c in ("read", "write", "admin")}
+                limits = RateLimiter(
+                    config=LimitsConfig(rates=roomy, bursts=roomy)
+                )
             server = VerificationServer(
                 gallery, matcher=matcher, port=0, batching=batching,
-                tracing=tracing, reqlog=reqlog,
+                tracing=tracing, reqlog=reqlog, auth=auth, limits=limits,
             )
             with ServiceRunner(server) as (host, port):
-                with ServiceClient(host, port) as setup:
+                with ServiceClient(host, port, api_key=api_key) as setup:
                     for sid in range(GALLERY_SUBJECTS):
                         for device in DEVICES:
                             template = collection.get(
@@ -117,7 +146,7 @@ def _run_arm(
                     sid = wid % hot
                     identity = f"subject-{sid}"
                     latencies = []
-                    with ServiceClient(host, port) as client:
+                    with ServiceClient(host, port, api_key=api_key) as client:
                         for _ in range(cycles):
                             start = time.perf_counter()
                             verdict = client.verify(
@@ -143,7 +172,7 @@ def _run_arm(
                 ) as pool:
                     per_client = list(pool.map(worker, range(clients)))
                 wall = time.perf_counter() - wall_start
-                with ServiceClient(host, port) as client:
+                with ServiceClient(host, port, api_key=api_key) as client:
                     snapshot = client.stats()
         latencies_ms = [1000.0 * s for worker in per_client for s in worker]
         counters = recorder.metrics.snapshot()["counters"]
@@ -152,6 +181,7 @@ def _run_arm(
             "batching_enabled": enabled,
             "tracing_enabled": tracing,
             "reqlog_enabled": with_reqlog,
+            "auth_enabled": with_auth,
             "requests": len(latencies_ms),
             "wall_seconds": round(wall, 3),
             "throughput_rps": round(len(latencies_ms) / wall, 1),
@@ -312,6 +342,34 @@ def _tracing_overhead(collection, matcher, *, clients, cycles, hot, repeats):
     }
 
 
+AUTH_BUDGET_PCT = 3.0
+
+
+def _auth_overhead(collection, matcher, *, clients, cycles, hot, repeats):
+    """Auth+limits vs the open server on the batched workload, best-of."""
+    arms = {}
+    for mode, with_auth in (("auth_off", False), ("auth_on", True)):
+        runs = [
+            _run_arm(
+                collection, matcher, enabled=True, clients=clients,
+                cycles=cycles, hot=hot, with_auth=with_auth,
+            )
+            for _ in range(repeats)
+        ]
+        arms[mode] = max(runs, key=lambda r: r["throughput_rps"])
+    off_rps = arms["auth_off"]["throughput_rps"]
+    on_rps = arms["auth_on"]["throughput_rps"]
+    overhead_pct = round(100.0 * (1.0 - on_rps / off_rps), 2)
+    return {
+        "hot_identities": hot,
+        "repeats_per_arm": repeats,
+        "overhead_pct": overhead_pct,
+        "budget_pct": AUTH_BUDGET_PCT,
+        "within_budget": overhead_pct <= AUTH_BUDGET_PCT,
+        **arms,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--clients", type=int, default=16)
@@ -378,6 +436,16 @@ def main() -> None:
         f"{'within' if tracing['within_budget'] else 'OVER'} budget)"
     )
 
+    auth = _auth_overhead(
+        collection, matcher, clients=args.clients, cycles=args.cycles,
+        hot=args.hot[0], repeats=args.repeats,
+    )
+    print(
+        f"auth+limits overhead: {auth['overhead_pct']}% "
+        f"(budget {AUTH_BUDGET_PCT}%, "
+        f"{'within' if auth['within_budget'] else 'OVER'} budget)"
+    )
+
     record = {
         "label": args.label,
         "clients": args.clients,
@@ -392,6 +460,7 @@ def main() -> None:
         "sweep": sweep,
         "worker_sweep": worker_sweep,
         "tracing_overhead": tracing,
+        "auth_overhead": auth,
     }
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     out_path = OUTPUT_DIR / args.out

@@ -17,6 +17,7 @@ command        what it does
 ``serve``      run the online verification/identification HTTP server
 ``top``        live per-endpoint dashboard for a running ``serve``
 ``enroll``     add a template to a serving gallery (file or synthesized)
+``keys``       mint/list/revoke API keys for ``serve --keys``
 =============  ==========================================================
 
 Every command honours ``REPRO_SUBJECTS`` / ``REPRO_WORKERS`` plus the
@@ -284,6 +285,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--candidate-k", type=int, default=None,
                        help="two-stage prefilter shortlist size "
                             "(REPRO_IDENTIFY_CANDIDATES, else 32)")
+    serve.add_argument("--keys", default=None, metavar="KEYFILE",
+                       help="enforce keyed access from this JSON keyfile "
+                            "(REPRO_SERVE_KEYS); enables per-principal "
+                            "rate limits and quotas")
+    serve.add_argument("--no-auth", action="store_true",
+                       help="serve open even when REPRO_SERVE_KEYS is set")
+
+    keys = sub.add_parser(
+        "keys", help="manage API keyfiles for repro serve --keys"
+    )
+    keys_sub = keys.add_subparsers(dest="keys_command", required=True)
+    keys_generate = keys_sub.add_parser(
+        "generate", help="mint a key and add its principal to a keyfile"
+    )
+    keys_generate.add_argument("--keys", required=True, metavar="KEYFILE",
+                               help="keyfile to create or extend")
+    keys_generate.add_argument("--principal", required=True,
+                               help="caller name for stats/reqlog/limits")
+    keys_generate.add_argument("--roles", default="read",
+                               help="comma-separated subset of "
+                                    "read,write,admin (default: read)")
+    keys_list = keys_sub.add_parser(
+        "list", help="show a keyfile's principals (never the secrets)"
+    )
+    keys_list.add_argument("--keys", required=True, metavar="KEYFILE")
+    keys_revoke = keys_sub.add_parser(
+        "revoke", help="remove one principal's entry from a keyfile"
+    )
+    keys_revoke.add_argument("--keys", required=True, metavar="KEYFILE")
+    keys_revoke.add_argument("--principal", required=True)
 
     top = sub.add_parser(
         "top", help="live dashboard for a running repro serve instance"
@@ -732,7 +763,16 @@ def cmd_serve(args, out) -> int:
         VerificationServer,
     )
 
+    from .service.auth import ApiKeyAuthenticator
+
     recorder = enable_telemetry() if args.manifest_out else None
+    if args.no_auth:
+        # False (not None) forces auth off even with REPRO_SERVE_KEYS set.
+        auth: object = False
+    elif args.keys is not None:
+        auth = ApiKeyAuthenticator(Path(args.keys))
+    else:
+        auth = None  # the server falls back to REPRO_SERVE_KEYS
     overrides: dict = {}
     if args.max_batch is not None:
         overrides["max_batch"] = args.max_batch
@@ -767,6 +807,7 @@ def cmd_serve(args, out) -> int:
         workers=args.workers,
         matcher_factory=functools.partial(build_matcher, args.matcher),
         follow=args.follow,
+        auth=auth,
     )
 
     async def _run() -> None:
@@ -779,7 +820,8 @@ def cmd_serve(args, out) -> int:
             f"batching {'on' if batching.enabled else 'off'}, "
             f"identify {server.identify_mode}, "
             f"workers {server.pool.workers if server.pool else 0}, "
-            f"tracing {'on' if server.tracing else 'off'}"
+            f"tracing {'on' if server.tracing else 'off'}, "
+            f"auth {'on' if server.auth is not None else 'off'}"
             + (f", reqlog {server.reqlog.path}" if server.reqlog else "")
             + ")",
             file=out, flush=True,
@@ -812,6 +854,76 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_keys(args, out) -> int:
+    """`repro keys`: mint, list, and revoke API-keyfile entries.
+
+    The secret is printed exactly once, at generation time; every other
+    view shows only the ``rk_`` prefix.  Writes go through the same
+    atomic replace the hot-reloading server expects, so rotating a live
+    keyfile is safe.
+    """
+    from .service.auth import (
+        ROLES,
+        generate_key,
+        load_keyfile,
+        write_keyfile,
+    )
+
+    path = Path(args.keys)
+    entries = load_keyfile(path)
+    if args.keys_command == "generate":
+        roles = [r.strip() for r in args.roles.split(",") if r.strip()]
+        if not roles or any(role not in ROLES for role in roles):
+            raise ConfigurationError(
+                f"--roles must be a comma-separated subset of {ROLES}"
+            )
+        if any(e["principal"] == args.principal for e in entries):
+            raise ConfigurationError(
+                f"principal {args.principal!r} already exists in {path}; "
+                "revoke it first to rotate its key"
+            )
+        key = generate_key()
+        entries.append(
+            {"principal": args.principal, "key": key, "roles": roles,
+             "limits": {}}
+        )
+        write_keyfile(path, entries)
+        print(f"{args.principal}: {key}", file=out)
+        print(
+            f"added {args.principal!r} ({','.join(roles)}) to {path}; "
+            "the key is shown only this once",
+            file=out,
+        )
+        return 0
+    if args.keys_command == "list":
+        if not entries:
+            print(f"{path}: no keys", file=out)
+            return 0
+        for entry in entries:
+            key = entry["key"]
+            preview = key[:6] + "…" if len(key) > 6 else "…"
+            print(
+                f"{entry['principal']}  roles={','.join(entry['roles'])}  "
+                f"key={preview}"
+                + (f"  limits={entry['limits']}" if entry["limits"] else ""),
+                file=out,
+            )
+        return 0
+    # revoke
+    remaining = [e for e in entries if e["principal"] != args.principal]
+    if len(remaining) == len(entries):
+        raise ConfigurationError(
+            f"principal {args.principal!r} not found in {path}"
+        )
+    write_keyfile(path, remaining)
+    print(
+        f"revoked {args.principal!r} from {path} "
+        f"({len(remaining)} remaining)",
+        file=out,
+    )
+    return 0
+
+
 _COMMANDS = {
     "info": cmd_info,
     "run": cmd_run,
@@ -827,6 +939,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "top": cmd_top,
     "enroll": cmd_enroll,
+    "keys": cmd_keys,
 }
 
 

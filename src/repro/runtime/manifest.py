@@ -219,6 +219,15 @@ def _service_stats(snapshot: dict) -> dict:
         "mean_batch_size": round(jobs / batches, 3) if batches else None,
         "max_batch_size": int(batch.get("max", 0) or 0),
         "mean_latency_ms": mean_latency_ms,
+        "auth": {
+            "ok": counters.get("service.auth.ok", 0),
+            "unauthorized": counters.get("service.auth.unauthorized", 0),
+            "forbidden": counters.get("service.auth.forbidden", 0),
+            "rate_limited": counters.get("service.rate_limited", 0),
+        },
+        "replication_rebootstraps": counters.get(
+            "replication.rebootstraps", 0
+        ),
         "index": _index_stats(snapshot),
         "workers": _worker_stats(snapshot),
         "wal": _wal_stats(snapshot),

@@ -28,6 +28,13 @@ from a different device:
   identity-hash slice of the gallery (``REPRO_SERVE_WORKERS`` /
   ``--workers``), with cross-shard top-K merges bit-identical to the
   single-process path;
+* :mod:`repro.service.auth` — keyed access control: API-key principals
+  from a hot-reloading keyfile (``--keys`` / ``REPRO_SERVE_KEYS``),
+  constant-time lookup, per-endpoint roles (401/403 in the ``/v1``
+  envelope);
+* :mod:`repro.service.limits` — per-(principal, endpoint-class) token
+  buckets and windowed quotas behind 429 ``rate_limited`` +
+  ``Retry-After``;
 * :mod:`repro.service.top` — the ``repro top`` live dashboard.
 
 Gallery writes are durable: every enroll/delete is appended to a
@@ -45,11 +52,32 @@ with ``repro enroll``), or in-process::
     await server.start()
 """
 
+from .auth import (
+    ANONYMOUS,
+    ApiKeyAuthenticator,
+    AuthenticationError,
+    AuthorizationError,
+    ENDPOINT_ROLES,
+    KEYS_ENV,
+    Principal,
+    ROLES,
+    generate_key,
+    load_keyfile,
+    parse_keyfile,
+    write_keyfile,
+)
 from .batching import (
     BatchingConfig,
     DeadlineExceededError,
     MicroBatcher,
     ServiceOverloadError,
+)
+from .limits import (
+    ENDPOINT_CLASSES,
+    LimitsConfig,
+    RateLimiter,
+    RateLimitExceeded,
+    TokenBucket,
 )
 from .client import (
     RETRYABLE_STATUSES,
@@ -93,6 +121,23 @@ from .workers import (
 )
 
 __all__ = [
+    "ANONYMOUS",
+    "ApiKeyAuthenticator",
+    "AuthenticationError",
+    "AuthorizationError",
+    "ENDPOINT_ROLES",
+    "ENDPOINT_CLASSES",
+    "KEYS_ENV",
+    "Principal",
+    "ROLES",
+    "generate_key",
+    "load_keyfile",
+    "parse_keyfile",
+    "write_keyfile",
+    "LimitsConfig",
+    "RateLimiter",
+    "RateLimitExceeded",
+    "TokenBucket",
     "BatchingConfig",
     "MicroBatcher",
     "ServiceOverloadError",

@@ -1,0 +1,371 @@
+"""Keyed access control for the serving layer.
+
+The serving stack answers anyone on the network unless told otherwise;
+this module is the "told otherwise": API-key principals loaded from a
+JSON keyfile, role-based authorization per endpoint, and hot reload so
+key rotation never needs a restart.
+
+Keyfile format (JSON, one object)::
+
+    {
+      "keys": [
+        {
+          "principal": "fleet-a",
+          "key": "rk_...",
+          "roles": ["read"],
+          "limits": {"read": {"rate": 20, "burst": 40}, "quota": 5000}
+        },
+        ...
+      ]
+    }
+
+``principal`` names the caller in stats, metrics, and the request audit
+log; ``key`` is the bearer secret (``repro keys generate`` mints
+``rk_``-prefixed url-safe tokens, but any non-empty string works);
+``roles`` grant endpoint classes —
+
+* ``read`` → ``/verify``, ``/identify``
+* ``write`` → ``/enroll``, ``DELETE /enroll/...``
+* ``admin`` → ``/stats``, ``/metrics``, ``POST /admin/keys/reload``
+
+``/healthz`` stays open in every mode: liveness probes must not need a
+secret (and :meth:`ServiceClient.wait_until_healthy` keeps working
+unauthenticated).  The optional per-principal ``limits`` block
+overrides the role-default token-bucket rates enforced by
+:mod:`repro.service.limits`.
+
+Requests present the key as ``Authorization: Bearer <key>`` or
+``X-Api-Key: <key>``.  Lookup is constant-time: every presented key is
+SHA-256 hashed and compared against every stored key's hash with
+:func:`hmac.compare_digest`, with no early exit on match — the timing
+of a rejection does not depend on how close the guess came.
+
+Failures map onto the ``/v1`` error envelope: a missing, malformed, or
+unknown credential raises :class:`AuthenticationError` (HTTP 401,
+``unauthorized``); a valid key lacking the endpoint's role raises
+:class:`AuthorizationError` (HTTP 403, ``forbidden``).
+
+The keyfile is re-read when its mtime changes (checked at most once per
+``reload_interval_s``), and ``POST /v1/admin/keys/reload`` forces a
+reload immediately — rotation is: write the new keyfile, hit reload (or
+just wait a beat), revoke the old entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import secrets
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..runtime.config import env_str
+from ..runtime.errors import ConfigurationError, PermanentError
+
+#: The roles a keyfile entry may grant.
+ROLES = ("read", "write", "admin")
+
+#: Environment variable naming the keyfile (``--keys`` wins over it).
+KEYS_ENV = "REPRO_SERVE_KEYS"
+
+#: Prefix of generated keys — makes a leaked credential recognizably
+#: ours in logs and scanners without revealing anything.
+KEY_PREFIX = "rk_"
+
+#: Role required per endpoint (stats-bucket name); ``None`` = open.
+ENDPOINT_ROLES: Dict[str, Optional[str]] = {
+    "verify": "read",
+    "identify": "read",
+    "enroll": "write",
+    "delete": "write",
+    "stats": "admin",
+    "metrics": "admin",
+    "admin": "admin",
+    "healthz": None,
+}
+
+
+class AuthenticationError(PermanentError):
+    """No credential, a malformed one, or an unknown key (HTTP 401)."""
+
+
+class AuthorizationError(PermanentError):
+    """A valid principal lacking the endpoint's role (HTTP 403)."""
+
+
+class Principal:
+    """One authenticated caller: a name, its roles, its limit overrides."""
+
+    __slots__ = ("name", "roles", "limits")
+
+    def __init__(
+        self,
+        name: str,
+        roles: Tuple[str, ...],
+        limits: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.roles = frozenset(roles)
+        self.limits = dict(limits) if limits else {}
+
+    def can(self, role: Optional[str]) -> bool:
+        """Whether this principal holds ``role`` (``None`` is always ok)."""
+        return role is None or role in self.roles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Principal({self.name!r}, roles={sorted(self.roles)})"
+
+
+#: The implicit caller when authentication is disabled: full access,
+#: so an auth-off server behaves exactly like the pre-auth stack.
+ANONYMOUS = Principal("anonymous", ROLES)
+
+
+def _hash_key(key: str) -> bytes:
+    """Fixed-length digest for constant-time comparison."""
+    return hashlib.sha256(key.encode("utf-8")).digest()
+
+
+def generate_key() -> str:
+    """Mint one fresh API key (256 bits of urandom, url-safe)."""
+    return KEY_PREFIX + secrets.token_urlsafe(32)
+
+
+def parse_keyfile(text: str, source: str = "keyfile") -> List[dict]:
+    """Validate a keyfile's JSON and return its raw ``keys`` entries.
+
+    Raises :class:`~repro.runtime.errors.ConfigurationError` on any
+    structural problem — a server must refuse to start half-secured.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{source}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("keys"), list):
+        raise ConfigurationError(
+            f"{source}: expected an object with a 'keys' list"
+        )
+    seen_principals = set()
+    entries: List[dict] = []
+    for index, entry in enumerate(data["keys"]):
+        where = f"{source}: keys[{index}]"
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"{where}: entry must be an object")
+        principal = entry.get("principal")
+        key = entry.get("key")
+        roles = entry.get("roles", ["read"])
+        if not isinstance(principal, str) or not principal:
+            raise ConfigurationError(f"{where}: needs a 'principal' name")
+        if principal in seen_principals:
+            raise ConfigurationError(
+                f"{where}: duplicate principal {principal!r}"
+            )
+        if not isinstance(key, str) or not key:
+            raise ConfigurationError(f"{where}: needs a non-empty 'key'")
+        if not isinstance(roles, list) or not roles or any(
+            role not in ROLES for role in roles
+        ):
+            raise ConfigurationError(
+                f"{where}: 'roles' must be a non-empty subset of {ROLES}"
+            )
+        limits = entry.get("limits", {})
+        if not isinstance(limits, dict):
+            raise ConfigurationError(f"{where}: 'limits' must be an object")
+        seen_principals.add(principal)
+        entries.append(
+            {
+                "principal": principal,
+                "key": key,
+                "roles": list(roles),
+                "limits": limits,
+            }
+        )
+    return entries
+
+
+def write_keyfile(path: Path, entries: List[dict]) -> None:
+    """Atomically persist keyfile entries (write-temp + rename)."""
+    path = Path(path)
+    payload = json.dumps({"keys": entries}, indent=2) + "\n"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload)
+    os.replace(tmp, path)
+    try:
+        os.chmod(path, 0o600)
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+
+
+def load_keyfile(path: Path) -> List[dict]:
+    """Read + validate one keyfile ([] when the file does not exist)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    return parse_keyfile(path.read_text(), source=str(path))
+
+
+def parse_auth_header(headers: Dict[str, str]) -> Optional[str]:
+    """The presented API key, or ``None`` when no credential was sent.
+
+    Accepts ``Authorization: Bearer <key>`` (case-insensitive scheme)
+    and ``X-Api-Key: <key>``.  A credential that is *present but
+    malformed* — wrong scheme, empty token — raises
+    :class:`AuthenticationError` rather than degrading to anonymous:
+    a caller who tried to authenticate should never be silently
+    downgraded.
+    """
+    raw = headers.get("authorization")
+    if raw is not None:
+        scheme, _, token = raw.strip().partition(" ")
+        token = token.strip()
+        if scheme.lower() != "bearer" or not token:
+            raise AuthenticationError(
+                "malformed Authorization header; expected 'Bearer <key>'"
+            )
+        return token
+    api_key = headers.get("x-api-key")
+    if api_key is not None:
+        api_key = api_key.strip()
+        if not api_key:
+            raise AuthenticationError("empty X-Api-Key header")
+        return api_key
+    return None
+
+
+class ApiKeyAuthenticator:
+    """Keyfile-backed authentication + role authorization, hot-reloading.
+
+    Thread-safety note: reload swaps the whole lookup table in one
+    assignment, and readers take a local reference first, so a scrape
+    racing a rotation sees either the old table or the new one — never
+    a torn mix.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        reload_interval_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self._path = Path(path)
+        self._reload_interval = max(0.0, float(reload_interval_s))
+        self._clock = clock
+        self._mtime: Optional[float] = None
+        self._checked_at: float = -1e18
+        self._by_hash: Dict[bytes, Principal] = {}
+        self.reload()
+
+    @classmethod
+    def from_environment(cls) -> Optional["ApiKeyAuthenticator"]:
+        """An authenticator from ``REPRO_SERVE_KEYS``, or ``None``."""
+        path = env_str(KEYS_ENV)
+        return cls(path) if path else None
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def principals(self) -> List[str]:
+        """The currently loaded principal names, sorted."""
+        return sorted(p.name for p in self._by_hash.values())
+
+    def limit_overrides(self) -> Dict[str, dict]:
+        """Per-principal limit overrides from the keyfile."""
+        return {
+            p.name: p.limits for p in self._by_hash.values() if p.limits
+        }
+
+    def reload(self) -> int:
+        """Re-read the keyfile now; returns the principal count.
+
+        A keyfile that has gone *missing* keeps the last good table —
+        rotation scripts replace the file atomically, but a transient
+        gap must not fling the door open or slam it shut.  A keyfile
+        that is present but malformed raises, so a bad rotation is
+        loud.
+        """
+        try:
+            stat = self._path.stat()
+        except OSError:
+            self._checked_at = self._clock()
+            return len(self._by_hash)
+        entries = parse_keyfile(self._path.read_text(), source=str(self._path))
+        table: Dict[bytes, Principal] = {}
+        for entry in entries:
+            table[_hash_key(entry["key"])] = Principal(
+                entry["principal"], tuple(entry["roles"]), entry["limits"]
+            )
+        self._by_hash = table
+        self._mtime = stat.st_mtime
+        self._checked_at = self._clock()
+        return len(table)
+
+    def maybe_reload(self) -> None:
+        """Reload if the keyfile's mtime moved (rate-limited stat)."""
+        now = self._clock()
+        if now - self._checked_at < self._reload_interval:
+            return
+        self._checked_at = now
+        try:
+            mtime = self._path.stat().st_mtime
+        except OSError:
+            return
+        if mtime != self._mtime:
+            self.reload()
+
+    def authenticate(self, headers: Dict[str, str]) -> Principal:
+        """Resolve the request's credential to a :class:`Principal`.
+
+        Raises :class:`AuthenticationError` (HTTP 401) when no
+        credential was presented, the header is malformed, or the key
+        matches no keyfile entry.
+        """
+        self.maybe_reload()
+        token = parse_auth_header(headers)
+        if token is None:
+            raise AuthenticationError(
+                "authentication required; present an API key as "
+                "'Authorization: Bearer <key>' or 'X-Api-Key: <key>'"
+            )
+        presented = _hash_key(token)
+        matched: Optional[Principal] = None
+        # Constant-time sweep: compare against every stored hash, no
+        # early exit, so response timing leaks nothing about near-misses.
+        for stored, principal in self._by_hash.items():
+            if hmac.compare_digest(stored, presented):
+                matched = principal
+        if matched is None:
+            raise AuthenticationError("unknown API key")
+        return matched
+
+    @staticmethod
+    def authorize(principal: Principal, endpoint: str) -> None:
+        """Enforce the endpoint's role; raises on a missing grant."""
+        role = ENDPOINT_ROLES.get(endpoint, "admin")
+        if not principal.can(role):
+            raise AuthorizationError(
+                f"principal {principal.name!r} lacks the {role!r} role "
+                f"required for {endpoint}"
+            )
+
+
+__all__ = [
+    "ANONYMOUS",
+    "ApiKeyAuthenticator",
+    "AuthenticationError",
+    "AuthorizationError",
+    "ENDPOINT_ROLES",
+    "KEYS_ENV",
+    "KEY_PREFIX",
+    "Principal",
+    "ROLES",
+    "generate_key",
+    "load_keyfile",
+    "parse_auth_header",
+    "parse_keyfile",
+    "write_keyfile",
+]

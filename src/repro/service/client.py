@@ -13,13 +13,15 @@ deprecation tests do).  Error responses come back as
 :class:`ServiceClientError` carrying the HTTP status and the server's
 error envelope — ``code``/``message``/``request_id`` are exposed as
 properties — so callers can assert on exact status codes (the smoke
-test does) or branch on ``retryable`` (503/504 — the transient
+test does) or branch on ``retryable`` (429/503/504 — the transient
 statuses — line up with the study's
-:class:`~repro.runtime.errors.TransientError` taxonomy).  A 503's
-``Retry-After`` header is honored when backing off —
-:meth:`ServiceClient.retry_delay` surfaces it, and
+:class:`~repro.runtime.errors.TransientError` taxonomy).  The server's
+``Retry-After`` header (sent on 429 and 503) is honored when backing
+off — :meth:`ServiceClient.retry_delay` surfaces it,
 :meth:`ServiceClient.wait_until_healthy` sleeps by it instead of a
-fixed interval.
+fixed interval, and ``retry_rate_limited=N`` retries a 429 up to ``N``
+times transparently.  ``api_key`` authenticates against a keyed server
+(:mod:`repro.service.auth`).
 
 Every request carries a generated ``X-Request-ID``, and the id the
 server echoes back is kept on :attr:`ServiceClient.last_request_id`
@@ -34,15 +36,16 @@ import http.client
 import json
 import socket
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..io.incits378 import encode as encode_378
 from ..matcher.types import Template
 from ..runtime.errors import ReproError, TransientError
 from ..runtime.telemetry import new_request_id
 
-#: HTTP statuses that correspond to transient (retry-worthy) failures.
-RETRYABLE_STATUSES = frozenset({503, 504})
+#: HTTP statuses that correspond to transient (retry-worthy) failures:
+#: overload (503), deadline (504), and rate limiting (429).
+RETRYABLE_STATUSES = frozenset({429, 503, 504})
 
 
 class ServiceClientError(ReproError):
@@ -113,10 +116,19 @@ class ServiceClient:
     worker thread its own.
 
     ``follower`` names an optional read replica (a ``--follow`` server
-    tailing the primary's WAL): :meth:`verify` and :meth:`identify` go
-    to the replica, falling back to the primary if it is unreachable,
-    while writes (:meth:`enroll`, :meth:`delete`) always target the
-    primary — the replica would refuse them with ``read_only`` anyway.
+    tailing the primary's WAL); ``followers`` generalizes it to a fleet:
+    :meth:`verify` and :meth:`identify` round-robin across the replicas,
+    skipping past any that are unreachable and falling back to the
+    primary when none answer, while writes (:meth:`enroll`,
+    :meth:`delete`) always target the primary — a replica would refuse
+    them with ``read_only`` anyway.
+
+    ``api_key`` attaches ``Authorization: Bearer <key>`` to every
+    request (replicas included — a follower enforces the same keyfile
+    as its primary).  ``retry_rate_limited`` opts into transparent 429
+    retries: up to that many extra attempts, each sleeping the server's
+    advertised ``Retry-After`` first; the default 0 surfaces the 429 to
+    the caller immediately.
     """
 
     def __init__(
@@ -126,6 +138,9 @@ class ServiceClient:
         timeout_s: float = 30.0,
         api_base: str = "/v1",
         follower: Optional[Tuple[str, int]] = None,
+        followers: Optional[Sequence[Tuple[str, int]]] = None,
+        api_key: Optional[str] = None,
+        retry_rate_limited: int = 0,
     ) -> None:
         self._host = host
         self._port = port
@@ -133,20 +148,27 @@ class ServiceClient:
         #: Path prefix for every endpoint; "" targets the deprecated
         #: unversioned surface.
         self.api_base = api_base.rstrip("/")
-        self._follower: Optional["ServiceClient"] = (
+        self.api_key = api_key
+        self.retry_rate_limited = max(0, int(retry_rate_limited))
+        replicas: List[Tuple[str, int]] = []
+        if follower is not None:
+            replicas.append(follower)
+        if followers is not None:
+            replicas.extend(followers)
+        self._followers: List["ServiceClient"] = [
             ServiceClient(
-                follower[0], int(follower[1]),
-                timeout_s=timeout_s, api_base=api_base,
+                replica_host, int(replica_port),
+                timeout_s=timeout_s, api_base=api_base, api_key=api_key,
             )
-            if follower is not None
-            else None
-        )
+            for replica_host, replica_port in replicas
+        ]
+        self._follower_rr = 0
         self._connection: Optional[http.client.HTTPConnection] = None
         #: Request id echoed by the server on the last response (the id
         #: this client sent, unless a proxy rewrote it).
         self.last_request_id: Optional[str] = None
         #: Lower-cased headers of the last response (``retry-after``
-        #: shows up here on a 503).
+        #: shows up here on a 429/503).
         self.last_headers: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
@@ -164,8 +186,8 @@ class ServiceClient:
         if self._connection is not None:
             self._connection.close()
             self._connection = None
-        if self._follower is not None:
-            self._follower.close()
+        for replica in self._followers:
+            replica.close()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -182,6 +204,8 @@ class ServiceClient:
         headers = {"Content-Type": "application/json"} if body else {}
         request_id = new_request_id()
         headers["X-Request-ID"] = request_id
+        if self.api_key is not None:
+            headers["Authorization"] = f"Bearer {self.api_key}"
         try:
             connection = self._connect()
             connection.request(method, path, body=body, headers=headers)
@@ -199,14 +223,23 @@ class ServiceClient:
         return response.status, raw
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
-        status, raw = self._exchange(method, path, payload)
-        try:
-            data = json.loads(raw.decode("utf-8")) if raw else {}
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            data = {"error": raw.decode("utf-8", "replace")}
-        if status >= 400:
-            raise ServiceClientError(status, data)
-        return data
+        attempts_left = self.retry_rate_limited
+        while True:
+            status, raw = self._exchange(method, path, payload)
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                data = {"error": raw.decode("utf-8", "replace")}
+            if status == 429 and attempts_left > 0:
+                # The limiter advertises exactly when the next token
+                # lands; sleeping that long makes the retry succeed
+                # (absent competing traffic) instead of busy-looping.
+                attempts_left -= 1
+                time.sleep(self.retry_delay())
+                continue
+            if status >= 400:
+                raise ServiceClientError(status, data)
+            return data
 
     def _path(self, endpoint: str) -> str:
         """An endpoint path under the client's API base."""
@@ -214,24 +247,36 @@ class ServiceClient:
 
     @property
     def follower(self) -> Optional["ServiceClient"]:
-        """The read-replica client, when one was configured."""
-        return self._follower
+        """The first read-replica client, when any was configured."""
+        return self._followers[0] if self._followers else None
+
+    @property
+    def followers(self) -> Tuple["ServiceClient", ...]:
+        """Every configured read-replica client, in declaration order."""
+        return tuple(self._followers)
 
     def _read_request(self, method: str, path: str, payload: dict) -> dict:
-        """A read: prefer the replica, fall back to the primary.
+        """A read: round-robin the replicas, fall back to the primary.
 
-        Only transport failures fall back — an HTTP error from the
-        replica (bad template, unknown identity) is the same answer
-        the primary would give, so it propagates as-is.
+        Successive reads start from successive replicas, so a replica
+        fleet shares the load evenly.  Only transport failures move on
+        to the next replica (and ultimately the primary) — an HTTP
+        error from a replica (bad template, unknown identity, 401/403,
+        429) is the same answer the primary would give, so it
+        propagates as-is rather than doubling the load.
         """
-        if self._follower is not None:
-            try:
-                result = self._follower._request(method, path, payload)
-            except TransientError:
-                pass  # replica unreachable: the primary still answers
-            else:
-                self.last_request_id = self._follower.last_request_id
-                self.last_headers = self._follower.last_headers
+        count = len(self._followers)
+        if count:
+            start = self._follower_rr
+            self._follower_rr = (start + 1) % count
+            for offset in range(count):
+                replica = self._followers[(start + offset) % count]
+                try:
+                    result = replica._request(method, path, payload)
+                except TransientError:
+                    continue  # replica unreachable: try the next one
+                self.last_request_id = replica.last_request_id
+                self.last_headers = replica.last_headers
                 return result
         return self._request(method, path, payload)
 

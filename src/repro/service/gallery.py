@@ -695,6 +695,33 @@ class GalleryIndex:
         )
         return None
 
+    def rebootstrap(self) -> int:
+        """Reload this read-only view from the on-disk snapshot.
+
+        A follower that falls past WAL retention (the primary compacted
+        beyond its cursor) cannot catch up incrementally — but the
+        shards it shares with the primary always reflect at least
+        everything the compacted records did, so dropping the in-memory
+        state and re-reading the snapshot re-synchronizes it.  The
+        caller then restarts its WAL tail from the oldest retained
+        segment; re-applying retained records over the fresh snapshot
+        is safe because :meth:`apply_wal_record` is idempotent.
+
+        Returns the record count after the reload.  Only meaningful on
+        a ``readonly=True`` gallery — a writer owns its state.
+        """
+        if not self._readonly:
+            raise GalleryReadOnlyError("rebootstrap")
+        self._records.clear()
+        self._indexes.clear()
+        self._dirty_indexes.clear()
+        self._shards.clear()
+        self._reload()
+        for device in self.devices():
+            self._restore_index(device)
+        get_recorder().count("gallery.rebootstraps")
+        return len(self._records)
+
     @property
     def readonly(self) -> bool:
         """Whether this gallery is a read-only follower view."""

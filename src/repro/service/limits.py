@@ -1,0 +1,304 @@
+"""Per-principal admission control: token buckets and windowed quotas.
+
+Authentication says *who* is calling; this module says *how often they
+may*.  Each (principal, endpoint class) pair owns a deterministic token
+bucket — ``rate`` tokens/second refill up to a ``burst`` ceiling — and
+each principal additionally carries an optional windowed quota (a hard
+request count per rolling window, "10k requests/day" style).  A request
+that finds its bucket empty or its quota spent is refused with
+:class:`RateLimitExceeded`, which the server maps to HTTP 429
+``rate_limited`` with a ``Retry-After`` header telling the caller
+exactly when the next token lands.
+
+Endpoint *classes* — ``read`` (verify/identify), ``write``
+(enroll/delete), ``admin`` (stats/metrics/key-reload) — get separate
+buckets so a verification flood cannot starve enrollment and vice
+versa, mirroring the quality-gated-enrollment literature's assumption
+that the enrollment channel is throttled separately from verification
+traffic.  ``healthz`` is never limited: a liveness probe that can be
+throttled is a liveness probe that lies.
+
+Everything is deterministic under an injectable ``clock`` (tests drive
+it by hand), and bucket storage is a bounded LRU: a flood of unknown or
+rotating principals evicts the *least recently used* buckets instead of
+exhausting memory.  Evicting a bucket forgives at most one burst — an
+acceptable trade against an unbounded dict.
+
+Role defaults come from :class:`LimitsConfig` (env-tunable via
+``REPRO_SERVE_RATE_<CLASS>`` / ``REPRO_SERVE_BURST_<CLASS>`` /
+``REPRO_SERVE_QUOTA`` / ``REPRO_SERVE_QUOTA_WINDOW_S``); the keyfile's
+per-principal ``limits`` blocks override them (see
+:mod:`repro.service.auth`).  A rate of 0 disables the bucket for that
+class; a quota of 0 disables the quota.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..runtime.config import env_float, env_int
+from ..runtime.errors import TransientError
+
+#: Endpoint class per stats-bucket endpoint name; absent = unlimited.
+ENDPOINT_CLASSES: Dict[str, str] = {
+    "verify": "read",
+    "identify": "read",
+    "enroll": "write",
+    "delete": "write",
+    "stats": "admin",
+    "metrics": "admin",
+    "admin": "admin",
+}
+
+#: The classes a limiter tracks.
+CLASSES = ("read", "write", "admin")
+
+#: Default steady-state rates (requests/second) per endpoint class.
+DEFAULT_RATES: Dict[str, float] = {"read": 50.0, "write": 10.0, "admin": 20.0}
+
+#: Default burst ceilings (bucket capacity) per endpoint class.
+DEFAULT_BURSTS: Dict[str, float] = {"read": 100.0, "write": 20.0, "admin": 40.0}
+
+#: Default windowed quota: 0 disables it.
+DEFAULT_QUOTA = 0
+
+#: Default quota window: one day.
+DEFAULT_QUOTA_WINDOW_S = 86400.0
+
+#: Bucket-LRU bound: (principal, class) pairs kept live at once.
+DEFAULT_MAX_BUCKETS = 4096
+
+
+class RateLimitExceeded(TransientError):
+    """The caller exhausted its bucket or quota (HTTP 429).
+
+    ``retry_after`` is the seconds until the request *would* succeed —
+    the next token for a bucket, the window roll for a quota — rounded
+    up so a client sleeping exactly that long never busy-loops.
+    """
+
+    def __init__(
+        self, message: str, retry_after: float, scope: str = "rate"
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, float(retry_after))
+        #: ``"rate"`` (token bucket) or ``"quota"`` (windowed count).
+        self.scope = scope
+
+
+class TokenBucket:
+    """The classic leaky counter: ``rate``/s refill, ``burst`` ceiling."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; 0.0 on success, else seconds to wait."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        if self.rate <= 0.0:
+            return float("inf")
+        return (cost - self.tokens) / self.rate
+
+
+class LimitsConfig:
+    """Role-default rates/bursts plus the global quota knobs."""
+
+    __slots__ = ("rates", "bursts", "quota", "quota_window_s", "max_buckets")
+
+    def __init__(
+        self,
+        rates: Optional[Dict[str, float]] = None,
+        bursts: Optional[Dict[str, float]] = None,
+        quota: int = DEFAULT_QUOTA,
+        quota_window_s: float = DEFAULT_QUOTA_WINDOW_S,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        self.rates = {**DEFAULT_RATES, **(rates or {})}
+        self.bursts = {**DEFAULT_BURSTS, **(bursts or {})}
+        self.quota = int(quota)
+        self.quota_window_s = float(quota_window_s)
+        self.max_buckets = max(1, int(max_buckets))
+
+    @classmethod
+    def from_environment(cls, **overrides) -> "LimitsConfig":
+        """Defaults, then ``REPRO_SERVE_*`` env, then explicit overrides."""
+        rates = dict(overrides.pop("rates", {}) or {})
+        bursts = dict(overrides.pop("bursts", {}) or {})
+        for cls_name in CLASSES:
+            rate = env_float(f"REPRO_SERVE_RATE_{cls_name.upper()}")
+            if rate is not None and cls_name not in rates:
+                rates[cls_name] = rate
+            burst = env_float(f"REPRO_SERVE_BURST_{cls_name.upper()}")
+            if burst is not None and cls_name not in bursts:
+                bursts[cls_name] = burst
+        if "quota" not in overrides:
+            quota = env_int("REPRO_SERVE_QUOTA")
+            if quota is not None:
+                overrides["quota"] = quota
+        if "quota_window_s" not in overrides:
+            window = env_float("REPRO_SERVE_QUOTA_WINDOW_S")
+            if window is not None:
+                overrides["quota_window_s"] = window
+        return cls(rates=rates, bursts=bursts, **overrides)
+
+
+class RateLimiter:
+    """Deterministic per-(principal, class) admission control.
+
+    Lock-protected (requests land from the event loop, probes from
+    anywhere); every decision is a pure function of the injected
+    clock, so tests advance time by hand and assert exact refusals.
+    """
+
+    def __init__(
+        self,
+        config: Optional[LimitsConfig] = None,
+        overrides: Optional[Dict[str, dict]] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else LimitsConfig()
+        #: Per-principal keyfile overrides:
+        #: ``{principal: {"read": {"rate": .., "burst": ..},
+        #:                "quota": .., "quota_window_s": ..}}``.
+        self._overrides = dict(overrides or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[Tuple[str, str], TokenBucket]" = (
+            OrderedDict()
+        )
+        self._quotas: Dict[str, Tuple[float, int]] = {}
+        self.rate_limited_total = 0
+
+    def set_overrides(self, overrides: Dict[str, dict]) -> None:
+        """Swap the per-principal overrides (after a keyfile reload).
+
+        Existing buckets keep their fill but adopt the new rate/burst
+        on their next refill, so rotation never hands out a free burst.
+        """
+        with self._lock:
+            self._overrides = dict(overrides or {})
+            for (principal, endpoint_class), bucket in self._buckets.items():
+                rate, burst = self._limits_for(principal, endpoint_class)
+                bucket.rate = rate
+                bucket.burst = burst
+                bucket.tokens = min(bucket.tokens, burst)
+
+    def _limits_for(
+        self, principal: str, endpoint_class: str
+    ) -> Tuple[float, float]:
+        override = self._overrides.get(principal, {}).get(endpoint_class, {})
+        rate = override.get("rate", self.config.rates[endpoint_class])
+        burst = override.get("burst", self.config.bursts[endpoint_class])
+        return float(rate), float(burst)
+
+    def _quota_for(self, principal: str) -> Tuple[int, float]:
+        override = self._overrides.get(principal, {})
+        quota = override.get("quota", self.config.quota)
+        window = override.get("quota_window_s", self.config.quota_window_s)
+        return int(quota), float(window)
+
+    def check(self, principal: str, endpoint: str) -> None:
+        """Admit or refuse one request; raises :class:`RateLimitExceeded`.
+
+        Unlimited endpoints (``healthz``, unknown paths) pass through
+        untouched.  The quota is charged only after the bucket admits —
+        a throttled burst must not also burn the day's budget.
+        """
+        endpoint_class = ENDPOINT_CLASSES.get(endpoint)
+        if endpoint_class is None:
+            return
+        now = self._clock()
+        with self._lock:
+            rate, burst = self._limits_for(principal, endpoint_class)
+            if rate > 0.0:
+                key = (principal, endpoint_class)
+                bucket = self._buckets.get(key)
+                if bucket is None:
+                    bucket = TokenBucket(rate, burst, now)
+                    self._buckets[key] = bucket
+                    while len(self._buckets) > self.config.max_buckets:
+                        self._buckets.popitem(last=False)
+                else:
+                    self._buckets.move_to_end(key)
+                    bucket.rate, bucket.burst = rate, burst
+                wait = bucket.try_acquire(now)
+                if wait > 0.0:
+                    self.rate_limited_total += 1
+                    raise RateLimitExceeded(
+                        f"rate limit exceeded for {principal!r} on "
+                        f"{endpoint_class} endpoints "
+                        f"({rate:g}/s, burst {burst:g})",
+                        retry_after=wait,
+                        scope="rate",
+                    )
+            quota, window = self._quota_for(principal)
+            if quota > 0:
+                window_start, used = self._quotas.get(principal, (now, 0))
+                if now - window_start >= window:
+                    window_start, used = now, 0
+                if used >= quota:
+                    self.rate_limited_total += 1
+                    raise RateLimitExceeded(
+                        f"quota exhausted for {principal!r} "
+                        f"({quota} requests per {window:g}s window)",
+                        retry_after=window - (now - window_start),
+                        scope="quota",
+                    )
+                self._quotas[principal] = (window_start, used + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection (stats / metrics / admin)
+    # ------------------------------------------------------------------
+    def bucket_occupancy(self) -> int:
+        """Live (principal, class) buckets — the LRU's current size."""
+        with self._lock:
+            return len(self._buckets)
+
+    def snapshot(self) -> dict:
+        """The limiter block for ``/stats``."""
+        with self._lock:
+            quotas = {
+                principal: {
+                    "used": used,
+                    "window_started": round(start, 3),
+                }
+                for principal, (start, used) in sorted(self._quotas.items())
+            }
+            return {
+                "bucket_occupancy": len(self._buckets),
+                "max_buckets": self.config.max_buckets,
+                "rate_limited_total": self.rate_limited_total,
+                "rates": dict(self.config.rates),
+                "bursts": dict(self.config.bursts),
+                "quota": self.config.quota,
+                "quota_window_s": self.config.quota_window_s,
+                "quotas": quotas,
+            }
+
+
+__all__ = [
+    "CLASSES",
+    "DEFAULT_BURSTS",
+    "DEFAULT_MAX_BUCKETS",
+    "DEFAULT_QUOTA",
+    "DEFAULT_QUOTA_WINDOW_S",
+    "DEFAULT_RATES",
+    "ENDPOINT_CLASSES",
+    "LimitsConfig",
+    "RateLimiter",
+    "RateLimitExceeded",
+    "TokenBucket",
+]

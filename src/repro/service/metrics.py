@@ -70,6 +70,11 @@ name                                      type       labels
 ``repro_replication_applied_lsn``         gauge      —
 ``repro_replication_lag_records``         gauge      —
 ``repro_replication_broken``              gauge      —
+``repro_replication_rebootstraps_total``  counter    —
+``repro_auth_enabled``                    gauge      —
+``repro_auth_requests_total``             counter    ``outcome``
+``repro_rate_limited_total``              counter    ``principal``
+``repro_limit_buckets``                   gauge      —
 ``repro_telemetry_*``                     mixed      — (recorder passthrough)
 ========================================  =========  =====================
 """
@@ -183,6 +188,7 @@ def render_exposition(
     corrupt_dropped: Optional[int] = None,
     wal: Optional[dict] = None,
     replication: Optional[dict] = None,
+    auth: Optional[dict] = None,
 ) -> str:
     """The full ``/metrics`` payload for one server.
 
@@ -203,6 +209,10 @@ def render_exposition(
     replication:
         The ``{role, applied_lsn, lag_records}`` block the server also
         reports in ``/v1/healthz``.
+    auth:
+        The admission-control block (``VerificationServer._auth_stats``):
+        ``enabled``, per-outcome authentication tallies, per-principal
+        429 tallies, and the limiter snapshot when one is configured.
     """
     w = _Writer()
     snapshot = stats.snapshot()
@@ -407,6 +417,33 @@ def render_exposition(
                  "1 when follower replication stopped on an error.")
         w.sample("repro_replication_broken", {},
                  1 if replication.get("error") else 0)
+        w.family("repro_replication_rebootstraps_total", "counter",
+                 "Follower re-bootstraps after falling past WAL retention.")
+        w.sample("repro_replication_rebootstraps_total", {},
+                 replication.get("rebootstraps", 0))
+
+    if auth is not None:
+        w.family("repro_auth_enabled", "gauge",
+                 "1 when keyed authentication is enforced.")
+        w.sample("repro_auth_enabled", {}, 1 if auth.get("enabled") else 0)
+        w.family("repro_auth_requests_total", "counter",
+                 "Authentication decisions on a keyed server, by outcome.")
+        for outcome, count in sorted(auth.get("outcomes", {}).items()):
+            w.sample("repro_auth_requests_total", {"outcome": outcome}, count)
+        w.family("repro_rate_limited_total", "counter",
+                 "Requests refused by the rate limiter, by principal.")
+        w.sample("repro_rate_limited_total", {},
+                 auth.get("rate_limited_total", 0))
+        for principal, count in sorted(
+            auth.get("rate_limited", {}).items()
+        ):
+            w.sample("repro_rate_limited_total", {"principal": principal},
+                     count)
+        limits = auth.get("limits")
+        if limits is not None:
+            w.family("repro_limit_buckets", "gauge",
+                     "Live (principal, class) token buckets in the LRU.")
+            w.sample("repro_limit_buckets", {}, limits["bucket_occupancy"])
 
     _render_recorder_metrics(w)
     return w.text()

@@ -3,7 +3,8 @@
 The ``/stats`` endpoint answers "how is the service doing overall"; the
 request log answers "what happened to *that* request".  Every finished
 HTTP request appends one JSON object — request id, endpoint, device,
-status, the latency breakdown from its
+status, the authenticated ``principal`` (``null`` on unauthenticated
+requests and open servers), the latency breakdown from its
 :class:`~repro.runtime.telemetry.TraceContext` (queue wait, batch wait,
 match time, which micro-batches carried its comparisons), and the
 gallery size at the time — so a slow or failed ``/verify`` is

@@ -14,6 +14,7 @@ DELETE    ``/v1/enroll/<device>/<identity>`` remove one enrollment
 GET       ``/v1/healthz``                    liveness + gallery size
 GET       ``/v1/stats``                      live counters, latency, batch sizes
 GET       ``/v1/metrics``                    Prometheus text exposition of the same
+POST      ``/v1/admin/keys/reload``          force a keyfile reload (auth mode only)
 ========  =================================  ====================================
 
 The legacy unversioned paths (``/verify``, ...) still answer — with
@@ -41,15 +42,27 @@ Every request is traced: the server honors a client-supplied
 a :class:`~repro.runtime.telemetry.TraceContext` for the request task,
 and echoes the id on **every** response — success, error, even a
 malformed request line — so client and server logs join on one key.
-The trace records a phase timeline (``parse → gallery → [prefilter →]
-queue_wait → batch_wait → match → respond``; the ``prefilter`` phase
-appears on two-stage identify requests, and sharded serving adds a
+The trace records a phase timeline (``[auth → limits →] parse →
+gallery → [prefilter →] queue_wait → batch_wait → match → respond``;
+the ``auth``/``limits`` phases appear when keyed access is enabled and
+run *before* the body is decoded, the ``prefilter`` phase appears on
+two-stage identify requests, and sharded serving adds a
 ``worker_dispatch`` phase covering the scatter/gather round trip);
 finished requests are appended to an
-optional JSONL :class:`~repro.service.reqlog.RequestLog`, and requests
+optional JSONL :class:`~repro.service.reqlog.RequestLog` (each line
+carries the authenticated ``principal``), and requests
 slower than ``REPRO_SERVE_SLOW_MS`` dump their full timeline at
-WARNING.  Overloaded (503) responses carry ``Retry-After`` so
-well-behaved clients back off.
+WARNING.  Overloaded (503) and rate-limited (429) responses carry
+``Retry-After`` so well-behaved clients back off.
+
+Admission control (see :mod:`repro.service.auth` and
+:mod:`repro.service.limits`) activates when a keyfile is configured —
+``REPRO_SERVE_KEYS``, ``repro serve --keys``, or an explicit
+``auth=ApiKeyAuthenticator(...)``.  Missing/unknown credentials → 401
+``unauthorized``, a valid key lacking the endpoint's role → 403
+``forbidden``, an exhausted token bucket or quota → 429
+``rate_limited``; all in the one error envelope.  Without a keyfile
+the server stays open, bit-identical to the pre-auth stack.
 
 Templates travel as base64-encoded ANSI/INCITS 378 records — the same
 interchange format the paper's interoperability scenario is about — so
@@ -108,12 +121,21 @@ from ..runtime.telemetry import (
     sanitize_request_id,
     set_current_trace,
 )
+from .auth import (
+    ANONYMOUS,
+    ApiKeyAuthenticator,
+    AuthenticationError,
+    AuthorizationError,
+    ENDPOINT_ROLES,
+    Principal,
+)
 from .batching import (
     BatchingConfig,
     DeadlineExceededError,
     MicroBatcher,
     ServiceOverloadError,
 )
+from .limits import LimitsConfig, RateLimiter, RateLimitExceeded
 from ..core.prefilter import descriptor_vector
 from ..runtime.wal import WalError, WalFollower
 from .gallery import (
@@ -167,11 +189,13 @@ _STATUS_TEXT = {
     200: "OK",
     201: "Created",
     400: "Bad Request",
+    401: "Unauthorized",
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
@@ -181,11 +205,13 @@ _STATUS_TEXT = {
 #: field of the error envelope when no more specific one applies.
 _DEFAULT_CODES = {
     400: "bad_request",
+    401: "unauthorized",
     403: "read_only",
     404: "not_found",
     405: "method_not_allowed",
     409: "conflict",
     413: "payload_too_large",
+    429: "rate_limited",
     500: "internal",
     503: "overloaded",
     504: "deadline_exceeded",
@@ -194,6 +220,12 @@ _DEFAULT_CODES = {
 
 def _status_for(exc: ReproError) -> int:
     """Map a library exception onto its HTTP status."""
+    if isinstance(exc, AuthenticationError):
+        return 401
+    if isinstance(exc, AuthorizationError):
+        return 403
+    if isinstance(exc, RateLimitExceeded):
+        return 429
     if isinstance(exc, EnrollmentRejected):
         return 409
     if isinstance(exc, GalleryReadOnlyError):
@@ -213,6 +245,12 @@ def _status_for(exc: ReproError) -> int:
 
 def _code_for(exc: ReproError) -> str:
     """The error-envelope ``code`` slug for a library exception."""
+    if isinstance(exc, AuthenticationError):
+        return "unauthorized"
+    if isinstance(exc, AuthorizationError):
+        return "forbidden"
+    if isinstance(exc, RateLimitExceeded):
+        return "rate_limited"
     if isinstance(exc, EnrollmentRejected):
         return "quality_rejected"
     if isinstance(exc, GalleryReadOnlyError):
@@ -284,6 +322,8 @@ class VerificationServer:
         workers: Optional[int] = None,
         matcher_factory=None,
         follow: Optional[os.PathLike] = None,
+        auth=None,
+        limits=None,
     ) -> None:
         if threshold is None:
             threshold = env_float("REPRO_SERVE_THRESHOLD")
@@ -319,6 +359,23 @@ class VerificationServer:
         self.tracing = bool(tracing)
         self.reqlog = reqlog if reqlog is not None else RequestLog.from_environment()
         self.slow_ms = slow_ms if slow_ms is not None else slow_threshold_ms()
+        # Admission control: keyed auth + per-principal rate limits.
+        # ``auth=None`` defers to REPRO_SERVE_KEYS (no keyfile → open,
+        # the pre-auth behavior every existing test and bench relies
+        # on); ``auth=False`` forces open even with the env set (the
+        # CLI's --no-auth).  The limiter rides along whenever auth is
+        # on — buckets are keyed by principal — but can also be passed
+        # explicitly for a key-less deterministic-limits setup.
+        if auth is None:
+            auth = ApiKeyAuthenticator.from_environment()
+        self.auth: Optional[ApiKeyAuthenticator] = auth or None
+        if limits is None and self.auth is not None:
+            limits = RateLimiter(
+                LimitsConfig.from_environment(),
+                overrides=self.auth.limit_overrides(),
+            )
+        self.limits: Optional[RateLimiter] = limits or None
+        self._rebootstraps = 0
         self._host = host
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -399,8 +456,12 @@ class VerificationServer:
     async def _follow_loop(self) -> None:
         """Poll the primary's WAL until cancelled.
 
-        A :class:`WalError` (fell behind retention, corruption while
-        tailing) stops replication and is surfaced in ``/v1/healthz``;
+        A :class:`WalError` meaning "fell behind retention" (the
+        primary compacted past our cursor) is recoverable: the replica
+        re-bootstraps from the gallery's on-disk snapshot — which by
+        construction reflects at least everything the compacted WAL
+        did — and resumes tailing from the retained log.  Any other
+        failure stops replication and is surfaced in ``/v1/healthz``;
         the replica keeps answering reads from what it has applied.
         """
         while True:
@@ -409,13 +470,8 @@ class VerificationServer:
             except asyncio.CancelledError:
                 raise
             except WalError as exc:
-                self._follow_error = str(exc)
-                _log.error(
-                    "follower replication stopped",
-                    extra={"data": {"error": str(exc),
-                                    "applied_lsn": self._applied_lsn}},
-                )
-                return
+                if not await self._rebootstrap_follower(exc):
+                    return
             except Exception as exc:  # noqa: BLE001 - keep serving reads
                 self._follow_error = repr(exc)
                 _log.error(
@@ -426,6 +482,38 @@ class VerificationServer:
                 return
             await asyncio.sleep(self._poll_interval)
 
+    async def _rebootstrap_follower(self, cause: WalError) -> bool:
+        """Reload the snapshot and restart the WAL tail after falling
+        behind retention; ``True`` when replication can continue.
+
+        The primary applies every write to its shards before the WAL
+        compacts past it, so the on-disk snapshot is always at least as
+        new as the oldest retained record — reloading it and re-tailing
+        from the retained log's start converges (WAL application is
+        idempotent).  Counted as ``replication.rebootstraps``.
+        """
+        try:
+            async with self._follow_lock:
+                records = self.gallery.rebootstrap()
+                self._follower = WalFollower(self._follow_dir)
+            self._rebootstraps += 1
+            self._follow_error = None
+            get_recorder().count("replication.rebootstraps")
+            _log.warning(
+                "follower re-bootstrapped from the gallery snapshot",
+                extra={"data": {"cause": str(cause), "records": records,
+                                "rebootstraps": self._rebootstraps}},
+            )
+            return True
+        except Exception as exc:  # noqa: BLE001 - degrade to stale reads
+            self._follow_error = repr(exc)
+            _log.error(
+                "follower re-bootstrap failed; replication stopped",
+                extra={"data": {"cause": str(cause), "error": repr(exc),
+                                "applied_lsn": self._applied_lsn}},
+            )
+            return False
+
     def _replication(self) -> dict:
         """The ``{role, applied_lsn, lag_records}`` health block."""
         if self._follower is None:
@@ -433,11 +521,13 @@ class VerificationServer:
                 "role": "primary",
                 "applied_lsn": self.gallery.wal_last_lsn,
                 "lag_records": 0,
+                "rebootstraps": 0,
             }
         info = {
             "role": "follower",
             "applied_lsn": self._applied_lsn,
             "lag_records": self._follower.pending(),
+            "rebootstraps": self._rebootstraps,
         }
         if self._follow_error is not None:
             info["error"] = self._follow_error
@@ -653,8 +743,14 @@ class VerificationServer:
         if self.tracing:
             trace = TraceContext(request_id=request_id, endpoint=endpoint)
             token = set_current_trace(trace)
+        principal_name: Optional[str] = None
+        retry_after: Optional[float] = None
         try:
             try:
+                principal = self._admit(endpoint, headers)
+                principal_name = principal.name
+                if trace is not None:
+                    trace.meta["principal"] = principal_name
                 status, payload = await self._route(method, base_path, body)
             except _HttpError as exc:
                 status = exc.status
@@ -665,10 +761,18 @@ class VerificationServer:
                     _code_for(exc), str(exc), request_id,
                     kind=type(exc).__name__,
                 )
+                # A 403 or 429 happens *after* authentication succeeded;
+                # _admit stamps the principal on the exception so the
+                # audit log can still attribute the refusal.
+                principal_name = getattr(exc, "principal", principal_name)
+                if trace is not None and principal_name is not None:
+                    trace.meta["principal"] = principal_name
                 if status == 503:
                     self.stats.record_overload()
                 elif status == 504:
                     self.stats.record_deadline()
+                elif status == 429:
+                    retry_after = getattr(exc, "retry_after", 1.0)
             except Exception as exc:  # noqa: BLE001 - never kill the connection
                 _log.warning(
                     "unhandled service error",
@@ -683,11 +787,13 @@ class VerificationServer:
                     keep_alive = await self._respond(
                         writer, status, payload,
                         request_id=request_id, deprecated=deprecated,
+                        retry_after=retry_after,
                     )
             else:
                 keep_alive = await self._respond(
                     writer, status, payload,
                     request_id=request_id, deprecated=deprecated,
+                    retry_after=retry_after,
                 )
         finally:
             if token is not None:
@@ -696,9 +802,44 @@ class VerificationServer:
         device = trace.meta.get("device") if trace is not None else None
         self.stats.record_request(endpoint, elapsed, status, device=device)
         self._audit(
-            request_id, endpoint, method, path, status, elapsed, trace
+            request_id, endpoint, method, path, status, elapsed, trace,
+            principal=principal_name,
         )
         return keep_alive
+
+    def _admit(self, endpoint: str, headers: Dict[str, str]) -> Principal:
+        """Authenticate, authorize, and rate-limit one request.
+
+        Runs before the body is even decoded — refused requests must be
+        cheap.  With authentication disabled every caller is
+        :data:`~repro.service.auth.ANONYMOUS` (full access, the pre-auth
+        behavior); ``healthz`` is always open and never limited so
+        liveness probes keep working without credentials.
+        """
+        principal = ANONYMOUS
+        role = ENDPOINT_ROLES.get(endpoint, "admin")
+        if self.auth is not None and role is not None:
+            try:
+                with _phase("auth"):
+                    principal = self.auth.authenticate(headers)
+                    self.auth.authorize(principal, endpoint)
+            except AuthenticationError:
+                self.stats.record_auth("unauthorized")
+                raise
+            except AuthorizationError as exc:
+                self.stats.record_auth("forbidden")
+                exc.principal = principal.name
+                raise
+            self.stats.record_auth("ok")
+        if self.limits is not None and endpoint != "healthz":
+            try:
+                with _phase("limits"):
+                    self.limits.check(principal.name, endpoint)
+            except RateLimitExceeded as exc:
+                self.stats.record_rate_limited(principal.name)
+                exc.principal = principal.name
+                raise
+        return principal
 
     def _audit(
         self,
@@ -709,6 +850,7 @@ class VerificationServer:
         status: int,
         elapsed: float,
         trace: Optional[TraceContext],
+        principal: Optional[str] = None,
     ) -> None:
         """Request-level accounting: audit line, slow log, trace counter."""
         latency_ms = elapsed * 1000.0
@@ -729,6 +871,7 @@ class VerificationServer:
                 "latency_ms": round(latency_ms, 3),
                 "gallery_size": len(self.gallery),
                 "slow": slow,
+                "principal": principal,
             }
             if trace is not None:
                 timeline = trace.timeline()
@@ -759,6 +902,7 @@ class VerificationServer:
         payload,
         request_id: Optional[str] = None,
         deprecated: bool = False,
+        retry_after: Optional[float] = None,
     ) -> bool:
         if isinstance(payload, str):
             # Pre-rendered text body (the /metrics exposition).
@@ -772,6 +916,12 @@ class VerificationServer:
             extra += f"X-Request-ID: {request_id}\r\n"
         if deprecated:
             extra += "Deprecation: true\r\n"
+        if status == 401:
+            extra += "WWW-Authenticate: Bearer\r\n"
+        if status == 429 and retry_after is not None:
+            # The limiter knows exactly when the next token lands; a
+            # client sleeping that long succeeds on its next attempt.
+            extra += f"Retry-After: {max(0.0, retry_after):.3f}\r\n"
         if status == 503:
             # Overload is transient by construction; tell well-behaved
             # clients when to come back instead of letting them hammer.
@@ -828,6 +978,8 @@ class VerificationServer:
             return "enroll"
         if path.startswith("/enroll/"):
             return "delete" if method == "DELETE" else "enroll"
+        if path == "/admin" or path.startswith("/admin/"):
+            return "admin"
         return "unknown"
 
     async def _route(self, method: str, path: str, body: bytes) -> Tuple[int, object]:
@@ -858,9 +1010,12 @@ class VerificationServer:
             if self._live_pool is not None:
                 await self.pool.apply_delete(device, identity, lsn=lsn)
             return 200, {"deleted": identity, "device": device}
+        if path == "/admin/keys/reload" and method == "POST":
+            return 200, self._handle_keys_reload()
         raise _HttpError(
             405 if path in ("/enroll", "/verify", "/identify",
-                            "/healthz", "/stats", "/metrics")
+                            "/healthz", "/stats", "/metrics",
+                            "/admin/keys/reload")
             else 404,
             f"no route for {method} {path}",
         )
@@ -904,7 +1059,11 @@ class VerificationServer:
             try:
                 await self._drain_follower()
             except WalError as exc:
-                self._follow_error = str(exc)
+                if await self._rebootstrap_follower(exc):
+                    try:
+                        await self._drain_follower()
+                    except WalError as again:
+                        self._follow_error = str(again)
         pool = self.pool
         return {
             "status": "ok",
@@ -937,7 +1096,34 @@ class VerificationServer:
         payload["threshold"] = self.threshold
         payload["tracing"] = self.tracing
         payload["replication"] = self._replication()
+        payload["auth"] = self._auth_stats()
         return payload
+
+    def _auth_stats(self) -> dict:
+        """The ``auth``/``limits`` block for ``/stats`` and metrics."""
+        info: dict = {
+            "enabled": self.auth is not None,
+            **self.stats.auth_snapshot(),
+        }
+        if self.auth is not None:
+            info["principals"] = self.auth.principals
+        if self.limits is not None:
+            info["limits"] = self.limits.snapshot()
+        return info
+
+    def _handle_keys_reload(self) -> dict:
+        """``POST /v1/admin/keys/reload`` — force a keyfile re-read now.
+
+        404s when authentication is disabled: there is nothing to
+        reload, and the route must not advertise itself on open
+        servers.
+        """
+        if self.auth is None:
+            raise _HttpError(404, "authentication is not enabled")
+        count = self.auth.reload()
+        if self.limits is not None:
+            self.limits.set_overrides(self.auth.limit_overrides())
+        return {"reloaded": True, "principals": count}
 
     def _handle_metrics(self) -> str:
         queued = self.batcher.queue_depth
@@ -950,6 +1136,7 @@ class VerificationServer:
             corrupt_dropped=self.gallery.corrupt_dropped,
             wal=self.gallery.wal_stats(),
             replication=self._replication(),
+            auth=self._auth_stats(),
         )
 
     async def _handle_enroll(self, payload: dict) -> Tuple[int, dict]:

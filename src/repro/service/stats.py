@@ -48,10 +48,14 @@ LATENCY_WINDOW = 4096
 #: The endpoints the service tallies individually.
 ENDPOINTS = (
     "enroll", "verify", "identify", "delete", "healthz", "stats", "metrics",
+    "admin",
 )
 
 #: Monitoring endpoints excluded from the latency windows (still counted).
-PROBE_ENDPOINTS = frozenset({"healthz", "stats", "metrics"})
+PROBE_ENDPOINTS = frozenset({"healthz", "stats", "metrics", "admin"})
+
+#: Authentication outcomes tallied by :meth:`ServiceStats.record_auth`.
+AUTH_OUTCOMES = ("ok", "unauthorized", "forbidden")
 
 #: Bucket upper bounds (seconds) for the Prometheus latency histograms.
 LATENCY_BUCKETS: Tuple[float, ...] = (
@@ -155,6 +159,9 @@ class ServiceStats:
         self._batch_requests_hist = _CumulativeHistogram(BATCH_BUCKETS)
         self.identify_modes: Dict[str, int] = {}
         self.identify_candidates = 0
+        # Admission control (all zero while serving open / unlimited).
+        self.auth_outcomes: Dict[str, int] = {o: 0 for o in AUTH_OUTCOMES}
+        self.rate_limited: Dict[str, int] = {}
         self._prefilter_hist = _CumulativeHistogram(PREFILTER_BUCKETS)
         # Sharded worker pool (all zero / empty when serving in-process).
         self.workers_configured = 0
@@ -234,6 +241,23 @@ class ServiceStats:
         with self._lock:
             self.deadline_exceeded += 1
         get_recorder().count("service.deadline_exceeded")
+
+    def record_auth(self, outcome: str) -> None:
+        """Tally one authentication decision (``ok``/``unauthorized``/
+        ``forbidden``) on a keyed server."""
+        with self._lock:
+            self.auth_outcomes[outcome] = (
+                self.auth_outcomes.get(outcome, 0) + 1
+            )
+        get_recorder().count(f"service.auth.{outcome}")
+
+    def record_rate_limited(self, principal: str) -> None:
+        """Tally one request refused by the limiter (HTTP 429)."""
+        with self._lock:
+            self.rate_limited[principal] = (
+                self.rate_limited.get(principal, 0) + 1
+            )
+        get_recorder().count("service.rate_limited")
 
     def record_slow(self) -> None:
         """Tally one request over the ``REPRO_SERVE_SLOW_MS`` threshold."""
@@ -414,6 +438,15 @@ class ServiceStats:
                 "candidates_scored": self.identify_candidates,
             }
 
+    def auth_snapshot(self) -> dict:
+        """Authentication / rate-limit tallies for ``/stats`` + metrics."""
+        with self._lock:
+            return {
+                "outcomes": dict(self.auth_outcomes),
+                "rate_limited": dict(sorted(self.rate_limited.items())),
+                "rate_limited_total": int(sum(self.rate_limited.values())),
+            }
+
     def worker_snapshot(self) -> dict:
         """The sharded-pool block for ``/stats`` and the manifest."""
         with self._lock:
@@ -498,6 +531,7 @@ class ServiceStats:
 
 __all__ = [
     "ServiceStats",
+    "AUTH_OUTCOMES",
     "LATENCY_WINDOW",
     "LATENCY_BUCKETS",
     "BATCH_BUCKETS",

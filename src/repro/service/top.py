@@ -4,8 +4,10 @@ Polls ``GET /stats`` (exact window quantiles, decision tallies) and
 ``GET /metrics`` (cumulative counters, run through the strict
 exposition parser — every refresh doubles as a format check) and renders
 per-endpoint rates *between* consecutive samples: QPS, window p95,
-error rate, and the interval's mean micro-batch size.  Rendering is
-plain ANSI (cursor-home + clear-to-end), no curses, no dependencies.
+error rate, and the interval's mean micro-batch size, plus cumulative
+``denied`` (401/403) and ``throttled`` (429) tallies on keyed servers.
+Rendering is plain ANSI (cursor-home + clear-to-end), no curses, no
+dependencies.
 
 The arithmetic lives in pure functions (:func:`compute_deltas`,
 :func:`render_frame`) so the tests can drive them with synthetic
@@ -44,6 +46,11 @@ def take_sample(client: ServiceClient) -> dict:
         count for status, count in stats["statuses"].items()
         if int(status) >= 400
     )
+    denied = sum(
+        count for status, count in stats["statuses"].items()
+        if int(status) in (401, 403)
+    )
+    throttled = stats["statuses"].get("429", 0)
     batching = stats["batching"]
     return {
         "time": time.monotonic(),
@@ -59,6 +66,9 @@ def take_sample(client: ServiceClient) -> dict:
         "overloads": stats["overloads"],
         "deadline_exceeded": stats["deadline_exceeded"],
         "slow_requests": stats.get("slow_requests", 0),
+        "denied": float(denied),
+        "throttled": float(throttled),
+        "auth_enabled": stats.get("auth", {}).get("enabled", False),
         "workers_alive": stats.get("workers", {}).get("alive", 0),
         "workers_configured": stats.get("workers", {}).get("configured", 0),
         "role": stats.get("replication", {}).get("role", "primary"),
@@ -124,7 +134,9 @@ def render_frame(sample: dict, deltas: dict, host: str, port: int) -> str:
         f"err {100.0 * deltas['error_rate']:.1f}%   "
         f"batch {deltas['mean_batch_size']:.1f}   "
         f"503 {sample['overloads']}   504 {sample['deadline_exceeded']}   "
-        f"slow {sample['slow_requests']}",
+        f"slow {sample['slow_requests']}   "
+        f"denied {sample.get('denied', 0):.0f}   "
+        f"throttled {sample.get('throttled', 0):.0f}",
         "",
         f"{'endpoint':<10}{'qps':>8}{'p95_ms':>10}",
     ]

@@ -309,3 +309,119 @@ class TestFollowerReplica:
                 probe = tiny_collection.get(0, FINGER, "D0", 1).template
                 reply = client.verify("subject-0", probe, device="D0")
                 assert reply["decision"] == "accept"
+
+
+class TestFollowerFleet:
+    def test_reads_round_robin_across_replicas(
+        self, tmp_path, tiny_collection, matcher
+    ):
+        root = tmp_path / "gallery"
+        with ServiceRunner(_server(GalleryIndex(root), matcher)) as (ph, pp):
+            with ServiceClient(ph, pp) as seed:
+                seed.enroll(
+                    "subject-0",
+                    tiny_collection.get(0, FINGER, "D0", 0).template,
+                    device="D0",
+                )
+            with ServiceRunner(_follower_pair(root, matcher)) as (f1h, f1p):
+                with ServiceRunner(_follower_pair(root, matcher)) as (f2h, f2p):
+                    for fh, fp in ((f1h, f1p), (f2h, f2p)):
+                        with ServiceClient(fh, fp) as ready:
+                            ready.wait_until_healthy()
+                    probe = tiny_collection.get(0, FINGER, "D0", 1).template
+                    with ServiceClient(
+                        ph, pp, followers=[(f1h, f1p), (f2h, f2p)]
+                    ) as fleet:
+                        served_by = []
+                        for _ in range(4):
+                            reply = fleet.verify(
+                                "subject-0", probe, device="D0"
+                            )
+                            assert reply["decision"] == "accept"
+                            served_by.append(
+                                [
+                                    replica.last_request_id
+                                    for replica in fleet.followers
+                                ].index(fleet.last_request_id)
+                            )
+                        # Successive reads alternate replicas.
+                        assert served_by == [0, 1, 0, 1]
+
+    def test_dead_first_replica_is_skipped(
+        self, tmp_path, tiny_collection, matcher
+    ):
+        root = tmp_path / "gallery"
+        with ServiceRunner(_server(GalleryIndex(root), matcher)) as (ph, pp):
+            with ServiceClient(ph, pp) as seed:
+                seed.enroll(
+                    "subject-0",
+                    tiny_collection.get(0, FINGER, "D0", 0).template,
+                    device="D0",
+                )
+            with ServiceRunner(_follower_pair(root, matcher)) as (fh, fp):
+                with ServiceClient(fh, fp) as ready:
+                    ready.wait_until_healthy()
+                probe = tiny_collection.get(0, FINGER, "D0", 1).template
+                with ServiceClient(
+                    ph, pp, followers=[("127.0.0.1", 1), (fh, fp)]
+                ) as fleet:
+                    reply = fleet.verify("subject-0", probe, device="D0")
+                    assert reply["decision"] == "accept"
+                    # The live replica (slot 1) answered, not the primary.
+                    assert fleet.last_request_id == (
+                        fleet.followers[1].last_request_id
+                    )
+
+
+class TestFollowerRebootstrap:
+    def test_follower_rebootstraps_past_wal_retention(
+        self, tmp_path, tiny_collection, matcher, monkeypatch
+    ):
+        """A follower that falls past WAL retention heals itself.
+
+        Tiny segments + zero retained generations make the primary
+        compact aggressively; a huge poll interval keeps the follower
+        idle so every drain happens inside ``/healthz``, which makes
+        the fall-behind → rebootstrap → catch-up sequence deterministic.
+        """
+        monkeypatch.setenv("REPRO_WAL_SEGMENT_BYTES", "512")
+        monkeypatch.setenv("REPRO_WAL_KEEP_SEGMENTS", "0")
+        monkeypatch.setenv("REPRO_WAL_POLL_MS", "60000")
+        root = tmp_path / "gallery"
+        template = tiny_collection.get(0, FINGER, "D0", 0).template
+        with ServiceRunner(_server(GalleryIndex(root), matcher)) as (ph, pp):
+            with ServiceClient(ph, pp) as primary:
+                primary.enroll("subject-0", template, device="D0")
+                with ServiceRunner(_follower_pair(root, matcher)) as (fh, fp):
+                    with ServiceClient(fh, fp) as follower:
+                        health = follower.wait_until_healthy()
+                        assert health["replication"]["rebootstraps"] == 0
+                        # Burst writes on the primary: each enroll seals
+                        # a segment and the checkpoint compacts it away,
+                        # pulling retention out from under the idle
+                        # follower's cursor.
+                        bulk = tiny_collection.get(1, FINGER, "D0", 0).template
+                        for index in range(10):
+                            primary.enroll(
+                                f"bulk-{index}", bulk, device="D0"
+                            )
+                        replication = follower.healthz()["replication"]
+                        assert replication["rebootstraps"] == 1
+                        assert replication["lag_records"] == 0
+                        assert replication["applied_lsn"] == 11
+                        assert "error" not in replication
+                        # The rebootstrapped replica serves the writes
+                        # it never saw stream past.
+                        probe = tiny_collection.get(1, FINGER, "D0", 1).template
+                        assert follower.verify(
+                            "bulk-9", probe, device="D0"
+                        )["decision"] == "accept"
+                        families = parse_exposition(follower.metrics())
+                        assert sample_value(
+                            families,
+                            "repro_replication_rebootstraps_total",
+                            {},
+                        ) == 1
+                        assert sample_value(
+                            families, "repro_replication_broken", {}
+                        ) == 0

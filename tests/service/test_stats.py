@@ -96,7 +96,7 @@ class TestCounters:
     def test_endpoints_cover_the_routing_table(self):
         assert set(ENDPOINTS) == {
             "enroll", "verify", "identify", "delete",
-            "healthz", "stats", "metrics",
+            "healthz", "stats", "metrics", "admin",
         }
 
 
